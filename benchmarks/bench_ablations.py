@@ -1,0 +1,131 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation removes one ingredient of the ARES pipeline and shows the
+cost, using a shared small profiling dataset:
+
+* correlation-only selection vs full Algorithm 1 (stepwise AIC),
+* no clustering before stepwise selection,
+* unbounded/absolute manipulation vs bounded/gradual actions,
+* detector-penalty term present vs absent in the RL reward.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import correlation_matrix
+from repro.analysis.pruning import prune_state_variables
+from repro.analysis.tsvl import TsvlConfig, generate_tsvl
+from repro.firmware.mission import line_mission
+from repro.profiling.collector import ProfileCollector
+from repro.rl.env import EnvConfig
+from repro.rl.envs.deviation import PathDeviationEnv
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    collector = ProfileCollector("PID")
+    return collector.collect(
+        missions=[line_mission(length=45.0, altitude=10.0, legs=1)]
+    )
+
+
+def test_ablation_correlation_only_vs_algorithm1(dataset, once):
+    """Correlation-only thresholding floods the TSVL; Algorithm 1 prunes it."""
+
+    def correlation_only():
+        pruning = prune_state_variables(dataset.table)
+        corr = correlation_matrix(dataset.table.select(pruning.kept))
+        selected = set()
+        for response in ("ATT.R", "ATT.P", "ATT.Y"):
+            if response not in pruning.kept:
+                continue
+            for name, r in corr.strongest_partners(response, k=len(pruning.kept)):
+                if abs(r) >= 0.3 and name not in ("ATT.R", "ATT.P", "ATT.Y"):
+                    selected.add(name)
+        return selected
+
+    naive_selection = once(correlation_only)
+    full = generate_tsvl(
+        dataset.table, dynamics_variables=["ATT.R", "ATT.P", "ATT.Y"]
+    )
+    print(f"\ncorrelation-only: {len(naive_selection)} variables; "
+          f"Algorithm 1: {len(full.tsvl)} variables")
+    # The regression/significance stage is what makes the TSVL small.
+    assert len(full.tsvl) < len(naive_selection)
+
+
+def test_ablation_no_clustering(dataset, once):
+    """Disabling clustering (one giant cluster) still works but is slower
+    and selects a comparable or larger set."""
+
+    def without_clustering():
+        config = TsvlConfig(cluster_distance_threshold=1.01)  # single cluster
+        return generate_tsvl(
+            dataset.table, dynamics_variables=["ATT.R"], config=config
+        )
+
+    merged = once(without_clustering)
+    clustered = generate_tsvl(dataset.table, dynamics_variables=["ATT.R"])
+    print(f"\nno clustering: {len(merged.tsvl)}; clustered: {len(clustered.tsvl)}")
+    assert merged.clustering.num_clusters == 1
+    assert clustered.clustering.num_clusters > 1
+    assert merged.tsvl  # both find candidates
+
+
+def test_ablation_bounded_vs_absolute_actions(once):
+    """The paper's bounded 'gradual changes relative to the current value'
+    vs absolute random writes: random absolute writes thrash the
+    integrator and deviate less per unit of action budget."""
+
+    def run(mode: str) -> float:
+        config = EnvConfig(
+            max_episode_steps=30, physics_hz=50.0, seed=7,
+            manipulation_mode=mode,
+        )
+        env = PathDeviationEnv(config)
+        rng = np.random.default_rng(0)
+        obs = env.reset()
+        done = False
+        while not done:
+            if mode == "delta":
+                action = [config.action_limit]
+            else:
+                action = rng.uniform(-config.action_limit, config.action_limit, 1)
+            obs, _, done, _ = env.step(action)
+        return float(obs[3])  # final path distance
+
+    bounded = once(run, "delta")
+    absolute = run("absolute")
+    print(f"\nbounded-delta deviation: {bounded:.2f} m; "
+          f"absolute-random: {absolute:.2f} m")
+    assert bounded > absolute
+
+
+def test_ablation_detector_penalty(once):
+    """With the CI detector in the loop, a reckless full-throttle policy is
+    interrupted by the alarm penalty; without it the same policy keeps
+    accumulating deviation reward."""
+
+    def run(use_detector: bool, action_scale: float = 1.0):
+        config = EnvConfig(
+            max_episode_steps=40, physics_hz=50.0, seed=11,
+            use_detector=use_detector, action_limit=0.4,
+        )
+        env = PathDeviationEnv(config)
+        env.reset()
+        total, done, detected = 0.0, False, False
+        while not done:
+            _, reward, done, info = env.step([config.action_limit * action_scale])
+            total += reward
+            detected = detected or info["detected"]
+        return total, detected
+
+    with_detector = once(run, True)
+    without_detector = run(False)
+    print(f"\nwith detector: return {with_detector[0]:.2f} detected={with_detector[1]}; "
+          f"without: return {without_detector[0]:.2f}")
+    # The aggressive policy gets caught when the detector is deployed...
+    assert with_detector[1]
+    assert with_detector[0] < without_detector[0]
+    # ...and is never "caught" when no detector is present.
+    assert not without_detector[1]

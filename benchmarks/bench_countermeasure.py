@@ -1,0 +1,63 @@
+"""Bench: the paper's proposed countermeasure (Section VI).
+
+The paper concludes that monitors must move to the *variable level* —
+watching the very intermediates ARES identifies. This bench shows the
+asymmetry: the gradual integrator attack that evades the system-level
+control-invariants monitor (Fig. 6) is caught by a variable-level monitor
+trained on the TSVL's benign envelopes, while the benign mission still
+raises no alarm.
+"""
+
+from repro.attacks.gradual import GradualRollAttack
+from repro.defenses.control_invariants import ControlInvariantsDetector
+from repro.defenses.variable_monitor import VariableLevelMonitor
+from repro.firmware.mission import line_mission
+from repro.firmware.modes import FlightMode
+from repro.firmware.vehicle import Vehicle
+from repro.sim.config import SimConfig
+
+WATCHED = ["PIDR.INTEG", "PIDR.DERIV", "PIDP.INTEG"]
+
+
+def _run(monitor, ci, attack, seed=3, duration=35.0):
+    vehicle = Vehicle(SimConfig(seed=seed, wind_gust_std=0.4))
+    monitor.reset()
+    monitor.attach(vehicle)
+    ci.reset()
+    ci.attach(vehicle)
+    vehicle.mission = line_mission(length=300.0, altitude=10.0, legs=1)
+    vehicle.takeoff(10.0)
+    if attack is not None:
+        attack.attach(vehicle)
+    vehicle.set_mode(FlightMode.AUTO)
+    vehicle.run(duration)
+    monitor.detach()
+    ci.detach()
+    return monitor.alarmed, ci.alarmed
+
+
+def test_countermeasure_variable_level_monitor(once):
+    monitor = VariableLevelMonitor(WATCHED)
+    monitor.train_on_benign(
+        lambda: Vehicle(SimConfig(seed=99, wind_gust_std=0.4)),
+        lambda: line_mission(length=150.0, altitude=10.0, legs=1),
+    )
+
+    airframe = SimConfig().airframe
+    ci = ControlInvariantsDetector(airframe)
+
+    benign = once(_run, monitor, ci, None)
+    attack = _run(
+        monitor, ci, GradualRollAttack(rate_deg_s=2.5, start_time=5.0)
+    )
+
+    print(f"\nbenign:  variable-level alarm={benign[0]}  CI alarm={benign[1]}")
+    print(f"attack:  variable-level alarm={attack[0]}  CI alarm={attack[1]}")
+
+    # Benign flight: neither monitor alarms.
+    assert not benign[0] and not benign[1]
+    # The ARES gradual attack evades the system-level CI monitor...
+    assert not attack[1]
+    # ...but the variable-level monitor on the TSVL intermediates sees the
+    # integrator leave its benign envelope.
+    assert attack[0]

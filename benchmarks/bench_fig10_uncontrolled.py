@@ -1,0 +1,32 @@
+"""Bench Fig. 10: RL-learned uncontrolled failure (path deviation).
+
+Shape assertions (paper): the trained agent deviates the RAV far from the
+mission path, accumulating reward over the episode, while the untouched
+baseline stays on the path; training (returns) improves over episodes.
+The paper trains 5 000 episodes; this bench trains a laptop-scale run —
+the APIs accept the full-scale numbers.
+"""
+
+from repro.experiments.fig10 import run_fig10
+
+
+def test_fig10_uncontrolled_failure(once):
+    result = once(run_fig10, train_episodes=20, eval_steps=50, seed=1)
+    print()
+    print(result.render())
+
+    trained = result.scenarios["trained"]
+    baseline = result.scenarios["baseline"]
+    random = result.scenarios["random"]
+
+    # The baseline flies the mission: negligible deviation.
+    assert baseline.final_deviation < 2.0
+
+    # The trained policy produces a mission-failure-scale deviation and
+    # dominates both baseline and random.
+    assert trained.final_deviation > 5.0
+    assert trained.final_deviation > 2.0 * baseline.final_deviation + 1.0
+    assert trained.accumulated[-1] > random.accumulated[-1]
+
+    # Deviation accumulates over time (the Fig. 10c series grows).
+    assert trained.accumulated[-1] > trained.accumulated[len(trained.accumulated) // 2]

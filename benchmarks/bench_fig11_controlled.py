@@ -1,0 +1,29 @@
+"""Bench Fig. 11: RL-learned controlled failure (forbidden-zone crash).
+
+Shape assertions (paper): the trained agent steers the RAV toward the
+forbidden zone — far closer than the untouched baseline — and the episode
+ends on contact (the controlled crash) when the approach succeeds.
+"""
+
+from repro.experiments.fig11 import run_fig11
+
+
+def test_fig11_controlled_failure(once):
+    result = once(
+        run_fig11, train_episodes=25, eval_steps=80, zone_offset_east=14.0, seed=2
+    )
+    print()
+    print(result.render())
+
+    trained = result.scenarios["trained"]
+    baseline = result.scenarios["baseline"]
+
+    # The baseline keeps its distance from the zone.
+    assert baseline.closest_approach >= 8.0
+
+    # The trained policy closes most of the gap (controlled steering).
+    assert trained.closest_approach < 0.6 * baseline.closest_approach
+
+    # Distance decreases over the episode for the trained policy.
+    early = trained.zone_distance[: len(trained.zone_distance) // 3].min()
+    assert trained.closest_approach < early

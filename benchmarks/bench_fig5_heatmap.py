@@ -1,0 +1,46 @@
+"""Bench Fig. 5: the 24-variable roll-control correlation heat map + TSVL.
+
+Shape assertions: 24 analysed variables; hierarchical clustering groups
+the roll block (Roll/DesR) together; the roll TSVL is compact (paper: 4
+variables — INTEG, DesR, IR, tv) and reaches beyond plain dynamics into
+desired-value/intermediate variables.
+"""
+
+import numpy as np
+
+from repro.experiments.fig5 import run_fig5
+from repro.firmware.mission import line_mission, square_mission
+
+
+def test_fig5_heatmap_and_roll_tsvl(once):
+    result = once(
+        run_fig5,
+        missions=[
+            square_mission(side=30.0, altitude=10.0),
+            line_mission(length=45.0, altitude=10.0, legs=1),
+        ],
+    )
+    print()
+    print(result.render())
+
+    assert result.esvl_size == 24
+    assert result.samples > 500
+
+    # Heat map is a valid correlation matrix in dendrogram order.
+    finite = result.matrix[np.isfinite(result.matrix)]
+    assert np.all(finite <= 1.0 + 1e-9) and np.all(finite >= -1.0 - 1e-9)
+
+    # The clustered ordering puts DesR adjacent to the roll block: their
+    # |r| ~ 0.9 pairing must sit within 4 positions of each other.
+    order = result.names
+    assert abs(order.index("ATT.DesR") - order.index("ATT.R")) <= 4
+
+    # Roll TSVL: compact, like the paper's {INTEG, DesR, IR, tv}.
+    assert 1 <= len(result.tsvl) <= 6
+    # It must include a non-trivial variable (desired value, rate or PID
+    # intermediate) — not merely another copy of the roll angle.
+    interesting = {
+        "ATT.DesR", "ATT.IR", "ATT.tv",
+        "PIDR.INTEG", "PIDR.INPUT", "PIDR.DERIV", "IMU.GyrX",
+    }
+    assert interesting & set(result.tsvl)

@@ -1,0 +1,36 @@
+"""Bench Fig. 6: evading control-invariants detection.
+
+Shape assertions (paper): the benign mission and the ARES gradual attack
+stay under the 400 000 threshold (no alarm) while the ARES attack produces
+a large mission deviation; the naive 30° attack trips the monitor almost
+immediately with a cumulative error far above 1 000 000.
+"""
+
+from repro.experiments.fig6 import run_fig6
+
+
+def test_fig6_control_invariants(once):
+    result = once(run_fig6, duration=45.0, seed=3)
+    print()
+    print(result.render())
+
+    normal = result.conditions["normal"]
+    ares = result.conditions["ares"]
+    naive = result.conditions["naive"]
+
+    # Benign: no alarm, negligible deviation.
+    assert not normal.alarmed
+    assert normal.path_deviation < 2.0
+
+    # ARES: mission failure scale deviation, roll creeps, no alarm.
+    assert not ares.alarmed
+    assert ares.path_deviation > 20.0
+    assert ares.roll_deg.max() > 5.0
+
+    # Naive: detected quickly, cumulative error over 1e6 (paper's scale).
+    assert naive.alarmed
+    assert naive.max_ci > 1_000_000.0
+    assert naive.first_alarm is not None
+
+    # Who wins by what factor: naive error dwarfs ares error.
+    assert naive.max_ci > 3.0 * ares.max_ci

@@ -1,0 +1,34 @@
+"""Bench Fig. 7: evading the ML controller-output monitor during hover.
+
+Shape assertions (paper): with threshold 0.01, the ARES scaler drift keeps
+the control-output distance inside the benign band (no alarm) while the
+naive attack's distance blows far past the threshold and alarms.
+"""
+
+from repro.experiments.fig7 import run_fig7
+
+
+def test_fig7_ml_monitor(once):
+    result = once(run_fig7, duration=28.0, seed=5)
+    print()
+    print(result.render())
+
+    normal = result.conditions["normal"]
+    ares = result.conditions["ares"]
+    naive = result.conditions["naive"]
+
+    assert result.threshold == 0.01
+
+    # Benign hover: essentially zero output distance.
+    assert not normal.alarmed
+    assert normal.max_distance < result.threshold / 2.0
+
+    # ARES scaler drift: stays within the benign error range (Fig. 7b).
+    assert not ares.alarmed
+    assert ares.max_distance < result.threshold
+
+    # Naive attack: far outside the envelope, detected.
+    assert naive.alarmed
+    assert naive.max_distance > 10.0 * result.threshold
+    # The naive attack visibly forces the roll estimate to ~30 deg.
+    assert naive.roll_deg.max() > 25.0

@@ -1,0 +1,31 @@
+"""Bench Fig. 8: evading sensor-estimation (SAVIOR-style) detection.
+
+Shape assertions (paper): the controller-output perturbation drives the
+roll into unstable, aggressive stabilisation after the attack starts,
+while the residual between the AHRS attitude and the EKF estimate stays
+near zero — the detector never alarms.
+"""
+
+import numpy as np
+
+from repro.experiments.fig8 import run_fig8
+
+
+def test_fig8_ekf_residual_monitor(once):
+    result = once(run_fig8, duration=55.0, attack_start=25.0, seed=9)
+    print()
+    print(result.render())
+
+    # The attack destabilises the roll axis (Fig. 8a).
+    assert result.destabilised
+    assert result.roll_excursion_after_attack() > 4.0
+
+    # PID terms show the compensation fight after the attack starts.
+    post = result.times >= result.attack_start
+    pre = ~post
+    assert np.abs(result.pid_p[post]).max() > np.abs(result.pid_p[pre]).max()
+
+    # The AHRS-vs-EKF residual stays small and no alarm fires (Fig. 8b).
+    post_residual = np.abs(result.residual_deg[post]).max()
+    assert post_residual < 5.0
+    assert not result.alarmed

@@ -1,0 +1,38 @@
+"""Bench Fig. 9: CI detection robustness to threshold tuning.
+
+Shape assertions (paper): Attack 1 (fast creep) separates from the benign
+max-cumulative-error distribution; Attack 2 (slow creep) does not; and
+sweeping the threshold downward buys Attack-1 true positives only at the
+cost of a false-positive rate that becomes unacceptable, with Attack 2
+staying near-indistinguishable throughout.
+"""
+
+import numpy as np
+
+from repro.experiments.fig9 import run_fig9
+
+
+def test_fig9_threshold_sweep(once):
+    result = once(run_fig9, trials=4, duration=40.0, steady_after=22.0)
+    print()
+    print(result.render())
+
+    benign = np.asarray(result.benign)
+    attack1 = np.asarray(result.attack1)
+    attack2 = np.asarray(result.attack2)
+
+    # Fig. 9a: attack1 sits clearly above benign; attack2 overlaps it.
+    assert np.median(attack1) > 1.8 * np.median(benign)
+    assert np.median(attack2) < 1.8 * np.median(benign)
+
+    # Fig. 9b: sweeping the threshold down raises TPR(attack1)...
+    thresholds = sorted(result.thresholds, reverse=True)
+    tpr1 = [result.rates[t][1] for t in thresholds]
+    fpr = [result.rates[t][0] for t in thresholds]
+    assert tpr1 == sorted(tpr1), "TPR(attack1) must not decrease"
+    assert max(tpr1) >= 0.75
+    # ...but the most sensitive setting has an unacceptable FPR while
+    # attack2 still mostly slips through.
+    assert fpr[-1] >= 0.5
+    tpr2_at_safe_threshold = result.rates[thresholds[0]][2]
+    assert tpr2_at_safe_threshold <= 0.25

@@ -1,0 +1,13 @@
+"""Bench Table I: regenerate the KSVL inventory (40 types, 342 ALVs)."""
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_ksvl(once):
+    result = once(run_table1)
+    print()
+    print(result.render())
+    # Exact reproduction: the logger schema matches the paper's Table I.
+    assert result.matches_paper
+    assert result.total == 342
+    assert len(result.rows) == 40

@@ -1,0 +1,33 @@
+"""Bench Table II: the KSVL → ESVL → TSVL funnel per controller function.
+
+Paper: PID 28/36/64 → 6 (9.4 %), Sqrt 9/12/21 → 3 (14.3 %),
+SINS 14/19/33 → 3 (9.1 %). The KSVL/added/ESVL columns reproduce exactly
+by construction; the TSVL sizes come out of Algorithm 1 on real flight
+data and must land in the paper's small-single-digit band.
+"""
+
+from repro.experiments.table2 import PAPER_TABLE2, run_table2
+from repro.firmware.mission import line_mission, square_mission
+
+
+def test_table2_tsvl(once):
+    result = once(
+        run_table2,
+        missions=[
+            square_mission(side=30.0, altitude=10.0),
+            line_mission(length=45.0, altitude=10.0, legs=1),
+        ],
+    )
+    print()
+    print(result.render())
+    for kind, (ksvl, added, esvl, tsvl) in PAPER_TABLE2.items():
+        row = result.row(kind)
+        # Structural counts reproduce exactly.
+        assert row.ksvl == ksvl, kind
+        assert row.added == added, kind
+        assert row.esvl == esvl, kind
+        # TSVL size: Algorithm 1 on our flight data, same small band.
+        assert 1 <= row.tsvl <= 2 * tsvl + 2, (kind, row.tsvl)
+        # Selection ratio stays far below half the ESVL (the funnel works).
+        assert row.ratio < 0.35, kind
+    assert result.samples > 500

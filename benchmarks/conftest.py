@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Every bench regenerates one of the paper's tables or figures at laptop
+scale, prints the same rows/series the paper reports and asserts the
+paper's *shape* (who wins, rough factors, crossovers). Each experiment is
+executed exactly once per bench via ``benchmark.pedantic`` — the interest
+is the reproduced result, with wall-clock time as a by-product.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture wrapping :func:`run_once` with the bench's timer."""
+
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: fly a benign mission and inspect the dataflash log.
+
+This is the smallest useful tour of the substrate the ARES pipeline runs
+on: build a virtual IRIS+ running the ArduCopter-style firmware, fly a
+waypoint mission in AUTO mode through the full sensor → EKF → cascaded
+controller loop, and pull signals from the onboard dataflash logger.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.firmware import Vehicle, square_mission
+from repro.sim import SimConfig
+
+
+def main() -> None:
+    # A virtual IRIS+ in light wind; the seed makes the run reproducible.
+    vehicle = Vehicle(SimConfig(seed=42, wind_gust_std=0.3))
+
+    print("Flying a 25 m square mission at 10 m altitude...")
+    mission = square_mission(side=25.0, altitude=10.0)
+    status = vehicle.fly_mission(mission, timeout=180.0)
+
+    state = vehicle.sim.vehicle.state
+    print(f"  mission status : {status.name}")
+    print(f"  flight time    : {vehicle.sim.time:.1f} s")
+    print(f"  final position : N {state.position[0]:.1f} m, "
+          f"E {state.position[1]:.1f} m, alt {state.altitude:.1f} m")
+    print(f"  crashed        : {vehicle.sim.vehicle.crashed}")
+
+    # The dataflash log is the paper's KSVL source: 40 message types.
+    logger = vehicle.logger
+    print("\nDataflash log contents (records per message type):")
+    for msg in ("ATT", "IMU", "EKF1", "PIDR", "RATE", "GPS", "CTUN"):
+        print(f"  {msg:5s} {logger.num_records(msg):5d} records")
+
+    rolls = logger.field("ATT", "R")
+    des_rolls = logger.field("ATT", "DesR")
+    print("\nRoll tracking over the mission:")
+    print(f"  max |roll|        : {np.abs(rolls).max():.1f} deg")
+    print(f"  mean |DesR - R|   : {np.abs(des_rolls - rolls).mean():.2f} deg")
+
+    # The 2 600+ configurable parameters are the paper's attack surface.
+    print(f"\nConfigurable parameters: {len(vehicle.params)}")
+    print(f"  ATC_RAT_RLL_P = {vehicle.params.get('ATC_RAT_RLL_P')}")
+
+    # And the MPU memory map confines each task's variables to a region.
+    print("\nMPU memory regions and bound state variables:")
+    for region in vehicle.memory.regions():
+        count = len(vehicle.memory.variable_names(region.name))
+        print(f"  {region.name:16s} base {region.base:#010x}  "
+              f"{count:3d} variables")
+
+
+if __name__ == "__main__":
+    main()

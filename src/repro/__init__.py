@@ -1,0 +1,56 @@
+"""ARES — data-driven vulnerability assessment of robotic aerial vehicles.
+
+A from-scratch Python reproduction of "Get Your Cyber-Physical Tests
+Done! Data-Driven Vulnerability Assessment of Robotic Aerial Vehicles"
+(DSN 2023): a quadrotor/ArduCopter simulation substrate, the ARES
+profiling → statistical identification → RL exploit-generation pipeline,
+and the three defense families the paper evades.
+
+Quickstart::
+
+    from repro import Ares, AresConfig
+
+    ares = Ares(AresConfig(controller_kind="PID"))
+    ares.profile()            # fly benign missions, build the ESVL
+    result = ares.identify()  # Algorithm 1 -> TSVL
+    ares.exploit(result.tsvl[0], failure="uncontrolled")
+    print(ares.report().render())
+"""
+
+from repro.core import Ares, AresConfig, AssessmentReport, ExploitOutcome
+from repro.exceptions import (
+    AnalysisError,
+    ControlError,
+    DetectionAlarm,
+    LinkError,
+    MemoryAccessViolation,
+    MissionError,
+    ParameterError,
+    ParameterRangeError,
+    ReproError,
+    RLError,
+    SensorError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisError",
+    "Ares",
+    "AresConfig",
+    "AssessmentReport",
+    "ControlError",
+    "DetectionAlarm",
+    "ExploitOutcome",
+    "LinkError",
+    "MemoryAccessViolation",
+    "MissionError",
+    "ParameterError",
+    "ParameterRangeError",
+    "RLError",
+    "ReproError",
+    "SensorError",
+    "SimulationError",
+    "__version__",
+]

@@ -1,0 +1,139 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+fly
+    Fly a benign mission and print a flight summary.
+assess
+    Run the full ARES campaign (profile → identify → exploit → report).
+table1 / table2
+    Regenerate the paper's tables.
+fig N
+    Regenerate one of the paper's figures (3, 5, 6, 7, 8, 9, 10 or 11).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_fly(args: argparse.Namespace) -> int:
+    from repro.firmware import Vehicle, line_mission, square_mission
+    from repro.sim import SimConfig
+
+    vehicle = Vehicle(SimConfig(seed=args.seed, wind_gust_std=0.3))
+    mission = (
+        square_mission(side=args.size, altitude=args.altitude)
+        if args.shape == "square"
+        else line_mission(length=args.size, altitude=args.altitude, legs=1)
+    )
+    status = vehicle.fly_mission(mission, timeout=300.0)
+    state = vehicle.sim.vehicle.state
+    print(f"mission {status.name} in {vehicle.sim.time:.1f}s; "
+          f"final position N {state.position[0]:.1f} E {state.position[1]:.1f} "
+          f"alt {state.altitude:.1f}; crashed={vehicle.sim.vehicle.crashed}")
+    return 0 if status.name == "COMPLETE" else 1
+
+
+def _cmd_assess(args: argparse.Namespace) -> int:
+    from repro import Ares, AresConfig
+    from repro.rl.env import EnvConfig
+
+    config = AresConfig(
+        controller_kind=args.kind,
+        episodes=args.episodes,
+        env=EnvConfig(
+            max_episode_steps=args.steps, physics_hz=100.0, seed=args.seed,
+            use_detector=args.with_detector,
+        ),
+    )
+    ares = Ares(config)
+    print("profiling ...")
+    ares.profile()
+    print("identifying ...")
+    tsvl = ares.identify()
+    print(f"TSVL: {', '.join(tsvl.tsvl)}")
+    variable = args.variable or "PIDR.INTEG"
+    print(f"training exploit against {variable} ...")
+    ares.exploit(variable=variable, failure=args.failure)
+    print()
+    print(ares.report().render())
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.which == "1":
+        from repro.experiments.table1 import run_table1
+
+        print(run_table1().render())
+    else:
+        from repro.experiments.table2 import run_table2
+
+        print(run_table2().render())
+    return 0
+
+
+def _cmd_fig(args: argparse.Namespace) -> int:
+    from repro import experiments as exp
+
+    runners = {
+        "3": exp.run_fig3, "5": exp.run_fig5, "6": exp.run_fig6,
+        "7": exp.run_fig7, "8": exp.run_fig8, "9": exp.run_fig9,
+        "10": exp.run_fig10, "11": exp.run_fig11,
+    }
+    runner = runners.get(args.number)
+    if runner is None:
+        print(f"unknown figure '{args.number}' (choose from {sorted(runners)})",
+              file=sys.stderr)
+        return 2
+    result = runner()
+    print(result.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ARES reproduction: RAV vulnerability assessment",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fly = sub.add_parser("fly", help="fly a benign mission")
+    fly.add_argument("--shape", choices=("square", "line"), default="square")
+    fly.add_argument("--size", type=float, default=25.0)
+    fly.add_argument("--altitude", type=float, default=10.0)
+    fly.add_argument("--seed", type=int, default=0)
+    fly.set_defaults(func=_cmd_fly)
+
+    assess = sub.add_parser("assess", help="run the full ARES campaign")
+    assess.add_argument("--kind", choices=("PID", "Sqrt", "SINS"), default="PID")
+    assess.add_argument("--episodes", type=int, default=15)
+    assess.add_argument("--steps", type=int, default=40)
+    assess.add_argument("--seed", type=int, default=0)
+    assess.add_argument("--variable", default=None)
+    assess.add_argument("--failure", choices=("uncontrolled", "controlled"),
+                        default="uncontrolled")
+    assess.add_argument("--with-detector", action="store_true")
+    assess.set_defaults(func=_cmd_assess)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("which", choices=("1", "2"))
+    table.set_defaults(func=_cmd_table)
+
+    fig = sub.add_parser("fig", help="regenerate a paper figure")
+    fig.add_argument("number")
+    fig.set_defaults(func=_cmd_fig)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""Multivariate statistical identification of vulnerable state variables."""
+
+from repro.analysis.clustering import (
+    ClusteringResult,
+    cluster_by_correlation,
+    dendrogram_order,
+)
+from repro.analysis.correlation import (
+    CorrelationResult,
+    correlation_matrix,
+    pearson,
+)
+from repro.analysis.forensics import (
+    ForensicReport,
+    SignalFinding,
+    analyse_flight_log,
+)
+from repro.analysis.pruning import (
+    PruningConfig,
+    PruningReport,
+    prune_state_variables,
+)
+from repro.analysis.regression import OLSResult, fit_ols
+from repro.analysis.stepwise import StepwiseResult, stepwise_aic
+from repro.analysis.tsvl import TsvlConfig, TsvlResult, generate_tsvl
+
+__all__ = [
+    "ClusteringResult",
+    "CorrelationResult",
+    "ForensicReport",
+    "SignalFinding",
+    "analyse_flight_log",
+    "OLSResult",
+    "PruningConfig",
+    "PruningReport",
+    "StepwiseResult",
+    "TsvlConfig",
+    "TsvlResult",
+    "cluster_by_correlation",
+    "correlation_matrix",
+    "dendrogram_order",
+    "fit_ols",
+    "generate_tsvl",
+    "pearson",
+    "prune_state_variables",
+    "stepwise_aic",
+]

@@ -1,0 +1,107 @@
+"""Hierarchical clustering of state variables by correlation distance.
+
+Algorithm 1 line 17 (HIE-CLUSTER): agglomerative clustering over the
+distance ``d(i, j) = 1 - |r_ij|`` so strongly (anti-)correlated variables
+land in the same subset. Chosen over K-means because "it does not require
+a pre-specified number of clusters" (Section IV-B) — the tree is cut at a
+distance threshold instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.cluster import hierarchy
+from scipy.spatial.distance import squareform
+
+from repro.analysis.correlation import CorrelationResult
+from repro.exceptions import AnalysisError
+
+__all__ = ["ClusteringResult", "cluster_by_correlation", "dendrogram_order"]
+
+
+@dataclass
+class ClusteringResult:
+    """Variable subsets produced by cutting the dendrogram."""
+
+    clusters: list[list[str]]
+    labels: dict[str, int]
+    linkage: np.ndarray
+    names: list[str]
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of subsets."""
+        return len(self.clusters)
+
+    def cluster_of(self, name: str) -> list[str]:
+        """The subset containing ``name``."""
+        return self.clusters[self.labels[name]]
+
+
+def _correlation_distance(corr: CorrelationResult, names: list[str]) -> np.ndarray:
+    idx = [corr.names.index(n) for n in names]
+    sub = corr.matrix[np.ix_(idx, idx)]
+    if np.isnan(sub).any():
+        raise AnalysisError(
+            "correlation matrix contains NaN; prune constant variables first"
+        )
+    distance = 1.0 - np.abs(sub)
+    distance = np.clip((distance + distance.T) / 2.0, 0.0, 1.0)
+    np.fill_diagonal(distance, 0.0)
+    return distance
+
+
+def cluster_by_correlation(
+    corr: CorrelationResult,
+    names: list[str] | None = None,
+    distance_threshold: float = 0.6,
+    method: str = "average",
+) -> ClusteringResult:
+    """Cut an agglomerative tree over ``1 - |r|`` at ``distance_threshold``.
+
+    Parameters
+    ----------
+    corr:
+        Full-ESVL correlation result.
+    names:
+        Variables to cluster (default: all non-NaN columns of ``corr``).
+    distance_threshold:
+        Maximum within-cluster cophenetic distance; 0.6 keeps pairs with
+        |r| ≳ 0.4 together under average linkage.
+    """
+    if names is None:
+        names = [
+            n for i, n in enumerate(corr.names)
+            if not np.isnan(corr.matrix[i]).all()
+        ]
+    if len(names) < 2:
+        return ClusteringResult(
+            clusters=[list(names)],
+            labels={n: 0 for n in names},
+            linkage=np.zeros((0, 4)),
+            names=list(names),
+        )
+    distance = _correlation_distance(corr, names)
+    condensed = squareform(distance, checks=False)
+    linkage = hierarchy.linkage(condensed, method=method)
+    flat = hierarchy.fcluster(linkage, t=distance_threshold, criterion="distance")
+    clusters: dict[int, list[str]] = {}
+    for name, cluster_id in zip(names, flat):
+        clusters.setdefault(int(cluster_id), []).append(name)
+    ordered = [clusters[k] for k in sorted(clusters)]
+    labels = {
+        name: idx for idx, members in enumerate(ordered) for name in members
+    }
+    return ClusteringResult(
+        clusters=ordered, labels=labels, linkage=linkage, names=list(names)
+    )
+
+
+def dendrogram_order(result: ClusteringResult) -> list[str]:
+    """Leaf order of the dendrogram (the Fig. 5 heat-map axis order)."""
+    if result.linkage.shape[0] == 0:
+        return list(result.names)
+    leaves = hierarchy.leaves_list(result.linkage)
+    return [result.names[i] for i in leaves]

@@ -1,0 +1,87 @@
+"""Pairwise Pearson correlation over the ESVL time series (Eq. 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+from repro.utils.timeseries import TraceTable
+
+__all__ = ["CorrelationResult", "pearson", "correlation_matrix"]
+
+
+@dataclass
+class CorrelationResult:
+    """Correlation matrix plus the column names it is indexed by."""
+
+    names: list[str]
+    matrix: np.ndarray
+
+    def value(self, a: str, b: str) -> float:
+        """Correlation coefficient between two named variables."""
+        i, j = self.names.index(a), self.names.index(b)
+        return float(self.matrix[i, j])
+
+    def strongest_partners(self, name: str, k: int = 5) -> list[tuple[str, float]]:
+        """The ``k`` variables most correlated (by |r|) with ``name``."""
+        i = self.names.index(name)
+        scored = [
+            (other, float(self.matrix[i, j]))
+            for j, other in enumerate(self.names)
+            if j != i and np.isfinite(self.matrix[i, j])
+        ]
+        scored.sort(key=lambda item: abs(item[1]), reverse=True)
+        return scored[:k]
+
+    def significant_pairs(self, threshold: float = 0.5) -> list[tuple[str, str, float]]:
+        """All unordered pairs with |r| above ``threshold`` (Fig. 3 edges)."""
+        pairs = []
+        n = len(self.names)
+        for i in range(n):
+            for j in range(i + 1, n):
+                r = float(self.matrix[i, j])
+                if np.isfinite(r) and abs(r) >= threshold:
+                    pairs.append((self.names[i], self.names[j], r))
+        pairs.sort(key=lambda item: abs(item[2]), reverse=True)
+        return pairs
+
+
+def pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient of two equal-length series (Eq. 1).
+
+    Returns ``nan`` when either series is constant (the coefficient is
+    undefined); Algorithm 1 prunes such variables before use.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape:
+        raise AnalysisError(f"length mismatch: {x.shape} vs {y.shape}")
+    if x.size < 2:
+        raise AnalysisError("need at least two samples")
+    xc = x - x.mean()
+    yc = y - y.mean()
+    denom = np.sqrt(np.sum(xc * xc) * np.sum(yc * yc))
+    if denom < 1e-300:
+        return float("nan")
+    return float(np.sum(xc * yc) / denom)
+
+
+def correlation_matrix(table: TraceTable) -> CorrelationResult:
+    """Pairwise Pearson coefficients for every column of ``table``."""
+    matrix = table.to_matrix()
+    if matrix.shape[0] < 2:
+        raise AnalysisError("need at least two rows to correlate")
+    centered = matrix - matrix.mean(axis=0)
+    norms = np.sqrt(np.sum(centered * centered, axis=0))
+    with np.errstate(invalid="ignore", divide="ignore"):
+        normalised = np.where(norms > 1e-300, centered / norms, np.nan)
+        corr = normalised.T @ normalised
+    corr = np.clip(corr, -1.0, 1.0)
+    np.fill_diagonal(corr, 1.0)
+    # Constant columns have nan rows/columns (undefined correlation).
+    constant = norms <= 1e-300
+    corr[constant, :] = np.nan
+    corr[:, constant] = np.nan
+    return CorrelationResult(names=list(table.columns), matrix=corr)

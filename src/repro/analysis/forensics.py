@@ -1,0 +1,126 @@
+"""Offline log forensics: locate the manipulation onset after the fact.
+
+A MAYDAY-style post-mortem (the paper cites MAYDAY [9] as the accident-
+investigation counterpart to ARES): given the dataflash log of a flight
+that ended badly, estimate *when* the behaviour left its benign envelope
+and *which* logged signals moved first — the starting point an
+investigator needs before attributing a crash to a state-variable attack.
+
+Method: for each analysed signal, a benign envelope (rolling-window
+z-score against the signal's own early-flight statistics) flags anomalous
+samples; the report orders signals by first-anomaly time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+from repro.firmware.logger import DataflashLogger
+
+__all__ = ["SignalFinding", "ForensicReport", "analyse_flight_log"]
+
+
+@dataclass
+class SignalFinding:
+    """First-anomaly information for one logged signal."""
+
+    signal: str
+    onset_time: float
+    peak_zscore: float
+    baseline_mean: float
+    baseline_std: float
+
+
+@dataclass
+class ForensicReport:
+    """Ordered anomaly findings for one flight log."""
+
+    findings: list[SignalFinding] = field(default_factory=list)
+    baseline_window: tuple[float, float] = (0.0, 0.0)
+
+    @property
+    def earliest_onset(self) -> float | None:
+        """Time of the first anomaly across all signals."""
+        if not self.findings:
+            return None
+        return min(f.onset_time for f in self.findings)
+
+    def render(self) -> str:
+        """Investigator-facing summary."""
+        lines = [
+            "Flight-log forensics",
+            f"  baseline window: {self.baseline_window[0]:.1f}-"
+            f"{self.baseline_window[1]:.1f} s",
+        ]
+        if not self.findings:
+            lines.append("  no anomalies found")
+            return "\n".join(lines)
+        lines.append("  signal            onset    peak z")
+        for finding in sorted(self.findings, key=lambda f: f.onset_time):
+            lines.append(
+                f"  {finding.signal:16s} {finding.onset_time:6.1f}s "
+                f"{finding.peak_zscore:8.1f}"
+            )
+        return "\n".join(lines)
+
+
+#: Default signals an investigator inspects first (attitude + PID terms).
+DEFAULT_SIGNALS = (
+    "ATT.R", "ATT.DesR", "ATT.IRErr", "PIDR.I", "PIDR.P", "RATE.ROut",
+)
+
+
+def analyse_flight_log(
+    logger: DataflashLogger,
+    signals=DEFAULT_SIGNALS,
+    baseline_fraction: float = 0.3,
+    z_threshold: float = 6.0,
+    min_baseline_samples: int = 30,
+) -> ForensicReport:
+    """Scan a flight log for the first out-of-envelope samples.
+
+    Parameters
+    ----------
+    logger:
+        The flight's dataflash log.
+    signals:
+        ``MSG.Field`` names to analyse.
+    baseline_fraction:
+        Leading fraction of the flight treated as the benign baseline.
+    z_threshold:
+        Z-score beyond which a sample counts as anomalous.
+    """
+    if not 0.0 < baseline_fraction < 1.0:
+        raise AnalysisError("baseline_fraction must be in (0, 1)")
+    report = ForensicReport()
+    for column in signals:
+        msg, _, fieldname = column.partition(".")
+        if not fieldname:
+            raise AnalysisError(f"signal '{column}' must look like MSG.Field")
+        records = logger.records(msg)
+        if len(records) < min_baseline_samples * 2:
+            continue
+        times = np.array([t for t, _ in records])
+        values = np.array([rec[fieldname] for _, rec in records])
+        split = max(int(len(values) * baseline_fraction), min_baseline_samples)
+        baseline = values[:split]
+        mean = float(baseline.mean())
+        std = float(max(baseline.std(), 1e-9))
+        z = np.abs(values - mean) / std
+        anomalous = np.flatnonzero(z[split:] > z_threshold)
+        report.baseline_window = (float(times[0]), float(times[split - 1]))
+        if anomalous.size:
+            first = split + int(anomalous[0])
+            report.findings.append(
+                SignalFinding(
+                    signal=column,
+                    onset_time=float(times[first]),
+                    peak_zscore=float(z[split:].max()),
+                    baseline_mean=mean,
+                    baseline_std=std,
+                )
+            )
+    return report

@@ -1,0 +1,99 @@
+"""ESVL pruning: the statistical-assumption checks of Algorithm 1 (l.1–5).
+
+A state variable survives pruning when it is
+
+* non-constant (constants like the KP/KI/KD gains carry no correlation
+  information — the paper drops v1(KP), v2(KI), v3(KD) this way),
+* continuous enough (not a few-valued discrete flag), and
+* plausibly usable in a linear model: bounded skewness/kurtosis
+  ("NormDist") and not a frozen, perfectly self-predicting series ("iid").
+
+Real flight telemetry never passes textbook normality tests at n≈3000, so
+the thresholds are deliberately loose and configurable; the paper applies
+the same pragmatism (its Fig. 5 retains heavy-tailed variables like tv).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.timeseries import TraceTable
+
+__all__ = ["PruningConfig", "PruningReport", "prune_state_variables"]
+
+
+@dataclass
+class PruningConfig:
+    """Thresholds for the assumption checks."""
+
+    constant_std: float = 1e-9
+    min_unique_values: int = 8
+    max_abs_skewness: float = 15.0
+    max_excess_kurtosis: float = 150.0
+    max_lag1_autocorr: float = 0.9999
+
+
+@dataclass
+class PruningReport:
+    """Outcome of pruning one ESVL."""
+
+    kept: list[str] = field(default_factory=list)
+    dropped: dict[str, str] = field(default_factory=dict)  # name -> reason
+
+    @property
+    def num_kept(self) -> int:
+        """Number of variables surviving the checks."""
+        return len(self.kept)
+
+
+def _skewness(x: np.ndarray) -> float:
+    std = x.std()
+    if std < 1e-12:
+        return 0.0
+    return float(np.mean(((x - x.mean()) / std) ** 3))
+
+
+def _excess_kurtosis(x: np.ndarray) -> float:
+    std = x.std()
+    if std < 1e-12:
+        return 0.0
+    return float(np.mean(((x - x.mean()) / std) ** 4) - 3.0)
+
+
+def _lag1_autocorr(x: np.ndarray) -> float:
+    if x.size < 3:
+        return 0.0
+    a, b = x[:-1], x[1:]
+    sa, sb = a.std(), b.std()
+    if sa < 1e-12 or sb < 1e-12:
+        return 1.0
+    return float(np.mean((a - a.mean()) * (b - b.mean())) / (sa * sb))
+
+
+def prune_state_variables(
+    table: TraceTable, config: PruningConfig | None = None
+) -> PruningReport:
+    """Apply Algorithm 1's PRUNESTATEVARLIST to every column of ``table``."""
+    config = config or PruningConfig()
+    report = PruningReport()
+    for name in table.columns:
+        x = table.column(name)
+        if x.std() <= config.constant_std:
+            report.dropped[name] = "constant"
+            continue
+        if np.unique(np.round(x, 12)).size < config.min_unique_values:
+            report.dropped[name] = "discrete"
+            continue
+        if abs(_skewness(x)) > config.max_abs_skewness:
+            report.dropped[name] = "not normally distributed (skewness)"
+            continue
+        if _excess_kurtosis(x) > config.max_excess_kurtosis:
+            report.dropped[name] = "not normally distributed (kurtosis)"
+            continue
+        if abs(_lag1_autocorr(x)) > config.max_lag1_autocorr:
+            report.dropped[name] = "not iid (frozen series)"
+            continue
+        report.kept.append(name)
+    return report

@@ -1,0 +1,108 @@
+"""Ordinary least squares with AIC and coefficient p-values.
+
+The model-comparison machinery behind Algorithm 1's STEPWISEAIC (line 19)
+and CHECKSIGNIFICANCELEVEL (lines 6–11).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.exceptions import AnalysisError
+
+__all__ = ["OLSResult", "fit_ols"]
+
+
+@dataclass
+class OLSResult:
+    """A fitted linear model ``y = b0 + X @ b``."""
+
+    response: str
+    predictors: list[str]
+    coefficients: np.ndarray  # [intercept, b1, ..., bk]
+    std_errors: np.ndarray
+    p_values: np.ndarray  # per predictor (excluding intercept)
+    rss: float
+    aic: float
+    r_squared: float
+    n_samples: int
+
+    def significant_predictors(self, alpha: float = 0.05) -> list[str]:
+        """Predictors whose coefficient p-value is below ``alpha``."""
+        return [
+            name for name, p in zip(self.predictors, self.p_values) if p < alpha
+        ]
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted model on an (n, k) predictor matrix."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        return self.coefficients[0] + X @ self.coefficients[1:]
+
+
+def fit_ols(
+    y: np.ndarray,
+    X: np.ndarray,
+    response: str = "y",
+    predictors: list[str] | None = None,
+) -> OLSResult:
+    """Fit OLS with intercept; returns coefficients, p-values and AIC.
+
+    AIC follows the Gaussian-likelihood convention
+    ``n * ln(RSS / n) + 2k`` with ``k = #predictors + 2`` (intercept and
+    variance), the form R's ``step()`` uses up to an additive constant.
+    """
+    y = np.asarray(y, dtype=float)
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    n, k = X.shape
+    if y.shape[0] != n:
+        raise AnalysisError(f"response length {y.shape[0]} != {n} rows")
+    if predictors is None:
+        predictors = [f"x{i}" for i in range(k)]
+    if len(predictors) != k:
+        raise AnalysisError("predictor-name count mismatch")
+    if n <= k + 1:
+        raise AnalysisError(f"need more than {k + 1} samples, got {n}")
+
+    design = np.column_stack([np.ones(n), X])
+    coef, _, rank, _ = np.linalg.lstsq(design, y, rcond=None)
+    residuals = y - design @ coef
+    rss = float(residuals @ residuals)
+    tss = float(np.sum((y - y.mean()) ** 2))
+    r_squared = 1.0 - rss / tss if tss > 0.0 else 1.0
+
+    dof = n - (k + 1)
+    sigma2 = rss / dof if dof > 0 else float("inf")
+    # Covariance of the estimator; pseudo-inverse guards collinear designs.
+    xtx_inv = np.linalg.pinv(design.T @ design)
+    std_errors = np.sqrt(np.clip(np.diag(xtx_inv) * sigma2, 0.0, None))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t_stats = np.where(std_errors > 0, coef / std_errors, np.inf)
+    p_all = 2.0 * stats.t.sf(np.abs(t_stats), df=max(dof, 1))
+    # Rank-deficient columns get p = 1 (no evidence).
+    if rank < k + 1:
+        p_all = np.where(std_errors > 0, p_all, 1.0)
+
+    n_params = k + 2
+    if rss <= 0.0:
+        aic = -math.inf
+    else:
+        aic = n * math.log(rss / n) + 2.0 * n_params
+    return OLSResult(
+        response=response,
+        predictors=list(predictors),
+        coefficients=coef,
+        std_errors=std_errors,
+        p_values=p_all[1:],
+        rss=rss,
+        aic=aic,
+        r_squared=r_squared,
+        n_samples=n,
+    )

@@ -1,0 +1,115 @@
+"""Stepwise AIC feature selection (Algorithm 1, STEPWISEAIC).
+
+Bidirectional stepwise search: starting from the empty model, repeatedly
+apply the single add-or-drop move that lowers AIC the most, until no move
+improves it — the procedure of R's ``step()`` with ``direction="both"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.regression import OLSResult, fit_ols
+from repro.exceptions import AnalysisError
+from repro.utils.timeseries import TraceTable
+
+__all__ = ["StepwiseResult", "stepwise_aic"]
+
+
+@dataclass
+class StepwiseResult:
+    """Outcome of one stepwise search."""
+
+    response: str
+    model: OLSResult | None
+    selected: list[str]
+    history: list[tuple[str, str, float]]  # (op, variable, aic)
+
+
+def _fit(table: TraceTable, response: str, predictors: list[str]) -> OLSResult:
+    y = table.column(response)
+    if predictors:
+        X = np.column_stack([table.column(p) for p in predictors])
+    else:
+        X = np.zeros((len(table), 0))
+    if not predictors:
+        # Intercept-only model: AIC with k = 0 predictors.
+        n = y.shape[0]
+        rss = float(np.sum((y - y.mean()) ** 2))
+        aic = n * np.log(max(rss, 1e-300) / n) + 2.0 * 2
+        return OLSResult(
+            response=response, predictors=[],
+            coefficients=np.array([y.mean()]),
+            std_errors=np.array([0.0]), p_values=np.zeros(0),
+            rss=rss, aic=float(aic), r_squared=0.0, n_samples=n,
+        )
+    return fit_ols(y, X, response=response, predictors=predictors)
+
+
+def stepwise_aic(
+    table: TraceTable,
+    response: str,
+    candidates: list[str],
+    max_steps: int = 200,
+) -> StepwiseResult:
+    """Select the AIC-optimal predictor subset for ``response``.
+
+    Parameters
+    ----------
+    table:
+        Aligned ESVL dataset.
+    response:
+        Column to model (a vehicle dynamics variable, e.g. the roll angle).
+    candidates:
+        Explanatory columns considered for inclusion.
+    """
+    if response not in table:
+        raise AnalysisError(f"response '{response}' not in table")
+    candidates = [c for c in candidates if c != response]
+    missing = [c for c in candidates if c not in table]
+    if missing:
+        raise AnalysisError(f"candidates not in table: {missing}")
+
+    current: list[str] = []
+    current_model = _fit(table, response, current)
+    best_aic = current_model.aic
+    history: list[tuple[str, str, float]] = [("start", "", best_aic)]
+
+    for _ in range(max_steps):
+        best_move: tuple[str, str] | None = None
+        best_move_aic = best_aic
+        best_move_model = None
+        for candidate in candidates:
+            if candidate in current:
+                continue
+            model = _fit(table, response, current + [candidate])
+            if model.aic < best_move_aic - 1e-9:
+                best_move = ("add", candidate)
+                best_move_aic = model.aic
+                best_move_model = model
+        for included in current:
+            reduced = [c for c in current if c != included]
+            model = _fit(table, response, reduced)
+            if model.aic < best_move_aic - 1e-9:
+                best_move = ("drop", included)
+                best_move_aic = model.aic
+                best_move_model = model
+        if best_move is None:
+            break
+        op, variable = best_move
+        if op == "add":
+            current = current + [variable]
+        else:
+            current = [c for c in current if c != variable]
+        current_model = best_move_model
+        best_aic = best_move_aic
+        history.append((op, variable, best_aic))
+
+    return StepwiseResult(
+        response=response,
+        model=current_model if current else None,
+        selected=list(current),
+        history=history,
+    )

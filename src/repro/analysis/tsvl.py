@@ -1,0 +1,148 @@
+"""Target state variable list generation — the paper's Algorithm 1.
+
+Pipeline: pairwise Pearson correlation → assumption pruning → hierarchical
+clustering on the correlation matrix → per-cluster stepwise-AIC regression
+against the cluster's vehicle-dynamics variables → keep predictors with
+p < 0.05. The surviving variables form the TSVL, the candidate attack
+surface handed to the RL exploit generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.clustering import ClusteringResult, cluster_by_correlation
+from repro.analysis.correlation import CorrelationResult, correlation_matrix
+from repro.analysis.pruning import PruningConfig, PruningReport, prune_state_variables
+from repro.analysis.stepwise import StepwiseResult, stepwise_aic
+from repro.exceptions import AnalysisError
+from repro.utils.timeseries import TraceTable
+
+__all__ = ["TsvlConfig", "TsvlResult", "generate_tsvl"]
+
+
+@dataclass
+class TsvlConfig:
+    """Tunables of the identification pipeline."""
+
+    significance_alpha: float = 0.05
+    cluster_distance_threshold: float = 0.6
+    pruning: PruningConfig = field(default_factory=PruningConfig)
+    #: Keep at most this many TSVL entries per response, strongest first
+    #: (None = unbounded). The paper reports compact TSVLs (Table II).
+    max_per_response: int | None = None
+    #: Candidates whose |r| with the response exceeds this are treated as
+    #: aliases of the response (e.g. two log channels of the same physical
+    #: roll estimate) and excluded — the alias-tracking concern the paper
+    #: inherits from points-to analysis (Section VI, Limitations).
+    alias_threshold: float = 0.995
+    #: Besides the response's own cluster, variables whose |r| with the
+    #: response is at least this floor join the explanatory candidate set —
+    #: matching the paper's Fig. 3 search over "(P, DesP, INPUT, DesR, tv,
+    #: INTEG, IR)", which spans correlation partners beyond one cluster.
+    min_correlation: float = 0.1
+
+
+@dataclass
+class TsvlResult:
+    """Everything Algorithm 1 produced, for reporting and benchmarks."""
+
+    tsvl: list[str]
+    correlation: CorrelationResult
+    pruning: PruningReport
+    clustering: ClusteringResult
+    models: dict[str, StepwiseResult]
+    esvl_size: int
+    responses_used: list[str]
+
+    @property
+    def selection_ratio(self) -> float:
+        """|TSVL| / |ESVL| — the last column of Table II."""
+        if self.esvl_size == 0:
+            return 0.0
+        return len(self.tsvl) / self.esvl_size
+
+
+def generate_tsvl(
+    table: TraceTable,
+    dynamics_variables: list[str],
+    config: TsvlConfig | None = None,
+) -> TsvlResult:
+    """Run Algorithm 1 over an aligned ESVL dataset.
+
+    Parameters
+    ----------
+    table:
+        Profiling dataset; columns are the ESVL.
+    dynamics_variables:
+        The essential vehicle-dynamics columns to explain (the paper's
+        response variables, e.g. ``ATT.R`` for the roll angle).
+    config:
+        Pipeline thresholds.
+    """
+    config = config or TsvlConfig()
+    if not dynamics_variables:
+        raise AnalysisError("need at least one dynamics (response) variable")
+    missing = [v for v in dynamics_variables if v not in table]
+    if missing:
+        raise AnalysisError(f"dynamics variables not in ESVL: {missing}")
+
+    corr = correlation_matrix(table)  # line 14-15
+    pruning = prune_state_variables(table, config.pruning)  # line 16
+    if len(pruning.kept) < 2:
+        raise AnalysisError(
+            "fewer than two variables survive pruning; "
+            f"dropped: {pruning.dropped}"
+        )
+    clustering = cluster_by_correlation(  # line 17
+        corr, names=pruning.kept,
+        distance_threshold=config.cluster_distance_threshold,
+    )
+
+    tsvl: list[str] = []
+    models: dict[str, StepwiseResult] = {}
+    responses_used: list[str] = []
+    for subset in clustering.clusters:  # line 18
+        responses = [v for v in dynamics_variables if v in subset]
+        for response in responses:
+            partners = [
+                v for v in pruning.kept
+                if v not in subset
+                and abs(corr.value(response, v)) >= config.min_correlation
+            ]
+            candidates = [
+                v for v in list(subset) + partners
+                if v != response
+                and v not in dynamics_variables
+                and abs(corr.value(response, v)) < config.alias_threshold
+            ]
+            if not candidates:
+                continue
+            result = stepwise_aic(table, response, candidates)  # line 19
+            models[response] = result
+            responses_used.append(response)
+            if result.model is None:
+                continue
+            significant = result.model.significant_predictors(  # line 20
+                config.significance_alpha
+            )
+            if config.max_per_response is not None:
+                # Rank by significance (smallest p first).
+                p_by_name = dict(
+                    zip(result.model.predictors, result.model.p_values)
+                )
+                significant = sorted(significant, key=lambda n: p_by_name[n])
+                significant = significant[: config.max_per_response]
+            for name in significant:  # line 21
+                if name not in tsvl:
+                    tsvl.append(name)
+
+    return TsvlResult(
+        tsvl=tsvl,
+        correlation=corr,
+        pruning=pruning,
+        clustering=clustering,
+        models=models,
+        esvl_size=len(table.columns),
+        responses_used=responses_used,
+    )

@@ -1,0 +1,24 @@
+"""Attack implementations: naive baseline, gradual stealthy, RL-driven."""
+
+from repro.attacks.base import Attack, AttackResult, track_max_deviation
+from repro.attacks.gradual import (
+    GradualRollAttack,
+    OutputPerturbationAttack,
+    ScalerDriftAttack,
+)
+from repro.attacks.injection import ParamSetAttack, VariableManipulator
+from repro.attacks.naive import NaiveRollAttack
+from repro.attacks.sensor_spoof import GyroSpoofAttack
+
+__all__ = [
+    "Attack",
+    "AttackResult",
+    "GradualRollAttack",
+    "GyroSpoofAttack",
+    "NaiveRollAttack",
+    "OutputPerturbationAttack",
+    "ParamSetAttack",
+    "ScalerDriftAttack",
+    "VariableManipulator",
+    "track_max_deviation",
+]

@@ -1,0 +1,128 @@
+"""Attack framework: lifecycle, injection cadence, result summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["AttackResult", "Attack"]
+
+
+@dataclass
+class AttackResult:
+    """Summary of one attack run for reports and benchmarks."""
+
+    name: str
+    started_at: float
+    injections: int = 0
+    detected: bool = False
+    detection_time: float | None = None
+    crashed: bool = False
+    crash_reason: str | None = None
+    max_path_deviation: float = 0.0
+    notes: dict[str, float] = field(default_factory=dict)
+
+
+class Attack:
+    """Base class for runtime attacks against a vehicle.
+
+    An attack attaches to the vehicle's ``pre_control`` hook and becomes
+    active at ``start_time``; subclasses implement :meth:`_inject`, called
+    once per control cycle while active. Manipulations of protected state
+    must go through the attacker's compromised memory view — the base
+    class creates one on attach.
+    """
+
+    def __init__(self, name: str, start_time: float = 0.0,
+                 region: str | None = None):
+        self.name = name
+        self.start_time = start_time
+        self.region = region
+        self.view = None
+        self.active = False
+        self.result: AttackResult | None = None
+        self._vehicle = None
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the attack became active (0 before)."""
+        if self._vehicle is None or not self.active:
+            return 0.0
+        return self._vehicle.sim.time - self.start_time
+
+    def attach(self, vehicle) -> None:
+        """Install on the vehicle; acquires the compromised memory view."""
+        from repro.firmware.vehicle import STABILIZER_REGION
+
+        self._vehicle = vehicle
+        self.view = vehicle.compromised_view(self.region or STABILIZER_REGION)
+        self.result = AttackResult(name=self.name, started_at=self.start_time)
+        vehicle.pre_control_hooks.append(self._on_cycle)
+        self._on_attach(vehicle)
+
+    def detach(self) -> None:
+        """Remove from the vehicle."""
+        if self._vehicle is not None and self._on_cycle in self._vehicle.pre_control_hooks:
+            self._vehicle.pre_control_hooks.remove(self._on_cycle)
+        self._on_detach()
+        self._vehicle = None
+        self.active = False
+
+    def _on_cycle(self, vehicle) -> None:
+        if vehicle.sim.time < self.start_time:
+            return
+        if not self.active:
+            self.active = True
+            self._on_start(vehicle)
+        self._inject(vehicle)
+
+    def finalize(self, detectors=()) -> AttackResult:
+        """Fill the result summary from the vehicle and detector states."""
+        result = self.result
+        vehicle = self._vehicle
+        if result is None or vehicle is None:
+            raise RuntimeError("attack was never attached")
+        result.crashed = vehicle.sim.vehicle.crashed
+        result.crash_reason = vehicle.sim.vehicle.crash_reason
+        if self.view is not None:
+            result.injections = len(self.view.write_log)
+        for detector in detectors:
+            if detector.alarmed:
+                result.detected = True
+                first = detector.first_alarm_time
+                if result.detection_time is None or (
+                    first is not None and first < result.detection_time
+                ):
+                    result.detection_time = first
+        if vehicle.mission is not None:
+            deviation = vehicle.mission.cross_track_distance(
+                vehicle.sim.vehicle.state.position
+            )
+            result.max_path_deviation = max(result.max_path_deviation, deviation)
+        return result
+
+    # -- subclass API -------------------------------------------------- #
+    def _inject(self, vehicle) -> None:
+        """Perform this cycle's manipulation (called while active)."""
+        raise NotImplementedError
+
+    def _on_attach(self, vehicle) -> None:
+        """Extra attach-time setup (default: nothing)."""
+
+    def _on_start(self, vehicle) -> None:
+        """Called once when the attack becomes active."""
+
+    def _on_detach(self) -> None:
+        """Extra detach-time teardown (default: nothing)."""
+
+
+def track_max_deviation(attack: Attack, vehicle) -> None:
+    """Helper: update the running max path deviation on the result."""
+    if attack.result is not None and vehicle.mission is not None:
+        deviation = vehicle.mission.cross_track_distance(
+            vehicle.sim.vehicle.state.position
+        )
+        attack.result.max_path_deviation = max(
+            attack.result.max_path_deviation, float(deviation)
+        )

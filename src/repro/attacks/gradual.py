@@ -1,0 +1,158 @@
+"""ARES' gradual stealthy manipulations.
+
+Three attack shapes from the paper's evaluation:
+
+* :class:`GradualRollAttack` — inject the PIDR integrator through the
+  compromised stabilizer region so the roll angle creeps at a chosen rate
+  (Fig. 6: 2.5°/s to 45°; Fig. 9's Attack 1 / Attack 2 differ only in
+  rate), defeating the windowed control-invariants threshold.
+* :class:`ScalerDriftAttack` — slowly drift the PIDR output scaler during
+  hover (Fig. 7), disturbing stabilisation while the control-output
+  distance stays inside the benign band.
+* :class:`OutputPerturbationAttack` — add a growing perturbation to the
+  roll torque command after the PID (Fig. 8), exploiting the ±5000
+  oversized output range: actuation genuinely changes, so the EKF-vs-AHRS
+  residual stays near zero while the vehicle destabilises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, track_max_deviation
+from repro.utils.math3d import constrain, deg2rad
+
+__all__ = ["GradualRollAttack", "ScalerDriftAttack", "OutputPerturbationAttack"]
+
+
+class GradualRollAttack(Attack):
+    """Integrator injection producing a controlled roll-angle ramp.
+
+    Every ``injection_period`` seconds (the paper's 0.3 s agent step) the
+    attack writes ``PIDR.INTEG`` through the compromised memory view. The
+    written value is chosen by a slow proportional law so the achieved
+    roll tracks the ramp ``rate_deg_s * t`` up to ``max_roll_deg`` — the
+    same tracking behaviour the paper's RL agent learns.
+    """
+
+    def __init__(
+        self,
+        rate_deg_s: float = 2.5,
+        max_roll_deg: float = 45.0,
+        start_time: float = 5.0,
+        injection_period: float = 0.3,
+        injection_gain: float = 0.2,
+        variable: str = "PIDR.INTEG",
+        integ_limit: float = 0.45,
+    ):
+        super().__init__("gradual-roll", start_time=start_time)
+        self.rate_rad_s = deg2rad(rate_deg_s)
+        self.max_roll_rad = deg2rad(max_roll_deg)
+        self.injection_period = injection_period
+        self.injection_gain = injection_gain
+        self.variable = variable
+        #: Clamp on the written integrator value. The default uses the
+        #: full IMAX authority; against a deployed output monitor the
+        #: attacker tunes this down to stay inside the benign envelope
+        #: (the magnitude search ARES' RL agent performs).
+        self.integ_limit = integ_limit
+        self._last_injection = -np.inf
+        self._integ_cmd = 0.0
+
+    def _on_start(self, vehicle) -> None:
+        self._last_injection = -np.inf
+        self._integ_cmd = 0.0
+
+    def _inject(self, vehicle) -> None:
+        now = vehicle.sim.time
+        if now - self._last_injection < self.injection_period:
+            return
+        self._last_injection = now
+        desired_roll = min(self.rate_rad_s * self.elapsed, self.max_roll_rad)
+        _, _, euler, _ = vehicle.estimated_state()
+        error = desired_roll - euler[0]
+        self._integ_cmd = constrain(
+            self._integ_cmd + self.injection_gain * error,
+            -self.integ_limit, self.integ_limit,
+        )
+        self.view.write(self.variable, self._integ_cmd)
+        track_max_deviation(self, vehicle)
+
+
+class ScalerDriftAttack(Attack):
+    """Gradually drift the PIDR output scaler away from 1.0 (Fig. 7).
+
+    The default drifts the scaler *down* (weakening roll stabilisation so
+    the vehicle wanders off its hover point): attenuation keeps the
+    actual output close to the monitor's prediction of the benign
+    controller — inside the 0.01 benign error band — whereas a naive
+    input-space attack blows far past it.
+    """
+
+    def __init__(
+        self,
+        drift_per_s: float = -0.015,
+        scaler_limit: float = 0.55,
+        start_time: float = 12.0,
+        variable: str = "PIDR.SCALER",
+    ):
+        super().__init__("scaler-drift", start_time=start_time)
+        self.drift_per_s = drift_per_s
+        self.scaler_limit = scaler_limit
+        self.variable = variable
+
+    def _inject(self, vehicle) -> None:
+        scaler = 1.0 + self.drift_per_s * self.elapsed
+        if self.drift_per_s < 0.0:
+            scaler = max(scaler, self.scaler_limit)
+        else:
+            scaler = min(scaler, self.scaler_limit)
+        self.view.write(self.variable, scaler)
+
+
+class OutputPerturbationAttack(Attack):
+    """Additive perturbation on the roll torque command (Fig. 8).
+
+    Modifies the controller output *after* the PID sum, within the
+    oversized ±5000 validation range — the range-validation bug class of
+    RVFuzzer the paper cites. The perturbation grows linearly and flips
+    sign at ``oscillation_period`` to defeat the vehicle's compensation,
+    eventually crashing it while sensor-estimation residuals stay small.
+    """
+
+    def __init__(
+        self,
+        growth_per_s: float = 0.003,
+        amplitude_limit: float = 0.08,
+        oscillation_period: float = 1.5,
+        start_time: float = 30.0,
+    ):
+        super().__init__("output-perturbation", start_time=start_time)
+        self.growth_per_s = growth_per_s
+        self.amplitude_limit = amplitude_limit
+        self.oscillation_period = oscillation_period
+        self._hook_installed = False
+
+    def _on_attach(self, vehicle) -> None:
+        vehicle.torque_hooks.append(self._tamper)
+        self._hook_installed = True
+
+    def _on_detach(self) -> None:
+        if self._hook_installed and self._vehicle is not None:
+            if self._tamper in self._vehicle.torque_hooks:
+                self._vehicle.torque_hooks.remove(self._tamper)
+        self._hook_installed = False
+
+    def _inject(self, vehicle) -> None:
+        # All work happens in the torque hook; count injections here.
+        if self.result is not None:
+            self.result.injections += 1
+
+    def _tamper(self, vehicle, torque: np.ndarray) -> np.ndarray:
+        if not self.active:
+            return torque
+        amplitude = min(self.growth_per_s * self.elapsed, self.amplitude_limit)
+        wave = np.sin(2.0 * np.pi * self.elapsed / self.oscillation_period)
+        perturbed = torque.copy()
+        perturbed[0] = constrain(perturbed[0] + amplitude * wave, -1.0, 1.0)
+        return perturbed

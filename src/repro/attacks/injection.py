@@ -1,0 +1,106 @@
+"""Generic injection primitives used by the RL exploit layer.
+
+:class:`VariableManipulator` is the action actuator of the RL environments:
+it applies bounded or absolute writes to one target state variable through
+the compromised memory view at the agent cadence; :class:`ParamSetAttack`
+drives the GCS ``PARAM_SET`` path instead (subject to range validation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack
+from repro.exceptions import ParameterRangeError
+
+__all__ = ["VariableManipulator", "ParamSetAttack"]
+
+
+class VariableManipulator:
+    """Bounded write actuator over one target state variable.
+
+    Parameters
+    ----------
+    view:
+        The attacker's :class:`CompromisedRegionView`.
+    variable:
+        Qualified target name, e.g. ``"PIDR.INTEG"``.
+    mode:
+        ``"delta"`` adds the action to the current value (the paper's
+        bounded "gradual changes relative to the current value");
+        ``"absolute"`` writes the action directly (random manipulation).
+    clip:
+        Symmetric clamp on the written value (None = unclipped).
+    """
+
+    def __init__(self, view, variable: str, mode: str = "delta",
+                 clip: float | None = 0.45):
+        if mode not in ("delta", "absolute"):
+            raise ValueError(f"unknown manipulation mode '{mode}'")
+        if not view.can_write(variable):
+            raise PermissionError(
+                f"variable '{variable}' is not writable from region "
+                f"'{view.region_name}'"
+            )
+        self.view = view
+        self.variable = variable
+        self.mode = mode
+        self.clip = clip
+        self.writes = 0
+
+    def read(self) -> float:
+        """Current value of the target variable."""
+        return self.view.read(self.variable)
+
+    def apply(self, action: float) -> float:
+        """Apply one manipulation; returns the value actually written."""
+        if self.mode == "delta":
+            value = self.read() + float(action)
+        else:
+            value = float(action)
+        if self.clip is not None:
+            value = float(np.clip(value, -self.clip, self.clip))
+        self.view.write(self.variable, value)
+        self.writes += 1
+        return value
+
+
+class ParamSetAttack(Attack):
+    """Periodic malicious PARAM_SET commands over the GCS link.
+
+    Exercises the paper's second attack surface: "the attacker ... can
+    concoct and issue malicious GCS commands to update the control
+    parameters in the victim RAV". Writes are range-validated by the
+    firmware, so the schedule must stay inside declared ranges to succeed;
+    rejected writes are counted.
+    """
+
+    def __init__(
+        self,
+        schedule,  # callable (elapsed) -> list[(param_name, value)] | None
+        period: float = 0.3,
+        start_time: float = 0.0,
+    ):
+        super().__init__("param-set", start_time=start_time)
+        self.schedule = schedule
+        self.period = period
+        self.rejected = 0
+        self.accepted = 0
+        self._last = -np.inf
+
+    def _inject(self, vehicle) -> None:
+        now = vehicle.sim.time
+        if now - self._last < self.period:
+            return
+        self._last = now
+        updates = self.schedule(self.elapsed)
+        if not updates:
+            return
+        for name, value in updates:
+            try:
+                vehicle.params.set(name, value)
+                self.accepted += 1
+            except ParameterRangeError:
+                self.rejected += 1
+            if self.result is not None:
+                self.result.injections += 1

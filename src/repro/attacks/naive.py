@@ -1,0 +1,42 @@
+"""The naive baseline attack: "suddenly changing the roll angle to 30 degrees".
+
+The paper's comparison baseline (Sections III-A, V-C): the roll-angle
+*estimate* is forced to a large constant. The controller, seeing a
+spurious +30° roll, commands a hard counter-roll; the real vehicle flips
+away from the spoofed value, the logged motion no longer matches the motor
+commands, and every monitor fires almost immediately — fast, destructive
+and loud.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack
+from repro.exceptions import SimulationError
+from repro.utils.math3d import deg2rad
+
+__all__ = ["NaiveRollAttack"]
+
+
+class NaiveRollAttack(Attack):
+    """Pin the EKF roll estimate at a fixed angle every control cycle.
+
+    Requires a vehicle flying on its estimated state (the default); the
+    naive attacker is the unconstrained baseline, so it writes the EKF
+    state directly rather than through a compromised-region view.
+    """
+
+    def __init__(self, roll_deg: float = 30.0, start_time: float = 0.0):
+        super().__init__("naive-roll", start_time=start_time)
+        self.roll_rad = deg2rad(roll_deg)
+
+    def _on_attach(self, vehicle) -> None:
+        if vehicle.use_truth_state:
+            raise SimulationError(
+                "NaiveRollAttack spoofs the estimator; the vehicle must fly "
+                "on estimated state (use_truth_state=False)"
+            )
+
+    def _inject(self, vehicle) -> None:
+        vehicle.ekf.x[0] = self.roll_rad
+        if self.result is not None:
+            self.result.injections += 1

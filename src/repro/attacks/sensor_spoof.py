@@ -1,0 +1,49 @@
+"""Sensor-spoofing attacks (the related-work threat ARES contrasts with).
+
+The paper positions ARES against physical sensor attacks — acoustic
+gyroscope injection [23], accelerometer spoofing [47] — which corrupt the
+measurement channel rather than controller state. This module provides a
+gyro-bias injection so the SAVIOR-style detector's true-positive case is
+exercised: spoofed rates diverge from what the actuation physically
+implies and the innovation monitor fires, whereas ARES' controller-variable
+manipulations sail through it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack
+
+__all__ = ["GyroSpoofAttack"]
+
+
+class GyroSpoofAttack(Attack):
+    """Inject a constant bias into the gyroscope measurements.
+
+    Models an acoustic-resonance attack on the MEMS gyro: every IMU
+    sample acquires ``bias_dps`` on the roll axis. The flight controller
+    reacts to phantom rotation, the vehicle physically counter-rotates,
+    and the measured rates no longer match the motor-implied dynamics.
+    """
+
+    def __init__(self, bias_dps: float = 40.0, axis: int = 0,
+                 start_time: float = 0.0):
+        super().__init__("gyro-spoof", start_time=start_time)
+        self.bias = np.deg2rad(bias_dps)
+        self.axis = axis
+        self._applied = False
+
+    def _inject(self, vehicle) -> None:
+        noise = vehicle.sensors.imu.gyro_noise
+        if not self._applied:
+            noise._bias = noise._bias.copy()
+            noise._bias[self.axis] += self.bias
+            self._applied = True
+        if self.result is not None:
+            self.result.injections += 1
+
+    def _on_detach(self) -> None:
+        if self._applied and self._vehicle is not None:
+            self._vehicle.sensors.imu.gyro_noise._bias[self.axis] -= self.bias
+        self._applied = False

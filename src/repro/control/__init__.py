@@ -1,0 +1,23 @@
+"""Cascaded flight controllers (PID, sqrt, attitude, position, mixer)."""
+
+from repro.control.attitude import AttitudeController, AttitudeTargets
+from repro.control.cascade import ControllerFunction, ControllerRegistry
+from repro.control.mixer import MotorMixer
+from repro.control.pid import PIDController, PIDGains, PIDOutput
+from repro.control.position import AxisCascade, PositionController, PositionSetpoint
+from repro.control.sqrt_controller import SqrtController
+
+__all__ = [
+    "AttitudeController",
+    "AttitudeTargets",
+    "AxisCascade",
+    "ControllerFunction",
+    "ControllerRegistry",
+    "MotorMixer",
+    "PIDController",
+    "PIDGains",
+    "PIDOutput",
+    "PositionController",
+    "PositionSetpoint",
+    "SqrtController",
+]

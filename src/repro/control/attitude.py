@@ -1,0 +1,141 @@
+"""Attitude control: angle P loops feeding body-rate PIDs.
+
+Implements the rotational half of the paper's Fig. 1 cascade. Each of the
+three rotational DoF (roll φ, pitch θ, yaw ψ) has:
+
+* an *angle* proportional controller producing a body-rate target, and
+* a *rate* PID (named PIDR / PIDP / PIDY after ArduPilot's dataflash
+  messages) producing a normalised torque demand.
+
+The rate PIDs are the paper's primary attack surface: ``PIDR.INTEG`` is
+manipulated in Fig. 10, the PIDR input error in Fig. 6, and the PIDR
+output scaler in Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.control.pid import PIDController, PIDGains
+from repro.utils.math3d import constrain, wrap_pi
+
+__all__ = ["AttitudeTargets", "AttitudeController"]
+
+
+@dataclass
+class AttitudeTargets:
+    """Desired attitude for one control cycle (the DesR/DesP/DesY logs)."""
+
+    roll: float = 0.0
+    pitch: float = 0.0
+    yaw: float = 0.0
+    throttle: float = 0.0
+
+
+class AttitudeController:
+    """Cascaded angle→rate attitude controller for the three rotational DoF."""
+
+    def __init__(
+        self,
+        angle_p: float = 4.5,
+        rate_max: float = np.deg2rad(360.0),
+        roll_rate_gains: PIDGains | None = None,
+        pitch_rate_gains: PIDGains | None = None,
+        yaw_rate_gains: PIDGains | None = None,
+    ):
+        self.angle_p = angle_p
+        self.rate_max = rate_max
+        default_rp = PIDGains(kp=0.135, ki=0.135, kd=0.0036, imax=0.5, filt_hz=20.0)
+        default_yaw = PIDGains(kp=0.30, ki=0.06, kd=0.0, imax=0.5, filt_hz=5.0)
+        self.pid_roll = PIDController("PIDR", roll_rate_gains or default_rp)
+        self.pid_pitch = PIDController("PIDP", pitch_rate_gains or PIDGains(
+            kp=default_rp.kp, ki=default_rp.ki, kd=default_rp.kd,
+            imax=default_rp.imax, filt_hz=default_rp.filt_hz,
+        ))
+        self.pid_yaw = PIDController("PIDY", yaw_rate_gains or default_yaw)
+        # Traced intermediates of the angle loops.
+        self.rate_targets = np.zeros(3)
+        self.angle_errors = np.zeros(3)
+        self.last_torque_cmd = np.zeros(3)
+
+    @property
+    def rate_pids(self) -> dict[str, PIDController]:
+        """Rate PIDs keyed by their dataflash names."""
+        return {"PIDR": self.pid_roll, "PIDP": self.pid_pitch, "PIDY": self.pid_yaw}
+
+    def reset(self) -> None:
+        """Reset all PID state and traced intermediates."""
+        for pid in (self.pid_roll, self.pid_pitch, self.pid_yaw):
+            pid.reset()
+        self.rate_targets = np.zeros(3)
+        self.angle_errors = np.zeros(3)
+        self.last_torque_cmd = np.zeros(3)
+
+    def update(
+        self,
+        targets: AttitudeTargets,
+        euler: tuple[float, float, float],
+        gyro: np.ndarray,
+        dt: float,
+    ) -> np.ndarray:
+        """One attitude-control cycle.
+
+        Parameters
+        ----------
+        targets:
+            Desired roll/pitch/yaw (rad).
+        euler:
+            Estimated (roll, pitch, yaw) (rad).
+        gyro:
+            Measured body rates (rad/s).
+        dt:
+            Cycle period (s).
+
+        Returns
+        -------
+        numpy.ndarray
+            Normalised torque command ``[roll, pitch, yaw]`` in ≈[-1, 1].
+        """
+        roll, pitch, yaw = euler
+        self.angle_errors = np.array(
+            [
+                wrap_pi(targets.roll - roll),
+                wrap_pi(targets.pitch - pitch),
+                wrap_pi(targets.yaw - yaw),
+            ]
+        )
+        self.rate_targets = np.array(
+            [
+                constrain(self.angle_p * self.angle_errors[0], -self.rate_max, self.rate_max),
+                constrain(self.angle_p * self.angle_errors[1], -self.rate_max, self.rate_max),
+                constrain(self.angle_p * self.angle_errors[2], -self.rate_max, self.rate_max),
+            ]
+        )
+        torque = np.array(
+            [
+                self.pid_roll.update(self.rate_targets[0], float(gyro[0]), dt),
+                self.pid_pitch.update(self.rate_targets[1], float(gyro[1]), dt),
+                self.pid_yaw.update(self.rate_targets[2], float(gyro[2]), dt),
+            ]
+        )
+        # Torque demands saturate at full differential authority.
+        self.last_torque_cmd = np.clip(torque, -1.0, 1.0)
+        return self.last_torque_cmd
+
+    def state_variables(self) -> dict[str, float]:
+        """Traced intermediates of the angle loops + rate PIDs."""
+        out = {
+            "ANG_P": self.angle_p,
+            "ERR_R": float(self.angle_errors[0]),
+            "ERR_P": float(self.angle_errors[1]),
+            "ERR_Y": float(self.angle_errors[2]),
+            "TGT_RATE_R": float(self.rate_targets[0]),
+            "TGT_RATE_P": float(self.rate_targets[1]),
+            "TGT_RATE_Y": float(self.rate_targets[2]),
+        }
+        for name, pid in self.rate_pids.items():
+            for var, value in pid.state_variables().items():
+                out[f"{name}.{var}"] = value
+        return out

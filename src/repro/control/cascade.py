@@ -1,0 +1,96 @@
+"""Controller registry: names every controller function and its variables.
+
+The profiling stage ("controller function identification", Section IV-A)
+walks this registry instead of disassembling firmware: each entry maps a
+controller function to the objects holding its intermediate state
+variables, which the memory layout then places into MPU regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.control.attitude import AttitudeController
+from repro.control.position import PositionController
+from repro.estimation.sins import StrapdownINS
+
+__all__ = ["ControllerFunction", "ControllerRegistry"]
+
+
+@dataclass
+class ControllerFunction:
+    """One identified controller function and its traceable variables."""
+
+    name: str
+    kind: str  # "PID", "Sqrt" or "SINS" — the Table II categories
+    read_variables: object = field(repr=False, default=None)
+
+    def variables(self) -> dict[str, float]:
+        """Snapshot the function's intermediate state variables."""
+        return dict(self.read_variables())
+
+
+class ControllerRegistry:
+    """All controller functions of one vehicle, grouped by kind."""
+
+    def __init__(
+        self,
+        attitude: AttitudeController,
+        position: PositionController,
+        sins: StrapdownINS,
+    ):
+        self.attitude = attitude
+        self.position = position
+        self.sins = sins
+        self._functions: list[ControllerFunction] = []
+        self._build()
+
+    def _build(self) -> None:
+        for name, pid in self.attitude.rate_pids.items():
+            self._functions.append(
+                ControllerFunction(name=name, kind="PID", read_variables=pid.state_variables)
+            )
+        for axis, cascade in self.position.cascades.items():
+            self._functions.append(
+                ControllerFunction(
+                    name=f"PSC_{axis}_VEL",
+                    kind="PID",
+                    read_variables=cascade.vel_ctrl.state_variables,
+                )
+            )
+            self._functions.append(
+                ControllerFunction(
+                    name=f"PSC_{axis}_POS",
+                    kind="Sqrt",
+                    read_variables=cascade.pos_ctrl.state_variables,
+                )
+            )
+        self._functions.append(
+            ControllerFunction(
+                name="SINS",
+                kind="SINS",
+                read_variables=lambda: dict(self.sins.intermediates),
+            )
+        )
+
+    def functions(self, kind: str | None = None) -> list[ControllerFunction]:
+        """All controller functions, optionally filtered by Table II kind."""
+        if kind is None:
+            return list(self._functions)
+        return [f for f in self._functions if f.kind == kind]
+
+    def function(self, name: str) -> ControllerFunction:
+        """Look up one controller function by name."""
+        for f in self._functions:
+            if f.name == name:
+                return f
+        raise KeyError(f"unknown controller function '{name}'")
+
+    def all_variables(self) -> dict[str, float]:
+        """Flat snapshot ``{function.variable: value}`` across the registry."""
+        out: dict[str, float] = {}
+        for f in self._functions:
+            for var, value in f.variables().items():
+                key = var if "." in var else f"{f.name}.{var}"
+                out[key] = value
+        return out

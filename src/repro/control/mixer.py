@@ -1,0 +1,75 @@
+"""Motor mixer: throttle + torque demands → four motor commands.
+
+Matches ArduPilot's QUAD/X output stage, including the saturation strategy:
+when a motor would exceed [0, 1] the mixer sacrifices yaw authority first,
+then rescales roll/pitch, preserving total collective thrust as long as
+possible (attitude before altitude).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ControlError
+
+__all__ = ["MotorMixer"]
+
+
+class MotorMixer:
+    """X-quad mixer with prioritised saturation handling."""
+
+    #: Per-motor (roll, pitch, yaw) contribution factors for the ArduPilot
+    #: QUAD/X order: 1 front-right, 2 back-left, 3 front-left, 4 back-right.
+    ROLL_FACTORS = np.array([-0.5, 0.5, 0.5, -0.5])
+    PITCH_FACTORS = np.array([0.5, -0.5, 0.5, -0.5])
+    YAW_FACTORS = np.array([-0.5, -0.5, 0.5, 0.5])
+
+    def __init__(self, min_throttle: float = 0.0, max_throttle: float = 1.0):
+        if not 0.0 <= min_throttle < max_throttle <= 1.0:
+            raise ControlError("require 0 <= min_throttle < max_throttle <= 1")
+        self.min_throttle = min_throttle
+        self.max_throttle = max_throttle
+        self.last_outputs = np.zeros(4)
+        self.saturated = False
+
+    def mix(self, throttle: float, torque_cmd: np.ndarray) -> np.ndarray:
+        """Combine demands into four motor outputs in [min, max].
+
+        Parameters
+        ----------
+        throttle:
+            Collective throttle fraction in [0, 1].
+        torque_cmd:
+            Normalised (roll, pitch, yaw) torque demands, each in ≈[-1, 1].
+        """
+        roll_cmd, pitch_cmd, yaw_cmd = (float(torque_cmd[i]) for i in range(3))
+        throttle = float(np.clip(throttle, 0.0, 1.0))
+
+        headroom = min(throttle - self.min_throttle, self.max_throttle - throttle)
+        attitude_mix = (
+            self.ROLL_FACTORS * roll_cmd
+            + self.PITCH_FACTORS * pitch_cmd
+            + self.YAW_FACTORS * yaw_cmd
+        )
+        peak = float(np.max(np.abs(attitude_mix)))
+        self.saturated = peak > headroom and peak > 0.0
+
+        if self.saturated:
+            # Drop yaw first; if still saturated, rescale roll/pitch.
+            rp_mix = self.ROLL_FACTORS * roll_cmd + self.PITCH_FACTORS * pitch_cmd
+            rp_peak = float(np.max(np.abs(rp_mix)))
+            if rp_peak > headroom and rp_peak > 0.0:
+                attitude_mix = rp_mix * (headroom / rp_peak)
+            else:
+                yaw_headroom = headroom - rp_peak
+                yaw_mix = self.YAW_FACTORS * yaw_cmd
+                yaw_peak = float(np.max(np.abs(yaw_mix)))
+                if yaw_peak > yaw_headroom and yaw_peak > 0.0:
+                    yaw_mix = yaw_mix * (yaw_headroom / yaw_peak)
+                attitude_mix = rp_mix + yaw_mix
+
+        outputs = np.clip(
+            throttle + attitude_mix, self.min_throttle, self.max_throttle
+        )
+        self.last_outputs = outputs
+        return outputs

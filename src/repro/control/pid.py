@@ -1,0 +1,197 @@
+"""PID controller with attacker-visible intermediate state variables.
+
+This mirrors ArduPilot's ``AC_PID``: proportional/integral/derivative terms
+with an integrator clamp, a filtered derivative, an optional feed-forward
+and an output *scaler* (the ``EKFNAVVELGAINSCALER``-style multiplier the
+paper calls out in Section III-C).
+
+Every intermediate named in the paper's Fig. 3 is a real, individually
+addressable attribute:
+
+====== =============================================================
+Name   Meaning
+====== =============================================================
+KP     proportional gain (constant between parameter updates)
+KI     integral gain
+KD     derivative gain
+DT     loop period fed to the last update
+INTEG  integrator accumulator — the `PIDR.INTEG` attack target (Fig. 10)
+INPUT  current input error (target - measurement) — Fig. 6 attack target
+DERIV  filtered error derivative
+SCALER output scaler — the Fig. 7 attack target
+====== =============================================================
+
+The summed output is clamped to ``output_limit`` (default ±5000), the
+"oversized safety range" whose range-validation laxity Fig. 8 exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ControlError
+from repro.utils.filters import alpha_from_cutoff
+from repro.utils.math3d import constrain
+
+__all__ = ["PIDGains", "PIDOutput", "PIDController"]
+
+
+@dataclass
+class PIDGains:
+    """Gain set for one PID loop."""
+
+    kp: float = 0.0
+    ki: float = 0.0
+    kd: float = 0.0
+    kff: float = 0.0
+    imax: float = 1.0
+    filt_hz: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.imax < 0.0:
+            raise ControlError(f"imax must be non-negative, got {self.imax}")
+        if self.filt_hz < 0.0:
+            raise ControlError("filter cutoff must be non-negative")
+
+
+@dataclass
+class PIDOutput:
+    """Per-term breakdown of one PID update (the Fig. 8a series)."""
+
+    p: float
+    i: float
+    d: float
+    ff: float
+    total: float
+
+
+class PIDController:
+    """ArduPilot-style PID with traceable internals.
+
+    Parameters
+    ----------
+    name:
+        Controller identifier used in logs and the memory map, e.g. "PIDR".
+    gains:
+        Initial gain set.
+    output_limit:
+        Symmetric clamp on the summed output. The default matches the
+        ±5000 "oversized safety range" noted in the paper.
+    """
+
+    #: Names exposed to the tracer / memory map, in declaration order.
+    #: Nine per PID, matching the paper's "9 intermediate variables ...
+    #: for each of their PID controllers" (Section V-B).
+    STATE_VARIABLES = (
+        "KP", "KI", "KD", "FF", "DT", "INTEG", "INPUT", "DERIV", "SCALER",
+    )
+
+    def __init__(self, name: str, gains: PIDGains, output_limit: float = 5000.0):
+        if output_limit <= 0.0:
+            raise ControlError("output_limit must be positive")
+        self.name = name
+        self.gains = gains
+        self.output_limit = output_limit
+        # Intermediate state variables (paper Fig. 3 naming).
+        self.integrator = 0.0  # INTEG
+        self.input_error = 0.0  # INPUT
+        self.derivative = 0.0  # DERIV
+        self.scaler = 1.0  # SCALER
+        self.last_dt = 0.0  # DT
+        self._last_error: float | None = None
+        self.last_output = PIDOutput(0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def reset(self) -> None:
+        """Zero the dynamic state (integrator, error history, derivative)."""
+        self.integrator = 0.0
+        self.input_error = 0.0
+        self.derivative = 0.0
+        self.last_dt = 0.0
+        self._last_error = None
+        self.last_output = PIDOutput(0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def update(self, target: float, measurement: float, dt: float) -> float:
+        """Run one PID cycle and return the clamped output.
+
+        The update reads the intermediate attributes afresh each cycle, so a
+        value injected between cycles (by the attacker's memory view)
+        genuinely propagates into the control output — the property the
+        paper's data-manipulation attacks rely on.
+        """
+        if dt <= 0.0:
+            raise ControlError(f"dt must be positive, got {dt}")
+        g = self.gains
+        error = target - measurement
+        self.input_error = error
+        self.last_dt = dt
+
+        p_term = g.kp * error
+
+        self.integrator = constrain(
+            self.integrator + g.ki * error * dt, -g.imax, g.imax
+        )
+        i_term = self.integrator
+
+        if self._last_error is None:
+            raw_derivative = 0.0
+        else:
+            raw_derivative = (error - self._last_error) / dt
+        self._last_error = error
+        alpha = alpha_from_cutoff(g.filt_hz, dt)
+        self.derivative += alpha * (raw_derivative - self.derivative)
+        d_term = g.kd * self.derivative
+
+        ff_term = g.kff * target
+
+        total = (p_term + i_term + d_term + ff_term) * self.scaler
+        total = constrain(total, -self.output_limit, self.output_limit)
+        self.last_output = PIDOutput(
+            p=p_term, i=i_term, d=d_term, ff=ff_term, total=total
+        )
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Variable-level access for profiling and attacks
+    # ------------------------------------------------------------------ #
+    def state_variables(self) -> dict[str, float]:
+        """Snapshot of the traced intermediates, keyed by Fig. 3 names."""
+        return {
+            "KP": self.gains.kp,
+            "KI": self.gains.ki,
+            "KD": self.gains.kd,
+            "FF": self.gains.kff,
+            "DT": self.last_dt,
+            "INTEG": self.integrator,
+            "INPUT": self.input_error,
+            "DERIV": self.derivative,
+            "SCALER": self.scaler,
+        }
+
+    def set_state_variable(self, name: str, value: float) -> None:
+        """Overwrite one intermediate (the attacker's write primitive).
+
+        No range validation is applied here on purpose: within the
+        compromised memory region the MPU permits arbitrary writes; range
+        checks exist only on the parameter-update path (``ParameterStore``).
+        """
+        value = float(value)
+        if name == "KP":
+            self.gains.kp = value
+        elif name == "KI":
+            self.gains.ki = value
+        elif name == "KD":
+            self.gains.kd = value
+        elif name == "FF":
+            self.gains.kff = value
+        elif name == "DT":
+            self.last_dt = value
+        elif name == "INTEG":
+            self.integrator = value
+        elif name == "INPUT":
+            self.input_error = value
+        elif name == "DERIV":
+            self.derivative = value
+        elif name == "SCALER":
+            self.scaler = value
+        else:
+            raise ControlError(f"{self.name}: unknown state variable '{name}'")

@@ -1,0 +1,187 @@
+"""Position control: the translational half of the Fig. 1 cascade.
+
+Each translational DoF (x, y, z in NED) runs the paper's three primitive
+sub-controllers: position (square-root P), velocity (PID) and acceleration
+(pass-through with limits). Horizontal acceleration demands are converted
+to lean angles; the vertical demand becomes a throttle correction around
+hover.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.control.attitude import AttitudeTargets
+from repro.control.pid import PIDController, PIDGains
+from repro.control.sqrt_controller import SqrtController
+from repro.utils.math3d import constrain
+
+__all__ = ["PositionSetpoint", "AxisCascade", "PositionController"]
+
+
+@dataclass
+class PositionSetpoint:
+    """Desired NED position plus heading for one navigation cycle."""
+
+    position: np.ndarray
+    yaw: float = 0.0
+
+
+class AxisCascade:
+    """Position→velocity→acceleration cascade for a single axis.
+
+    This is one of the paper's "six cascading controllers", built from
+    "three primitive sub-controllers" (Section I / Fig. 1): ``ctrl1``
+    (position, sqrt P), ``ctrl2`` (velocity, PID) and ``ctrl3``
+    (acceleration, limiter).
+    """
+
+    def __init__(
+        self,
+        axis: str,
+        pos_p: float,
+        vel_max: float,
+        vel_gains: PIDGains,
+        accel_max: float,
+    ):
+        self.axis = axis
+        self.pos_ctrl = SqrtController(
+            f"PSC_{axis}_POS", p=pos_p, accel_max=accel_max, output_max=vel_max
+        )
+        self.vel_ctrl = PIDController(f"PSC_{axis}_VEL", vel_gains)
+        self.accel_max = accel_max
+        # Traced intermediates.
+        self.vel_target = 0.0
+        self.accel_cmd = 0.0
+
+    def reset(self) -> None:
+        """Clear all cascade state."""
+        self.pos_ctrl.reset()
+        self.vel_ctrl.reset()
+        self.vel_target = 0.0
+        self.accel_cmd = 0.0
+
+    def update(self, pos_target: float, pos: float, vel: float, dt: float) -> float:
+        """Run the three primitives; returns the limited acceleration demand."""
+        self.vel_target = self.pos_ctrl.update(pos_target, pos)
+        raw_accel = self.vel_ctrl.update(self.vel_target, vel, dt)
+        self.accel_cmd = constrain(raw_accel, -self.accel_max, self.accel_max)
+        return self.accel_cmd
+
+    def state_variables(self) -> dict[str, float]:
+        """Traced intermediates across the three primitives."""
+        out = {f"{self.axis}_VELTGT": self.vel_target, f"{self.axis}_ACC": self.accel_cmd}
+        for var, value in self.pos_ctrl.state_variables().items():
+            out[f"{self.axis}_POS.{var}"] = value
+        for var, value in self.vel_ctrl.state_variables().items():
+            out[f"{self.axis}_VEL.{var}"] = value
+        return out
+
+
+class PositionController:
+    """Full 3-axis position controller producing attitude targets."""
+
+    def __init__(
+        self,
+        hover_throttle: float,
+        gravity: float = 9.80665,
+        lean_angle_max: float = np.deg2rad(25.0),
+        pos_xy_p: float = 1.0,
+        vel_xy_max: float = 5.0,
+        accel_xy_max: float = 4.0,
+        pos_z_p: float = 1.0,
+        vel_z_max: float = 2.5,
+        accel_z_max: float = 2.5,
+    ):
+        self.gravity = gravity
+        self.hover_throttle = hover_throttle
+        self.lean_angle_max = lean_angle_max
+        vel_xy_gains = PIDGains(kp=1.2, ki=0.5, kd=0.02, imax=2.0, filt_hz=5.0)
+        vel_z_gains = PIDGains(kp=2.5, ki=1.2, kd=0.0, imax=2.0, filt_hz=5.0)
+        self.axis_x = AxisCascade("X", pos_xy_p, vel_xy_max, vel_xy_gains, accel_xy_max)
+        self.axis_y = AxisCascade(
+            "Y",
+            pos_xy_p,
+            vel_xy_max,
+            PIDGains(
+                kp=vel_xy_gains.kp,
+                ki=vel_xy_gains.ki,
+                kd=vel_xy_gains.kd,
+                imax=vel_xy_gains.imax,
+                filt_hz=vel_xy_gains.filt_hz,
+            ),
+            accel_xy_max,
+        )
+        self.axis_z = AxisCascade("Z", pos_z_p, vel_z_max, vel_z_gains, accel_z_max)
+        self.last_targets = AttitudeTargets()
+
+    @property
+    def cascades(self) -> dict[str, AxisCascade]:
+        """The three translational cascades keyed by axis."""
+        return {"X": self.axis_x, "Y": self.axis_y, "Z": self.axis_z}
+
+    def reset(self) -> None:
+        """Clear all cascade state."""
+        for cascade in self.cascades.values():
+            cascade.reset()
+        self.last_targets = AttitudeTargets()
+
+    def update(
+        self,
+        setpoint: PositionSetpoint,
+        position: np.ndarray,
+        velocity: np.ndarray,
+        yaw: float,
+        dt: float,
+    ) -> AttitudeTargets:
+        """One navigation cycle: NED setpoint → attitude + throttle targets."""
+        accel_n = self.axis_x.update(
+            float(setpoint.position[0]), float(position[0]), float(velocity[0]), dt
+        )
+        accel_e = self.axis_y.update(
+            float(setpoint.position[1]), float(position[1]), float(velocity[1]), dt
+        )
+        accel_d = self.axis_z.update(
+            float(setpoint.position[2]), float(position[2]), float(velocity[2]), dt
+        )
+
+        # Rotate horizontal acceleration demand into the heading frame.
+        cos_yaw, sin_yaw = math.cos(yaw), math.sin(yaw)
+        accel_fwd = accel_n * cos_yaw + accel_e * sin_yaw
+        accel_rgt = -accel_n * sin_yaw + accel_e * cos_yaw
+
+        # Small-angle lean conversion: forward accel -> pitch down (negative),
+        # rightward accel -> roll right (positive).
+        pitch_target = constrain(
+            -math.atan2(accel_fwd, self.gravity), -self.lean_angle_max, self.lean_angle_max
+        )
+        roll_target = constrain(
+            math.atan2(accel_rgt, self.gravity), -self.lean_angle_max, self.lean_angle_max
+        )
+
+        # Vertical: accel_d demand (positive down) maps to throttle around
+        # hover; dividing by tilt keeps the vertical thrust component.
+        tilt = math.cos(roll_target) * math.cos(pitch_target)
+        tilt = max(tilt, 0.5)
+        climb_accel = -accel_d  # positive up
+        throttle = self.hover_throttle * (1.0 + climb_accel / self.gravity) / tilt
+        throttle = constrain(throttle, 0.0, 1.0)
+
+        self.last_targets = AttitudeTargets(
+            roll=roll_target, pitch=pitch_target, yaw=setpoint.yaw, throttle=throttle
+        )
+        return self.last_targets
+
+    def state_variables(self) -> dict[str, float]:
+        """Traced intermediates across all three cascades."""
+        out: dict[str, float] = {
+            "TGT_ROLL": self.last_targets.roll,
+            "TGT_PITCH": self.last_targets.pitch,
+            "TGT_THR": self.last_targets.throttle,
+        }
+        for cascade in self.cascades.values():
+            out.update(cascade.state_variables())
+        return out

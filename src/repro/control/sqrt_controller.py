@@ -1,0 +1,93 @@
+"""Square-root controller (ArduPilot's ``sqrt_controller``).
+
+The second "essential controller software" function in the paper's
+Table II. It is a proportional controller whose response flattens to a
+square-root curve for large errors so the commanded correction respects a
+maximum achievable acceleration:
+
+* small error:  ``output = p * error``
+* large error:  ``output = sign(error) * sqrt(2 * accel_max * (|error| - linear/2))``
+
+where ``linear = accel_max / p**2`` is the crossover error.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ControlError
+from repro.utils.math3d import constrain
+
+__all__ = ["SqrtController"]
+
+
+class SqrtController:
+    """Sqrt-limited P controller for position→velocity conversion."""
+
+    STATE_VARIABLES = ("P", "ERR", "OUT", "LIM")
+
+    def __init__(self, name: str, p: float, accel_max: float, output_max: float):
+        if p <= 0.0:
+            raise ControlError(f"sqrt controller gain must be positive, got {p}")
+        if accel_max <= 0.0 or output_max <= 0.0:
+            raise ControlError("accel_max and output_max must be positive")
+        self.name = name
+        self.p = p
+        self.accel_max = accel_max
+        self.output_max = output_max
+        # Traced intermediates.
+        self.error = 0.0
+        self.output = 0.0
+
+    @property
+    def linear_region(self) -> float:
+        """Error magnitude below which the response is purely linear."""
+        return self.accel_max / (self.p * self.p)
+
+    def reset(self) -> None:
+        """Clear the traced intermediates."""
+        self.error = 0.0
+        self.output = 0.0
+
+    def update(self, target: float, measurement: float) -> float:
+        """Return the (velocity) correction for the given position error."""
+        error = target - measurement
+        self.error = error
+        linear = self.linear_region
+        if abs(error) <= linear:
+            out = self.p * error
+        else:
+            out = math.copysign(
+                math.sqrt(2.0 * self.accel_max * (abs(error) - linear / 2.0)), error
+            )
+        self.output = constrain(out, -self.output_max, self.output_max)
+        return self.output
+
+    def state_variables(self) -> dict[str, float]:
+        """Traced intermediates, keyed by short names."""
+        return {
+            "P": self.p,
+            "ERR": self.error,
+            "OUT": self.output,
+            "LIM": self.output_max,
+        }
+
+    def set_state_variable(self, name: str, value: float) -> None:
+        """Overwrite one intermediate (attacker write primitive)."""
+        value = float(value)
+        if name == "P":
+            if value <= 0.0:
+                # A non-positive gain would make linear_region undefined;
+                # the firmware's own code would fault here, so clamp to a
+                # tiny positive value (the manipulation still neuters the
+                # loop, which is the attacker-relevant effect).
+                value = 1e-6
+            self.p = value
+        elif name == "ERR":
+            self.error = value
+        elif name == "OUT":
+            self.output = value
+        elif name == "LIM":
+            self.output_max = max(value, 1e-6)
+        else:
+            raise ControlError(f"{self.name}: unknown state variable '{name}'")

@@ -1,0 +1,19 @@
+"""ARES framework core: the profile → identify → exploit pipeline."""
+
+from repro.core.ares import Ares, AresConfig
+from repro.core.defense_matrix import (
+    DefenseCell,
+    DefenseMatrix,
+    evaluate_defense_matrix,
+)
+from repro.core.report import AssessmentReport, ExploitOutcome
+
+__all__ = [
+    "Ares",
+    "AresConfig",
+    "AssessmentReport",
+    "DefenseCell",
+    "DefenseMatrix",
+    "ExploitOutcome",
+    "evaluate_defense_matrix",
+]

@@ -1,0 +1,178 @@
+"""The ARES framework facade (paper Fig. 2).
+
+``Ares`` chains the three stages end to end:
+
+1. **Profile** — fly benign missions, collect the ESVL dataset
+   (:mod:`repro.profiling`).
+2. **Identify** — run Algorithm 1 to produce the TSVL
+   (:mod:`repro.analysis`).
+3. **Exploit** — train an RL agent that manipulates a TSVL variable to
+   produce an uncontrolled or controlled failure (:mod:`repro.rl`),
+   optionally with a deployed detector in the loop so learned attacks are
+   stealthy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.analysis.tsvl import TsvlConfig, TsvlResult, generate_tsvl
+from repro.core.report import AssessmentReport, ExploitOutcome
+from repro.exceptions import AnalysisError
+from repro.profiling.collector import ProfileCollector, ProfileDataset
+from repro.rl.ddpg import DdpgAgent, DdpgConfig
+from repro.rl.env import EnvConfig
+from repro.rl.envs import ControlledCrashEnv, PathDeviationEnv
+from repro.rl.reinforce import ReinforceAgent, ReinforceConfig
+from repro.rl.training import TrainingResult, train_ddpg, train_reinforce
+
+__all__ = ["AresConfig", "Ares"]
+
+#: Responses used per controller-function kind during identification.
+_DEFAULT_RESPONSES = {
+    "PID": ["ATT.R", "ATT.P", "ATT.Y"],
+    "Sqrt": ["NTUN.VelX", "NTUN.VelY"],
+    "SINS": ["GPS.Spd", "GPS.VZ"],
+}
+
+
+@dataclass
+class AresConfig:
+    """End-to-end configuration for one assessment campaign."""
+
+    controller_kind: str = "PID"
+    responses: list[str] = field(default_factory=list)
+    #: Default identification config caps the TSVL per response, keeping
+    #: campaign output at the paper's compact scale (Table II).
+    tsvl: TsvlConfig = field(
+        default_factory=lambda: TsvlConfig(max_per_response=4)
+    )
+    env: EnvConfig = field(default_factory=EnvConfig)
+    agent: str = "reinforce"  # or "ddpg"
+    episodes: int = 50
+    reinforce: ReinforceConfig = field(default_factory=ReinforceConfig)
+    ddpg: DdpgConfig = field(default_factory=DdpgConfig)
+
+
+class Ares:
+    """Data-driven vulnerability assessment of one RAV configuration."""
+
+    def __init__(self, config: AresConfig | None = None):
+        self.config = config or AresConfig()
+        self.dataset: ProfileDataset | None = None
+        self.tsvl_result: TsvlResult | None = None
+        self.training: dict[str, TrainingResult] = {}
+
+    # ------------------------------------------------------------------ #
+    # Stage 1: profiling
+    # ------------------------------------------------------------------ #
+    def profile(self, missions=None, collector: ProfileCollector | None = None) -> ProfileDataset:
+        """Collect the ESVL dataset from benign missions."""
+        collector = collector or ProfileCollector(self.config.controller_kind)
+        self.dataset = collector.collect(missions=missions)
+        return self.dataset
+
+    # ------------------------------------------------------------------ #
+    # Stage 2: identification
+    # ------------------------------------------------------------------ #
+    def identify(self, dataset: ProfileDataset | None = None) -> TsvlResult:
+        """Run Algorithm 1 over the profiling dataset."""
+        dataset = dataset or self.dataset
+        if dataset is None:
+            raise AnalysisError("profile() must run before identify()")
+        responses = self.config.responses or _DEFAULT_RESPONSES.get(
+            self.config.controller_kind, []
+        )
+        responses = [r for r in responses if r in dataset.table]
+        if not responses:
+            raise AnalysisError("no response variables present in the dataset")
+        self.tsvl_result = generate_tsvl(
+            dataset.table, dynamics_variables=responses, config=self.config.tsvl
+        )
+        return self.tsvl_result
+
+    # ------------------------------------------------------------------ #
+    # Stage 3: exploit generation
+    # ------------------------------------------------------------------ #
+    def _make_env(self, failure: str, variable: str):
+        env_config = replace(self.config.env, target_variable=variable)
+        if failure == "uncontrolled":
+            return PathDeviationEnv(env_config)
+        if failure == "controlled":
+            return ControlledCrashEnv(env_config)
+        raise AnalysisError(f"unknown failure category '{failure}'")
+
+    def _make_agent(self, env):
+        if self.config.agent == "reinforce":
+            return ReinforceAgent(
+                env.observation_space.dim, self.config.env.action_limit,
+                self.config.reinforce,
+            )
+        if self.config.agent == "ddpg":
+            return DdpgAgent(
+                env.observation_space.dim, self.config.env.action_limit,
+                self.config.ddpg,
+            )
+        raise AnalysisError(f"unknown agent '{self.config.agent}'")
+
+    def exploit(
+        self, variable: str | None = None, failure: str = "uncontrolled",
+        episodes: int | None = None,
+    ) -> TrainingResult:
+        """Train an adversarial policy against one target state variable.
+
+        ``variable`` defaults to the first writable TSVL entry.
+        """
+        if variable is None:
+            variable = self._first_attackable_variable()
+        env = self._make_env(failure, variable)
+        agent = self._make_agent(env)
+        episodes = episodes if episodes is not None else self.config.episodes
+        if self.config.agent == "reinforce":
+            result = train_reinforce(env, agent, episodes=episodes)
+        else:
+            result = train_ddpg(env, agent, episodes=episodes)
+        self.training[f"{failure}:{variable}"] = result
+        return result
+
+    def _first_attackable_variable(self) -> str:
+        if self.tsvl_result is None:
+            raise AnalysisError("identify() must run before exploit()")
+        from repro.firmware.vehicle import Vehicle
+        from repro.sim.config import SimConfig
+
+        probe = Vehicle(SimConfig(seed=0), use_truth_state=True)
+        view = probe.compromised_view()
+        for name in self.tsvl_result.tsvl:
+            if view.can_write(name):
+                return name
+        raise AnalysisError(
+            f"no TSVL entry is writable from the compromised region: "
+            f"{self.tsvl_result.tsvl}"
+        )
+
+    # ------------------------------------------------------------------ #
+    def report(self) -> AssessmentReport:
+        """Assemble the campaign's assessment report."""
+        report = AssessmentReport(controller_kind=self.config.controller_kind)
+        if self.dataset is not None:
+            report.esvl_size = len(self.dataset.esvl_columns)
+            report.samples = self.dataset.num_samples
+            report.missions = self.dataset.missions_flown
+        if self.tsvl_result is not None:
+            report.tsvl = list(self.tsvl_result.tsvl)
+            report.pruned_size = self.tsvl_result.pruning.num_kept
+        for key, training in self.training.items():
+            failure, _, variable = key.partition(":")
+            report.exploits.append(
+                ExploitOutcome(
+                    failure_category=failure,
+                    variable=variable,
+                    episodes=len(training.episodes),
+                    best_return=training.best_return,
+                    improved=training.improved(),
+                    any_crash=any(e.crashed for e in training.episodes),
+                    any_detection=any(e.detected for e in training.episodes),
+                )
+            )
+        return report

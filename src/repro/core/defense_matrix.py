@@ -1,0 +1,178 @@
+"""Defense-evasion matrix: the paper's Section V-C as an API.
+
+Runs each attack class against each deployed monitor on a common mission
+profile and tabulates who alarms, producing the evidence table behind the
+paper's claim that ARES' gradual manipulations evade all three monitor
+families while the naive baseline is caught by all of them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attacks.gradual import (
+    GradualRollAttack,
+    OutputPerturbationAttack,
+    ScalerDriftAttack,
+)
+from repro.attacks.naive import NaiveRollAttack
+from repro.attacks.sensor_spoof import GyroSpoofAttack
+from repro.defenses.control_invariants import ControlInvariantsDetector
+from repro.defenses.ekf_monitor import EKFResidualDetector
+from repro.defenses.ml_monitor import MLOutputMonitor
+from repro.firmware.mission import line_mission
+from repro.firmware.modes import FlightMode
+from repro.firmware.vehicle import Vehicle
+from repro.sim.config import SimConfig
+
+__all__ = ["DefenseCell", "DefenseMatrix", "evaluate_defense_matrix"]
+
+
+@dataclass
+class DefenseCell:
+    """Outcome of one (attack, detector) pairing."""
+
+    attack: str
+    detector: str
+    detected: bool
+    detection_time: float | None
+    max_score: float
+    threshold: float
+    path_deviation: float
+    crashed: bool
+
+    @property
+    def evaded(self) -> bool:
+        """Whether the attack completed without an alarm."""
+        return not self.detected
+
+
+@dataclass
+class DefenseMatrix:
+    """All (attack, detector) outcomes from one evaluation."""
+
+    cells: list[DefenseCell] = field(default_factory=list)
+
+    def cell(self, attack: str, detector: str) -> DefenseCell:
+        """Look up one pairing."""
+        for cell in self.cells:
+            if cell.attack == attack and cell.detector == detector:
+                return cell
+        raise KeyError((attack, detector))
+
+    @property
+    def attacks(self) -> list[str]:
+        """Attack names in insertion order."""
+        seen: list[str] = []
+        for cell in self.cells:
+            if cell.attack not in seen:
+                seen.append(cell.attack)
+        return seen
+
+    @property
+    def detectors(self) -> list[str]:
+        """Detector names in insertion order."""
+        seen: list[str] = []
+        for cell in self.cells:
+            if cell.detector not in seen:
+                seen.append(cell.detector)
+        return seen
+
+    def render(self) -> str:
+        """Paper-style evasion table (rows: attacks, columns: detectors)."""
+        detectors = self.detectors
+        header = "  attack              " + "".join(f"{d:>22s}" for d in detectors)
+        lines = ["Defense-evasion matrix (EVADED / detected@t)", header]
+        for attack in self.attacks:
+            row = f"  {attack:18s} "
+            for detector in detectors:
+                cell = self.cell(attack, detector)
+                if cell.evaded:
+                    row += f"{'EVADED':>22s}"
+                else:
+                    row += f"{f'detected@{cell.detection_time:.0f}s':>22s}"
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def _default_attacks() -> dict[str, Callable[[], object]]:
+    # Each ARES variant is tuned against the monitor its paper figure
+    # targets (Fig. 6: integrator vs CI; Fig. 7: scaler vs ML; Fig. 8:
+    # output perturbation vs EKF residual) — the magnitude search the RL
+    # agent performs with the detector penalty in its reward.
+    return {
+        "ares-integrator": lambda: GradualRollAttack(rate_deg_s=2.5, start_time=5.0),
+        "ares-scaler": lambda: ScalerDriftAttack(
+            start_time=5.0, scaler_limit=0.85
+        ),
+        "ares-output": lambda: OutputPerturbationAttack(
+            start_time=10.0, growth_per_s=0.0015, amplitude_limit=0.03,
+        ),
+        "naive-roll-30": lambda: NaiveRollAttack(start_time=5.0),
+        "gyro-spoof": lambda: GyroSpoofAttack(bias_dps=40.0, start_time=5.0),
+    }
+
+
+def evaluate_defense_matrix(
+    duration: float = 40.0,
+    seed: int = 3,
+    attacks: dict[str, Callable[[], object]] | None = None,
+    train_ml_monitor: bool = True,
+) -> DefenseMatrix:
+    """Run every attack under all three monitors simultaneously.
+
+    Each attack gets a fresh vehicle with the control-invariants, ML and
+    EKF-residual monitors attached; detections are recorded per monitor.
+    """
+    attacks = attacks or _default_attacks()
+    matrix = DefenseMatrix()
+
+    ml_monitor = MLOutputMonitor()
+    if train_ml_monitor:
+        # Train on a representative benign mission so waypoint maneuvers
+        # stay inside the approximator's envelope.
+        ml_monitor.train_on_mission(
+            lambda: Vehicle(SimConfig(seed=seed + 100, wind_gust_std=0.3)),
+            lambda: line_mission(length=200.0, altitude=10.0, legs=1),
+        )
+
+    for attack_name, factory in attacks.items():
+        vehicle = Vehicle(SimConfig(seed=seed, wind_gust_std=0.3))
+        detectors = {
+            "control-invariants": ControlInvariantsDetector(vehicle.config.airframe),
+            "ekf-residual": EKFResidualDetector(),
+        }
+        if ml_monitor.approximator.trained:
+            ml_monitor.reset()
+            detectors["ml-output"] = ml_monitor
+        for detector in detectors.values():
+            detector.attach(vehicle)
+
+        vehicle.mission = line_mission(length=300.0, altitude=10.0, legs=1)
+        vehicle.takeoff(10.0)
+        attack = factory()
+        attack.attach(vehicle)
+        vehicle.set_mode(FlightMode.AUTO)
+        vehicle.run(duration)
+
+        deviation = float(
+            vehicle.mission.cross_track_distance(vehicle.sim.vehicle.state.position)
+        )
+        for detector_name, detector in detectors.items():
+            matrix.cells.append(
+                DefenseCell(
+                    attack=attack_name,
+                    detector=detector_name,
+                    detected=detector.alarmed,
+                    detection_time=detector.first_alarm_time,
+                    max_score=detector.record.max_score,
+                    threshold=detector.threshold,
+                    path_deviation=deviation,
+                    crashed=vehicle.sim.vehicle.crashed,
+                )
+            )
+            detector.detach()
+    return matrix

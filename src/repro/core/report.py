@@ -1,0 +1,63 @@
+"""Assessment report structures and rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExploitOutcome", "AssessmentReport"]
+
+
+@dataclass
+class ExploitOutcome:
+    """Result of one RL exploit search against one target variable."""
+
+    failure_category: str
+    variable: str
+    episodes: int
+    best_return: float
+    improved: bool
+    any_crash: bool
+    any_detection: bool
+
+    @property
+    def vulnerable(self) -> bool:
+        """Whether the search produced evidence of a usable exploit."""
+        return self.best_return > 0.0 and (self.improved or self.any_crash)
+
+
+@dataclass
+class AssessmentReport:
+    """Full output of one ARES campaign."""
+
+    controller_kind: str
+    missions: int = 0
+    samples: int = 0
+    esvl_size: int = 0
+    pruned_size: int = 0
+    tsvl: list[str] = field(default_factory=list)
+    exploits: list[ExploitOutcome] = field(default_factory=list)
+
+    @property
+    def vulnerable_variables(self) -> list[str]:
+        """TSVL variables with a confirmed exploit."""
+        return sorted({e.variable for e in self.exploits if e.vulnerable})
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"ARES assessment — controller function: {self.controller_kind}",
+            f"  profiling: {self.missions} missions, {self.samples} samples",
+            f"  ESVL size: {self.esvl_size}  (pruned: {self.pruned_size})",
+            f"  TSVL ({len(self.tsvl)}): {', '.join(self.tsvl) or '-'}",
+        ]
+        if self.esvl_size:
+            ratio = 100.0 * len(self.tsvl) / self.esvl_size
+            lines.append(f"  selection ratio: {ratio:.1f}%")
+        for e in self.exploits:
+            verdict = "VULNERABLE" if e.vulnerable else "no exploit found"
+            lines.append(
+                f"  exploit [{e.failure_category}] {e.variable}: {verdict} "
+                f"(best return {e.best_return:.2f}, episodes {e.episodes}, "
+                f"crash={e.any_crash}, detected={e.any_detection})"
+            )
+        return "\n".join(lines)

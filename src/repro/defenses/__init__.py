@@ -1,0 +1,18 @@
+"""Reimplemented RAV defenses the paper evaluates evasion against."""
+
+from repro.defenses.base import Detector, DetectorRecord
+from repro.defenses.control_invariants import ControlInvariantsDetector
+from repro.defenses.ekf_monitor import EKFResidualDetector
+from repro.defenses.ml_monitor import MLOutputMonitor, PidApproximator
+from repro.defenses.variable_monitor import VariableEnvelope, VariableLevelMonitor
+
+__all__ = [
+    "ControlInvariantsDetector",
+    "Detector",
+    "DetectorRecord",
+    "EKFResidualDetector",
+    "MLOutputMonitor",
+    "PidApproximator",
+    "VariableEnvelope",
+    "VariableLevelMonitor",
+]

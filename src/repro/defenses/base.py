@@ -1,0 +1,107 @@
+"""Common detector machinery.
+
+Every defense implements :class:`Detector`: it is attached to a vehicle's
+``post_step`` hook, maintains a score history and raises an alarm when its
+score crosses its threshold. The RL reward's "-inf if an anomaly is
+detected" term (Eqs. 4–5) reads :attr:`alarmed`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import DetectionAlarm
+
+__all__ = ["DetectorRecord", "Detector"]
+
+
+@dataclass
+class DetectorRecord:
+    """Score history of one detector run."""
+
+    times: list[float] = field(default_factory=list)
+    scores: list[float] = field(default_factory=list)
+    alarm_times: list[float] = field(default_factory=list)
+
+    @property
+    def max_score(self) -> float:
+        """Largest score observed (0 if never sampled)."""
+        return max(self.scores) if self.scores else 0.0
+
+    def scores_array(self) -> np.ndarray:
+        """Scores as an array."""
+        return np.asarray(self.scores)
+
+    def times_array(self) -> np.ndarray:
+        """Sample times as an array."""
+        return np.asarray(self.times)
+
+
+class Detector:
+    """Base class for runtime monitors.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in alarms and reports.
+    threshold:
+        Alarm threshold on the detector score.
+    strict:
+        When True the first alarm raises :class:`DetectionAlarm` instead of
+        just being recorded.
+    """
+
+    def __init__(self, name: str, threshold: float, strict: bool = False):
+        self.name = name
+        self.threshold = threshold
+        self.strict = strict
+        self.record = DetectorRecord()
+        self._vehicle = None
+
+    @property
+    def alarmed(self) -> bool:
+        """Whether any alarm has fired since the last reset."""
+        return bool(self.record.alarm_times)
+
+    @property
+    def first_alarm_time(self) -> float | None:
+        """Time of the first alarm, if any."""
+        return self.record.alarm_times[0] if self.record.alarm_times else None
+
+    def reset(self) -> None:
+        """Clear history (new flight)."""
+        self.record = DetectorRecord()
+        self._reset_state()
+
+    def attach(self, vehicle) -> None:
+        """Install on a vehicle's post-step hook."""
+        self._vehicle = vehicle
+        vehicle.post_step_hooks.append(self._on_step)
+
+    def detach(self) -> None:
+        """Remove from the vehicle."""
+        if self._vehicle is not None and self._on_step in self._vehicle.post_step_hooks:
+            self._vehicle.post_step_hooks.remove(self._on_step)
+        self._vehicle = None
+
+    def _on_step(self, vehicle) -> None:
+        score = self._score(vehicle)
+        if score is None:
+            return
+        time_s = vehicle.sim.time
+        self.record.times.append(time_s)
+        self.record.scores.append(float(score))
+        if score > self.threshold:
+            self.record.alarm_times.append(time_s)
+            if self.strict:
+                raise DetectionAlarm(self.name, time_s, float(score), self.threshold)
+
+    # -- subclass API -------------------------------------------------- #
+    def _score(self, vehicle) -> float | None:
+        """Compute the current anomaly score (None = not sampled yet)."""
+        raise NotImplementedError
+
+    def _reset_state(self) -> None:
+        """Clear subclass-internal state on reset (default: nothing)."""

@@ -1,0 +1,176 @@
+"""ML-based controller-output monitor (Ding et al., RAID'21 — ref. [16]).
+
+Mechanism: a model trained on benign flights approximates the numerical
+behaviour of a PID controller from its observable inputs; at run time the
+*control output distance* — the absolute difference between the model's
+predicted output and the controller's actual output — is compared against
+a benign error bound (the paper's threshold: 0.01).
+
+Like the DNN the original work trains, our ridge-regression approximator
+is only valid inside the benign envelope: inference features are clipped
+to the training range, so inputs far outside it (a naive attack) yield a
+bounded prediction against an unbounded actual output — a large distance —
+while in-envelope manipulations (ARES' gradual scaler drift) stay inside
+the benign error band (Fig. 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.control.pid import PIDController
+from repro.defenses.base import Detector
+from repro.exceptions import AnalysisError
+
+__all__ = ["PidApproximator", "MLOutputMonitor"]
+
+
+class PidApproximator:
+    """Ridge-regression approximation of one PID's input→output map."""
+
+    FEATURES = ("target", "measurement", "error", "integrator", "derivative")
+
+    def __init__(self, ridge_lambda: float = 1e-6, envelope_margin: float = 1.5):
+        self.ridge_lambda = ridge_lambda
+        #: Clip bounds are widened by this factor beyond the training
+        #: min/max so unseen-but-ordinary flights (another seed, slightly
+        #: different wind) stay in envelope while attack inputs — orders
+        #: of magnitude outside — remain clipped.
+        self.envelope_margin = envelope_margin
+        self.weights: np.ndarray | None = None
+        self.feature_min: np.ndarray | None = None
+        self.feature_max: np.ndarray | None = None
+        self.train_residual_std = 0.0
+
+    @property
+    def trained(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self.weights is not None
+
+    def fit(self, features: np.ndarray, outputs: np.ndarray) -> None:
+        """Train on benign (n, 5) features and (n,) controller outputs."""
+        features = np.asarray(features, dtype=float)
+        outputs = np.asarray(outputs, dtype=float)
+        if features.ndim != 2 or features.shape[1] != len(self.FEATURES):
+            raise AnalysisError(
+                f"features must be (n, {len(self.FEATURES)}), got {features.shape}"
+            )
+        if features.shape[0] < 10:
+            raise AnalysisError("need at least 10 benign samples to train")
+        center = (features.max(axis=0) + features.min(axis=0)) / 2.0
+        half = (features.max(axis=0) - features.min(axis=0)) / 2.0
+        half = np.maximum(half * self.envelope_margin, 1e-9)
+        self.feature_min = center - half
+        self.feature_max = center + half
+        design = np.column_stack([np.ones(features.shape[0]), features])
+        gram = design.T @ design + self.ridge_lambda * np.eye(design.shape[1])
+        self.weights = np.linalg.solve(gram, design.T @ outputs)
+        residuals = outputs - design @ self.weights
+        self.train_residual_std = float(residuals.std())
+
+    def predict(self, features: np.ndarray) -> float:
+        """Predicted output for one feature vector (clipped to envelope)."""
+        if self.weights is None:
+            raise AnalysisError("approximator not trained")
+        clipped = np.clip(
+            np.asarray(features, dtype=float), self.feature_min, self.feature_max
+        )
+        return float(self.weights[0] + clipped @ self.weights[1:])
+
+
+def _pid_features(pid: PIDController, target: float, measurement: float) -> np.ndarray:
+    return np.array([
+        target, measurement, target - measurement,
+        pid.integrator, pid.derivative,
+    ])
+
+
+class MLOutputMonitor(Detector):
+    """Control-output-distance monitor over the roll-rate PID.
+
+    Call :meth:`train_on_benign` with a benign vehicle first (or attach in
+    ``collect`` mode and fit later); at run time the score is the distance
+    between the approximator's predicted PIDR output and the actual one.
+    """
+
+    def __init__(self, threshold: float = 0.01, warmup_s: float = 10.0,
+                 strict: bool = False):
+        super().__init__("ml-output-monitor", threshold, strict)
+        self.approximator = PidApproximator()
+        self._collected_features: list[np.ndarray] = []
+        self._collected_outputs: list[float] = []
+        self.collecting = False
+        #: Detection starts this long after arming — the arming/takeoff
+        #: transient varies run to run and is outside the benign envelope.
+        self.warmup_s = warmup_s
+        self._armed_at: float | None = None
+
+    def _reset_state(self) -> None:
+        # The trained model survives resets by design.
+        self._armed_at = None
+
+    @staticmethod
+    def _observe(vehicle) -> tuple[np.ndarray, float]:
+        pid = vehicle.attitude_ctrl.pid_roll
+        target = float(vehicle.attitude_ctrl.rate_targets[0])
+        _, _, _, gyro = vehicle.estimated_state()
+        features = _pid_features(pid, target, float(gyro[0]))
+        return features, float(pid.last_output.total)
+
+    def _score(self, vehicle) -> float | None:
+        if not vehicle.armed:
+            return None
+        features, actual = self._observe(vehicle)
+        if self.collecting:
+            self._collected_features.append(features)
+            self._collected_outputs.append(actual)
+            return None
+        if not self.approximator.trained:
+            return None
+        if self._armed_at is None:
+            self._armed_at = vehicle.sim.time
+        if vehicle.sim.time - self._armed_at < self.warmup_s:
+            return 0.0
+        predicted = self.approximator.predict(features)
+        return abs(actual - predicted)
+
+    def finish_collection(self) -> None:
+        """Fit the approximator on the samples gathered while collecting."""
+        if not self._collected_features:
+            raise AnalysisError("no benign samples collected")
+        self.approximator.fit(
+            np.vstack(self._collected_features),
+            np.asarray(self._collected_outputs),
+        )
+        self._collected_features.clear()
+        self._collected_outputs.clear()
+        self.collecting = False
+
+    def train_on_benign(self, vehicle_factory, duration: float = 20.0) -> None:
+        """Convenience: fly a benign hover and fit the approximator.
+
+        ``vehicle_factory() -> Vehicle`` must produce a vehicle matching
+        the monitored one (same gains).
+        """
+        vehicle = vehicle_factory()
+        self.collecting = True
+        self.attach(vehicle)
+        vehicle.takeoff(3.0)
+        vehicle.run(duration)
+        self.detach()
+        self.finish_collection()
+
+    def train_on_mission(self, vehicle_factory, mission_factory,
+                         timeout: float = 150.0) -> None:
+        """Fit on a benign *mission* so the envelope covers maneuvering.
+
+        Use this variant when the monitored vehicle flies missions rather
+        than hovering — an approximator trained only on hover data flags
+        ordinary waypoint maneuvers as out-of-envelope.
+        """
+        vehicle = vehicle_factory()
+        self.collecting = True
+        self.attach(vehicle)
+        vehicle.fly_mission(mission_factory(), timeout=timeout)
+        self.detach()
+        self.finish_collection()

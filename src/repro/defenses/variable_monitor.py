@@ -1,0 +1,164 @@
+"""Variable-level monitor — the countermeasure the paper proposes.
+
+Section VI ("Countermeasures") argues that RAV monitors should
+"enlarge monitoring objectives by combining control invariants or control
+parameters with essential state variables ... within controller
+functions", i.e. move from system-level to *variable-level* monitoring.
+
+:class:`VariableLevelMonitor` implements that direction: during benign
+profiling it learns, for each monitored state variable (typically the
+TSVL), the envelope of its values and of its per-cycle change rate; at run
+time a CUSUM over normalised envelope exceedances raises an alarm. The
+gradual ``PIDR.INTEG`` manipulations that evade the system-level
+control-invariants monitor push the integrator's value and jump rate far
+outside its benign envelope and are caught (see
+``benchmarks/bench_countermeasure.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.defenses.base import Detector
+from repro.exceptions import AnalysisError
+
+__all__ = ["VariableEnvelope", "VariableLevelMonitor"]
+
+
+@dataclass
+class VariableEnvelope:
+    """Learned benign envelope of one state variable."""
+
+    name: str
+    low: float
+    high: float
+    max_abs_step: float
+
+    def margin(self) -> float:
+        """Half-width used to normalise exceedances."""
+        return max((self.high - self.low) / 2.0, 1e-9)
+
+    def exceedance(self, value: float, step: float) -> float:
+        """Normalised amount by which (value, step) leaves the envelope."""
+        out = 0.0
+        if value > self.high:
+            out += (value - self.high) / self.margin()
+        elif value < self.low:
+            out += (self.low - value) / self.margin()
+        step_limit = max(self.max_abs_step, 1e-9)
+        if abs(step) > step_limit:
+            out += (abs(step) - step_limit) / step_limit
+        return out
+
+
+class VariableLevelMonitor(Detector):
+    """CUSUM monitor over learned per-variable envelopes.
+
+    Parameters
+    ----------
+    variables:
+        Qualified state-variable names to watch (e.g. the TSVL entries
+        bound in the memory map).
+    threshold:
+        Alarm threshold on the summed CUSUM statistic.
+    envelope_margin:
+        Multiplicative slack applied to the learned min/max and step
+        bounds (benign variation beyond the training data).
+    """
+
+    def __init__(
+        self,
+        variables: list[str],
+        threshold: float = 25.0,
+        envelope_margin: float = 1.5,
+        decay: float = 0.999,
+        warmup_s: float = 8.0,
+        strict: bool = False,
+    ):
+        super().__init__("variable-level-monitor", threshold, strict)
+        if not variables:
+            raise AnalysisError("monitor needs at least one variable")
+        self.variables = list(variables)
+        self.envelope_margin = envelope_margin
+        self.decay = decay
+        self.warmup_s = warmup_s
+        self.envelopes: dict[str, VariableEnvelope] = {}
+        self.collecting = False
+        self._samples: dict[str, list[float]] = {v: [] for v in self.variables}
+        self._reset_state()
+
+    @property
+    def trained(self) -> bool:
+        """Whether envelopes have been learned."""
+        return bool(self.envelopes)
+
+    def _reset_state(self) -> None:
+        self._cusum = 0.0
+        self._last_values: dict[str, float] = {}
+        self._armed_at: float | None = None
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def _read(self, vehicle, name: str) -> float:
+        return vehicle.memory.variable(name).read()
+
+    def finish_collection(self) -> None:
+        """Fit envelopes from the samples gathered while collecting."""
+        for name, samples in self._samples.items():
+            if len(samples) < 20:
+                raise AnalysisError(
+                    f"not enough benign samples for '{name}' ({len(samples)})"
+                )
+            values = np.asarray(samples)
+            steps = np.abs(np.diff(values))
+            center = (values.max() + values.min()) / 2.0
+            half = (values.max() - values.min()) / 2.0 * self.envelope_margin
+            half = max(half, 1e-6)
+            self.envelopes[name] = VariableEnvelope(
+                name=name,
+                low=float(center - half),
+                high=float(center + half),
+                max_abs_step=float(max(steps.max(), 1e-9) * self.envelope_margin),
+            )
+            self._samples[name] = []
+        self.collecting = False
+
+    def train_on_benign(self, vehicle_factory, mission_factory, timeout: float = 150.0) -> None:
+        """Fly one benign mission and learn the envelopes."""
+        vehicle = vehicle_factory()
+        self.collecting = True
+        self.attach(vehicle)
+        vehicle.fly_mission(mission_factory(), timeout=timeout)
+        self.detach()
+        self.finish_collection()
+        self.reset()
+
+    # ------------------------------------------------------------------ #
+    # Detection
+    # ------------------------------------------------------------------ #
+    def _score(self, vehicle) -> float | None:
+        if not vehicle.armed:
+            return None
+        if self.collecting:
+            for name in self.variables:
+                self._samples[name].append(self._read(vehicle, name))
+            return None
+        if not self.trained:
+            return None
+        if self._armed_at is None:
+            self._armed_at = vehicle.sim.time
+        if vehicle.sim.time - self._armed_at < self.warmup_s:
+            return 0.0
+        total_exceedance = 0.0
+        for name in self.variables:
+            value = self._read(vehicle, name)
+            last = self._last_values.get(name, value)
+            self._last_values[name] = value
+            total_exceedance += self.envelopes[name].exceedance(
+                value, value - last
+            )
+        self._cusum = max(0.0, self._cusum * self.decay + total_exceedance)
+        return self._cusum

@@ -1,0 +1,12 @@
+"""State estimation: complementary filter, strapdown INS and EKF."""
+
+from repro.estimation.complementary import ComplementaryFilter
+from repro.estimation.ekf import AttitudePositionEKF, EkfConfig
+from repro.estimation.sins import StrapdownINS
+
+__all__ = [
+    "AttitudePositionEKF",
+    "ComplementaryFilter",
+    "EkfConfig",
+    "StrapdownINS",
+]

@@ -1,0 +1,78 @@
+"""Complementary attitude filter.
+
+Fuses gyro integration (good short-term) with accelerometer gravity
+direction and magnetometer heading (good long-term). This is the light
+attitude source the SINS uses before EKF convergence.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ControlError
+from repro.utils.math3d import (
+    quat_from_euler,
+    quat_integrate,
+    quat_to_euler,
+    wrap_pi,
+)
+
+__all__ = ["ComplementaryFilter"]
+
+
+class ComplementaryFilter:
+    """Quaternion complementary filter with accel/mag corrections."""
+
+    def __init__(self, accel_gain: float = 0.002, mag_gain: float = 0.01):
+        if not 0.0 <= accel_gain <= 1.0 or not 0.0 <= mag_gain <= 1.0:
+            raise ControlError("complementary gains must lie in [0, 1]")
+        self.accel_gain = accel_gain
+        self.mag_gain = mag_gain
+        self._quat = quat_from_euler(0.0, 0.0, 0.0)
+
+    @property
+    def quaternion(self) -> np.ndarray:
+        """Current attitude estimate (body→world)."""
+        return self._quat
+
+    @property
+    def euler(self) -> tuple[float, float, float]:
+        """(roll, pitch, yaw) estimate in radians."""
+        return quat_to_euler(self._quat)
+
+    def reset(self, roll: float = 0.0, pitch: float = 0.0, yaw: float = 0.0) -> None:
+        """Re-initialise the attitude estimate."""
+        self._quat = quat_from_euler(roll, pitch, yaw)
+
+    def update(
+        self,
+        gyro: np.ndarray,
+        accel: np.ndarray,
+        dt: float,
+        mag_yaw: float | None = None,
+    ) -> tuple[float, float, float]:
+        """Advance one step; returns the fused (roll, pitch, yaw).
+
+        ``accel`` is the specific-force measurement (reads -g at rest);
+        ``mag_yaw`` is an optional absolute heading (rad).
+        """
+        self._quat = quat_integrate(self._quat, gyro, dt)
+        roll, pitch, yaw = quat_to_euler(self._quat)
+
+        accel_norm = float(np.linalg.norm(accel))
+        gyro_norm = float(np.linalg.norm(gyro))
+        # Only trust the accelerometer near 1 g and at low rotation rates —
+        # during hard maneuvers the gravity direction is unobservable and
+        # centripetal terms corrupt the tilt reference.
+        if 0.5 * 9.80665 < accel_norm < 1.5 * 9.80665 and gyro_norm < 1.0:
+            # Static specific force is -g in body: ax=-g*(-sin(theta))...
+            accel_roll = math.atan2(-accel[1], -accel[2])
+            accel_pitch = math.atan2(accel[0], math.hypot(accel[1], accel[2]))
+            roll += self.accel_gain * wrap_pi(accel_roll - roll)
+            pitch += self.accel_gain * wrap_pi(accel_pitch - pitch)
+        if mag_yaw is not None:
+            yaw += self.mag_gain * wrap_pi(mag_yaw - yaw)
+        self._quat = quat_from_euler(roll, pitch, yaw)
+        return roll, pitch, yaw

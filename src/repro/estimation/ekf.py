@@ -1,0 +1,265 @@
+"""Extended Kalman filter for attitude, velocity and position.
+
+Stands in for ArduPilot's NavEKF2/NavEKF3: a 12-state EKF whose outputs
+populate the EKF1/NKF1 dataflash messages (Roll, Pitch, Yaw, VN, VE, VD,
+PN, PE, PD, GX, GY, GZ) used throughout the paper's figures — in
+particular the ``EKF1.Roll`` vs ``ATT.R`` residual that the SAVIOR-style
+detector of Fig. 8 monitors.
+
+State vector (units SI, angles rad)::
+
+    x = [phi, theta, psi, vn, ve, vd, pn, pe, pd, bgx, bgy, bgz]
+
+where ``bg*`` are gyro biases. Prediction uses Euler-angle kinematics with
+bias-corrected gyro rates and gravity-compensated accelerometer specific
+force; measurement updates come from the accelerometer gravity direction
+(roll/pitch), magnetometer heading (yaw), GPS (velocity + horizontal
+position) and barometer (down position).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ControlError
+from repro.utils.math3d import dcm_from_euler, wrap_pi
+
+__all__ = ["EkfConfig", "AttitudePositionEKF"]
+
+
+class EkfConfig:
+    """Noise configuration for :class:`AttitudePositionEKF`."""
+
+    def __init__(
+        self,
+        gyro_noise: float = 0.01,
+        accel_noise: float = 0.35,
+        gyro_bias_noise: float = 1e-5,
+        accel_att_noise: float = 0.05,
+        mag_yaw_noise: float = 0.05,
+        gps_vel_noise: float = 0.15,
+        gps_pos_noise: float = 1.5,
+        baro_noise: float = 0.2,
+        gravity: float = 9.80665,
+    ):
+        if min(
+            gyro_noise,
+            accel_noise,
+            gyro_bias_noise,
+            accel_att_noise,
+            mag_yaw_noise,
+            gps_vel_noise,
+            gps_pos_noise,
+            baro_noise,
+        ) <= 0.0:
+            raise ControlError("EKF noise parameters must be positive")
+        self.gyro_noise = gyro_noise
+        self.accel_noise = accel_noise
+        self.gyro_bias_noise = gyro_bias_noise
+        self.accel_att_noise = accel_att_noise
+        self.mag_yaw_noise = mag_yaw_noise
+        self.gps_vel_noise = gps_vel_noise
+        self.gps_pos_noise = gps_pos_noise
+        self.baro_noise = baro_noise
+        self.gravity = gravity
+
+
+# State indices.
+_PHI, _THETA, _PSI = 0, 1, 2
+_VN, _VE, _VD = 3, 4, 5
+_PN, _PE, _PD = 6, 7, 8
+_BGX, _BGY, _BGZ = 9, 10, 11
+_NSTATES = 12
+
+
+class AttitudePositionEKF:
+    """12-state EKF over attitude, velocity, position and gyro bias."""
+
+    def __init__(self, config: EkfConfig | None = None):
+        self.config = config or EkfConfig()
+        self.x = np.zeros(_NSTATES)
+        self.P = np.diag(
+            [0.05] * 3 + [0.5] * 3 + [2.0] * 3 + [1e-4] * 3
+        )
+
+    # ------------------------------------------------------------------ #
+    # Accessors matching the EKF1 dataflash message fields.
+    # ------------------------------------------------------------------ #
+    @property
+    def roll(self) -> float:
+        """EKF1.Roll (rad)."""
+        return float(self.x[_PHI])
+
+    @property
+    def pitch(self) -> float:
+        """EKF1.Pitch (rad)."""
+        return float(self.x[_THETA])
+
+    @property
+    def yaw(self) -> float:
+        """EKF1.Yaw (rad)."""
+        return float(self.x[_PSI])
+
+    @property
+    def velocity(self) -> np.ndarray:
+        """EKF1.VN/VE/VD (m/s, NED)."""
+        return self.x[_VN : _VD + 1].copy()
+
+    @property
+    def position(self) -> np.ndarray:
+        """EKF1.PN/PE/PD (m, NED)."""
+        return self.x[_PN : _PD + 1].copy()
+
+    @property
+    def gyro_bias(self) -> np.ndarray:
+        """EKF1.GX/GY/GZ (rad/s)."""
+        return self.x[_BGX : _BGZ + 1].copy()
+
+    def reset(
+        self,
+        euler: tuple[float, float, float] = (0.0, 0.0, 0.0),
+        velocity: np.ndarray | None = None,
+        position: np.ndarray | None = None,
+    ) -> None:
+        """Re-initialise the state and covariance."""
+        self.x = np.zeros(_NSTATES)
+        self.x[_PHI : _PSI + 1] = euler
+        if velocity is not None:
+            self.x[_VN : _VD + 1] = velocity
+        if position is not None:
+            self.x[_PN : _PD + 1] = position
+        self.P = np.diag([0.05] * 3 + [0.5] * 3 + [2.0] * 3 + [1e-4] * 3)
+
+    # ------------------------------------------------------------------ #
+    # Prediction
+    # ------------------------------------------------------------------ #
+    def predict(self, gyro: np.ndarray, accel: np.ndarray, dt: float) -> None:
+        """Propagate with one IMU sample (gyro rad/s, accel specific force)."""
+        phi, theta, psi = self.x[_PHI], self.x[_THETA], self.x[_PSI]
+        omega = gyro - self.x[_BGX : _BGZ + 1]
+
+        # Euler kinematics: [phi., theta., psi.] = E(phi,theta) * omega.
+        sphi, cphi = math.sin(phi), math.cos(phi)
+        ctheta = math.cos(theta)
+        ttheta = math.tan(theta)
+        if abs(ctheta) < 1e-3:  # gimbal-lock guard
+            ctheta = math.copysign(1e-3, ctheta if ctheta != 0.0 else 1.0)
+            ttheta = math.sin(theta) / ctheta
+        euler_rates = np.array(
+            [
+                omega[0] + sphi * ttheta * omega[1] + cphi * ttheta * omega[2],
+                cphi * omega[1] - sphi * omega[2],
+                (sphi / ctheta) * omega[1] + (cphi / ctheta) * omega[2],
+            ]
+        )
+        self.x[_PHI : _PSI + 1] += euler_rates * dt
+        self.x[_PHI] = wrap_pi(self.x[_PHI])
+        self.x[_PSI] = wrap_pi(self.x[_PSI])
+
+        # Velocity/position mechanisation.
+        dcm = dcm_from_euler(self.x[_PHI], self.x[_THETA], self.x[_PSI])
+        accel_ned = dcm @ accel + np.array([0.0, 0.0, self.config.gravity])
+        self.x[_VN : _VD + 1] += accel_ned * dt
+        self.x[_PN : _PD + 1] += self.x[_VN : _VD + 1] * dt
+
+        # Linearised transition: identity + sparse couplings. Exact small-dt
+        # Jacobians for the attitude block are unnecessary at 400 Hz; the
+        # dominant terms are attitude->velocity (thrust direction) and
+        # velocity->position.
+        F = np.eye(_NSTATES)
+        F[_PN, _VN] = dt
+        F[_PE, _VE] = dt
+        F[_PD, _VD] = dt
+        F[_PHI, _BGX] = -dt
+        F[_THETA, _BGY] = -dt
+        F[_PSI, _BGZ] = -dt
+        # Attitude error tilts the specific-force vector:
+        # delta(a_ned) = -skew(f_ned) * delta(theta_world).
+        f_ned = dcm @ accel
+        F[_VN, _THETA] = f_ned[2] * dt
+        F[_VN, _PSI] = -f_ned[1] * dt
+        F[_VE, _PHI] = -f_ned[2] * dt
+        F[_VE, _PSI] = f_ned[0] * dt
+        F[_VD, _PHI] = f_ned[1] * dt
+        F[_VD, _THETA] = -f_ned[0] * dt
+
+        q_att = (self.config.gyro_noise * dt) ** 2
+        q_vel = (self.config.accel_noise * dt) ** 2
+        q_bias = (self.config.gyro_bias_noise * dt) ** 2
+        Q = np.diag([q_att] * 3 + [q_vel] * 3 + [0.0] * 3 + [q_bias] * 3)
+        self.P = F @ self.P @ F.T + Q
+
+    # ------------------------------------------------------------------ #
+    # Measurement updates
+    # ------------------------------------------------------------------ #
+    def _update(self, z: np.ndarray, h: np.ndarray, H: np.ndarray, R: np.ndarray) -> None:
+        innovation = z - h
+        S = H @ self.P @ H.T + R
+        K = self.P @ H.T @ np.linalg.inv(S)
+        self.x = self.x + K @ innovation
+        identity = np.eye(_NSTATES)
+        self.P = (identity - K @ H) @ self.P
+
+    def update_accel_attitude(self, accel: np.ndarray) -> None:
+        """Roll/pitch correction from the gravity direction.
+
+        Skipped automatically when the specific-force magnitude is far from
+        1 g (hard maneuvering makes the gravity direction unobservable).
+        """
+        norm = float(np.linalg.norm(accel))
+        if not 0.7 * self.config.gravity < norm < 1.3 * self.config.gravity:
+            return
+        accel_roll = math.atan2(-accel[1], -accel[2])
+        accel_pitch = math.atan2(accel[0], math.hypot(accel[1], accel[2]))
+        z = np.array(
+            [
+                self.x[_PHI] + wrap_pi(accel_roll - self.x[_PHI]),
+                self.x[_THETA] + wrap_pi(accel_pitch - self.x[_THETA]),
+            ]
+        )
+        h = self.x[[_PHI, _THETA]]
+        H = np.zeros((2, _NSTATES))
+        H[0, _PHI] = 1.0
+        H[1, _THETA] = 1.0
+        R = np.eye(2) * self.config.accel_att_noise**2
+        self._update(z, h, H, R)
+
+    def update_mag_yaw(self, mag_field_body: np.ndarray) -> None:
+        """Yaw correction from a tilt-compensated compass heading."""
+        phi, theta = self.x[_PHI], self.x[_THETA]
+        sphi, cphi = math.sin(phi), math.cos(phi)
+        stheta, ctheta = math.sin(theta), math.cos(theta)
+        mx, my, mz = mag_field_body
+        # Tilt-compensated horizontal field components.
+        bx = mx * ctheta + my * sphi * stheta + mz * cphi * stheta
+        by = my * cphi - mz * sphi
+        mag_yaw = math.atan2(-by, bx)
+        z = np.array([self.x[_PSI] + wrap_pi(mag_yaw - self.x[_PSI])])
+        h = np.array([self.x[_PSI]])
+        H = np.zeros((1, _NSTATES))
+        H[0, _PSI] = 1.0
+        R = np.array([[self.config.mag_yaw_noise**2]])
+        self._update(z, h, H, R)
+
+    def update_gps(self, position: np.ndarray, velocity: np.ndarray) -> None:
+        """Velocity + horizontal position correction from a GPS fix."""
+        z = np.array([velocity[0], velocity[1], velocity[2], position[0], position[1]])
+        H = np.zeros((5, _NSTATES))
+        H[0, _VN] = H[1, _VE] = H[2, _VD] = 1.0
+        H[3, _PN] = H[4, _PE] = 1.0
+        h = H @ self.x
+        R = np.diag(
+            [self.config.gps_vel_noise**2] * 3 + [self.config.gps_pos_noise**2] * 2
+        )
+        self._update(z, h, H, R)
+
+    def update_baro(self, altitude: float) -> None:
+        """Down-position correction from barometric altitude."""
+        z = np.array([-altitude])
+        H = np.zeros((1, _NSTATES))
+        H[0, _PD] = 1.0
+        h = H @ self.x
+        R = np.array([[self.config.baro_noise**2]])
+        self._update(z, h, H, R)

@@ -1,0 +1,150 @@
+"""Strapdown inertial navigation system (SINS).
+
+One of the three "essential controller software" functions the paper's
+Table II profiles. Mechanisation: integrate gyro for attitude, rotate and
+gravity-compensate accel for velocity, integrate velocity for position,
+then blend slow absolute references (GPS, baro) with complementary
+correction gains.
+
+The intermediate correction variables (velocity/position errors and the
+blend gains) are what ARES traces into the ESVL for this controller.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ControlError
+from repro.utils.math3d import quat_integrate, quat_rotate, quat_to_euler
+
+__all__ = ["StrapdownINS"]
+
+
+class StrapdownINS:
+    """Strapdown mechanisation with complementary GPS/baro corrections."""
+
+    def __init__(
+        self,
+        gravity: float = 9.80665,
+        velocity_gain: float = 0.2,
+        position_gain: float = 0.1,
+        baro_gain: float = 0.3,
+    ):
+        for name, gain in (
+            ("velocity_gain", velocity_gain),
+            ("position_gain", position_gain),
+            ("baro_gain", baro_gain),
+        ):
+            if not 0.0 <= gain <= 1.0:
+                raise ControlError(f"{name} must lie in [0, 1], got {gain}")
+        self.gravity = gravity
+        self.velocity_gain = velocity_gain
+        self.position_gain = position_gain
+        self.baro_gain = baro_gain
+        self._quat = np.array([1.0, 0.0, 0.0, 0.0])
+        self._velocity = np.zeros(3)
+        self._position = np.zeros(3)
+        #: Intermediate mechanisation and correction terms, refreshed each
+        #: cycle; the 19 traced state variables for the SINS row of
+        #: the paper's Table II.
+        self.intermediates: dict[str, float] = {
+            "VERR_N": 0.0,
+            "VERR_E": 0.0,
+            "VERR_D": 0.0,
+            "PERR_N": 0.0,
+            "PERR_E": 0.0,
+            "PERR_D": 0.0,
+            "KVEL": velocity_gain,
+            "KPOS": position_gain,
+            "KBARO": baro_gain,
+            "ACC_N": 0.0,
+            "ACC_E": 0.0,
+            "ACC_D": 0.0,
+            "DV_N": 0.0,
+            "DV_E": 0.0,
+            "DV_D": 0.0,
+            "DP_N": 0.0,
+            "DP_E": 0.0,
+            "DP_D": 0.0,
+            "GRAV": gravity,
+        }
+
+    @property
+    def quaternion(self) -> np.ndarray:
+        """Attitude estimate (body→world)."""
+        return self._quat
+
+    @property
+    def euler(self) -> tuple[float, float, float]:
+        """(roll, pitch, yaw) estimate, radians."""
+        return quat_to_euler(self._quat)
+
+    @property
+    def velocity(self) -> np.ndarray:
+        """NED velocity estimate (m/s)."""
+        return self._velocity
+
+    @property
+    def position(self) -> np.ndarray:
+        """NED position estimate (m)."""
+        return self._position
+
+    def reset(
+        self,
+        quaternion: np.ndarray | None = None,
+        velocity: np.ndarray | None = None,
+        position: np.ndarray | None = None,
+    ) -> None:
+        """Re-initialise the navigation state."""
+        self._quat = (
+            quaternion.copy() if quaternion is not None else np.array([1.0, 0.0, 0.0, 0.0])
+        )
+        self._velocity = velocity.copy() if velocity is not None else np.zeros(3)
+        self._position = position.copy() if position is not None else np.zeros(3)
+        for key in ("VERR_N", "VERR_E", "VERR_D", "PERR_N", "PERR_E", "PERR_D"):
+            self.intermediates[key] = 0.0
+
+    def predict(self, gyro: np.ndarray, accel: np.ndarray, dt: float) -> None:
+        """Dead-reckon one IMU step.
+
+        ``accel`` is specific force; adding gravity recovers inertial
+        acceleration in NED.
+        """
+        self._quat = quat_integrate(self._quat, gyro, dt)
+        accel_world = quat_rotate(self._quat, accel) + np.array(
+            [0.0, 0.0, self.gravity]
+        )
+        dv = accel_world * dt
+        self._velocity = self._velocity + dv
+        dp = self._velocity * dt
+        self._position = self._position + dp
+        inter = self.intermediates
+        inter["ACC_N"], inter["ACC_E"], inter["ACC_D"] = (
+            float(accel_world[0]), float(accel_world[1]), float(accel_world[2]),
+        )
+        inter["DV_N"], inter["DV_E"], inter["DV_D"] = (
+            float(dv[0]), float(dv[1]), float(dv[2]),
+        )
+        inter["DP_N"], inter["DP_E"], inter["DP_D"] = (
+            float(dp[0]), float(dp[1]), float(dp[2]),
+        )
+
+    def correct_gps(self, gps_position: np.ndarray, gps_velocity: np.ndarray) -> None:
+        """Blend a GPS fix into velocity and horizontal position."""
+        verr = gps_velocity - self._velocity
+        perr = gps_position - self._position
+        self.intermediates["VERR_N"] = float(verr[0])
+        self.intermediates["VERR_E"] = float(verr[1])
+        self.intermediates["VERR_D"] = float(verr[2])
+        self.intermediates["PERR_N"] = float(perr[0])
+        self.intermediates["PERR_E"] = float(perr[1])
+        self._velocity = self._velocity + self.velocity_gain * verr
+        self._position = self._position + self.position_gain * np.array(
+            [perr[0], perr[1], 0.0]
+        )
+
+    def correct_baro(self, baro_altitude: float) -> None:
+        """Blend barometric altitude into the down channel."""
+        perr_d = -baro_altitude - self._position[2]
+        self.intermediates["PERR_D"] = float(perr_d)
+        self._position[2] += self.baro_gain * perr_d

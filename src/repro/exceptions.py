@@ -1,0 +1,90 @@
+"""Exception hierarchy for the ARES reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The physics simulation entered an invalid configuration or state."""
+
+
+class SensorError(ReproError):
+    """A sensor model was configured or sampled incorrectly."""
+
+
+class ControlError(ReproError):
+    """A controller was misconfigured or driven outside its contract."""
+
+
+class ParameterError(ReproError):
+    """A firmware parameter operation failed (unknown name, bad range...)."""
+
+
+class ParameterRangeError(ParameterError):
+    """A parameter write was rejected by range validation.
+
+    Mirrors ArduPilot's behaviour of refusing obviously illegitimate
+    values, which the paper notes as one restriction on data-manipulation
+    attacks (Section VI, "Limitations of ARES").
+    """
+
+
+class MissionError(ReproError):
+    """Mission definition or execution failed."""
+
+
+class MemoryAccessViolation(ReproError):
+    """The MPU rejected a memory access outside the permitted region.
+
+    Raised when an attacker (or any code) touches an address whose region
+    permissions do not allow the requested access, matching the abnormal
+    signal an ARM Cortex-M MPU generates on a violation (Section II-B).
+    """
+
+    def __init__(self, address: int, access: str, region: str | None = None):
+        self.address = address
+        self.access = access
+        self.region = region
+        where = f" in region '{region}'" if region else ""
+        super().__init__(
+            f"MPU violation: {access} access to address {address:#x}{where} denied"
+        )
+
+
+class LinkError(ReproError):
+    """The GCS link dropped, timed out or rejected a message."""
+
+
+class AnalysisError(ReproError):
+    """The statistical identification pipeline received unusable data."""
+
+
+class RLError(ReproError):
+    """Reinforcement-learning component misuse (bad spaces, NaN loss...)."""
+
+
+class DetectionAlarm(ReproError):
+    """Raised by strict-mode detectors when an anomaly alarm fires.
+
+    Detectors normally report alarms through their result objects; strict
+    mode converts the first alarm into this exception so integration tests
+    can assert an attack is caught at a precise instant.
+    """
+
+    def __init__(self, detector: str, time_s: float, score: float, threshold: float):
+        self.detector = detector
+        self.time_s = time_s
+        self.score = score
+        self.threshold = threshold
+        super().__init__(
+            f"{detector} alarm at t={time_s:.3f}s: score {score:.4g} "
+            f"exceeds threshold {threshold:.4g}"
+        )

@@ -1,0 +1,49 @@
+"""Paper experiment reproductions (one module per table/figure)."""
+
+from repro.experiments.campaign import (
+    CampaignResult,
+    MetricSummary,
+    run_campaign,
+)
+from repro.experiments.fig3 import Fig3Result, run_fig3
+from repro.experiments.fig5 import Fig5Result, run_fig5
+from repro.experiments.fig6 import Fig6Condition, Fig6Result, run_fig6
+from repro.experiments.fig7 import Fig7Condition, Fig7Result, run_fig7
+from repro.experiments.fig8 import Fig8Result, run_fig8
+from repro.experiments.fig9 import Fig9Result, run_fig9
+from repro.experiments.fig10 import Fig10Result, ScenarioTrace, run_fig10
+from repro.experiments.fig11 import CrashScenarioTrace, Fig11Result, run_fig11
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.table2 import PAPER_TABLE2, Table2Result, Table2Row, run_table2
+
+__all__ = [
+    "CampaignResult",
+    "CrashScenarioTrace",
+    "MetricSummary",
+    "run_campaign",
+    "Fig3Result",
+    "Fig5Result",
+    "Fig6Condition",
+    "Fig6Result",
+    "Fig7Condition",
+    "Fig7Result",
+    "Fig8Result",
+    "Fig9Result",
+    "Fig10Result",
+    "Fig11Result",
+    "PAPER_TABLE2",
+    "ScenarioTrace",
+    "Table1Result",
+    "Table2Result",
+    "Table2Row",
+    "run_fig3",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+    "run_table1",
+    "run_table2",
+]

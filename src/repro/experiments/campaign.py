@@ -1,0 +1,108 @@
+"""Multi-seed experiment campaigns with aggregate statistics.
+
+The paper reports several experiments over repeated trials ("10 trials on
+various missions"); this module runs any per-seed experiment callable
+across a seed range and aggregates named scalar metrics, so benches and
+users can report mean/median/min/max instead of single-run numbers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+
+__all__ = ["MetricSummary", "CampaignResult", "run_campaign"]
+
+
+@dataclass
+class MetricSummary:
+    """Aggregate statistics of one scalar metric over the campaign."""
+
+    name: str
+    values: list[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.values))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.values))
+
+    @property
+    def min(self) -> float:
+        return float(np.min(self.values))
+
+    @property
+    def max(self) -> float:
+        return float(np.max(self.values))
+
+
+@dataclass
+class CampaignResult:
+    """All per-seed metric values plus aggregates."""
+
+    metrics: dict[str, MetricSummary] = field(default_factory=dict)
+    seeds: list[int] = field(default_factory=list)
+    failures: dict[int, str] = field(default_factory=dict)
+
+    def metric(self, name: str) -> MetricSummary:
+        """One metric's summary."""
+        try:
+            return self.metrics[name]
+        except KeyError:
+            raise AnalysisError(f"unknown campaign metric '{name}'") from None
+
+    def render(self) -> str:
+        """Aggregate table."""
+        lines = [
+            f"Campaign over {len(self.seeds)} seeds"
+            + (f" ({len(self.failures)} failed)" if self.failures else ""),
+            "  metric                    mean      median      min       max",
+        ]
+        for summary in self.metrics.values():
+            lines.append(
+                f"  {summary.name:22s} {summary.mean:9.3g} {summary.median:10.3g} "
+                f"{summary.min:9.3g} {summary.max:9.3g}"
+            )
+        return "\n".join(lines)
+
+
+def run_campaign(
+    experiment: Callable[[int], Mapping[str, float]],
+    seeds,
+    raise_on_failure: bool = False,
+) -> CampaignResult:
+    """Run ``experiment(seed) -> {metric: value}`` across ``seeds``.
+
+    Per-seed exceptions are recorded (or re-raised with
+    ``raise_on_failure``); metrics are aggregated over successful runs.
+    """
+    seeds = list(seeds)
+    if not seeds:
+        raise AnalysisError("campaign needs at least one seed")
+    result = CampaignResult(seeds=seeds)
+    for seed in seeds:
+        try:
+            metrics = experiment(seed)
+        except Exception as exc:  # noqa: BLE001 - campaign isolation
+            if raise_on_failure:
+                raise
+            result.failures[seed] = str(exc)
+            continue
+        for name, value in metrics.items():
+            result.metrics.setdefault(name, MetricSummary(name=name))
+            result.metrics[name].values.append(float(value))
+    if not result.metrics:
+        raise AnalysisError(
+            f"every campaign run failed: {result.failures}"
+        )
+    return result

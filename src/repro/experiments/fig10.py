@@ -1,0 +1,148 @@
+"""Experiment Fig. 10: RL-based uncontrolled failure (path deviation).
+
+The agent manipulates ``PIDR.INTEG`` between waypoints A and B under the
+Eq. 4 reward. The figure's content: the deviation distance from the next
+waypoint and the accumulated deviation over the episode, across exploit
+scenarios — here the trained policy, a random policy and the untouched
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rl.ddpg import DdpgAgent, DdpgConfig
+from repro.rl.env import EnvConfig
+from repro.rl.envs.deviation import PathDeviationEnv
+from repro.rl.reinforce import ReinforceAgent, ReinforceConfig
+from repro.rl.training import TrainingResult, train_ddpg, train_reinforce
+
+__all__ = ["ScenarioTrace", "Fig10Result", "run_fig10"]
+
+
+@dataclass
+class ScenarioTrace:
+    """Deviation series for one exploit scenario."""
+
+    label: str
+    times: np.ndarray
+    deviation: np.ndarray
+    accumulated: np.ndarray
+    total_reward: float
+    detected: bool
+
+    @property
+    def final_deviation(self) -> float:
+        """Deviation from the path at episode end."""
+        return float(self.deviation[-1]) if len(self.deviation) else 0.0
+
+
+@dataclass
+class Fig10Result:
+    """Training history plus evaluation traces per scenario."""
+
+    training: TrainingResult | None = None
+    scenarios: dict[str, ScenarioTrace] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Outcome summary with the deviation chart."""
+        from repro.utils.ascii_plot import line_chart, sparkline
+
+        lines = ["Fig. 10 — RL uncontrolled failure (path deviation)"]
+        if self.training is not None:
+            r = self.training.returns
+            lines.append(
+                f"  training: {len(r)} episodes, first-5 mean "
+                f"{r[:5].mean():.2f} → last-5 mean {r[-5:].mean():.2f}"
+            )
+            lines.append(f"  returns: {sparkline(r)}")
+        lines.append("  scenario   final dev   accum dev   detected")
+        for label, s in self.scenarios.items():
+            lines.append(
+                f"  {label:9s}  {s.final_deviation:8.1f} m "
+                f"{s.accumulated[-1] if len(s.accumulated) else 0.0:10.1f} m·s  "
+                f"{s.detected}"
+            )
+        series = {
+            label: (s.times, s.deviation)
+            for label, s in self.scenarios.items() if len(s.times)
+        }
+        if series:
+            lines.append("\n  deviation from path (m) vs time (s)")
+            lines.append(line_chart(series, width=60, height=10))
+        return "\n".join(lines)
+
+
+def _rollout(env, policy, label: str) -> ScenarioTrace:
+    obs = env.reset()
+    times = [env.vehicle.sim.time]
+    deviations = [obs[3]]
+    accumulated = [0.0]
+    total = 0.0
+    detected = False
+    done = False
+    while not done:
+        action = policy(obs)
+        obs, reward, done, info = env.step(action)
+        total += reward
+        times.append(info["time"])
+        deviations.append(obs[3])
+        accumulated.append(accumulated[-1] + obs[3] * env.config.agent_dt)
+        detected = detected or info["detected"]
+    return ScenarioTrace(
+        label=label,
+        times=np.asarray(times),
+        deviation=np.asarray(deviations),
+        accumulated=np.asarray(accumulated),
+        total_reward=total,
+        detected=detected,
+    )
+
+
+def run_fig10(
+    train_episodes: int = 30,
+    eval_steps: int = 60,
+    use_detector: bool = False,
+    seed: int = 1,
+    agent_kind: str = "reinforce",
+) -> Fig10Result:
+    """Train the deviation agent and evaluate the exploit scenarios.
+
+    Paper scale is 5 000 episodes × 300 steps with a DDPG-class policy
+    gradient; the defaults here are laptop-scale REINFORCE and the
+    arguments accept the full values (``agent_kind="ddpg"`` uses DDPG).
+    """
+    config = EnvConfig(
+        max_episode_steps=eval_steps, physics_hz=100.0, seed=seed,
+        use_detector=use_detector,
+    )
+    env = PathDeviationEnv(config)
+    result = Fig10Result()
+    if agent_kind == "ddpg":
+        agent = DdpgAgent(
+            env.observation_space.dim, config.action_limit,
+            DdpgConfig(seed=seed),
+        )
+        result.training = train_ddpg(env, agent, episodes=train_episodes)
+    else:
+        agent = ReinforceAgent(
+            env.observation_space.dim, config.action_limit,
+            ReinforceConfig(seed=seed),
+        )
+        result.training = train_reinforce(env, agent, episodes=train_episodes)
+
+    result.scenarios["trained"] = _rollout(
+        env, lambda obs: agent.act(obs, deterministic=True), "trained"
+    )
+    rng = np.random.default_rng(seed)
+    result.scenarios["random"] = _rollout(
+        env,
+        lambda obs: rng.uniform(-config.action_limit, config.action_limit, 1),
+        "random",
+    )
+    result.scenarios["baseline"] = _rollout(
+        env, lambda obs: np.zeros(1), "baseline"
+    )
+    return result

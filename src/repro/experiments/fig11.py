@@ -1,0 +1,125 @@
+"""Experiment Fig. 11: RL-based controlled failure (crash into a zone).
+
+The agent steers the RAV toward a forbidden navigation zone beside the
+mission path under the Eq. 5 reward (positive for approach, terminal bonus
+on contact). The figure's content: the distance to the zone over the
+episode for the exploit scenarios, and whether contact (the controlled
+crash) was achieved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rl.env import EnvConfig
+from repro.rl.envs.crash import ControlledCrashEnv
+from repro.rl.reinforce import ReinforceAgent, ReinforceConfig
+from repro.rl.training import TrainingResult, train_reinforce
+
+__all__ = ["CrashScenarioTrace", "Fig11Result", "run_fig11"]
+
+
+@dataclass
+class CrashScenarioTrace:
+    """Zone-distance series for one scenario."""
+
+    label: str
+    times: np.ndarray
+    zone_distance: np.ndarray
+    contact: bool
+    crashed: bool
+    total_reward: float
+    detected: bool
+
+    @property
+    def closest_approach(self) -> float:
+        """Minimum distance to the forbidden zone."""
+        return float(self.zone_distance.min()) if len(self.zone_distance) else np.inf
+
+
+@dataclass
+class Fig11Result:
+    """Training history plus evaluation traces per scenario."""
+
+    training: TrainingResult | None = None
+    scenarios: dict[str, CrashScenarioTrace] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Outcome summary."""
+        lines = ["Fig. 11 — RL controlled failure (forbidden-zone crash)"]
+        if self.training is not None:
+            r = self.training.returns
+            lines.append(
+                f"  training: {len(r)} episodes, best return {r.max():.1f}"
+            )
+        lines.append("  scenario   closest    contact  crashed  detected")
+        for label, s in self.scenarios.items():
+            lines.append(
+                f"  {label:9s}  {s.closest_approach:7.1f} m  {str(s.contact):7s} "
+                f"{str(s.crashed):7s}  {s.detected}"
+            )
+        return "\n".join(lines)
+
+
+def _rollout(env, policy, label: str) -> CrashScenarioTrace:
+    obs = env.reset()
+    times = [env.vehicle.sim.time]
+    distances = [obs[3]]
+    total = 0.0
+    detected = False
+    done = False
+    info: dict = {}
+    while not done:
+        action = policy(obs)
+        obs, reward, done, info = env.step(action)
+        total += reward
+        times.append(info["time"])
+        distances.append(obs[3])
+        detected = detected or info["detected"]
+    contact = bool(distances[-1] <= env.epsilon) or info.get("crashed", False)
+    return CrashScenarioTrace(
+        label=label,
+        times=np.asarray(times),
+        zone_distance=np.asarray(distances),
+        contact=contact,
+        crashed=info.get("crashed", False),
+        total_reward=total,
+        detected=detected,
+    )
+
+
+def run_fig11(
+    train_episodes: int = 30,
+    eval_steps: int = 80,
+    use_detector: bool = False,
+    zone_offset_east: float = 14.0,
+    seed: int = 2,
+) -> Fig11Result:
+    """Train the crash agent and evaluate the exploit scenarios."""
+    config = EnvConfig(
+        max_episode_steps=eval_steps, physics_hz=100.0, seed=seed,
+        use_detector=use_detector,
+    )
+    env = ControlledCrashEnv(config, zone_offset_east=zone_offset_east)
+    agent = ReinforceAgent(
+        env.observation_space.dim, config.action_limit,
+        ReinforceConfig(seed=seed),
+    )
+    result = Fig11Result()
+    result.training = train_reinforce(env, agent, episodes=train_episodes)
+
+    result.scenarios["trained"] = _rollout(
+        env, lambda obs: agent.act(obs, deterministic=True), "trained"
+    )
+    rng = np.random.default_rng(seed)
+    result.scenarios["random"] = _rollout(
+        env,
+        lambda obs: rng.uniform(-config.action_limit, config.action_limit, 1),
+        "random",
+    )
+    result.scenarios["baseline"] = _rollout(
+        env, lambda obs: np.zeros(1), "baseline"
+    )
+    return result

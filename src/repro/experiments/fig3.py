@@ -1,0 +1,84 @@
+"""Experiment Fig. 3: the ESVL correlation-dependency graph for roll control.
+
+Produces the node/edge structure of the paper's Fig. 3: KSVL attitude and
+IMU variables plus the traced PID intermediates (v1..v7 ≙ KP, KI, KD, DT,
+INTEG, INPUT, DERIV), with green (positive) / red (negative) weighted
+correlation edges, and the constants (KP, KI, KD) excluded from the
+analysis as the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.correlation import correlation_matrix
+from repro.analysis.pruning import prune_state_variables
+from repro.firmware.mission import Mission
+from repro.profiling.collector import ProfileCollector
+from repro.profiling.ksvl import ROLL_DISPLAY_NAMES
+
+__all__ = ["Fig3Result", "run_fig3"]
+
+#: The Fig. 3 ESVL: the KSVL attitude/IMU block plus all PIDR traced
+#: intermediates (including the constants that pruning must reject).
+FIG3_COLUMNS = (
+    ["ATT.DesR", "ATT.R", "ATT.IR", "ATT.IRErr", "ATT.tv",
+     "ATT.DesP", "ATT.P", "ATT.DesY", "ATT.Y"]
+    + [f"IMU.{f}" for f in ("GyrX", "GyrY", "GyrZ", "AccX", "AccY", "AccZ")]
+    + [f"PIDR.{v}" for v in ("KP", "KI", "KD", "DT", "INTEG", "INPUT", "DERIV")]
+)
+
+
+@dataclass
+class Fig3Result:
+    """Graph structure of the correlation-dependency figure."""
+
+    nodes: list[str] = field(default_factory=list)
+    pruned_constants: list[str] = field(default_factory=list)
+    edges: list[tuple[str, str, float]] = field(default_factory=list)
+    samples: int = 0
+
+    def display(self, name: str) -> str:
+        """Paper-style label for a column."""
+        return ROLL_DISPLAY_NAMES.get(name, name.split(".", 1)[-1])
+
+    def render(self, top: int = 15) -> str:
+        """Edge list, strongest first, with +/- polarity."""
+        lines = [
+            "Fig. 3 — ESVL correlation dependency graph (roll control)",
+            f"  nodes: {len(self.nodes)}   "
+            f"pruned constants: {[self.display(n) for n in self.pruned_constants]}",
+        ]
+        for a, b, r in self.edges[:top]:
+            polarity = "+" if r >= 0 else "-"
+            lines.append(
+                f"  {self.display(a):6s} --{polarity}{abs(r):.2f}-- {self.display(b)}"
+            )
+        return "\n".join(lines)
+
+
+def run_fig3(
+    missions: list[Mission] | None = None,
+    edge_threshold: float = 0.3,
+) -> Fig3Result:
+    """Collect the Fig. 3 dataset and build the dependency graph."""
+    ksvl = [c for c in FIG3_COLUMNS if not c.startswith("PIDR.")]
+    intermediates = [c for c in FIG3_COLUMNS if c.startswith("PIDR.")]
+    collector = ProfileCollector(
+        "PID", ksvl_columns=ksvl, intermediate_columns=intermediates
+    )
+    dataset = collector.collect(missions=missions)
+
+    pruning = prune_state_variables(dataset.table)
+    constants = [
+        name for name, reason in pruning.dropped.items() if reason == "constant"
+    ]
+    analysed = dataset.table.select(pruning.kept)
+    corr = correlation_matrix(analysed)
+    result = Fig3Result(
+        nodes=pruning.kept,
+        pruned_constants=constants,
+        edges=corr.significant_pairs(edge_threshold),
+        samples=dataset.num_samples,
+    )
+    return result

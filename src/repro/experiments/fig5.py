@@ -1,0 +1,94 @@
+"""Experiment Fig. 5: correlation heat map + clustering for roll control.
+
+Reproduces the paper's 24-variable roll-control ESVL heat map: the
+pairwise correlation matrix ordered by hierarchical clustering, and the
+TSVL selected for the roll-angle response (paper: INTEG, DesR, IR, tv).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.clustering import dendrogram_order
+from repro.analysis.tsvl import TsvlConfig, generate_tsvl
+from repro.firmware.mission import Mission
+from repro.profiling.collector import ProfileCollector
+from repro.profiling.ksvl import ROLL_DISPLAY_NAMES, ROLL_ESVL_COLUMNS
+
+__all__ = ["Fig5Result", "run_fig5"]
+
+#: The paper's selected roll-control TSVL for comparison.
+PAPER_ROLL_TSVL = ("INTEG", "DesR", "IR", "tv")
+
+
+@dataclass
+class Fig5Result:
+    """Heat-map matrix, leaf ordering and the roll TSVL."""
+
+    names: list[str] = field(default_factory=list)  # dendrogram order
+    matrix: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
+    tsvl: list[str] = field(default_factory=list)
+    esvl_size: int = 0
+    samples: int = 0
+
+    def display_names(self) -> list[str]:
+        """Paper-style axis labels in heat-map order."""
+        return [ROLL_DISPLAY_NAMES.get(n, n) for n in self.names]
+
+    def render(self) -> str:
+        """Compact text heat map (sign and |r| decile per cell)."""
+        labels = self.display_names()
+        lines = [
+            "Fig. 5 — roll-control ESVL correlation heat map "
+            f"({len(self.names)} variables, {self.samples} samples)",
+            "  TSVL for roll: "
+            + ", ".join(ROLL_DISPLAY_NAMES.get(n, n) for n in self.tsvl)
+            + f"   (paper: {', '.join(PAPER_ROLL_TSVL)})",
+        ]
+        for i, label in enumerate(labels):
+            cells = "".join(
+                self._cell(self.matrix[i, j]) for j in range(len(labels))
+            )
+            lines.append(f"  {label:>6s} {cells}")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _cell(r: float) -> str:
+        if not np.isfinite(r):
+            return " "
+        magnitude = abs(r)
+        if magnitude < 0.25:
+            return "."
+        if magnitude < 0.5:
+            return "+" if r > 0 else "-"
+        if magnitude < 0.75:
+            return "o" if r > 0 else "x"
+        return "O" if r > 0 else "X"
+
+
+def run_fig5(missions: list[Mission] | None = None) -> Fig5Result:
+    """Collect the roll ESVL and produce the clustered heat map + TSVL."""
+    ksvl = [c for c in ROLL_ESVL_COLUMNS if not c.startswith("PIDR.")]
+    intermediates = [c for c in ROLL_ESVL_COLUMNS if c.startswith("PIDR.")]
+    collector = ProfileCollector(
+        "PID", ksvl_columns=ksvl, intermediate_columns=intermediates
+    )
+    dataset = collector.collect(missions=missions)
+
+    tsvl = generate_tsvl(
+        dataset.table, dynamics_variables=["ATT.R"], config=TsvlConfig()
+    )
+    order = dendrogram_order(tsvl.clustering)
+    # Variables pruned before clustering go to the end of the axis.
+    ordered = order + [c for c in dataset.table.columns if c not in order]
+    idx = [tsvl.correlation.names.index(n) for n in ordered]
+    matrix = tsvl.correlation.matrix[np.ix_(idx, idx)]
+    return Fig5Result(
+        names=ordered,
+        matrix=matrix,
+        tsvl=list(tsvl.tsvl),
+        esvl_size=len(dataset.table.columns),
+        samples=dataset.num_samples,
+    )

@@ -1,0 +1,148 @@
+"""Experiment Fig. 6: evading the control-invariants detector.
+
+Three conditions on the same path-following mission with the CI monitor
+(400 Hz, window 1024, threshold 400 000) attached:
+
+* **Normal** — benign flight; cumulative error fluctuates in the safe band.
+* **ARES** — gradual ``PIDR.INTEG`` manipulation creeping the roll angle
+  (paper: 2.5°/s toward 45°); large path deviation, no alarm.
+* **Naive** — the roll estimate forced to 30°; alarm almost immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attacks.gradual import GradualRollAttack
+from repro.attacks.naive import NaiveRollAttack
+from repro.defenses.control_invariants import ControlInvariantsDetector
+from repro.firmware.mission import line_mission
+from repro.firmware.modes import FlightMode
+from repro.firmware.vehicle import Vehicle
+from repro.sim.config import SimConfig
+
+__all__ = ["Fig6Condition", "Fig6Result", "run_fig6"]
+
+
+@dataclass
+class Fig6Condition:
+    """Time series and outcome for one condition."""
+
+    label: str
+    times: np.ndarray
+    roll_deg: np.ndarray
+    ci_times: np.ndarray
+    ci_scores: np.ndarray
+    alarmed: bool
+    first_alarm: float | None
+    path_deviation: float
+    crashed: bool
+
+    @property
+    def max_ci(self) -> float:
+        """Maximum cumulative error over the run."""
+        return float(self.ci_scores.max()) if len(self.ci_scores) else 0.0
+
+
+@dataclass
+class Fig6Result:
+    """All three conditions of Fig. 6."""
+
+    conditions: dict[str, Fig6Condition] = field(default_factory=dict)
+    threshold: float = 400_000.0
+
+    def render(self) -> str:
+        """Paper-style outcome summary with the two sub-figure charts."""
+        from repro.utils.ascii_plot import line_chart
+
+        lines = [
+            "Fig. 6 — control-invariants detection "
+            f"(threshold {self.threshold:,.0f})",
+            "  condition  max roll   max cum err   alarm    path dev",
+        ]
+        for label in ("normal", "ares", "naive"):
+            c = self.conditions.get(label)
+            if c is None:
+                continue
+            alarm = f"t={c.first_alarm:.1f}s" if c.alarmed else "none"
+            lines.append(
+                f"  {label:9s}  {c.roll_deg.max():7.1f}°  "
+                f"{c.max_ci:12,.0f}   {alarm:8s} {c.path_deviation:8.1f} m"
+            )
+        roll_series = {
+            label: (c.times, c.roll_deg)
+            for label, c in self.conditions.items() if len(c.times)
+        }
+        if roll_series:
+            lines.append("\n  (a) roll angle (deg) vs time (s)")
+            lines.append(line_chart(roll_series, width=60, height=10))
+        error_series = {
+            label: (c.ci_times, c.ci_scores)
+            for label, c in self.conditions.items() if len(c.ci_times)
+        }
+        if error_series:
+            lines.append("\n  (b) cumulative error vs time (s)")
+            lines.append(line_chart(error_series, width=60, height=10))
+        return "\n".join(lines)
+
+
+def _fly(attack, seed: int, duration: float, attack_start: float) -> Fig6Condition:
+    vehicle = Vehicle(SimConfig(seed=seed, wind_gust_std=0.4))
+    detector = ControlInvariantsDetector(vehicle.config.airframe)
+    detector.attach(vehicle)
+    vehicle.mission = line_mission(length=400.0, altitude=10.0, legs=1)
+    vehicle.takeoff(10.0)
+    if attack is not None:
+        attack.attach(vehicle)
+    vehicle.set_mode(FlightMode.AUTO)
+
+    times: list[float] = []
+    rolls: list[float] = []
+    deviation = 0.0
+
+    def sample(v):
+        nonlocal deviation
+        if v.logger.num_records("ATT") > len(times):
+            times.append(v.sim.time)
+            rolls.append(float(np.rad2deg(v.estimated_state()[2][0])))
+            deviation = max(
+                deviation,
+                float(v.mission.cross_track_distance(v.sim.vehicle.state.position)),
+            )
+
+    vehicle.post_step_hooks.append(sample)
+    vehicle.run(duration)
+    label = attack.name if attack is not None else "normal"
+    return Fig6Condition(
+        label=label,
+        times=np.asarray(times),
+        roll_deg=np.asarray(rolls),
+        ci_times=detector.record.times_array(),
+        ci_scores=detector.record.scores_array(),
+        alarmed=detector.alarmed,
+        first_alarm=detector.first_alarm_time,
+        path_deviation=deviation,
+        crashed=vehicle.sim.vehicle.crashed,
+    )
+
+
+def run_fig6(
+    duration: float = 60.0,
+    seed: int = 3,
+    ares_rate_deg_s: float = 2.5,
+    attack_start: float = 5.0,
+) -> Fig6Result:
+    """Run the three Fig. 6 conditions."""
+    result = Fig6Result()
+    result.conditions["normal"] = _fly(None, seed, duration, attack_start)
+    result.conditions["ares"] = _fly(
+        GradualRollAttack(rate_deg_s=ares_rate_deg_s, start_time=attack_start),
+        seed, duration, attack_start,
+    )
+    result.conditions["naive"] = _fly(
+        NaiveRollAttack(start_time=attack_start), seed,
+        min(duration, 30.0), attack_start,
+    )
+    return result

@@ -1,0 +1,55 @@
+"""Experiment Table I: the KSVL inventory of the dataflash logger.
+
+Regenerates the paper's Table I — the 40 dataflash message types and
+their available-log-variable counts (342 total) — from this firmware's
+actual log schema, and cross-checks it against the paper's reported
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.firmware.log_defs import LOG_MESSAGE_DEFS, TABLE1_ALV_COUNTS
+
+__all__ = ["Table1Result", "run_table1"]
+
+
+@dataclass
+class Table1Result:
+    """Rows of Table I plus agreement with the paper."""
+
+    rows: list[tuple[str, int]] = field(default_factory=list)
+    total: int = 0
+    paper_total: int = 342
+    mismatches: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def matches_paper(self) -> bool:
+        """True when every per-message count equals the paper's."""
+        return not self.mismatches and self.total == self.paper_total
+
+    def render(self) -> str:
+        """Paper-style table text."""
+        lines = ["Table I — KSVL (dataflash available log variables)"]
+        row_chunks = [self.rows[i : i + 6] for i in range(0, len(self.rows), 6)]
+        for chunk in row_chunks:
+            lines.append(
+                "  " + "  ".join(f"{name:5s}{count:3d}" for name, count in chunk)
+            )
+        lines.append(f"  total ALV: {self.total} (paper: {self.paper_total})")
+        return "\n".join(lines)
+
+
+def run_table1() -> Table1Result:
+    """Build Table I from the live log schema."""
+    rows = sorted(
+        (name, definition.num_fields)
+        for name, definition in LOG_MESSAGE_DEFS.items()
+    )
+    result = Table1Result(rows=rows, total=sum(c for _, c in rows))
+    for name, count in rows:
+        expected = TABLE1_ALV_COUNTS.get(name)
+        if expected is None or expected != count:
+            result.mismatches[name] = (count, expected or -1)
+    return result

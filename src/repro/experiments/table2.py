@@ -1,0 +1,130 @@
+"""Experiment Table II: KSVL → ESVL → TSVL counts per controller function.
+
+One benign profiling campaign (shared flights) collects the union of all
+three experiments' columns; Algorithm 1 then runs per controller-function
+kind. Paper's numbers: PID 28/36/64/6 (9.4 %), Sqrt 9/12/21/3 (14.3 %),
+SINS 14/19/33/3 (9.1 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.tsvl import TsvlConfig, generate_tsvl
+from repro.firmware.mission import Mission
+from repro.profiling.collector import ProfileCollector, default_profile_missions
+from repro.profiling.ksvl import intermediates_for_controller, ksvl_for_controller
+
+__all__ = ["Table2Row", "Table2Result", "run_table2", "PAPER_TABLE2"]
+
+#: Paper values: kind -> (ksvl, added, esvl, tsvl).
+PAPER_TABLE2 = {
+    "PID": (28, 36, 64, 6),
+    "Sqrt": (9, 12, 21, 3),
+    "SINS": (14, 19, 33, 3),
+}
+
+#: Response (vehicle dynamics) variables per experiment. The Sqrt
+#: experiment's responses are the achieved velocities: raw positions are
+#: near-integrated series that the IID pruning rejects (correctly), while
+#: velocity is the quantity the square-root position controller shapes.
+_RESPONSES = {
+    "PID": ["ATT.R", "ATT.P", "ATT.Y"],
+    "Sqrt": ["NTUN.VelX", "NTUN.VelY"],
+    "SINS": ["GPS.Spd", "GPS.VZ"],
+}
+
+
+@dataclass
+class Table2Row:
+    """One controller-function row of Table II."""
+
+    kind: str
+    ksvl: int
+    added: int
+    esvl: int
+    tsvl: int
+    tsvl_names: list[str] = field(default_factory=list)
+
+    @property
+    def ratio(self) -> float:
+        """TSVL / ESVL selection ratio."""
+        return self.tsvl / self.esvl if self.esvl else 0.0
+
+
+@dataclass
+class Table2Result:
+    """All rows plus campaign metadata."""
+
+    rows: list[Table2Row] = field(default_factory=list)
+    samples: int = 0
+    missions: int = 0
+
+    def row(self, kind: str) -> Table2Row:
+        """Row for one controller kind."""
+        for r in self.rows:
+            if r.kind == kind:
+                return r
+        raise KeyError(kind)
+
+    def render(self) -> str:
+        """Paper-style table text with the paper's values alongside."""
+        lines = [
+            "Table II — data-driven search of target state variables",
+            f"  ({self.missions} benign missions, {self.samples} samples @16 Hz)",
+            "  kind   #KSVL  #Added  #ESVL  #TSVL  ratio   (paper)",
+        ]
+        for r in self.rows:
+            paper = PAPER_TABLE2.get(r.kind)
+            paper_str = (
+                f"{paper[0]}/{paper[1]}/{paper[2]}/{paper[3]}" if paper else "-"
+            )
+            lines.append(
+                f"  {r.kind:5s}  {r.ksvl:5d}  {r.added:6d}  {r.esvl:5d}  "
+                f"{r.tsvl:5d}  {r.ratio * 100.0:5.1f}%  ({paper_str})"
+            )
+        return "\n".join(lines)
+
+
+def run_table2(
+    missions: list[Mission] | None = None,
+    max_per_response: int = 2,
+) -> Table2Result:
+    """Run the Table II campaign (default: the 5-mission paper campaign)."""
+    missions = missions if missions is not None else default_profile_missions()
+    kinds = ("PID", "Sqrt", "SINS")
+    ksvl_union: list[str] = []
+    inter_union: list[str] = []
+    for kind in kinds:
+        for col in ksvl_for_controller(kind):
+            if col not in ksvl_union:
+                ksvl_union.append(col)
+        for col in intermediates_for_controller(kind):
+            if col not in inter_union:
+                inter_union.append(col)
+    collector = ProfileCollector(
+        "PID", ksvl_columns=ksvl_union, intermediate_columns=inter_union
+    )
+    dataset = collector.collect(missions=missions)
+
+    result = Table2Result(
+        samples=dataset.num_samples, missions=dataset.missions_flown
+    )
+    for kind in kinds:
+        ksvl = ksvl_for_controller(kind)
+        added = intermediates_for_controller(kind)
+        esvl_columns = ksvl + added
+        table = dataset.table.select(esvl_columns)
+        tsvl = generate_tsvl(
+            table,
+            dynamics_variables=[r for r in _RESPONSES[kind] if r in table],
+            config=TsvlConfig(max_per_response=max_per_response),
+        )
+        result.rows.append(
+            Table2Row(
+                kind=kind, ksvl=len(ksvl), added=len(added),
+                esvl=len(esvl_columns), tsvl=len(tsvl.tsvl),
+                tsvl_names=list(tsvl.tsvl),
+            )
+        )
+    return result

@@ -1,0 +1,47 @@
+"""Virtual ArduCopter firmware: parameters, modes, missions, logging, vehicle."""
+
+from repro.firmware.log_defs import (
+    LOG_MESSAGE_DEFS,
+    LogMessageDef,
+    TABLE1_ALV_COUNTS,
+    total_alv_count,
+)
+from repro.firmware.log_io import decode_log, encode_log, load_log, save_log
+from repro.firmware.logger import DataflashLogger
+from repro.firmware.mission import (
+    Mission,
+    MissionStatus,
+    Waypoint,
+    line_mission,
+    square_mission,
+)
+from repro.firmware.modes import FlightMode, ModeManager
+from repro.firmware.param_defs import CONTROL_PARAMETER_NAMES, arducopter_parameter_defs
+from repro.firmware.parameters import ParameterDef, ParameterStore
+from repro.firmware.vehicle import NAV_REGION, STABILIZER_REGION, Vehicle
+
+__all__ = [
+    "CONTROL_PARAMETER_NAMES",
+    "DataflashLogger",
+    "FlightMode",
+    "LOG_MESSAGE_DEFS",
+    "LogMessageDef",
+    "Mission",
+    "MissionStatus",
+    "ModeManager",
+    "NAV_REGION",
+    "ParameterDef",
+    "ParameterStore",
+    "STABILIZER_REGION",
+    "TABLE1_ALV_COUNTS",
+    "Vehicle",
+    "Waypoint",
+    "arducopter_parameter_defs",
+    "decode_log",
+    "encode_log",
+    "line_mission",
+    "load_log",
+    "save_log",
+    "square_mission",
+    "total_alv_count",
+]

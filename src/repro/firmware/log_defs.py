@@ -1,0 +1,153 @@
+"""Dataflash log message schema — the paper's Table I.
+
+The ArduCopter built-in dataflash logger exposes 40 message types totalling
+342 available log variables (ALVs); that inventory is the paper's *known
+state variable list* (KSVL). Field counts here match Table I exactly; field
+names follow ArduPilot's conventions plus the paper's Fig. 3/Fig. 5 labels
+(``DesR``, ``IR``, ``IRErr``, ``tv``, ``dPD`` ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "LogMessageDef",
+    "LOG_MESSAGE_DEFS",
+    "TABLE1_ALV_COUNTS",
+    "total_alv_count",
+]
+
+
+@dataclass(frozen=True)
+class LogMessageDef:
+    """Schema of one dataflash message type."""
+
+    name: str
+    fields: tuple[str, ...]
+    description: str = ""
+
+    @property
+    def num_fields(self) -> int:
+        """Number of available log variables in this message."""
+        return len(self.fields)
+
+
+def _msg(name: str, fields: list[str], description: str = "") -> LogMessageDef:
+    return LogMessageDef(name=name, fields=tuple(fields), description=description)
+
+
+#: The 40 message types of the ArduCopter dataflash logger (Table I).
+LOG_MESSAGE_DEFS: dict[str, LogMessageDef] = {
+    d.name: d
+    for d in [
+        _msg("AHR2", ["TimeUS", "Roll", "Pitch", "Yaw", "Alt", "Lat", "Lng"],
+             "Backup AHRS solution"),
+        _msg("ATT", ["TimeUS", "DesR", "R", "DesP", "P", "DesY", "Y",
+                     "IR", "IRErr", "tv", "ErrRP", "ErrYaw"],
+             "Attitude: desired vs achieved angles, roll rate (IR), roll "
+             "rate error (IRErr) and throttle value (tv)"),
+        _msg("BARO", ["TimeUS", "Alt", "Press", "Temp", "CRt"],
+             "Barometer"),
+        _msg("CMD", ["TimeUS", "CNum", "CId", "Lat", "Lng", "Alt"],
+             "Executed mission command"),
+        _msg("CTUN", ["TimeUS", "ThI", "ThO", "DAlt", "Alt", "CRt"],
+             "Throttle/altitude tuning"),
+        _msg("CURR", ["TimeUS", "Volt", "Curr", "CurrTot", "EnrgTot", "Temp", "Res"],
+             "Battery monitor"),
+        _msg("DU32", ["TimeUS", "Id", "Value"],
+             "Generic 32-bit debug value"),
+        _msg("EKF1", ["TimeUS", "Roll", "Pitch", "Yaw", "VN", "VE", "VD",
+                      "dPD", "PN", "PE", "PD", "GX", "GY", "GZ"],
+             "EKF primary solution: attitude, velocity, position, gyro bias"),
+        _msg("EKF2", ["TimeUS", "AX", "AY", "AZ", "VWN", "VWE",
+                      "MN", "ME", "MD", "MX", "MY", "MZ"],
+             "EKF accel bias, wind and magnetic field states"),
+        _msg("EKF3", ["TimeUS", "IVN", "IVE", "IVD", "IPN", "IPE", "IPD",
+                      "IMX", "IMY", "IMZ", "IYAW"],
+             "EKF innovations"),
+        _msg("EKF4", ["TimeUS", "SV", "SP", "SH", "SM", "SVT", "errRP",
+                      "OFN", "OFE", "FS", "TS", "SS", "GPS", "PI"],
+             "EKF variance ratios and fault status"),
+        _msg("EV", ["TimeUS", "Id"], "Flight event"),
+        _msg("FMT", ["Type", "Length", "Name", "Format", "Columns", "TimeUS"],
+             "Message format descriptor"),
+        _msg("GPA", ["TimeUS", "VDop", "HAcc", "VAcc", "SAcc"],
+             "GPS accuracy"),
+        _msg("GPS", ["TimeUS", "Status", "GMS", "GWk", "NSats", "HDop",
+                     "Lat", "Lng", "Alt", "Spd", "GCrs", "VZ", "U", "SMS"],
+             "GPS fix"),
+        _msg("IMU", ["TimeUS", "GyrX", "GyrY", "GyrZ", "AccX", "AccY", "AccZ",
+                     "EG", "EA", "T", "GH", "AH"],
+             "Primary IMU"),
+        _msg("IMU2", ["TimeUS", "GyrX", "GyrY", "GyrZ", "AccX", "AccY", "AccZ",
+                      "EG", "EA", "T", "GH", "AH"],
+             "Secondary IMU"),
+        _msg("MAG", ["TimeUS", "MagX", "MagY", "MagZ", "OfsX", "OfsY", "OfsZ",
+                     "MOX", "MOY", "MOZ", "Health"],
+             "Primary compass"),
+        _msg("MAG2", ["TimeUS", "MagX", "MagY", "MagZ", "OfsX", "OfsY", "OfsZ",
+                      "MOX", "MOY", "MOZ", "Health"],
+             "Secondary compass"),
+        _msg("MAV", ["TimeUS", "Chan"], "MAVLink channel statistics"),
+        _msg("MODE", ["TimeUS", "Mode", "Reason"], "Flight mode change"),
+        _msg("MOTB", ["TimeUS", "LiftMax", "BatVolt", "BatRes", "ThLimit"],
+             "Motor battery compensation"),
+        _msg("MSG", ["Message"], "Text message"),
+        _msg("NKF1", ["TimeUS", "Roll", "Pitch", "Yaw", "VN", "VE", "VD",
+                      "dPD", "PN", "PE", "PD", "GX", "GY", "GZ"],
+             "NavEKF2 primary solution"),
+        _msg("NKF2", ["TimeUS", "AZbias", "GSX", "GSY", "GSZ", "VWN", "VWE",
+                      "MN", "ME", "MD", "MX", "MY", "MZ"],
+             "NavEKF2 bias/wind/mag states"),
+        _msg("NKF3", ["TimeUS", "IVN", "IVE", "IVD", "IPN", "IPE", "IPD",
+                      "IMX", "IMY", "IMZ", "IYAW", "IVT"],
+             "NavEKF2 innovations"),
+        _msg("NKF4", ["TimeUS", "SV", "SP", "SH", "SM", "SVT", "errRP",
+                      "OFN", "OFE", "FS", "TS", "SS", "GPS"],
+             "NavEKF2 variances"),
+        _msg("NTUN", ["TimeUS", "DPosX", "DPosY", "PosX", "PosY",
+                      "DVelX", "DVelY", "VelX", "VelY", "DAccX", "DAccY"],
+             "Navigation tuning (position controller)"),
+        _msg("PARM", ["TimeUS", "Name", "Value"], "Parameter value"),
+        _msg("PIDA", ["TimeUS", "Des", "Act", "P", "I", "D", "FF"],
+             "Vertical acceleration PID"),
+        _msg("PIDR", ["TimeUS", "Des", "Act", "P", "I", "D", "FF"],
+             "Roll rate PID"),
+        _msg("PIDY", ["TimeUS", "Des", "Act", "P", "I", "D", "FF"],
+             "Yaw rate PID"),
+        _msg("PIDP", ["TimeUS", "Des", "Act", "P", "I", "D", "FF"],
+             "Pitch rate PID"),
+        _msg("PM", ["TimeUS", "NLon", "NLoop", "MaxT", "Mem", "Load", "ErrL"],
+             "Scheduler performance"),
+        _msg("POS", ["TimeUS", "Lat", "Lng", "Alt", "RelAlt"],
+             "Canonical position"),
+        _msg("RATE", ["TimeUS", "RDes", "R", "ROut", "PDes", "P", "POut",
+                      "YDes", "Y", "YOut", "ADes", "A", "AOut"],
+             "Rate controller targets and outputs"),
+        _msg("RCIN", ["TimeUS"] + [f"C{i}" for i in range(1, 15)],
+             "RC input channels"),
+        _msg("RCOU", ["TimeUS"] + [f"C{i}" for i in range(1, 13)],
+             "Servo/motor output channels"),
+        _msg("SIM", ["TimeUS", "Roll", "Pitch", "Yaw", "Alt", "Lat", "Lng"],
+             "Simulator ground truth"),
+        _msg("VIBE", ["TimeUS", "VibeX", "VibeY", "VibeZ", "Clip0", "Clip1", "Clip2"],
+             "IMU vibration metrics"),
+    ]
+}
+
+#: Paper Table I: message name -> number of available log variables.
+TABLE1_ALV_COUNTS: dict[str, int] = {
+    "AHR2": 7, "ATT": 12, "BARO": 5, "CMD": 6, "CTUN": 6, "CURR": 7,
+    "DU32": 3, "EKF1": 14, "EKF2": 12, "EKF3": 11, "EKF4": 14, "EV": 2,
+    "FMT": 6, "GPA": 5, "GPS": 14, "IMU": 12, "IMU2": 12, "MAG": 11,
+    "MAG2": 11, "MAV": 2, "MODE": 3, "MOTB": 5, "MSG": 1, "NKF1": 14,
+    "NKF2": 13, "NKF3": 12, "NKF4": 13, "NTUN": 11, "PARM": 3, "PIDA": 7,
+    "PIDR": 7, "PIDY": 7, "PIDP": 7, "PM": 7, "POS": 5, "RATE": 13,
+    "RCIN": 15, "RCOU": 13, "SIM": 7, "VIBE": 7,
+}
+
+
+def total_alv_count() -> int:
+    """Total available log variables across all message types (342)."""
+    return sum(d.num_fields for d in LOG_MESSAGE_DEFS.values())

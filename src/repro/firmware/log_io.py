@@ -1,0 +1,131 @@
+"""Binary dataflash log encoding and decoding.
+
+Real ArduPilot dataflash logs are binary ``.bin`` files: a stream of
+self-describing records, each introduced by a two-byte magic header and a
+message-type id, with ``FMT`` records describing the field layout of every
+other message type. The paper's profiling step "downloads" such a log
+after each mission; this module provides a faithful round-trippable
+binary format so logs can be written to disk, shipped and re-parsed into
+the same structures the analysis pipeline consumes.
+
+Format (little-endian)::
+
+    record  := 0xA3 0x95 <type:u8> <payload>
+    FMT     := type 0x80, payload: described-type u8, name 16s,
+               field-count u8, then field-count * (field-name 16s)
+    data    := per the FMT of its type: f64 per field
+
+Values are stored as float64 for fidelity with the in-memory logger (real
+firmware packs narrower types; the paper's statistics do not depend on
+quantisation).
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+from repro.exceptions import ReproError
+from repro.firmware.log_defs import LOG_MESSAGE_DEFS
+from repro.firmware.logger import DataflashLogger
+
+__all__ = ["encode_log", "decode_log", "save_log", "load_log"]
+
+_MAGIC = b"\xa3\x95"
+_FMT_TYPE = 0x80
+
+
+def _type_ids() -> dict[str, int]:
+    """Stable message-name → type-id assignment (alphabetical)."""
+    return {name: i for i, name in enumerate(sorted(LOG_MESSAGE_DEFS))}
+
+
+def _pack_name(name: str) -> bytes:
+    raw = name.encode("ascii")
+    if len(raw) > 16:
+        raise ReproError(f"name too long for dataflash format: '{name}'")
+    return raw.ljust(16, b"\x00")
+
+
+def _unpack_name(raw: bytes) -> str:
+    return raw.rstrip(b"\x00").decode("ascii")
+
+
+def encode_log(logger: DataflashLogger) -> bytes:
+    """Serialise a logger's contents into the binary dataflash format.
+
+    Emits one FMT record per message type that has data, followed by all
+    data records in per-type chronological order.
+    """
+    ids = _type_ids()
+    chunks: list[bytes] = []
+    for name in sorted(LOG_MESSAGE_DEFS):
+        records = logger.records(name)
+        if not records:
+            continue
+        definition = LOG_MESSAGE_DEFS[name]
+        fmt_payload = struct.pack("<B", ids[name]) + _pack_name(name)
+        fmt_payload += struct.pack("<B", definition.num_fields)
+        for field in definition.fields:
+            fmt_payload += _pack_name(field)
+        chunks.append(_MAGIC + struct.pack("<B", _FMT_TYPE) + fmt_payload)
+        for _, record in records:
+            payload = struct.pack(
+                f"<{definition.num_fields}d",
+                *(record[field] for field in definition.fields),
+            )
+            chunks.append(_MAGIC + struct.pack("<B", ids[name]) + payload)
+    return b"".join(chunks)
+
+
+def decode_log(blob: bytes) -> dict[str, list[dict[str, float]]]:
+    """Parse a binary dataflash blob back into per-type record lists.
+
+    The decoder relies only on the embedded FMT records (it does not
+    assume this library's schema), like a real log parser.
+    """
+    offset = 0
+    formats: dict[int, tuple[str, list[str]]] = {}
+    out: dict[str, list[dict[str, float]]] = {}
+    n = len(blob)
+    while offset < n:
+        if blob[offset : offset + 2] != _MAGIC:
+            raise ReproError(f"bad record magic at offset {offset}")
+        offset += 2
+        (type_id,) = struct.unpack_from("<B", blob, offset)
+        offset += 1
+        if type_id == _FMT_TYPE:
+            (described,) = struct.unpack_from("<B", blob, offset)
+            offset += 1
+            name = _unpack_name(blob[offset : offset + 16])
+            offset += 16
+            (count,) = struct.unpack_from("<B", blob, offset)
+            offset += 1
+            fields = []
+            for _ in range(count):
+                fields.append(_unpack_name(blob[offset : offset + 16]))
+                offset += 16
+            formats[described] = (name, fields)
+            out.setdefault(name, [])
+        else:
+            if type_id not in formats:
+                raise ReproError(
+                    f"data record for unknown type {type_id} before its FMT"
+                )
+            name, fields = formats[type_id]
+            values = struct.unpack_from(f"<{len(fields)}d", blob, offset)
+            offset += 8 * len(fields)
+            out[name].append(dict(zip(fields, values)))
+    return out
+
+
+def save_log(logger: DataflashLogger, path: str | Path) -> int:
+    """Write a logger's contents to ``path``; returns the byte count."""
+    blob = encode_log(logger)
+    Path(path).write_bytes(blob)
+    return len(blob)
+
+
+def load_log(path: str | Path) -> dict[str, list[dict[str, float]]]:
+    """Read a binary dataflash file back into per-type record lists."""
+    return decode_log(Path(path).read_bytes())

@@ -1,0 +1,110 @@
+"""Onboard dataflash logger.
+
+Records the Table I message set during flight. The profiling stage
+"downloads" the log after a mission (as the paper does via the onboard
+dataflash memory logger) and converts it to a :class:`TraceTable` for the
+statistical pipeline, with columns named ``MSG.Field``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.firmware.log_defs import LOG_MESSAGE_DEFS
+from repro.utils.timeseries import TraceTable
+
+__all__ = ["DataflashLogger"]
+
+
+class DataflashLogger:
+    """In-memory dataflash log with schema enforcement and rate decimation.
+
+    Parameters
+    ----------
+    log_rate_hz:
+        Rate at which periodic messages are recorded. The paper logs the
+        statistics dataset at 16 Hz (Section V-B); the control loop calls
+        :meth:`write` at 400 Hz and the logger decimates.
+    """
+
+    def __init__(self, log_rate_hz: float = 16.0):
+        if log_rate_hz <= 0.0:
+            raise ReproError("log rate must be positive")
+        self.log_rate_hz = log_rate_hz
+        self._period = 1.0 / log_rate_hz
+        self._last_write: dict[str, float] = {}
+        self._records: dict[str, list[tuple[float, dict[str, float]]]] = {
+            name: [] for name in LOG_MESSAGE_DEFS
+        }
+
+    def clear(self) -> None:
+        """Erase the log (new flight)."""
+        for records in self._records.values():
+            records.clear()
+        self._last_write.clear()
+
+    def write(
+        self, msg_type: str, time_s: float, values: Mapping[str, float],
+        force: bool = False,
+    ) -> bool:
+        """Record one message if the decimation period has elapsed.
+
+        Unknown message types or fields raise immediately — the schema is
+        the KSVL contract the rest of the pipeline depends on. Returns
+        whether the record was stored.
+        """
+        try:
+            definition = LOG_MESSAGE_DEFS[msg_type]
+        except KeyError:
+            raise ReproError(f"unknown dataflash message type '{msg_type}'") from None
+        last = self._last_write.get(msg_type, -np.inf)
+        if not force and time_s - last < self._period - 1e-12:
+            return False
+        unknown = set(values) - set(definition.fields)
+        if unknown:
+            raise ReproError(f"{msg_type}: unknown fields {sorted(unknown)}")
+        record = {field: float(values.get(field, 0.0)) for field in definition.fields}
+        record["TimeUS"] = time_s * 1e6 if "TimeUS" in definition.fields else record.get("TimeUS", 0.0)
+        self._records[msg_type].append((time_s, record))
+        self._last_write[msg_type] = time_s
+        return True
+
+    def num_records(self, msg_type: str) -> int:
+        """Number of stored records for a message type."""
+        return len(self._records[msg_type])
+
+    def records(self, msg_type: str) -> list[tuple[float, dict[str, float]]]:
+        """All (time, fields) records of one message type."""
+        return list(self._records[msg_type])
+
+    def field(self, msg_type: str, field: str) -> np.ndarray:
+        """All samples of ``msg_type.field`` as an array."""
+        definition = LOG_MESSAGE_DEFS[msg_type]
+        if field not in definition.fields:
+            raise ReproError(f"{msg_type} has no field '{field}'")
+        return np.asarray([rec[field] for _, rec in self._records[msg_type]])
+
+    def to_trace_table(self, columns: list[str]) -> TraceTable:
+        """Export selected ``MSG.Field`` columns as one aligned table.
+
+        Alignment uses record index (all periodic messages are written in
+        the same decimated cycle); the shortest column bounds the row
+        count.
+        """
+        parsed = []
+        for column in columns:
+            msg_type, _, field = column.partition(".")
+            if not field:
+                raise ReproError(f"column '{column}' must look like 'MSG.Field'")
+            parsed.append((column, self.field(msg_type, field)))
+        if not parsed:
+            raise ReproError("no columns requested")
+        n_rows = min(len(values) for _, values in parsed)
+        table = TraceTable([column for column, _ in parsed])
+        times = [t for t, _ in self._records[parsed[0][0].partition(".")[0]]][:n_rows]
+        for i, t in enumerate(times):
+            table.append_row(t, {column: values[i] for column, values in parsed})
+        return table

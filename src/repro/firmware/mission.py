@@ -1,0 +1,148 @@
+"""Waypoint missions (the AUTO-mode flight plans of the paper's case studies)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.exceptions import MissionError
+from repro.sim.world import path_distance
+
+__all__ = ["Waypoint", "Mission", "MissionStatus", "square_mission", "line_mission"]
+
+
+class MissionStatus(Enum):
+    """Lifecycle of a mission run."""
+
+    PENDING = "pending"
+    ACTIVE = "active"
+    COMPLETE = "complete"
+
+
+@dataclass(frozen=True)
+class Waypoint:
+    """One mission waypoint in local NED coordinates."""
+
+    north: float
+    east: float
+    altitude: float  # metres above ground, positive up
+    hold_s: float = 0.0
+
+    @property
+    def position(self) -> np.ndarray:
+        """NED position vector (down = -altitude)."""
+        return np.array([self.north, self.east, -self.altitude])
+
+
+@dataclass
+class Mission:
+    """An ordered list of waypoints plus acceptance bookkeeping."""
+
+    waypoints: list[Waypoint]
+    acceptance_radius: float = 1.0
+    _current: int = field(default=0, repr=False)
+    _status: MissionStatus = field(default=MissionStatus.PENDING, repr=False)
+    _hold_until: float | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.waypoints:
+            raise MissionError("mission needs at least one waypoint")
+        if self.acceptance_radius <= 0.0:
+            raise MissionError("acceptance radius must be positive")
+
+    @property
+    def status(self) -> MissionStatus:
+        """Current mission lifecycle state."""
+        return self._status
+
+    @property
+    def current_index(self) -> int:
+        """Index of the active waypoint."""
+        return self._current
+
+    @property
+    def current_waypoint(self) -> Waypoint:
+        """The waypoint currently being flown to."""
+        return self.waypoints[self._current]
+
+    @property
+    def path_points(self) -> list[np.ndarray]:
+        """Waypoint positions as NED vectors (the reference path Pth)."""
+        return [wp.position for wp in self.waypoints]
+
+    def start(self) -> None:
+        """Activate the mission from its first waypoint."""
+        self._current = 0
+        self._status = MissionStatus.ACTIVE
+        self._hold_until = None
+
+    def reset(self) -> None:
+        """Return to the pending state."""
+        self._current = 0
+        self._status = MissionStatus.PENDING
+        self._hold_until = None
+
+    def update(self, position: np.ndarray, time_s: float) -> Waypoint:
+        """Advance the waypoint index when the current one is reached.
+
+        Returns the waypoint to fly toward this cycle.
+        """
+        if self._status is not MissionStatus.ACTIVE:
+            return self.waypoints[self._current]
+        wp = self.waypoints[self._current]
+        distance = float(np.linalg.norm(position - wp.position))
+        if distance <= self.acceptance_radius:
+            if wp.hold_s > 0.0 and self._hold_until is None:
+                self._hold_until = time_s + wp.hold_s
+            if self._hold_until is None or time_s >= self._hold_until:
+                self._hold_until = None
+                if self._current + 1 < len(self.waypoints):
+                    self._current += 1
+                else:
+                    self._status = MissionStatus.COMPLETE
+        return self.waypoints[self._current]
+
+    def cross_track_distance(self, position: np.ndarray) -> float:
+        """Minimum distance from ``position`` to the mission polyline."""
+        return path_distance(position, self.path_points)
+
+    def desired_yaw(self, position: np.ndarray) -> float:
+        """Heading toward the active waypoint (rad)."""
+        wp = self.current_waypoint
+        delta = wp.position - position
+        if float(np.hypot(delta[0], delta[1])) < 1e-6:
+            return 0.0
+        return float(np.arctan2(delta[1], delta[0]))
+
+
+def line_mission(
+    length: float = 60.0, altitude: float = 10.0, legs: int = 2,
+    acceptance_radius: float = 1.0,
+) -> Mission:
+    """Straight back-and-forth path — the paper's "couple of straight lines".
+
+    The drone always moves forward along the roll axis between waypoints,
+    the geometry that makes roll-axis manipulation the most effective
+    deviation attack (Section V-C, "Effectiveness").
+    """
+    waypoints = [Waypoint(0.0, 0.0, altitude)]
+    for leg in range(1, legs + 1):
+        north = length if leg % 2 == 1 else 0.0
+        waypoints.append(Waypoint(north, 0.0, altitude))
+    return Mission(waypoints=waypoints, acceptance_radius=acceptance_radius)
+
+
+def square_mission(
+    side: float = 40.0, altitude: float = 10.0, acceptance_radius: float = 1.0
+) -> Mission:
+    """Square circuit mission used for the benign profiling flights."""
+    waypoints = [
+        Waypoint(0.0, 0.0, altitude),
+        Waypoint(side, 0.0, altitude),
+        Waypoint(side, side, altitude),
+        Waypoint(0.0, side, altitude),
+        Waypoint(0.0, 0.0, altitude),
+    ]
+    return Mission(waypoints=waypoints, acceptance_radius=acceptance_radius)

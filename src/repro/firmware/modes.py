@@ -1,0 +1,69 @@
+"""Flight modes (a subset of ArduCopter's mode machine).
+
+Only the modes the paper's experiments exercise are implemented: STABILIZE
+(manual attitude), GUIDED (hover at a point — the Fig. 7 scenario), AUTO
+(waypoint mission — Figs. 6, 9, 10, 11), LAND and RTL.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.exceptions import MissionError
+
+__all__ = ["FlightMode", "ModeManager"]
+
+
+class FlightMode(Enum):
+    """Supported flight modes with their ArduCopter mode numbers."""
+
+    STABILIZE = 0
+    GUIDED = 4
+    RTL = 6
+    AUTO = 3
+    LAND = 9
+
+    @property
+    def is_autonomous(self) -> bool:
+        """Whether the mode flies itself (no pilot stick input needed)."""
+        return self in (FlightMode.GUIDED, FlightMode.AUTO, FlightMode.RTL, FlightMode.LAND)
+
+
+#: Allowed transitions; ArduCopter allows most, but we reject nonsensical
+#: ones (e.g. AUTO without a mission is checked by the vehicle).
+_ALLOWED = {
+    FlightMode.STABILIZE: {FlightMode.GUIDED, FlightMode.AUTO, FlightMode.LAND, FlightMode.RTL},
+    FlightMode.GUIDED: {FlightMode.STABILIZE, FlightMode.AUTO, FlightMode.LAND, FlightMode.RTL},
+    FlightMode.AUTO: {FlightMode.STABILIZE, FlightMode.GUIDED, FlightMode.LAND, FlightMode.RTL},
+    FlightMode.RTL: {FlightMode.STABILIZE, FlightMode.GUIDED, FlightMode.AUTO, FlightMode.LAND},
+    FlightMode.LAND: {FlightMode.STABILIZE, FlightMode.GUIDED, FlightMode.AUTO, FlightMode.RTL},
+}
+
+
+class ModeManager:
+    """Tracks the active flight mode and validates transitions."""
+
+    def __init__(self, initial: FlightMode = FlightMode.STABILIZE):
+        self._mode = initial
+        self._history: list[tuple[float, FlightMode]] = [(0.0, initial)]
+
+    @property
+    def mode(self) -> FlightMode:
+        """The active flight mode."""
+        return self._mode
+
+    @property
+    def history(self) -> list[tuple[float, FlightMode]]:
+        """All (time, mode) transitions since construction."""
+        return list(self._history)
+
+    def set_mode(self, mode: FlightMode, time_s: float = 0.0) -> None:
+        """Switch modes, enforcing the transition table."""
+        if mode is self._mode:
+            return
+        if mode not in _ALLOWED[self._mode]:
+            raise MissionError(
+                f"illegal mode transition {self._mode.name} -> {mode.name}"
+            )
+        self._mode = mode
+        self._history.append((time_s, mode))

@@ -1,0 +1,264 @@
+"""ArduCopter-style parameter table.
+
+A realistic (several-hundred-entry) configurable parameter list in the
+style of the ArduCopter full parameter list the paper cites ([27]). The
+control-relevant entries are wired into the live controllers by
+:class:`repro.firmware.vehicle.Vehicle`; the remainder reproduce the broad
+parameter surface that makes exhaustive manual auditing infeasible
+(Section III-C).
+"""
+
+from __future__ import annotations
+
+from repro.firmware.parameters import ParameterDef
+
+__all__ = ["arducopter_parameter_defs", "CONTROL_PARAMETER_NAMES"]
+
+#: Parameters that are actually wired into the running control loops.
+CONTROL_PARAMETER_NAMES = (
+    "ATC_ANG_RLL_P",
+    "ATC_ANG_PIT_P",
+    "ATC_ANG_YAW_P",
+    "ATC_RAT_RLL_P",
+    "ATC_RAT_RLL_I",
+    "ATC_RAT_RLL_D",
+    "ATC_RAT_RLL_IMAX",
+    "ATC_RAT_RLL_FLTD",
+    "ATC_RAT_PIT_P",
+    "ATC_RAT_PIT_I",
+    "ATC_RAT_PIT_D",
+    "ATC_RAT_PIT_IMAX",
+    "ATC_RAT_PIT_FLTD",
+    "ATC_RAT_YAW_P",
+    "ATC_RAT_YAW_I",
+    "ATC_RAT_YAW_D",
+    "ATC_RAT_YAW_IMAX",
+    "ATC_RAT_YAW_FLTD",
+    "PSC_POSXY_P",
+    "PSC_VELXY_P",
+    "PSC_VELXY_I",
+    "PSC_VELXY_D",
+    "PSC_POSZ_P",
+    "PSC_VELZ_P",
+    "PSC_VELZ_I",
+    "ANGLE_MAX",
+    "WPNAV_SPEED",
+    "WPNAV_RADIUS",
+    "PILOT_SPEED_UP",
+)
+
+
+def _control_defs() -> list[ParameterDef]:
+    defs = []
+    for axis, p, i, d in (("RLL", 0.135, 0.135, 0.0036), ("PIT", 0.135, 0.135, 0.0036), ("YAW", 0.30, 0.06, 0.0)):
+        defs.extend(
+            [
+                ParameterDef(
+                    f"ATC_ANG_{axis}_P", 4.5, 0.5, 12.0,
+                    f"{axis} axis angle controller P gain", "ATC",
+                ),
+                ParameterDef(
+                    f"ATC_RAT_{axis}_P", p, 0.0, 2.0,
+                    f"{axis} axis rate controller P gain", "ATC",
+                ),
+                ParameterDef(
+                    f"ATC_RAT_{axis}_I", i, 0.0, 2.0,
+                    f"{axis} axis rate controller I gain", "ATC",
+                ),
+                ParameterDef(
+                    f"ATC_RAT_{axis}_D", d, 0.0, 0.1,
+                    f"{axis} axis rate controller D gain", "ATC",
+                ),
+                ParameterDef(
+                    f"ATC_RAT_{axis}_IMAX", 0.5, 0.0, 1.0,
+                    f"{axis} axis rate controller integrator clamp", "ATC",
+                ),
+                ParameterDef(
+                    f"ATC_RAT_{axis}_FLTD", 20.0, 0.0, 100.0,
+                    f"{axis} axis rate controller derivative filter Hz", "ATC",
+                ),
+            ]
+        )
+    defs.extend(
+        [
+            ParameterDef("PSC_POSXY_P", 1.0, 0.1, 3.0, "Horizontal position P gain", "PSC"),
+            ParameterDef("PSC_VELXY_P", 1.2, 0.1, 6.0, "Horizontal velocity P gain", "PSC"),
+            ParameterDef("PSC_VELXY_I", 0.5, 0.0, 3.0, "Horizontal velocity I gain", "PSC"),
+            ParameterDef("PSC_VELXY_D", 0.02, 0.0, 1.0, "Horizontal velocity D gain", "PSC"),
+            ParameterDef("PSC_POSZ_P", 1.0, 0.1, 3.0, "Vertical position P gain", "PSC"),
+            ParameterDef("PSC_VELZ_P", 2.5, 0.1, 8.0, "Vertical velocity P gain", "PSC"),
+            ParameterDef("PSC_VELZ_I", 1.2, 0.0, 3.0, "Vertical velocity I gain", "PSC"),
+            ParameterDef("ANGLE_MAX", 25.0, 10.0, 80.0, "Maximum lean angle, degrees", "ATC"),
+            ParameterDef("WPNAV_SPEED", 5.0, 0.2, 20.0, "Waypoint horizontal speed m/s", "WPNAV"),
+            ParameterDef("WPNAV_RADIUS", 1.0, 0.1, 10.0, "Waypoint acceptance radius m", "WPNAV"),
+            ParameterDef("WPNAV_SPEED_UP", 2.5, 0.1, 10.0, "Waypoint climb speed m/s", "WPNAV"),
+            ParameterDef("WPNAV_SPEED_DN", 1.5, 0.1, 5.0, "Waypoint descend speed m/s", "WPNAV"),
+            ParameterDef("PILOT_SPEED_UP", 2.5, 0.5, 5.0, "Pilot climb rate m/s", "PILOT"),
+            ParameterDef("SCHED_LOOP_RATE", 400.0, 50.0, 400.0, "Main loop rate Hz", "SCHED"),
+        ]
+    )
+    return defs
+
+
+def _sensor_defs() -> list[ParameterDef]:
+    defs = [
+        ParameterDef("INS_GYR_CAL", 1.0, 0.0, 1.0, "Gyro calibration on boot", "INS"),
+        ParameterDef("INS_ACCSCAL_X", 1.0, 0.8, 1.2, "Accel X scale", "INS"),
+        ParameterDef("INS_ACCSCAL_Y", 1.0, 0.8, 1.2, "Accel Y scale", "INS"),
+        ParameterDef("INS_ACCSCAL_Z", 1.0, 0.8, 1.2, "Accel Z scale", "INS"),
+        ParameterDef("EK2_ENABLE", 1.0, 0.0, 1.0, "Enable EKF2", "EK2"),
+        ParameterDef("EK2_GPS_TYPE", 0.0, 0.0, 3.0, "EKF2 GPS fusion mode", "EK2"),
+        ParameterDef("EK2_VELNE_M_NSE", 0.5, 0.05, 5.0, "EKF2 GPS velocity noise", "EK2"),
+        ParameterDef("EK2_POSNE_M_NSE", 1.0, 0.1, 10.0, "EKF2 GPS position noise", "EK2"),
+        ParameterDef("EK2_ALT_M_NSE", 1.0, 0.1, 10.0, "EKF2 baro noise", "EK2"),
+        ParameterDef("EK2_GYRO_P_NSE", 0.03, 0.0001, 0.1, "EKF2 gyro process noise", "EK2"),
+        ParameterDef("EK2_ACC_P_NSE", 0.6, 0.01, 1.0, "EKF2 accel process noise", "EK2"),
+        ParameterDef("GPS_TYPE", 1.0, 0.0, 22.0, "GPS driver type", "GPS"),
+        ParameterDef("GPS_HDOP_GOOD", 140.0, 100.0, 900.0, "Acceptable HDOP x100", "GPS"),
+        ParameterDef("COMPASS_USE", 1.0, 0.0, 1.0, "Enable compass", "COMPASS"),
+        ParameterDef("COMPASS_DEC", 0.0, -3.142, 3.142, "Magnetic declination rad", "COMPASS"),
+        ParameterDef("BARO_PRIMARY", 0.0, 0.0, 2.0, "Primary barometer index", "BARO"),
+    ]
+    for idx in (1, 2, 3):
+        for axis in ("X", "Y", "Z"):
+            defs.append(
+                ParameterDef(
+                    f"INS_GYR{idx}OFFS_{axis}", 0.0, -1.0, 1.0,
+                    f"Gyro {idx} offset {axis} rad/s", "INS",
+                )
+            )
+            defs.append(
+                ParameterDef(
+                    f"INS_ACC{idx}OFFS_{axis}", 0.0, -3.5, 3.5,
+                    f"Accel {idx} offset {axis} m/s/s", "INS",
+                )
+            )
+            defs.append(
+                ParameterDef(
+                    f"COMPASS_OFS{idx}_{axis}", 0.0, -400.0, 400.0,
+                    f"Compass {idx} hard-iron offset {axis} mG", "COMPASS",
+                )
+            )
+    return defs
+
+
+def _system_defs() -> list[ParameterDef]:
+    defs = [
+        ParameterDef("BATT_CAPACITY", 5100.0, 100.0, 60000.0, "Battery capacity mAh", "BATT"),
+        ParameterDef("BATT_LOW_VOLT", 10.5, 6.0, 35.0, "Low battery voltage", "BATT"),
+        ParameterDef("BATT_CRT_VOLT", 10.0, 6.0, 35.0, "Critical battery voltage", "BATT"),
+        ParameterDef("BATT_FS_LOW_ACT", 2.0, 0.0, 5.0, "Low battery failsafe action", "BATT"),
+        ParameterDef("FS_THR_ENABLE", 1.0, 0.0, 3.0, "Throttle failsafe", "FS"),
+        ParameterDef("FS_EKF_ACTION", 1.0, 0.0, 3.0, "EKF failsafe action", "FS"),
+        ParameterDef("FS_EKF_THRESH", 0.8, 0.6, 1.0, "EKF failsafe variance threshold", "FS"),
+        ParameterDef("RTL_ALT", 15.0, 2.0, 100.0, "Return-to-launch altitude m", "RTL"),
+        ParameterDef("RTL_SPEED", 0.0, 0.0, 20.0, "RTL speed m/s (0=WPNAV_SPEED)", "RTL"),
+        ParameterDef("LAND_SPEED", 0.5, 0.3, 2.0, "Final landing descent m/s", "LAND"),
+        ParameterDef("DISARM_DELAY", 10.0, 0.0, 127.0, "Auto-disarm delay s", "ARMING"),
+        ParameterDef("ARMING_CHECK", 1.0, 0.0, 1.0, "Pre-arm checks enabled", "ARMING"),
+        ParameterDef("LOG_BITMASK", 176126.0, 0.0, 1048575.0, "Dataflash logging bitmask", "LOG"),
+        ParameterDef("LOG_FILE_RATEMAX", 0.0, 0.0, 400.0, "Max logging rate Hz", "LOG"),
+        ParameterDef("MOT_SPIN_ARM", 0.08, 0.0, 0.3, "Motor spin when armed", "MOT"),
+        ParameterDef("MOT_SPIN_MIN", 0.12, 0.0, 0.3, "Motor minimum spin", "MOT"),
+        ParameterDef("MOT_SPIN_MAX", 0.95, 0.8, 1.0, "Motor maximum spin", "MOT"),
+        ParameterDef("MOT_THST_HOVER", 0.37, 0.1, 0.8, "Learned hover throttle", "MOT"),
+        ParameterDef("MOT_BAT_VOLT_MAX", 12.8, 6.0, 35.0, "Voltage compensation max", "MOT"),
+        ParameterDef("MOT_BAT_VOLT_MIN", 9.9, 6.0, 35.0, "Voltage compensation min", "MOT"),
+    ]
+    return defs
+
+
+def _io_defs() -> list[ParameterDef]:
+    """RC input / servo output channel tables (bulk of the real list)."""
+    defs: list[ParameterDef] = []
+    for ch in range(1, 17):
+        defs.extend(
+            [
+                ParameterDef(f"RC{ch}_MIN", 1100.0, 800.0, 2200.0, f"RC ch{ch} min PWM", "RC"),
+                ParameterDef(f"RC{ch}_MAX", 1900.0, 800.0, 2200.0, f"RC ch{ch} max PWM", "RC"),
+                ParameterDef(f"RC{ch}_TRIM", 1500.0, 800.0, 2200.0, f"RC ch{ch} trim PWM", "RC"),
+                ParameterDef(f"RC{ch}_DZ", 30.0, 0.0, 200.0, f"RC ch{ch} deadzone", "RC"),
+                ParameterDef(f"RC{ch}_REVERSED", 0.0, 0.0, 1.0, f"RC ch{ch} reversed", "RC"),
+                ParameterDef(f"SERVO{ch}_MIN", 1100.0, 800.0, 2200.0, f"Servo {ch} min PWM", "SERVO"),
+                ParameterDef(f"SERVO{ch}_MAX", 1900.0, 800.0, 2200.0, f"Servo {ch} max PWM", "SERVO"),
+                ParameterDef(f"SERVO{ch}_TRIM", 1500.0, 800.0, 2200.0, f"Servo {ch} trim PWM", "SERVO"),
+                ParameterDef(f"SERVO{ch}_FUNCTION", 0.0, 0.0, 136.0, f"Servo {ch} function", "SERVO"),
+            ]
+        )
+    for idx in range(1, 7):
+        defs.extend(
+            [
+                ParameterDef(f"BTN{idx}_FUNC", 0.0, 0.0, 50.0, f"Button {idx} function", "BTN"),
+                ParameterDef(f"RELAY{idx}_PIN", -1.0, -1.0, 100.0, f"Relay {idx} pin", "RELAY"),
+            ]
+        )
+    for idx in range(10):
+        defs.append(
+            ParameterDef(
+                f"SCR_USER{idx}", 0.0, -1e6, 1e6, f"Scripting user parameter {idx}", "SCR"
+            )
+        )
+    return defs
+
+
+def _flight_defs() -> list[ParameterDef]:
+    """Flight-mode, fence and navigation-aid parameters."""
+    defs: list[ParameterDef] = []
+    for idx in range(1, 7):
+        defs.append(
+            ParameterDef(f"FLTMODE{idx}", 0.0, 0.0, 27.0,
+                         f"Flight mode slot {idx}", "FLTMODE")
+        )
+    defs.extend(
+        [
+            ParameterDef("FENCE_ENABLE", 0.0, 0.0, 1.0, "Geofence enabled", "FENCE"),
+            ParameterDef("FENCE_TYPE", 7.0, 0.0, 15.0, "Geofence type bitmask", "FENCE"),
+            ParameterDef("FENCE_RADIUS", 300.0, 30.0, 10000.0, "Circular fence radius m", "FENCE"),
+            ParameterDef("FENCE_ALT_MAX", 100.0, 10.0, 1000.0, "Fence ceiling m", "FENCE"),
+            ParameterDef("FENCE_MARGIN", 2.0, 1.0, 10.0, "Fence margin m", "FENCE"),
+            ParameterDef("FENCE_ACTION", 1.0, 0.0, 5.0, "Fence breach action", "FENCE"),
+            ParameterDef("AVOID_ENABLE", 3.0, 0.0, 7.0, "Object avoidance bitmask", "AVOID"),
+            ParameterDef("AVOID_MARGIN", 2.0, 1.0, 10.0, "Avoidance margin m", "AVOID"),
+            ParameterDef("AVOID_DIST_MAX", 10.0, 1.0, 100.0, "Avoidance max distance m", "AVOID"),
+            ParameterDef("LOIT_SPEED", 12.5, 2.0, 20.0, "Loiter max speed m/s", "LOIT"),
+            ParameterDef("LOIT_ACC_MAX", 5.0, 1.0, 10.0, "Loiter max acceleration", "LOIT"),
+            ParameterDef("LOIT_BRK_ACCEL", 2.5, 0.25, 5.0, "Loiter brake accel", "LOIT"),
+            ParameterDef("LOIT_BRK_DELAY", 1.0, 0.0, 2.0, "Loiter brake delay s", "LOIT"),
+            ParameterDef("CIRCLE_RADIUS", 10.0, 0.0, 100.0, "Circle mode radius m", "CIRCLE"),
+            ParameterDef("CIRCLE_RATE", 20.0, -90.0, 90.0, "Circle rate deg/s", "CIRCLE"),
+            ParameterDef("ACRO_RP_P", 4.5, 1.0, 10.0, "Acro roll/pitch rate P", "ACRO"),
+            ParameterDef("ACRO_YAW_P", 4.5, 1.0, 10.0, "Acro yaw rate P", "ACRO"),
+            ParameterDef("ACRO_BAL_ROLL", 1.0, 0.0, 3.0, "Acro roll balance", "ACRO"),
+            ParameterDef("ACRO_BAL_PITCH", 1.0, 0.0, 3.0, "Acro pitch balance", "ACRO"),
+            ParameterDef("PHLD_BRAKE_RATE", 8.0, 4.0, 12.0, "PosHold brake rate deg/s", "PHLD"),
+            ParameterDef("PHLD_BRAKE_ANGLE", 30.0, 15.0, 45.0, "PosHold brake angle deg", "PHLD"),
+            ParameterDef("WP_YAW_BEHAVIOR", 2.0, 0.0, 3.0, "Yaw behaviour in missions", "WPNAV"),
+            ParameterDef("WPNAV_ACCEL", 2.5, 0.5, 5.0, "Waypoint horizontal accel", "WPNAV"),
+            ParameterDef("WPNAV_ACCEL_Z", 1.0, 0.5, 5.0, "Waypoint vertical accel", "WPNAV"),
+            ParameterDef("WPNAV_JERK", 1.0, 1.0, 20.0, "Waypoint jerk limit", "WPNAV"),
+            ParameterDef("TUNE", 0.0, 0.0, 59.0, "In-flight tuning knob", "TUNE"),
+            ParameterDef("TUNE_MIN", 0.0, 0.0, 1000.0, "Tuning knob min", "TUNE"),
+            ParameterDef("TUNE_MAX", 1.0, 0.0, 1000.0, "Tuning knob max", "TUNE"),
+            ParameterDef("THR_DZ", 100.0, 0.0, 300.0, "Throttle deadzone PWM", "PILOT"),
+            ParameterDef("PILOT_SPEED_DN", 1.5, 0.5, 5.0, "Pilot descent rate m/s", "PILOT"),
+            ParameterDef("PILOT_ACCEL_Z", 2.5, 0.5, 5.0, "Pilot vertical accel", "PILOT"),
+            ParameterDef("PILOT_Y_RATE", 2.0, 0.5, 10.0, "Pilot yaw rate", "PILOT"),
+            ParameterDef("EKF_CHECK_THRESH", 0.8, 0.0, 1.0, "EKF check threshold", "FS"),
+            ParameterDef("CRASH_CHECK", 1.0, 0.0, 1.0, "Crash-check enabled", "FS"),
+            ParameterDef("GND_EFFECT_COMP", 1.0, 0.0, 1.0, "Ground effect comp", "INS"),
+        ]
+    )
+    for idx in range(1, 11):
+        defs.append(
+            ParameterDef(f"RC{idx}_OPTION", 0.0, 0.0, 300.0,
+                         f"Aux function for RC channel {idx}", "RC_OPT")
+        )
+    return defs
+
+
+def arducopter_parameter_defs() -> list[ParameterDef]:
+    """The full parameter table used by the virtual ArduCopter firmware."""
+    return (
+        _control_defs() + _sensor_defs() + _system_defs()
+        + _io_defs() + _flight_defs()
+    )

@@ -1,0 +1,148 @@
+"""Configurable-parameter registry (ArduPilot's ``PARM`` subsystem).
+
+The registry backs two of the paper's attack-relevant behaviours:
+
+* the MAVLink ``PARAM_SET`` remote-update path an attacker can drive from a
+  compromised GCS channel (threat model, Section III-B), and
+* range validation — ArduPilot rejects "obviously illegitimate parameter
+  values" (Section VI), so attacks must stay inside declared ranges when
+  they go through this path (writes through the compromised memory region
+  bypass it).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+
+from repro.exceptions import ParameterError, ParameterRangeError
+
+__all__ = ["ParameterDef", "ParameterStore"]
+
+
+@dataclass(frozen=True)
+class ParameterDef:
+    """Declaration of one configurable parameter."""
+
+    name: str
+    default: float
+    min_value: float = -math.inf
+    max_value: float = math.inf
+    description: str = ""
+    group: str = ""
+
+    def __post_init__(self) -> None:
+        if self.min_value > self.max_value:
+            raise ParameterError(
+                f"{self.name}: min {self.min_value} > max {self.max_value}"
+            )
+        if not self.min_value <= self.default <= self.max_value:
+            raise ParameterError(
+                f"{self.name}: default {self.default} outside "
+                f"[{self.min_value}, {self.max_value}]"
+            )
+
+    def validate(self, value: float) -> float:
+        """Return ``value`` if it is in range, else raise."""
+        if math.isnan(value):
+            raise ParameterRangeError(f"{self.name}: NaN rejected")
+        if not self.min_value <= value <= self.max_value:
+            raise ParameterRangeError(
+                f"{self.name}: {value} outside [{self.min_value}, {self.max_value}]"
+            )
+        return value
+
+
+class ParameterStore:
+    """Validated key/value store with change notifications.
+
+    Subscribers (controllers, detectors) receive ``(name, value)`` on every
+    accepted write, which is how a ``PARAM_SET`` from the GCS reaches the
+    running control loops mid-flight — the paper's "remote control
+    interface ... to adjust or debug control parameters during its
+    flights".
+    """
+
+    def __init__(self):
+        self._defs: dict[str, ParameterDef] = {}
+        self._values: dict[str, float] = {}
+        self._listeners: list[Callable[[str, float], None]] = []
+
+    def __len__(self) -> int:
+        return len(self._defs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._defs
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._defs)
+
+    def declare(self, definition: ParameterDef) -> None:
+        """Register one parameter; duplicate names are an error."""
+        if definition.name in self._defs:
+            raise ParameterError(f"parameter '{definition.name}' already declared")
+        self._defs[definition.name] = definition
+        self._values[definition.name] = definition.default
+
+    def declare_all(self, definitions) -> None:
+        """Register many parameters at once."""
+        for definition in definitions:
+            self.declare(definition)
+
+    def definition(self, name: str) -> ParameterDef:
+        """The declaration for ``name``."""
+        try:
+            return self._defs[name]
+        except KeyError:
+            raise ParameterError(f"unknown parameter '{name}'") from None
+
+    def get(self, name: str) -> float:
+        """Current value of ``name``."""
+        try:
+            return self._values[name]
+        except KeyError:
+            raise ParameterError(f"unknown parameter '{name}'") from None
+
+    def set(self, name: str, value: float) -> float:
+        """Validated write; notifies listeners; returns the stored value."""
+        definition = self.definition(name)
+        value = definition.validate(float(value))
+        self._values[name] = value
+        for listener in self._listeners:
+            listener(name, value)
+        return value
+
+    def set_unchecked(self, name: str, value: float) -> float:
+        """Write bypassing range validation (compromised-memory path).
+
+        Still requires the parameter to exist; listeners are notified so
+        the manipulation propagates to controllers exactly like a
+        legitimate update.
+        """
+        if name not in self._defs:
+            raise ParameterError(f"unknown parameter '{name}'")
+        value = float(value)
+        self._values[name] = value
+        for listener in self._listeners:
+            listener(name, value)
+        return value
+
+    def reset_defaults(self) -> None:
+        """Restore every parameter to its declared default."""
+        for name, definition in self._defs.items():
+            self._values[name] = definition.default
+
+    def subscribe(self, listener: Callable[[str, float], None]) -> None:
+        """Register a change listener."""
+        self._listeners.append(listener)
+
+    def names(self, group: str | None = None) -> list[str]:
+        """All parameter names, optionally filtered by group."""
+        if group is None:
+            return sorted(self._defs)
+        return sorted(n for n, d in self._defs.items() if d.group == group)
+
+    def snapshot(self) -> dict[str, float]:
+        """Copy of all current values."""
+        return dict(self._values)

@@ -1,0 +1,721 @@
+"""The virtual ArduCopter: firmware main loop over the simulated plant.
+
+``Vehicle`` wires together every substrate — physics, sensors, estimators,
+the cascaded controllers, the parameter store, the dataflash logger, the
+MPU memory map and the GCS link — into the 400 Hz loop ArduPilot's
+scheduler runs. It exposes the hook points the ARES attack and defense
+layers attach to.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.control.attitude import AttitudeController, AttitudeTargets
+from repro.control.cascade import ControllerRegistry
+from repro.control.mixer import MotorMixer
+from repro.control.position import PositionController, PositionSetpoint
+from repro.estimation.complementary import ComplementaryFilter
+from repro.estimation.ekf import AttitudePositionEKF
+from repro.estimation.sins import StrapdownINS
+from repro.exceptions import MissionError, ParameterRangeError
+from repro.firmware.logger import DataflashLogger
+from repro.firmware.mission import Mission, MissionStatus
+from repro.firmware.modes import FlightMode, ModeManager
+from repro.firmware.param_defs import arducopter_parameter_defs
+from repro.firmware.parameters import ParameterStore
+from repro.gcs.link import Link
+from repro.gcs.messages import (
+    CommandAck,
+    MavResult,
+    MissionUpload,
+    ParamRequest,
+    ParamSet,
+    ParamValue,
+    SetMode,
+)
+from repro.gcs.proxy import MavProxy
+from repro.memory.attacker import CompromisedRegionView
+from repro.memory.layout import AccessMode, MemoryLayout, MemoryRegion
+from repro.memory.mpu import Mpu
+from repro.sensors.suite import SensorSuite
+from repro.sim.config import SimConfig
+from repro.sim.simulator import Simulator
+from repro.sim.world import World
+from repro.utils.math3d import rad2deg
+
+__all__ = ["Vehicle", "STABILIZER_REGION", "NAV_REGION"]
+
+#: Region names of the default memory map.
+STABILIZER_REGION = "SRAM_STABILIZER"
+NAV_REGION = "SRAM_NAV"
+
+
+class Vehicle:
+    """A complete virtual RAV running ArduCopter-style firmware.
+
+    Parameters
+    ----------
+    config:
+        Simulation configuration (airframe, rates, environment).
+    world:
+        Static scene (obstacles, forbidden zones).
+    use_truth_state:
+        When True the controllers are fed ground truth instead of the EKF
+        estimate and the sensor/EKF pipeline still runs (for logging and
+        detectors) but does not affect control. Used to speed up and
+        stabilise RL training episodes.
+    log_rate_hz:
+        Dataflash decimation rate (paper: 16 Hz).
+    """
+
+    def __init__(
+        self,
+        config: SimConfig | None = None,
+        world: World | None = None,
+        use_truth_state: bool = False,
+        log_rate_hz: float = 16.0,
+        estimation_enabled: bool = True,
+    ):
+        self.config = config or SimConfig()
+        self.sim = Simulator(self.config, world)
+        self.world = self.sim.world
+        #: When estimation is disabled the sensor/EKF pipeline is skipped
+        #: entirely (an RL-training speed knob); control must then use
+        #: ground truth.
+        self.estimation_enabled = estimation_enabled
+        self.use_truth_state = use_truth_state or not estimation_enabled
+
+        seed = self.config.seed
+        self.sensors = SensorSuite(seed=seed)
+        self.ekf = AttitudePositionEKF()
+        self.sins = StrapdownINS(gravity=self.config.gravity)
+        #: Independent backup AHRS (the AHR2 log source); the SAVIOR-style
+        #: detector compares its attitude against the EKF's.
+        self.ahrs = ComplementaryFilter()
+
+        airframe = self.config.airframe
+        self.attitude_ctrl = AttitudeController()
+        self.position_ctrl = PositionController(hover_throttle=airframe.hover_throttle)
+        self.mixer = MotorMixer(min_throttle=0.0, max_throttle=1.0)
+        self.registry = ControllerRegistry(
+            self.attitude_ctrl, self.position_ctrl, self.sins
+        )
+
+        self.params = ParameterStore()
+        self.params.declare_all(arducopter_parameter_defs())
+        self.params.subscribe(self._on_param_change)
+
+        self.logger = DataflashLogger(log_rate_hz=log_rate_hz)
+        self.modes = ModeManager(FlightMode.STABILIZE)
+        self.mission: Mission | None = None
+        self.link = Link()
+        self._register_link_handlers()
+
+        self.memory = MemoryLayout()
+        self.mpu = Mpu(self.memory)
+        self._build_memory_map()
+
+        self.armed = False
+        self.home = np.zeros(3)
+        self._yaw_target = 0.0
+        self._yaw_slew_rate = math.radians(60.0)
+        self.guided_target: np.ndarray | None = None
+        self.manual_targets = AttitudeTargets()
+        self._last_setpoint = PositionSetpoint(position=np.zeros(3))
+
+        # Hook points for attacks and detectors.
+        self.pre_control_hooks: list[Callable[["Vehicle"], None]] = []
+        self.target_hooks: list[
+            Callable[["Vehicle", AttitudeTargets], AttitudeTargets]
+        ] = []
+        self.torque_hooks: list[
+            Callable[["Vehicle", np.ndarray], np.ndarray]
+        ] = []
+        self.post_step_hooks: list[Callable[["Vehicle"], None]] = []
+
+        # Cached per-cycle values for logging and detector access.
+        self.last_readings = None
+        self.last_targets = AttitudeTargets()
+        self.last_torque = np.zeros(3)
+        self.last_motors = np.zeros(4)
+        self._ekf_timers = {"gps": -np.inf, "baro": -np.inf, "mag": -np.inf,
+                           "accel": -np.inf}
+
+    # ------------------------------------------------------------------ #
+    # Parameter wiring
+    # ------------------------------------------------------------------ #
+    def _on_param_change(self, name: str, value: float) -> None:
+        """Propagate accepted parameter writes into the live controllers."""
+        att = self.attitude_ctrl
+        pids = {"RLL": att.pid_roll, "PIT": att.pid_pitch, "YAW": att.pid_yaw}
+        if name.startswith("ATC_RAT_"):
+            _, _, axis, gain = name.split("_", 3)
+            pid = pids.get(axis)
+            if pid is not None:
+                attr = {"P": "kp", "I": "ki", "D": "kd",
+                        "IMAX": "imax", "FLTD": "filt_hz"}.get(gain)
+                if attr is not None:
+                    setattr(pid.gains, attr, value)
+        elif name == "ATC_ANG_RLL_P" or name == "ATC_ANG_PIT_P" or name == "ATC_ANG_YAW_P":
+            att.angle_p = value
+        elif name == "PSC_POSXY_P":
+            self.position_ctrl.axis_x.pos_ctrl.p = value
+            self.position_ctrl.axis_y.pos_ctrl.p = value
+        elif name == "PSC_VELXY_P":
+            self.position_ctrl.axis_x.vel_ctrl.gains.kp = value
+            self.position_ctrl.axis_y.vel_ctrl.gains.kp = value
+        elif name == "PSC_VELXY_I":
+            self.position_ctrl.axis_x.vel_ctrl.gains.ki = value
+            self.position_ctrl.axis_y.vel_ctrl.gains.ki = value
+        elif name == "PSC_VELXY_D":
+            self.position_ctrl.axis_x.vel_ctrl.gains.kd = value
+            self.position_ctrl.axis_y.vel_ctrl.gains.kd = value
+        elif name == "PSC_POSZ_P":
+            self.position_ctrl.axis_z.pos_ctrl.p = value
+        elif name == "PSC_VELZ_P":
+            self.position_ctrl.axis_z.vel_ctrl.gains.kp = value
+        elif name == "PSC_VELZ_I":
+            self.position_ctrl.axis_z.vel_ctrl.gains.ki = value
+        elif name == "ANGLE_MAX":
+            self.position_ctrl.lean_angle_max = math.radians(value)
+        elif name == "WPNAV_RADIUS" and self.mission is not None:
+            self.mission.acceptance_radius = value
+
+    # ------------------------------------------------------------------ #
+    # GCS link
+    # ------------------------------------------------------------------ #
+    def _register_link_handlers(self) -> None:
+        self.link.register_handler(ParamRequest, self._handle_param_request)
+        self.link.register_handler(ParamSet, self._handle_param_set)
+        self.link.register_handler(MissionUpload, self._handle_mission_upload)
+        self.link.register_handler(SetMode, self._handle_set_mode)
+
+    def _handle_param_request(self, msg: ParamRequest) -> ParamValue:
+        try:
+            return ParamValue(name=msg.name, value=self.params.get(msg.name))
+        except Exception as exc:  # unknown parameter
+            return ParamValue(name=msg.name, ok=False, error=str(exc))
+
+    def _handle_param_set(self, msg: ParamSet) -> ParamValue:
+        try:
+            value = self.params.set(msg.name, msg.value)
+            return ParamValue(name=msg.name, value=value)
+        except ParameterRangeError as exc:
+            return ParamValue(name=msg.name, ok=False, error=str(exc))
+        except Exception as exc:
+            return ParamValue(name=msg.name, ok=False, error=str(exc))
+
+    def _handle_mission_upload(self, msg: MissionUpload) -> CommandAck:
+        try:
+            from repro.firmware.mission import Waypoint
+
+            waypoints = [
+                Waypoint(item.north, item.east, item.altitude, item.hold_s)
+                for item in msg.items
+            ]
+            self.mission = Mission(
+                waypoints=waypoints,
+                acceptance_radius=self.params.get("WPNAV_RADIUS"),
+            )
+            return CommandAck(command="MISSION_UPLOAD", result=MavResult.ACCEPTED)
+        except MissionError as exc:
+            return CommandAck(
+                command="MISSION_UPLOAD", result=MavResult.DENIED, detail=str(exc)
+            )
+
+    def _handle_set_mode(self, msg: SetMode) -> CommandAck:
+        try:
+            mode = FlightMode(msg.mode_number)
+            self.set_mode(mode)
+            return CommandAck(command="SET_MODE", result=MavResult.ACCEPTED)
+        except (ValueError, MissionError) as exc:
+            return CommandAck(
+                command="SET_MODE", result=MavResult.DENIED, detail=str(exc)
+            )
+
+    def make_proxy(self) -> MavProxy:
+        """A MAVProxy-style client pumping this vehicle's loop."""
+        return MavProxy(self.link, pump=self.step)
+
+    # ------------------------------------------------------------------ #
+    # Memory map
+    # ------------------------------------------------------------------ #
+    def _build_memory_map(self) -> None:
+        """STM32F427-like layout with the paper's region assignments.
+
+        The stabilizer task's region holds every rate PID (the paper:
+        "PID controllers executed by the stabilizer process usually run in
+        the same memory region"); navigation (position cascades, SINS,
+        EKF) lives in a separate region the stabilizer attacker cannot
+        touch.
+        """
+        self.memory.add_region(MemoryRegion(
+            "FLASH", base=0x0800_0000, size=0x0020_0000,
+            permissions=AccessMode.READ, description="firmware code",
+        ))
+        self.memory.add_region(MemoryRegion(
+            "SRAM_KERNEL", base=0x2000_0000, size=0x8000,
+            description="RTOS kernel data",
+        ))
+        self.memory.add_region(MemoryRegion(
+            STABILIZER_REGION, base=0x2000_8000, size=0x4000,
+            description="stabilizer task: attitude + rate PIDs",
+        ))
+        self.memory.add_region(MemoryRegion(
+            NAV_REGION, base=0x2000_C000, size=0x4000,
+            description="navigation task: position cascades, SINS, EKF",
+        ))
+        self.memory.add_region(MemoryRegion(
+            "SRAM_IO", base=0x2001_0000, size=0x4000,
+            description="logger and GCS buffers",
+        ))
+
+        def bind_pid(pid, region):
+            for var in pid.STATE_VARIABLES:
+                self.memory.bind(
+                    f"{pid.name}.{var}", region,
+                    getter=(lambda p=pid, v=var: p.state_variables()[v]),
+                    setter=(lambda value, p=pid, v=var: p.set_state_variable(v, value)),
+                )
+
+        # Stabilizer region: the four rate/accel PIDs + angle-loop values.
+        for pid in (self.attitude_ctrl.pid_roll, self.attitude_ctrl.pid_pitch,
+                    self.attitude_ctrl.pid_yaw):
+            bind_pid(pid, STABILIZER_REGION)
+        pida = self.position_ctrl.axis_z.vel_ctrl
+        pida.name = "PIDA"  # vertical acceleration PID logs as PIDA
+        bind_pid(pida, STABILIZER_REGION)
+        for var in ("ERR_R", "ERR_P", "ERR_Y", "TGT_RATE_R", "TGT_RATE_P",
+                    "TGT_RATE_Y"):
+            self.memory.bind(
+                f"ATC.{var}", STABILIZER_REGION,
+                getter=(lambda v=var: self.attitude_ctrl.state_variables()[v]),
+            )
+
+        # Navigation region: position cascades (sqrt + XY velocity PIDs),
+        # SINS intermediates, EKF outputs.
+        for axis in ("X", "Y"):
+            cascade = self.position_ctrl.cascades[axis]
+            bind_pid(cascade.vel_ctrl, NAV_REGION)
+        for axis in ("X", "Y", "Z"):
+            sqrt_ctrl = self.position_ctrl.cascades[axis].pos_ctrl
+            for var in sqrt_ctrl.STATE_VARIABLES:
+                self.memory.bind(
+                    f"{sqrt_ctrl.name}.{var}", NAV_REGION,
+                    getter=(lambda c=sqrt_ctrl, v=var: c.state_variables()[v]),
+                    setter=(lambda value, c=sqrt_ctrl, v=var: c.set_state_variable(v, value)),
+                )
+        for var in self.sins.intermediates:
+            writable = var in ("KVEL", "KPOS", "KBARO")
+            self.memory.bind(
+                f"SINS.{var}", NAV_REGION,
+                getter=(lambda v=var: self.sins.intermediates[v]),
+                setter=(
+                    (lambda value, v=var: self.sins.intermediates.__setitem__(v, value))
+                    if writable else None
+                ),
+            )
+        for idx, var in enumerate(
+            ("ROLL", "PITCH", "YAW", "VN", "VE", "VD", "PN", "PE", "PD")
+        ):
+            self.memory.bind(
+                f"EKF.{var}", NAV_REGION,
+                getter=(lambda i=idx: float(self.ekf.x[i])),
+                setter=(lambda value, i=idx: self.ekf.x.__setitem__(i, value)),
+            )
+
+    def compromised_view(self, region: str = STABILIZER_REGION) -> CompromisedRegionView:
+        """The attacker's memory view over one compromised region."""
+        return CompromisedRegionView(self.memory, self.mpu, region)
+
+    # ------------------------------------------------------------------ #
+    # Flight state machine
+    # ------------------------------------------------------------------ #
+    def arm(self) -> None:
+        """Arm the motors; the current position becomes home."""
+        self.armed = True
+        self.home = self.sim.vehicle.state.position.copy()
+
+    def disarm(self) -> None:
+        """Disarm (motors stop on the next cycle)."""
+        self.armed = False
+
+    def set_mode(self, mode: FlightMode) -> None:
+        """Change flight mode, enforcing mission presence for AUTO."""
+        if mode is FlightMode.AUTO and self.mission is None:
+            raise MissionError("cannot enter AUTO without a mission")
+        self.modes.set_mode(mode, self.sim.time)
+        if mode is FlightMode.AUTO and self.mission is not None:
+            if self.mission.status is MissionStatus.PENDING:
+                self.mission.start()
+        self.logger.write(
+            "MODE", self.sim.time,
+            {"Mode": float(mode.value), "Reason": 1.0}, force=True,
+        )
+
+    def set_guided_target(self, north: float, east: float, altitude: float) -> None:
+        """Set the GUIDED-mode hover/goto target."""
+        self.guided_target = np.array([north, east, -altitude])
+
+    # ------------------------------------------------------------------ #
+    # Estimation
+    # ------------------------------------------------------------------ #
+    def _run_estimation(self, dt: float) -> None:
+        time_s = self.sim.time
+        readings = self.sensors.sample(self.sim.vehicle, time_s, dt)
+        self.last_readings = readings
+        imu = readings.imu
+
+        self.ekf.predict(imu.gyro, imu.accel, dt)
+        self.sins.predict(imu.gyro, imu.accel, dt)
+        self.ahrs.update(imu.gyro, imu.accel, dt)
+        timers = self._ekf_timers
+        if time_s - timers["accel"] >= 0.05:
+            self.ekf.update_accel_attitude(imu.accel)
+            timers["accel"] = time_s
+        if time_s - timers["mag"] >= 0.1:
+            self.ekf.update_mag_yaw(readings.mag.field)
+            timers["mag"] = time_s
+        if time_s - timers["gps"] >= 0.1:
+            self.ekf.update_gps(readings.gps.position, readings.gps.velocity)
+            self.sins.correct_gps(readings.gps.position, readings.gps.velocity)
+            timers["gps"] = time_s
+        if time_s - timers["baro"] >= 0.05:
+            self.ekf.update_baro(readings.baro.altitude)
+            self.sins.correct_baro(readings.baro.altitude)
+            timers["baro"] = time_s
+
+    def estimated_state(self) -> tuple[np.ndarray, np.ndarray, tuple[float, float, float], np.ndarray]:
+        """(position, velocity, euler, gyro) used by the control laws."""
+        if self.use_truth_state:
+            state = self.sim.vehicle.state
+            return (
+                state.position.copy(), state.velocity.copy(),
+                state.euler, state.omega_body.copy(),
+            )
+        gyro = (
+            self.last_readings.imu.gyro
+            if self.last_readings is not None
+            else np.zeros(3)
+        )
+        return (
+            self.ekf.position, self.ekf.velocity,
+            (self.ekf.roll, self.ekf.pitch, self.ekf.yaw), gyro,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Mode logic → position setpoint
+    # ------------------------------------------------------------------ #
+    def _navigation_targets(self, position: np.ndarray) -> AttitudeTargets | None:
+        """Run mode logic; returns attitude targets or None for manual."""
+        mode = self.modes.mode
+        time_s = self.sim.time
+        dt = self.sim.dt
+        _, velocity, euler, _ = self.estimated_state()
+
+        if mode is FlightMode.STABILIZE:
+            return None
+        if mode is FlightMode.GUIDED:
+            target = (
+                self.guided_target if self.guided_target is not None else self.home
+            )
+            setpoint = PositionSetpoint(position=target, yaw=self.last_targets.yaw)
+        elif mode is FlightMode.AUTO:
+            if self.mission is None:
+                raise MissionError("AUTO mode with no mission")
+            wp = self.mission.update(position, time_s)
+            desired_yaw = self.mission.desired_yaw(position)
+            # Slew the yaw target (ArduPilot limits mission yaw rate); an
+            # instantaneous 90° heading step would excite a violent yaw
+            # transient every leg change.
+            from repro.utils.math3d import wrap_pi as _wrap_pi
+
+            max_step = self._yaw_slew_rate * dt
+            err = _wrap_pi(desired_yaw - self._yaw_target)
+            self._yaw_target = _wrap_pi(
+                self._yaw_target + float(np.clip(err, -max_step, max_step))
+            )
+            setpoint = PositionSetpoint(position=wp.position, yaw=self._yaw_target)
+        elif mode is FlightMode.RTL:
+            rtl_alt = self.params.get("RTL_ALT")
+            target = np.array([self.home[0], self.home[1], -rtl_alt])
+            setpoint = PositionSetpoint(position=target, yaw=self.last_targets.yaw)
+        elif mode is FlightMode.LAND:
+            land_speed = self.params.get("LAND_SPEED")
+            target_down = position[2] + land_speed * 1.0  # 1 s look-ahead
+            target = np.array([position[0], position[1], target_down])
+            setpoint = PositionSetpoint(position=target, yaw=self.last_targets.yaw)
+        else:  # pragma: no cover - all modes handled
+            return None
+        self._last_setpoint = setpoint
+        return self.position_ctrl.update(setpoint, position, velocity, euler[2], dt)
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def _check_failsafes(self) -> None:
+        """Battery and geofence failsafes.
+
+        Battery: RTL on low voltage, LAND on critical (ArduCopter BATT_FS;
+        the paper's uncontrolled failure ends with the deviated drone
+        "eventually crash[ing] after draining the battery"). Geofence:
+        breach of FENCE_RADIUS around home triggers RTL — the protection
+        the gradual deviation attack must also outlast in practice.
+        """
+        if not self.armed or self.modes.mode is FlightMode.LAND:
+            return
+        battery = self.sim.vehicle.battery
+        if battery.voltage <= self.params.get("BATT_CRT_VOLT") or battery.depleted:
+            self.set_mode(FlightMode.LAND)
+            return
+        if battery.voltage <= self.params.get("BATT_LOW_VOLT"):
+            if (
+                self.params.get("BATT_FS_LOW_ACT") >= 2.0
+                and self.modes.mode is not FlightMode.RTL
+            ):
+                self.set_mode(FlightMode.RTL)
+                return
+        if (
+            self.params.get("FENCE_ENABLE") >= 1.0
+            and self.modes.mode is not FlightMode.RTL
+        ):
+            position = self.sim.vehicle.state.position
+            horizontal = float(np.hypot(
+                position[0] - self.home[0], position[1] - self.home[1]
+            ))
+            breach = (
+                horizontal > self.params.get("FENCE_RADIUS")
+                or self.sim.vehicle.state.altitude > self.params.get("FENCE_ALT_MAX")
+            )
+            if breach and self.params.get("FENCE_ACTION") >= 1.0:
+                self.set_mode(FlightMode.RTL)
+
+    def step(self) -> None:
+        """One full control cycle (sensors → estimate → control → physics)."""
+        dt = self.sim.dt
+        self.link.service()
+        if self.estimation_enabled:
+            self._run_estimation(dt)
+        self._check_failsafes()
+
+        for hook in self.pre_control_hooks:
+            hook(self)
+
+        position, velocity, euler, gyro = self.estimated_state()
+        if not self.armed:
+            self.last_motors = np.zeros(4)
+            self.sim.step(self.last_motors)
+            self._write_logs()
+            for hook in self.post_step_hooks:
+                hook(self)
+            return
+
+        targets = self._navigation_targets(position)
+        if targets is None:
+            targets = self.manual_targets
+        for hook in self.target_hooks:
+            targets = hook(self, targets)
+        self.last_targets = targets
+
+        torque = self.attitude_ctrl.update(targets, euler, gyro, dt)
+        for hook in self.torque_hooks:
+            torque = hook(self, torque)
+        self.last_torque = torque
+
+        motors = self.mixer.mix(targets.throttle, torque)
+        self.last_motors = motors
+        self.sim.step(motors)
+
+        self._write_logs()
+        for hook in self.post_step_hooks:
+            hook(self)
+
+    def run(self, duration: float, stop_when=None) -> None:
+        """Run the loop for ``duration`` seconds (early-out on crash).
+
+        ``stop_when(vehicle) -> bool`` is evaluated every cycle.
+        """
+        steps = int(round(duration / self.sim.dt))
+        for _ in range(steps):
+            if self.sim.vehicle.crashed:
+                break
+            if stop_when is not None and stop_when(self):
+                break
+            self.step()
+
+    # ------------------------------------------------------------------ #
+    # Convenience flight procedures
+    # ------------------------------------------------------------------ #
+    def takeoff(self, altitude: float, timeout: float = 30.0) -> bool:
+        """Arm and climb to ``altitude`` in GUIDED; True on success."""
+        if self.modes.mode is not FlightMode.GUIDED:
+            self.set_mode(FlightMode.GUIDED)
+        self.arm()
+        start = self.sim.vehicle.state.position
+        self.set_guided_target(float(start[0]), float(start[1]), altitude)
+        self.run(
+            timeout,
+            stop_when=lambda v: abs(v.sim.vehicle.state.altitude - altitude) < 0.25
+            and float(np.linalg.norm(v.sim.vehicle.state.velocity)) < 0.5,
+        )
+        return abs(self.sim.vehicle.state.altitude - altitude) < 0.5
+
+    def fly_mission(self, mission: Mission, timeout: float = 300.0) -> MissionStatus:
+        """Load and fly a mission in AUTO; returns the final status."""
+        self.mission = mission
+        first_alt = mission.waypoints[0].altitude
+        if not self.armed:
+            if not self.takeoff(first_alt):
+                raise MissionError("takeoff failed")
+        self.set_mode(FlightMode.AUTO)
+        self.run(
+            timeout,
+            stop_when=lambda v: v.mission.status is MissionStatus.COMPLETE,
+        )
+        return self.mission.status
+
+    # ------------------------------------------------------------------ #
+    # Dataflash logging
+    # ------------------------------------------------------------------ #
+    def _write_logs(self) -> None:
+        time_s = self.sim.time
+        logger = self.logger
+        # Fast path: the logger decimates internally; probe with ATT which
+        # shares the decimation phase with every other periodic message.
+        state = self.sim.vehicle.state
+        _, velocity, euler, gyro = self.estimated_state()
+        targets = self.last_targets
+        att = self.attitude_ctrl
+        rate_tgt = att.rate_targets
+
+        wrote = logger.write("ATT", time_s, {
+            "DesR": rad2deg(targets.roll), "R": rad2deg(euler[0]),
+            "DesP": rad2deg(targets.pitch), "P": rad2deg(euler[1]),
+            "DesY": rad2deg(targets.yaw), "Y": rad2deg(euler[2]),
+            "IR": rad2deg(float(gyro[0])),
+            "IRErr": rad2deg(float(rate_tgt[0] - gyro[0])),
+            "tv": targets.throttle,
+            "ErrRP": math.hypot(
+                targets.roll - euler[0], targets.pitch - euler[1]
+            ),
+            "ErrYaw": abs(targets.yaw - euler[2]),
+        })
+        if not wrote:
+            return
+
+        readings = self.last_readings
+        if readings is not None:
+            imu = readings.imu
+            logger.write("IMU", time_s, {
+                "GyrX": float(imu.gyro[0]), "GyrY": float(imu.gyro[1]),
+                "GyrZ": float(imu.gyro[2]), "AccX": float(imu.accel[0]),
+                "AccY": float(imu.accel[1]), "AccZ": float(imu.accel[2]),
+                "T": 35.0, "GH": 1.0, "AH": 1.0,
+            }, force=True)
+            logger.write("BARO", time_s, {
+                "Alt": readings.baro.altitude,
+                "Press": readings.baro.pressure,
+                "Temp": readings.baro.temperature,
+                "CRt": -float(velocity[2]),
+            }, force=True)
+            logger.write("GPS", time_s, {
+                "Status": 3.0, "NSats": float(readings.gps.num_sats),
+                "HDop": readings.gps.hdop,
+                "Lat": float(readings.gps.position[0]),
+                "Lng": float(readings.gps.position[1]),
+                "Alt": -float(readings.gps.position[2]),
+                "Spd": float(np.hypot(*readings.gps.velocity[:2])),
+                "GCrs": float(np.arctan2(
+                    readings.gps.velocity[1], readings.gps.velocity[0]
+                )),
+                "VZ": float(readings.gps.velocity[2]),
+            }, force=True)
+            logger.write("MAG", time_s, {
+                "MagX": float(readings.mag.field[0]),
+                "MagY": float(readings.mag.field[1]),
+                "MagZ": float(readings.mag.field[2]),
+                "Health": 1.0,
+            }, force=True)
+
+        ekf = self.ekf
+        ekf_fields = {
+            "Roll": rad2deg(ekf.roll), "Pitch": rad2deg(ekf.pitch),
+            "Yaw": rad2deg(ekf.yaw),
+            "VN": float(ekf.velocity[0]), "VE": float(ekf.velocity[1]),
+            "VD": float(ekf.velocity[2]),
+            "dPD": float(ekf.velocity[2]) * self.sim.dt,
+            "PN": float(ekf.position[0]), "PE": float(ekf.position[1]),
+            "PD": float(ekf.position[2]),
+            "GX": rad2deg(float(ekf.gyro_bias[0])),
+            "GY": rad2deg(float(ekf.gyro_bias[1])),
+            "GZ": rad2deg(float(ekf.gyro_bias[2])),
+        }
+        logger.write("EKF1", time_s, ekf_fields, force=True)
+        logger.write("NKF1", time_s, ekf_fields, force=True)
+        ahrs_euler = self.ahrs.euler
+        logger.write("AHR2", time_s, {
+            "Roll": rad2deg(ahrs_euler[0]), "Pitch": rad2deg(ahrs_euler[1]),
+            "Yaw": rad2deg(ahrs_euler[2]), "Alt": state.altitude,
+            "Lat": float(state.position[0]), "Lng": float(state.position[1]),
+        }, force=True)
+
+        for log_name, pid in (
+            ("PIDR", att.pid_roll), ("PIDP", att.pid_pitch),
+            ("PIDY", att.pid_yaw),
+            ("PIDA", self.position_ctrl.axis_z.vel_ctrl),
+        ):
+            out = pid.last_output
+            logger.write(log_name, time_s, {
+                "Des": pid.input_error, "Act": 0.0,
+                "P": out.p, "I": out.i, "D": out.d, "FF": out.ff,
+            }, force=True)
+
+        logger.write("RATE", time_s, {
+            "RDes": rad2deg(float(rate_tgt[0])), "R": rad2deg(float(gyro[0])),
+            "ROut": att.pid_roll.last_output.total,
+            "PDes": rad2deg(float(rate_tgt[1])), "P": rad2deg(float(gyro[1])),
+            "POut": att.pid_pitch.last_output.total,
+            "YDes": rad2deg(float(rate_tgt[2])), "Y": rad2deg(float(gyro[2])),
+            "YOut": att.pid_yaw.last_output.total,
+            "ADes": 0.0, "A": 0.0,
+            "AOut": self.position_ctrl.axis_z.vel_ctrl.last_output.total,
+        }, force=True)
+
+        setpoint = self._last_setpoint
+        psc = self.position_ctrl
+        logger.write("NTUN", time_s, {
+            "DPosX": float(setpoint.position[0]),
+            "DPosY": float(setpoint.position[1]),
+            "PosX": float(state.position[0]), "PosY": float(state.position[1]),
+            "DVelX": psc.axis_x.vel_target, "DVelY": psc.axis_y.vel_target,
+            "VelX": float(velocity[0]), "VelY": float(velocity[1]),
+            "DAccX": psc.axis_x.accel_cmd, "DAccY": psc.axis_y.accel_cmd,
+        }, force=True)
+        logger.write("CTUN", time_s, {
+            "ThI": targets.throttle,
+            "ThO": float(np.mean(self.last_motors)),
+            "DAlt": -float(setpoint.position[2]),
+            "Alt": state.altitude, "CRt": -float(velocity[2]),
+        }, force=True)
+        battery = self.sim.vehicle.battery
+        logger.write("CURR", time_s, {
+            "Volt": battery.voltage, "Curr": battery.current,
+            "CurrTot": battery.consumed_mah,
+        }, force=True)
+        logger.write("POS", time_s, {
+            "Lat": float(state.position[0]), "Lng": float(state.position[1]),
+            "Alt": state.altitude, "RelAlt": state.altitude,
+        }, force=True)
+        logger.write("RCOU", time_s, {
+            f"C{i + 1}": 1000.0 + 1000.0 * float(self.last_motors[i])
+            for i in range(4)
+        }, force=True)
+        logger.write("SIM", time_s, {
+            "Roll": rad2deg(state.euler[0]), "Pitch": rad2deg(state.euler[1]),
+            "Yaw": rad2deg(state.euler[2]), "Alt": state.altitude,
+            "Lat": float(state.position[0]), "Lng": float(state.position[1]),
+        }, force=True)

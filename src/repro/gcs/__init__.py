@@ -1,0 +1,31 @@
+"""Ground-control-station channel (MAVLink-like messages, link, proxy)."""
+
+from repro.gcs.link import Link
+from repro.gcs.messages import (
+    CommandAck,
+    Heartbeat,
+    MavResult,
+    Message,
+    MissionItem,
+    MissionUpload,
+    ParamRequest,
+    ParamSet,
+    ParamValue,
+    SetMode,
+)
+from repro.gcs.proxy import MavProxy
+
+__all__ = [
+    "CommandAck",
+    "Heartbeat",
+    "Link",
+    "MavProxy",
+    "MavResult",
+    "Message",
+    "MissionItem",
+    "MissionUpload",
+    "ParamRequest",
+    "ParamSet",
+    "ParamValue",
+    "SetMode",
+]

@@ -1,0 +1,85 @@
+"""GCS↔vehicle link with optional latency and loss.
+
+The vehicle end registers handlers per message type; the GCS end sends
+messages and collects replies. Latency is modelled in *vehicle steps*: the
+link's queue is drained by the vehicle's scheduler each control cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+
+from repro.exceptions import LinkError
+from repro.gcs.messages import Message
+from repro.utils.rng import make_rng
+
+__all__ = ["Link"]
+
+
+class Link:
+    """Bidirectional in-memory message channel."""
+
+    def __init__(
+        self,
+        latency_steps: int = 0,
+        loss_probability: float = 0.0,
+        seed: int | None = 0,
+    ):
+        if latency_steps < 0:
+            raise LinkError("latency must be non-negative")
+        if not 0.0 <= loss_probability < 1.0:
+            raise LinkError("loss probability must be in [0, 1)")
+        self.latency_steps = latency_steps
+        self.loss_probability = loss_probability
+        self._rng = make_rng(seed)
+        self._to_vehicle: deque[tuple[int, Message]] = deque()
+        self._to_gcs: deque[Message] = deque()
+        self._handlers: dict[type, Callable[[Message], Message | None]] = {}
+        self._step = 0
+        self._sequence = 0
+        self.sent_count = 0
+        self.dropped_count = 0
+
+    def register_handler(
+        self, msg_type: type, handler: Callable[[Message], Message | None]
+    ) -> None:
+        """Install the vehicle-side handler for one message type."""
+        self._handlers[msg_type] = handler
+
+    def send(self, message: Message) -> None:
+        """GCS→vehicle send (subject to loss and latency)."""
+        self.sent_count += 1
+        if self.loss_probability and self._rng.random() < self.loss_probability:
+            self.dropped_count += 1
+            return
+        self._sequence += 1
+        deliver_at = self._step + self.latency_steps
+        self._to_vehicle.append((deliver_at, message))
+
+    def service(self) -> int:
+        """Vehicle-side pump: dispatch all due messages, return the count."""
+        self._step += 1
+        dispatched = 0
+        while self._to_vehicle and self._to_vehicle[0][0] <= self._step:
+            _, message = self._to_vehicle.popleft()
+            handler = self._handlers.get(type(message))
+            if handler is None:
+                raise LinkError(f"no handler for {type(message).__name__}")
+            reply = handler(message)
+            if reply is not None:
+                self._to_gcs.append(reply)
+            dispatched += 1
+        return dispatched
+
+    def receive(self) -> Message | None:
+        """GCS-side receive of the next pending reply (None if empty)."""
+        if self._to_gcs:
+            return self._to_gcs.popleft()
+        return None
+
+    def drain(self) -> list[Message]:
+        """GCS-side receive of every pending reply."""
+        replies = list(self._to_gcs)
+        self._to_gcs.clear()
+        return replies

@@ -1,0 +1,106 @@
+"""MAVLink-like message definitions for the GCS↔vehicle channel.
+
+A small typed subset of the MAVLink command set sufficient for the paper's
+threat model: parameter reads/writes, mission upload, mode changes and
+acknowledgements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = [
+    "MavResult",
+    "Message",
+    "ParamRequest",
+    "ParamSet",
+    "ParamValue",
+    "MissionItem",
+    "MissionUpload",
+    "SetMode",
+    "CommandAck",
+    "Heartbeat",
+]
+
+
+class MavResult(Enum):
+    """Command acknowledgement results (MAV_RESULT subset)."""
+
+    ACCEPTED = 0
+    DENIED = 2
+    FAILED = 4
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for all channel messages."""
+
+    sequence: int = field(default=0, kw_only=True)
+
+
+@dataclass(frozen=True)
+class Heartbeat(Message):
+    """Periodic liveness message."""
+
+    mode_number: int = 0
+    armed: bool = False
+
+
+@dataclass(frozen=True)
+class ParamRequest(Message):
+    """Request the current value of one parameter."""
+
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class ParamSet(Message):
+    """Write a parameter (the attacker-reachable PARAM_SET path)."""
+
+    name: str = ""
+    value: float = 0.0
+
+
+@dataclass(frozen=True)
+class ParamValue(Message):
+    """Parameter value report."""
+
+    name: str = ""
+    value: float = 0.0
+    ok: bool = True
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class MissionItem(Message):
+    """One uploaded waypoint."""
+
+    index: int = 0
+    north: float = 0.0
+    east: float = 0.0
+    altitude: float = 0.0
+    hold_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class MissionUpload(Message):
+    """Complete mission upload."""
+
+    items: tuple[MissionItem, ...] = ()
+
+
+@dataclass(frozen=True)
+class SetMode(Message):
+    """Flight-mode change request."""
+
+    mode_number: int = 0
+
+
+@dataclass(frozen=True)
+class CommandAck(Message):
+    """Acknowledgement for a command message."""
+
+    command: str = ""
+    result: MavResult = MavResult.ACCEPTED
+    detail: str = ""

@@ -1,0 +1,93 @@
+"""MAVProxy-style ground-control client.
+
+The convenience front end the paper's experiments drive: ``param set``,
+mission upload, mode changes. The ARES exploit loop "injects a variable
+manipulation of the target state variable through MAVProxy commands"
+(Section V-A) — that path is :meth:`param_set` here; manipulations of
+non-parameter intermediates go through the compromised memory view
+instead.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import LinkError
+from repro.gcs.link import Link
+from repro.gcs.messages import (
+    CommandAck,
+    MavResult,
+    MissionItem,
+    MissionUpload,
+    ParamRequest,
+    ParamSet,
+    ParamValue,
+    SetMode,
+)
+
+__all__ = ["MavProxy"]
+
+
+class MavProxy:
+    """Synchronous GCS client over a :class:`Link`.
+
+    ``pump`` must advance the vehicle at least ``latency_steps`` cycles
+    between a send and the expected reply; the vehicle object provides it.
+    """
+
+    def __init__(self, link: Link, pump):
+        self.link = link
+        self._pump = pump
+
+    def _await_reply(self, max_steps: int = 1000):
+        for _ in range(max_steps):
+            reply = self.link.receive()
+            if reply is not None:
+                return reply
+            self._pump()
+        raise LinkError("no reply from vehicle (link stalled?)")
+
+    def param_get(self, name: str) -> float:
+        """Read one firmware parameter."""
+        self.link.send(ParamRequest(name=name))
+        reply = self._await_reply()
+        if not isinstance(reply, ParamValue) or not reply.ok:
+            raise LinkError(f"param get '{name}' failed: {getattr(reply, 'error', '?')}")
+        return reply.value
+
+    def param_set(self, name: str, value: float) -> ParamValue:
+        """Write one firmware parameter (range-validated on the vehicle).
+
+        Returns the vehicle's report; ``report.ok`` is False when range
+        validation rejected the value — the firmware-side restriction the
+        paper notes an attacker must work within on this path.
+        """
+        self.link.send(ParamSet(name=name, value=value))
+        reply = self._await_reply()
+        if not isinstance(reply, ParamValue):
+            raise LinkError("unexpected reply to PARAM_SET")
+        return reply
+
+    def upload_mission(self, waypoints) -> CommandAck:
+        """Upload a mission as (north, east, altitude[, hold]) tuples."""
+        items = []
+        for index, wp in enumerate(waypoints):
+            north, east, altitude = wp[0], wp[1], wp[2]
+            hold_s = wp[3] if len(wp) > 3 else 0.0
+            items.append(
+                MissionItem(
+                    index=index, north=north, east=east,
+                    altitude=altitude, hold_s=hold_s,
+                )
+            )
+        self.link.send(MissionUpload(items=tuple(items)))
+        reply = self._await_reply()
+        if not isinstance(reply, CommandAck) or reply.result is not MavResult.ACCEPTED:
+            raise LinkError(f"mission upload rejected: {getattr(reply, 'detail', '?')}")
+        return reply
+
+    def set_mode(self, mode_number: int) -> CommandAck:
+        """Request a flight-mode change by ArduCopter mode number."""
+        self.link.send(SetMode(mode_number=mode_number))
+        reply = self._await_reply()
+        if not isinstance(reply, CommandAck):
+            raise LinkError("unexpected reply to SET_MODE")
+        return reply

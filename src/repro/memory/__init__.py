@@ -1,0 +1,14 @@
+"""MPU memory model: regions, permissions and the attacker's view."""
+
+from repro.memory.attacker import CompromisedRegionView
+from repro.memory.layout import AccessMode, MemoryLayout, MemoryRegion, VariableBinding
+from repro.memory.mpu import Mpu
+
+__all__ = [
+    "AccessMode",
+    "CompromisedRegionView",
+    "MemoryLayout",
+    "MemoryRegion",
+    "Mpu",
+    "VariableBinding",
+]

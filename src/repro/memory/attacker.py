@@ -1,0 +1,63 @@
+"""The attacker's memory view: one compromised MPU region.
+
+Implements the paper's threat model (Section III-B): the attacker "has
+successfully exploited one individual isolated memory region, thus can
+perform any data modifications ... in that single compromised memory
+region". Reads and writes to variables in other regions raise
+:class:`MemoryAccessViolation`, exactly as the MPU would signal.
+"""
+
+from __future__ import annotations
+
+from repro.memory.layout import AccessMode, MemoryLayout
+from repro.memory.mpu import Mpu
+
+__all__ = ["CompromisedRegionView"]
+
+
+class CompromisedRegionView:
+    """Variable-level read/write access confined to one region."""
+
+    def __init__(self, layout: MemoryLayout, mpu: Mpu, region_name: str):
+        layout.region(region_name)  # validate early
+        self.layout = layout
+        self.mpu = mpu
+        self.region_name = region_name
+        self._writes: list[tuple[str, float]] = []
+
+    @property
+    def write_log(self) -> list[tuple[str, float]]:
+        """Chronological (variable, value) record of successful writes."""
+        return list(self._writes)
+
+    def accessible_variables(self) -> list[str]:
+        """Variables the attacker can reach (the legitimate memory view)."""
+        return self.layout.variable_names(self.region_name)
+
+    def can_write(self, name: str) -> bool:
+        """Whether ``name`` is writable from the compromised region."""
+        try:
+            binding = self.layout.variable(name)
+        except Exception:
+            return False
+        return binding.writable and self.mpu.can_access(
+            binding.address, AccessMode.WRITE, context=self.region_name
+        )
+
+    def read(self, name: str) -> float:
+        """Read a variable, enforcing the MPU."""
+        binding = self.layout.variable(name)
+        self.mpu.check(binding.address, AccessMode.READ, context=self.region_name)
+        return binding.read()
+
+    def write(self, name: str, value: float) -> None:
+        """Overwrite a variable, enforcing the MPU.
+
+        This is the attacker's single primitive: all of the paper's
+        manipulations (``PIDR.INTEG``, the input error, the output scaler)
+        reduce to calls of this method.
+        """
+        binding = self.layout.variable(name)
+        self.mpu.check(binding.address, AccessMode.WRITE, context=self.region_name)
+        binding.write(value)
+        self._writes.append((name, float(value)))

@@ -1,0 +1,170 @@
+"""Memory layout: MPU regions and variable→address bindings.
+
+Models the ARM Cortex-M memory picture of Section II-B: internal SRAM and
+flash divided into MPU regions with per-region access permissions. Every
+traceable state variable is *bound* to an address inside a region, so the
+attacker's reach is exactly "any data in the one compromised region"
+(Section III-B) — e.g. all rate-PID intermediates live together in the
+stabilizer region because the stabilizer process runs them in one task.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.exceptions import MemoryAccessViolation, ReproError
+
+__all__ = ["AccessMode", "MemoryRegion", "VariableBinding", "MemoryLayout"]
+
+
+class AccessMode:
+    """Access permission flags (subset of MPU attributes)."""
+
+    NONE = 0
+    READ = 1
+    WRITE = 2
+    READ_WRITE = 3
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """One MPU-protected region."""
+
+    name: str
+    base: int
+    size: int
+    permissions: int = AccessMode.READ_WRITE
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ReproError(f"region '{self.name}' must have positive size")
+        if self.base < 0:
+            raise ReproError(f"region '{self.name}' has negative base address")
+
+    @property
+    def end(self) -> int:
+        """One past the last address of the region."""
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        """Whether ``address`` falls inside this region."""
+        return self.base <= address < self.end
+
+    def allows(self, access: int) -> bool:
+        """Whether the region's permissions include ``access``."""
+        return (self.permissions & access) == access
+
+
+@dataclass
+class VariableBinding:
+    """A named state variable bound to an address with live accessors."""
+
+    name: str
+    address: int
+    region: str
+    getter: Callable[[], float] = field(repr=False)
+    setter: Callable[[float], None] | None = field(repr=False, default=None)
+
+    @property
+    def writable(self) -> bool:
+        """Whether the binding has a setter (code constants do not)."""
+        return self.setter is not None
+
+    def read(self) -> float:
+        """Current value of the variable."""
+        return float(self.getter())
+
+    def write(self, value: float) -> None:
+        """Overwrite the variable in place."""
+        if self.setter is None:
+            raise MemoryAccessViolation(self.address, "write", self.region)
+        self.setter(float(value))
+
+
+class MemoryLayout:
+    """Region table + variable map for one firmware image."""
+
+    def __init__(self):
+        self._regions: dict[str, MemoryRegion] = {}
+        self._variables: dict[str, VariableBinding] = {}
+        self._next_free: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Regions
+    # ------------------------------------------------------------------ #
+    def add_region(self, region: MemoryRegion) -> None:
+        """Register a region; overlapping or duplicate regions are errors."""
+        if region.name in self._regions:
+            raise ReproError(f"region '{region.name}' already defined")
+        for other in self._regions.values():
+            if region.base < other.end and other.base < region.end:
+                raise ReproError(
+                    f"region '{region.name}' overlaps '{other.name}'"
+                )
+        self._regions[region.name] = region
+        self._next_free[region.name] = region.base
+
+    def region(self, name: str) -> MemoryRegion:
+        """Look up a region by name."""
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise ReproError(f"unknown memory region '{name}'") from None
+
+    def regions(self) -> list[MemoryRegion]:
+        """All regions, ordered by base address."""
+        return sorted(self._regions.values(), key=lambda r: r.base)
+
+    def region_of(self, address: int) -> MemoryRegion | None:
+        """The region containing ``address``, if any."""
+        for region in self._regions.values():
+            if region.contains(address):
+                return region
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Variables
+    # ------------------------------------------------------------------ #
+    def bind(
+        self,
+        name: str,
+        region_name: str,
+        getter: Callable[[], float],
+        setter: Callable[[float], None] | None = None,
+        size: int = 4,
+    ) -> VariableBinding:
+        """Place a variable at the next free address of ``region_name``."""
+        if name in self._variables:
+            raise ReproError(f"variable '{name}' already bound")
+        region = self.region(region_name)
+        address = self._next_free[region_name]
+        if address + size > region.end:
+            raise ReproError(f"region '{region_name}' is full")
+        self._next_free[region_name] = address + size
+        binding = VariableBinding(
+            name=name, address=address, region=region_name,
+            getter=getter, setter=setter,
+        )
+        self._variables[name] = binding
+        return binding
+
+    def variable(self, name: str) -> VariableBinding:
+        """Look up a variable binding by qualified name."""
+        try:
+            return self._variables[name]
+        except KeyError:
+            raise ReproError(f"unknown state variable '{name}'") from None
+
+    def variables(self, region_name: str | None = None) -> list[VariableBinding]:
+        """All bindings, optionally restricted to one region."""
+        bindings = sorted(self._variables.values(), key=lambda b: b.address)
+        if region_name is None:
+            return bindings
+        self.region(region_name)  # validate the name
+        return [b for b in bindings if b.region == region_name]
+
+    def variable_names(self, region_name: str | None = None) -> list[str]:
+        """Names of all bound variables (optionally one region)."""
+        return [b.name for b in self.variables(region_name)]

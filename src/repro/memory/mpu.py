@@ -1,0 +1,67 @@
+"""Memory protection unit: per-region access checks.
+
+Mirrors the Cortex-M behaviour of Section II-B: an access is checked
+against the target region's attributes and the requesting context; a
+violation raises :class:`MemoryAccessViolation` (the "abnormal signal").
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import MemoryAccessViolation
+from repro.memory.layout import AccessMode, MemoryLayout
+
+__all__ = ["Mpu"]
+
+
+class Mpu:
+    """Access mediator over a :class:`MemoryLayout`.
+
+    A *context* is the region whose code is executing. Kernel context
+    (``context=None``) may access everything; task context may access only
+    its own region — the privilege separation that confines the paper's
+    attacker to one compromised region.
+    """
+
+    def __init__(self, layout: MemoryLayout):
+        self.layout = layout
+        self._violations: list[tuple[int, int, str | None]] = []
+
+    @property
+    def violations(self) -> list[tuple[int, int, str | None]]:
+        """Recorded (address, access, context) violations."""
+        return list(self._violations)
+
+    def check(self, address: int, access: int, context: str | None = None) -> None:
+        """Validate one access; raises on violation.
+
+        Parameters
+        ----------
+        address:
+            Target address.
+        access:
+            :class:`AccessMode` flags requested.
+        context:
+            Name of the region whose code performs the access, or ``None``
+            for privileged (kernel) mode.
+        """
+        region = self.layout.region_of(address)
+        access_name = {AccessMode.READ: "read", AccessMode.WRITE: "write"}.get(
+            access, f"access({access})"
+        )
+        if region is None:
+            self._violations.append((address, access, context))
+            raise MemoryAccessViolation(address, access_name, None)
+        if not region.allows(access):
+            self._violations.append((address, access, context))
+            raise MemoryAccessViolation(address, access_name, region.name)
+        if context is not None and context != region.name:
+            # Unprivileged cross-region access is denied.
+            self._violations.append((address, access, context))
+            raise MemoryAccessViolation(address, access_name, region.name)
+
+    def can_access(self, address: int, access: int, context: str | None = None) -> bool:
+        """Non-raising variant of :meth:`check` (does not record)."""
+        region = self.layout.region_of(address)
+        if region is None or not region.allows(access):
+            return False
+        return context is None or context == region.name

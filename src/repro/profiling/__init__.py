@@ -1,0 +1,34 @@
+"""RAV profiling: KSVL extraction, variable tracing, ESVL dataset collection."""
+
+from repro.profiling.access_patterns import (
+    AccessTrace,
+    AddressCluster,
+    MemoryAccessTracer,
+    identify_functions_from_access,
+)
+from repro.profiling.collector import (
+    ProfileCollector,
+    ProfileDataset,
+    default_profile_missions,
+)
+from repro.profiling.ksvl import (
+    ROLL_DISPLAY_NAMES,
+    ROLL_ESVL_COLUMNS,
+    intermediates_for_controller,
+    ksvl_all,
+    ksvl_for_controller,
+)
+from repro.profiling.tracer import VariableTracer, identify_controller_functions
+
+__all__ = [
+    "ProfileCollector",
+    "ProfileDataset",
+    "ROLL_DISPLAY_NAMES",
+    "ROLL_ESVL_COLUMNS",
+    "VariableTracer",
+    "default_profile_missions",
+    "identify_controller_functions",
+    "intermediates_for_controller",
+    "ksvl_all",
+    "ksvl_for_controller",
+]

@@ -1,0 +1,137 @@
+"""Semantics-free controller-function identification from access patterns.
+
+The paper builds its ESVL using DISPATCH-style techniques [13] that locate
+controller functions in firmware *without semantic disassembly*. This
+module reproduces that flavour of analysis over the simulated memory map:
+it records which addresses are written in each control cycle and groups
+addresses into candidate "functions" purely from their access behaviour —
+write periodicity and phase co-occurrence — with no use of variable names.
+
+The result can be checked against the ground-truth region map: addresses
+written together every cycle at the stabilizer rate cluster into the
+rate-PID group, navigation-rate addresses into the navigation group, and
+constants (never rewritten) are excluded — exactly the pruning Fig. 3
+applies to v1(KP)..v3(KD).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+from repro.firmware.vehicle import Vehicle
+
+__all__ = ["AccessTrace", "AddressCluster", "MemoryAccessTracer",
+           "identify_functions_from_access"]
+
+
+@dataclass
+class AccessTrace:
+    """Per-address write activity over the traced cycles."""
+
+    addresses: list[int]
+    #: (n_cycles, n_addresses) boolean matrix: address changed this cycle.
+    activity: np.ndarray
+
+    @property
+    def num_cycles(self) -> int:
+        """Number of traced control cycles."""
+        return self.activity.shape[0]
+
+    def write_rate(self) -> np.ndarray:
+        """Fraction of cycles in which each address changed."""
+        if self.num_cycles == 0:
+            return np.zeros(len(self.addresses))
+        return self.activity.mean(axis=0)
+
+
+@dataclass
+class AddressCluster:
+    """A candidate controller function: co-active addresses."""
+
+    addresses: list[int] = field(default_factory=list)
+    write_rate: float = 0.0
+
+
+class MemoryAccessTracer:
+    """Records per-cycle value changes of every bound address.
+
+    A value change between consecutive cycles is the observable proxy for
+    a memory write (the instrumentation a Valgrind-style tracer provides).
+    """
+
+    def __init__(self, vehicle: Vehicle):
+        self.vehicle = vehicle
+        self.bindings = vehicle.memory.variables()
+        if not self.bindings:
+            raise AnalysisError("memory map has no bound variables to trace")
+        self._last: np.ndarray | None = None
+        self._rows: list[np.ndarray] = []
+        vehicle.post_step_hooks.append(self._on_step)
+
+    def detach(self) -> None:
+        """Stop tracing."""
+        if self._on_step in self.vehicle.post_step_hooks:
+            self.vehicle.post_step_hooks.remove(self._on_step)
+
+    def _snapshot(self) -> np.ndarray:
+        return np.array([binding.read() for binding in self.bindings])
+
+    def _on_step(self, vehicle: Vehicle) -> None:
+        current = self._snapshot()
+        if self._last is not None:
+            self._rows.append(current != self._last)
+        self._last = current
+
+    def trace(self) -> AccessTrace:
+        """The collected access trace."""
+        activity = (
+            np.vstack(self._rows) if self._rows
+            else np.zeros((0, len(self.bindings)), dtype=bool)
+        )
+        return AccessTrace(
+            addresses=[binding.address for binding in self.bindings],
+            activity=activity,
+        )
+
+
+def identify_functions_from_access(
+    trace: AccessTrace,
+    min_write_rate: float = 0.02,
+    cooccurrence_threshold: float = 0.9,
+) -> list[AddressCluster]:
+    """Group addresses into candidate controller functions.
+
+    Two active addresses belong to the same candidate function when their
+    per-cycle activity patterns agree in at least
+    ``cooccurrence_threshold`` of cycles (they are written by the same
+    loop). Addresses below ``min_write_rate`` (constants, rarely-updated
+    configuration) are excluded — the v1..v3 pruning.
+    """
+    if trace.num_cycles < 10:
+        raise AnalysisError("need at least 10 traced cycles")
+    rates = trace.write_rate()
+    active = [i for i, rate in enumerate(rates) if rate >= min_write_rate]
+    clusters: list[list[int]] = []
+    for i in active:
+        placed = False
+        for cluster in clusters:
+            j = cluster[0]
+            agreement = float(
+                np.mean(trace.activity[:, i] == trace.activity[:, j])
+            )
+            if agreement >= cooccurrence_threshold:
+                cluster.append(i)
+                placed = True
+                break
+        if not placed:
+            clusters.append([i])
+    return [
+        AddressCluster(
+            addresses=[trace.addresses[i] for i in cluster],
+            write_rate=float(np.mean([rates[i] for i in cluster])),
+        )
+        for cluster in clusters
+    ]

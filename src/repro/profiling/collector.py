@@ -1,0 +1,138 @@
+"""Profile collector: benign missions → aligned ESVL dataset.
+
+Implements the paper's profiling campaign: "We log the dataset at a
+frequency of 16 Hz for the ESVL in 5 benign missions and each of them takes
+about 40 to 70 seconds to complete, as a result collecting over 3000 value
+vectors" (Section V-B).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.exceptions import AnalysisError
+from repro.firmware.mission import Mission, MissionStatus, line_mission, square_mission
+from repro.firmware.vehicle import Vehicle
+from repro.profiling.ksvl import intermediates_for_controller, ksvl_for_controller
+from repro.profiling.tracer import VariableTracer
+from repro.sim.config import SimConfig
+from repro.utils.timeseries import TraceTable
+
+__all__ = ["ProfileDataset", "ProfileCollector", "default_profile_missions"]
+
+
+@dataclass
+class ProfileDataset:
+    """The aligned ESVL time-series dataset from one profiling campaign."""
+
+    table: TraceTable
+    ksvl_columns: list[str]
+    intermediate_columns: list[str]
+    missions_flown: int = 0
+    mission_durations: list[float] = field(default_factory=list)
+
+    @property
+    def esvl_columns(self) -> list[str]:
+        """All ESVL columns (KSVL + traced intermediates)."""
+        return list(self.table.columns)
+
+    @property
+    def num_samples(self) -> int:
+        """Number of aligned value vectors collected."""
+        return len(self.table)
+
+
+def default_profile_missions() -> list[Mission]:
+    """Five benign missions of 40–70 s, as in the paper's campaign."""
+    return [
+        square_mission(side=35.0, altitude=10.0),
+        square_mission(side=45.0, altitude=12.0),
+        line_mission(length=55.0, altitude=10.0, legs=2),
+        line_mission(length=45.0, altitude=8.0, legs=2),
+        square_mission(side=40.0, altitude=15.0),
+    ]
+
+
+class ProfileCollector:
+    """Runs benign missions and assembles the ESVL dataset.
+
+    Parameters
+    ----------
+    controller_kind:
+        Which Table II experiment to profile ("PID", "Sqrt" or "SINS").
+    vehicle_factory:
+        Callable creating a fresh vehicle per mission; defaults to an
+        IRIS+ with a per-mission seed.
+    """
+
+    def __init__(
+        self,
+        controller_kind: str = "PID",
+        vehicle_factory: Callable[[int], Vehicle] | None = None,
+        extra_columns: list[str] | None = None,
+        ksvl_columns: list[str] | None = None,
+        intermediate_columns: list[str] | None = None,
+    ):
+        self.controller_kind = controller_kind
+        self.ksvl = (
+            list(ksvl_columns) if ksvl_columns is not None
+            else ksvl_for_controller(controller_kind)
+        )
+        self.intermediates = (
+            list(intermediate_columns) if intermediate_columns is not None
+            else intermediates_for_controller(controller_kind)
+        )
+        if extra_columns:
+            self.intermediates = self.intermediates + [
+                c for c in extra_columns if c not in self.intermediates
+            ]
+        self._vehicle_factory = vehicle_factory or self._default_factory
+
+    @staticmethod
+    def _default_factory(seed: int) -> Vehicle:
+        return Vehicle(SimConfig(seed=seed, wind_gust_std=0.4))
+
+    def collect(
+        self,
+        missions: list[Mission] | None = None,
+        timeout_per_mission: float = 150.0,
+    ) -> ProfileDataset:
+        """Fly every mission and return the aligned ESVL dataset."""
+        missions = missions if missions is not None else default_profile_missions()
+        if not missions:
+            raise AnalysisError("profiling needs at least one mission")
+        columns = self.ksvl + self.intermediates
+        merged = TraceTable(columns)
+        durations: list[float] = []
+        for index, mission in enumerate(missions):
+            vehicle = self._vehicle_factory(index + 1)
+            tracer = VariableTracer(vehicle, self.intermediates)
+            status = vehicle.fly_mission(mission, timeout=timeout_per_mission)
+            tracer.detach()
+            if status is not MissionStatus.COMPLETE:
+                raise AnalysisError(
+                    f"benign profiling mission {index} did not complete "
+                    f"(status={status.name}, crashed={vehicle.sim.vehicle.crashed})"
+                )
+            durations.append(vehicle.sim.time)
+            log_table = vehicle.logger.to_trace_table(self.ksvl)
+            n = min(len(log_table), len(tracer.table))
+            log_cols = {col: log_table.column(col) for col in self.ksvl}
+            traced_cols = {
+                col: tracer.table.column(col) for col in self.intermediates
+            }
+            times = log_table.times
+            for row_idx in range(n):
+                row = {col: values[row_idx] for col, values in log_cols.items()}
+                row.update(
+                    {col: values[row_idx] for col, values in traced_cols.items()}
+                )
+                merged.append_row(float(times[row_idx]), row)
+        return ProfileDataset(
+            table=merged,
+            ksvl_columns=list(self.ksvl),
+            intermediate_columns=list(self.intermediates),
+            missions_flown=len(missions),
+            mission_durations=durations,
+        )

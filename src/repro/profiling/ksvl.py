@@ -1,0 +1,119 @@
+"""Known state variable lists (KSVL) per controller function.
+
+The KSVL is "established through easily accessible means such as the
+onboard dataflash memory logger" (Section IV-B). This module derives the
+per-experiment KSVLs of the paper's Table II from the log schema, plus the
+roll-control ESVL of Fig. 5.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import AnalysisError
+from repro.firmware.log_defs import LOG_MESSAGE_DEFS
+
+__all__ = [
+    "ksvl_all",
+    "ksvl_for_controller",
+    "intermediates_for_controller",
+    "ROLL_ESVL_COLUMNS",
+    "ROLL_DISPLAY_NAMES",
+]
+
+#: Table II row "PID": 28 attitude-related available log variables.
+_PID_KSVL = (
+    ["ATT.DesR", "ATT.R", "ATT.DesP", "ATT.P", "ATT.DesY", "ATT.Y",
+     "ATT.IR", "ATT.IRErr", "ATT.tv"]
+    + [f"IMU.{f}" for f in ("GyrX", "GyrY", "GyrZ", "AccX", "AccY", "AccZ")]
+    + [f"EKF1.{f}" for f in ("Roll", "VN", "VE", "VD", "dPD",
+                             "PN", "PE", "PD", "GX", "GY", "GZ")]
+    + ["RATE.RDes", "RATE.ROut"]
+)
+
+#: Table II row "Sqrt": 9 navigation-tuning log variables.
+_SQRT_KSVL = (
+    [f"NTUN.{f}" for f in ("DPosX", "DPosY", "PosX", "PosY",
+                           "DVelX", "DVelY", "VelX", "VelY")]
+    + ["CTUN.DAlt"]
+)
+
+#: Table II row "SINS": 14 inertial/absolute-reference log variables.
+_SINS_KSVL = (
+    [f"IMU.{f}" for f in ("GyrX", "GyrY", "GyrZ", "AccX", "AccY", "AccZ")]
+    + [f"GPS.{f}" for f in ("Lat", "Lng", "Alt", "Spd", "GCrs", "VZ")]
+    + ["BARO.Alt", "BARO.CRt"]
+)
+
+_KSVL_BY_KIND = {"PID": _PID_KSVL, "Sqrt": _SQRT_KSVL, "SINS": _SINS_KSVL}
+
+#: Intermediate variables added to each experiment's ESVL: the memory-bound
+#: variables of the controller functions of that kind.
+_INTERMEDIATES_BY_KIND = {
+    "PID": [
+        f"{pid}.{var}"
+        for pid in ("PIDR", "PIDP", "PIDY", "PIDA")
+        for var in ("KP", "KI", "KD", "FF", "DT", "INTEG", "INPUT", "DERIV", "SCALER")
+    ],
+    "Sqrt": [
+        f"PSC_{axis}_POS.{var}"
+        for axis in ("X", "Y", "Z")
+        for var in ("P", "ERR", "OUT", "LIM")
+    ],
+    "SINS": [
+        f"SINS.{var}"
+        for var in (
+            "VERR_N", "VERR_E", "VERR_D", "PERR_N", "PERR_E", "PERR_D",
+            "KVEL", "KPOS", "KBARO", "ACC_N", "ACC_E", "ACC_D",
+            "DV_N", "DV_E", "DV_D", "DP_N", "DP_E", "DP_D", "GRAV",
+        )
+    ],
+}
+
+#: The 24-variable roll-control ESVL of Fig. 5 (column identifiers).
+ROLL_ESVL_COLUMNS = (
+    [f"IMU.{f}" for f in ("AccX", "AccY", "AccZ", "GyrX", "GyrY", "GyrZ")]
+    + [f"EKF1.{f}" for f in ("PN", "PE", "PD", "VN", "VE", "VD",
+                             "dPD", "GX", "GY", "GZ")]
+    + ["ATT.DesR", "ATT.R", "ATT.IR", "ATT.IRErr", "ATT.tv"]
+    + ["PIDR.INPUT", "PIDR.DERIV", "PIDR.INTEG"]
+)
+
+#: Display labels matching the paper's Fig. 5 axis ticks.
+ROLL_DISPLAY_NAMES = {
+    "IMU.AccX": "AccX", "IMU.AccY": "AccY", "IMU.AccZ": "AccZ",
+    "IMU.GyrX": "GyrX", "IMU.GyrY": "GyrY", "IMU.GyrZ": "GyrZ",
+    "EKF1.PN": "PN", "EKF1.PE": "PE", "EKF1.PD": "PD",
+    "EKF1.VN": "VN", "EKF1.VE": "VE", "EKF1.VD": "VD",
+    "EKF1.dPD": "dPD", "EKF1.GX": "GX", "EKF1.GY": "GY", "EKF1.GZ": "GZ",
+    "ATT.DesR": "DesR", "ATT.R": "Roll", "ATT.IR": "IR",
+    "ATT.IRErr": "IRErr", "ATT.tv": "tv",
+    "PIDR.INPUT": "INPUT", "PIDR.DERIV": "DERIV", "PIDR.INTEG": "INTEG",
+}
+
+
+def ksvl_all() -> list[str]:
+    """Every available log variable as ``MSG.Field`` (the 342-entry KSVL)."""
+    return [
+        f"{name}.{field}"
+        for name, definition in sorted(LOG_MESSAGE_DEFS.items())
+        for field in definition.fields
+    ]
+
+
+def ksvl_for_controller(kind: str) -> list[str]:
+    """The Table II KSVL for a controller-function kind."""
+    try:
+        return list(_KSVL_BY_KIND[kind])
+    except KeyError:
+        raise AnalysisError(
+            f"unknown controller kind '{kind}' (expected PID, Sqrt or SINS)"
+        ) from None
+
+
+def intermediates_for_controller(kind: str) -> list[str]:
+    """The traced intermediate variables added to the ESVL for ``kind``."""
+    try:
+        return list(_INTERMEDIATES_BY_KIND[kind])
+    except KeyError:
+        raise AnalysisError(
+            f"unknown controller kind '{kind}' (expected PID, Sqrt or SINS)"
+        ) from None

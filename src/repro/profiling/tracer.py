@@ -1,0 +1,83 @@
+"""Intermediate-variable tracer.
+
+Plays the role of the paper's "memory instrumentation techniques and
+operational data traces" ([13], Valgrind-style tracing): it samples the
+memory-bound intermediate variables of the victim regions each logging
+cycle, *without* any semantic knowledge of the controller code — it reads
+raw bindings from the memory map, matching ARES' data-driven stance
+(no semantic disassembly required).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+from repro.firmware.vehicle import Vehicle
+from repro.utils.timeseries import TraceTable
+
+__all__ = ["VariableTracer", "identify_controller_functions"]
+
+
+def identify_controller_functions(vehicle: Vehicle) -> dict[str, list[str]]:
+    """Locate controller functions and their variables via the memory map.
+
+    Mirrors the "controller function identification" step: returns, per
+    MPU region, the qualified names of all bound state variables — the
+    attacker-relevant inventory without firmware semantics.
+    """
+    return {
+        region.name: vehicle.memory.variable_names(region.name)
+        for region in vehicle.memory.regions()
+        if vehicle.memory.variable_names(region.name)
+    }
+
+
+class VariableTracer:
+    """Samples memory-bound variables synchronously with the dataflash log.
+
+    Attach to a vehicle before flight; the tracer hooks ``post_step`` and
+    records one row whenever the vehicle's logger records an ATT message
+    (so traced intermediates align row-for-row with log-derived KSVL
+    columns when both are exported).
+    """
+
+    def __init__(self, vehicle: Vehicle, variables: list[str]):
+        missing = [
+            name for name in variables
+            if not self._is_bound(vehicle, name)
+        ]
+        if missing:
+            raise AnalysisError(f"variables not bound in memory map: {missing}")
+        self.vehicle = vehicle
+        self.variables = list(variables)
+        self.table = TraceTable(self.variables)
+        self._last_att_count = vehicle.logger.num_records("ATT")
+        vehicle.post_step_hooks.append(self._on_step)
+
+    @staticmethod
+    def _is_bound(vehicle: Vehicle, name: str) -> bool:
+        try:
+            vehicle.memory.variable(name)
+            return True
+        except Exception:
+            return False
+
+    def detach(self) -> None:
+        """Stop tracing (remove the vehicle hook)."""
+        if self._on_step in self.vehicle.post_step_hooks:
+            self.vehicle.post_step_hooks.remove(self._on_step)
+
+    def _on_step(self, vehicle: Vehicle) -> None:
+        att_count = vehicle.logger.num_records("ATT")
+        if att_count == self._last_att_count:
+            return
+        self._last_att_count = att_count
+        values = {
+            name: vehicle.memory.variable(name).read() for name in self.variables
+        }
+        self.table.append_row(vehicle.sim.time, values)
+
+    def to_matrix(self) -> np.ndarray:
+        """Traced samples as an (n_cycles, n_variables) matrix."""
+        return self.table.to_matrix()

@@ -1,0 +1,35 @@
+"""Reinforcement-learning exploit generation (Gym-like envs + numpy agents)."""
+
+from repro.rl.ddpg import DdpgAgent, DdpgConfig
+from repro.rl.env import EnvConfig, RavEnvBase, StepResult
+from repro.rl.envs import ControlledCrashEnv, PathDeviationEnv
+from repro.rl.networks import MLP, AdamOptimizer
+from repro.rl.reinforce import ReinforceAgent, ReinforceConfig
+from repro.rl.replay import ReplayBuffer
+from repro.rl.spaces import Box
+from repro.rl.training import (
+    EpisodeStats,
+    TrainingResult,
+    train_ddpg,
+    train_reinforce,
+)
+
+__all__ = [
+    "AdamOptimizer",
+    "Box",
+    "ControlledCrashEnv",
+    "DdpgAgent",
+    "DdpgConfig",
+    "EnvConfig",
+    "EpisodeStats",
+    "MLP",
+    "PathDeviationEnv",
+    "RavEnvBase",
+    "ReinforceAgent",
+    "ReinforceConfig",
+    "ReplayBuffer",
+    "StepResult",
+    "TrainingResult",
+    "train_ddpg",
+    "train_reinforce",
+]

@@ -1,0 +1,127 @@
+"""Deep deterministic policy gradient (Lillicrap et al. — the paper's [36]).
+
+The continuous-control policy-gradient method the paper's experiment setup
+cites. Actor and critic are numpy MLPs; exploration is Ornstein–Uhlenbeck
+noise; target networks are Polyak-averaged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rl.networks import MLP, AdamOptimizer
+from repro.rl.replay import ReplayBuffer
+from repro.utils.rng import make_rng
+
+__all__ = ["DdpgConfig", "DdpgAgent"]
+
+
+@dataclass
+class DdpgConfig:
+    """Hyper-parameters for the DDPG agent."""
+
+    hidden: int = 64
+    actor_lr: float = 1e-3
+    critic_lr: float = 3e-3
+    gamma: float = 0.98
+    tau: float = 0.01
+    batch_size: int = 64
+    buffer_capacity: int = 100_000
+    warmup_transitions: int = 200
+    ou_theta: float = 0.15
+    ou_sigma: float = 0.3
+    noise_decay: float = 0.999
+    seed: int = 0
+
+
+class DdpgAgent:
+    """Actor-critic agent over one continuous action dimension."""
+
+    def __init__(self, obs_dim: int, action_limit: float,
+                 config: DdpgConfig | None = None):
+        self.config = config or DdpgConfig()
+        c = self.config
+        self.obs_dim = obs_dim
+        self.action_limit = action_limit
+        self.actor = MLP([obs_dim, c.hidden, c.hidden, 1],
+                         output_activation="tanh", seed=c.seed, out_scale=0.1)
+        self.critic = MLP([obs_dim + 1, c.hidden, c.hidden, 1], seed=c.seed + 1)
+        self.actor_target = self.actor.clone()
+        self.critic_target = self.critic.clone()
+        self._actor_opt = AdamOptimizer(self.actor.parameters(), lr=c.actor_lr)
+        self._critic_opt = AdamOptimizer(self.critic.parameters(), lr=c.critic_lr)
+        self.buffer = ReplayBuffer(c.buffer_capacity, obs_dim, 1, seed=c.seed + 2)
+        self._rng = make_rng(c.seed + 3)
+        self._noise = 0.0
+        self._noise_scale = 1.0
+
+    # ------------------------------------------------------------------ #
+    def act(self, obs: np.ndarray, deterministic: bool = False) -> np.ndarray:
+        """Policy action with OU exploration noise (in env action units)."""
+        c = self.config
+        raw = float(self.actor.forward(np.asarray(obs, dtype=float))[0])
+        if not deterministic:
+            self._noise += (
+                -c.ou_theta * self._noise
+                + c.ou_sigma * self._rng.standard_normal()
+            )
+            raw = raw + self._noise_scale * self._noise
+        return np.array([np.clip(raw, -1.0, 1.0) * self.action_limit])
+
+    def observe(self, obs, action, reward: float, next_obs, done: bool) -> None:
+        """Store one transition (actions arrive in env units)."""
+        scaled = np.asarray(action, dtype=float) / self.action_limit
+        self.buffer.add(obs, scaled, reward, next_obs, done)
+
+    def end_episode(self) -> None:
+        """Reset exploration noise and decay its scale."""
+        self._noise = 0.0
+        self._noise_scale *= self.config.noise_decay
+
+    # ------------------------------------------------------------------ #
+    def update(self) -> dict[str, float] | None:
+        """One gradient step on a replay minibatch (None while warming up)."""
+        c = self.config
+        if len(self.buffer) < max(c.batch_size, c.warmup_transitions):
+            return None
+        obs, act, rew, next_obs, done = self.buffer.sample(c.batch_size)
+
+        # Critic target: r + gamma * (1-done) * Q'(s', pi'(s')).
+        next_act = self.actor_target.forward(next_obs)
+        q_next = self.critic_target.forward(
+            np.hstack([next_obs, next_act])
+        ).reshape(-1)
+        target = rew + c.gamma * (1.0 - done) * q_next
+
+        # Critic regression.
+        q = self.critic.forward(np.hstack([obs, act]), cache=True).reshape(-1)
+        td_error = q - target
+        grad_q = (td_error.reshape(-1, 1)) / c.batch_size
+        w_grads, b_grads, _ = self.critic.backward(grad_q)
+        self._critic_opt.step(self._interleave(w_grads, b_grads))
+
+        # Actor: ascend Q(s, pi(s)) — chain grad through the critic input.
+        pi = self.actor.forward(obs, cache=True)
+        self.critic.forward(np.hstack([obs, pi]), cache=True)
+        ones = np.ones((c.batch_size, 1)) / c.batch_size
+        _, _, grad_input = self.critic.backward(-ones)  # maximise Q
+        grad_action = grad_input[:, self.obs_dim:]
+        w_grads, b_grads, _ = self.actor.backward(grad_action)
+        self._actor_opt.step(self._interleave(w_grads, b_grads))
+
+        # Polyak target updates.
+        self.actor_target.copy_from(self.actor, tau=c.tau)
+        self.critic_target.copy_from(self.critic, tau=c.tau)
+        return {
+            "critic_loss": float(np.mean(td_error**2)),
+            "mean_q": float(q.mean()),
+        }
+
+    @staticmethod
+    def _interleave(w_grads, b_grads):
+        grads = []
+        for w, b in zip(w_grads, b_grads):
+            grads.extend((w, b))
+        return grads

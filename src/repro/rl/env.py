@@ -1,0 +1,173 @@
+"""Gym-style RL environment base over the simulated RAV.
+
+Matches the paper's training setup (Section V-A): the agent acts every
+0.3 s ("the agent takes a single action in each step function every 0.3
+seconds and injects a variable manipulation of the target state variable"),
+episodes run up to 300 steps, and each reset lands, disarms and re-arms
+the vehicle at the mission start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.injection import VariableManipulator
+from repro.exceptions import RLError
+from repro.firmware.vehicle import Vehicle
+from repro.rl.spaces import Box
+from repro.sim.config import SimConfig
+
+__all__ = ["EnvConfig", "StepResult", "RavEnvBase"]
+
+
+@dataclass
+class EnvConfig:
+    """Shared environment settings.
+
+    ``physics_hz`` defaults to 100 Hz for training speed (the control
+    stack is rate-agnostic); ``agent_dt`` is the paper's 0.3 s action
+    period; ``max_episode_steps`` the paper's 300.
+    """
+
+    target_variable: str = "PIDR.INTEG"
+    agent_dt: float = 0.3
+    max_episode_steps: int = 300
+    physics_hz: float = 100.0
+    action_limit: float = 0.08
+    manipulation_mode: str = "delta"
+    detector_penalty: float = -100.0
+    seed: int = 0
+    use_detector: bool = False
+    #: Alarm threshold of the in-loop CI detector, calibrated to the
+    #: noiseless truth-state training environment (benign missions score
+    #: ~0 there; paper-scale gradual manipulations a few hundred). The
+    #: production detector keeps its own 400 000 threshold.
+    detector_threshold: float = 1000.0
+
+
+class StepResult(tuple):
+    """(observation, reward, done, info) with attribute access."""
+
+    def __new__(cls, observation, reward, done, info):
+        return super().__new__(cls, (observation, reward, done, info))
+
+    @property
+    def observation(self):
+        return self[0]
+
+    @property
+    def reward(self):
+        return self[1]
+
+    @property
+    def done(self):
+        return self[2]
+
+    @property
+    def info(self):
+        return self[3]
+
+
+class RavEnvBase:
+    """Common plumbing: vehicle lifecycle, action actuation, detectors.
+
+    Subclasses define the mission/scene (:meth:`_setup_vehicle`), the
+    observation (:meth:`_observe`) and the reward (:meth:`_reward`,
+    implementing Eq. 4 or Eq. 5).
+    """
+
+    def __init__(self, config: EnvConfig | None = None):
+        self.config = config or EnvConfig()
+        if self.config.agent_dt <= 0.0:
+            raise RLError("agent_dt must be positive")
+        self.action_space = Box(
+            low=-self.config.action_limit, high=self.config.action_limit,
+            shape=(1,), seed=self.config.seed,
+        )
+        self.observation_space: Box = self._make_observation_space()
+        self.vehicle: Vehicle | None = None
+        self.manipulator: VariableManipulator | None = None
+        self.detector = None
+        self._episode_steps = 0
+        self._episode_count = 0
+
+    # -- subclass API --------------------------------------------------- #
+    def _make_observation_space(self) -> Box:
+        raise NotImplementedError
+
+    def _setup_vehicle(self, seed: int) -> Vehicle:
+        """Create a vehicle, fly it to the exploit start, return it."""
+        raise NotImplementedError
+
+    def _observe(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def _reward(self) -> tuple[float, bool]:
+        """Return (reward, terminal) for the state after the last action."""
+        raise NotImplementedError
+
+    def _make_detector(self):
+        """Build the in-loop detector (only when config.use_detector)."""
+        from repro.defenses.control_invariants import ControlInvariantsDetector
+
+        return ControlInvariantsDetector(
+            self.vehicle.config.airframe,
+            threshold=self.config.detector_threshold,
+        )
+
+    # -- Gym API --------------------------------------------------------- #
+    def reset(self) -> np.ndarray:
+        """Start a new episode; returns the initial observation."""
+        self._episode_count += 1
+        seed = self.config.seed + self._episode_count
+        self.vehicle = self._setup_vehicle(seed)
+        view = self.vehicle.compromised_view()
+        self.manipulator = VariableManipulator(
+            view, self.config.target_variable,
+            mode=self.config.manipulation_mode,
+        )
+        if self.config.use_detector:
+            self.detector = self._make_detector()
+            self.detector.attach(self.vehicle)
+        else:
+            self.detector = None
+        self._episode_steps = 0
+        self._post_reset()
+        return self._observe()
+
+    def _post_reset(self) -> None:
+        """Subclass hook after the vehicle is staged (default: nothing)."""
+
+    def step(self, action) -> StepResult:
+        """Apply one manipulation, advance ``agent_dt`` of flight."""
+        if self.vehicle is None:
+            raise RLError("call reset() before step()")
+        action = np.asarray(action, dtype=float).reshape(-1)
+        clipped = float(self.action_space.clip(action)[0])
+        self.manipulator.apply(clipped)
+
+        cycles = max(1, int(round(self.config.agent_dt * self.config.physics_hz)))
+        for _ in range(cycles):
+            if self.vehicle.sim.vehicle.crashed:
+                break
+            self.vehicle.step()
+        self._episode_steps += 1
+
+        reward, terminal = self._reward()
+        done = terminal or self._episode_steps >= self.config.max_episode_steps
+        info = {
+            "steps": self._episode_steps,
+            "crashed": self.vehicle.sim.vehicle.crashed,
+            "detected": bool(self.detector is not None and self.detector.alarmed),
+            "time": self.vehicle.sim.time,
+        }
+        if self.vehicle.sim.vehicle.crashed:
+            done = True
+        if self.detector is not None and self.detector.alarmed:
+            # The "-inf if an anomaly is detected" term, implemented as a
+            # large negative penalty that also terminates the episode.
+            reward = self.config.detector_penalty
+            done = True
+        return StepResult(self._observe(), float(reward), bool(done), info)

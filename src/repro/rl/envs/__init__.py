@@ -1,0 +1,6 @@
+"""Exploit-generation environments (uncontrolled and controlled failures)."""
+
+from repro.rl.envs.crash import ControlledCrashEnv
+from repro.rl.envs.deviation import PathDeviationEnv
+
+__all__ = ["ControlledCrashEnv", "PathDeviationEnv"]

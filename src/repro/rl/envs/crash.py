@@ -1,0 +1,124 @@
+"""Controlled-failure environment: steer into a forbidden zone (Eq. 5, Fig. 11).
+
+The scene contains a forbidden navigation zone (an obstacle box) beside
+the mission path. The agent is rewarded ``+Δd`` for closing the distance
+to the zone, ``−Δd`` for retreating, a large terminal bonus on contact
+(the crash goal) and the detector penalty on an alarm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.firmware.mission import line_mission
+from repro.firmware.modes import FlightMode
+from repro.firmware.vehicle import Vehicle
+from repro.rl.env import EnvConfig, RavEnvBase
+from repro.rl.spaces import Box
+from repro.sim.config import SimConfig
+from repro.sim.world import BoxObstacle, World
+
+__all__ = ["ControlledCrashEnv"]
+
+
+class ControlledCrashEnv(RavEnvBase):
+    """Steer the RAV into a forbidden zone via state-variable manipulation."""
+
+    def __init__(
+        self,
+        config: EnvConfig | None = None,
+        zone_offset_east: float = 14.0,
+        zone_size: float = 8.0,
+        zone_north_start: float = 35.0,
+        zone_north_length: float = 40.0,
+        altitude: float = 10.0,
+        epsilon: float = 0.5,
+        contact_bonus: float = 100.0,
+    ):
+        self.zone_offset_east = zone_offset_east
+        self.zone_size = zone_size
+        self.zone_north_start = zone_north_start
+        self.zone_north_length = zone_north_length
+        self.altitude = altitude
+        self.epsilon = epsilon
+        self.contact_bonus = contact_bonus
+        self._last_distance = 0.0
+        super().__init__(config)
+
+    def _make_observation_space(self) -> Box:
+        # [roll, roll_rate, integ, d_zone, delta_d, east_velocity]
+        high = np.array([np.pi, 4 * np.pi, 1.0, 200.0, 10.0, 20.0])
+        return Box(low=-high, high=high, seed=self.config.seed)
+
+    def _build_zone(self) -> BoxObstacle:
+        east = self.zone_offset_east
+        half = self.zone_size / 2.0
+        return BoxObstacle(
+            name="forbidden-zone",
+            min_corner=np.array([
+                self.zone_north_start, east - half, -(self.altitude + half),
+            ]),
+            max_corner=np.array([
+                self.zone_north_start + self.zone_north_length,
+                east + half, -(self.altitude - half),
+            ]),
+        )
+
+    def _setup_vehicle(self, seed: int) -> Vehicle:
+        zone = self._build_zone()
+        world = World(obstacles=[zone], forbidden_zones=[zone])
+        vehicle = Vehicle(
+            SimConfig(seed=seed, physics_hz=self.config.physics_hz),
+            world=world,
+            use_truth_state=True,
+            estimation_enabled=False,
+        )
+        vehicle.mission = line_mission(length=300.0, altitude=self.altitude, legs=1)
+        vehicle.takeoff(self.altitude)
+        vehicle.set_mode(FlightMode.AUTO)
+        vehicle.run(2.0)
+        return vehicle
+
+    def _zone_distance(self) -> float:
+        return float(
+            self.vehicle.world.nearest_forbidden_distance(
+                self.vehicle.sim.vehicle.state.position
+            )
+        )
+
+    def _post_reset(self) -> None:
+        self._last_distance = self._zone_distance()
+
+    def _observe(self) -> np.ndarray:
+        state = self.vehicle.sim.vehicle.state
+        roll, _, _ = state.euler
+        d = self._zone_distance()
+        return np.array([
+            roll,
+            float(state.omega_body[0]),
+            float(self.manipulator.read()),
+            d,
+            d - self._last_distance,
+            float(state.velocity[1]),
+        ])
+
+    def _reward(self) -> tuple[float, bool]:
+        d = self._zone_distance()
+        delta = abs(d - self._last_distance)
+        if d <= self.epsilon:
+            self._last_distance = d
+            return self.contact_bonus, True  # reached the goal (crash)
+        if d < self._last_distance:
+            reward = +delta
+        else:
+            reward = -delta
+        self._last_distance = d
+        # Once the mission has carried the vehicle well past the zone's
+        # north extent, no approach is possible anymore: end the episode
+        # instead of accumulating meaningless negative reward.
+        zone = self.vehicle.world.forbidden_zones[0]
+        passed = (
+            float(self.vehicle.sim.vehicle.state.position[0])
+            > float(zone.max_corner[0]) + 10.0
+        )
+        return reward, passed

@@ -1,0 +1,95 @@
+"""Uncontrolled-failure environment: path deviation (paper Eq. 4, Fig. 10).
+
+The RAV flies a straight path-following mission between waypoints A and B;
+the agent manipulates ``PIDR.INTEG`` and is rewarded with ``+Δd`` whenever
+the minimum distance ``d`` from the mission path grows (``−Δd``
+otherwise), with a large negative terminal penalty if an in-loop detector
+alarms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.firmware.mission import line_mission
+from repro.firmware.modes import FlightMode
+from repro.firmware.vehicle import Vehicle
+from repro.rl.env import EnvConfig, RavEnvBase
+from repro.rl.spaces import Box
+from repro.sim.config import SimConfig
+
+__all__ = ["PathDeviationEnv"]
+
+
+class PathDeviationEnv(RavEnvBase):
+    """Deviate the RAV from its mission path as far as possible."""
+
+    def __init__(
+        self,
+        config: EnvConfig | None = None,
+        mission_length: float = 400.0,
+        altitude: float = 10.0,
+        epsilon: float = 0.01,
+    ):
+        self.mission_length = mission_length
+        self.altitude = altitude
+        #: The paper's ε ("representing the radius of the drone").
+        self.epsilon = epsilon
+        self._last_distance = 0.0
+        super().__init__(config)
+
+    def _make_observation_space(self) -> Box:
+        # [roll, roll_rate, integ, d, delta_d, cross_velocity]
+        high = np.array([np.pi, 4 * np.pi, 1.0, 100.0, 10.0, 20.0])
+        return Box(low=-high, high=high, seed=self.config.seed)
+
+    def _setup_vehicle(self, seed: int) -> Vehicle:
+        # Truth-state control with the estimation pipeline disabled: the
+        # in-loop CI detector reads attitude/gyro through the same
+        # truth path, so training episodes stay cheap.
+        vehicle = Vehicle(
+            SimConfig(seed=seed, physics_hz=self.config.physics_hz),
+            use_truth_state=True,
+            estimation_enabled=False,
+        )
+        vehicle.mission = line_mission(
+            length=self.mission_length, altitude=self.altitude, legs=1
+        )
+        vehicle.takeoff(self.altitude)
+        vehicle.set_mode(FlightMode.AUTO)
+        # Fly a short stretch so the exploit starts between A and B.
+        vehicle.run(2.0)
+        return vehicle
+
+    def _path_distance(self) -> float:
+        return float(
+            self.vehicle.mission.cross_track_distance(
+                self.vehicle.sim.vehicle.state.position
+            )
+        )
+
+    def _post_reset(self) -> None:
+        self._last_distance = self._path_distance()
+
+    def _observe(self) -> np.ndarray:
+        state = self.vehicle.sim.vehicle.state
+        roll, _, _ = state.euler
+        d = self._path_distance()
+        return np.array([
+            roll,
+            float(state.omega_body[0]),
+            float(self.manipulator.read()),
+            d,
+            d - self._last_distance,
+            float(state.velocity[1]),  # cross-track (east) velocity
+        ])
+
+    def _reward(self) -> tuple[float, bool]:
+        d = self._path_distance()
+        delta = abs(d - self._last_distance)
+        if d > self._last_distance and d > self.epsilon:
+            reward = +delta
+        else:
+            reward = -delta
+        self._last_distance = d
+        return reward, False

@@ -1,0 +1,139 @@
+"""Small multilayer perceptrons with manual backpropagation.
+
+The RL agents (REINFORCE, DDPG) need differentiable function
+approximators; with no deep-learning framework available offline, this
+module provides a compact numpy MLP supporting forward passes, gradient
+backpropagation and SGD/Adam updates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import RLError
+from repro.utils.rng import make_rng
+
+__all__ = ["MLP", "AdamOptimizer"]
+
+_ACTIVATIONS = {
+    "tanh": (np.tanh, lambda y: 1.0 - y * y),
+    "relu": (lambda x: np.maximum(x, 0.0), lambda y: (y > 0.0).astype(float)),
+    "linear": (lambda x: x, lambda y: np.ones_like(y)),
+}
+
+
+class MLP:
+    """Fully connected network with per-layer activations.
+
+    Weights are initialised with the Xavier/Glorot scheme; the final layer
+    can be scaled down (``out_scale``) as DDPG does for its actor.
+    """
+
+    def __init__(
+        self,
+        sizes: list[int],
+        hidden_activation: str = "tanh",
+        output_activation: str = "linear",
+        seed: int | None = 0,
+        out_scale: float = 1.0,
+    ):
+        if len(sizes) < 2:
+            raise RLError("MLP needs at least input and output sizes")
+        if hidden_activation not in _ACTIVATIONS or output_activation not in _ACTIVATIONS:
+            raise RLError("unknown activation")
+        rng = make_rng(seed)
+        self.sizes = list(sizes)
+        self.activations = [hidden_activation] * (len(sizes) - 2) + [output_activation]
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            bound = np.sqrt(6.0 / (fan_in + fan_out))
+            self.weights.append(rng.uniform(-bound, bound, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+        self.weights[-1] *= out_scale
+        self._cache: list[np.ndarray] | None = None
+
+    # ------------------------------------------------------------------ #
+    def forward(self, x: np.ndarray, cache: bool = False) -> np.ndarray:
+        """Evaluate the network on a batch (n, d_in) or a single vector."""
+        single = x.ndim == 1
+        h = np.atleast_2d(np.asarray(x, dtype=float))
+        layers = [h]
+        for W, b, act in zip(self.weights, self.biases, self.activations):
+            fn, _ = _ACTIVATIONS[act]
+            h = fn(h @ W + b)
+            layers.append(h)
+        if cache:
+            self._cache = layers
+        return h[0] if single else h
+
+    def backward(self, grad_output: np.ndarray):
+        """Backpropagate d(loss)/d(output) from the last cached forward.
+
+        Returns ``(weight_grads, bias_grads, grad_input)``.
+        """
+        if self._cache is None:
+            raise RLError("backward() requires forward(..., cache=True) first")
+        layers = self._cache
+        grad = np.atleast_2d(np.asarray(grad_output, dtype=float))
+        weight_grads = [np.zeros_like(W) for W in self.weights]
+        bias_grads = [np.zeros_like(b) for b in self.biases]
+        for i in reversed(range(len(self.weights))):
+            _, dfn = _ACTIVATIONS[self.activations[i]]
+            grad = grad * dfn(layers[i + 1])
+            weight_grads[i] = layers[i].T @ grad
+            bias_grads[i] = grad.sum(axis=0)
+            grad = grad @ self.weights[i].T
+        return weight_grads, bias_grads, grad
+
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> list[np.ndarray]:
+        """Flat list of parameter arrays (weights then biases, per layer)."""
+        params: list[np.ndarray] = []
+        for W, b in zip(self.weights, self.biases):
+            params.extend((W, b))
+        return params
+
+    def copy_from(self, other: "MLP", tau: float = 1.0) -> None:
+        """Polyak copy: ``self = tau * other + (1 - tau) * self``."""
+        for mine, theirs in zip(self.parameters(), other.parameters()):
+            mine *= 1.0 - tau
+            mine += tau * theirs
+
+    def clone(self) -> "MLP":
+        """Deep copy with identical weights."""
+        twin = MLP(self.sizes, seed=0)
+        twin.activations = list(self.activations)
+        twin.copy_from(self, tau=1.0)
+        return twin
+
+
+class AdamOptimizer:
+    """Adam over a fixed list of parameter arrays (updated in place)."""
+
+    def __init__(self, params: list[np.ndarray], lr: float = 1e-3,
+                 beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8):
+        if lr <= 0.0:
+            raise RLError("learning rate must be positive")
+        self.params = params
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p) for p in params]
+        self._v = [np.zeros_like(p) for p in params]
+        self._t = 0
+
+    def step(self, grads: list[np.ndarray]) -> None:
+        """Apply one descent step given gradients matching ``params``."""
+        if len(grads) != len(self.params):
+            raise RLError("gradient list length mismatch")
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(self.params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (g * g)
+            p -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)

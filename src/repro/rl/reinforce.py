@@ -1,0 +1,125 @@
+"""REINFORCE with a value baseline — the basic policy-gradient method.
+
+The paper opts "for a policy gradient method over the conventional
+Q-learning algorithm" to handle the continuous action space; REINFORCE is
+the simplest member of that family and serves as the light agent for
+quick exploit searches and tests. The Gaussian policy outputs a mean in
+[-1, 1] (scaled to the action limit) with a state-independent learnable
+log-std.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rl.networks import MLP, AdamOptimizer
+from repro.utils.rng import make_rng
+
+__all__ = ["ReinforceConfig", "ReinforceAgent"]
+
+
+@dataclass
+class ReinforceConfig:
+    """Hyper-parameters for the REINFORCE agent."""
+
+    hidden: int = 32
+    policy_lr: float = 3e-3
+    value_lr: float = 1e-2
+    gamma: float = 0.99
+    init_log_std: float = -0.7
+    min_log_std: float = -3.0
+    max_log_std: float = 0.5
+    seed: int = 0
+
+
+class ReinforceAgent:
+    """Monte-Carlo policy gradient over one continuous action dimension."""
+
+    def __init__(self, obs_dim: int, action_limit: float,
+                 config: ReinforceConfig | None = None):
+        self.config = config or ReinforceConfig()
+        self.obs_dim = obs_dim
+        self.action_limit = action_limit
+        c = self.config
+        self.policy = MLP([obs_dim, c.hidden, c.hidden, 1],
+                          output_activation="tanh", seed=c.seed)
+        self.value = MLP([obs_dim, c.hidden, 1], seed=c.seed + 1)
+        self.log_std = np.array([c.init_log_std])
+        self._policy_opt = AdamOptimizer(
+            self.policy.parameters() + [self.log_std], lr=c.policy_lr
+        )
+        self._value_opt = AdamOptimizer(self.value.parameters(), lr=c.value_lr)
+        self._rng = make_rng(c.seed)
+
+    # ------------------------------------------------------------------ #
+    def act(self, obs: np.ndarray, deterministic: bool = False) -> np.ndarray:
+        """Sample (or take the mean of) the policy action for ``obs``."""
+        mean = self.policy.forward(np.asarray(obs, dtype=float))
+        if deterministic:
+            raw = mean
+        else:
+            std = np.exp(self.log_std)
+            raw = mean + std * self._rng.standard_normal(1)
+        return np.clip(raw, -1.0, 1.0) * self.action_limit
+
+    # ------------------------------------------------------------------ #
+    def update(self, episode) -> dict[str, float]:
+        """One policy-gradient step from a finished episode.
+
+        ``episode`` is a list of (obs, action, reward) tuples; actions are
+        in environment units (they are unscaled internally).
+        """
+        c = self.config
+        observations = np.vstack([np.asarray(o, dtype=float) for o, _, _ in episode])
+        actions = np.vstack(
+            [np.atleast_1d(a) / self.action_limit for _, a, _ in episode]
+        )
+        rewards = np.array([r for _, _, r in episode])
+
+        # Discounted returns.
+        returns = np.zeros_like(rewards)
+        running = 0.0
+        for t in reversed(range(len(rewards))):
+            running = rewards[t] + c.gamma * running
+            returns[t] = running
+
+        # Baseline (value net) and advantages.
+        values = self.value.forward(observations, cache=True).reshape(-1)
+        advantages = returns - values
+        if advantages.std() > 1e-8:
+            advantages = (advantages - advantages.mean()) / advantages.std()
+
+        # Value regression step: grad of 0.5*(v - R)^2.
+        value_grad = (values - returns).reshape(-1, 1) / len(rewards)
+        w_grads, b_grads, _ = self.value.backward(value_grad)
+        self._value_opt.step(self._interleave(w_grads, b_grads))
+
+        # Policy gradient: d(-logpi * A)/d(mean) for a Gaussian policy.
+        means = self.policy.forward(observations, cache=True)
+        std = np.exp(self.log_std)
+        z = (actions - means) / std
+        # d(-logpi)/d(mean) = -(a - mu)/std^2; weight by advantage.
+        grad_mean = (-(z / std) * advantages.reshape(-1, 1)) / len(rewards)
+        w_grads, b_grads, _ = self.policy.backward(grad_mean)
+        # d(-logpi)/d(log_std) = (1 - z^2); weight by advantage.
+        grad_log_std = np.atleast_1d(
+            np.mean((1.0 - z * z) * advantages.reshape(-1, 1), axis=0)
+        )
+        self._policy_opt.step(
+            self._interleave(w_grads, b_grads) + [grad_log_std]
+        )
+        self.log_std[:] = np.clip(self.log_std, c.min_log_std, c.max_log_std)
+        return {
+            "return": float(rewards.sum()),
+            "mean_advantage": float(advantages.mean()),
+            "log_std": float(self.log_std[0]),
+        }
+
+    @staticmethod
+    def _interleave(w_grads, b_grads):
+        grads = []
+        for w, b in zip(w_grads, b_grads):
+            grads.extend((w, b))
+        return grads

@@ -1,0 +1,52 @@
+"""Experience replay buffer for off-policy agents (DDPG)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import RLError
+from repro.utils.rng import make_rng
+
+__all__ = ["ReplayBuffer"]
+
+
+class ReplayBuffer:
+    """Fixed-capacity uniform replay over (s, a, r, s', done) tuples."""
+
+    def __init__(self, capacity: int, obs_dim: int, act_dim: int,
+                 seed: int | None = 0):
+        if capacity < 1:
+            raise RLError("capacity must be >= 1")
+        self.capacity = capacity
+        self._obs = np.zeros((capacity, obs_dim))
+        self._act = np.zeros((capacity, act_dim))
+        self._rew = np.zeros(capacity)
+        self._next_obs = np.zeros((capacity, obs_dim))
+        self._done = np.zeros(capacity)
+        self._size = 0
+        self._head = 0
+        self._rng = make_rng(seed)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def add(self, obs, act, rew: float, next_obs, done: bool) -> None:
+        """Store one transition (overwrites the oldest when full)."""
+        i = self._head
+        self._obs[i] = obs
+        self._act[i] = np.atleast_1d(act)
+        self._rew[i] = rew
+        self._next_obs[i] = next_obs
+        self._done[i] = float(done)
+        self._head = (self._head + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def sample(self, batch_size: int):
+        """Uniform minibatch as (obs, act, rew, next_obs, done) arrays."""
+        if self._size == 0:
+            raise RLError("cannot sample from an empty buffer")
+        idx = self._rng.integers(0, self._size, size=batch_size)
+        return (
+            self._obs[idx], self._act[idx], self._rew[idx],
+            self._next_obs[idx], self._done[idx],
+        )

@@ -1,0 +1,60 @@
+"""Observation/action spaces (a minimal Gym-compatible subset)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import RLError
+from repro.utils.rng import make_rng
+
+__all__ = ["Box"]
+
+
+class Box:
+    """A bounded continuous space ``low <= x <= high`` of fixed shape."""
+
+    def __init__(self, low, high, shape: tuple[int, ...] | None = None,
+                 seed: int | None = 0):
+        low = np.asarray(low, dtype=float)
+        high = np.asarray(high, dtype=float)
+        if shape is not None:
+            low = np.broadcast_to(low, shape).astype(float)
+            high = np.broadcast_to(high, shape).astype(float)
+        if low.shape != high.shape:
+            raise RLError(f"shape mismatch: {low.shape} vs {high.shape}")
+        if np.any(low > high):
+            raise RLError("Box requires low <= high elementwise")
+        self.low = low.copy()
+        self.high = high.copy()
+        self._rng = make_rng(seed)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Dimensions of the space."""
+        return self.low.shape
+
+    @property
+    def dim(self) -> int:
+        """Flattened dimensionality."""
+        return int(np.prod(self.low.shape)) if self.low.shape else 1
+
+    def contains(self, x) -> bool:
+        """Whether ``x`` lies inside the box (inclusive)."""
+        x = np.asarray(x, dtype=float)
+        return bool(
+            x.shape == self.low.shape
+            and np.all(x >= self.low - 1e-9)
+            and np.all(x <= self.high + 1e-9)
+        )
+
+    def clip(self, x) -> np.ndarray:
+        """Project ``x`` onto the box."""
+        return np.clip(np.asarray(x, dtype=float), self.low, self.high)
+
+    def sample(self) -> np.ndarray:
+        """Uniform random point inside the box."""
+        return self._rng.uniform(self.low, self.high)
+
+    def seed(self, seed: int) -> None:
+        """Re-seed the sampler."""
+        self._rng = make_rng(seed)

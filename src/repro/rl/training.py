@@ -1,0 +1,109 @@
+"""Training loops for the exploit-generation agents."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rl.ddpg import DdpgAgent
+from repro.rl.reinforce import ReinforceAgent
+
+__all__ = ["EpisodeStats", "TrainingResult", "train_reinforce", "train_ddpg"]
+
+
+@dataclass
+class EpisodeStats:
+    """Summary of one training episode."""
+
+    episode: int
+    total_reward: float
+    steps: int
+    crashed: bool
+    detected: bool
+    final_info: dict = field(default_factory=dict)
+
+
+@dataclass
+class TrainingResult:
+    """History of a training run."""
+
+    episodes: list[EpisodeStats] = field(default_factory=list)
+
+    @property
+    def returns(self) -> np.ndarray:
+        """Episode returns in order."""
+        return np.asarray([e.total_reward for e in self.episodes])
+
+    @property
+    def best_return(self) -> float:
+        """Best episode return (−inf if no episodes)."""
+        return float(self.returns.max()) if self.episodes else float("-inf")
+
+    def improved(self, first_k: int = 5, last_k: int = 5) -> bool:
+        """Whether late-training returns beat early-training returns."""
+        r = self.returns
+        if len(r) < first_k + last_k:
+            return False
+        return float(r[-last_k:].mean()) > float(r[:first_k].mean())
+
+
+def train_reinforce(
+    env, agent: ReinforceAgent, episodes: int = 50,
+    callback=None,
+) -> TrainingResult:
+    """On-policy training: one policy update per episode."""
+    result = TrainingResult()
+    for episode_idx in range(episodes):
+        obs = env.reset()
+        trajectory = []
+        total = 0.0
+        info: dict = {}
+        done = False
+        while not done:
+            action = agent.act(obs)
+            next_obs, reward, done, info = env.step(action)
+            trajectory.append((obs, action, reward))
+            total += reward
+            obs = next_obs
+        agent.update(trajectory)
+        stats = EpisodeStats(
+            episode=episode_idx, total_reward=total, steps=info.get("steps", 0),
+            crashed=info.get("crashed", False),
+            detected=info.get("detected", False), final_info=info,
+        )
+        result.episodes.append(stats)
+        if callback is not None:
+            callback(stats)
+    return result
+
+
+def train_ddpg(
+    env, agent: DdpgAgent, episodes: int = 50,
+    updates_per_step: int = 1, callback=None,
+) -> TrainingResult:
+    """Off-policy training: replay updates every environment step."""
+    result = TrainingResult()
+    for episode_idx in range(episodes):
+        obs = env.reset()
+        total = 0.0
+        info: dict = {}
+        done = False
+        while not done:
+            action = agent.act(obs)
+            next_obs, reward, done, info = env.step(action)
+            agent.observe(obs, action, reward, next_obs, done)
+            for _ in range(updates_per_step):
+                agent.update()
+            total += reward
+            obs = next_obs
+        agent.end_episode()
+        stats = EpisodeStats(
+            episode=episode_idx, total_reward=total, steps=info.get("steps", 0),
+            crashed=info.get("crashed", False),
+            detected=info.get("detected", False), final_info=info,
+        )
+        result.episodes.append(stats)
+        if callback is not None:
+            callback(stats)
+    return result

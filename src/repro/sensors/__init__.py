@@ -1,0 +1,23 @@
+"""Onboard sensor models (IMU, GPS, barometer, magnetometer)."""
+
+from repro.sensors.barometer import Barometer, BaroSample
+from repro.sensors.base import NoiseModel, RateLimitedSensor
+from repro.sensors.gps import Gps, GpsSample
+from repro.sensors.imu import Imu, ImuSample
+from repro.sensors.magnetometer import Magnetometer, MagSample
+from repro.sensors.suite import SensorReadings, SensorSuite
+
+__all__ = [
+    "Barometer",
+    "BaroSample",
+    "Gps",
+    "GpsSample",
+    "Imu",
+    "ImuSample",
+    "Magnetometer",
+    "MagSample",
+    "NoiseModel",
+    "RateLimitedSensor",
+    "SensorReadings",
+    "SensorSuite",
+]

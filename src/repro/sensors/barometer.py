@@ -1,0 +1,56 @@
+"""Barometric altimeter model (the BARO dataflash message source)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sensors.base import NoiseModel, RateLimitedSensor
+from repro.sim.rigidbody import RigidBodyState
+
+__all__ = ["BaroSample", "Barometer"]
+
+#: Sea-level standard pressure, Pa.
+_P0 = 101_325.0
+#: Scale height of the isothermal atmosphere approximation, m.
+_SCALE_HEIGHT = 8434.0
+
+
+@dataclass
+class BaroSample:
+    """One barometer measurement."""
+
+    altitude: float  # m above the NED origin
+    pressure: float  # Pa
+    temperature: float  # deg C
+    time_s: float
+
+
+class Barometer(RateLimitedSensor):
+    """Barometer with altitude noise and a slow drift term."""
+
+    def __init__(
+        self,
+        rate_hz: float = 50.0,
+        altitude_std: float = 0.12,
+        drift_std: float = 0.002,
+        temperature_c: float = 22.0,
+        seed: int | None = 0,
+    ):
+        super().__init__(rate_hz)
+        self.temperature_c = temperature_c
+        self._noise = NoiseModel(
+            altitude_std, bias_instability=drift_std, seed=seed, dims=1
+        )
+
+    def _measure(self, time_s: float, state: RigidBodyState) -> BaroSample:
+        truth = np.array([state.altitude])
+        noisy_alt = float(self._noise.apply(truth, 1.0 / self.rate_hz)[0])
+        pressure = _P0 * np.exp(-max(noisy_alt, -100.0) / _SCALE_HEIGHT)
+        return BaroSample(
+            altitude=noisy_alt,
+            pressure=float(pressure),
+            temperature=self.temperature_c,
+            time_s=time_s,
+        )

@@ -1,0 +1,89 @@
+"""Common sensor machinery: noise, bias and rate-limited sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SensorError
+from repro.utils.rng import make_rng
+
+__all__ = ["NoiseModel", "RateLimitedSensor"]
+
+
+class NoiseModel:
+    """Additive Gaussian noise with a slowly drifting bias.
+
+    ``bias_instability`` is the standard deviation of a random-walk bias per
+    sqrt(second), the dominant low-frequency error of MEMS sensors.
+    """
+
+    def __init__(
+        self,
+        std: float,
+        bias_std: float = 0.0,
+        bias_instability: float = 0.0,
+        seed: int | None = 0,
+        dims: int = 3,
+    ):
+        if std < 0.0 or bias_std < 0.0 or bias_instability < 0.0:
+            raise SensorError("noise magnitudes must be non-negative")
+        self.std = std
+        self.bias_instability = bias_instability
+        self.dims = dims
+        self._rng = make_rng(seed)
+        self._bias = self._rng.normal(0.0, bias_std, size=dims) if bias_std else np.zeros(dims)
+        self._initial_bias = self._bias.copy()
+
+    @property
+    def bias(self) -> np.ndarray:
+        """Current bias vector."""
+        return self._bias
+
+    def reset(self) -> None:
+        """Restore the initial (constant-part) bias."""
+        self._bias = self._initial_bias.copy()
+
+    def apply(self, truth: np.ndarray, dt: float) -> np.ndarray:
+        """Corrupt a truth vector with bias walk + white noise."""
+        if self.bias_instability > 0.0:
+            self._bias = self._bias + self._rng.normal(
+                0.0, self.bias_instability * np.sqrt(dt), size=self.dims
+            )
+        return truth + self._bias + self._rng.normal(0.0, self.std, size=self.dims)
+
+
+class RateLimitedSensor:
+    """Base class for sensors that sample slower than the physics rate.
+
+    Subclasses implement :meth:`_measure`; :meth:`sample` returns a fresh
+    measurement only when the sensor period has elapsed, otherwise the last
+    held value (like polling a real device register).
+    """
+
+    def __init__(self, rate_hz: float):
+        if rate_hz <= 0.0:
+            raise SensorError(f"sensor rate must be positive, got {rate_hz}")
+        self.rate_hz = rate_hz
+        self._period = 1.0 / rate_hz
+        self._last_sample_time = -np.inf
+        self._held_value = None
+
+    @property
+    def has_sample(self) -> bool:
+        """Whether at least one measurement has been produced."""
+        return self._held_value is not None
+
+    def reset(self) -> None:
+        """Forget the held measurement and timing."""
+        self._last_sample_time = -np.inf
+        self._held_value = None
+
+    def sample(self, time_s: float, *args, **kwargs):
+        """Return the measurement for ``time_s`` (held or refreshed)."""
+        if time_s - self._last_sample_time >= self._period - 1e-12:
+            self._held_value = self._measure(time_s, *args, **kwargs)
+            self._last_sample_time = time_s
+        return self._held_value
+
+    def _measure(self, time_s: float, *args, **kwargs):
+        raise NotImplementedError

@@ -1,0 +1,81 @@
+"""GPS receiver model: 10 Hz position/velocity with latency and noise."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sensors.base import NoiseModel, RateLimitedSensor
+from repro.sim.rigidbody import RigidBodyState
+
+__all__ = ["GpsSample", "Gps"]
+
+
+@dataclass
+class GpsSample:
+    """One GPS fix in the local NED frame."""
+
+    position: np.ndarray  # m, NED
+    velocity: np.ndarray  # m/s, NED
+    num_sats: int
+    hdop: float
+    time_s: float
+
+
+class Gps(RateLimitedSensor):
+    """GPS with horizontal/vertical noise and a fixed pipeline delay.
+
+    Parameters mirror a consumer u-blox module: 10 Hz updates, ~1.2 m
+    horizontal sigma, 100-200 ms latency.
+    """
+
+    def __init__(
+        self,
+        rate_hz: float = 10.0,
+        horizontal_std: float = 1.2,
+        vertical_std: float = 2.0,
+        velocity_std: float = 0.1,
+        latency_s: float = 0.05,
+        num_sats: int = 14,
+        hdop: float = 0.8,
+        seed: int | None = 0,
+    ):
+        super().__init__(rate_hz)
+        self.latency_s = latency_s
+        self.num_sats = num_sats
+        self.hdop = hdop
+        self._pos_noise = NoiseModel(1.0, seed=seed)  # std applied per-axis below
+        self._vel_noise = NoiseModel(velocity_std, seed=None if seed is None else seed + 1)
+        self._axis_std = np.array([horizontal_std, horizontal_std, vertical_std])
+        self._history: deque[tuple[float, np.ndarray, np.ndarray]] = deque(maxlen=512)
+
+    def reset(self) -> None:
+        """Clear held sample and the latency history."""
+        super().reset()
+        self._history.clear()
+
+    def record_truth(self, time_s: float, state: RigidBodyState) -> None:
+        """Push ground truth into the latency pipeline (call every step)."""
+        self._history.append((time_s, state.position.copy(), state.velocity.copy()))
+
+    def _measure(self, time_s: float) -> GpsSample:
+        target_time = time_s - self.latency_s
+        # Use the newest history entry no newer than the delayed timestamp.
+        position = np.zeros(3)
+        velocity = np.zeros(3)
+        for t, pos, vel in self._history:
+            if t <= target_time:
+                position, velocity = pos, vel
+            else:
+                break
+        noisy_pos = position + self._pos_noise.apply(np.zeros(3), 1.0) * self._axis_std
+        noisy_vel = self._vel_noise.apply(velocity, 1.0)
+        return GpsSample(
+            position=noisy_pos,
+            velocity=noisy_vel,
+            num_sats=self.num_sats,
+            hdop=self.hdop,
+            time_s=time_s,
+        )

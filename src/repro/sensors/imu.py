@@ -1,0 +1,79 @@
+"""Inertial measurement unit: 3-axis gyroscope + 3-axis accelerometer.
+
+Produces the GyrX/GyrY/GyrZ and AccX/AccY/AccZ signals that appear in the
+paper's KSVL (Fig. 3) and the IMU dataflash message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sensors.base import NoiseModel
+from repro.sim.quadrotor import QuadrotorModel
+from repro.utils.rng import make_rng
+
+__all__ = ["ImuSample", "Imu"]
+
+
+@dataclass
+class ImuSample:
+    """One IMU measurement in the body frame."""
+
+    gyro: np.ndarray  # rad/s
+    accel: np.ndarray  # m/s², specific force (reads -g when at rest)
+    time_s: float
+
+
+class Imu:
+    """MEMS IMU model with per-axis noise, bias walk and motor vibration.
+
+    The accelerometer reports specific force: the quadrotor plant already
+    computes it (thrust + drag + contact forces over mass, gravity
+    excluded), so a vehicle at rest reads ≈9.81 m/s² on the body-up axis.
+    """
+
+    def __init__(
+        self,
+        gyro_noise_std: float = 0.002,
+        gyro_bias_std: float = 0.002,
+        gyro_bias_instability: float = 0.0001,
+        accel_noise_std: float = 0.05,
+        accel_bias_std: float = 0.05,
+        accel_bias_instability: float = 0.0005,
+        vibration_gain: float = 0.02,
+        seed: int | None = 0,
+    ):
+        self.gyro_noise = NoiseModel(
+            gyro_noise_std, gyro_bias_std, gyro_bias_instability, seed=seed
+        )
+        self.accel_noise = NoiseModel(
+            accel_noise_std,
+            accel_bias_std,
+            accel_bias_instability,
+            seed=None if seed is None else seed + 1,
+        )
+        self.vibration_gain = vibration_gain
+        self._vibration_rng = make_rng(None if seed is None else seed + 2)
+
+    def reset(self) -> None:
+        """Restore initial biases."""
+        self.gyro_noise.reset()
+        self.accel_noise.reset()
+
+    def sample(self, vehicle: QuadrotorModel, time_s: float, dt: float) -> ImuSample:
+        """Measure the vehicle's angular rate and specific force."""
+        state = vehicle.state
+        gyro = self.gyro_noise.apply(state.omega_body, dt)
+        accel = self.accel_noise.apply(vehicle.specific_force_body, dt)
+
+        # Propeller-imbalance vibration scales with total thrust; it is what
+        # the VIBE dataflash message records on real vehicles.
+        thrust_fraction = float(
+            vehicle.motors.thrusts.sum() / (4.0 * vehicle.airframe.motor_max_thrust)
+        )
+        vibration_std = self.vibration_gain * thrust_fraction
+        if vibration_std > 0.0:
+            accel = accel + self._vibration_rng.normal(0.0, vibration_std, size=3)
+        return ImuSample(gyro=gyro, accel=accel, time_s=time_s)

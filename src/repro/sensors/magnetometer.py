@@ -1,0 +1,53 @@
+"""3-axis magnetometer model (the MAG dataflash message source)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sensors.base import NoiseModel, RateLimitedSensor
+from repro.sim.rigidbody import RigidBodyState
+from repro.utils.math3d import quat_inverse_rotate
+
+__all__ = ["MagSample", "Magnetometer"]
+
+
+@dataclass
+class MagSample:
+    """One magnetometer measurement in the body frame (milligauss)."""
+
+    field: np.ndarray
+    time_s: float
+
+
+class Magnetometer(RateLimitedSensor):
+    """Magnetometer measuring a fixed world-frame field rotated into body.
+
+    Default field: 400 mG north, 0 east, 450 mG down — a mid-latitude
+    northern-hemisphere value, matching what ArduPilot's compass sees.
+    """
+
+    def __init__(
+        self,
+        rate_hz: float = 100.0,
+        field_world: np.ndarray | None = None,
+        noise_std: float = 3.0,
+        hard_iron: np.ndarray | None = None,
+        seed: int | None = 0,
+    ):
+        super().__init__(rate_hz)
+        self.field_world = (
+            np.asarray(field_world, dtype=float)
+            if field_world is not None
+            else np.array([400.0, 0.0, 450.0])
+        )
+        self.hard_iron = (
+            np.asarray(hard_iron, dtype=float) if hard_iron is not None else np.zeros(3)
+        )
+        self._noise = NoiseModel(noise_std, seed=seed)
+
+    def _measure(self, time_s: float, state: RigidBodyState) -> MagSample:
+        field_body = quat_inverse_rotate(state.quaternion, self.field_world)
+        noisy = self._noise.apply(field_body + self.hard_iron, 1.0 / self.rate_hz)
+        return MagSample(field=noisy, time_s=time_s)

@@ -1,0 +1,53 @@
+"""Sensor suite: samples every onboard sensor against the simulated plant."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sensors.barometer import Barometer, BaroSample
+from repro.sensors.gps import Gps, GpsSample
+from repro.sensors.imu import Imu, ImuSample
+from repro.sensors.magnetometer import Magnetometer, MagSample
+from repro.sim.quadrotor import QuadrotorModel
+
+__all__ = ["SensorReadings", "SensorSuite"]
+
+
+@dataclass
+class SensorReadings:
+    """All sensor outputs for one control cycle."""
+
+    imu: ImuSample
+    gps: GpsSample
+    baro: BaroSample
+    mag: MagSample
+    time_s: float
+
+
+class SensorSuite:
+    """Full avionics sensor set wired to one vehicle."""
+
+    def __init__(self, seed: int | None = 0):
+        offset = 0 if seed is None else seed
+        self.imu = Imu(seed=None if seed is None else offset + 10)
+        self.gps = Gps(seed=None if seed is None else offset + 20)
+        self.baro = Barometer(seed=None if seed is None else offset + 30)
+        self.mag = Magnetometer(seed=None if seed is None else offset + 40)
+
+    def reset(self) -> None:
+        """Reset every sensor (bias walks, latency pipelines, held samples)."""
+        self.imu.reset()
+        self.gps.reset()
+        self.baro.reset()
+        self.mag.reset()
+
+    def sample(self, vehicle: QuadrotorModel, time_s: float, dt: float) -> SensorReadings:
+        """Sample all sensors for the current control cycle."""
+        self.gps.record_truth(time_s, vehicle.state)
+        return SensorReadings(
+            imu=self.imu.sample(vehicle, time_s, dt),
+            gps=self.gps.sample(time_s),
+            baro=self.baro.sample(time_s, vehicle.state),
+            mag=self.mag.sample(time_s, vehicle.state),
+            time_s=time_s,
+        )

@@ -1,0 +1,34 @@
+"""Quadrotor physics simulation substrate (stands in for ArduPilot SITL + Gazebo)."""
+
+from repro.sim.battery import Battery
+from repro.sim.config import (
+    AirframeConfig,
+    SimConfig,
+    iris_plus_airframe,
+    pixhawk4_airframe,
+)
+from repro.sim.environment import Environment
+from repro.sim.motor import Motor, MotorArray
+from repro.sim.quadrotor import QuadrotorModel
+from repro.sim.rigidbody import RigidBody6DoF, RigidBodyState
+from repro.sim.simulator import Simulator
+from repro.sim.world import BoxObstacle, World, path_distance, point_segment_distance
+
+__all__ = [
+    "AirframeConfig",
+    "Battery",
+    "BoxObstacle",
+    "Environment",
+    "Motor",
+    "MotorArray",
+    "QuadrotorModel",
+    "RigidBody6DoF",
+    "RigidBodyState",
+    "SimConfig",
+    "Simulator",
+    "World",
+    "iris_plus_airframe",
+    "path_distance",
+    "pixhawk4_airframe",
+    "point_segment_distance",
+]

@@ -1,0 +1,86 @@
+"""Battery model.
+
+The paper's uncontrolled-failure outcome ends with the drone "eventually
+crash[ing] after draining the battery"; the battery model provides that
+terminal condition plus the CURR dataflash log fields (voltage, current).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SimulationError
+from repro.utils.math3d import constrain
+
+__all__ = ["Battery"]
+
+
+class Battery:
+    """LiPo battery with linear voltage sag and coulomb counting."""
+
+    def __init__(
+        self,
+        capacity_mah: float = 5100.0,
+        cells: int = 3,
+        full_cell_voltage: float = 4.2,
+        empty_cell_voltage: float = 3.3,
+        base_current_a: float = 0.6,
+        max_current_a: float = 60.0,
+    ):
+        if capacity_mah <= 0.0:
+            raise SimulationError("battery capacity must be positive")
+        if cells < 1:
+            raise SimulationError("battery needs at least one cell")
+        if empty_cell_voltage >= full_cell_voltage:
+            raise SimulationError("empty voltage must be below full voltage")
+        self.capacity_mah = capacity_mah
+        self.cells = cells
+        self.full_cell_voltage = full_cell_voltage
+        self.empty_cell_voltage = empty_cell_voltage
+        self.base_current_a = base_current_a
+        self.max_current_a = max_current_a
+        self._consumed_mah = 0.0
+        self._current_a = base_current_a
+
+    @property
+    def remaining_fraction(self) -> float:
+        """State of charge in [0, 1]."""
+        return constrain(1.0 - self._consumed_mah / self.capacity_mah, 0.0, 1.0)
+
+    @property
+    def voltage(self) -> float:
+        """Pack voltage under the linear sag model."""
+        cell = self.empty_cell_voltage + self.remaining_fraction * (
+            self.full_cell_voltage - self.empty_cell_voltage
+        )
+        return cell * self.cells
+
+    @property
+    def current(self) -> float:
+        """Most recent draw (A)."""
+        return self._current_a
+
+    @property
+    def consumed_mah(self) -> float:
+        """Charge consumed so far (mAh)."""
+        return self._consumed_mah
+
+    @property
+    def depleted(self) -> bool:
+        """True once the pack is fully drained."""
+        return self.remaining_fraction <= 0.0
+
+    def reset(self) -> None:
+        """Recharge to full."""
+        self._consumed_mah = 0.0
+        self._current_a = self.base_current_a
+
+    def step(self, throttle_fraction: float, dt: float) -> None:
+        """Advance consumption for one step.
+
+        ``throttle_fraction`` is the mean normalised motor command; draw
+        scales with its square (propeller power curve approximation).
+        """
+        throttle_fraction = constrain(throttle_fraction, 0.0, 1.0)
+        self._current_a = self.base_current_a + (
+            self.max_current_a - self.base_current_a
+        ) * throttle_fraction**2
+        self._consumed_mah += self._current_a * dt / 3.6  # A*s -> mAh

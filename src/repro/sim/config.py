@@ -1,0 +1,147 @@
+"""Simulation configuration and airframe presets.
+
+Two virtual vehicles mirror the paper's evaluation targets: an IRIS+-like
+quadrotor and a PX4/Pixhawk4-class frame (Section V-A). Both are X-frame
+quadrotors differing in mass, geometry and motor authority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+
+__all__ = ["AirframeConfig", "SimConfig", "iris_plus_airframe", "pixhawk4_airframe"]
+
+
+@dataclass
+class AirframeConfig:
+    """Physical description of one quadrotor airframe.
+
+    Attributes
+    ----------
+    name:
+        Human-readable frame identifier.
+    mass:
+        Take-off mass in kg.
+    arm_length:
+        Distance from the centre of gravity to each motor axis, metres.
+    inertia_diag:
+        Principal moments of inertia (Ixx, Iyy, Izz) in kg·m².
+    motor_time_constant:
+        First-order motor-response time constant, seconds.
+    motor_max_thrust:
+        Maximum thrust of a single motor, newtons.
+    motor_torque_coeff:
+        Yaw reaction torque per newton of thrust (m).
+    linear_drag_coeff:
+        Isotropic linear drag coefficient (N per m/s).
+    angular_drag_coeff:
+        Rotational damping coefficient (N·m per rad/s).
+    max_tilt_rad:
+        Structural tilt limit beyond which recovery is impossible; used by
+        crash detection, not by the physics itself.
+    """
+
+    name: str
+    mass: float
+    arm_length: float
+    inertia_diag: tuple[float, float, float]
+    motor_time_constant: float
+    motor_max_thrust: float
+    motor_torque_coeff: float
+    linear_drag_coeff: float
+    angular_drag_coeff: float
+    max_tilt_rad: float = np.deg2rad(80.0)
+
+    def __post_init__(self) -> None:
+        if self.mass <= 0.0:
+            raise SimulationError(f"airframe mass must be positive, got {self.mass}")
+        if self.arm_length <= 0.0:
+            raise SimulationError("airframe arm length must be positive")
+        if any(i <= 0.0 for i in self.inertia_diag):
+            raise SimulationError("inertia diagonal entries must be positive")
+        if self.motor_max_thrust * 4.0 <= self.mass * 9.80665:
+            raise SimulationError(
+                f"airframe '{self.name}' cannot hover: total max thrust "
+                f"{self.motor_max_thrust * 4.0:.2f} N <= weight "
+                f"{self.mass * 9.80665:.2f} N"
+            )
+
+    @property
+    def inertia(self) -> np.ndarray:
+        """3x3 inertia tensor (diagonal)."""
+        return np.diag(self.inertia_diag)
+
+    @property
+    def hover_throttle(self) -> float:
+        """Normalised per-motor throttle that balances gravity."""
+        return self.mass * 9.80665 / (4.0 * self.motor_max_thrust)
+
+
+def iris_plus_airframe() -> AirframeConfig:
+    """3DR IRIS+-like quadrotor (the paper's primary vehicle)."""
+    return AirframeConfig(
+        name="IRIS+",
+        mass=1.37,
+        arm_length=0.26,
+        inertia_diag=(0.0219, 0.0219, 0.0366),
+        motor_time_constant=0.02,
+        motor_max_thrust=9.0,
+        motor_torque_coeff=0.016,
+        linear_drag_coeff=0.35,
+        angular_drag_coeff=0.003,
+    )
+
+
+def pixhawk4_airframe() -> AirframeConfig:
+    """Pixhawk4/PX4 development-frame quadrotor (second evaluation vehicle)."""
+    return AirframeConfig(
+        name="Pixhawk4",
+        mass=1.00,
+        arm_length=0.22,
+        inertia_diag=(0.0150, 0.0150, 0.0260),
+        motor_time_constant=0.018,
+        motor_max_thrust=7.0,
+        motor_torque_coeff=0.014,
+        linear_drag_coeff=0.30,
+        angular_drag_coeff=0.0025,
+    )
+
+
+@dataclass
+class SimConfig:
+    """Global simulation settings.
+
+    ``physics_hz`` is the integration rate; the firmware scheduler derives
+    its 400 Hz control loop from the same clock (``SCHED_LOOP_RATE``).
+    Reducing ``physics_hz`` (e.g. to 100 Hz for RL training) keeps all code
+    paths identical while trading accuracy for speed.
+    """
+
+    physics_hz: float = 400.0
+    gravity: float = 9.80665
+    air_density: float = 1.225
+    ground_altitude: float = 0.0
+    seed: int | None = 0
+    wind_mean: tuple[float, float, float] = (0.0, 0.0, 0.0)
+    wind_gust_std: float = 0.0
+    wind_gust_tau: float = 2.0
+    airframe: AirframeConfig = field(default_factory=iris_plus_airframe)
+
+    def __post_init__(self) -> None:
+        if self.physics_hz <= 0.0:
+            raise SimulationError("physics_hz must be positive")
+        if self.gravity <= 0.0:
+            raise SimulationError("gravity must be positive")
+        if self.wind_gust_std < 0.0:
+            raise SimulationError("wind gust std must be non-negative")
+        if self.wind_gust_tau <= 0.0:
+            raise SimulationError("wind gust time constant must be positive")
+
+    @property
+    def dt(self) -> float:
+        """Physics integration step, seconds."""
+        return 1.0 / self.physics_hz

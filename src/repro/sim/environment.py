@@ -1,0 +1,56 @@
+"""Environmental effects: gravity, wind and gusts.
+
+Gusts follow an Ornstein–Uhlenbeck process so the disturbance spectrum is
+realistic (correlated over ``wind_gust_tau`` seconds) — this is what forces
+the detectors' thresholds to tolerate transient error, the slack ARES'
+stealthy attacks live inside (Section III-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.config import SimConfig
+from repro.utils.rng import make_rng
+
+__all__ = ["Environment"]
+
+
+class Environment:
+    """Gravity and stochastic wind for one simulation run."""
+
+    def __init__(self, config: SimConfig):
+        self.config = config
+        self._rng = make_rng(config.seed)
+        self._gust = np.zeros(3)
+
+    @property
+    def gravity_world(self) -> np.ndarray:
+        """Gravity acceleration in NED (positive down)."""
+        return np.array([0.0, 0.0, self.config.gravity])
+
+    @property
+    def wind(self) -> np.ndarray:
+        """Current wind velocity in the world frame (m/s)."""
+        return np.asarray(self.config.wind_mean) + self._gust
+
+    def reset(self, seed: int | None = None) -> None:
+        """Restart gusts (optionally re-seeding)."""
+        if seed is not None:
+            self._rng = make_rng(seed)
+        self._gust = np.zeros(3)
+
+    def step(self, dt: float) -> None:
+        """Advance the gust process one step."""
+        std = self.config.wind_gust_std
+        if std <= 0.0:
+            return
+        tau = self.config.wind_gust_tau
+        decay = np.exp(-dt / tau)
+        noise_scale = std * np.sqrt(1.0 - decay**2)
+        self._gust = decay * self._gust + noise_scale * self._rng.standard_normal(3)
+
+    def drag_force(self, velocity_world: np.ndarray, drag_coeff: float) -> np.ndarray:
+        """Linear drag opposing airspeed (velocity relative to the wind)."""
+        airspeed = velocity_world - self.wind
+        return -drag_coeff * airspeed

@@ -1,0 +1,155 @@
+"""Motor and propulsion models.
+
+Each motor is a first-order lag from commanded throttle to produced thrust
+plus a yaw reaction torque proportional to thrust. This captures the two
+properties the attacks exercise: actuation latency (gradual manipulations
+ride inside it) and saturation (naive attacks slam into it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.utils.math3d import constrain
+
+__all__ = ["Motor", "MotorArray"]
+
+
+class Motor:
+    """Single brushless motor + ESC + propeller.
+
+    Parameters
+    ----------
+    max_thrust:
+        Thrust at full throttle, newtons.
+    time_constant:
+        First-order response time constant, seconds.
+    torque_coeff:
+        Reaction torque per newton of thrust (metres); sign applied by
+        :class:`MotorArray` per spin direction.
+    """
+
+    def __init__(self, max_thrust: float, time_constant: float, torque_coeff: float):
+        if max_thrust <= 0.0:
+            raise SimulationError("max_thrust must be positive")
+        if time_constant <= 0.0:
+            raise SimulationError("time_constant must be positive")
+        self.max_thrust = max_thrust
+        self.time_constant = time_constant
+        self.torque_coeff = torque_coeff
+        self._thrust = 0.0
+        self._command = 0.0
+
+    @property
+    def thrust(self) -> float:
+        """Current produced thrust, newtons."""
+        return self._thrust
+
+    @property
+    def command(self) -> float:
+        """Last commanded throttle in [0, 1]."""
+        return self._command
+
+    def reset(self) -> None:
+        """Spin down instantly (used between episodes)."""
+        self._thrust = 0.0
+        self._command = 0.0
+
+    def set_command(self, throttle: float) -> None:
+        """Command a throttle fraction; values outside [0, 1] are clamped."""
+        self._command = constrain(float(throttle), 0.0, 1.0)
+
+    def step(self, dt: float) -> float:
+        """Advance the first-order lag by ``dt`` and return thrust (N)."""
+        target = self._command * self.max_thrust
+        alpha = dt / (dt + self.time_constant)
+        self._thrust += alpha * (target - self._thrust)
+        return self._thrust
+
+
+class MotorArray:
+    """Four motors in ArduPilot X-quad layout.
+
+    Motor positions (body FRD frame, viewed from above)::
+
+        3(CCW)   1(CW)
+             \\ /
+             / \\
+        2(CW)   4(CCW)
+
+    Index order matches ArduPilot's QUAD/X: motor 1 front-right, motor 2
+    back-left, motor 3 front-left, motor 4 back-right. Spin directions
+    alternate so yaw torque can be commanded differentially.
+    """
+
+    #: Unit positions of each motor in the body X/Y plane (front-right,
+    #: back-left, front-left, back-right), scaled by arm length at runtime.
+    _LAYOUT = np.array(
+        [
+            [0.7071, 0.7071],
+            [-0.7071, -0.7071],
+            [0.7071, -0.7071],
+            [-0.7071, 0.7071],
+        ]
+    )
+    #: +1 for CCW props (positive yaw reaction), -1 for CW.
+    _SPIN = np.array([-1.0, -1.0, 1.0, 1.0])
+
+    def __init__(self, airframe) -> None:
+        self.airframe = airframe
+        self.motors = [
+            Motor(
+                max_thrust=airframe.motor_max_thrust,
+                time_constant=airframe.motor_time_constant,
+                torque_coeff=airframe.motor_torque_coeff,
+            )
+            for _ in range(4)
+        ]
+        self._positions = self._LAYOUT * airframe.arm_length
+
+    def __len__(self) -> int:
+        return len(self.motors)
+
+    def reset(self) -> None:
+        """Spin down all motors."""
+        for motor in self.motors:
+            motor.reset()
+
+    def set_commands(self, throttles) -> None:
+        """Command all four throttles at once."""
+        if len(throttles) != 4:
+            raise SimulationError(f"expected 4 throttle commands, got {len(throttles)}")
+        for motor, throttle in zip(self.motors, throttles):
+            motor.set_command(throttle)
+
+    @property
+    def thrusts(self) -> np.ndarray:
+        """Current per-motor thrusts (N)."""
+        return np.array([m.thrust for m in self.motors])
+
+    def step(self, dt: float) -> tuple[np.ndarray, np.ndarray]:
+        """Advance motor dynamics, returning body force and torque.
+
+        Returns
+        -------
+        force_body:
+            Total thrust vector in the body frame (FRD: thrust is -Z).
+        torque_body:
+            Roll/pitch moments from thrust differentials plus yaw reaction.
+        """
+        thrusts = np.array([m.step(dt) for m in self.motors])
+        total_thrust = float(thrusts.sum())
+        force_body = np.array([0.0, 0.0, -total_thrust])
+
+        # Roll torque: right-side motors push the left wing down (negative
+        # body-Y positions roll positive). tau = sum(-y_i * T_i) for roll
+        # about X... with FRD and thrust along -Z: tau_x = sum(-(-T) * y)?
+        # Derive from r x F with F = (0, 0, -T):
+        #   r x F = (y*(-T) - 0, 0 - x*(-T), 0) = (-y*T, x*T, 0)
+        tau_x = float(np.sum(-self._positions[:, 1] * thrusts))
+        tau_y = float(np.sum(self._positions[:, 0] * thrusts))
+        tau_z = float(
+            np.sum(self._SPIN * thrusts * self.airframe.motor_torque_coeff)
+        )
+        return force_body, np.array([tau_x, tau_y, tau_z])

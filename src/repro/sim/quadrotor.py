@@ -1,0 +1,153 @@
+"""Quadrotor plant: motors + rigid body + aerodynamic drag + ground contact."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.battery import Battery
+from repro.sim.config import AirframeConfig, SimConfig
+from repro.sim.environment import Environment
+from repro.sim.motor import MotorArray
+from repro.sim.rigidbody import RigidBody6DoF, RigidBodyState
+from repro.utils.math3d import quat_inverse_rotate, quat_rotate
+
+__all__ = ["QuadrotorModel"]
+
+
+class QuadrotorModel:
+    """X-frame quadrotor dynamics, the vehicle model Gazebo provides in
+    the paper's testbed.
+
+    The model exposes the physical truth the sensors sample: the rigid-body
+    state and the specific force (what an accelerometer actually measures).
+    """
+
+    def __init__(self, config: SimConfig, environment: Environment | None = None):
+        self.config = config
+        self.airframe: AirframeConfig = config.airframe
+        self.environment = environment or Environment(config)
+        self.motors = MotorArray(self.airframe)
+        self.body = RigidBody6DoF(self.airframe.mass, self.airframe.inertia)
+        self.battery = Battery()
+        self._specific_force_body = np.zeros(3)
+        self._landed = True
+        self._crashed = False
+        self._crash_reason: str | None = None
+
+    @property
+    def state(self) -> RigidBodyState:
+        """Ground-truth rigid-body state."""
+        return self.body.state
+
+    @property
+    def specific_force_body(self) -> np.ndarray:
+        """Non-gravitational acceleration in the body frame (m/s²).
+
+        This is the ideal accelerometer signal: thrust + drag + contact
+        forces divided by mass, excluding gravity.
+        """
+        return self._specific_force_body
+
+    @property
+    def landed(self) -> bool:
+        """Whether the vehicle is resting on the ground."""
+        return self._landed
+
+    @property
+    def crashed(self) -> bool:
+        """Whether an unrecoverable impact has occurred."""
+        return self._crashed
+
+    @property
+    def crash_reason(self) -> str | None:
+        """Human-readable crash cause, if crashed."""
+        return self._crash_reason
+
+    def reset(self, position: np.ndarray | None = None, seed: int | None = None) -> None:
+        """Return to rest at ``position`` (default: origin on the ground)."""
+        state = RigidBodyState()
+        if position is not None:
+            state.position = np.asarray(position, dtype=float).copy()
+        self.body.reset(state)
+        self.motors.reset()
+        self.battery.reset()
+        self.environment.reset(seed)
+        self._specific_force_body = np.zeros(3)
+        self._landed = True
+        self._crashed = False
+        self._crash_reason = None
+
+    def mark_crashed(self, reason: str) -> None:
+        """Externally declare a crash (e.g. obstacle collision)."""
+        self._crashed = True
+        self._crash_reason = reason
+
+    def step(self, motor_commands, dt: float) -> RigidBodyState:
+        """Advance the plant one physics step.
+
+        Parameters
+        ----------
+        motor_commands:
+            Four normalised throttle commands in [0, 1].
+        dt:
+            Step size (s).
+        """
+        self.motors.set_commands(motor_commands)
+        self.environment.step(dt)
+
+        thrust_body, torque_body = self.motors.step(dt)
+        state = self.body.state
+
+        # Aerodynamics in the world frame.
+        drag_world = self.environment.drag_force(
+            state.velocity, self.airframe.linear_drag_coeff
+        )
+        thrust_world = quat_rotate(state.quaternion, thrust_body)
+        gravity_world = self.environment.gravity_world * self.airframe.mass
+        force_world = thrust_world + drag_world + gravity_world
+
+        # Rotational damping in the body frame.
+        torque_body = torque_body - self.airframe.angular_drag_coeff * state.omega_body
+
+        # Ground contact: a stiff unilateral constraint. While landed and not
+        # producing enough thrust to lift off, hold the vehicle still.
+        altitude = state.altitude
+        weight = self.airframe.mass * self.config.gravity
+        total_thrust = float(self.motors.thrusts.sum())
+        if altitude <= self.config.ground_altitude + 1e-6 and state.velocity[2] >= 0.0:
+            if total_thrust <= weight:
+                self._landed = True
+                state.position[2] = -self.config.ground_altitude
+                state.velocity[:] = 0.0
+                state.omega_body[:] = 0.0
+                self._specific_force_body = quat_inverse_rotate(
+                    state.quaternion, -self.environment.gravity_world
+                )
+                self.battery.step(float(np.mean([m.command for m in self.motors.motors])), dt)
+                return state
+        if self._landed and total_thrust > weight:
+            self._landed = False
+
+        self.body.step(force_world, torque_body, dt)
+
+        # Specific force excludes gravity — it is what the IMU feels.
+        nongrav_world = thrust_world + drag_world
+        self._specific_force_body = quat_inverse_rotate(
+            state.quaternion, nongrav_world / self.airframe.mass
+        )
+
+        # Hard-impact crash detection: descending fast into the ground.
+        if state.altitude < self.config.ground_altitude - 0.01:
+            impact_speed = float(state.velocity[2])
+            state.position[2] = -self.config.ground_altitude
+            if impact_speed > 2.0 and not self._landed:
+                self._crashed = True
+                self._crash_reason = f"ground impact at {impact_speed:.1f} m/s"
+            state.velocity[:] = 0.0
+            state.omega_body[:] = 0.0
+            self._landed = True
+
+        self.battery.step(float(np.mean([m.command for m in self.motors.motors])), dt)
+        if self.battery.depleted and not self._landed:
+            self.motors.set_commands([0.0, 0.0, 0.0, 0.0])
+        return state

@@ -1,0 +1,84 @@
+"""Top-level simulation loop coupling the plant to a world and a clock."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.sim.config import SimConfig
+from repro.sim.environment import Environment
+from repro.sim.quadrotor import QuadrotorModel
+from repro.sim.world import World
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Fixed-step simulator of one quadrotor in a static world.
+
+    The firmware's scheduler calls :meth:`step` once per control cycle; the
+    simulator advances the physics, checks world interactions (obstacle
+    collisions, forbidden zones) and keeps the monotonic clock the logger
+    and detectors time-stamp against.
+    """
+
+    def __init__(self, config: SimConfig | None = None, world: World | None = None):
+        self.config = config or SimConfig()
+        self.world = world or World(ground_altitude=self.config.ground_altitude)
+        self.environment = Environment(self.config)
+        self.vehicle = QuadrotorModel(self.config, self.environment)
+        self._time = 0.0
+        self._step_count = 0
+        self._collision_callbacks: list[Callable[[str], None]] = []
+
+    @property
+    def time(self) -> float:
+        """Simulation time in seconds."""
+        return self._time
+
+    @property
+    def step_count(self) -> int:
+        """Number of physics steps taken since reset."""
+        return self._step_count
+
+    @property
+    def dt(self) -> float:
+        """Physics step size (s)."""
+        return self.config.dt
+
+    def on_collision(self, callback: Callable[[str], None]) -> None:
+        """Register a callback invoked with the crash reason on impact."""
+        self._collision_callbacks.append(callback)
+
+    def reset(self, position: np.ndarray | None = None, seed: int | None = None) -> None:
+        """Return the vehicle to rest and zero the clock."""
+        self.vehicle.reset(position=position, seed=seed)
+        self._time = 0.0
+        self._step_count = 0
+
+    def step(self, motor_commands) -> None:
+        """Advance one physics step with the given motor commands."""
+        self.vehicle.step(motor_commands, self.dt)
+        self._time += self.dt
+        self._step_count += 1
+
+        position = self.vehicle.state.position
+        obstacle = self.world.collided(position)
+        if obstacle is not None and not self.vehicle.crashed:
+            reason = f"collision with obstacle '{obstacle.name}'"
+            self.vehicle.mark_crashed(reason)
+            for callback in self._collision_callbacks:
+                callback(reason)
+
+    def run(self, controller: Callable[[float], np.ndarray], duration: float) -> None:
+        """Run ``controller(time) -> motor_commands`` for ``duration`` seconds.
+
+        Stops early on a crash. Useful for open-loop tests; the firmware
+        layer provides the real closed-loop driver.
+        """
+        steps = int(round(duration / self.dt))
+        for _ in range(steps):
+            if self.vehicle.crashed:
+                break
+            self.step(controller(self._time))

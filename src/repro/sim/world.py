@@ -1,0 +1,128 @@
+"""World geometry: waypoint paths, obstacles and forbidden zones.
+
+The RL reward functions (Eqs. 4 and 5) are defined over distances to the
+mission path and to forbidden-zone surfaces; this module provides those
+geometric queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import MissionError
+
+__all__ = ["BoxObstacle", "World", "point_segment_distance", "path_distance"]
+
+
+def point_segment_distance(
+    point: np.ndarray, seg_a: np.ndarray, seg_b: np.ndarray
+) -> float:
+    """Euclidean distance from ``point`` to the segment ``[seg_a, seg_b]``."""
+    ab = seg_b - seg_a
+    ab_len_sq = float(np.dot(ab, ab))
+    if ab_len_sq < 1e-12:
+        return float(np.linalg.norm(point - seg_a))
+    t = float(np.dot(point - seg_a, ab)) / ab_len_sq
+    t = max(0.0, min(1.0, t))
+    closest = seg_a + t * ab
+    return float(np.linalg.norm(point - closest))
+
+
+def path_distance(point: np.ndarray, waypoints: list[np.ndarray]) -> float:
+    """Minimum distance from ``point`` to the polyline through ``waypoints``.
+
+    This is the observation ``d = min ||P_RV - Pth||`` of the uncontrolled
+    failure case (Section V-D1).
+    """
+    if len(waypoints) == 0:
+        raise MissionError("path_distance requires at least one waypoint")
+    if len(waypoints) == 1:
+        return float(np.linalg.norm(point - waypoints[0]))
+    return min(
+        point_segment_distance(point, waypoints[i], waypoints[i + 1])
+        for i in range(len(waypoints) - 1)
+    )
+
+
+@dataclass
+class BoxObstacle:
+    """Axis-aligned box obstacle / forbidden zone in NED coordinates."""
+
+    name: str
+    min_corner: np.ndarray
+    max_corner: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.min_corner = np.asarray(self.min_corner, dtype=float)
+        self.max_corner = np.asarray(self.max_corner, dtype=float)
+        if self.min_corner.shape != (3,) or self.max_corner.shape != (3,):
+            raise MissionError("obstacle corners must be 3-vectors")
+        if np.any(self.min_corner >= self.max_corner):
+            raise MissionError(
+                f"obstacle '{self.name}' has inverted corners: "
+                f"{self.min_corner} !< {self.max_corner}"
+            )
+
+    @property
+    def center(self) -> np.ndarray:
+        """Geometric centre of the box."""
+        return (self.min_corner + self.max_corner) / 2.0
+
+    def contains(self, point: np.ndarray) -> bool:
+        """Whether ``point`` lies inside (or on) the box."""
+        return bool(
+            np.all(point >= self.min_corner) and np.all(point <= self.max_corner)
+        )
+
+    def distance(self, point: np.ndarray) -> float:
+        """Distance from ``point`` to the box surface (0 inside)."""
+        clamped = np.minimum(np.maximum(point, self.min_corner), self.max_corner)
+        return float(np.linalg.norm(point - clamped))
+
+
+class World:
+    """Static scene: ground plane, obstacles, forbidden zones."""
+
+    def __init__(
+        self,
+        ground_altitude: float = 0.0,
+        obstacles: list[BoxObstacle] | None = None,
+        forbidden_zones: list[BoxObstacle] | None = None,
+    ):
+        self.ground_altitude = ground_altitude
+        self.obstacles = list(obstacles or [])
+        self.forbidden_zones = list(forbidden_zones or [])
+
+    def add_obstacle(self, obstacle: BoxObstacle) -> None:
+        """Register a solid obstacle (collision ends the flight)."""
+        self.obstacles.append(obstacle)
+
+    def add_forbidden_zone(self, zone: BoxObstacle) -> None:
+        """Register a no-fly zone (entry is a mission violation)."""
+        self.forbidden_zones.append(zone)
+
+    def on_ground(self, position: np.ndarray, tolerance: float = 0.02) -> bool:
+        """Whether the NED position is at or below ground level."""
+        return float(-position[2]) <= self.ground_altitude + tolerance
+
+    def collided(self, position: np.ndarray) -> BoxObstacle | None:
+        """Return the obstacle containing ``position``, if any."""
+        for obstacle in self.obstacles:
+            if obstacle.contains(position):
+                return obstacle
+        return None
+
+    def in_forbidden_zone(self, position: np.ndarray) -> BoxObstacle | None:
+        """Return the forbidden zone containing ``position``, if any."""
+        for zone in self.forbidden_zones:
+            if zone.contains(position):
+                return zone
+        return None
+
+    def nearest_forbidden_distance(self, position: np.ndarray) -> float:
+        """Distance to the closest forbidden-zone surface (inf if none)."""
+        if not self.forbidden_zones:
+            return float("inf")
+        return min(zone.distance(position) for zone in self.forbidden_zones)

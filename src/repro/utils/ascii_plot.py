@@ -1,0 +1,121 @@
+"""ASCII chart rendering for figure reproductions.
+
+The paper's figures are line charts, histograms and heat maps; with no
+plotting stack available offline, the experiment `render()` methods use
+these text charts so the reproduced series are actually *visible* in test
+and bench output.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["sparkline", "line_chart", "histogram", "bar_chart"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """One-line miniature of a series (resampled to ``width`` columns)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return ""
+    if arr.size > width:
+        idx = np.linspace(0, arr.size - 1, width).round().astype(int)
+        arr = arr[idx]
+    lo, hi = float(np.nanmin(arr)), float(np.nanmax(arr))
+    if not math.isfinite(lo) or not math.isfinite(hi):
+        return "?" * len(arr)
+    span = hi - lo
+    out = []
+    for v in arr:
+        if not math.isfinite(v):
+            out.append(" ")
+            continue
+        level = 0 if span == 0 else int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[level])
+    return "".join(out)
+
+
+def line_chart(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 12,
+    y_label: str = "",
+) -> str:
+    """Multi-series ASCII line chart.
+
+    ``series`` maps a label to ``(x, y)``; each series is drawn with the
+    first character of its label. Axes are annotated with min/max values.
+    """
+    if not series:
+        return "(no data)"
+    xs_all = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    ys_all = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    finite = np.isfinite(xs_all) & np.isfinite(ys_all)
+    if not finite.any():
+        return "(no finite data)"
+    x_lo, x_hi = float(xs_all[finite].min()), float(xs_all[finite].max())
+    y_lo, y_hi = float(ys_all[finite].min()), float(ys_all[finite].max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for label, (x, y) in series.items():
+        marker = label[0]
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        for xi, yi in zip(x, y):
+            if not (math.isfinite(xi) and math.isfinite(yi)):
+                continue
+            col = int((xi - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((yi - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if y_label:
+        lines.append(f"  {y_label}")
+    lines.append(f"  {y_hi:>10.3g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append("             │" + "".join(row))
+    lines.append(f"  {y_lo:>10.3g} ┤" + "".join(grid[-1]))
+    lines.append("             └" + "─" * width)
+    lines.append(f"              {x_lo:<10.3g}" + " " * max(0, width - 20) + f"{x_hi:>10.3g}")
+    legend = "   ".join(f"{label[0]}={label}" for label in series)
+    lines.append(f"  {legend}")
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float], bins: int = 10, width: int = 40, title: str = ""
+) -> str:
+    """Horizontal ASCII histogram."""
+    arr = np.asarray(list(values), dtype=float)
+    arr = arr[np.isfinite(arr)]
+    if arr.size == 0:
+        return "(no data)"
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = max(int(counts.max()), 1)
+    lines = [title] if title else []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "█" * int(round(count / peak * width))
+        lines.append(f"  [{lo:>10.3g}, {hi:>10.3g})  {bar} {count}")
+    return "\n".join(lines)
+
+
+def bar_chart(items: Mapping[str, float], width: int = 40, title: str = "") -> str:
+    """Labelled horizontal bar chart (non-negative values)."""
+    if not items:
+        return "(no data)"
+    peak = max(max(items.values()), 1e-12)
+    label_width = max(len(k) for k in items)
+    lines = [title] if title else []
+    for label, value in items.items():
+        bar = "█" * int(round(max(value, 0.0) / peak * width))
+        lines.append(f"  {label:<{label_width}s}  {bar} {value:.4g}")
+    return "\n".join(lines)

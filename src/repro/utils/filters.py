@@ -1,0 +1,229 @@
+"""Discrete-time signal filters used by sensors, estimators and PIDs.
+
+These mirror the small filter library embedded in ArduPilot
+(``Filter/LowPassFilter.h`` and friends): first/second-order low-pass
+filters, a filtered derivative, a notch filter and a simple moving average.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "LowPassFilter",
+    "SecondOrderLowPass",
+    "DerivativeFilter",
+    "NotchFilter",
+    "MovingAverage",
+    "alpha_from_cutoff",
+]
+
+
+def alpha_from_cutoff(cutoff_hz: float, dt: float) -> float:
+    """Discrete smoothing factor for a one-pole low-pass filter.
+
+    ``alpha = dt / (dt + 1/(2*pi*fc))``; ``cutoff_hz <= 0`` disables the
+    filter (alpha = 1, output tracks input exactly), matching ArduPilot.
+    """
+    if dt <= 0.0:
+        raise ValueError(f"dt must be positive, got {dt}")
+    if cutoff_hz <= 0.0:
+        return 1.0
+    rc = 1.0 / (2.0 * math.pi * cutoff_hz)
+    return dt / (dt + rc)
+
+
+class LowPassFilter:
+    """First-order (one-pole) low-pass filter.
+
+    Works on scalars or numpy arrays; the first sample initialises the
+    state so there is no start-up transient.
+    """
+
+    def __init__(self, cutoff_hz: float, dt: float):
+        self.cutoff_hz = cutoff_hz
+        self.dt = dt
+        self._alpha = alpha_from_cutoff(cutoff_hz, dt)
+        self._state: float | np.ndarray | None = None
+
+    @property
+    def value(self) -> float | np.ndarray | None:
+        """Current filter output (``None`` until the first update)."""
+        return self._state
+
+    def reset(self, value: float | np.ndarray | None = None) -> None:
+        """Clear the filter state, optionally seeding it with ``value``."""
+        self._state = value
+
+    def update(self, sample: float | np.ndarray) -> float | np.ndarray:
+        """Feed one sample, returning the filtered output."""
+        if self._state is None:
+            self._state = sample * 1.0  # copy semantics for arrays
+        else:
+            self._state = self._state + self._alpha * (sample - self._state)
+        return self._state
+
+
+class SecondOrderLowPass:
+    """Biquad low-pass filter (Butterworth Q by default)."""
+
+    def __init__(self, cutoff_hz: float, sample_hz: float, q: float = math.sqrt(0.5)):
+        if cutoff_hz <= 0.0 or sample_hz <= 0.0:
+            raise ValueError("cutoff and sample frequencies must be positive")
+        if cutoff_hz >= sample_hz / 2.0:
+            raise ValueError(
+                f"cutoff {cutoff_hz} Hz at or above Nyquist ({sample_hz / 2.0} Hz)"
+            )
+        omega = 2.0 * math.pi * cutoff_hz / sample_hz
+        sn, cs = math.sin(omega), math.cos(omega)
+        alpha = sn / (2.0 * q)
+        a0 = 1.0 + alpha
+        self._b0 = ((1.0 - cs) / 2.0) / a0
+        self._b1 = (1.0 - cs) / a0
+        self._b2 = self._b0
+        self._a1 = (-2.0 * cs) / a0
+        self._a2 = (1.0 - alpha) / a0
+        self._x1 = self._x2 = 0.0
+        self._y1 = self._y2 = 0.0
+        self._primed = False
+
+    def reset(self) -> None:
+        """Zero the delay line."""
+        self._x1 = self._x2 = self._y1 = self._y2 = 0.0
+        self._primed = False
+
+    def update(self, sample: float) -> float:
+        """Feed one scalar sample, returning the filtered output."""
+        if not self._primed:
+            # Seed the delay line at steady state to avoid a step transient.
+            self._x1 = self._x2 = sample
+            self._y1 = self._y2 = sample
+            self._primed = True
+        y = (
+            self._b0 * sample
+            + self._b1 * self._x1
+            + self._b2 * self._x2
+            - self._a1 * self._y1
+            - self._a2 * self._y2
+        )
+        self._x2, self._x1 = self._x1, sample
+        self._y2, self._y1 = self._y1, y
+        return y
+
+
+class DerivativeFilter:
+    """Low-pass-filtered finite-difference derivative.
+
+    The raw difference quotient is smoothed with a one-pole filter, the same
+    structure ArduPilot's PID D-term uses (``FLTD``).
+    """
+
+    def __init__(self, cutoff_hz: float, dt: float):
+        self.dt = dt
+        self._alpha = alpha_from_cutoff(cutoff_hz, dt)
+        self._last_sample: float | None = None
+        self._derivative = 0.0
+
+    @property
+    def value(self) -> float:
+        """Most recent filtered derivative (0 before two samples)."""
+        return self._derivative
+
+    def reset(self) -> None:
+        """Clear sample history and derivative state."""
+        self._last_sample = None
+        self._derivative = 0.0
+
+    def update(self, sample: float) -> float:
+        """Feed one sample, returning d(sample)/dt after smoothing."""
+        if self._last_sample is None:
+            self._last_sample = sample
+            return 0.0
+        raw = (sample - self._last_sample) / self.dt
+        self._last_sample = sample
+        self._derivative += self._alpha * (raw - self._derivative)
+        return self._derivative
+
+
+class NotchFilter:
+    """Biquad notch filter for motor-vibration rejection on IMU signals."""
+
+    def __init__(self, center_hz: float, sample_hz: float, bandwidth_hz: float):
+        if center_hz <= 0.0 or bandwidth_hz <= 0.0:
+            raise ValueError("center and bandwidth must be positive")
+        if center_hz >= sample_hz / 2.0:
+            raise ValueError(
+                f"notch center {center_hz} Hz at or above Nyquist "
+                f"({sample_hz / 2.0} Hz)"
+            )
+        omega = 2.0 * math.pi * center_hz / sample_hz
+        alpha = math.sin(omega) * math.sinh(
+            math.log(2.0) / 2.0 * (bandwidth_hz / center_hz) * omega / math.sin(omega)
+        )
+        a0 = 1.0 + alpha
+        self._b0 = 1.0 / a0
+        self._b1 = (-2.0 * math.cos(omega)) / a0
+        self._b2 = 1.0 / a0
+        self._a1 = self._b1
+        self._a2 = (1.0 - alpha) / a0
+        self._x1 = self._x2 = 0.0
+        self._y1 = self._y2 = 0.0
+
+    def update(self, sample: float) -> float:
+        """Feed one scalar sample through the notch."""
+        y = (
+            self._b0 * sample
+            + self._b1 * self._x1
+            + self._b2 * self._x2
+            - self._a1 * self._y1
+            - self._a2 * self._y2
+        )
+        self._x2, self._x1 = self._x1, sample
+        self._y2, self._y1 = self._y1, y
+        return y
+
+
+class MovingAverage:
+    """Fixed-window moving average with O(1) updates."""
+
+    def __init__(self, window: int):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._buffer: list[float] = []
+        self._sum = 0.0
+        self._index = 0
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def full(self) -> bool:
+        """Whether the window has been completely filled."""
+        return len(self._buffer) == self.window
+
+    @property
+    def value(self) -> float:
+        """Mean over the samples currently in the window (0 if empty)."""
+        if not self._buffer:
+            return 0.0
+        return self._sum / len(self._buffer)
+
+    def reset(self) -> None:
+        """Discard all samples."""
+        self._buffer.clear()
+        self._sum = 0.0
+        self._index = 0
+
+    def update(self, sample: float) -> float:
+        """Insert one sample and return the updated mean."""
+        if len(self._buffer) < self.window:
+            self._buffer.append(sample)
+            self._sum += sample
+        else:
+            self._sum += sample - self._buffer[self._index]
+            self._buffer[self._index] = sample
+            self._index = (self._index + 1) % self.window
+        return self.value

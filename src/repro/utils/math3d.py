@@ -1,0 +1,269 @@
+"""3-D rotation math used across the simulator and estimators.
+
+Conventions
+-----------
+* World frame: NED (north, east, down).
+* Body frame: FRD (forward, right, down).
+* Euler angles: intrinsic Z-Y-X (yaw ``psi``, pitch ``theta``, roll ``phi``),
+  the aerospace convention ArduPilot uses.
+* Quaternions: scalar-first ``[w, x, y, z]``, unit norm, representing the
+  rotation from body frame to world frame.
+
+All functions accept and return plain :class:`numpy.ndarray` objects so they
+compose with the vectorised simulation loop.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "wrap_pi",
+    "wrap_2pi",
+    "deg2rad",
+    "rad2deg",
+    "quat_identity",
+    "quat_normalize",
+    "quat_multiply",
+    "quat_conjugate",
+    "quat_rotate",
+    "quat_inverse_rotate",
+    "quat_from_euler",
+    "quat_to_euler",
+    "quat_to_dcm",
+    "dcm_to_quat",
+    "dcm_from_euler",
+    "euler_from_dcm",
+    "quat_derivative",
+    "quat_integrate",
+    "skew",
+    "angle_between",
+    "constrain",
+    "vector_norm",
+]
+
+
+def wrap_pi(angle: float | np.ndarray) -> float | np.ndarray:
+    """Wrap an angle (rad) into ``[-pi, pi)``."""
+    return (np.asarray(angle) + np.pi) % (2.0 * np.pi) - np.pi if isinstance(
+        angle, np.ndarray
+    ) else (angle + math.pi) % (2.0 * math.pi) - math.pi
+
+
+def wrap_2pi(angle: float) -> float:
+    """Wrap an angle (rad) into ``[0, 2*pi)``."""
+    return angle % (2.0 * math.pi)
+
+
+def deg2rad(deg: float | np.ndarray) -> float | np.ndarray:
+    """Convert degrees to radians."""
+    return np.deg2rad(deg) if isinstance(deg, np.ndarray) else math.radians(deg)
+
+
+def rad2deg(rad: float | np.ndarray) -> float | np.ndarray:
+    """Convert radians to degrees."""
+    return np.rad2deg(rad) if isinstance(rad, np.ndarray) else math.degrees(rad)
+
+
+def constrain(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` to the closed interval ``[low, high]``."""
+    if low > high:
+        raise ValueError(f"constrain bounds inverted: low={low} > high={high}")
+    return low if value < low else high if value > high else value
+
+
+def vector_norm(v: np.ndarray) -> float:
+    """Euclidean norm of a vector (convenience wrapper)."""
+    return float(np.linalg.norm(v))
+
+
+def quat_identity() -> np.ndarray:
+    """Identity quaternion ``[1, 0, 0, 0]``."""
+    return np.array([1.0, 0.0, 0.0, 0.0])
+
+
+def quat_normalize(q: np.ndarray) -> np.ndarray:
+    """Return ``q`` scaled to unit norm.
+
+    Raises
+    ------
+    ValueError
+        If the quaternion has (near-)zero norm and cannot be normalised.
+    """
+    norm = np.linalg.norm(q)
+    if norm < 1e-12:
+        raise ValueError("cannot normalise near-zero quaternion")
+    return q / norm
+
+
+def quat_multiply(q1: np.ndarray, q2: np.ndarray) -> np.ndarray:
+    """Hamilton product ``q1 ⊗ q2`` (apply ``q2`` first, then ``q1``)."""
+    w1, x1, y1, z1 = q1
+    w2, x2, y2, z2 = q2
+    return np.array(
+        [
+            w1 * w2 - x1 * x2 - y1 * y2 - z1 * z2,
+            w1 * x2 + x1 * w2 + y1 * z2 - z1 * y2,
+            w1 * y2 - x1 * z2 + y1 * w2 + z1 * x2,
+            w1 * z2 + x1 * y2 - y1 * x2 + z1 * w2,
+        ]
+    )
+
+
+def quat_conjugate(q: np.ndarray) -> np.ndarray:
+    """Quaternion conjugate (inverse for unit quaternions)."""
+    return np.array([q[0], -q[1], -q[2], -q[3]])
+
+
+def quat_rotate(q: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Rotate body-frame vector ``v`` into the world frame by ``q``.
+
+    Uses the expanded sandwich product, avoiding two full quaternion
+    multiplications.
+    """
+    w = q[0]
+    u = q[1:]
+    return v + 2.0 * np.cross(u, np.cross(u, v) + w * v)
+
+
+def quat_inverse_rotate(q: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Rotate world-frame vector ``v`` into the body frame by ``q``."""
+    return quat_rotate(quat_conjugate(q), v)
+
+
+def quat_from_euler(roll: float, pitch: float, yaw: float) -> np.ndarray:
+    """Build a body→world quaternion from Z-Y-X Euler angles (rad)."""
+    cr, sr = math.cos(roll / 2.0), math.sin(roll / 2.0)
+    cp, sp = math.cos(pitch / 2.0), math.sin(pitch / 2.0)
+    cy, sy = math.cos(yaw / 2.0), math.sin(yaw / 2.0)
+    return np.array(
+        [
+            cy * cp * cr + sy * sp * sr,
+            cy * cp * sr - sy * sp * cr,
+            cy * sp * cr + sy * cp * sr,
+            sy * cp * cr - cy * sp * sr,
+        ]
+    )
+
+
+def quat_to_euler(q: np.ndarray) -> tuple[float, float, float]:
+    """Extract ``(roll, pitch, yaw)`` in radians from a unit quaternion.
+
+    Pitch is clamped to ``[-pi/2, pi/2]`` at the gimbal-lock singularity.
+    """
+    w, x, y, z = q
+    roll = math.atan2(2.0 * (w * x + y * z), 1.0 - 2.0 * (x * x + y * y))
+    sin_pitch = 2.0 * (w * y - z * x)
+    sin_pitch = max(-1.0, min(1.0, sin_pitch))
+    pitch = math.asin(sin_pitch)
+    yaw = math.atan2(2.0 * (w * z + x * y), 1.0 - 2.0 * (y * y + z * z))
+    return roll, pitch, yaw
+
+
+def quat_to_dcm(q: np.ndarray) -> np.ndarray:
+    """Direction cosine matrix (body→world) equivalent to quaternion ``q``."""
+    w, x, y, z = q
+    return np.array(
+        [
+            [
+                1.0 - 2.0 * (y * y + z * z),
+                2.0 * (x * y - w * z),
+                2.0 * (x * z + w * y),
+            ],
+            [
+                2.0 * (x * y + w * z),
+                1.0 - 2.0 * (x * x + z * z),
+                2.0 * (y * z - w * x),
+            ],
+            [
+                2.0 * (x * z - w * y),
+                2.0 * (y * z + w * x),
+                1.0 - 2.0 * (x * x + y * y),
+            ],
+        ]
+    )
+
+
+def dcm_to_quat(dcm: np.ndarray) -> np.ndarray:
+    """Convert a rotation matrix to a unit quaternion (Shepperd's method)."""
+    m = dcm
+    trace = m[0, 0] + m[1, 1] + m[2, 2]
+    if trace > 0.0:
+        s = math.sqrt(trace + 1.0) * 2.0
+        w = 0.25 * s
+        x = (m[2, 1] - m[1, 2]) / s
+        y = (m[0, 2] - m[2, 0]) / s
+        z = (m[1, 0] - m[0, 1]) / s
+    elif m[0, 0] > m[1, 1] and m[0, 0] > m[2, 2]:
+        s = math.sqrt(1.0 + m[0, 0] - m[1, 1] - m[2, 2]) * 2.0
+        w = (m[2, 1] - m[1, 2]) / s
+        x = 0.25 * s
+        y = (m[0, 1] + m[1, 0]) / s
+        z = (m[0, 2] + m[2, 0]) / s
+    elif m[1, 1] > m[2, 2]:
+        s = math.sqrt(1.0 + m[1, 1] - m[0, 0] - m[2, 2]) * 2.0
+        w = (m[0, 2] - m[2, 0]) / s
+        x = (m[0, 1] + m[1, 0]) / s
+        y = 0.25 * s
+        z = (m[1, 2] + m[2, 1]) / s
+    else:
+        s = math.sqrt(1.0 + m[2, 2] - m[0, 0] - m[1, 1]) * 2.0
+        w = (m[1, 0] - m[0, 1]) / s
+        x = (m[0, 2] + m[2, 0]) / s
+        y = (m[1, 2] + m[2, 1]) / s
+        z = 0.25 * s
+    return quat_normalize(np.array([w, x, y, z]))
+
+
+def dcm_from_euler(roll: float, pitch: float, yaw: float) -> np.ndarray:
+    """Body→world DCM from Z-Y-X Euler angles."""
+    return quat_to_dcm(quat_from_euler(roll, pitch, yaw))
+
+
+def euler_from_dcm(dcm: np.ndarray) -> tuple[float, float, float]:
+    """Extract ``(roll, pitch, yaw)`` from a body→world DCM."""
+    return quat_to_euler(dcm_to_quat(dcm))
+
+
+def quat_derivative(q: np.ndarray, omega_body: np.ndarray) -> np.ndarray:
+    """Time derivative of ``q`` for body angular velocity ``omega_body``."""
+    omega_quat = np.array([0.0, omega_body[0], omega_body[1], omega_body[2]])
+    return 0.5 * quat_multiply(q, omega_quat)
+
+
+def quat_integrate(q: np.ndarray, omega_body: np.ndarray, dt: float) -> np.ndarray:
+    """Integrate attitude one step using the exponential map.
+
+    Exact for constant angular velocity over ``dt``, so the integration
+    remains on the unit sphere for arbitrarily large rates.
+    """
+    angle = np.linalg.norm(omega_body) * dt
+    if angle < 1e-12:
+        dq = np.array([1.0, 0.0, 0.0, 0.0])
+    else:
+        axis = omega_body / np.linalg.norm(omega_body)
+        half = angle / 2.0
+        dq = np.concatenate(([math.cos(half)], math.sin(half) * axis))
+    return quat_normalize(quat_multiply(q, dq))
+
+
+def skew(v: np.ndarray) -> np.ndarray:
+    """Skew-symmetric cross-product matrix of a 3-vector."""
+    return np.array(
+        [
+            [0.0, -v[2], v[1]],
+            [v[2], 0.0, -v[0]],
+            [-v[1], v[0], 0.0],
+        ]
+    )
+
+
+def angle_between(a: np.ndarray, b: np.ndarray) -> float:
+    """Angle (rad) between two nonzero vectors, in ``[0, pi]``."""
+    na, nb = np.linalg.norm(a), np.linalg.norm(b)
+    if na < 1e-12 or nb < 1e-12:
+        raise ValueError("angle_between requires nonzero vectors")
+    cos = float(np.dot(a, b) / (na * nb))
+    return math.acos(max(-1.0, min(1.0, cos)))

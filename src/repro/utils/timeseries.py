@@ -1,0 +1,174 @@
+"""Time-series containers for traces, detector windows and RL rollouts."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+import numpy as np
+
+__all__ = ["RingBuffer", "TimeSeries", "TraceTable"]
+
+
+class RingBuffer:
+    """Fixed-capacity numeric ring buffer backed by a numpy array.
+
+    Used for detector sliding windows (e.g. the control-invariants monitor's
+    1024-sample window). Appends are O(1); :meth:`to_array` returns samples
+    in insertion order.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._data = np.zeros(capacity)
+        self._size = 0
+        self._head = 0
+        self._running_sum = 0.0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def full(self) -> bool:
+        """Whether the buffer has reached capacity."""
+        return self._size == self.capacity
+
+    @property
+    def sum(self) -> float:
+        """Sum of the samples currently stored (maintained incrementally)."""
+        return self._running_sum
+
+    def append(self, value: float) -> float | None:
+        """Insert ``value``; return the evicted sample if the buffer was full."""
+        evicted = None
+        if self._size == self.capacity:
+            evicted = float(self._data[self._head])
+            self._running_sum -= evicted
+        else:
+            self._size += 1
+        self._data[self._head] = value
+        self._running_sum += value
+        self._head = (self._head + 1) % self.capacity
+        return evicted
+
+    def clear(self) -> None:
+        """Remove all samples."""
+        self._size = 0
+        self._head = 0
+        self._running_sum = 0.0
+
+    def to_array(self) -> np.ndarray:
+        """Samples in insertion order (oldest first)."""
+        if self._size < self.capacity:
+            return self._data[: self._size].copy()
+        return np.concatenate((self._data[self._head :], self._data[: self._head]))
+
+
+class TimeSeries:
+    """Growable (time, value) series for a single named signal."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def append(self, time_s: float, value: float) -> None:
+        """Record one sample."""
+        self._times.append(float(time_s))
+        self._values.append(float(value))
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample timestamps (seconds) as an array."""
+        return np.asarray(self._times)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Sample values as an array."""
+        return np.asarray(self._values)
+
+    def window(self, t_start: float, t_end: float) -> "TimeSeries":
+        """New series restricted to ``t_start <= t < t_end``."""
+        out = TimeSeries(self.name)
+        for t, v in zip(self._times, self._values):
+            if t_start <= t < t_end:
+                out.append(t, v)
+        return out
+
+
+class TraceTable:
+    """Column-oriented store of many synchronously sampled signals.
+
+    The profiling stage records one row per logging cycle; the statistical
+    pipeline consumes the table as a matrix (rows = cycles, columns = state
+    variables), the layout Algorithm 1 operates on.
+    """
+
+    def __init__(self, columns: Iterable[str]):
+        self.columns = list(columns)
+        if len(set(self.columns)) != len(self.columns):
+            raise ValueError("duplicate column names in trace table")
+        self._index = {name: i for i, name in enumerate(self.columns)}
+        self._rows: list[list[float]] = []
+        self._times: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, column: str) -> bool:
+        return column in self._index
+
+    def append_row(self, time_s: float, values: Mapping[str, float]) -> None:
+        """Record one sampling cycle.
+
+        Missing columns raise ``KeyError`` so silent schema drift between the
+        tracer and the table cannot corrupt the statistics downstream.
+        """
+        row = [float(values[name]) for name in self.columns]
+        self._rows.append(row)
+        self._times.append(float(time_s))
+
+    @property
+    def times(self) -> np.ndarray:
+        """Timestamps of all rows."""
+        return np.asarray(self._times)
+
+    def column(self, name: str) -> np.ndarray:
+        """All samples of one signal, oldest first."""
+        idx = self._index[name]
+        return np.asarray([row[idx] for row in self._rows])
+
+    def to_matrix(self) -> np.ndarray:
+        """(n_rows, n_columns) matrix of every signal."""
+        if not self._rows:
+            return np.zeros((0, len(self.columns)))
+        return np.asarray(self._rows)
+
+    def select(self, names: Iterable[str]) -> "TraceTable":
+        """New table containing only ``names`` (same rows, same order)."""
+        names = list(names)
+        missing = [n for n in names if n not in self._index]
+        if missing:
+            raise KeyError(f"unknown columns: {missing}")
+        out = TraceTable(names)
+        idxs = [self._index[n] for n in names]
+        for t, row in zip(self._times, self._rows):
+            out._rows.append([row[i] for i in idxs])
+            out._times.append(t)
+        return out
+
+    def extend(self, other: "TraceTable") -> None:
+        """Append all rows of ``other`` (same column schema) to this table."""
+        if other.columns != self.columns:
+            raise ValueError("cannot extend: column schema differs")
+        self._rows.extend([list(row) for row in other._rows])
+        self._times.extend(other._times)
+
+    def iter_rows(self) -> Iterator[tuple[float, dict[str, float]]]:
+        """Yield ``(time, {column: value})`` for every row."""
+        for t, row in zip(self._times, self._rows):
+            yield t, dict(zip(self.columns, row))

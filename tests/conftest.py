@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (flown missions, profiling datasets) are session-scoped
+so the many tests that need "a completed benign flight" share one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.firmware.mission import line_mission
+from repro.firmware.vehicle import Vehicle
+from repro.profiling.collector import ProfileCollector
+from repro.sim.config import SimConfig
+
+
+def make_vehicle(seed: int = 1, fast: bool = False, **kwargs) -> Vehicle:
+    """A fresh vehicle; ``fast`` uses 100 Hz truth-state control."""
+    config = SimConfig(seed=seed, physics_hz=100.0 if fast else 400.0)
+    defaults = dict(use_truth_state=fast, estimation_enabled=not fast)
+    defaults.update(kwargs)
+    return Vehicle(config, **defaults)
+
+
+@pytest.fixture
+def vehicle() -> Vehicle:
+    """A fresh full-fidelity vehicle."""
+    return make_vehicle(seed=1)
+
+
+@pytest.fixture
+def fast_vehicle() -> Vehicle:
+    """A 100 Hz truth-state vehicle for cheap closed-loop tests."""
+    return make_vehicle(seed=1, fast=True)
+
+
+@pytest.fixture(scope="session")
+def flown_vehicle() -> Vehicle:
+    """A vehicle that has completed a short benign mission (shared)."""
+    v = make_vehicle(seed=2)
+    status = v.fly_mission(line_mission(length=30.0, altitude=8.0, legs=1))
+    assert status.name == "COMPLETE"
+    return v
+
+
+@pytest.fixture(scope="session")
+def profile_dataset():
+    """A small shared profiling dataset (one mission, PID columns)."""
+    collector = ProfileCollector("PID")
+    return collector.collect(
+        missions=[line_mission(length=40.0, altitude=10.0, legs=1)]
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Seeded RNG for test-local randomness."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,84 @@
+"""Tests for semantics-free function identification from memory accesses."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.profiling.access_patterns import (
+    AccessTrace,
+    MemoryAccessTracer,
+    identify_functions_from_access,
+)
+from tests.conftest import make_vehicle
+
+
+class TestAccessTrace:
+    def test_write_rate(self):
+        activity = np.array([[True, False], [True, False], [True, True]])
+        trace = AccessTrace(addresses=[0x10, 0x14], activity=activity)
+        np.testing.assert_allclose(trace.write_rate(), [1.0, 1 / 3])
+
+    def test_empty_trace(self):
+        trace = AccessTrace(addresses=[0x10], activity=np.zeros((0, 1), dtype=bool))
+        assert trace.num_cycles == 0
+        np.testing.assert_allclose(trace.write_rate(), [0.0])
+
+
+class TestIdentification:
+    def test_needs_cycles(self):
+        trace = AccessTrace(addresses=[1], activity=np.zeros((3, 1), dtype=bool))
+        with pytest.raises(AnalysisError):
+            identify_functions_from_access(trace)
+
+    def test_constants_excluded(self):
+        rng = np.random.default_rng(0)
+        activity = np.zeros((100, 3), dtype=bool)
+        activity[:, 0] = True  # every cycle
+        activity[:, 1] = rng.random(100) < 0.5
+        # column 2 never written: a constant
+        trace = AccessTrace(addresses=[0x0, 0x4, 0x8], activity=activity)
+        clusters = identify_functions_from_access(trace)
+        clustered = [a for c in clusters for a in c.addresses]
+        assert 0x8 not in clustered
+
+    def test_coactive_addresses_grouped(self):
+        activity = np.zeros((200, 4), dtype=bool)
+        activity[::2, 0] = True
+        activity[::2, 1] = True  # same phase as 0
+        activity[1::2, 2] = True
+        activity[1::2, 3] = True  # same phase as 2, opposite to 0/1
+        trace = AccessTrace(addresses=[0, 4, 8, 12], activity=activity)
+        clusters = identify_functions_from_access(trace)
+        assert len(clusters) == 2
+        groups = [set(c.addresses) for c in clusters]
+        assert {0, 4} in groups
+        assert {8, 12} in groups
+
+
+class TestOnRealVehicle:
+    def test_live_trace_separates_rates_and_constants(self):
+        vehicle = make_vehicle(seed=5, fast=True)
+        tracer = MemoryAccessTracer(vehicle)
+        vehicle.takeoff(5.0)
+        # Fly sideways so the roll loop is genuinely active (a perfectly
+        # level noiseless hover leaves the roll PID's state at exactly 0).
+        vehicle.set_guided_target(0.0, 20.0, 5.0)
+        vehicle.run(4.0)
+        tracer.detach()
+        trace = tracer.trace()
+        assert trace.num_cycles > 100
+
+        clusters = identify_functions_from_access(trace)
+        clustered = {a for c in clusters for a in c.addresses}
+        # Gains are constants: never in any cluster.
+        kp_addr = vehicle.memory.variable("PIDR.KP").address
+        assert kp_addr not in clustered
+        # The live integrator is clustered with other per-cycle variables.
+        integ_addr = vehicle.memory.variable("PIDR.INTEG").address
+        assert integ_addr in clustered
+        # Co-active rate-PID intermediates share a cluster.
+        input_addr = vehicle.memory.variable("PIDR.INPUT").address
+        cluster_of = {
+            addr: i for i, c in enumerate(clusters) for addr in c.addresses
+        }
+        assert cluster_of[integ_addr] == cluster_of[input_addr]

@@ -1,0 +1,293 @@
+"""Tests for the statistical identification pipeline (Algorithm 1 parts)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.clustering import cluster_by_correlation, dendrogram_order
+from repro.analysis.correlation import correlation_matrix, pearson
+from repro.analysis.pruning import PruningConfig, prune_state_variables
+from repro.analysis.regression import fit_ols
+from repro.analysis.stepwise import stepwise_aic
+from repro.analysis.tsvl import TsvlConfig, generate_tsvl
+from repro.exceptions import AnalysisError
+from repro.utils.timeseries import TraceTable
+
+
+def table_from_columns(**columns) -> TraceTable:
+    names = list(columns)
+    n = len(next(iter(columns.values())))
+    table = TraceTable(names)
+    for i in range(n):
+        table.append_row(i * 0.1, {k: float(v[i]) for k, v in columns.items()})
+    return table
+
+
+class TestPearson:
+    def test_perfect_positive(self, rng):
+        x = rng.normal(size=200)
+        assert pearson(x, 2.0 * x + 1.0) == pytest.approx(1.0)
+
+    def test_perfect_negative(self, rng):
+        x = rng.normal(size=200)
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self, rng):
+        x, y = rng.normal(size=2000), rng.normal(size=2000)
+        assert abs(pearson(x, y)) < 0.1
+
+    def test_constant_is_nan(self, rng):
+        assert np.isnan(pearson(np.ones(50), rng.normal(size=50)))
+
+    def test_length_mismatch(self):
+        with pytest.raises(AnalysisError):
+            pearson(np.zeros(5), np.zeros(6))
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25)
+    def test_symmetry_and_bounds(self, seed):
+        rng = np.random.default_rng(seed)
+        x, y = rng.normal(size=50), rng.normal(size=50)
+        r = pearson(x, y)
+        assert -1.0 <= r <= 1.0
+        assert pearson(y, x) == pytest.approx(r)
+
+    @given(st.floats(0.1, 100.0), st.floats(-100.0, 100.0))
+    @settings(max_examples=25)
+    def test_scale_invariance(self, scale, offset):
+        rng = np.random.default_rng(7)
+        x, y = rng.normal(size=100), rng.normal(size=100)
+        assert pearson(x * scale + offset, y) == pytest.approx(pearson(x, y), abs=1e-9)
+
+
+class TestCorrelationMatrix:
+    def test_matches_pairwise(self, rng):
+        data = rng.normal(size=(100, 3))
+        data[:, 2] = data[:, 0] * 0.5 + rng.normal(size=100) * 0.1
+        table = table_from_columns(a=data[:, 0], b=data[:, 1], c=data[:, 2])
+        result = correlation_matrix(table)
+        assert result.value("a", "c") == pytest.approx(
+            pearson(data[:, 0], data[:, 2]), abs=1e-12
+        )
+        np.testing.assert_allclose(result.matrix, result.matrix.T, atol=1e-12)
+        np.testing.assert_allclose(np.diag(result.matrix), 1.0)
+
+    def test_constant_column_nan(self, rng):
+        table = table_from_columns(a=rng.normal(size=50), c=np.ones(50))
+        result = correlation_matrix(table)
+        assert np.isnan(result.value("a", "c"))
+
+    def test_strongest_partners(self, rng):
+        x = rng.normal(size=200)
+        table = table_from_columns(
+            a=x, b=x + rng.normal(size=200) * 0.01, c=rng.normal(size=200)
+        )
+        partners = correlation_matrix(table).strongest_partners("a", k=1)
+        assert partners[0][0] == "b"
+
+    def test_significant_pairs_sorted(self, rng):
+        x = rng.normal(size=200)
+        table = table_from_columns(
+            a=x, b=x + rng.normal(size=200) * 0.05,
+            c=x + rng.normal(size=200) * 1.0,
+        )
+        pairs = correlation_matrix(table).significant_pairs(0.3)
+        strengths = [abs(r) for _, _, r in pairs]
+        assert strengths == sorted(strengths, reverse=True)
+
+
+class TestPruning:
+    def test_constant_dropped(self, rng):
+        table = table_from_columns(a=rng.normal(size=100), k=np.full(100, 3.3))
+        report = prune_state_variables(table)
+        assert "a" in report.kept
+        assert report.dropped["k"] == "constant"
+
+    def test_discrete_dropped(self, rng):
+        table = table_from_columns(
+            a=rng.normal(size=100), mode=rng.integers(0, 3, size=100).astype(float)
+        )
+        report = prune_state_variables(table)
+        assert "mode" in report.dropped
+
+    def test_extreme_kurtosis_dropped(self, rng):
+        spiky = np.zeros(1000)
+        spiky[::200] = 100.0
+        spiky += rng.normal(size=1000) * 1e-3
+        table = table_from_columns(x=spiky)
+        report = prune_state_variables(table)
+        assert "x" in report.dropped
+
+    def test_gaussian_kept(self, rng):
+        table = table_from_columns(x=rng.normal(size=1000))
+        report = prune_state_variables(table)
+        assert report.kept == ["x"]
+
+    def test_config_thresholds_respected(self, rng):
+        table = table_from_columns(x=rng.normal(size=100))
+        strict = PruningConfig(max_excess_kurtosis=-10.0)
+        report = prune_state_variables(table, strict)
+        assert "x" in report.dropped
+
+
+class TestClustering:
+    def test_correlated_variables_cluster_together(self, rng):
+        x = rng.normal(size=300)
+        y = rng.normal(size=300)
+        table = table_from_columns(
+            x1=x, x2=x + rng.normal(size=300) * 0.05,
+            y1=y, y2=-y + rng.normal(size=300) * 0.05,
+        )
+        corr = correlation_matrix(table)
+        clusters = cluster_by_correlation(corr, distance_threshold=0.3)
+        assert clusters.cluster_of("x1") == clusters.cluster_of("x2")
+        assert clusters.cluster_of("y1") == clusters.cluster_of("y2")
+        assert clusters.cluster_of("x1") != clusters.cluster_of("y1")
+
+    def test_anticorrelation_clusters(self, rng):
+        # distance uses |r|: perfectly anti-correlated pairs are together.
+        x = rng.normal(size=200)
+        table = table_from_columns(a=x, b=-x)
+        corr = correlation_matrix(table)
+        clusters = cluster_by_correlation(corr, distance_threshold=0.3)
+        assert clusters.num_clusters == 1
+
+    def test_single_variable(self, rng):
+        table = table_from_columns(a=rng.normal(size=50))
+        corr = correlation_matrix(table)
+        clusters = cluster_by_correlation(corr)
+        assert clusters.num_clusters == 1
+
+    def test_nan_rejected(self, rng):
+        table = table_from_columns(a=rng.normal(size=50), k=np.ones(50))
+        corr = correlation_matrix(table)
+        with pytest.raises(AnalysisError):
+            cluster_by_correlation(corr, names=["a", "k"])
+
+    def test_dendrogram_order_is_permutation(self, rng):
+        data = rng.normal(size=(100, 5))
+        table = table_from_columns(**{f"v{i}": data[:, i] for i in range(5)})
+        corr = correlation_matrix(table)
+        clusters = cluster_by_correlation(corr)
+        order = dendrogram_order(clusters)
+        assert sorted(order) == sorted(clusters.names)
+
+
+class TestOLS:
+    def test_recovers_coefficients(self, rng):
+        X = rng.normal(size=(500, 2))
+        y = 3.0 + 2.0 * X[:, 0] - 1.5 * X[:, 1] + rng.normal(size=500) * 0.01
+        result = fit_ols(y, X, predictors=["a", "b"])
+        assert result.coefficients[0] == pytest.approx(3.0, abs=0.01)
+        assert result.coefficients[1] == pytest.approx(2.0, abs=0.01)
+        assert result.coefficients[2] == pytest.approx(-1.5, abs=0.01)
+        assert result.r_squared > 0.99
+
+    def test_pvalues_flag_noise_predictor(self, rng):
+        X = rng.normal(size=(500, 2))
+        y = 2.0 * X[:, 0] + rng.normal(size=500) * 0.5
+        result = fit_ols(y, X, predictors=["signal", "noise"])
+        assert result.p_values[0] < 1e-6
+        assert result.p_values[1] > 0.01
+        assert result.significant_predictors() == ["signal"]
+
+    def test_aic_prefers_true_model(self, rng):
+        X = rng.normal(size=(300, 3))
+        y = X[:, 0] + rng.normal(size=300) * 0.1
+        full = fit_ols(y, X)
+        true = fit_ols(y, X[:, :1])
+        assert true.aic < full.aic
+
+    def test_underdetermined_raises(self, rng):
+        with pytest.raises(AnalysisError):
+            fit_ols(np.zeros(3), rng.normal(size=(3, 5)))
+
+    def test_predict(self, rng):
+        X = rng.normal(size=(200, 1))
+        y = 1.0 + 4.0 * X[:, 0]
+        result = fit_ols(y, X)
+        np.testing.assert_allclose(result.predict(X), y, atol=1e-8)
+
+
+class TestStepwise:
+    def test_selects_true_predictors(self, rng):
+        n = 400
+        x1, x2 = rng.normal(size=n), rng.normal(size=n)
+        noise = [rng.normal(size=n) for _ in range(4)]
+        y = 2.0 * x1 - 1.0 * x2 + rng.normal(size=n) * 0.1
+        table = table_from_columns(
+            y=y, x1=x1, x2=x2,
+            **{f"n{i}": noise[i] for i in range(4)},
+        )
+        result = stepwise_aic(table, "y", ["x1", "x2", "n0", "n1", "n2", "n3"])
+        assert set(result.selected) >= {"x1", "x2"}
+        assert len(result.selected) <= 4  # most noise excluded
+
+    def test_no_signal_selects_nothing_much(self, rng):
+        n = 300
+        table = table_from_columns(
+            y=rng.normal(size=n), a=rng.normal(size=n), b=rng.normal(size=n)
+        )
+        result = stepwise_aic(table, "y", ["a", "b"])
+        assert len(result.selected) <= 1
+
+    def test_unknown_response_raises(self, rng):
+        table = table_from_columns(a=rng.normal(size=50))
+        with pytest.raises(AnalysisError):
+            stepwise_aic(table, "zzz", ["a"])
+
+
+class TestGenerateTsvl:
+    def make_synthetic(self, rng):
+        """A planted-structure dataset: resp driven by sv1/sv2; decoys."""
+        n = 600
+        sv1 = rng.normal(size=n)
+        sv2 = np.cumsum(rng.normal(size=n)) * 0.05
+        resp = 1.5 * sv1 + 0.8 * sv2 + rng.normal(size=n) * 0.1
+        alias = resp + rng.normal(size=n) * 1e-4  # near-duplicate of resp
+        decoy = rng.normal(size=n)
+        const = np.full(n, 7.0)
+        return table_from_columns(
+            resp=resp, sv1=sv1, sv2=sv2, alias=alias, decoy=decoy, const=const
+        )
+
+    def test_finds_planted_variables(self, rng):
+        table = self.make_synthetic(rng)
+        result = generate_tsvl(table, dynamics_variables=["resp"])
+        assert "sv1" in result.tsvl
+        assert "sv2" in result.tsvl
+        assert "const" not in result.tsvl
+
+    def test_alias_excluded(self, rng):
+        table = self.make_synthetic(rng)
+        result = generate_tsvl(table, dynamics_variables=["resp"])
+        assert "alias" not in result.tsvl
+
+    def test_response_not_in_tsvl(self, rng):
+        table = self.make_synthetic(rng)
+        result = generate_tsvl(table, dynamics_variables=["resp"])
+        assert "resp" not in result.tsvl
+
+    def test_max_per_response_caps(self, rng):
+        table = self.make_synthetic(rng)
+        config = TsvlConfig(max_per_response=1)
+        result = generate_tsvl(table, dynamics_variables=["resp"], config=config)
+        assert len(result.tsvl) <= 1
+
+    def test_selection_ratio(self, rng):
+        table = self.make_synthetic(rng)
+        result = generate_tsvl(table, dynamics_variables=["resp"])
+        assert result.selection_ratio == pytest.approx(
+            len(result.tsvl) / len(table.columns)
+        )
+
+    def test_missing_response_raises(self, rng):
+        table = self.make_synthetic(rng)
+        with pytest.raises(AnalysisError):
+            generate_tsvl(table, dynamics_variables=["nope"])
+
+    def test_no_responses_raises(self, rng):
+        table = self.make_synthetic(rng)
+        with pytest.raises(AnalysisError):
+            generate_tsvl(table, dynamics_variables=[])

@@ -1,0 +1,79 @@
+"""Tests for the ASCII chart utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.ascii_plot import bar_chart, histogram, line_chart, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        out = sparkline([5.0] * 10)
+        assert len(out) == 10
+        assert set(out) == {"▁"}
+
+    def test_monotone_ramp_uses_full_range(self):
+        out = sparkline(list(range(8)))
+        assert out[0] == "▁"
+        assert out[-1] == "█"
+
+    def test_resampled_to_width(self):
+        out = sparkline(list(range(1000)), width=40)
+        assert len(out) == 40
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200))
+    @settings(max_examples=40)
+    def test_never_longer_than_width(self, values):
+        assert len(sparkline(values, width=30)) <= 30
+
+
+class TestLineChart:
+    def test_empty(self):
+        assert line_chart({}) == "(no data)"
+
+    def test_renders_axes_and_legend(self):
+        x = np.linspace(0, 10, 50)
+        out = line_chart({"alpha": (x, np.sin(x)), "beta": (x, np.cos(x))})
+        assert "a=alpha" in out
+        assert "b=beta" in out
+        assert "└" in out
+
+    def test_constant_series_does_not_crash(self):
+        out = line_chart({"flat": ([0, 1, 2], [3.0, 3.0, 3.0])})
+        assert "f=flat" in out
+
+    def test_markers_present(self):
+        out = line_chart({"z": ([0, 1], [0.0, 1.0])}, width=20, height=5)
+        assert "z" in out
+
+
+class TestHistogram:
+    def test_empty(self):
+        assert histogram([]) == "(no data)"
+
+    def test_counts_sum(self):
+        values = [1.0] * 7 + [9.0] * 3
+        out = histogram(values, bins=2)
+        assert " 7" in out and " 3" in out
+
+    def test_title(self):
+        out = histogram([1, 2, 3], title="spread")
+        assert out.startswith("spread")
+
+
+class TestBarChart:
+    def test_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_proportional_bars(self):
+        out = bar_chart({"small": 1.0, "large": 10.0}, width=10)
+        lines = out.splitlines()
+        small_bar = lines[0].count("█")
+        large_bar = lines[1].count("█")
+        assert large_bar == 10
+        assert small_bar == 1

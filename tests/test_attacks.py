@@ -1,0 +1,197 @@
+"""Tests for the attack implementations."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import Attack
+from repro.attacks.gradual import (
+    GradualRollAttack,
+    OutputPerturbationAttack,
+    ScalerDriftAttack,
+)
+from repro.attacks.injection import ParamSetAttack, VariableManipulator
+from repro.attacks.naive import NaiveRollAttack
+from repro.exceptions import SimulationError
+from repro.firmware.mission import line_mission
+from repro.firmware.modes import FlightMode
+from tests.conftest import make_vehicle
+
+
+class TestAttackLifecycle:
+    class _Noop(Attack):
+        def __init__(self, **kw):
+            super().__init__("noop", **kw)
+            self.injections = 0
+
+        def _inject(self, vehicle):
+            self.injections += 1
+
+    def test_inactive_before_start_time(self, fast_vehicle):
+        attack = self._Noop(start_time=1e9)
+        attack.attach(fast_vehicle)
+        for _ in range(10):
+            fast_vehicle.step()
+        assert attack.injections == 0
+        assert not attack.active
+
+    def test_activates_at_start_time(self, fast_vehicle):
+        attack = self._Noop(start_time=0.0)
+        attack.attach(fast_vehicle)
+        for _ in range(5):
+            fast_vehicle.step()
+        assert attack.active
+        assert attack.injections == 5
+
+    def test_detach_stops_injection(self, fast_vehicle):
+        attack = self._Noop(start_time=0.0)
+        attack.attach(fast_vehicle)
+        fast_vehicle.step()
+        attack.detach()
+        fast_vehicle.step()
+        assert attack.injections == 1
+
+    def test_finalize_requires_attach(self):
+        with pytest.raises(RuntimeError):
+            self._Noop().finalize()
+
+    def test_finalize_summarises(self, fast_vehicle):
+        attack = self._Noop(start_time=0.0)
+        attack.attach(fast_vehicle)
+        fast_vehicle.step()
+        result = attack.finalize()
+        assert result.name == "noop"
+        assert not result.detected
+
+
+class TestVariableManipulator:
+    def test_delta_mode_accumulates(self, fast_vehicle):
+        view = fast_vehicle.compromised_view()
+        manip = VariableManipulator(view, "PIDR.INTEG", mode="delta", clip=0.45)
+        manip.apply(0.1)
+        manip.apply(0.1)
+        assert manip.read() == pytest.approx(0.2)
+        assert manip.writes == 2
+
+    def test_clip_enforced(self, fast_vehicle):
+        view = fast_vehicle.compromised_view()
+        manip = VariableManipulator(view, "PIDR.INTEG", clip=0.3)
+        manip.apply(10.0)
+        assert manip.read() == pytest.approx(0.3)
+
+    def test_absolute_mode(self, fast_vehicle):
+        view = fast_vehicle.compromised_view()
+        manip = VariableManipulator(view, "PIDR.SCALER", mode="absolute", clip=None)
+        manip.apply(2.5)
+        assert fast_vehicle.attitude_ctrl.pid_roll.scaler == 2.5
+
+    def test_unwritable_variable_rejected(self, fast_vehicle):
+        view = fast_vehicle.compromised_view()
+        with pytest.raises(PermissionError):
+            VariableManipulator(view, "SINS.KVEL")  # other region
+
+    def test_unknown_mode(self, fast_vehicle):
+        view = fast_vehicle.compromised_view()
+        with pytest.raises(ValueError):
+            VariableManipulator(view, "PIDR.INTEG", mode="bogus")
+
+
+class TestGradualRollAttack:
+    def test_deviates_mission(self):
+        v = make_vehicle(seed=6, fast=True)
+        v.mission = line_mission(length=200.0, altitude=10.0, legs=1)
+        v.takeoff(10.0)
+        attack = GradualRollAttack(rate_deg_s=4.0, start_time=1.0)
+        attack.attach(v)
+        v.set_mode(FlightMode.AUTO)
+        v.run(20.0)
+        deviation = v.mission.cross_track_distance(v.sim.vehicle.state.position)
+        assert deviation > 5.0
+        result = attack.finalize()
+        assert result.injections > 10
+
+    def test_benign_mission_stays_on_path(self):
+        v = make_vehicle(seed=6, fast=True)
+        v.mission = line_mission(length=200.0, altitude=10.0, legs=1)
+        v.takeoff(10.0)
+        v.set_mode(FlightMode.AUTO)
+        v.run(20.0)
+        deviation = v.mission.cross_track_distance(v.sim.vehicle.state.position)
+        assert deviation < 2.0
+
+    def test_injection_cadence(self):
+        v = make_vehicle(seed=6, fast=True)
+        v.takeoff(5.0)
+        attack = GradualRollAttack(start_time=0.0, injection_period=0.5)
+        attack.attach(v)
+        v.run(5.0)
+        # ~10 injections in 5 s at 0.5 s period.
+        assert 8 <= len(attack.view.write_log) <= 12
+
+    def test_writes_go_through_memory_view(self):
+        v = make_vehicle(seed=6, fast=True)
+        v.takeoff(5.0)
+        attack = GradualRollAttack(start_time=0.0)
+        attack.attach(v)
+        v.run(1.0)
+        assert all(name == "PIDR.INTEG" for name, _ in attack.view.write_log)
+
+
+class TestNaiveRollAttack:
+    def test_rejected_on_truth_state_vehicle(self, fast_vehicle):
+        attack = NaiveRollAttack()
+        with pytest.raises(SimulationError):
+            attack.attach(fast_vehicle)
+
+    def test_pins_ekf_roll(self):
+        v = make_vehicle(seed=7)
+        v.takeoff(5.0)
+        attack = NaiveRollAttack(roll_deg=30.0, start_time=0.0)
+        attack.attach(v)
+        v.step()
+        assert np.rad2deg(v.ekf.roll) == pytest.approx(30.0, abs=1.0)
+
+    def test_destabilises_quickly(self):
+        v = make_vehicle(seed=7)
+        v.takeoff(8.0)
+        attack = NaiveRollAttack(start_time=0.0)
+        attack.attach(v)
+        v.run(10.0)
+        # Real roll diverges away from the spoofed value or vehicle crashes.
+        true_roll = np.rad2deg(v.sim.vehicle.state.euler[0])
+        assert v.sim.vehicle.crashed or abs(true_roll - 30.0) > 15.0
+
+
+class TestScalerDrift:
+    def test_scaler_written_with_limit(self):
+        v = make_vehicle(seed=8, fast=True)
+        v.takeoff(3.0)
+        attack = ScalerDriftAttack(drift_per_s=-0.5, scaler_limit=0.6, start_time=0.0)
+        attack.attach(v)
+        v.run(5.0)
+        assert v.attitude_ctrl.pid_roll.scaler == pytest.approx(0.6)
+
+
+class TestOutputPerturbation:
+    def test_amplitude_grows_then_caps(self):
+        v = make_vehicle(seed=8, fast=True)
+        v.takeoff(3.0)
+        attack = OutputPerturbationAttack(
+            growth_per_s=0.01, amplitude_limit=0.02, start_time=0.0
+        )
+        attack.attach(v)
+        v.run(5.0)
+        # Perturbation visible on roll oscillation.
+        assert attack.active
+        attack.detach()
+        assert attack._tamper not in v.torque_hooks
+
+
+class TestParamSetAttack:
+    def test_accepted_and_rejected_counted(self, fast_vehicle):
+        schedule = lambda t: [("ATC_RAT_RLL_P", 0.2), ("ATC_RAT_RLL_P", 99.0)]
+        attack = ParamSetAttack(schedule, period=0.0, start_time=0.0)
+        attack.attach(fast_vehicle)
+        fast_vehicle.step()
+        assert attack.accepted >= 1
+        assert attack.rejected >= 1
+        assert fast_vehicle.attitude_ctrl.pid_roll.gains.kp == pytest.approx(0.2)

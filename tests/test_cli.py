@@ -1,0 +1,43 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fly_defaults(self):
+        args = build_parser().parse_args(["fly"])
+        assert args.shape == "square"
+        assert args.size == 25.0
+
+    def test_assess_options(self):
+        args = build_parser().parse_args(
+            ["assess", "--kind", "PID", "--episodes", "3", "--with-detector"]
+        )
+        assert args.episodes == 3
+        assert args.with_detector
+
+    def test_fig_number(self):
+        args = build_parser().parse_args(["fig", "6"])
+        assert args.number == "6"
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "342" in out
+
+    def test_unknown_fig(self, capsys):
+        assert main(["fig", "99"]) == 2
+
+    def test_fly_small(self, capsys):
+        code = main(["fly", "--shape", "line", "--size", "15", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "COMPLETE" in out

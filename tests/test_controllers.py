@@ -1,0 +1,234 @@
+"""Tests for sqrt controller, attitude/position cascades and the mixer."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.attitude import AttitudeController, AttitudeTargets
+from repro.control.cascade import ControllerRegistry
+from repro.control.mixer import MotorMixer
+from repro.control.position import PositionController, PositionSetpoint
+from repro.control.sqrt_controller import SqrtController
+from repro.estimation.sins import StrapdownINS
+from repro.exceptions import ControlError
+
+
+class TestSqrtController:
+    def make(self, p=1.0, accel=2.0, out=5.0):
+        return SqrtController("SQ", p=p, accel_max=accel, output_max=out)
+
+    def test_linear_regime(self):
+        c = self.make(p=2.0, accel=8.0)  # linear region = 8/4 = 2
+        assert c.update(1.0, 0.0) == pytest.approx(2.0)
+
+    def test_sqrt_regime(self):
+        c = self.make(p=2.0, accel=8.0, out=100.0)
+        big = c.update(10.0, 0.0)
+        expected = math.sqrt(2.0 * 8.0 * (10.0 - 1.0))
+        assert big == pytest.approx(expected)
+
+    @given(st.floats(-30, 30))
+    @settings(max_examples=50)
+    def test_output_bounded_and_odd(self, error):
+        c = self.make(out=5.0)
+        out = c.update(error, 0.0)
+        assert abs(out) <= 5.0
+        c2 = self.make(out=5.0)
+        assert c2.update(-error, 0.0) == pytest.approx(-out, abs=1e-12)
+
+    def test_continuity_at_crossover(self):
+        c = self.make(p=1.0, accel=2.0, out=100.0)
+        linear_edge = c.linear_region
+        below = c.update(linear_edge - 1e-6, 0.0)
+        above = self.make(p=1.0, accel=2.0, out=100.0).update(linear_edge + 1e-6, 0.0)
+        assert below == pytest.approx(above, abs=1e-3)
+
+    def test_state_variables_round_trip(self):
+        c = self.make()
+        c.update(1.0, 0.2)
+        sv = c.state_variables()
+        assert sv["ERR"] == pytest.approx(0.8)
+        c.set_state_variable("OUT", 9.0)
+        assert c.output == 9.0
+
+    def test_nonpositive_gain_write_clamped(self):
+        c = self.make()
+        c.set_state_variable("P", -5.0)
+        assert c.p > 0.0  # firmware would fault; manipulation is clamped
+
+    def test_invalid_construction(self):
+        with pytest.raises(ControlError):
+            SqrtController("bad", p=0.0, accel_max=1.0, output_max=1.0)
+
+
+class TestAttitudeController:
+    def test_rate_targets_proportional_to_error(self):
+        att = AttitudeController(angle_p=4.0)
+        att.update(AttitudeTargets(roll=0.1), (0.0, 0.0, 0.0), np.zeros(3), 0.0025)
+        assert att.rate_targets[0] == pytest.approx(0.4)
+
+    def test_rate_targets_clamped(self):
+        att = AttitudeController(angle_p=100.0, rate_max=1.0)
+        att.update(AttitudeTargets(roll=1.0), (0.0, 0.0, 0.0), np.zeros(3), 0.0025)
+        assert att.rate_targets[0] == 1.0
+
+    def test_torque_sign(self):
+        att = AttitudeController()
+        torque = att.update(
+            AttitudeTargets(roll=0.2), (0.0, 0.0, 0.0), np.zeros(3), 0.0025
+        )
+        assert torque[0] > 0.0  # roll right demand
+        assert torque[1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_yaw_error_wraps(self):
+        att = AttitudeController()
+        att.update(
+            AttitudeTargets(yaw=math.pi - 0.1),
+            (0.0, 0.0, -math.pi + 0.1), np.zeros(3), 0.0025,
+        )
+        # Shortest path is -0.2 rad, not ~2pi.
+        assert att.angle_errors[2] == pytest.approx(-0.2, abs=1e-9)
+
+    def test_state_variables_include_rate_pids(self):
+        att = AttitudeController()
+        sv = att.state_variables()
+        assert "PIDR.INTEG" in sv
+        assert "PIDP.KP" in sv
+        assert "TGT_RATE_R" in sv
+
+    def test_reset(self):
+        att = AttitudeController()
+        att.update(AttitudeTargets(roll=0.5), (0.0, 0.0, 0.0), np.zeros(3), 0.0025)
+        att.reset()
+        assert att.pid_roll.integrator == 0.0
+        np.testing.assert_allclose(att.rate_targets, 0.0)
+
+
+class TestPositionController:
+    def make(self):
+        return PositionController(hover_throttle=0.37)
+
+    def test_forward_error_pitches_down(self):
+        psc = self.make()
+        targets = psc.update(
+            PositionSetpoint(position=np.array([10.0, 0.0, -5.0])),
+            np.array([0.0, 0.0, -5.0]), np.zeros(3), 0.0, 0.0025,
+        )
+        assert targets.pitch < 0.0  # nose down to accelerate north
+        assert abs(targets.roll) < 1e-6
+
+    def test_east_error_rolls_right(self):
+        psc = self.make()
+        targets = psc.update(
+            PositionSetpoint(position=np.array([0.0, 10.0, -5.0])),
+            np.array([0.0, 0.0, -5.0]), np.zeros(3), 0.0, 0.0025,
+        )
+        assert targets.roll > 0.0
+
+    def test_heading_rotation(self):
+        # Facing east (yaw 90°), a north error is a leftward error -> roll left.
+        psc = self.make()
+        targets = psc.update(
+            PositionSetpoint(position=np.array([10.0, 0.0, -5.0])),
+            np.array([0.0, 0.0, -5.0]), np.zeros(3), math.pi / 2, 0.0025,
+        )
+        assert targets.roll < 0.0
+
+    def test_lean_angle_limited(self):
+        psc = self.make()
+        targets = psc.update(
+            PositionSetpoint(position=np.array([1e6, 0.0, -5.0])),
+            np.array([0.0, 0.0, -5.0]), np.zeros(3), 0.0, 0.0025,
+        )
+        assert abs(targets.pitch) <= psc.lean_angle_max + 1e-9
+
+    def test_climb_demand_raises_throttle(self):
+        psc = self.make()
+        below = psc.update(
+            PositionSetpoint(position=np.array([0.0, 0.0, -10.0])),
+            np.array([0.0, 0.0, -5.0]), np.zeros(3), 0.0, 0.0025,
+        )
+        psc2 = self.make()
+        hold = psc2.update(
+            PositionSetpoint(position=np.array([0.0, 0.0, -5.0])),
+            np.array([0.0, 0.0, -5.0]), np.zeros(3), 0.0, 0.0025,
+        )
+        assert below.throttle > hold.throttle
+
+    def test_throttle_bounded(self):
+        psc = self.make()
+        targets = psc.update(
+            PositionSetpoint(position=np.array([0.0, 0.0, -1e6])),
+            np.array([0.0, 0.0, 0.0]), np.zeros(3), 0.0, 0.0025,
+        )
+        assert 0.0 <= targets.throttle <= 1.0
+
+    def test_state_variables_cover_cascades(self):
+        psc = self.make()
+        sv = psc.state_variables()
+        assert "X_POS.ERR" in sv
+        assert "Y_VEL.INTEG" in sv
+        assert "Z_VELTGT" in sv
+
+
+class TestMixer:
+    def test_pure_throttle(self):
+        mixer = MotorMixer()
+        np.testing.assert_allclose(mixer.mix(0.5, np.zeros(3)), 0.5)
+        assert not mixer.saturated
+
+    def test_roll_differential(self):
+        mixer = MotorMixer()
+        out = mixer.mix(0.5, np.array([0.2, 0.0, 0.0]))
+        # left motors (2, 3) up, right motors (1, 4) down
+        assert out[1] > 0.5 and out[2] > 0.5
+        assert out[0] < 0.5 and out[3] < 0.5
+
+    @given(st.floats(0, 1), st.floats(-1, 1), st.floats(-1, 1), st.floats(-1, 1))
+    @settings(max_examples=100)
+    def test_outputs_always_in_range(self, throttle, r, p, y):
+        mixer = MotorMixer()
+        out = mixer.mix(throttle, np.array([r, p, y]))
+        assert np.all(out >= 0.0 - 1e-12) and np.all(out <= 1.0 + 1e-12)
+
+    def test_saturation_drops_yaw_first(self):
+        mixer = MotorMixer()
+        out_sat = mixer.mix(0.9, np.array([0.3, 0.0, 0.8]))
+        assert mixer.saturated
+        # Roll differential survives; yaw contribution is reduced.
+        roll_component = float(MotorMixer.ROLL_FACTORS @ out_sat)
+        assert roll_component == pytest.approx(0.3 * 1.0, abs=0.12)
+
+    def test_invalid_limits(self):
+        with pytest.raises(ControlError):
+            MotorMixer(min_throttle=0.9, max_throttle=0.5)
+
+
+class TestControllerRegistry:
+    def make(self):
+        att = AttitudeController()
+        psc = PositionController(hover_throttle=0.37)
+        sins = StrapdownINS()
+        return ControllerRegistry(att, psc, sins)
+
+    def test_table2_function_counts(self):
+        reg = self.make()
+        # PID kind: PIDR, PIDP, PIDY + 3 axis velocity PIDs = 6 functions.
+        assert len(reg.functions("PID")) == 6
+        assert len(reg.functions("Sqrt")) == 3
+        assert len(reg.functions("SINS")) == 1
+
+    def test_lookup(self):
+        reg = self.make()
+        assert reg.function("PIDR").kind == "PID"
+        with pytest.raises(KeyError):
+            reg.function("NOPE")
+
+    def test_all_variables_flat(self):
+        reg = self.make()
+        flat = reg.all_variables()
+        assert "PIDR.INTEG" in flat
+        assert "SINS.KVEL" in flat

@@ -1,0 +1,90 @@
+"""Tests for the Ares facade and the experiment runners (scaled down)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ares import Ares, AresConfig
+from repro.core.report import AssessmentReport, ExploitOutcome
+from repro.exceptions import AnalysisError
+from repro.experiments.table1 import run_table1
+from repro.firmware.mission import line_mission
+from repro.profiling.collector import ProfileCollector
+from repro.rl.env import EnvConfig
+
+
+class TestAresPipeline:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        """One small end-to-end campaign shared by the class's tests."""
+        config = AresConfig(
+            controller_kind="PID",
+            env=EnvConfig(max_episode_steps=12, physics_hz=50.0, seed=5),
+            episodes=4,
+        )
+        ares = Ares(config)
+        ares.profile(missions=[line_mission(length=40.0, altitude=10.0, legs=1)])
+        ares.identify()
+        return ares
+
+    def test_identify_requires_profile(self):
+        with pytest.raises(AnalysisError):
+            Ares().identify()
+
+    def test_exploit_requires_identify(self):
+        ares = Ares()
+        with pytest.raises(AnalysisError):
+            ares.exploit()
+
+    def test_profile_produces_esvl(self, campaign):
+        assert campaign.dataset.num_samples > 50
+        assert len(campaign.dataset.esvl_columns) == 64
+
+    def test_identify_produces_tsvl(self, campaign):
+        assert campaign.tsvl_result is not None
+        # Default config caps at 4 per response x 3 responses.
+        assert 1 <= len(campaign.tsvl_result.tsvl) <= 12
+
+    def test_exploit_trains_and_reports(self, campaign):
+        result = campaign.exploit(variable="PIDR.INTEG", failure="uncontrolled")
+        assert len(result.episodes) == 4
+        report = campaign.report()
+        assert isinstance(report, AssessmentReport)
+        assert report.exploits
+        assert report.esvl_size == 64
+        text = report.render()
+        assert "PIDR.INTEG" in text
+
+    def test_unknown_failure_category(self, campaign):
+        with pytest.raises(AnalysisError):
+            campaign.exploit(variable="PIDR.INTEG", failure="weird")
+
+    def test_unknown_agent_rejected(self, campaign):
+        campaign.config.agent = "alphago"
+        try:
+            with pytest.raises(AnalysisError):
+                campaign.exploit(variable="PIDR.INTEG")
+        finally:
+            campaign.config.agent = "reinforce"
+
+
+class TestExploitOutcome:
+    def test_vulnerable_logic(self):
+        good = ExploitOutcome(
+            failure_category="uncontrolled", variable="X", episodes=10,
+            best_return=5.0, improved=True, any_crash=False, any_detection=False,
+        )
+        assert good.vulnerable
+        bad = ExploitOutcome(
+            failure_category="uncontrolled", variable="X", episodes=10,
+            best_return=-1.0, improved=True, any_crash=False, any_detection=False,
+        )
+        assert not bad.vulnerable
+
+
+class TestTable1Experiment:
+    def test_exact_match_with_paper(self):
+        result = run_table1()
+        assert result.matches_paper
+        assert result.total == 342
+        assert len(result.rows) == 40
+        assert "342" in result.render()

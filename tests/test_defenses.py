@@ -1,0 +1,188 @@
+"""Tests for the three reimplemented defense families."""
+
+import numpy as np
+import pytest
+
+from repro.defenses.base import Detector
+from repro.defenses.control_invariants import ControlInvariantsDetector
+from repro.defenses.ekf_monitor import EKFResidualDetector
+from repro.defenses.ml_monitor import MLOutputMonitor, PidApproximator
+from repro.exceptions import AnalysisError, DetectionAlarm
+from repro.firmware.mission import line_mission
+from repro.firmware.modes import FlightMode
+from repro.sim.config import SimConfig
+from tests.conftest import make_vehicle
+
+
+class TestDetectorBase:
+    class _Spike(Detector):
+        def __init__(self, **kw):
+            super().__init__("spike", threshold=1.0, **kw)
+            self.value = 0.0
+
+        def _score(self, vehicle):
+            return self.value
+
+        def _reset_state(self):
+            self.value = 0.0
+
+    def test_records_and_alarms(self, fast_vehicle):
+        det = self._Spike()
+        det.attach(fast_vehicle)
+        fast_vehicle.step()
+        det.value = 5.0
+        fast_vehicle.step()
+        assert det.alarmed
+        assert det.record.max_score == 5.0
+        assert det.first_alarm_time is not None
+
+    def test_strict_raises(self, fast_vehicle):
+        det = self._Spike(strict=True)
+        det.attach(fast_vehicle)
+        det.value = 5.0
+        with pytest.raises(DetectionAlarm):
+            fast_vehicle.step()
+
+    def test_detach_stops_sampling(self, fast_vehicle):
+        det = self._Spike()
+        det.attach(fast_vehicle)
+        fast_vehicle.step()
+        det.detach()
+        fast_vehicle.step()
+        assert len(det.record.scores) == 1
+
+    def test_reset_clears_history(self, fast_vehicle):
+        det = self._Spike()
+        det.attach(fast_vehicle)
+        det.value = 9.0
+        fast_vehicle.step()
+        det.reset()
+        assert not det.alarmed
+        assert det.record.max_score == 0.0
+
+
+class TestControlInvariants:
+    def test_silent_before_arming(self, fast_vehicle):
+        det = ControlInvariantsDetector(fast_vehicle.config.airframe)
+        det.attach(fast_vehicle)
+        for _ in range(50):
+            fast_vehicle.step()
+        assert len(det.record.scores) == 0
+
+    def test_benign_truth_flight_stays_low(self):
+        v = make_vehicle(seed=5, fast=True)
+        det = ControlInvariantsDetector(v.config.airframe, warmup_s=4.0)
+        det.attach(v)
+        v.takeoff(6.0)
+        v.run(10.0)
+        assert not det.alarmed
+        assert det.record.max_score < det.threshold
+
+    def test_window_bounds_score(self):
+        # The windowed sum can never exceed window * max_step_error for
+        # bounded attitude errors (3 axes x 180 deg x 100 cdeg).
+        det = ControlInvariantsDetector(SimConfig().airframe, window=16)
+        assert det.window == 16
+
+    def test_reset_state(self):
+        det = ControlInvariantsDetector(SimConfig().airframe)
+        det._errors.append(100.0)
+        det.reset()
+        assert det._errors.sum == 0.0
+
+
+class TestPidApproximator:
+    def test_fits_linear_map(self, rng):
+        features = rng.normal(size=(500, 5))
+        weights = np.array([0.1, 0.5, -0.5, 1.0, 0.2])
+        outputs = features @ weights + 0.05
+        approx = PidApproximator()
+        approx.fit(features, outputs)
+        prediction = approx.predict(features[0])
+        assert prediction == pytest.approx(outputs[0], abs=1e-6)
+
+    def test_clipping_bounds_extrapolation(self, rng):
+        features = rng.normal(size=(200, 5))
+        outputs = features @ np.ones(5)
+        approx = PidApproximator()
+        approx.fit(features, outputs)
+        wild = np.full(5, 1e6)
+        # Clipped inference bounds the prediction near the training range
+        # (sum of per-feature maxima), orders of magnitude below the input.
+        assert abs(approx.predict(wild)) <= abs(outputs).max() * 10.0
+
+    def test_untrained_predict_raises(self):
+        with pytest.raises(AnalysisError):
+            PidApproximator().predict(np.zeros(5))
+
+    def test_too_few_samples(self):
+        with pytest.raises(AnalysisError):
+            PidApproximator().fit(np.zeros((3, 5)), np.zeros(3))
+
+    def test_wrong_feature_count(self):
+        with pytest.raises(AnalysisError):
+            PidApproximator().fit(np.zeros((50, 3)), np.zeros(50))
+
+
+class TestMLOutputMonitor:
+    def test_collection_then_silence_on_benign(self):
+        monitor = MLOutputMonitor()
+        monitor.train_on_benign(
+            lambda: make_vehicle(seed=11, fast=True), duration=6.0
+        )
+        v = make_vehicle(seed=12, fast=True)
+        monitor.reset()
+        monitor.attach(v)
+        v.takeoff(3.0)
+        v.run(5.0)
+        assert not monitor.alarmed
+        assert monitor.record.max_score < monitor.threshold
+
+    def test_finish_without_samples_raises(self):
+        monitor = MLOutputMonitor()
+        with pytest.raises(AnalysisError):
+            monitor.finish_collection()
+
+
+class TestEKFResidualDetector:
+    def test_benign_flight_silent(self):
+        v = make_vehicle(seed=4)
+        det = EKFResidualDetector()  # default warmup skips the takeoff transient
+        det.attach(v)
+        v.takeoff(5.0)
+        v.run(10.0)
+        assert not det.alarmed
+
+    def test_gyro_spoof_detected(self):
+        from repro.attacks.sensor_spoof import GyroSpoofAttack
+
+        v = make_vehicle(seed=4)
+        det = EKFResidualDetector(warmup_s=4.0)
+        det.attach(v)
+        v.takeoff(5.0)
+        attack = GyroSpoofAttack(bias_dps=40.0, start_time=0.0)
+        attack.attach(v)
+        v.run(10.0, stop_when=lambda vv: det.alarmed)
+        # Spoofed rates diverge from the motor-implied physics: alarm.
+        assert det.alarmed
+
+    def test_controller_attack_evades(self):
+        from repro.attacks.gradual import GradualRollAttack
+
+        v = make_vehicle(seed=4)
+        det = EKFResidualDetector(warmup_s=4.0)
+        det.attach(v)
+        v.takeoff(5.0)
+        attack = GradualRollAttack(rate_deg_s=3.0, start_time=0.0)
+        attack.attach(v)
+        v.run(10.0)
+        # The motion is genuinely produced by the motors: no alarm.
+        assert not det.alarmed
+
+    def test_skipped_without_estimation(self):
+        v = make_vehicle(seed=4, fast=True)  # estimation disabled
+        det = EKFResidualDetector()
+        det.attach(v)
+        v.arm()
+        v.step()
+        assert len(det.record.scores) == 0

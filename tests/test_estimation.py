@@ -1,0 +1,170 @@
+"""Tests for the complementary filter, SINS and EKF."""
+
+import numpy as np
+import pytest
+
+from repro.estimation.complementary import ComplementaryFilter
+from repro.estimation.ekf import AttitudePositionEKF, EkfConfig
+from repro.estimation.sins import StrapdownINS
+from repro.exceptions import ControlError
+
+G = 9.80665
+
+
+class TestComplementaryFilter:
+    def test_gyro_integration(self):
+        f = ComplementaryFilter(accel_gain=0.0, mag_gain=0.0)
+        for _ in range(100):
+            f.update(np.array([0.5, 0.0, 0.0]), np.array([0.0, 0.0, -G]), 0.01)
+        roll, _, _ = f.euler
+        assert roll == pytest.approx(0.5, abs=0.05)
+
+    def test_accel_corrects_drift(self):
+        f = ComplementaryFilter(accel_gain=0.05, mag_gain=0.0)
+        f.reset(roll=0.3)  # wrong initial attitude
+        for _ in range(3000):
+            f.update(np.zeros(3), np.array([0.0, 0.0, -G]), 0.0025)
+        roll, pitch, _ = f.euler
+        assert abs(roll) < 0.01
+        assert abs(pitch) < 0.01
+
+    def test_accel_rejected_when_not_1g(self):
+        f = ComplementaryFilter(accel_gain=0.5, mag_gain=0.0)
+        f.reset(roll=0.3)
+        for _ in range(100):
+            f.update(np.zeros(3), np.array([0.0, 0.0, -3.0 * G]), 0.0025)
+        roll, _, _ = f.euler
+        assert roll == pytest.approx(0.3, abs=1e-6)  # no correction applied
+
+    def test_accel_rejected_at_high_rates(self):
+        f = ComplementaryFilter(accel_gain=0.5, mag_gain=0.0)
+        f.reset(roll=0.3)
+        f.update(np.array([3.0, 0.0, 0.0]), np.array([0.0, 0.0, -G]), 0.0001)
+        roll, _, _ = f.euler
+        assert roll == pytest.approx(0.3, abs=1e-3)
+
+    def test_mag_corrects_yaw(self):
+        f = ComplementaryFilter(accel_gain=0.0, mag_gain=0.1)
+        f.reset(yaw=0.5)
+        for _ in range(500):
+            f.update(np.zeros(3), np.array([0.0, 0.0, -G]), 0.0025, mag_yaw=0.0)
+        _, _, yaw = f.euler
+        assert abs(yaw) < 0.01
+
+    def test_invalid_gains(self):
+        with pytest.raises(ControlError):
+            ComplementaryFilter(accel_gain=2.0)
+
+
+class TestStrapdownINS:
+    def test_static_dead_reckoning(self):
+        sins = StrapdownINS()
+        for _ in range(400):
+            sins.predict(np.zeros(3), np.array([0.0, 0.0, -G]), 0.0025)
+        np.testing.assert_allclose(sins.velocity, 0.0, atol=1e-9)
+        np.testing.assert_allclose(sins.position, 0.0, atol=1e-9)
+
+    def test_constant_accel_integration(self):
+        sins = StrapdownINS()
+        # 1 m/s^2 north in addition to gravity compensation.
+        accel = np.array([1.0, 0.0, -G])
+        for _ in range(400):
+            sins.predict(np.zeros(3), accel, 0.0025)
+        assert sins.velocity[0] == pytest.approx(1.0, rel=1e-6)
+        assert sins.position[0] == pytest.approx(0.5, rel=1e-2)
+
+    def test_gps_correction_pulls_state(self):
+        sins = StrapdownINS(velocity_gain=0.5, position_gain=0.5)
+        sins.correct_gps(np.array([10.0, 0.0, 0.0]), np.array([2.0, 0.0, 0.0]))
+        assert sins.velocity[0] == pytest.approx(1.0)
+        assert sins.position[0] == pytest.approx(5.0)
+        assert sins.intermediates["VERR_N"] == pytest.approx(2.0)
+
+    def test_baro_correction_down_channel(self):
+        sins = StrapdownINS(baro_gain=1.0)
+        sins.correct_baro(8.0)
+        assert sins.position[2] == pytest.approx(-8.0)
+
+    def test_nineteen_intermediates(self):
+        # Table II: 19 traced SINS state variables.
+        assert len(StrapdownINS().intermediates) == 19
+
+    def test_intermediates_updated_by_predict(self):
+        sins = StrapdownINS()
+        sins.predict(np.zeros(3), np.array([1.0, 0.0, -G]), 0.01)
+        assert sins.intermediates["ACC_N"] == pytest.approx(1.0)
+        assert sins.intermediates["DV_N"] == pytest.approx(0.01)
+
+    def test_invalid_gain(self):
+        with pytest.raises(ControlError):
+            StrapdownINS(velocity_gain=1.5)
+
+
+class TestEKF:
+    def _static_imu(self):
+        return np.zeros(3), np.array([0.0, 0.0, -G])
+
+    def test_static_convergence(self):
+        ekf = AttitudePositionEKF()
+        gyro, accel = self._static_imu()
+        for i in range(2000):
+            ekf.predict(gyro, accel, 0.0025)
+            if i % 20 == 0:
+                ekf.update_accel_attitude(accel)
+            if i % 40 == 0:
+                ekf.update_gps(np.zeros(3), np.zeros(3))
+                ekf.update_baro(0.0)
+        assert abs(ekf.roll) < 0.01
+        assert abs(ekf.pitch) < 0.01
+        assert np.linalg.norm(ekf.velocity) < 0.1
+        assert np.linalg.norm(ekf.position) < 0.5
+
+    def test_gyro_bias_estimated(self):
+        ekf = AttitudePositionEKF()
+        bias = np.array([0.02, 0.0, 0.0])
+        _, accel = self._static_imu()
+        for i in range(8000):
+            ekf.predict(bias, accel, 0.0025)
+            if i % 20 == 0:
+                ekf.update_accel_attitude(accel)
+        assert ekf.gyro_bias[0] == pytest.approx(0.02, abs=0.01)
+        assert abs(ekf.roll) < 0.05
+
+    def test_gps_position_tracking(self):
+        ekf = AttitudePositionEKF()
+        gyro, accel = self._static_imu()
+        target = np.array([5.0, -3.0, -10.0])
+        for i in range(4000):
+            ekf.predict(gyro, accel, 0.0025)
+            if i % 40 == 0:
+                ekf.update_gps(target, np.zeros(3))
+            if i % 20 == 0:
+                ekf.update_baro(10.0)
+        np.testing.assert_allclose(ekf.position, target, atol=0.5)
+
+    def test_mag_yaw_update(self):
+        ekf = AttitudePositionEKF()
+        ekf.reset(euler=(0.0, 0.0, 0.4))
+        field = np.array([400.0, 0.0, 450.0])  # level, facing north
+        for _ in range(500):
+            ekf.predict(*self._static_imu(), 0.0025)
+            ekf.update_mag_yaw(field)
+        assert abs(ekf.yaw) < 0.05
+
+    def test_accel_update_skipped_during_maneuver(self):
+        ekf = AttitudePositionEKF()
+        ekf.reset(euler=(0.2, 0.0, 0.0))
+        before = ekf.roll
+        ekf.update_accel_attitude(np.array([0.0, 0.0, -3.0 * G]))
+        assert ekf.roll == before
+
+    def test_reset(self):
+        ekf = AttitudePositionEKF()
+        ekf.x[:] = 1.0
+        ekf.reset(euler=(0.1, 0.2, 0.3))
+        assert ekf.roll == pytest.approx(0.1)
+        np.testing.assert_allclose(ekf.velocity, 0.0)
+
+    def test_invalid_config(self):
+        with pytest.raises(ControlError):
+            EkfConfig(gyro_noise=0.0)

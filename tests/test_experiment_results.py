@@ -1,0 +1,148 @@
+"""Tests for experiment result containers and their renderers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig5 import Fig5Result
+from repro.experiments.fig6 import Fig6Condition, Fig6Result
+from repro.experiments.fig7 import Fig7Condition, Fig7Result
+from repro.experiments.fig8 import Fig8Result
+from repro.experiments.fig9 import Fig9Result
+from repro.experiments.fig10 import Fig10Result, ScenarioTrace
+from repro.experiments.fig11 import CrashScenarioTrace, Fig11Result
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.table2 import Table2Result, Table2Row
+
+
+class TestTable1Result:
+    def test_mismatch_detection(self):
+        result = Table1Result(rows=[("ATT", 99)], total=99)
+        result.mismatches["ATT"] = (99, 12)
+        assert not result.matches_paper
+
+    def test_render_contains_counts(self):
+        result = run_table1()
+        text = result.render()
+        assert "ATT" in text and "342" in text
+
+
+class TestTable2Result:
+    def make(self):
+        return Table2Result(
+            rows=[Table2Row(kind="PID", ksvl=28, added=36, esvl=64, tsvl=6)],
+            samples=3000, missions=5,
+        )
+
+    def test_ratio(self):
+        assert self.make().row("PID").ratio == pytest.approx(6 / 64)
+
+    def test_unknown_row_raises(self):
+        with pytest.raises(KeyError):
+            self.make().row("Nope")
+
+    def test_render(self):
+        text = self.make().render()
+        assert "9.4%" in text
+        assert "(28/36/64/6)" in text
+
+
+class TestFig5Result:
+    def test_cell_glyphs(self):
+        assert Fig5Result._cell(0.1) == "."
+        assert Fig5Result._cell(0.4) == "+"
+        assert Fig5Result._cell(-0.4) == "-"
+        assert Fig5Result._cell(0.9) == "O"
+        assert Fig5Result._cell(-0.9) == "X"
+        assert Fig5Result._cell(float("nan")) == " "
+
+    def test_display_names(self):
+        result = Fig5Result(names=["ATT.DesR", "PIDR.INTEG"],
+                            matrix=np.eye(2), tsvl=[])
+        assert result.display_names() == ["DesR", "INTEG"]
+
+
+def _condition(label="x", alarmed=False, scores=(1.0, 2.0)):
+    return Fig6Condition(
+        label=label,
+        times=np.array([0.0, 1.0]),
+        roll_deg=np.array([0.0, 5.0]),
+        ci_times=np.array([0.0, 1.0]),
+        ci_scores=np.asarray(scores, dtype=float),
+        alarmed=alarmed,
+        first_alarm=0.5 if alarmed else None,
+        path_deviation=3.0,
+        crashed=False,
+    )
+
+
+class TestFig6Result:
+    def test_max_ci(self):
+        assert _condition(scores=(5.0, 9.0)).max_ci == 9.0
+
+    def test_render_lists_conditions(self):
+        result = Fig6Result(conditions={
+            "normal": _condition("normal"),
+            "ares": _condition("ares"),
+            "naive": _condition("naive", alarmed=True),
+        })
+        text = result.render()
+        assert "normal" in text and "naive" in text and "t=0.5s" in text
+
+
+class TestFig7Result:
+    def test_max_distance(self):
+        c = Fig7Condition(
+            label="x", times=np.zeros(1), roll_deg=np.zeros(1),
+            dist_times=np.zeros(2), distances=np.array([0.001, 0.02]),
+            alarmed=True, drift_m=1.0,
+        )
+        assert c.max_distance == pytest.approx(0.02)
+        text = Fig7Result(conditions={"x": c}).render()
+        assert "0.01" in text
+
+
+class TestFig8Result:
+    def test_roll_excursion_window(self):
+        result = Fig8Result(
+            times=np.array([0.0, 10.0, 40.0]),
+            att_roll_deg=np.array([1.0, 2.0, 9.0]),
+            residual_deg=np.array([0.1, 0.2, 0.3]),
+            attack_start=30.0,
+        )
+        assert result.roll_excursion_after_attack() == 9.0
+        assert result.max_residual_deg == pytest.approx(0.3)
+        assert "Fig. 8" in result.render()
+
+
+class TestFig9Result:
+    def test_render_rates(self):
+        result = Fig9Result(
+            benign=[10.0, 12.0], attack1=[40.0], attack2=[11.0],
+            thresholds=[20.0],
+            rates={20.0: (0.0, 1.0, 0.0)},
+        )
+        text = result.render()
+        assert "TPR" in text and "100%" in text
+
+
+class TestFig10And11Traces:
+    def test_scenario_trace_final_deviation(self):
+        trace = ScenarioTrace(
+            label="t", times=np.array([0.0, 1.0]),
+            deviation=np.array([1.0, 7.0]),
+            accumulated=np.array([0.0, 7.0]),
+            total_reward=6.0, detected=False,
+        )
+        assert trace.final_deviation == 7.0
+        result = Fig10Result(scenarios={"t": trace})
+        assert "Fig. 10" in result.render()
+
+    def test_crash_trace_closest(self):
+        trace = CrashScenarioTrace(
+            label="t", times=np.zeros(2),
+            zone_distance=np.array([9.0, 2.0]),
+            contact=False, crashed=False, total_reward=1.0, detected=False,
+        )
+        assert trace.closest_approach == 2.0
+        result = Fig11Result(scenarios={"t": trace})
+        assert "Fig. 11" in result.render()

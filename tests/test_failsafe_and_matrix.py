@@ -1,0 +1,63 @@
+"""Tests for the battery failsafe and the defense-evasion matrix."""
+
+import pytest
+
+from repro.core.defense_matrix import DefenseCell, DefenseMatrix
+from repro.firmware.modes import FlightMode
+from repro.sim.battery import Battery
+from tests.conftest import make_vehicle
+
+
+class TestBatteryFailsafe:
+    def _drained_vehicle(self, capacity_mah: float):
+        v = make_vehicle(seed=3, fast=True)
+        v.sim.vehicle.battery = Battery(capacity_mah=capacity_mah)
+        return v
+
+    def test_low_battery_triggers_rtl(self):
+        v = self._drained_vehicle(capacity_mah=18.0)
+        v.takeoff(5.0)
+        v.set_guided_target(30.0, 0.0, 5.0)
+        v.run(60.0, stop_when=lambda vv: vv.modes.mode is FlightMode.RTL)
+        assert v.modes.mode in (FlightMode.RTL, FlightMode.LAND)
+
+    def test_critical_battery_lands(self):
+        v = self._drained_vehicle(capacity_mah=10.0)
+        v.takeoff(5.0)
+        v.run(120.0, stop_when=lambda vv: vv.modes.mode is FlightMode.LAND)
+        assert v.modes.mode is FlightMode.LAND
+
+    def test_healthy_battery_no_failsafe(self):
+        v = make_vehicle(seed=3, fast=True)
+        v.takeoff(5.0)
+        v.run(5.0)
+        assert v.modes.mode is FlightMode.GUIDED
+
+
+class TestDefenseMatrixStructure:
+    def make(self) -> DefenseMatrix:
+        return DefenseMatrix(cells=[
+            DefenseCell("ares", "ci", detected=False, detection_time=None,
+                        max_score=10.0, threshold=100.0, path_deviation=50.0,
+                        crashed=False),
+            DefenseCell("naive", "ci", detected=True, detection_time=12.0,
+                        max_score=500.0, threshold=100.0, path_deviation=5.0,
+                        crashed=True),
+        ])
+
+    def test_cell_lookup(self):
+        matrix = self.make()
+        assert matrix.cell("ares", "ci").evaded
+        assert not matrix.cell("naive", "ci").evaded
+        with pytest.raises(KeyError):
+            matrix.cell("nope", "ci")
+
+    def test_axes(self):
+        matrix = self.make()
+        assert matrix.attacks == ["ares", "naive"]
+        assert matrix.detectors == ["ci"]
+
+    def test_render(self):
+        text = self.make().render()
+        assert "EVADED" in text
+        assert "detected@12s" in text

@@ -1,0 +1,176 @@
+"""Tests for the discrete-time filters."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.filters import (
+    DerivativeFilter,
+    LowPassFilter,
+    MovingAverage,
+    NotchFilter,
+    SecondOrderLowPass,
+    alpha_from_cutoff,
+)
+
+
+class TestAlpha:
+    def test_disabled_filter(self):
+        assert alpha_from_cutoff(0.0, 0.01) == 1.0
+        assert alpha_from_cutoff(-5.0, 0.01) == 1.0
+
+    def test_bounds(self):
+        for fc in (0.1, 1.0, 20.0, 200.0):
+            a = alpha_from_cutoff(fc, 0.0025)
+            assert 0.0 < a <= 1.0
+
+    def test_monotonic_in_cutoff(self):
+        alphas = [alpha_from_cutoff(fc, 0.01) for fc in (1.0, 5.0, 20.0)]
+        assert alphas == sorted(alphas)
+
+    def test_bad_dt_raises(self):
+        with pytest.raises(ValueError):
+            alpha_from_cutoff(10.0, 0.0)
+
+
+class TestLowPassFilter:
+    def test_first_sample_initialises(self):
+        f = LowPassFilter(10.0, 0.01)
+        assert f.update(5.0) == 5.0
+
+    def test_converges_to_constant(self):
+        f = LowPassFilter(10.0, 0.01)
+        out = 0.0
+        for _ in range(500):
+            out = f.update(2.5)
+        assert out == pytest.approx(2.5, abs=1e-6)
+
+    def test_attenuates_steps(self):
+        f = LowPassFilter(1.0, 0.01)
+        f.update(0.0)
+        assert abs(f.update(1.0)) < 0.1
+
+    def test_vector_input(self):
+        f = LowPassFilter(10.0, 0.01)
+        f.update(np.zeros(3))
+        out = f.update(np.ones(3))
+        assert out.shape == (3,)
+        assert np.all(out > 0.0) and np.all(out < 1.0)
+
+    def test_reset(self):
+        f = LowPassFilter(10.0, 0.01)
+        f.update(3.0)
+        f.reset()
+        assert f.value is None
+        assert f.update(7.0) == 7.0
+
+
+class TestSecondOrderLowPass:
+    def test_dc_gain_unity(self):
+        f = SecondOrderLowPass(5.0, 400.0)
+        out = 0.0
+        for _ in range(4000):
+            out = f.update(1.0)
+        assert out == pytest.approx(1.0, abs=1e-3)
+
+    def test_attenuates_high_frequency(self):
+        f = SecondOrderLowPass(5.0, 400.0)
+        # prime at steady state then drive at 100 Hz
+        for _ in range(100):
+            f.update(0.0)
+        peaks = []
+        for n in range(2000):
+            out = f.update(math.sin(2 * math.pi * 100.0 * n / 400.0))
+            if n > 1000:
+                peaks.append(abs(out))
+        assert max(peaks) < 0.05
+
+    def test_cutoff_above_nyquist_raises(self):
+        with pytest.raises(ValueError):
+            SecondOrderLowPass(300.0, 400.0)
+
+    def test_negative_cutoff_raises(self):
+        with pytest.raises(ValueError):
+            SecondOrderLowPass(-1.0, 400.0)
+
+
+class TestDerivativeFilter:
+    def test_first_sample_zero(self):
+        d = DerivativeFilter(20.0, 0.01)
+        assert d.update(3.0) == 0.0
+
+    def test_ramp_derivative(self):
+        d = DerivativeFilter(100.0, 0.01)
+        out = 0.0
+        for n in range(300):
+            out = d.update(2.0 * n * 0.01)  # slope 2
+        assert out == pytest.approx(2.0, rel=0.05)
+
+    def test_reset(self):
+        d = DerivativeFilter(20.0, 0.01)
+        d.update(1.0)
+        d.update(2.0)
+        d.reset()
+        assert d.value == 0.0
+        assert d.update(10.0) == 0.0
+
+
+class TestNotchFilter:
+    def test_passes_dc(self):
+        f = NotchFilter(80.0, 400.0, 20.0)
+        out = 0.0
+        for _ in range(2000):
+            out = f.update(1.0)
+        assert out == pytest.approx(1.0, abs=1e-2)
+
+    def test_attenuates_center(self):
+        f = NotchFilter(80.0, 400.0, 20.0)
+        outputs = []
+        for n in range(4000):
+            out = f.update(math.sin(2 * math.pi * 80.0 * n / 400.0))
+            if n > 2000:
+                outputs.append(abs(out))
+        assert max(outputs) < 0.1
+
+    def test_center_above_nyquist_raises(self):
+        with pytest.raises(ValueError):
+            NotchFilter(250.0, 400.0, 10.0)
+
+
+class TestMovingAverage:
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            MovingAverage(0)
+
+    def test_partial_window(self):
+        m = MovingAverage(4)
+        assert m.update(2.0) == 2.0
+        assert m.update(4.0) == 3.0
+        assert not m.full
+
+    def test_full_window_evicts(self):
+        m = MovingAverage(3)
+        for v in (1.0, 2.0, 3.0):
+            m.update(v)
+        assert m.full
+        assert m.update(4.0) == pytest.approx(3.0)  # (2+3+4)/3
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_matches_numpy(self, values):
+        window = 5
+        m = MovingAverage(window)
+        for v in values:
+            m.update(v)
+        expected = float(np.mean(values[-window:]))
+        assert m.value == pytest.approx(expected, rel=1e-9, abs=1e-6)
+
+    def test_reset(self):
+        m = MovingAverage(3)
+        m.update(9.0)
+        m.reset()
+        assert len(m) == 0
+        assert m.value == 0.0

@@ -1,0 +1,130 @@
+"""Tests for log forensics and multi-seed campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.forensics import analyse_flight_log
+from repro.exceptions import AnalysisError
+from repro.experiments.campaign import run_campaign
+from repro.firmware.logger import DataflashLogger
+
+
+def synthetic_log(anomaly_at: float | None = 30.0, duration: float = 60.0,
+                  seed: int = 0) -> DataflashLogger:
+    """A benign-then-anomalous ATT log at 16 Hz."""
+    rng = np.random.default_rng(seed)
+    logger = DataflashLogger(log_rate_hz=1000.0)
+    t = 0.0
+    while t < duration:
+        roll = rng.normal(0.0, 0.5)
+        if anomaly_at is not None and t >= anomaly_at:
+            roll += (t - anomaly_at) * 3.0  # ramping attack
+        logger.write("ATT", t, {"R": roll, "DesR": 0.0, "IRErr": rng.normal(0, 0.2)})
+        logger.write("PIDR", t, {"I": rng.normal(0, 0.01), "P": rng.normal(0, 0.02)})
+        logger.write("RATE", t, {"ROut": rng.normal(0, 0.02)})
+        t += 1.0 / 16.0
+    return logger
+
+
+class TestForensics:
+    def test_finds_onset_near_attack_start(self):
+        logger = synthetic_log(anomaly_at=30.0)
+        report = analyse_flight_log(logger)
+        assert report.findings
+        assert report.earliest_onset == pytest.approx(30.0, abs=5.0)
+        assert any(f.signal == "ATT.R" for f in report.findings)
+
+    def test_benign_log_clean(self):
+        logger = synthetic_log(anomaly_at=None)
+        report = analyse_flight_log(logger)
+        assert not report.findings
+        assert report.earliest_onset is None
+
+    def test_render(self):
+        report = analyse_flight_log(synthetic_log())
+        text = report.render()
+        assert "onset" in text
+        assert "ATT.R" in text
+
+    def test_bad_signal_format(self):
+        with pytest.raises(AnalysisError):
+            analyse_flight_log(synthetic_log(), signals=["NoDot"])
+
+    def test_bad_baseline_fraction(self):
+        with pytest.raises(AnalysisError):
+            analyse_flight_log(synthetic_log(), baseline_fraction=1.5)
+
+    def test_short_log_skipped(self):
+        logger = DataflashLogger(log_rate_hz=1000.0)
+        for i in range(10):
+            logger.write("ATT", i * 0.1, {"R": float(i)})
+        report = analyse_flight_log(logger, signals=["ATT.R"])
+        assert not report.findings
+
+
+class TestCampaign:
+    def test_aggregates_metrics(self):
+        result = run_campaign(
+            lambda seed: {"score": float(seed), "constant": 1.0},
+            seeds=range(5),
+        )
+        assert result.metric("score").mean == pytest.approx(2.0)
+        assert result.metric("score").max == 4.0
+        assert result.metric("constant").std == 0.0
+
+    def test_failures_recorded(self):
+        def flaky(seed):
+            if seed == 2:
+                raise RuntimeError("boom")
+            return {"x": 1.0}
+
+        result = run_campaign(flaky, seeds=range(4))
+        assert 2 in result.failures
+        assert len(result.metric("x").values) == 3
+
+    def test_raise_on_failure(self):
+        def broken(seed):
+            raise RuntimeError("always")
+
+        with pytest.raises(RuntimeError):
+            run_campaign(broken, seeds=[0], raise_on_failure=True)
+
+    def test_all_failed_raises(self):
+        def broken(seed):
+            raise RuntimeError("always")
+
+        with pytest.raises(AnalysisError):
+            run_campaign(broken, seeds=[0, 1])
+
+    def test_empty_seeds(self):
+        with pytest.raises(AnalysisError):
+            run_campaign(lambda s: {"x": 1.0}, seeds=[])
+
+    def test_unknown_metric(self):
+        result = run_campaign(lambda s: {"x": 1.0}, seeds=[0])
+        with pytest.raises(AnalysisError):
+            result.metric("zzz")
+
+    def test_render(self):
+        result = run_campaign(lambda s: {"deviation": s * 2.0}, seeds=range(3))
+        assert "deviation" in result.render()
+
+    def test_real_flight_forensics_on_attacked_log(self):
+        """End-to-end: attack a flight, then locate the onset from the log."""
+        from repro.attacks.gradual import GradualRollAttack
+        from repro.firmware.mission import line_mission
+        from repro.firmware.modes import FlightMode
+        from tests.conftest import make_vehicle
+
+        v = make_vehicle(seed=6, fast=True)
+        v.mission = line_mission(length=300.0, altitude=10.0, legs=1)
+        v.takeoff(10.0)
+        attack_start = v.sim.time + 10.0
+        attack = GradualRollAttack(rate_deg_s=4.0, start_time=attack_start)
+        attack.attach(v)
+        v.set_mode(FlightMode.AUTO)
+        v.run(25.0)
+
+        report = analyse_flight_log(v.logger, signals=("ATT.R", "PIDR.I"))
+        assert report.findings
+        assert report.earliest_onset >= attack_start - 8.0

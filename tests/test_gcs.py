@@ -1,0 +1,107 @@
+"""Tests for the GCS link, messages and MAVProxy client."""
+
+import pytest
+
+from repro.exceptions import LinkError
+from repro.firmware.modes import FlightMode
+from repro.gcs.link import Link
+from repro.gcs.messages import MavResult, ParamSet, ParamValue
+
+
+class TestLink:
+    def test_immediate_delivery(self):
+        link = Link()
+        seen = []
+        link.register_handler(ParamSet, lambda m: seen.append(m) or None)
+        link.send(ParamSet(name="X", value=1.0))
+        assert link.service() == 1
+        assert seen[0].name == "X"
+
+    def test_latency_delays_delivery(self):
+        link = Link(latency_steps=3)
+        seen = []
+        link.register_handler(ParamSet, lambda m: seen.append(m) or None)
+        link.send(ParamSet(name="X", value=1.0))
+        assert link.service() == 0
+        assert link.service() == 0
+        assert link.service() == 1
+
+    def test_loss_drops_messages(self):
+        link = Link(loss_probability=0.5, seed=0)
+        link.register_handler(ParamSet, lambda m: None)
+        for _ in range(200):
+            link.send(ParamSet(name="X", value=1.0))
+        assert 0 < link.dropped_count < 200
+
+    def test_missing_handler_raises(self):
+        link = Link()
+        link.send(ParamSet(name="X", value=1.0))
+        with pytest.raises(LinkError):
+            link.service()
+
+    def test_replies_queued(self):
+        link = Link()
+        link.register_handler(
+            ParamSet, lambda m: ParamValue(name=m.name, value=m.value)
+        )
+        link.send(ParamSet(name="X", value=2.0))
+        link.service()
+        reply = link.receive()
+        assert isinstance(reply, ParamValue)
+        assert reply.value == 2.0
+        assert link.receive() is None
+
+    def test_invalid_config(self):
+        with pytest.raises(LinkError):
+            Link(latency_steps=-1)
+        with pytest.raises(LinkError):
+            Link(loss_probability=1.0)
+
+
+class TestMavProxyAgainstVehicle:
+    def test_param_roundtrip(self, fast_vehicle):
+        proxy = fast_vehicle.make_proxy()
+        assert proxy.param_get("ATC_RAT_RLL_P") == pytest.approx(0.135)
+        report = proxy.param_set("ATC_RAT_RLL_P", 0.2)
+        assert report.ok
+        # The write propagated into the live controller.
+        assert fast_vehicle.attitude_ctrl.pid_roll.gains.kp == pytest.approx(0.2)
+
+    def test_param_range_validation_rejects(self, fast_vehicle):
+        proxy = fast_vehicle.make_proxy()
+        report = proxy.param_set("ATC_RAT_RLL_P", 99.0)  # far out of range
+        assert not report.ok
+        assert fast_vehicle.attitude_ctrl.pid_roll.gains.kp == pytest.approx(0.135)
+
+    def test_param_get_unknown(self, fast_vehicle):
+        proxy = fast_vehicle.make_proxy()
+        with pytest.raises(LinkError):
+            proxy.param_get("NOT_A_PARAM")
+
+    def test_mission_upload(self, fast_vehicle):
+        proxy = fast_vehicle.make_proxy()
+        ack = proxy.upload_mission([(0, 0, 10), (20, 0, 10), (20, 20, 10)])
+        assert ack.result is MavResult.ACCEPTED
+        assert fast_vehicle.mission is not None
+        assert len(fast_vehicle.mission.waypoints) == 3
+
+    def test_empty_mission_rejected(self, fast_vehicle):
+        proxy = fast_vehicle.make_proxy()
+        with pytest.raises(LinkError):
+            proxy.upload_mission([])
+
+    def test_set_mode(self, fast_vehicle):
+        proxy = fast_vehicle.make_proxy()
+        ack = proxy.set_mode(FlightMode.GUIDED.value)
+        assert ack.result is MavResult.ACCEPTED
+        assert fast_vehicle.modes.mode is FlightMode.GUIDED
+
+    def test_set_mode_auto_without_mission_denied(self, fast_vehicle):
+        proxy = fast_vehicle.make_proxy()
+        ack = proxy.set_mode(FlightMode.AUTO.value)
+        assert ack.result is MavResult.DENIED
+
+    def test_unknown_mode_number_denied(self, fast_vehicle):
+        proxy = fast_vehicle.make_proxy()
+        ack = proxy.set_mode(77)
+        assert ack.result is MavResult.DENIED

@@ -1,0 +1,107 @@
+"""Tests for the log schema (Table I) and the dataflash logger."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.firmware.log_defs import (
+    LOG_MESSAGE_DEFS,
+    TABLE1_ALV_COUNTS,
+    total_alv_count,
+)
+from repro.firmware.logger import DataflashLogger
+
+
+class TestLogSchema:
+    def test_forty_message_types(self):
+        assert len(LOG_MESSAGE_DEFS) == 40
+
+    def test_total_alv_is_342(self):
+        assert total_alv_count() == 342
+
+    def test_counts_match_paper_table1(self):
+        for name, definition in LOG_MESSAGE_DEFS.items():
+            assert definition.num_fields == TABLE1_ALV_COUNTS[name], name
+
+    def test_fig3_variables_present(self):
+        att = LOG_MESSAGE_DEFS["ATT"].fields
+        for field in ("DesR", "R", "IR", "IRErr", "tv"):
+            assert field in att
+        ekf1 = LOG_MESSAGE_DEFS["EKF1"].fields
+        for field in ("VN", "VE", "VD", "dPD", "PN", "PE", "PD", "GX", "GY", "GZ"):
+            assert field in ekf1
+
+    def test_no_duplicate_fields_within_message(self):
+        for name, definition in LOG_MESSAGE_DEFS.items():
+            assert len(set(definition.fields)) == definition.num_fields, name
+
+
+class TestDataflashLogger:
+    def test_unknown_message_type_rejected(self):
+        logger = DataflashLogger()
+        with pytest.raises(ReproError):
+            logger.write("ZZZZ", 0.0, {})
+
+    def test_unknown_field_rejected(self):
+        logger = DataflashLogger()
+        with pytest.raises(ReproError):
+            logger.write("BARO", 0.0, {"NotAField": 1.0})
+
+    def test_missing_fields_default_zero(self):
+        logger = DataflashLogger()
+        logger.write("BARO", 0.0, {"Alt": 5.0})
+        _, record = logger.records("BARO")[0]
+        assert record["Alt"] == 5.0
+        assert record["Press"] == 0.0
+
+    def test_decimation(self):
+        logger = DataflashLogger(log_rate_hz=10.0)
+        stored = sum(
+            logger.write("BARO", t, {"Alt": 1.0})
+            for t in np.arange(0.0, 1.0, 0.0025)
+        )
+        assert stored == pytest.approx(10, abs=1)
+
+    def test_force_bypasses_decimation(self):
+        logger = DataflashLogger(log_rate_hz=1.0)
+        assert logger.write("BARO", 0.0, {"Alt": 1.0})
+        assert not logger.write("BARO", 0.01, {"Alt": 1.0})
+        assert logger.write("BARO", 0.02, {"Alt": 1.0}, force=True)
+
+    def test_timeus_stamped(self):
+        logger = DataflashLogger()
+        logger.write("BARO", 1.5, {"Alt": 1.0})
+        _, record = logger.records("BARO")[0]
+        assert record["TimeUS"] == pytest.approx(1.5e6)
+
+    def test_field_extraction(self):
+        logger = DataflashLogger(log_rate_hz=1000.0)
+        for i in range(5):
+            logger.write("BARO", i * 0.01, {"Alt": float(i)})
+        np.testing.assert_allclose(logger.field("BARO", "Alt"), range(5))
+
+    def test_field_unknown_raises(self):
+        logger = DataflashLogger()
+        with pytest.raises(ReproError):
+            logger.field("BARO", "Nope")
+
+    def test_trace_table_export(self):
+        logger = DataflashLogger(log_rate_hz=1000.0)
+        for i in range(4):
+            t = i * 0.01
+            logger.write("BARO", t, {"Alt": float(i)})
+            logger.write("CTUN", t, {"Alt": float(i) * 2})
+        table = logger.to_trace_table(["BARO.Alt", "CTUN.Alt"])
+        assert table.columns == ["BARO.Alt", "CTUN.Alt"]
+        np.testing.assert_allclose(table.column("CTUN.Alt"), [0, 2, 4, 6])
+
+    def test_trace_table_bad_column_format(self):
+        logger = DataflashLogger()
+        with pytest.raises(ReproError):
+            logger.to_trace_table(["JustAName"])
+
+    def test_clear(self):
+        logger = DataflashLogger()
+        logger.write("BARO", 0.0, {"Alt": 1.0})
+        logger.clear()
+        assert logger.num_records("BARO") == 0

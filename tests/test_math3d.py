@@ -1,0 +1,204 @@
+"""Unit and property tests for the 3-D rotation math."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import math3d as m3
+
+
+angles = st.floats(-math.pi + 1e-6, math.pi - 1e-6)
+pitches = st.floats(-math.pi / 2 + 0.05, math.pi / 2 - 0.05)
+vec3 = st.tuples(
+    st.floats(-100, 100), st.floats(-100, 100), st.floats(-100, 100)
+).map(np.array)
+rates = st.tuples(
+    st.floats(-10, 10), st.floats(-10, 10), st.floats(-10, 10)
+).map(np.array)
+
+
+class TestWrap:
+    def test_wrap_pi_range(self):
+        for angle in np.linspace(-20, 20, 101):
+            wrapped = m3.wrap_pi(float(angle))
+            assert -math.pi <= wrapped < math.pi + 1e-12
+
+    @given(angles)
+    def test_wrap_pi_identity_in_range(self, a):
+        assert m3.wrap_pi(a) == pytest.approx(a, abs=1e-12)
+
+    @given(st.floats(-50, 50))
+    def test_wrap_pi_periodic(self, a):
+        assert m3.wrap_pi(a + 2 * math.pi) == pytest.approx(m3.wrap_pi(a), abs=1e-9)
+
+    def test_wrap_2pi(self):
+        assert m3.wrap_2pi(-0.1) == pytest.approx(2 * math.pi - 0.1)
+        assert m3.wrap_2pi(7.0) == pytest.approx(7.0 - 2 * math.pi)
+
+    def test_wrap_pi_array(self):
+        out = m3.wrap_pi(np.array([0.0, 4.0, -4.0]))
+        assert out.shape == (3,)
+        assert np.all(out >= -math.pi) and np.all(out < math.pi)
+
+
+class TestDegRad:
+    def test_round_trip(self):
+        assert m3.rad2deg(m3.deg2rad(123.4)) == pytest.approx(123.4)
+
+    def test_array(self):
+        np.testing.assert_allclose(
+            m3.deg2rad(np.array([0.0, 180.0])), [0.0, math.pi]
+        )
+
+
+class TestConstrain:
+    def test_basic(self):
+        assert m3.constrain(5.0, 0.0, 1.0) == 1.0
+        assert m3.constrain(-5.0, 0.0, 1.0) == 0.0
+        assert m3.constrain(0.5, 0.0, 1.0) == 0.5
+
+    def test_inverted_bounds_raise(self):
+        with pytest.raises(ValueError):
+            m3.constrain(0.0, 1.0, -1.0)
+
+
+class TestQuaternionBasics:
+    def test_identity(self):
+        q = m3.quat_identity()
+        np.testing.assert_allclose(q, [1, 0, 0, 0])
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ValueError):
+            m3.quat_normalize(np.zeros(4))
+
+    @given(angles, pitches, angles)
+    @settings(max_examples=50)
+    def test_from_euler_unit_norm(self, r, p, y):
+        q = m3.quat_from_euler(r, p, y)
+        assert np.linalg.norm(q) == pytest.approx(1.0, abs=1e-12)
+
+    @given(angles, pitches, angles)
+    @settings(max_examples=50)
+    def test_euler_round_trip(self, r, p, y):
+        q = m3.quat_from_euler(r, p, y)
+        r2, p2, y2 = m3.quat_to_euler(q)
+        assert m3.wrap_pi(r - r2) == pytest.approx(0.0, abs=1e-9)
+        assert p2 == pytest.approx(p, abs=1e-9)
+        assert m3.wrap_pi(y - y2) == pytest.approx(0.0, abs=1e-9)
+
+    def test_multiply_identity(self):
+        q = m3.quat_from_euler(0.3, 0.2, -0.5)
+        np.testing.assert_allclose(
+            m3.quat_multiply(m3.quat_identity(), q), q, atol=1e-12
+        )
+
+    def test_conjugate_inverts(self):
+        q = m3.quat_from_euler(0.4, -0.1, 0.9)
+        prod = m3.quat_multiply(q, m3.quat_conjugate(q))
+        np.testing.assert_allclose(prod, [1, 0, 0, 0], atol=1e-12)
+
+
+class TestRotation:
+    @given(angles, pitches, angles, vec3)
+    @settings(max_examples=50)
+    def test_rotation_preserves_norm(self, r, p, y, v):
+        q = m3.quat_from_euler(r, p, y)
+        assert np.linalg.norm(m3.quat_rotate(q, v)) == pytest.approx(
+            np.linalg.norm(v), rel=1e-9, abs=1e-9
+        )
+
+    @given(angles, pitches, angles, vec3)
+    @settings(max_examples=50)
+    def test_rotate_inverse_round_trip(self, r, p, y, v):
+        q = m3.quat_from_euler(r, p, y)
+        np.testing.assert_allclose(
+            m3.quat_inverse_rotate(q, m3.quat_rotate(q, v)), v, atol=1e-6
+        )
+
+    def test_yaw_rotation_geometry(self):
+        # yaw +90 deg: body X (forward) points world East (+Y in NED).
+        q = m3.quat_from_euler(0.0, 0.0, math.pi / 2)
+        world = m3.quat_rotate(q, np.array([1.0, 0.0, 0.0]))
+        np.testing.assert_allclose(world, [0.0, 1.0, 0.0], atol=1e-12)
+
+    @given(angles, pitches, angles)
+    @settings(max_examples=50)
+    def test_dcm_matches_quat(self, r, p, y):
+        q = m3.quat_from_euler(r, p, y)
+        dcm = m3.quat_to_dcm(q)
+        v = np.array([0.3, -1.2, 2.0])
+        np.testing.assert_allclose(dcm @ v, m3.quat_rotate(q, v), atol=1e-9)
+
+    @given(angles, pitches, angles)
+    @settings(max_examples=50)
+    def test_dcm_quat_round_trip(self, r, p, y):
+        q = m3.quat_from_euler(r, p, y)
+        q2 = m3.dcm_to_quat(m3.quat_to_dcm(q))
+        # q and -q encode the same rotation.
+        assert min(np.linalg.norm(q - q2), np.linalg.norm(q + q2)) < 1e-9
+
+    @given(angles, pitches, angles)
+    @settings(max_examples=30)
+    def test_dcm_orthonormal(self, r, p, y):
+        dcm = m3.dcm_from_euler(r, p, y)
+        np.testing.assert_allclose(dcm @ dcm.T, np.eye(3), atol=1e-12)
+        assert np.linalg.det(dcm) == pytest.approx(1.0)
+
+
+class TestIntegration:
+    @given(rates)
+    @settings(max_examples=50)
+    def test_integrate_stays_unit(self, omega):
+        q = m3.quat_from_euler(0.1, 0.2, 0.3)
+        for _ in range(10):
+            q = m3.quat_integrate(q, omega, 0.01)
+        assert np.linalg.norm(q) == pytest.approx(1.0, abs=1e-12)
+
+    def test_integrate_pure_roll(self):
+        q = m3.quat_identity()
+        omega = np.array([0.5, 0.0, 0.0])
+        for _ in range(100):
+            q = m3.quat_integrate(q, omega, 0.01)
+        roll, pitch, yaw = m3.quat_to_euler(q)
+        assert roll == pytest.approx(0.5, abs=1e-9)
+        assert pitch == pytest.approx(0.0, abs=1e-9)
+
+    def test_derivative_consistent_with_integration(self):
+        q = m3.quat_from_euler(0.1, -0.2, 0.4)
+        omega = np.array([0.3, -0.1, 0.2])
+        dt = 1e-5
+        numeric = (m3.quat_integrate(q, omega, dt) - q) / dt
+        analytic = m3.quat_derivative(q, omega)
+        np.testing.assert_allclose(numeric, analytic, atol=1e-4)
+
+    def test_zero_rate_is_identity(self):
+        q = m3.quat_from_euler(0.2, 0.1, -0.3)
+        np.testing.assert_allclose(
+            m3.quat_integrate(q, np.zeros(3), 0.01), q, atol=1e-12
+        )
+
+
+class TestSkewAndAngles:
+    @given(vec3, vec3)
+    @settings(max_examples=50)
+    def test_skew_is_cross_product(self, a, b):
+        np.testing.assert_allclose(m3.skew(a) @ b, np.cross(a, b), atol=1e-6)
+
+    def test_skew_antisymmetric(self):
+        s = m3.skew(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(s, -s.T)
+
+    def test_angle_between_orthogonal(self):
+        assert m3.angle_between(
+            np.array([1.0, 0, 0]), np.array([0, 1.0, 0])
+        ) == pytest.approx(math.pi / 2)
+
+    def test_angle_between_zero_raises(self):
+        with pytest.raises(ValueError):
+            m3.angle_between(np.zeros(3), np.array([1.0, 0, 0]))
+
+    def test_vector_norm(self):
+        assert m3.vector_norm(np.array([3.0, 4.0, 0.0])) == pytest.approx(5.0)

@@ -1,0 +1,181 @@
+"""Tests for the MPU memory model and the attacker's compromised view."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import MemoryAccessViolation, ReproError
+from repro.memory.attacker import CompromisedRegionView
+from repro.memory.layout import AccessMode, MemoryLayout, MemoryRegion
+from repro.memory.mpu import Mpu
+
+
+def make_layout():
+    layout = MemoryLayout()
+    layout.add_region(MemoryRegion("FLASH", 0x0800_0000, 0x1000, AccessMode.READ))
+    layout.add_region(MemoryRegion("STAB", 0x2000_0000, 0x100))
+    layout.add_region(MemoryRegion("NAV", 0x2000_0100, 0x100))
+    return layout
+
+
+class TestMemoryRegion:
+    def test_contains(self):
+        r = MemoryRegion("R", 0x100, 0x10)
+        assert r.contains(0x100)
+        assert r.contains(0x10F)
+        assert not r.contains(0x110)
+
+    def test_permissions(self):
+        ro = MemoryRegion("R", 0, 16, AccessMode.READ)
+        assert ro.allows(AccessMode.READ)
+        assert not ro.allows(AccessMode.WRITE)
+
+    def test_invalid_size(self):
+        with pytest.raises(ReproError):
+            MemoryRegion("R", 0, 0)
+
+
+class TestMemoryLayout:
+    def test_overlap_rejected(self):
+        layout = MemoryLayout()
+        layout.add_region(MemoryRegion("A", 0x0, 0x100))
+        with pytest.raises(ReproError):
+            layout.add_region(MemoryRegion("B", 0x80, 0x100))
+
+    def test_duplicate_name_rejected(self):
+        layout = MemoryLayout()
+        layout.add_region(MemoryRegion("A", 0x0, 0x100))
+        with pytest.raises(ReproError):
+            layout.add_region(MemoryRegion("A", 0x200, 0x100))
+
+    def test_bind_allocates_sequential_addresses(self):
+        layout = make_layout()
+        holder = {"x": 1.0, "y": 2.0}
+        b1 = layout.bind("X", "STAB", getter=lambda: holder["x"])
+        b2 = layout.bind("Y", "STAB", getter=lambda: holder["y"])
+        assert b2.address == b1.address + 4
+        assert layout.region_of(b1.address).name == "STAB"
+
+    def test_bind_duplicate_rejected(self):
+        layout = make_layout()
+        layout.bind("X", "STAB", getter=lambda: 0.0)
+        with pytest.raises(ReproError):
+            layout.bind("X", "NAV", getter=lambda: 0.0)
+
+    def test_region_full(self):
+        layout = MemoryLayout()
+        layout.add_region(MemoryRegion("TINY", 0x0, 8))
+        layout.bind("A", "TINY", getter=lambda: 0.0)
+        layout.bind("B", "TINY", getter=lambda: 0.0)
+        with pytest.raises(ReproError):
+            layout.bind("C", "TINY", getter=lambda: 0.0)
+
+    def test_variable_lookup(self):
+        layout = make_layout()
+        layout.bind("X", "STAB", getter=lambda: 7.0)
+        assert layout.variable("X").read() == 7.0
+        with pytest.raises(ReproError):
+            layout.variable("NOPE")
+
+    def test_read_only_binding(self):
+        layout = make_layout()
+        binding = layout.bind("X", "STAB", getter=lambda: 1.0)  # no setter
+        assert not binding.writable
+        with pytest.raises(MemoryAccessViolation):
+            binding.write(2.0)
+
+    def test_variables_by_region(self):
+        layout = make_layout()
+        layout.bind("A", "STAB", getter=lambda: 0.0)
+        layout.bind("B", "NAV", getter=lambda: 0.0)
+        assert layout.variable_names("STAB") == ["A"]
+        assert layout.variable_names() == ["A", "B"]
+
+
+class TestMpu:
+    def test_kernel_context_all_access(self):
+        layout = make_layout()
+        mpu = Mpu(layout)
+        mpu.check(0x2000_0000, AccessMode.WRITE, context=None)
+
+    def test_cross_region_denied(self):
+        layout = make_layout()
+        mpu = Mpu(layout)
+        with pytest.raises(MemoryAccessViolation):
+            mpu.check(0x2000_0100, AccessMode.WRITE, context="STAB")
+        assert len(mpu.violations) == 1
+
+    def test_readonly_region_write_denied(self):
+        layout = make_layout()
+        mpu = Mpu(layout)
+        with pytest.raises(MemoryAccessViolation):
+            mpu.check(0x0800_0000, AccessMode.WRITE, context=None)
+
+    def test_unmapped_address_denied(self):
+        layout = make_layout()
+        mpu = Mpu(layout)
+        with pytest.raises(MemoryAccessViolation):
+            mpu.check(0xDEAD_0000, AccessMode.READ, context=None)
+
+    def test_can_access_non_raising(self):
+        layout = make_layout()
+        mpu = Mpu(layout)
+        assert mpu.can_access(0x2000_0000, AccessMode.WRITE, "STAB")
+        assert not mpu.can_access(0x2000_0100, AccessMode.WRITE, "STAB")
+        assert len(mpu.violations) == 0
+
+
+class TestCompromisedRegionView:
+    def make_view(self):
+        layout = make_layout()
+        holder = {"stab_var": 1.0, "nav_var": 2.0}
+        layout.bind(
+            "STAB.X", "STAB",
+            getter=lambda: holder["stab_var"],
+            setter=lambda v: holder.__setitem__("stab_var", v),
+        )
+        layout.bind(
+            "NAV.Y", "NAV",
+            getter=lambda: holder["nav_var"],
+            setter=lambda v: holder.__setitem__("nav_var", v),
+        )
+        mpu = Mpu(layout)
+        return CompromisedRegionView(layout, mpu, "STAB"), holder
+
+    def test_in_region_read_write(self):
+        view, holder = self.make_view()
+        assert view.read("STAB.X") == 1.0
+        view.write("STAB.X", 5.0)
+        assert holder["stab_var"] == 5.0
+        assert view.write_log == [("STAB.X", 5.0)]
+
+    def test_out_of_region_denied(self):
+        view, holder = self.make_view()
+        with pytest.raises(MemoryAccessViolation):
+            view.write("NAV.Y", 9.0)
+        with pytest.raises(MemoryAccessViolation):
+            view.read("NAV.Y")
+        assert holder["nav_var"] == 2.0  # untouched
+
+    def test_accessible_variables(self):
+        view, _ = self.make_view()
+        assert view.accessible_variables() == ["STAB.X"]
+
+    def test_can_write(self):
+        view, _ = self.make_view()
+        assert view.can_write("STAB.X")
+        assert not view.can_write("NAV.Y")
+        assert not view.can_write("UNBOUND")
+
+    def test_unknown_region_rejected(self):
+        layout = make_layout()
+        mpu = Mpu(layout)
+        with pytest.raises(ReproError):
+            CompromisedRegionView(layout, mpu, "NOT_A_REGION")
+
+    @given(st.floats(-1e9, 1e9))
+    @settings(max_examples=30)
+    def test_write_read_round_trip(self, value):
+        view, _ = self.make_view()
+        view.write("STAB.X", value)
+        assert view.read("STAB.X") == value

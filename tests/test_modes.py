@@ -1,0 +1,52 @@
+"""Tests for the flight-mode machine."""
+
+import pytest
+
+from repro.exceptions import MissionError
+from repro.firmware.modes import FlightMode, ModeManager
+
+
+class TestFlightMode:
+    def test_mode_numbers_match_arducopter(self):
+        assert FlightMode.STABILIZE.value == 0
+        assert FlightMode.AUTO.value == 3
+        assert FlightMode.GUIDED.value == 4
+        assert FlightMode.RTL.value == 6
+        assert FlightMode.LAND.value == 9
+
+    def test_autonomy_flag(self):
+        assert FlightMode.AUTO.is_autonomous
+        assert FlightMode.GUIDED.is_autonomous
+        assert not FlightMode.STABILIZE.is_autonomous
+
+
+class TestModeManager:
+    def test_initial_mode(self):
+        assert ModeManager().mode is FlightMode.STABILIZE
+
+    def test_legal_transition(self):
+        m = ModeManager()
+        m.set_mode(FlightMode.GUIDED, 1.0)
+        assert m.mode is FlightMode.GUIDED
+        m.set_mode(FlightMode.AUTO, 2.0)
+        assert m.mode is FlightMode.AUTO
+
+    def test_same_mode_is_noop(self):
+        m = ModeManager()
+        m.set_mode(FlightMode.STABILIZE)
+        assert len(m.history) == 1
+
+    def test_history_records_transitions(self):
+        m = ModeManager()
+        m.set_mode(FlightMode.GUIDED, 5.0)
+        assert m.history[-1] == (5.0, FlightMode.GUIDED)
+
+    def test_every_documented_transition_is_reachable(self):
+        # All five modes are mutually reachable in ArduCopter.
+        for source in FlightMode:
+            for target in FlightMode:
+                if source is target:
+                    continue
+                m = ModeManager(source)
+                m.set_mode(target)
+                assert m.mode is target

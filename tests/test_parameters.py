@@ -1,0 +1,123 @@
+"""Tests for the parameter registry and the ArduCopter parameter table."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ParameterError, ParameterRangeError
+from repro.firmware.param_defs import (
+    CONTROL_PARAMETER_NAMES,
+    arducopter_parameter_defs,
+)
+from repro.firmware.parameters import ParameterDef, ParameterStore
+
+
+class TestParameterDef:
+    def test_default_out_of_range_rejected(self):
+        with pytest.raises(ParameterError):
+            ParameterDef("X", default=5.0, min_value=0.0, max_value=1.0)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ParameterError):
+            ParameterDef("X", default=0.0, min_value=1.0, max_value=-1.0)
+
+    def test_validate(self):
+        d = ParameterDef("X", default=0.5, min_value=0.0, max_value=1.0)
+        assert d.validate(0.7) == 0.7
+        with pytest.raises(ParameterRangeError):
+            d.validate(1.5)
+        with pytest.raises(ParameterRangeError):
+            d.validate(math.nan)
+
+
+class TestParameterStore:
+    @pytest.fixture
+    def store(self):
+        s = ParameterStore()
+        s.declare(ParameterDef("GAIN", 1.0, 0.0, 10.0))
+        return s
+
+    def test_declare_duplicate_rejected(self, store):
+        with pytest.raises(ParameterError):
+            store.declare(ParameterDef("GAIN", 2.0))
+
+    def test_get_set(self, store):
+        assert store.get("GAIN") == 1.0
+        store.set("GAIN", 3.0)
+        assert store.get("GAIN") == 3.0
+
+    def test_unknown_name(self, store):
+        with pytest.raises(ParameterError):
+            store.get("NOPE")
+        with pytest.raises(ParameterError):
+            store.set("NOPE", 1.0)
+
+    def test_range_enforced(self, store):
+        with pytest.raises(ParameterRangeError):
+            store.set("GAIN", 100.0)
+        assert store.get("GAIN") == 1.0  # unchanged
+
+    def test_unchecked_bypasses_range(self, store):
+        # The compromised-memory write path skips validation.
+        store.set_unchecked("GAIN", 100.0)
+        assert store.get("GAIN") == 100.0
+
+    def test_unchecked_still_requires_existence(self, store):
+        with pytest.raises(ParameterError):
+            store.set_unchecked("NOPE", 1.0)
+
+    def test_listener_notified(self, store):
+        seen = []
+        store.subscribe(lambda name, value: seen.append((name, value)))
+        store.set("GAIN", 2.0)
+        store.set_unchecked("GAIN", 99.0)
+        assert seen == [("GAIN", 2.0), ("GAIN", 99.0)]
+
+    def test_reset_defaults(self, store):
+        store.set("GAIN", 5.0)
+        store.reset_defaults()
+        assert store.get("GAIN") == 1.0
+
+    def test_names_by_group(self):
+        s = ParameterStore()
+        s.declare(ParameterDef("A_ONE", 0.0, group="A"))
+        s.declare(ParameterDef("B_ONE", 0.0, group="B"))
+        assert s.names("A") == ["A_ONE"]
+        assert s.names() == ["A_ONE", "B_ONE"]
+
+    def test_snapshot_is_copy(self, store):
+        snap = store.snapshot()
+        snap["GAIN"] = 42.0
+        assert store.get("GAIN") == 1.0
+
+
+class TestArduCopterTable:
+    def test_substantial_parameter_surface(self):
+        defs = arducopter_parameter_defs()
+        # The paper's point: hundreds of configurable parameters.
+        assert len(defs) > 300
+
+    def test_no_duplicates(self):
+        defs = arducopter_parameter_defs()
+        names = [d.name for d in defs]
+        assert len(names) == len(set(names))
+
+    def test_all_defaults_valid(self):
+        store = ParameterStore()
+        store.declare_all(arducopter_parameter_defs())
+        for name in store:
+            definition = store.definition(name)
+            assert definition.validate(store.get(name)) == store.get(name)
+
+    def test_control_parameters_present(self):
+        store = ParameterStore()
+        store.declare_all(arducopter_parameter_defs())
+        for name in CONTROL_PARAMETER_NAMES:
+            assert name in store, name
+
+    def test_rate_pid_defaults_match_ardupilot(self):
+        store = ParameterStore()
+        store.declare_all(arducopter_parameter_defs())
+        assert store.get("ATC_RAT_RLL_P") == pytest.approx(0.135)
+        assert store.get("ATC_ANG_RLL_P") == pytest.approx(4.5)
+        assert store.get("SCHED_LOOP_RATE") == 400.0

@@ -1,0 +1,152 @@
+"""Tests for the PID controller and its attacker-visible intermediates."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.pid import PIDController, PIDGains
+from repro.exceptions import ControlError
+
+
+def make_pid(**kwargs) -> PIDController:
+    defaults = dict(kp=1.0, ki=0.0, kd=0.0, imax=1.0, filt_hz=0.0)
+    defaults.update(kwargs)
+    return PIDController("PIDT", PIDGains(**defaults))
+
+
+class TestProportional:
+    def test_pure_p(self):
+        pid = make_pid(kp=2.0)
+        assert pid.update(1.0, 0.0, 0.01) == pytest.approx(2.0)
+        assert pid.update(0.5, 1.0, 0.01) == pytest.approx(-1.0)
+
+    @given(st.floats(-10, 10), st.floats(-10, 10), st.floats(0.1, 5.0))
+    @settings(max_examples=50)
+    def test_p_linear_in_error(self, target, measurement, kp):
+        pid = make_pid(kp=kp)
+        out = pid.update(target, measurement, 0.01)
+        assert out == pytest.approx(
+            max(-5000.0, min(5000.0, kp * (target - measurement)))
+        )
+
+
+class TestIntegrator:
+    def test_accumulates(self):
+        pid = make_pid(kp=0.0, ki=1.0, imax=10.0)
+        for _ in range(100):
+            pid.update(1.0, 0.0, 0.01)
+        assert pid.integrator == pytest.approx(1.0, rel=1e-9)
+
+    def test_clamped_at_imax(self):
+        pid = make_pid(kp=0.0, ki=10.0, imax=0.5)
+        for _ in range(1000):
+            pid.update(1.0, 0.0, 0.01)
+        assert pid.integrator == pytest.approx(0.5)
+
+    def test_external_write_persists_into_output(self):
+        # The attack primitive: a written INTEG value feeds the next cycle.
+        pid = make_pid(kp=0.0, ki=0.0, imax=1.0)
+        pid.set_state_variable("INTEG", 0.4)
+        out = pid.update(0.0, 0.0, 0.01)
+        assert out == pytest.approx(0.4)
+
+    def test_reset_clears(self):
+        pid = make_pid(ki=1.0)
+        pid.update(1.0, 0.0, 0.1)
+        pid.reset()
+        assert pid.integrator == 0.0
+        assert pid.input_error == 0.0
+
+
+class TestDerivative:
+    def test_first_cycle_zero_d(self):
+        pid = make_pid(kp=0.0, kd=1.0)
+        assert pid.update(1.0, 0.0, 0.01) == pytest.approx(0.0)
+
+    def test_ramp_derivative(self):
+        pid = make_pid(kp=0.0, kd=1.0, filt_hz=0.0)
+        out = 0.0
+        for n in range(50):
+            out = pid.update(n * 0.02, 0.0, 0.01)  # error slope = 2/s
+        assert out == pytest.approx(2.0, rel=1e-6)
+
+    def test_filtering_smooths(self):
+        sharp = make_pid(kp=0.0, kd=1.0, filt_hz=0.0)
+        smooth = make_pid(kp=0.0, kd=1.0, filt_hz=5.0)
+        sharp.update(0.0, 0.0, 0.01)
+        smooth.update(0.0, 0.0, 0.01)
+        out_sharp = sharp.update(1.0, 0.0, 0.01)
+        out_smooth = smooth.update(1.0, 0.0, 0.01)
+        assert abs(out_smooth) < abs(out_sharp)
+
+
+class TestFeedForwardAndScaler:
+    def test_ff_term(self):
+        pid = make_pid(kp=0.0, kff=0.5)
+        assert pid.update(2.0, 0.0, 0.01) == pytest.approx(1.0)
+
+    def test_scaler_multiplies_output(self):
+        pid = make_pid(kp=1.0)
+        pid.scaler = 2.0
+        assert pid.update(1.0, 0.0, 0.01) == pytest.approx(2.0)
+        assert pid.last_output.p == pytest.approx(1.0)  # terms pre-scaler
+
+    def test_output_limit(self):
+        pid = PIDController("PIDT", PIDGains(kp=1.0), output_limit=10.0)
+        assert pid.update(1e6, 0.0, 0.01) == 10.0
+        assert pid.update(-1e6, 0.0, 0.01) == -10.0
+
+    def test_oversized_default_range(self):
+        # The paper's +/-5000 "oversized safety range" is the default.
+        pid = make_pid(kp=1.0)
+        assert pid.output_limit == 5000.0
+
+
+class TestStateVariables:
+    def test_nine_state_variables(self):
+        # Table II: 9 traced intermediates per PID controller.
+        assert len(PIDController.STATE_VARIABLES) == 9
+
+    def test_snapshot_contains_all(self):
+        pid = make_pid()
+        snapshot = pid.state_variables()
+        assert set(snapshot) == set(PIDController.STATE_VARIABLES)
+
+    @given(st.sampled_from(PIDController.STATE_VARIABLES),
+           st.floats(-100, 100))
+    @settings(max_examples=50)
+    def test_set_then_get_round_trips(self, name, value):
+        pid = make_pid()
+        pid.set_state_variable(name, value)
+        assert pid.state_variables()[name] == pytest.approx(value)
+
+    def test_unknown_variable_raises(self):
+        pid = make_pid()
+        with pytest.raises(ControlError):
+            pid.set_state_variable("BOGUS", 1.0)
+
+    def test_gain_write_changes_behaviour(self):
+        pid = make_pid(kp=1.0)
+        pid.set_state_variable("KP", 3.0)
+        assert pid.update(1.0, 0.0, 0.01) == pytest.approx(3.0)
+
+    def test_input_updated_each_cycle(self):
+        pid = make_pid()
+        pid.update(2.0, 0.5, 0.01)
+        assert pid.input_error == pytest.approx(1.5)
+        assert pid.last_dt == pytest.approx(0.01)
+
+
+class TestValidation:
+    def test_bad_dt(self):
+        pid = make_pid()
+        with pytest.raises(ControlError):
+            pid.update(0.0, 0.0, 0.0)
+
+    def test_negative_imax_rejected(self):
+        with pytest.raises(ControlError):
+            PIDGains(imax=-1.0)
+
+    def test_bad_output_limit(self):
+        with pytest.raises(ControlError):
+            PIDController("X", PIDGains(), output_limit=0.0)

@@ -1,0 +1,118 @@
+"""Tests for KSVL definitions, the tracer and the profile collector."""
+
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.firmware.mission import line_mission
+from repro.profiling.collector import ProfileCollector, default_profile_missions
+from repro.profiling.ksvl import (
+    ROLL_ESVL_COLUMNS,
+    intermediates_for_controller,
+    ksvl_all,
+    ksvl_for_controller,
+)
+from repro.profiling.tracer import VariableTracer, identify_controller_functions
+from tests.conftest import make_vehicle
+
+
+class TestKsvlDefinitions:
+    def test_full_ksvl_is_342(self):
+        assert len(ksvl_all()) == 342
+
+    def test_table2_ksvl_counts(self):
+        assert len(ksvl_for_controller("PID")) == 28
+        assert len(ksvl_for_controller("Sqrt")) == 9
+        assert len(ksvl_for_controller("SINS")) == 14
+
+    def test_table2_intermediate_counts(self):
+        assert len(intermediates_for_controller("PID")) == 36
+        assert len(intermediates_for_controller("Sqrt")) == 12
+        assert len(intermediates_for_controller("SINS")) == 19
+
+    def test_table2_esvl_counts(self):
+        for kind, expected in (("PID", 64), ("Sqrt", 21), ("SINS", 33)):
+            esvl = ksvl_for_controller(kind) + intermediates_for_controller(kind)
+            assert len(esvl) == expected, kind
+
+    def test_roll_esvl_is_24(self):
+        assert len(ROLL_ESVL_COLUMNS) == 24
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(AnalysisError):
+            ksvl_for_controller("Fuzzy")
+
+    def test_ksvl_entries_reference_real_log_fields(self):
+        from repro.firmware.log_defs import LOG_MESSAGE_DEFS
+
+        for kind in ("PID", "Sqrt", "SINS"):
+            for column in ksvl_for_controller(kind):
+                msg, _, field = column.partition(".")
+                assert field in LOG_MESSAGE_DEFS[msg].fields, column
+
+
+class TestControllerFunctionIdentification:
+    def test_regions_and_variables_discovered(self, fast_vehicle):
+        functions = identify_controller_functions(fast_vehicle)
+        assert "SRAM_STABILIZER" in functions
+        assert "PIDR.INTEG" in functions["SRAM_STABILIZER"]
+        assert "SINS.KVEL" in functions["SRAM_NAV"]
+
+
+class TestVariableTracer:
+    def test_unbound_variable_rejected(self, fast_vehicle):
+        with pytest.raises(AnalysisError):
+            VariableTracer(fast_vehicle, ["NOT.BOUND"])
+
+    def test_rows_align_with_att_log(self):
+        v = make_vehicle(seed=2, fast=True)
+        tracer = VariableTracer(v, ["PIDR.INTEG", "PIDR.INPUT"])
+        v.takeoff(5.0)
+        v.run(3.0)
+        assert len(tracer.table) == v.logger.num_records("ATT")
+
+    def test_detach(self):
+        v = make_vehicle(seed=2, fast=True)
+        tracer = VariableTracer(v, ["PIDR.INTEG"])
+        v.takeoff(3.0)
+        rows = len(tracer.table)
+        tracer.detach()
+        v.run(2.0)
+        assert len(tracer.table) == rows
+
+
+class TestProfileCollector:
+    def test_dataset_shape(self, profile_dataset):
+        ds = profile_dataset
+        assert ds.num_samples > 100
+        assert len(ds.esvl_columns) == 64  # PID experiment ESVL
+        assert ds.missions_flown == 1
+
+    def test_mission_durations_recorded(self, profile_dataset):
+        assert len(profile_dataset.mission_durations) == 1
+        assert profile_dataset.mission_durations[0] > 5.0
+
+    def test_intermediates_vary(self, profile_dataset):
+        integ = profile_dataset.table.column("PIDR.INTEG")
+        assert integ.std() > 0.0
+
+    def test_constants_are_constant(self, profile_dataset):
+        kp = profile_dataset.table.column("PIDR.KP")
+        assert kp.std() == 0.0
+        assert kp[0] == pytest.approx(0.135)
+
+    def test_default_missions_match_paper_campaign(self):
+        missions = default_profile_missions()
+        assert len(missions) == 5  # "5 benign missions"
+
+    def test_empty_mission_list_rejected(self):
+        with pytest.raises(AnalysisError):
+            ProfileCollector("PID").collect(missions=[])
+
+    def test_custom_columns(self):
+        collector = ProfileCollector(
+            "PID", ksvl_columns=["ATT.R"], intermediate_columns=["PIDR.INTEG"]
+        )
+        ds = collector.collect(
+            missions=[line_mission(length=20.0, altitude=8.0, legs=1)]
+        )
+        assert ds.esvl_columns == ["ATT.R", "PIDR.INTEG"]

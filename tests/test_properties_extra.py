@@ -1,0 +1,123 @@
+"""Extra property-based invariants across subsystems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.correlation import correlation_matrix
+from repro.control.mixer import MotorMixer
+from repro.estimation.ekf import AttitudePositionEKF
+from repro.sim.config import SimConfig
+from repro.sim.simulator import Simulator
+from repro.utils.timeseries import TraceTable
+
+
+class TestMixerProperties:
+    @given(
+        st.floats(0.15, 0.85),
+        st.floats(-0.2, 0.2), st.floats(-0.2, 0.2), st.floats(-0.2, 0.2),
+    )
+    @settings(max_examples=80)
+    def test_unsaturated_allocation_is_exact(self, throttle, r, p, y):
+        """Inside the headroom the mixer reproduces the commanded
+        components exactly (factor rows are orthonormal up to 0.5-scale)."""
+        mixer = MotorMixer()
+        out = mixer.mix(throttle, np.array([r, p, y]))
+        if mixer.saturated:
+            return
+        assert float(out.mean()) == pytest.approx(throttle, abs=1e-12)
+        assert float(MotorMixer.ROLL_FACTORS @ out) == pytest.approx(r, abs=1e-9)
+        assert float(MotorMixer.PITCH_FACTORS @ out) == pytest.approx(p, abs=1e-9)
+        assert float(MotorMixer.YAW_FACTORS @ out) == pytest.approx(y, abs=1e-9)
+
+    @given(st.floats(0.0, 1.0), st.floats(-1, 1), st.floats(-1, 1), st.floats(-1, 1))
+    @settings(max_examples=60)
+    def test_saturated_roll_pitch_direction_preserved(self, throttle, r, p, y):
+        """Even under saturation the sign of the roll/pitch response
+        matches the demand (attitude authority is prioritised)."""
+        mixer = MotorMixer()
+        out = mixer.mix(throttle, np.array([r, p, y]))
+        achieved_r = float(MotorMixer.ROLL_FACTORS @ out)
+        if abs(r) > 1e-6 and abs(achieved_r) > 1e-9:
+            assert np.sign(achieved_r) == np.sign(r)
+
+
+class TestEkfProperties:
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_covariance_stays_symmetric_positive(self, seed):
+        rng = np.random.default_rng(seed)
+        ekf = AttitudePositionEKF()
+        for i in range(200):
+            gyro = rng.normal(0, 0.05, 3)
+            accel = np.array([0.0, 0.0, -9.80665]) + rng.normal(0, 0.1, 3)
+            ekf.predict(gyro, accel, 0.0025)
+            if i % 20 == 0:
+                ekf.update_accel_attitude(accel)
+            if i % 40 == 0:
+                ekf.update_gps(rng.normal(0, 1, 3), rng.normal(0, 0.2, 3))
+        sym_err = np.abs(ekf.P - ekf.P.T).max()
+        assert sym_err < 1e-6
+        eigenvalues = np.linalg.eigvalsh((ekf.P + ekf.P.T) / 2.0)
+        assert eigenvalues.min() > -1e-9
+
+    def test_state_remains_finite_under_garbage_updates(self):
+        ekf = AttitudePositionEKF()
+        for _ in range(50):
+            ekf.predict(np.array([10.0, -10.0, 5.0]), np.array([50.0, 0, -50.0]), 0.0025)
+            ekf.update_gps(np.array([1e4, -1e4, 0]), np.array([100.0, 0, 0]))
+        assert np.all(np.isfinite(ekf.x))
+
+
+class TestCorrelationMatrixProperties:
+    @given(st.integers(0, 2**16), st.integers(3, 8))
+    @settings(max_examples=20)
+    def test_psd_up_to_nan_free_submatrix(self, seed, n_cols):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(60, n_cols))
+        table = TraceTable([f"v{i}" for i in range(n_cols)])
+        for row_idx in range(60):
+            table.append_row(
+                row_idx * 0.1,
+                {f"v{i}": data[row_idx, i] for i in range(n_cols)},
+            )
+        corr = correlation_matrix(table).matrix
+        eigenvalues = np.linalg.eigvalsh((corr + corr.T) / 2.0)
+        assert eigenvalues.min() > -1e-9
+        assert np.abs(corr).max() <= 1.0 + 1e-12
+
+
+class TestSimulatorProperties:
+    def test_clock_advances_monotonically(self):
+        sim = Simulator(SimConfig(seed=0, physics_hz=100.0))
+        times = []
+        for _ in range(50):
+            sim.step([0.3] * 4)
+            times.append(sim.time)
+        assert all(b > a for a, b in zip(times, times[1:]))
+        assert sim.step_count == 50
+
+    def test_reset_restores_clock_and_state(self):
+        sim = Simulator(SimConfig(seed=0, physics_hz=100.0))
+        for _ in range(30):
+            sim.step([0.9] * 4)
+        sim.reset()
+        assert sim.time == 0.0
+        assert sim.step_count == 0
+        np.testing.assert_allclose(sim.vehicle.state.position, 0.0)
+
+    def test_collision_callback_fires(self):
+        from repro.sim.world import BoxObstacle, World
+
+        box = BoxObstacle("wall", np.array([-5.0, -5.0, -2.0]),
+                          np.array([5.0, 5.0, -0.5]))
+        world = World(obstacles=[box])
+        sim = Simulator(SimConfig(seed=0, physics_hz=100.0), world=world)
+        hits = []
+        sim.on_collision(hits.append)
+        for _ in range(500):
+            sim.step([0.9] * 4)  # climb straight into the box above
+            if sim.vehicle.crashed:
+                break
+        assert hits and "wall" in hits[0]

@@ -1,0 +1,234 @@
+"""Tests for RL spaces, networks (gradient check), replay and agents."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import RLError
+from repro.rl.ddpg import DdpgAgent, DdpgConfig
+from repro.rl.networks import MLP, AdamOptimizer
+from repro.rl.reinforce import ReinforceAgent, ReinforceConfig
+from repro.rl.replay import ReplayBuffer
+from repro.rl.spaces import Box
+
+
+class TestBox:
+    def test_shapes(self):
+        box = Box(low=-1.0, high=1.0, shape=(3,))
+        assert box.shape == (3,)
+        assert box.dim == 3
+
+    def test_mismatched_bounds(self):
+        with pytest.raises(RLError):
+            Box(low=np.zeros(2), high=np.zeros(3))
+
+    def test_inverted_bounds(self):
+        with pytest.raises(RLError):
+            Box(low=1.0, high=-1.0, shape=(1,))
+
+    @given(st.floats(-10, 10))
+    @settings(max_examples=30)
+    def test_clip_into_box(self, x):
+        box = Box(low=-1.0, high=1.0, shape=(1,))
+        clipped = box.clip([x])
+        assert box.contains(clipped)
+
+    def test_sample_inside(self):
+        box = Box(low=np.array([-1.0, 0.0]), high=np.array([1.0, 5.0]), seed=0)
+        for _ in range(100):
+            assert box.contains(box.sample())
+
+
+class TestMLPGradients:
+    def _numeric_grad(self, net, x, grad_out, param, index, eps=1e-6):
+        original = param.flat[index]
+        param.flat[index] = original + eps
+        plus = float(np.sum(net.forward(x) * grad_out))
+        param.flat[index] = original - eps
+        minus = float(np.sum(net.forward(x) * grad_out))
+        param.flat[index] = original
+        return (plus - minus) / (2.0 * eps)
+
+    def test_backprop_matches_finite_differences(self):
+        rng = np.random.default_rng(0)
+        net = MLP([3, 5, 2], seed=1)
+        x = rng.normal(size=(4, 3))
+        grad_out = rng.normal(size=(4, 2))
+        net.forward(x, cache=True)
+        w_grads, b_grads, _ = net.backward(grad_out)
+        for layer in range(len(net.weights)):
+            for index in range(min(6, net.weights[layer].size)):
+                numeric = self._numeric_grad(net, x, grad_out, net.weights[layer], index)
+                assert w_grads[layer].flat[index] == pytest.approx(
+                    numeric, rel=1e-4, abs=1e-6
+                )
+            numeric_b = self._numeric_grad(net, x, grad_out, net.biases[layer], 0)
+            assert b_grads[layer].flat[0] == pytest.approx(numeric_b, rel=1e-4, abs=1e-6)
+
+    def test_input_gradient(self):
+        rng = np.random.default_rng(2)
+        net = MLP([2, 4, 1], seed=3)
+        x = rng.normal(size=(1, 2))
+        net.forward(x, cache=True)
+        _, _, grad_in = net.backward(np.ones((1, 1)))
+        eps = 1e-6
+        for i in range(2):
+            xp = x.copy(); xp[0, i] += eps
+            xm = x.copy(); xm[0, i] -= eps
+            numeric = float((net.forward(xp) - net.forward(xm)).item()) / (2 * eps)
+            assert grad_in[0, i] == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+    def test_tanh_output_bounded(self):
+        net = MLP([2, 4, 1], output_activation="tanh", seed=0)
+        out = net.forward(np.array([100.0, -100.0]))
+        assert -1.0 <= out[0] <= 1.0
+
+    def test_clone_independent(self):
+        net = MLP([2, 3, 1], seed=0)
+        twin = net.clone()
+        np.testing.assert_allclose(net.weights[0], twin.weights[0])
+        twin.weights[0][0, 0] += 1.0
+        assert net.weights[0][0, 0] != twin.weights[0][0, 0]
+
+    def test_polyak_copy(self):
+        a = MLP([2, 3, 1], seed=0)
+        b = MLP([2, 3, 1], seed=5)
+        before = b.weights[0].copy()
+        b.copy_from(a, tau=0.5)
+        np.testing.assert_allclose(
+            b.weights[0], 0.5 * a.weights[0] + 0.5 * before
+        )
+
+    def test_backward_without_forward_raises(self):
+        net = MLP([2, 3, 1])
+        with pytest.raises(RLError):
+            net.backward(np.ones((1, 1)))
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        param = np.array([5.0])
+        opt = AdamOptimizer([param], lr=0.1)
+        for _ in range(500):
+            opt.step([2.0 * param])  # grad of param^2
+        assert abs(param[0]) < 0.05
+
+    def test_gradient_count_mismatch(self):
+        opt = AdamOptimizer([np.zeros(2)])
+        with pytest.raises(RLError):
+            opt.step([np.zeros(2), np.zeros(2)])
+
+
+class TestReplayBuffer:
+    def test_add_and_sample(self):
+        buf = ReplayBuffer(10, obs_dim=2, act_dim=1, seed=0)
+        for i in range(5):
+            buf.add([i, 0.0], [0.1], float(i), [i + 1, 0.0], False)
+        obs, act, rew, next_obs, done = buf.sample(32)
+        assert obs.shape == (32, 2)
+        assert set(rew).issubset({0.0, 1.0, 2.0, 3.0, 4.0})
+
+    def test_wraps_at_capacity(self):
+        buf = ReplayBuffer(3, obs_dim=1, act_dim=1, seed=0)
+        for i in range(10):
+            buf.add([i], [0.0], float(i), [i], False)
+        assert len(buf) == 3
+        _, _, rew, _, _ = buf.sample(64)
+        assert set(rew).issubset({7.0, 8.0, 9.0})
+
+    def test_empty_sample_raises(self):
+        buf = ReplayBuffer(3, 1, 1)
+        with pytest.raises(RLError):
+            buf.sample(1)
+
+
+class Toy1DEnv:
+    """Move a point toward +1: reward = -(x - 1)^2 increment, one action dim.
+
+    Optimal policy pushes action to +limit; both agents must learn that.
+    """
+
+    def __init__(self, limit=0.2, horizon=20):
+        self.limit = limit
+        self.horizon = horizon
+        self.x = 0.0
+        self.t = 0
+
+    def reset(self):
+        self.x = 0.0
+        self.t = 0
+        return np.array([self.x])
+
+    def step(self, action):
+        a = float(np.clip(np.asarray(action).reshape(-1)[0], -self.limit, self.limit))
+        self.x += a
+        self.t += 1
+        reward = -abs(self.x - 1.0)
+        done = self.t >= self.horizon
+        return np.array([self.x]), reward, done, {}
+
+
+class TestReinforceAgent:
+    def test_learns_toy_env(self):
+        env = Toy1DEnv()
+        agent = ReinforceAgent(1, env.limit, ReinforceConfig(seed=0, policy_lr=0.01))
+        returns = []
+        for _ in range(80):
+            obs = env.reset()
+            episode = []
+            total = 0.0
+            done = False
+            while not done:
+                action = agent.act(obs)
+                next_obs, r, done, _ = env.step(action)
+                episode.append((obs, action, r))
+                total += r
+                obs = next_obs
+            agent.update(episode)
+            returns.append(total)
+        assert np.mean(returns[-10:]) > np.mean(returns[:10])
+
+    def test_deterministic_act_repeatable(self):
+        agent = ReinforceAgent(2, 0.1, ReinforceConfig(seed=0))
+        obs = np.array([0.5, -0.5])
+        a1 = agent.act(obs, deterministic=True)
+        a2 = agent.act(obs, deterministic=True)
+        np.testing.assert_allclose(a1, a2)
+
+    def test_action_within_limit(self):
+        agent = ReinforceAgent(1, 0.05, ReinforceConfig(seed=0))
+        for _ in range(50):
+            a = agent.act(np.array([0.0]))
+            assert abs(a[0]) <= 0.05 + 1e-12
+
+
+class TestDdpgAgent:
+    def test_learns_toy_env(self):
+        env = Toy1DEnv()
+        agent = DdpgAgent(1, env.limit, DdpgConfig(seed=0, warmup_transitions=50))
+        returns = []
+        for _ in range(40):
+            obs = env.reset()
+            total = 0.0
+            done = False
+            while not done:
+                action = agent.act(obs)
+                next_obs, r, done, _ = env.step(action)
+                agent.observe(obs, action, r, next_obs, done)
+                agent.update()
+                total += r
+                obs = next_obs
+            agent.end_episode()
+            returns.append(total)
+        assert np.mean(returns[-8:]) > np.mean(returns[:8])
+
+    def test_update_returns_none_during_warmup(self):
+        agent = DdpgAgent(1, 0.1, DdpgConfig(warmup_transitions=100))
+        assert agent.update() is None
+
+    def test_noise_decays(self):
+        agent = DdpgAgent(1, 0.1, DdpgConfig(noise_decay=0.5))
+        agent.end_episode()
+        agent.end_episode()
+        assert agent._noise_scale == pytest.approx(0.25)

@@ -1,0 +1,139 @@
+"""Tests for the exploit-generation RL environments."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RLError
+from repro.rl.env import EnvConfig
+from repro.rl.envs.crash import ControlledCrashEnv
+from repro.rl.envs.deviation import PathDeviationEnv
+
+
+def small_config(**kwargs) -> EnvConfig:
+    defaults = dict(max_episode_steps=10, physics_hz=50.0, seed=3)
+    defaults.update(kwargs)
+    return EnvConfig(**defaults)
+
+
+class TestPathDeviationEnv:
+    def test_step_before_reset_raises(self):
+        env = PathDeviationEnv(small_config())
+        with pytest.raises(RLError):
+            env.step([0.0])
+
+    def test_reset_returns_valid_observation(self):
+        env = PathDeviationEnv(small_config())
+        obs = env.reset()
+        assert obs.shape == env.observation_space.shape
+        assert np.all(np.isfinite(obs))
+
+    def test_episode_terminates_at_max_steps(self):
+        env = PathDeviationEnv(small_config(max_episode_steps=4))
+        env.reset()
+        done = False
+        steps = 0
+        while not done:
+            _, _, done, info = env.step([0.0])
+            steps += 1
+        assert steps == 4
+
+    def test_zero_action_near_zero_reward(self):
+        env = PathDeviationEnv(small_config())
+        env.reset()
+        total = 0.0
+        for _ in range(5):
+            _, reward, _, _ = env.step([0.0])
+            total += abs(reward)
+        assert total < 1.0  # benign flight barely deviates
+
+    def test_max_action_earns_positive_reward(self):
+        env = PathDeviationEnv(small_config(max_episode_steps=30))
+        env.reset()
+        total = 0.0
+        done = False
+        while not done:
+            _, reward, done, _ = env.step([env.config.action_limit])
+            total += reward
+        assert total > 1.0  # deviation accumulates (Eq. 4 reward)
+
+    def test_action_clipped_to_space(self):
+        env = PathDeviationEnv(small_config())
+        env.reset()
+        env.step([1e9])  # must not blow up the integrator beyond its clip
+        assert abs(env.manipulator.read()) <= 0.45 + 1e-9
+
+    def test_manipulates_target_variable_only(self):
+        env = PathDeviationEnv(small_config())
+        env.reset()
+        env.step([0.05])
+        writes = env.manipulator.view.write_log
+        assert writes and all(name == "PIDR.INTEG" for name, _ in writes)
+
+    def test_info_fields(self):
+        env = PathDeviationEnv(small_config())
+        env.reset()
+        _, _, _, info = env.step([0.0])
+        assert {"steps", "crashed", "detected", "time"} <= set(info)
+
+    def test_episode_seeds_differ(self):
+        env = PathDeviationEnv(small_config())
+        env.reset()
+        first = env.vehicle.config.seed
+        env.reset()
+        assert env.vehicle.config.seed != first
+
+
+class TestControlledCrashEnv:
+    @staticmethod
+    def _rollout(env, action_value):
+        env.reset()
+        total = 0.0
+        closest = np.inf
+        done = False
+        info = {}
+        while not done:
+            obs, reward, done, info = env.step([action_value])
+            total += reward
+            closest = min(closest, obs[3])
+        return total, closest, info
+
+    def test_steering_toward_zone_beats_retreat(self):
+        # Eq. 5 rewards any distance reduction (including mission progress),
+        # so the discriminating signal is toward-vs-away totals.
+        env = ControlledCrashEnv(small_config(max_episode_steps=40),
+                                 zone_offset_east=15.0)
+        toward, closest_toward, _ = self._rollout(env, env.config.action_limit)
+        away, closest_away, _ = self._rollout(env, -env.config.action_limit)
+        assert toward > away
+        assert closest_toward < closest_away
+
+    def test_episode_ends_after_passing_zone(self):
+        env = ControlledCrashEnv(small_config(max_episode_steps=300),
+                                 zone_offset_east=40.0)
+        env.reset()
+        done = False
+        steps = 0
+        while not done:
+            _, _, done, _ = env.step([0.0])
+            steps += 1
+        # The pass-by terminal fires long before the step cap.
+        assert steps < 300
+
+    def test_zone_is_an_obstacle(self):
+        env = ControlledCrashEnv(small_config())
+        env.reset()
+        assert env.vehicle.world.obstacles
+        assert env.vehicle.world.forbidden_zones
+
+    def test_contact_gives_bonus_and_terminates(self):
+        env = ControlledCrashEnv(
+            small_config(max_episode_steps=200), zone_offset_east=8.0,
+        )
+        env.reset()
+        done = False
+        rewards = []
+        while not done:
+            _, reward, done, info = env.step([env.config.action_limit])
+            rewards.append(reward)
+        # Either the episode hit the zone (bonus) or crashed into it.
+        assert max(rewards) >= env.contact_bonus or info["crashed"]

@@ -1,0 +1,182 @@
+"""Tests for the sensor models."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SensorError
+from repro.sensors.barometer import Barometer
+from repro.sensors.base import NoiseModel, RateLimitedSensor
+from repro.sensors.gps import Gps
+from repro.sensors.imu import Imu
+from repro.sensors.magnetometer import Magnetometer
+from repro.sensors.suite import SensorSuite
+from repro.sim.config import SimConfig
+from repro.sim.quadrotor import QuadrotorModel
+from repro.sim.rigidbody import RigidBodyState
+from repro.utils.math3d import quat_from_euler
+
+
+class TestNoiseModel:
+    def test_negative_std_rejected(self):
+        with pytest.raises(SensorError):
+            NoiseModel(-1.0)
+
+    def test_zero_noise_passthrough(self):
+        n = NoiseModel(0.0, seed=0)
+        truth = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(n.apply(truth, 0.01), truth)
+
+    def test_noise_statistics(self):
+        n = NoiseModel(0.5, seed=0)
+        samples = np.array([n.apply(np.zeros(3), 0.01) for _ in range(5000)])
+        assert abs(samples.mean()) < 0.05
+        assert samples.std() == pytest.approx(0.5, rel=0.05)
+
+    def test_bias_walk_moves(self):
+        n = NoiseModel(0.0, bias_instability=0.1, seed=0)
+        for _ in range(1000):
+            n.apply(np.zeros(3), 0.01)
+        assert np.any(n.bias != 0.0)
+
+    def test_reset_restores_initial_bias(self):
+        n = NoiseModel(0.0, bias_std=0.1, bias_instability=0.1, seed=0)
+        initial = n.bias.copy()
+        for _ in range(100):
+            n.apply(np.zeros(3), 0.01)
+        n.reset()
+        np.testing.assert_allclose(n.bias, initial)
+
+
+class TestRateLimiting:
+    def test_holds_between_samples(self):
+        class Counter(RateLimitedSensor):
+            def __init__(self):
+                super().__init__(rate_hz=10.0)
+                self.calls = 0
+
+            def _measure(self, time_s):
+                self.calls += 1
+                return self.calls
+
+        c = Counter()
+        assert c.sample(0.0) == 1
+        assert c.sample(0.05) == 1  # held
+        assert c.sample(0.1) == 2  # refreshed
+
+    def test_bad_rate(self):
+        with pytest.raises(SensorError):
+            Barometer(rate_hz=0.0)
+
+
+class TestImu:
+    def test_static_reads_minus_gravity(self):
+        config = SimConfig(seed=0)
+        quad = QuadrotorModel(config)
+        quad.step([0.0] * 4, config.dt)
+        imu = Imu(
+            gyro_noise_std=0.0, gyro_bias_std=0.0, gyro_bias_instability=0.0,
+            accel_noise_std=0.0, accel_bias_std=0.0, accel_bias_instability=0.0,
+            vibration_gain=0.0, seed=0,
+        )
+        sample = imu.sample(quad, 0.0, config.dt)
+        np.testing.assert_allclose(sample.accel, [0.0, 0.0, -config.gravity], atol=1e-9)
+        np.testing.assert_allclose(sample.gyro, 0.0, atol=1e-12)
+
+    def test_noise_present_by_default(self):
+        config = SimConfig(seed=0)
+        quad = QuadrotorModel(config)
+        imu = Imu(seed=0)
+        s1 = imu.sample(quad, 0.0, config.dt)
+        s2 = imu.sample(quad, config.dt, config.dt)
+        assert not np.allclose(s1.gyro, s2.gyro)
+
+
+class TestGps:
+    def test_latency_returns_stale_position(self):
+        gps = Gps(latency_s=0.5, horizontal_std=0.0, vertical_std=0.0,
+                  velocity_std=0.0, seed=0)
+        state = RigidBodyState()
+        for i in range(100):
+            state.position = np.array([float(i), 0.0, 0.0])
+            gps.record_truth(i * 0.01, state)
+        sample = gps.sample(1.0)
+        # Delayed by 0.5 s: position from t<=0.5 -> index 50.
+        assert sample.position[0] == pytest.approx(50.0, abs=1.0)
+
+    def test_noise_magnitude(self):
+        gps = Gps(horizontal_std=1.0, vertical_std=2.0, seed=0)
+        state = RigidBodyState()
+        samples = []
+        for i in range(3000):
+            t = i * 0.1
+            gps.record_truth(t, state)
+            samples.append(gps.sample(t).position.copy())
+        samples = np.array(samples)
+        assert samples[:, 0].std() == pytest.approx(1.0, rel=0.1)
+        assert samples[:, 2].std() == pytest.approx(2.0, rel=0.1)
+
+    def test_reset_clears_history(self):
+        gps = Gps(seed=0)
+        gps.record_truth(0.0, RigidBodyState())
+        gps.reset()
+        assert len(gps._history) == 0
+
+
+class TestBarometer:
+    def test_altitude_tracks_truth(self):
+        baro = Barometer(altitude_std=0.0, drift_std=0.0, seed=0)
+        state = RigidBodyState()
+        state.position = np.array([0.0, 0.0, -12.0])
+        sample = baro.sample(0.0, state)
+        assert sample.altitude == pytest.approx(12.0)
+
+    def test_pressure_decreases_with_altitude(self):
+        baro = Barometer(altitude_std=0.0, drift_std=0.0, seed=0)
+        low = RigidBodyState()
+        high = RigidBodyState()
+        high.position = np.array([0.0, 0.0, -100.0])
+        p_low = baro.sample(0.0, low).pressure
+        baro2 = Barometer(altitude_std=0.0, drift_std=0.0, seed=0)
+        p_high = baro2.sample(0.0, high).pressure
+        assert p_high < p_low
+
+
+class TestMagnetometer:
+    def test_level_north_heading(self):
+        mag = Magnetometer(noise_std=0.0, seed=0)
+        state = RigidBodyState()
+        sample = mag.sample(0.0, state)
+        np.testing.assert_allclose(sample.field, [400.0, 0.0, 450.0], atol=1e-9)
+
+    def test_yaw_rotates_field(self):
+        mag = Magnetometer(noise_std=0.0, seed=0)
+        state = RigidBodyState()
+        state.quaternion = quat_from_euler(0.0, 0.0, np.pi / 2)  # facing east
+        sample = mag.sample(0.0, state)
+        # North field appears on the -Y (left) body axis.
+        assert sample.field[1] == pytest.approx(-400.0, abs=1e-6)
+
+    def test_hard_iron_offset(self):
+        mag = Magnetometer(noise_std=0.0, hard_iron=np.array([10.0, 0, 0]), seed=0)
+        sample = mag.sample(0.0, RigidBodyState())
+        assert sample.field[0] == pytest.approx(410.0)
+
+
+class TestSensorSuite:
+    def test_sample_all(self):
+        config = SimConfig(seed=0)
+        quad = QuadrotorModel(config)
+        suite = SensorSuite(seed=0)
+        readings = suite.sample(quad, 0.0, config.dt)
+        assert readings.imu is not None
+        assert readings.gps is not None
+        assert readings.baro is not None
+        assert readings.mag is not None
+
+    def test_reset(self):
+        config = SimConfig(seed=0)
+        quad = QuadrotorModel(config)
+        suite = SensorSuite(seed=0)
+        suite.sample(quad, 0.0, config.dt)
+        suite.reset()
+        assert not suite.gps.has_sample

@@ -1,0 +1,284 @@
+"""Tests for motors, rigid body, battery, environment and the quadrotor plant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SimulationError
+from repro.sim.battery import Battery
+from repro.sim.config import AirframeConfig, SimConfig, iris_plus_airframe, pixhawk4_airframe
+from repro.sim.environment import Environment
+from repro.sim.motor import Motor, MotorArray
+from repro.sim.quadrotor import QuadrotorModel
+from repro.sim.rigidbody import RigidBody6DoF, RigidBodyState
+
+
+class TestAirframeConfig:
+    def test_presets_valid(self):
+        for preset in (iris_plus_airframe(), pixhawk4_airframe()):
+            assert preset.mass > 0
+            assert 0.0 < preset.hover_throttle < 1.0
+
+    def test_underpowered_frame_rejected(self):
+        with pytest.raises(SimulationError):
+            AirframeConfig(
+                name="brick", mass=10.0, arm_length=0.25,
+                inertia_diag=(0.02, 0.02, 0.03),
+                motor_time_constant=0.02, motor_max_thrust=1.0,
+                motor_torque_coeff=0.01, linear_drag_coeff=0.3,
+                angular_drag_coeff=0.003,
+            )
+
+    def test_negative_mass_rejected(self):
+        with pytest.raises(SimulationError):
+            AirframeConfig(
+                name="x", mass=-1.0, arm_length=0.25,
+                inertia_diag=(0.02, 0.02, 0.03),
+                motor_time_constant=0.02, motor_max_thrust=9.0,
+                motor_torque_coeff=0.01, linear_drag_coeff=0.3,
+                angular_drag_coeff=0.003,
+            )
+
+    def test_hover_throttle_balances_weight(self):
+        frame = iris_plus_airframe()
+        thrust = frame.hover_throttle * 4.0 * frame.motor_max_thrust
+        assert thrust == pytest.approx(frame.mass * 9.80665, rel=1e-9)
+
+
+class TestMotor:
+    def test_command_clamped(self):
+        m = Motor(9.0, 0.02, 0.016)
+        m.set_command(2.0)
+        assert m.command == 1.0
+        m.set_command(-1.0)
+        assert m.command == 0.0
+
+    def test_first_order_response(self):
+        m = Motor(10.0, 0.02, 0.016)
+        m.set_command(1.0)
+        # After one time constant the thrust is ~63 % of target.
+        t = 0.0
+        while t < 0.02:
+            m.step(0.001)
+            t += 0.001
+        assert m.thrust == pytest.approx(10.0 * 0.632, rel=0.05)
+
+    def test_steady_state(self):
+        m = Motor(10.0, 0.02, 0.016)
+        m.set_command(0.5)
+        for _ in range(1000):
+            m.step(0.001)
+        assert m.thrust == pytest.approx(5.0, rel=1e-3)
+
+    def test_invalid_params(self):
+        with pytest.raises(SimulationError):
+            Motor(0.0, 0.02, 0.01)
+        with pytest.raises(SimulationError):
+            Motor(1.0, 0.0, 0.01)
+
+
+class TestMotorArray:
+    @pytest.fixture
+    def array(self):
+        return MotorArray(iris_plus_airframe())
+
+    def _settle(self, array, commands, steps=2000):
+        array.set_commands(commands)
+        force = torque = None
+        for _ in range(steps):
+            force, torque = array.step(0.001)
+        return force, torque
+
+    def test_equal_commands_no_torque(self, array):
+        force, torque = self._settle(array, [0.5] * 4)
+        np.testing.assert_allclose(torque[:2], 0.0, atol=1e-9)
+        assert force[2] < 0  # thrust is up (-Z in FRD)
+
+    def test_roll_command_sign(self, array):
+        # Increase left motors (2, 3), decrease right (1, 4) -> roll right (+).
+        force, torque = self._settle(array, [0.4, 0.6, 0.6, 0.4])
+        assert torque[0] > 0.0
+        assert abs(torque[1]) < 1e-9
+
+    def test_pitch_command_sign(self, array):
+        # Increase front motors (1, 3) -> nose up (+pitch torque).
+        force, torque = self._settle(array, [0.6, 0.4, 0.6, 0.4])
+        assert torque[1] > 0.0
+        assert abs(torque[0]) < 1e-9
+
+    def test_yaw_command_sign(self, array):
+        # Increase CCW motors (3, 4) -> positive yaw reaction.
+        force, torque = self._settle(array, [0.4, 0.4, 0.6, 0.6])
+        assert torque[2] > 0.0
+
+    def test_wrong_command_count(self, array):
+        with pytest.raises(SimulationError):
+            array.set_commands([0.5, 0.5])
+
+
+class TestRigidBody:
+    def test_free_fall(self):
+        body = RigidBody6DoF(2.0, np.diag([0.02, 0.02, 0.03]))
+        gravity = np.array([0.0, 0.0, 9.80665 * 2.0])
+        for _ in range(1000):
+            body.step(gravity, np.zeros(3), 0.001)
+        # After 1 s: v = g*t, z = g*t^2/2 (down positive).
+        assert body.state.velocity[2] == pytest.approx(9.80665, rel=1e-3)
+        assert body.state.position[2] == pytest.approx(9.80665 / 2.0, rel=1e-2)
+
+    def test_pure_torque_spins(self):
+        body = RigidBody6DoF(1.0, np.diag([0.02, 0.02, 0.03]))
+        for _ in range(100):
+            body.step(np.zeros(3), np.array([0.02, 0.0, 0.0]), 0.001)
+        # omega = tau/I * t = 0.02/0.02 * 0.1 = 0.1 rad/s
+        assert body.state.omega_body[0] == pytest.approx(0.1, rel=1e-6)
+
+    def test_momentum_conserved_without_torque(self):
+        body = RigidBody6DoF(1.0, np.diag([0.02, 0.03, 0.04]))
+        body.state.omega_body = np.array([1.0, 2.0, 3.0])
+        momentum0 = body.inertia @ body.state.omega_body
+        for _ in range(1000):
+            body.step(np.zeros(3), np.zeros(3), 0.0005)
+        # |L| in the body frame is conserved for torque-free motion.
+        momentum1 = body.inertia @ body.state.omega_body
+        assert np.linalg.norm(momentum1) == pytest.approx(
+            np.linalg.norm(momentum0), rel=5e-3
+        )
+
+    def test_bad_dt_raises(self):
+        body = RigidBody6DoF(1.0, np.diag([0.02, 0.02, 0.03]))
+        with pytest.raises(SimulationError):
+            body.step(np.zeros(3), np.zeros(3), 0.0)
+
+    def test_state_copy_is_deep(self):
+        s = RigidBodyState()
+        c = s.copy()
+        c.position[0] = 99.0
+        assert s.position[0] == 0.0
+
+
+class TestBattery:
+    def test_full_on_creation(self):
+        b = Battery()
+        assert b.remaining_fraction == 1.0
+        assert b.voltage == pytest.approx(4.2 * 3)
+
+    def test_discharges(self):
+        b = Battery(capacity_mah=100.0)
+        for _ in range(1000):
+            b.step(1.0, 0.1)
+        assert b.remaining_fraction < 1.0
+        assert b.consumed_mah > 0.0
+
+    def test_depletes(self):
+        b = Battery(capacity_mah=1.0, max_current_a=100.0)
+        for _ in range(10000):
+            b.step(1.0, 0.1)
+            if b.depleted:
+                break
+        assert b.depleted
+        assert b.voltage == pytest.approx(3.3 * 3)
+
+    def test_current_scales_with_throttle(self):
+        b = Battery()
+        b.step(0.0, 0.01)
+        idle = b.current
+        b.step(1.0, 0.01)
+        assert b.current > idle
+
+    def test_invalid_config(self):
+        with pytest.raises(SimulationError):
+            Battery(capacity_mah=-1.0)
+        with pytest.raises(SimulationError):
+            Battery(cells=0)
+
+
+class TestEnvironment:
+    def test_no_gusts_by_default(self):
+        env = Environment(SimConfig(seed=0))
+        for _ in range(100):
+            env.step(0.0025)
+        np.testing.assert_allclose(env.wind, 0.0)
+
+    def test_gusts_bounded_statistics(self):
+        env = Environment(SimConfig(seed=0, wind_gust_std=1.0))
+        samples = []
+        for _ in range(20000):
+            env.step(0.0025)
+            samples.append(env.wind.copy())
+        samples = np.asarray(samples)
+        assert abs(samples.mean()) < 0.2
+        assert samples.std() == pytest.approx(1.0, rel=0.25)
+
+    def test_drag_opposes_airspeed(self):
+        env = Environment(SimConfig(seed=0))
+        drag = env.drag_force(np.array([2.0, 0.0, 0.0]), 0.5)
+        assert drag[0] == pytest.approx(-1.0)
+
+    def test_reset_reseeds(self):
+        env = Environment(SimConfig(seed=0, wind_gust_std=1.0))
+        env.step(0.01)
+        env.reset(seed=0)
+        np.testing.assert_allclose(env.wind, 0.0)
+
+
+class TestQuadrotorPlant:
+    def test_hover_equilibrium(self):
+        config = SimConfig(seed=0)
+        quad = QuadrotorModel(config)
+        hover = config.airframe.hover_throttle
+        # Slightly above hover to lift off, then exact hover.
+        for _ in range(400):
+            quad.step([hover * 1.2] * 4, config.dt)
+        v_up = -quad.state.velocity[2]
+        assert v_up > 0.0  # climbing
+        assert not quad.crashed
+
+    def test_stays_on_ground_below_hover_thrust(self):
+        config = SimConfig(seed=0)
+        quad = QuadrotorModel(config)
+        for _ in range(400):
+            quad.step([0.1] * 4, config.dt)
+        assert quad.landed
+        assert quad.state.altitude == pytest.approx(0.0, abs=1e-6)
+
+    def test_accelerometer_reads_minus_g_at_rest(self):
+        config = SimConfig(seed=0)
+        quad = QuadrotorModel(config)
+        quad.step([0.0] * 4, config.dt)
+        np.testing.assert_allclose(
+            quad.specific_force_body, [0.0, 0.0, -config.gravity], atol=1e-9
+        )
+
+    def test_hard_impact_crashes(self):
+        config = SimConfig(seed=0)
+        quad = QuadrotorModel(config)
+        quad.reset(position=np.array([0.0, 0.0, -20.0]))
+        quad._landed = False
+        for _ in range(int(10.0 / config.dt)):
+            quad.step([0.0] * 4, config.dt)
+            if quad.crashed:
+                break
+        assert quad.crashed
+        assert "ground impact" in quad.crash_reason
+
+    def test_reset_restores_rest(self):
+        config = SimConfig(seed=0)
+        quad = QuadrotorModel(config)
+        for _ in range(100):
+            quad.step([0.9] * 4, config.dt)
+        quad.reset()
+        assert quad.landed
+        assert not quad.crashed
+        np.testing.assert_allclose(quad.state.position, 0.0)
+
+    @given(st.floats(0.0, 1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_any_constant_throttle_keeps_finite_state(self, throttle):
+        config = SimConfig(seed=0)
+        quad = QuadrotorModel(config)
+        for _ in range(200):
+            quad.step([throttle] * 4, config.dt)
+        assert np.all(np.isfinite(quad.state.position))
+        assert np.all(np.isfinite(quad.state.quaternion))

@@ -1,0 +1,132 @@
+"""Additional behavioural tests: sqrt-controller dynamics, SINS corrections,
+attitude-loop coupling and the parameter→controller wiring under attack.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.attitude import AttitudeController, AttitudeTargets
+from repro.control.sqrt_controller import SqrtController
+from repro.estimation.sins import StrapdownINS
+from tests.conftest import make_vehicle
+
+G = 9.80665
+
+
+class TestSqrtControllerDynamics:
+    @given(st.floats(0.2, 3.0), st.floats(0.5, 8.0))
+    @settings(max_examples=40)
+    def test_output_never_exceeds_sqrt_envelope(self, p, accel_max):
+        """Beyond the linear region the response respects the
+        2*a*(d - L/2) energy envelope that makes stops feasible."""
+        c = SqrtController("SQ", p=p, accel_max=accel_max, output_max=1e9)
+        for error in (0.1, 1.0, 5.0, 25.0, 100.0):
+            out = c.update(error, 0.0)
+            allowed = np.sqrt(2.0 * accel_max * error) + p * c.linear_region
+            assert abs(out) <= allowed + 1e-9
+
+    @given(st.floats(-50, 50), st.floats(-50, 50))
+    @settings(max_examples=40)
+    def test_monotone_in_error(self, e1, e2):
+        c1 = SqrtController("SQ", p=1.0, accel_max=2.0, output_max=1e9)
+        c2 = SqrtController("SQ", p=1.0, accel_max=2.0, output_max=1e9)
+        o1, o2 = c1.update(e1, 0.0), c2.update(e2, 0.0)
+        if e1 < e2:
+            assert o1 <= o2 + 1e-12
+
+    def test_closed_loop_converges_without_overshoot_blowup(self):
+        """A kinematic particle driven by the sqrt controller reaches its
+        target from far away without oscillating forever."""
+        c = SqrtController("SQ", p=1.0, accel_max=2.0, output_max=5.0)
+        position, velocity = 40.0, 0.0
+        dt = 0.01
+        for _ in range(6000):
+            vel_cmd = c.update(0.0, position)
+            # first-order velocity response
+            velocity += (vel_cmd - velocity) * min(1.0, 5.0 * dt)
+            position += velocity * dt
+        assert abs(position) < 0.5
+
+
+class TestSINSCorrectionLoop:
+    def test_biased_accel_corrected_by_gps(self):
+        """A constant accelerometer bias is bounded by repeated GPS fixes."""
+        sins = StrapdownINS(velocity_gain=0.2, position_gain=0.1)
+        biased_accel = np.array([0.05, 0.0, -G])  # 0.05 m/s^2 bias north
+        for step in range(4000):
+            sins.predict(np.zeros(3), biased_accel, 0.0025)
+            if step % 40 == 0:  # 10 Hz GPS: truth is at rest
+                sins.correct_gps(np.zeros(3), np.zeros(3))
+        assert abs(sins.velocity[0]) < 0.1
+        assert abs(sins.position[0]) < 1.0
+
+    def test_without_corrections_bias_diverges(self):
+        sins = StrapdownINS()
+        biased_accel = np.array([0.05, 0.0, -G])
+        for _ in range(4000):
+            sins.predict(np.zeros(3), biased_accel, 0.0025)
+        assert abs(sins.position[0]) > 1.0  # quadratic dead-reckoning drift
+
+    def test_gain_manipulation_changes_behaviour(self):
+        """The SINS.KVEL entry is a genuine attack surface: zeroing it
+        disables velocity corrections."""
+        sins = StrapdownINS(velocity_gain=0.2)
+        sins.intermediates["KVEL"] = 0.0  # the memory-bound write target
+        sins.velocity_gain = sins.intermediates["KVEL"]
+        sins.correct_gps(np.zeros(3), np.array([3.0, 0.0, 0.0]))
+        assert sins.velocity[0] == pytest.approx(0.0)
+
+
+class TestAttitudeLoopCoupling:
+    def test_axes_are_decoupled_at_level(self):
+        att = AttitudeController()
+        torque = att.update(
+            AttitudeTargets(roll=0.1), (0.0, 0.0, 0.0), np.zeros(3), 0.0025
+        )
+        assert abs(torque[1]) < 1e-9 and abs(torque[2]) < 1e-9
+
+    def test_rate_feedback_damps(self):
+        """With the vehicle already rotating toward the target, the
+        commanded torque is smaller than from rest."""
+        att_static = AttitudeController()
+        att_moving = AttitudeController()
+        from_rest = att_static.update(
+            AttitudeTargets(roll=0.2), (0.0, 0.0, 0.0), np.zeros(3), 0.0025
+        )
+        while_rotating = att_moving.update(
+            AttitudeTargets(roll=0.2), (0.0, 0.0, 0.0),
+            np.array([0.5, 0.0, 0.0]), 0.0025,
+        )
+        assert while_rotating[0] < from_rest[0]
+
+    def test_integrator_write_shifts_torque(self):
+        att = AttitudeController()
+        baseline = att.update(
+            AttitudeTargets(), (0.0, 0.0, 0.0), np.zeros(3), 0.0025
+        )[0]
+        att.pid_roll.set_state_variable("INTEG", 0.3)
+        biased = att.update(
+            AttitudeTargets(), (0.0, 0.0, 0.0), np.zeros(3), 0.0025
+        )[0]
+        assert biased > baseline + 0.25
+
+
+class TestParameterAttackSurface:
+    def test_gcs_param_change_alters_flight_behaviour(self):
+        """A legitimate-looking PARAM_SET that weakens the rate loop is
+        accepted (in range) and degrades stabilisation."""
+        v = make_vehicle(seed=9, fast=True)
+        proxy = v.make_proxy()
+        report = proxy.param_set("ATC_RAT_RLL_P", 0.02)  # in range, terrible
+        assert report.ok
+        assert v.attitude_ctrl.pid_roll.gains.kp == pytest.approx(0.02)
+
+    def test_imax_zeroing_through_memory_view(self):
+        """An attacker in the stabilizer region can neuter the integrator
+        clamp indirectly by rewriting the gains each cycle."""
+        v = make_vehicle(seed=9, fast=True)
+        view = v.compromised_view()
+        view.write("PIDR.KI", 0.0)
+        assert v.attitude_ctrl.pid_roll.gains.ki == 0.0

@@ -1,0 +1,135 @@
+"""Tests for ring buffers, time series and trace tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.timeseries import RingBuffer, TimeSeries, TraceTable
+
+
+class TestRingBuffer:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0)
+
+    def test_fill_and_evict(self):
+        rb = RingBuffer(3)
+        assert rb.append(1.0) is None
+        assert rb.append(2.0) is None
+        assert rb.append(3.0) is None
+        assert rb.full
+        evicted = rb.append(4.0)
+        assert evicted == 1.0
+        np.testing.assert_allclose(rb.to_array(), [2.0, 3.0, 4.0])
+
+    def test_sum_incremental(self):
+        rb = RingBuffer(4)
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+            rb.append(v)
+        assert rb.sum == pytest.approx(2 + 3 + 4 + 5)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100),
+           st.integers(1, 20))
+    @settings(max_examples=50)
+    def test_sum_matches_array(self, values, capacity):
+        rb = RingBuffer(capacity)
+        for v in values:
+            rb.append(v)
+        assert rb.sum == pytest.approx(float(rb.to_array().sum()), rel=1e-9, abs=1e-6)
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=60))
+    @settings(max_examples=50)
+    def test_order_is_oldest_first(self, values):
+        capacity = 7
+        rb = RingBuffer(capacity)
+        for v in values:
+            rb.append(v)
+        np.testing.assert_allclose(rb.to_array(), values[-capacity:])
+
+    def test_clear(self):
+        rb = RingBuffer(3)
+        rb.append(5.0)
+        rb.clear()
+        assert len(rb) == 0
+        assert rb.sum == 0.0
+        assert rb.to_array().size == 0
+
+
+class TestTimeSeries:
+    def test_append_and_arrays(self):
+        ts = TimeSeries("roll")
+        ts.append(0.0, 1.0)
+        ts.append(0.1, 2.0)
+        np.testing.assert_allclose(ts.times, [0.0, 0.1])
+        np.testing.assert_allclose(ts.values, [1.0, 2.0])
+
+    def test_window(self):
+        ts = TimeSeries("x")
+        for i in range(10):
+            ts.append(i * 0.1, float(i))
+        w = ts.window(0.25, 0.65)
+        assert len(w) == 4  # t = 0.3, 0.4, 0.5, 0.6
+        assert w.name == "x"
+
+
+class TestTraceTable:
+    def test_duplicate_columns_raise(self):
+        with pytest.raises(ValueError):
+            TraceTable(["a", "a"])
+
+    def test_append_and_column(self):
+        t = TraceTable(["a", "b"])
+        t.append_row(0.0, {"a": 1.0, "b": 2.0})
+        t.append_row(0.1, {"a": 3.0, "b": 4.0})
+        np.testing.assert_allclose(t.column("a"), [1.0, 3.0])
+        np.testing.assert_allclose(t.to_matrix(), [[1.0, 2.0], [3.0, 4.0]])
+
+    def test_missing_column_value_raises(self):
+        t = TraceTable(["a", "b"])
+        with pytest.raises(KeyError):
+            t.append_row(0.0, {"a": 1.0})
+
+    def test_select_preserves_rows(self):
+        t = TraceTable(["a", "b", "c"])
+        for i in range(5):
+            t.append_row(i * 1.0, {"a": i, "b": 2 * i, "c": 3 * i})
+        s = t.select(["c", "a"])
+        assert s.columns == ["c", "a"]
+        np.testing.assert_allclose(s.column("c"), [0, 3, 6, 9, 12])
+        assert len(s) == 5
+
+    def test_select_unknown_raises(self):
+        t = TraceTable(["a"])
+        with pytest.raises(KeyError):
+            t.select(["zzz"])
+
+    def test_extend_schema_mismatch(self):
+        t1 = TraceTable(["a"])
+        t2 = TraceTable(["b"])
+        with pytest.raises(ValueError):
+            t1.extend(t2)
+
+    def test_extend(self):
+        t1 = TraceTable(["a"])
+        t2 = TraceTable(["a"])
+        t1.append_row(0.0, {"a": 1.0})
+        t2.append_row(1.0, {"a": 2.0})
+        t1.extend(t2)
+        assert len(t1) == 2
+        np.testing.assert_allclose(t1.column("a"), [1.0, 2.0])
+
+    def test_iter_rows(self):
+        t = TraceTable(["a", "b"])
+        t.append_row(0.5, {"a": 1.0, "b": 2.0})
+        rows = list(t.iter_rows())
+        assert rows == [(0.5, {"a": 1.0, "b": 2.0})]
+
+    def test_empty_matrix_shape(self):
+        t = TraceTable(["a", "b"])
+        assert t.to_matrix().shape == (0, 2)
+
+    def test_contains(self):
+        t = TraceTable(["a"])
+        assert "a" in t
+        assert "b" not in t

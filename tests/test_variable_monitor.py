@@ -1,0 +1,88 @@
+"""Tests for the variable-level countermeasure monitor (paper Section VI)."""
+
+import pytest
+
+from repro.defenses.variable_monitor import VariableEnvelope, VariableLevelMonitor
+from repro.exceptions import AnalysisError
+from tests.conftest import make_vehicle
+
+
+class TestVariableEnvelope:
+    def test_inside_envelope_zero(self):
+        env = VariableEnvelope("x", low=-1.0, high=1.0, max_abs_step=0.1)
+        assert env.exceedance(0.5, 0.05) == 0.0
+
+    def test_value_exceedance(self):
+        env = VariableEnvelope("x", low=-1.0, high=1.0, max_abs_step=0.1)
+        assert env.exceedance(2.0, 0.0) == pytest.approx(1.0)  # 1 over / margin 1
+        assert env.exceedance(-3.0, 0.0) == pytest.approx(2.0)
+
+    def test_step_exceedance(self):
+        env = VariableEnvelope("x", low=-1.0, high=1.0, max_abs_step=0.1)
+        assert env.exceedance(0.0, 0.3) == pytest.approx(2.0)  # 0.2 over / 0.1
+
+    def test_combined(self):
+        env = VariableEnvelope("x", low=-1.0, high=1.0, max_abs_step=0.1)
+        assert env.exceedance(2.0, -0.2) == pytest.approx(2.0)
+
+
+class TestVariableLevelMonitor:
+    def test_requires_variables(self):
+        with pytest.raises(AnalysisError):
+            VariableLevelMonitor([])
+
+    def test_untrained_does_not_score(self, fast_vehicle):
+        monitor = VariableLevelMonitor(["PIDR.INTEG"])
+        monitor.attach(fast_vehicle)
+        fast_vehicle.arm()
+        fast_vehicle.step()
+        assert len(monitor.record.scores) == 0
+
+    def test_collection_requires_enough_samples(self, fast_vehicle):
+        monitor = VariableLevelMonitor(["PIDR.INTEG"])
+        monitor.collecting = True
+        monitor.attach(fast_vehicle)
+        fast_vehicle.arm()
+        fast_vehicle.step()
+        with pytest.raises(AnalysisError):
+            monitor.finish_collection()
+
+    def test_learns_and_stays_silent_on_benign(self):
+        train = make_vehicle(seed=21, fast=True)
+        monitor = VariableLevelMonitor(["PIDR.INTEG", "PIDP.INTEG"], warmup_s=2.0)
+        monitor.collecting = True
+        monitor.attach(train)
+        train.takeoff(5.0)
+        train.run(6.0)
+        monitor.detach()
+        monitor.finish_collection()
+        assert monitor.trained
+
+        probe = make_vehicle(seed=22, fast=True)
+        monitor.reset()
+        monitor.attach(probe)
+        probe.takeoff(5.0)
+        probe.run(6.0)
+        assert not monitor.alarmed
+
+    def test_detects_integrator_injection(self):
+        train = make_vehicle(seed=21, fast=True)
+        monitor = VariableLevelMonitor(["PIDR.INTEG"], warmup_s=2.0)
+        monitor.collecting = True
+        monitor.attach(train)
+        train.takeoff(5.0)
+        train.run(6.0)
+        monitor.detach()
+        monitor.finish_collection()
+
+        victim = make_vehicle(seed=23, fast=True)
+        monitor.reset()
+        monitor.attach(victim)
+        victim.takeoff(5.0)
+        view = victim.compromised_view()
+        for _ in range(int(6.0 / victim.sim.dt)):
+            view.write("PIDR.INTEG", 0.4)  # far outside the benign envelope
+            victim.step()
+            if monitor.alarmed:
+                break
+        assert monitor.alarmed

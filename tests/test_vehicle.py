@@ -1,0 +1,158 @@
+"""Tests for the Vehicle firmware assembly."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MemoryAccessViolation, MissionError
+from repro.firmware.mission import line_mission
+from repro.firmware.modes import FlightMode
+from repro.firmware.vehicle import NAV_REGION, STABILIZER_REGION
+from tests.conftest import make_vehicle
+
+
+class TestMemoryMap:
+    def test_regions_exist(self, fast_vehicle):
+        names = {r.name for r in fast_vehicle.memory.regions()}
+        assert {STABILIZER_REGION, NAV_REGION, "FLASH", "SRAM_KERNEL", "SRAM_IO"} <= names
+
+    def test_rate_pids_in_stabilizer_region(self, fast_vehicle):
+        stab = fast_vehicle.memory.variable_names(STABILIZER_REGION)
+        for pid in ("PIDR", "PIDP", "PIDY", "PIDA"):
+            assert f"{pid}.INTEG" in stab
+
+    def test_pid_intermediate_count_in_region(self, fast_vehicle):
+        stab = fast_vehicle.memory.variable_names(STABILIZER_REGION)
+        pid_vars = [v for v in stab if v.split(".")[0] in ("PIDR", "PIDP", "PIDY", "PIDA")]
+        assert len(pid_vars) == 36  # Table II: 9 x 4 PIDs
+
+    def test_nav_region_contents(self, fast_vehicle):
+        nav = fast_vehicle.memory.variable_names(NAV_REGION)
+        assert "SINS.KVEL" in nav
+        assert "PSC_X_POS.ERR" in nav
+        assert "EKF.ROLL" in nav
+
+    def test_compromised_view_confined(self, fast_vehicle):
+        view = fast_vehicle.compromised_view(STABILIZER_REGION)
+        view.write("PIDR.INTEG", 0.2)
+        assert fast_vehicle.attitude_ctrl.pid_roll.integrator == pytest.approx(0.2)
+        with pytest.raises(MemoryAccessViolation):
+            view.write("SINS.KVEL", 0.0)
+
+    def test_memory_write_reaches_live_controller(self, fast_vehicle):
+        view = fast_vehicle.compromised_view()
+        view.write("PIDR.KP", 0.9)
+        assert fast_vehicle.attitude_ctrl.pid_roll.gains.kp == pytest.approx(0.9)
+
+
+class TestParameterWiring:
+    def test_rate_gain_propagates(self, fast_vehicle):
+        fast_vehicle.params.set("ATC_RAT_PIT_I", 0.2)
+        assert fast_vehicle.attitude_ctrl.pid_pitch.gains.ki == pytest.approx(0.2)
+
+    def test_angle_p_propagates(self, fast_vehicle):
+        fast_vehicle.params.set("ATC_ANG_RLL_P", 6.0)
+        assert fast_vehicle.attitude_ctrl.angle_p == 6.0
+
+    def test_psc_gains_propagate(self, fast_vehicle):
+        fast_vehicle.params.set("PSC_VELXY_P", 2.0)
+        assert fast_vehicle.position_ctrl.axis_x.vel_ctrl.gains.kp == 2.0
+        assert fast_vehicle.position_ctrl.axis_y.vel_ctrl.gains.kp == 2.0
+
+    def test_angle_max_converts_to_radians(self, fast_vehicle):
+        fast_vehicle.params.set("ANGLE_MAX", 30.0)
+        assert fast_vehicle.position_ctrl.lean_angle_max == pytest.approx(
+            np.deg2rad(30.0)
+        )
+
+
+class TestFlightBehaviour:
+    def test_disarmed_vehicle_stays_put(self, fast_vehicle):
+        for _ in range(200):
+            fast_vehicle.step()
+        assert fast_vehicle.sim.vehicle.state.altitude == pytest.approx(0.0, abs=1e-6)
+
+    def test_takeoff_truth_state(self):
+        v = make_vehicle(seed=3, fast=True)
+        assert v.takeoff(6.0)
+        assert v.sim.vehicle.state.altitude == pytest.approx(6.0, abs=0.5)
+
+    def test_auto_requires_mission(self, fast_vehicle):
+        with pytest.raises(MissionError):
+            fast_vehicle.set_mode(FlightMode.AUTO)
+
+    def test_mission_completes_truth_state(self):
+        v = make_vehicle(seed=3, fast=True)
+        status = v.fly_mission(line_mission(length=30.0, altitude=8.0, legs=1))
+        assert status.name == "COMPLETE"
+        assert not v.sim.vehicle.crashed
+
+    def test_guided_holds_target(self):
+        v = make_vehicle(seed=3, fast=True)
+        v.takeoff(5.0)
+        v.set_guided_target(5.0, 5.0, 5.0)
+        v.run(15.0)
+        pos = v.sim.vehicle.state.position
+        np.testing.assert_allclose(pos, [5.0, 5.0, -5.0], atol=1.0)
+
+    def test_land_descends(self):
+        v = make_vehicle(seed=3, fast=True)
+        v.takeoff(5.0)
+        v.set_mode(FlightMode.LAND)
+        v.run(20.0)
+        assert v.sim.vehicle.state.altitude < 1.0
+
+    def test_rtl_returns_home(self):
+        v = make_vehicle(seed=3, fast=True)
+        v.takeoff(5.0)
+        v.set_guided_target(15.0, 0.0, 5.0)
+        v.run(10.0)
+        v.set_mode(FlightMode.RTL)
+        v.run(20.0)
+        pos = v.sim.vehicle.state.position
+        assert abs(pos[0]) < 2.0 and abs(pos[1]) < 2.0
+
+
+class TestHooks:
+    def test_target_hook_overrides(self):
+        v = make_vehicle(seed=3, fast=True)
+
+        def force_roll(vehicle, targets):
+            targets.roll = 0.1
+            return targets
+
+        v.target_hooks.append(force_roll)
+        v.takeoff(5.0)
+        v.run(3.0)
+        assert v.sim.vehicle.state.euler[0] == pytest.approx(0.1, abs=0.05)
+
+    def test_torque_hook_applies(self):
+        v = make_vehicle(seed=3, fast=True)
+        calls = []
+        v.torque_hooks.append(lambda vv, tq: calls.append(1) or tq)
+        v.takeoff(3.0)
+        assert calls
+
+    def test_pre_control_hook_runs_each_cycle(self, fast_vehicle):
+        count = []
+        fast_vehicle.pre_control_hooks.append(lambda v: count.append(1))
+        for _ in range(10):
+            fast_vehicle.step()
+        assert len(count) == 10
+
+
+class TestLogging:
+    def test_logs_populated_during_flight(self, flown_vehicle):
+        logger = flown_vehicle.logger
+        for msg in ("ATT", "IMU", "EKF1", "PIDR", "RATE", "CTUN", "GPS", "AHR2"):
+            assert logger.num_records(msg) > 10, msg
+
+    def test_log_rate_is_decimated(self, flown_vehicle):
+        records = flown_vehicle.logger.records("ATT")
+        times = np.array([t for t, _ in records])
+        intervals = np.diff(times)
+        assert np.median(intervals) == pytest.approx(1.0 / 16.0, rel=0.1)
+
+    def test_att_r_tracks_real_roll(self, flown_vehicle):
+        # ATT.R is in degrees and bounded by the lean limit during cruise.
+        rolls = flown_vehicle.logger.field("ATT", "R")
+        assert np.abs(rolls).max() < 45.0

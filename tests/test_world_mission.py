@@ -1,0 +1,189 @@
+"""Tests for world geometry and missions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import MissionError
+from repro.firmware.mission import (
+    Mission,
+    MissionStatus,
+    Waypoint,
+    line_mission,
+    square_mission,
+)
+from repro.sim.world import BoxObstacle, World, path_distance, point_segment_distance
+
+vec3 = st.tuples(
+    st.floats(-50, 50), st.floats(-50, 50), st.floats(-50, 50)
+).map(np.array)
+
+
+class TestPointSegmentDistance:
+    def test_point_on_segment(self):
+        d = point_segment_distance(
+            np.array([0.5, 0.0, 0.0]), np.zeros(3), np.array([1.0, 0.0, 0.0])
+        )
+        assert d == pytest.approx(0.0)
+
+    def test_perpendicular(self):
+        d = point_segment_distance(
+            np.array([0.5, 2.0, 0.0]), np.zeros(3), np.array([1.0, 0.0, 0.0])
+        )
+        assert d == pytest.approx(2.0)
+
+    def test_beyond_endpoint_clamps(self):
+        d = point_segment_distance(
+            np.array([3.0, 0.0, 0.0]), np.zeros(3), np.array([1.0, 0.0, 0.0])
+        )
+        assert d == pytest.approx(2.0)
+
+    def test_degenerate_segment(self):
+        d = point_segment_distance(np.array([1.0, 1.0, 0.0]), np.zeros(3), np.zeros(3))
+        assert d == pytest.approx(np.sqrt(2.0))
+
+    @given(vec3, vec3, vec3)
+    @settings(max_examples=50)
+    def test_distance_at_most_endpoint_distance(self, p, a, b):
+        d = point_segment_distance(p, a, b)
+        assert d <= np.linalg.norm(p - a) + 1e-9
+        assert d <= np.linalg.norm(p - b) + 1e-9
+        assert d >= 0.0
+
+
+class TestPathDistance:
+    def test_single_point_path(self):
+        d = path_distance(np.array([3.0, 4.0, 0.0]), [np.zeros(3)])
+        assert d == pytest.approx(5.0)
+
+    def test_multi_segment_takes_min(self):
+        waypoints = [np.zeros(3), np.array([10.0, 0, 0]), np.array([10.0, 10.0, 0])]
+        d = path_distance(np.array([10.0, 5.0, 0.0]), waypoints)
+        assert d == pytest.approx(0.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(MissionError):
+            path_distance(np.zeros(3), [])
+
+
+class TestBoxObstacle:
+    def test_inverted_corners_raise(self):
+        with pytest.raises(MissionError):
+            BoxObstacle("bad", np.ones(3), np.zeros(3))
+
+    def test_contains(self):
+        box = BoxObstacle("b", np.zeros(3), np.ones(3))
+        assert box.contains(np.array([0.5, 0.5, 0.5]))
+        assert not box.contains(np.array([1.5, 0.5, 0.5]))
+
+    def test_distance_zero_inside(self):
+        box = BoxObstacle("b", np.zeros(3), np.ones(3))
+        assert box.distance(np.array([0.5, 0.5, 0.5])) == 0.0
+
+    def test_distance_outside(self):
+        box = BoxObstacle("b", np.zeros(3), np.ones(3))
+        assert box.distance(np.array([2.0, 0.5, 0.5])) == pytest.approx(1.0)
+
+    @given(vec3)
+    @settings(max_examples=50)
+    def test_distance_nonnegative(self, p):
+        box = BoxObstacle("b", -np.ones(3), np.ones(3))
+        assert box.distance(p) >= 0.0
+
+
+class TestWorld:
+    def test_collision_lookup(self):
+        box = BoxObstacle("wall", np.zeros(3), np.ones(3))
+        world = World(obstacles=[box])
+        assert world.collided(np.array([0.5, 0.5, 0.5])) is box
+        assert world.collided(np.array([5.0, 5.0, 5.0])) is None
+
+    def test_forbidden_zone(self):
+        zone = BoxObstacle("nfz", np.zeros(3), np.ones(3))
+        world = World(forbidden_zones=[zone])
+        assert world.in_forbidden_zone(np.array([0.5, 0.5, 0.5])) is zone
+        assert world.nearest_forbidden_distance(np.array([3.0, 0.5, 0.5])) == pytest.approx(2.0)
+
+    def test_no_zones_distance_inf(self):
+        assert World().nearest_forbidden_distance(np.zeros(3)) == np.inf
+
+    def test_on_ground(self):
+        world = World(ground_altitude=0.0)
+        assert world.on_ground(np.array([0.0, 0.0, 0.0]))
+        assert not world.on_ground(np.array([0.0, 0.0, -5.0]))
+
+
+class TestWaypoint:
+    def test_position_ned(self):
+        wp = Waypoint(north=1.0, east=2.0, altitude=10.0)
+        np.testing.assert_allclose(wp.position, [1.0, 2.0, -10.0])
+
+
+class TestMission:
+    def test_empty_mission_raises(self):
+        with pytest.raises(MissionError):
+            Mission(waypoints=[])
+
+    def test_bad_radius_raises(self):
+        with pytest.raises(MissionError):
+            Mission(waypoints=[Waypoint(0, 0, 5)], acceptance_radius=0.0)
+
+    def test_lifecycle(self):
+        m = line_mission(length=10.0, altitude=5.0, legs=1)
+        assert m.status is MissionStatus.PENDING
+        m.start()
+        assert m.status is MissionStatus.ACTIVE
+        # Reach the first waypoint (0, 0, -5).
+        m.update(np.array([0.0, 0.0, -5.0]), 0.0)
+        assert m.current_index == 1
+        # Reach the last waypoint.
+        m.update(np.array([10.0, 0.0, -5.0]), 1.0)
+        assert m.status is MissionStatus.COMPLETE
+
+    def test_hold_delays_advance(self):
+        m = Mission(waypoints=[Waypoint(0, 0, 5, hold_s=2.0), Waypoint(5, 0, 5)])
+        m.start()
+        m.update(np.array([0.0, 0.0, -5.0]), 0.0)
+        assert m.current_index == 0  # holding
+        m.update(np.array([0.0, 0.0, -5.0]), 2.5)
+        assert m.current_index == 1
+
+    def test_far_position_does_not_advance(self):
+        m = line_mission(length=10.0, legs=1)
+        m.start()
+        m.update(np.array([50.0, 50.0, 0.0]), 0.0)
+        assert m.current_index == 0
+
+    def test_cross_track_distance(self):
+        m = line_mission(length=10.0, altitude=5.0, legs=1)
+        d = m.cross_track_distance(np.array([5.0, 3.0, -5.0]))
+        assert d == pytest.approx(3.0)
+
+    def test_desired_yaw_points_at_waypoint(self):
+        m = Mission(waypoints=[Waypoint(0, 10, 5)])
+        m.start()
+        yaw = m.desired_yaw(np.array([0.0, 0.0, -5.0]))
+        assert yaw == pytest.approx(np.pi / 2)  # due east
+
+    def test_reset(self):
+        m = line_mission(length=10.0, legs=1)
+        m.start()
+        m.update(np.array([0.0, 0.0, -10.0]), 0.0)
+        m.reset()
+        assert m.status is MissionStatus.PENDING
+        assert m.current_index == 0
+
+
+class TestMissionFactories:
+    def test_line_mission_geometry(self):
+        m = line_mission(length=60.0, altitude=10.0, legs=2)
+        assert len(m.waypoints) == 3
+        assert m.waypoints[1].north == 60.0
+        assert m.waypoints[2].north == 0.0
+
+    def test_square_mission_closes(self):
+        m = square_mission(side=40.0)
+        first, last = m.waypoints[0], m.waypoints[-1]
+        assert (first.north, first.east) == (last.north, last.east)
+        assert len(m.waypoints) == 5
