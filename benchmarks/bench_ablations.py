@@ -7,6 +7,11 @@ cost, using a shared small profiling dataset:
 * no clustering before stepwise selection,
 * unbounded/absolute manipulation vs bounded/gradual actions,
 * detector-penalty term present vs absent in the RL reward.
+
+These ablation workloads close over the module-scoped ``dataset`` fixture,
+so they run uncached on purpose: ``once`` is called without an
+``experiment`` name (a closure's identity alone would under-key the
+result cache).
 """
 
 import numpy as np

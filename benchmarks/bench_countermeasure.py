@@ -6,6 +6,11 @@ asymmetry: the gradual integrator attack that evades the system-level
 control-invariants monitor (Fig. 6) is caught by a variable-level monitor
 trained on the TSVL's benign envelopes, while the benign mission still
 raises no alarm.
+
+This bench runs uncached on purpose (``once`` without an ``experiment``
+name): the measured call mutates the trained monitor objects, whose alarm
+state the assertions read back — a cache hit would skip those side
+effects.
 """
 
 from repro.attacks.gradual import GradualRollAttack

@@ -12,7 +12,8 @@ from repro.core.defense_matrix import evaluate_defense_matrix
 
 
 def test_defense_evasion_matrix(once):
-    matrix = once(evaluate_defense_matrix, duration=35.0, seed=3)
+    matrix = once(evaluate_defense_matrix, experiment="defense_matrix",
+                  duration=35.0, seed=3)
     print()
     print(matrix.render())
 

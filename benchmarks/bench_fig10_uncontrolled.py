@@ -11,7 +11,8 @@ from repro.experiments.fig10 import run_fig10
 
 
 def test_fig10_uncontrolled_failure(once):
-    result = once(run_fig10, train_episodes=20, eval_steps=50, seed=1)
+    result = once(run_fig10, experiment="fig10", train_episodes=20,
+                  eval_steps=50, seed=1)
     print()
     print(result.render())
 

@@ -10,7 +10,8 @@ from repro.experiments.fig11 import run_fig11
 
 def test_fig11_controlled_failure(once):
     result = once(
-        run_fig11, train_episodes=25, eval_steps=80, zone_offset_east=14.0, seed=2
+        run_fig11, experiment="fig11", train_episodes=25, eval_steps=80,
+        zone_offset_east=14.0, seed=2,
     )
     print()
     print(result.render())

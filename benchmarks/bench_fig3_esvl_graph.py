@@ -12,7 +12,8 @@ from repro.firmware.mission import line_mission
 
 def test_fig3_dependency_graph(once):
     result = once(
-        run_fig3, missions=[line_mission(length=45.0, altitude=10.0, legs=1)]
+        run_fig3, experiment="fig3",
+        missions=[line_mission(length=45.0, altitude=10.0, legs=1)],
     )
     print()
     print(result.render(top=12))

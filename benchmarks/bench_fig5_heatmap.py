@@ -15,6 +15,7 @@ from repro.firmware.mission import line_mission, square_mission
 def test_fig5_heatmap_and_roll_tsvl(once):
     result = once(
         run_fig5,
+        experiment="fig5",
         missions=[
             square_mission(side=30.0, altitude=10.0),
             line_mission(length=45.0, altitude=10.0, legs=1),

@@ -10,7 +10,7 @@ from repro.experiments.fig6 import run_fig6
 
 
 def test_fig6_control_invariants(once):
-    result = once(run_fig6, duration=45.0, seed=3)
+    result = once(run_fig6, experiment="fig6", duration=45.0, seed=3)
     print()
     print(result.render())
 

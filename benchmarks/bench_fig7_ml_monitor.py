@@ -9,7 +9,7 @@ from repro.experiments.fig7 import run_fig7
 
 
 def test_fig7_ml_monitor(once):
-    result = once(run_fig7, duration=28.0, seed=5)
+    result = once(run_fig7, experiment="fig7", duration=28.0, seed=5)
     print()
     print(result.render())
 

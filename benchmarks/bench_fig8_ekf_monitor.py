@@ -12,7 +12,8 @@ from repro.experiments.fig8 import run_fig8
 
 
 def test_fig8_ekf_residual_monitor(once):
-    result = once(run_fig8, duration=55.0, attack_start=25.0, seed=9)
+    result = once(run_fig8, experiment="fig8", duration=55.0,
+                  attack_start=25.0, seed=9)
     print()
     print(result.render())
 

@@ -13,7 +13,8 @@ from repro.experiments.fig9 import run_fig9
 
 
 def test_fig9_threshold_sweep(once):
-    result = once(run_fig9, trials=4, duration=40.0, steady_after=22.0)
+    result = once(run_fig9, experiment="fig9", trials=4, duration=40.0,
+                  steady_after=22.0)
     print()
     print(result.render())
 

@@ -4,7 +4,7 @@ from repro.experiments.table1 import run_table1
 
 
 def test_table1_ksvl(once):
-    result = once(run_table1)
+    result = once(run_table1, experiment="table1")
     print()
     print(result.render())
     # Exact reproduction: the logger schema matches the paper's Table I.

@@ -13,6 +13,7 @@ from repro.firmware.mission import line_mission, square_mission
 def test_table2_tsvl(once):
     result = once(
         run_table2,
+        experiment="table2",
         missions=[
             square_mission(side=30.0, altitude=10.0),
             line_mission(length=45.0, altitude=10.0, legs=1),

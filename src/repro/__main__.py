@@ -10,6 +10,12 @@ table1 / table2
     Regenerate the paper's tables.
 fig N
     Regenerate one of the paper's figures (3, 5, 6, 7, 8, 9, 10 or 11).
+
+``table``/``fig`` run through the campaign runner: ``--workers N`` fans
+campaign-style experiments over a process pool, and results are stored
+in the content-addressed cache (``--cache-dir``, default
+``.repro_cache/``; ``--no-cache`` disables) so a re-run only computes
+what is missing.
 """
 
 from __future__ import annotations
@@ -62,34 +68,60 @@ def _cmd_assess(args: argparse.Namespace) -> int:
     return 0
 
 
+def _experiment_cache(args: argparse.Namespace):
+    from repro.experiments.cache import default_cache
+
+    return default_cache(
+        cache_dir=args.cache_dir,
+        enabled=False if args.no_cache else None,
+    )
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
-    if args.which == "1":
-        from repro.experiments.table1 import run_table1
+    from repro.experiments.runner import run_experiment
 
-        print(run_table1().render())
-    else:
-        from repro.experiments.table2 import run_table2
-
-        print(run_table2().render())
+    result = run_experiment(
+        f"table{args.which}",
+        cache=_experiment_cache(args),
+        workers=args.workers,
+    )
+    print(result.render())
     return 0
 
 
 def _cmd_fig(args: argparse.Namespace) -> int:
-    from repro import experiments as exp
+    from repro.experiments.runner import run_experiment
 
-    runners = {
-        "3": exp.run_fig3, "5": exp.run_fig5, "6": exp.run_fig6,
-        "7": exp.run_fig7, "8": exp.run_fig8, "9": exp.run_fig9,
-        "10": exp.run_fig10, "11": exp.run_fig11,
-    }
-    runner = runners.get(args.number)
-    if runner is None:
-        print(f"unknown figure '{args.number}' (choose from {sorted(runners)})",
+    if args.number not in ("3", "5", "6", "7", "8", "9", "10", "11"):
+        print(f"unknown figure '{args.number}' "
+              "(choose from ['10', '11', '3', '5', '6', '7', '8', '9'])",
               file=sys.stderr)
         return 2
-    result = runner()
+    result = run_experiment(
+        f"fig{args.number}",
+        cache=_experiment_cache(args),
+        workers=args.workers,
+    )
     print(result.render())
     return 0
+
+
+def _add_runner_options(parser: argparse.ArgumentParser) -> None:
+    """Campaign-runner execution knobs shared by table/fig commands."""
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="process-pool size for campaign-style experiments "
+             "(0 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute everything, ignoring the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="result-cache directory (default: .repro_cache, or "
+             "$REPRO_CACHE_DIR)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -120,10 +152,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("which", choices=("1", "2"))
+    _add_runner_options(table)
     table.set_defaults(func=_cmd_table)
 
     fig = sub.add_parser("fig", help="regenerate a paper figure")
     fig.add_argument("number")
+    _add_runner_options(fig)
     fig.set_defaults(func=_cmd_fig)
     return parser
 
@@ -132,7 +166,13 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    from repro.exceptions import ReproError
+
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -19,14 +19,25 @@ class CorrelationResult:
     names: list[str]
     matrix: np.ndarray
 
+    def __post_init__(self) -> None:
+        # Name -> row index built once: value()/strongest_partners() are
+        # called per candidate pair inside Algorithm 1, and repeated
+        # list.index() scans made those lookups O(n) each on wide ESVLs.
+        self._index = {name: i for i, name in enumerate(self.names)}
+
+    def _loc(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise AnalysisError(f"unknown variable '{name}'") from None
+
     def value(self, a: str, b: str) -> float:
         """Correlation coefficient between two named variables."""
-        i, j = self.names.index(a), self.names.index(b)
-        return float(self.matrix[i, j])
+        return float(self.matrix[self._loc(a), self._loc(b)])
 
     def strongest_partners(self, name: str, k: int = 5) -> list[tuple[str, float]]:
         """The ``k`` variables most correlated (by |r|) with ``name``."""
-        i = self.names.index(name)
+        i = self._loc(name)
         scored = [
             (other, float(self.matrix[i, j]))
             for j, other in enumerate(self.names)
@@ -60,6 +71,12 @@ def pearson(x: np.ndarray, y: np.ndarray) -> float:
         raise AnalysisError(f"length mismatch: {x.shape} vs {y.shape}")
     if x.size < 2:
         raise AnalysisError("need at least two samples")
+    # A constant series has undefined correlation. Checked on the raw
+    # values (ptp == 0), not the centred norm: subtracting the mean of a
+    # non-representable constant (e.g. 1.7856…) leaves ~1 ulp of rounding
+    # residue, which a tiny-norm threshold mistakes for real variance.
+    if np.ptp(x) == 0.0 or np.ptp(y) == 0.0:
+        return float("nan")
     xc = x - x.mean()
     yc = y - y.mean()
     denom = np.sqrt(np.sum(xc * xc) * np.sum(yc * yc))
@@ -75,13 +92,15 @@ def correlation_matrix(table: TraceTable) -> CorrelationResult:
         raise AnalysisError("need at least two rows to correlate")
     centered = matrix - matrix.mean(axis=0)
     norms = np.sqrt(np.sum(centered * centered, axis=0))
+    # Constant columns have undefined correlation; detected on the raw
+    # values (ptp == 0) because mean-centering a non-representable
+    # constant leaves rounding residue that inflates the centred norm.
+    constant = (np.ptp(matrix, axis=0) == 0.0) | (norms <= 1e-300)
     with np.errstate(invalid="ignore", divide="ignore"):
-        normalised = np.where(norms > 1e-300, centered / norms, np.nan)
+        normalised = np.where(~constant, centered / norms, np.nan)
         corr = normalised.T @ normalised
     corr = np.clip(corr, -1.0, 1.0)
     np.fill_diagonal(corr, 1.0)
-    # Constant columns have nan rows/columns (undefined correlation).
-    constant = norms <= 1e-300
     corr[constant, :] = np.nan
     corr[:, constant] = np.nan
     return CorrelationResult(names=list(table.columns), matrix=corr)

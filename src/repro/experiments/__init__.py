@@ -1,5 +1,11 @@
 """Paper experiment reproductions (one module per table/figure)."""
 
+from repro.experiments.cache import (
+    ResultCache,
+    cached_call,
+    default_cache,
+    fingerprint_params,
+)
 from repro.experiments.campaign import (
     CampaignResult,
     MetricSummary,
@@ -13,14 +19,22 @@ from repro.experiments.fig8 import Fig8Result, run_fig8
 from repro.experiments.fig9 import Fig9Result, run_fig9
 from repro.experiments.fig10 import Fig10Result, ScenarioTrace, run_fig10
 from repro.experiments.fig11 import CrashScenarioTrace, Fig11Result, run_fig11
+from repro.experiments.runner import EXPERIMENTS, experiment_entry, run_experiment
 from repro.experiments.table1 import Table1Result, run_table1
 from repro.experiments.table2 import PAPER_TABLE2, Table2Result, Table2Row, run_table2
 
 __all__ = [
     "CampaignResult",
     "CrashScenarioTrace",
+    "EXPERIMENTS",
     "MetricSummary",
+    "ResultCache",
+    "cached_call",
+    "default_cache",
+    "experiment_entry",
+    "fingerprint_params",
     "run_campaign",
+    "run_experiment",
     "Fig3Result",
     "Fig5Result",
     "Fig6Condition",

@@ -1,0 +1,346 @@
+"""Content-addressed on-disk cache for experiment results.
+
+Every table/figure regeneration and every campaign seed is a pure function
+of its parameters, so re-running a bench should only compute what is
+missing. The cache keys each result by experiment name + a SHA-256
+fingerprint of the call parameters (plus the package version, so a release
+bump invalidates stale artefacts) and stores it as JSON under
+``.repro_cache/<experiment>/<fingerprint>.json``.
+
+Two layers live here:
+
+* a **fingerprint** (:func:`fingerprint_params`) — a stable hash over an
+  arbitrary parameter structure (dataclasses, missions, numpy arrays,
+  enums, callables by qualified name);
+* a **codec** (:func:`encode_result` / :func:`decode_result`) — a JSON
+  representation that round-trips the experiment result dataclasses,
+  including nested dataclasses, tuples, enums, non-string dict keys and
+  numpy arrays. Decoding only reconstructs dataclasses from ``repro.*``
+  modules, so a tampered cache file cannot instantiate arbitrary types.
+
+Environment overrides: ``REPRO_CACHE_DIR`` relocates the cache root and
+``REPRO_NO_CACHE`` (any non-empty value) disables caching entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import importlib
+import json
+import os
+import re
+import time
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheEntry",
+    "CacheStats",
+    "ResultCache",
+    "cached_call",
+    "callable_name",
+    "decode_result",
+    "default_cache",
+    "encode_result",
+    "fingerprint_params",
+]
+
+#: Bump to invalidate every cached artefact after a format change.
+CACHE_SCHEMA_VERSION = 1
+
+_MARKERS = ("__tuple__", "__ndarray__", "__dataclass__", "__enum__", "__kv__")
+
+
+def callable_name(fn: Callable) -> str:
+    """Stable ``module.qualname`` identity of a callable (partials unwrapped)."""
+    inner = fn
+    while hasattr(inner, "func"):  # functools.partial chains
+        inner = inner.func
+    module = getattr(inner, "__module__", "?")
+    qualname = getattr(inner, "__qualname__", repr(inner))
+    return f"{module}.{qualname}"
+
+
+# ---------------------------------------------------------------------------
+# Fingerprinting
+# ---------------------------------------------------------------------------
+
+def _canonical(obj: Any) -> Any:
+    """A JSON-able canonical form of ``obj`` for hashing (not decoding)."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return ["f", repr(obj)]
+    if isinstance(obj, (np.floating, np.integer, np.bool_)):
+        return _canonical(obj.item())
+    if isinstance(obj, np.ndarray):
+        return ["nd", str(obj.dtype), list(obj.shape),
+                hashlib.sha256(np.ascontiguousarray(obj).tobytes()).hexdigest()]
+    if isinstance(obj, Enum):
+        return ["enum", callable_name(type(obj)), obj.name]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return ["dc", callable_name(type(obj)), fields]
+    if isinstance(obj, (list, tuple)):
+        return ["tuple" if isinstance(obj, tuple) else "list",
+                [_canonical(v) for v in obj]]
+    if isinstance(obj, (set, frozenset)):
+        items = sorted(json.dumps(_canonical(v), sort_keys=True) for v in obj)
+        return ["set", items]
+    if isinstance(obj, Mapping):
+        items = sorted(
+            (json.dumps(_canonical(k), sort_keys=True), _canonical(v))
+            for k, v in obj.items()
+        )
+        return ["map", items]
+    if callable(obj):
+        return ["fn", callable_name(obj)]
+    return ["repr", repr(obj)]
+
+
+def fingerprint_params(params: Any) -> str:
+    """SHA-256 hex digest of the canonical form of ``params``."""
+    payload = json.dumps(_canonical(params), sort_keys=True, allow_nan=False)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Result codec
+# ---------------------------------------------------------------------------
+
+def encode_result(obj: Any) -> Any:
+    """Encode a result object into JSON-able structures (see module doc)."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (np.floating, np.integer, np.bool_)):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return {"__ndarray__": obj.tolist(), "dtype": str(obj.dtype)}
+    if isinstance(obj, Enum):
+        return {"__enum__": callable_name(type(obj)), "name": obj.name}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: encode_result(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+            if f.init
+        }
+        return {"__dataclass__": callable_name(type(obj)), "fields": fields}
+    if isinstance(obj, tuple):
+        return {"__tuple__": [encode_result(v) for v in obj]}
+    if isinstance(obj, list):
+        return [encode_result(v) for v in obj]
+    if isinstance(obj, Mapping):
+        if all(isinstance(k, str) for k in obj) and not (
+            set(obj) & set(_MARKERS)
+        ):
+            return {k: encode_result(v) for k, v in obj.items()}
+        return {"__kv__": [[encode_result(k), encode_result(v)]
+                           for k, v in obj.items()]}
+    raise AnalysisError(
+        f"cannot cache result of type {type(obj).__name__}: {obj!r:.80}"
+    )
+
+
+def _resolve_symbol(qualified: str) -> Any:
+    """Import ``module.Qualname``, restricted to the ``repro`` package."""
+    module_name, _, attr = qualified.rpartition(".")
+    if not (module_name == "repro" or module_name.startswith("repro.")):
+        raise AnalysisError(
+            f"refusing to decode cached object of non-repro type {qualified!r}"
+        )
+    obj: Any = importlib.import_module(module_name)
+    for part in attr.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def decode_result(obj: Any) -> Any:
+    """Inverse of :func:`encode_result`."""
+    if isinstance(obj, list):
+        return [decode_result(v) for v in obj]
+    if not isinstance(obj, dict):
+        return obj
+    if "__ndarray__" in obj:
+        return np.asarray(obj["__ndarray__"], dtype=np.dtype(obj["dtype"]))
+    if "__tuple__" in obj:
+        return tuple(decode_result(v) for v in obj["__tuple__"])
+    if "__enum__" in obj:
+        return _resolve_symbol(obj["__enum__"])[obj["name"]]
+    if "__dataclass__" in obj:
+        cls = _resolve_symbol(obj["__dataclass__"])
+        if not (dataclasses.is_dataclass(cls) and isinstance(cls, type)):
+            raise AnalysisError(f"{obj['__dataclass__']!r} is not a dataclass")
+        fields = {k: decode_result(v) for k, v in obj["fields"].items()}
+        return cls(**fields)
+    if "__kv__" in obj:
+        return {decode_result(k): decode_result(v) for k, v in obj["__kv__"]}
+    return {k: decode_result(v) for k, v in obj.items()}
+
+
+# ---------------------------------------------------------------------------
+# The on-disk cache
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+@dataclass
+class CacheEntry:
+    """One decoded cache record."""
+
+    experiment: str
+    fingerprint: str
+    result: Any
+    elapsed_s: float = 0.0
+    created_at: float = 0.0
+
+
+_SAFE_NAME = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+class ResultCache:
+    """Content-addressed JSON store under ``cache_dir`` (default
+    ``.repro_cache/``); see the module docstring for the layout."""
+
+    def __init__(self, cache_dir: str | Path | None = None,
+                 enabled: bool = True):
+        root = cache_dir or os.environ.get("REPRO_CACHE_DIR") or ".repro_cache"
+        self.root = Path(root)
+        if enabled and self.root.exists() and not self.root.is_dir():
+            # Fail before any experiment runs, not at store time after
+            # minutes of compute.
+            raise AnalysisError(
+                f"cache dir '{self.root}' exists and is not a directory"
+            )
+        self.enabled = enabled
+        self.stats = CacheStats()
+
+    def path_for(self, experiment: str, fingerprint: str) -> Path:
+        """Where the record for (experiment, fingerprint) lives."""
+        safe = _SAFE_NAME.sub("_", experiment) or "experiment"
+        return self.root / safe / f"{fingerprint}.json"
+
+    def get(self, experiment: str, fingerprint: str) -> CacheEntry | None:
+        """The decoded entry, or ``None`` on miss/disabled/corrupt file."""
+        if not self.enabled:
+            return None
+        path = self.path_for(experiment, fingerprint)
+        try:
+            raw = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            self.stats.misses += 1
+            return None
+        if raw.get("schema") != CACHE_SCHEMA_VERSION:
+            self.stats.misses += 1
+            return None
+        try:
+            result = decode_result(raw["result"])
+        except (AnalysisError, KeyError, TypeError, AttributeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return CacheEntry(
+            experiment=experiment, fingerprint=fingerprint, result=result,
+            elapsed_s=float(raw.get("elapsed_s", 0.0)),
+            created_at=float(raw.get("created_at", 0.0)),
+        )
+
+    def put(self, experiment: str, fingerprint: str, result: Any,
+            elapsed_s: float = 0.0) -> Path | None:
+        """Store one result atomically; returns the file path (or ``None``)."""
+        if not self.enabled:
+            return None
+        path = self.path_for(experiment, fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "experiment": experiment,
+            "fingerprint": fingerprint,
+            "elapsed_s": float(elapsed_s),
+            "created_at": time.time(),
+            "result": encode_result(result),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(record, allow_nan=True))
+        os.replace(tmp, path)
+        self.stats.stores += 1
+        return path
+
+    def clear(self, experiment: str | None = None) -> int:
+        """Delete all records (or one experiment's); returns files removed."""
+        removed = 0
+        roots = [self.root / _SAFE_NAME.sub("_", experiment)] if experiment \
+            else [self.root]
+        for root in roots:
+            if not root.is_dir():
+                continue
+            for path in sorted(root.rglob("*.json")):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+
+def default_cache(cache_dir: str | Path | None = None,
+                  enabled: bool | None = None) -> ResultCache:
+    """A cache honouring ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE``."""
+    if enabled is None:
+        enabled = not os.environ.get("REPRO_NO_CACHE")
+    return ResultCache(cache_dir=cache_dir, enabled=enabled)
+
+
+def cached_call(
+    fn: Callable,
+    *args: Any,
+    experiment: str | None = None,
+    cache: ResultCache | None = None,
+    extra_key: Any = None,
+    exclude: tuple[str, ...] = ("workers", "cache"),
+    **kwargs: Any,
+):
+    """Call ``fn(*args, **kwargs)`` through the result cache.
+
+    The fingerprint covers the callable identity, the package version, the
+    positional/keyword arguments and ``extra_key``; ``experiment`` names
+    the cache bucket (defaults to the callable's qualified name). Keyword
+    arguments named in ``exclude`` are forwarded to ``fn`` but left out of
+    the fingerprint — by default the execution knobs (``workers``,
+    ``cache``) that change how a result is computed, never what it is.
+    """
+    from repro import __version__
+
+    if cache is None:
+        cache = default_cache()
+    name = experiment or callable_name(fn)
+    fingerprint = fingerprint_params({
+        "fn": callable_name(fn),
+        "version": __version__,
+        "args": list(args),
+        "kwargs": {k: v for k, v in kwargs.items() if k not in exclude},
+        "extra": extra_key,
+    })
+    entry = cache.get(name, fingerprint)
+    if entry is not None:
+        return entry.result
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    elapsed = time.perf_counter() - start
+    cache.put(name, fingerprint, result, elapsed_s=elapsed)
+    return result

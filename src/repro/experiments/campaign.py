@@ -4,16 +4,36 @@ The paper reports several experiments over repeated trials ("10 trials on
 various missions"); this module runs any per-seed experiment callable
 across a seed range and aggregates named scalar metrics, so benches and
 users can report mean/median/min/max instead of single-run numbers.
+
+Execution modes (all produce bit-identical :class:`CampaignResult` metric
+values and seed ordering):
+
+* **serial** — ``workers=0`` (or 1): the classic in-process loop;
+* **parallel** — ``workers=N`` fans the missing seeds out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` and collects results
+  back in seed order before aggregating;
+* **cached** — with a :class:`~repro.experiments.cache.ResultCache`,
+  per-seed metric dicts are looked up by experiment name + seed + params
+  fingerprint first, and only the missing seeds are computed (then
+  stored), so a warm re-run executes zero experiment callables.
 """
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable, Mapping
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
 from repro.exceptions import AnalysisError
+from repro.experiments.cache import (
+    ResultCache,
+    callable_name,
+    fingerprint_params,
+)
 
 __all__ = ["MetricSummary", "CampaignResult", "run_campaign"]
 
@@ -48,11 +68,30 @@ class MetricSummary:
 
 @dataclass
 class CampaignResult:
-    """All per-seed metric values plus aggregates."""
+    """All per-seed metric values plus aggregates and timing."""
 
     metrics: dict[str, MetricSummary] = field(default_factory=dict)
     seeds: list[int] = field(default_factory=list)
     failures: dict[int, str] = field(default_factory=dict)
+    #: Per-seed wall-clock compute time (cached seeds report the stored
+    #: time of their original computation).
+    timings: dict[int, float] = field(default_factory=dict)
+    #: Seeds whose metrics came out of the result cache this run.
+    cached_seeds: list[int] = field(default_factory=list)
+    #: Wall-clock duration of the whole ``run_campaign`` call.
+    total_seconds: float = 0.0
+
+    @property
+    def compute_seconds(self) -> float:
+        """Summed per-seed compute time (the serial-equivalent cost)."""
+        return float(sum(self.timings.values()))
+
+    @property
+    def seeds_per_second(self) -> float:
+        """Campaign throughput over this run's wall clock."""
+        if self.total_seconds <= 0.0:
+            return 0.0
+        return len(self.seeds) / self.total_seconds
 
     def metric(self, name: str) -> MetricSummary:
         """One metric's summary."""
@@ -65,7 +104,9 @@ class CampaignResult:
         """Aggregate table."""
         lines = [
             f"Campaign over {len(self.seeds)} seeds"
-            + (f" ({len(self.failures)} failed)" if self.failures else ""),
+            + (f" ({len(self.failures)} failed)" if self.failures else "")
+            + (f" ({len(self.cached_seeds)} cached)" if self.cached_seeds
+               else ""),
             "  metric                    mean      median      min       max",
         ]
         for summary in self.metrics.values():
@@ -73,36 +114,125 @@ class CampaignResult:
                 f"  {summary.name:22s} {summary.mean:9.3g} {summary.median:10.3g} "
                 f"{summary.min:9.3g} {summary.max:9.3g}"
             )
+        if self.total_seconds > 0.0:
+            lines.append(
+                f"  wall {self.total_seconds:.2f}s  compute "
+                f"{self.compute_seconds:.2f}s  "
+                f"{self.seeds_per_second:.2f} seeds/s"
+            )
         return "\n".join(lines)
+
+
+def _execute_seed(
+    experiment: Callable[[int], Mapping[str, float]], seed: int
+) -> tuple[int, bool, Any, float]:
+    """Run one seed; returns (seed, ok, metrics-or-error, elapsed_s).
+
+    Module-level so :class:`ProcessPoolExecutor` can pickle it; exceptions
+    are captured as strings so one bad seed cannot kill the pool.
+    """
+    start = time.perf_counter()
+    try:
+        metrics = {
+            str(name): float(value)
+            for name, value in experiment(seed).items()
+        }
+    except Exception as exc:  # noqa: BLE001 - campaign isolation
+        return seed, False, exc, time.perf_counter() - start
+    return seed, True, metrics, time.perf_counter() - start
 
 
 def run_campaign(
     experiment: Callable[[int], Mapping[str, float]],
     seeds,
     raise_on_failure: bool = False,
+    workers: int = 0,
+    cache: ResultCache | None = None,
+    experiment_name: str | None = None,
+    params: Any = None,
 ) -> CampaignResult:
     """Run ``experiment(seed) -> {metric: value}`` across ``seeds``.
 
     Per-seed exceptions are recorded (or re-raised with
-    ``raise_on_failure``); metrics are aggregated over successful runs.
+    ``raise_on_failure``); metrics are aggregated over successful runs in
+    seed order regardless of execution mode.
+
+    Parameters
+    ----------
+    workers:
+        ``0``/``1`` runs serially in-process; ``N > 1`` computes missing
+        seeds on a process pool (the experiment callable must be
+        picklable, i.e. a module-level function or a partial of one).
+    cache:
+        Optional result cache; per-seed metric dicts are keyed by
+        ``experiment_name`` + seed + a fingerprint of ``params``.
+    experiment_name:
+        Cache bucket name (default: the callable's qualified name).
+    params:
+        Anything that changes the experiment's behaviour besides the
+        seed — it is fingerprinted into the cache key.
     """
-    seeds = list(seeds)
+    wall_start = time.perf_counter()
+    seeds = [int(s) for s in seeds]
     if not seeds:
         raise AnalysisError("campaign needs at least one seed")
+    name = experiment_name or callable_name(experiment)
     result = CampaignResult(seeds=seeds)
+
+    outcomes: dict[int, tuple[bool, Any]] = {}
+    fingerprints: dict[int, str] = {}
+    missing: list[int] = []
     for seed in seeds:
-        try:
-            metrics = experiment(seed)
-        except Exception as exc:  # noqa: BLE001 - campaign isolation
-            if raise_on_failure:
-                raise
-            result.failures[seed] = str(exc)
+        if cache is not None:
+            fingerprints[seed] = fingerprint_params(
+                {"experiment": name, "seed": seed, "params": params}
+            )
+            entry = cache.get(name, fingerprints[seed])
+            if entry is not None and isinstance(entry.result, dict):
+                outcomes[seed] = (True, entry.result)
+                result.timings[seed] = entry.elapsed_s
+                result.cached_seeds.append(seed)
+                continue
+        missing.append(seed)
+
+    if workers and workers > 1 and len(missing) > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_execute_seed, experiment, seed)
+                for seed in missing
+            ]
+            computed = [future.result() for future in futures]
+        if raise_on_failure:
+            for _, ok, payload, _ in computed:  # first failure in seed order
+                if not ok:
+                    raise payload
+    else:
+        computed = []
+        for seed in missing:
+            outcome = _execute_seed(experiment, seed)
+            if raise_on_failure and not outcome[1]:
+                raise outcome[2]
+            computed.append(outcome)
+
+    for seed, ok, payload, elapsed in computed:
+        outcomes[seed] = (ok, payload)
+        result.timings[seed] = elapsed
+        if ok and cache is not None:
+            cache.put(name, fingerprints[seed], payload, elapsed_s=elapsed)
+
+    # Aggregate strictly in seed order so serial, parallel and cache-warm
+    # runs produce identical metric value sequences.
+    for seed in seeds:
+        ok, payload = outcomes[seed]
+        if not ok:
+            result.failures[seed] = str(payload)
             continue
-        for name, value in metrics.items():
-            result.metrics.setdefault(name, MetricSummary(name=name))
-            result.metrics[name].values.append(float(value))
+        for metric_name, value in payload.items():
+            result.metrics.setdefault(metric_name, MetricSummary(name=metric_name))
+            result.metrics[metric_name].values.append(float(value))
     if not result.metrics:
         raise AnalysisError(
             f"every campaign run failed: {result.failures}"
         )
+    result.total_seconds = time.perf_counter() - wall_start
     return result

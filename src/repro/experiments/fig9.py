@@ -13,10 +13,12 @@ distribution at every setting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
 from repro.attacks.gradual import GradualRollAttack
+from repro.experiments.campaign import run_campaign
 from repro.defenses.control_invariants import ControlInvariantsDetector
 from repro.firmware.mission import line_mission
 from repro.firmware.modes import FlightMode
@@ -93,6 +95,27 @@ def _steady_max(attack, seed: int, duration: float, steady_after: float) -> floa
     return float(steady.max()) if len(steady) else 0.0
 
 
+def _fig9_trial(
+    seed: int,
+    duration: float,
+    steady_after: float,
+    attack1_rate: float,
+    attack2_rate: float,
+) -> dict[str, float]:
+    """One campaign trial: all three conditions on one seed."""
+    return {
+        "benign": _steady_max(None, seed, duration, steady_after),
+        "attack1": _steady_max(
+            GradualRollAttack(rate_deg_s=attack1_rate, start_time=5.0),
+            seed, duration, steady_after,
+        ),
+        "attack2": _steady_max(
+            GradualRollAttack(rate_deg_s=attack2_rate, start_time=5.0),
+            seed, duration, steady_after,
+        ),
+    }
+
+
 def run_fig9(
     trials: int = 10,
     duration: float = 45.0,
@@ -101,24 +124,32 @@ def run_fig9(
     attack2_rate: float = 0.25,
     thresholds: list[float] | None = None,
     base_seed: int = 20,
+    workers: int = 0,
+    cache=None,
 ) -> Fig9Result:
-    """Run the three conditions over ``trials`` seeds and sweep thresholds."""
-    result = Fig9Result()
-    for trial in range(trials):
-        seed = base_seed + trial
-        result.benign.append(_steady_max(None, seed, duration, steady_after))
-        result.attack1.append(
-            _steady_max(
-                GradualRollAttack(rate_deg_s=attack1_rate, start_time=5.0),
-                seed, duration, steady_after,
-            )
-        )
-        result.attack2.append(
-            _steady_max(
-                GradualRollAttack(rate_deg_s=attack2_rate, start_time=5.0),
-                seed, duration, steady_after,
-            )
-        )
+    """Run the three conditions over ``trials`` seeds and sweep thresholds.
+
+    The per-seed trials go through :func:`run_campaign`, so they can fan
+    out over ``workers`` processes and reuse cached seeds.
+    """
+    params = {
+        "duration": duration, "steady_after": steady_after,
+        "attack1_rate": attack1_rate, "attack2_rate": attack2_rate,
+    }
+    campaign = run_campaign(
+        partial(_fig9_trial, **params),
+        seeds=range(base_seed, base_seed + trials),
+        raise_on_failure=True,
+        workers=workers,
+        cache=cache,
+        experiment_name="fig9.trial",
+        params=params,
+    )
+    result = Fig9Result(
+        benign=list(campaign.metric("benign").values),
+        attack1=list(campaign.metric("attack1").values),
+        attack2=list(campaign.metric("attack2").values),
+    )
     benign = np.asarray(result.benign)
     if thresholds is None:
         # Sweep around the benign distribution, as an operator tuning for

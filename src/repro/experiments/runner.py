@@ -1,0 +1,103 @@
+"""One front door for every paper experiment: named, cached, parallel.
+
+The fig/table modules each expose a pure ``run_*`` entry point; this
+module registers them under their paper names and routes invocations
+through the result cache (and, for campaign-style experiments, the
+process-pool workers), so benches and the CLI share one code path:
+
+    run_experiment("fig9", trials=4, workers=4)
+
+Whole-experiment results are cached under the experiment's name; the
+``workers``/``cache`` execution knobs are deliberately excluded from the
+cache fingerprint because they change how a result is computed, never
+what it is.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+from collections.abc import Callable
+from typing import Any
+
+from repro.exceptions import AnalysisError
+from repro.experiments.cache import ResultCache, cached_call, default_cache
+
+__all__ = ["EXPERIMENTS", "experiment_entry", "run_experiment"]
+
+
+def _registry() -> dict[str, Callable]:
+    # Imported lazily so ``import repro.experiments.runner`` stays cheap
+    # and free of the heavier RL/simulation module graph.
+    from repro.experiments.fig3 import run_fig3
+    from repro.experiments.fig5 import run_fig5
+    from repro.experiments.fig6 import run_fig6
+    from repro.experiments.fig7 import run_fig7
+    from repro.experiments.fig8 import run_fig8
+    from repro.experiments.fig9 import run_fig9
+    from repro.experiments.fig10 import run_fig10
+    from repro.experiments.fig11 import run_fig11
+    from repro.experiments.table1 import run_table1
+    from repro.experiments.table2 import run_table2
+
+    return {
+        "table1": run_table1,
+        "table2": run_table2,
+        "fig3": run_fig3,
+        "fig5": run_fig5,
+        "fig6": run_fig6,
+        "fig7": run_fig7,
+        "fig8": run_fig8,
+        "fig9": run_fig9,
+        "fig10": run_fig10,
+        "fig11": run_fig11,
+    }
+
+
+#: Experiment name -> entry point (resolved on first use).
+EXPERIMENTS: dict[str, Callable] = {}
+
+
+def experiment_entry(name: str) -> Callable:
+    """The registered entry point for ``name``."""
+    if not EXPERIMENTS:
+        EXPERIMENTS.update(_registry())
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise AnalysisError(
+            f"unknown experiment '{name}' (choose from {known})"
+        ) from None
+
+
+def run_experiment(
+    name: str,
+    *,
+    cache: ResultCache | None = None,
+    workers: int = 0,
+    **kwargs: Any,
+):
+    """Run one named experiment through the cache/worker layer.
+
+    ``workers`` is forwarded to entry points that accept it (the
+    campaign-style experiments); per-seed caching inside such experiments
+    reuses the same ``cache`` instance, so even a partial prior run
+    contributes its finished seeds.
+    """
+    entry = experiment_entry(name)
+    if cache is None:
+        cache = default_cache()
+    signature = inspect.signature(entry)
+    call_kwargs = dict(kwargs)
+    if "workers" in signature.parameters:
+        call_kwargs["workers"] = workers
+    if "cache" in signature.parameters:
+        # ``cache`` cannot ride through cached_call's **kwargs (it would
+        # bind to cached_call's own ``cache`` parameter), so bind it onto
+        # the entry point instead; callable_name unwraps the partial, so
+        # the fingerprint still keys on the bare entry point.
+        entry = functools.partial(entry, cache=cache)
+    # The execution knobs (workers/cache) are excluded from the
+    # fingerprint, so only the science parameters key the result.
+    return cached_call(entry, experiment=name, cache=cache, **call_kwargs)

@@ -97,6 +97,72 @@ class TestCorrelationMatrix:
         assert strengths == sorted(strengths, reverse=True)
 
 
+class TestCorrelationMatrixProperties:
+    """Property tests: correlation_matrix vs numpy's reference."""
+
+    @given(st.integers(0, 2**31 - 1), st.integers(10, 80), st.integers(2, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_agrees_with_np_corrcoef(self, seed, rows, cols):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(rows, cols))
+        table = table_from_columns(
+            **{f"v{i}": data[:, i] for i in range(cols)}
+        )
+        result = correlation_matrix(table)
+        reference = np.corrcoef(data, rowvar=False)
+        np.testing.assert_allclose(result.matrix, reference, atol=1e-10)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_pairwise_symmetry(self, seed):
+        rng = np.random.default_rng(seed)
+        x, y = rng.normal(size=60), rng.normal(size=60)
+        table = table_from_columns(x=x, y=y)
+        result = correlation_matrix(table)
+        assert result.value("x", "y") == result.value("y", "x")
+        assert result.value("x", "y") == pytest.approx(pearson(x, y), abs=1e-12)
+        assert pearson(x, y) == pytest.approx(pearson(y, x))
+
+    @given(st.integers(0, 2**31 - 1), st.floats(-10.0, 10.0))
+    @settings(max_examples=25, deadline=None)
+    def test_constant_columns_nan_everywhere(self, seed, constant):
+        rng = np.random.default_rng(seed)
+        table = table_from_columns(
+            a=rng.normal(size=40),
+            k=np.full(40, constant),
+            b=rng.normal(size=40),
+        )
+        result = correlation_matrix(table)
+        i = result.names.index("k")
+        assert np.all(np.isnan(result.matrix[i, :]))
+        assert np.all(np.isnan(result.matrix[:, i]))
+        # Non-constant columns stay finite.
+        assert np.isfinite(result.value("a", "b"))
+
+    def test_wide_result_lookups_stay_correct(self, rng):
+        """500-column result: the O(1) name index must agree with the
+        matrix for every sampled pair (regression for the repeated
+        list.index() lookups)."""
+        n_cols, n_rows = 500, 6
+        data = rng.normal(size=(n_rows, n_cols))
+        names = [f"c{i}" for i in range(n_cols)]
+        table = table_from_columns(**dict(zip(names, data.T)))
+        result = correlation_matrix(table)
+        assert result.names == names
+        for i in (0, 1, 7, 249, 250, 498, 499):
+            for j in (0, 3, 250, 499):
+                assert result.value(names[i], names[j]) == float(
+                    result.matrix[i, j]
+                )
+        # strongest_partners agrees with a manual scan on the last column.
+        partners = result.strongest_partners("c499", k=3)
+        row = np.abs(result.matrix[499])
+        row[499] = -np.inf
+        assert partners[0][0] == names[int(np.argmax(row))]
+        with pytest.raises(AnalysisError):
+            result.value("c0", "nope")
+
+
 class TestPruning:
     def test_constant_dropped(self, rng):
         table = table_from_columns(a=rng.normal(size=100), k=np.full(100, 3.3))

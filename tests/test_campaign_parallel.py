@@ -1,0 +1,337 @@
+"""Determinism and caching guarantees of the parallel campaign runner.
+
+The whole point of ``run_campaign(workers=N, cache=...)`` is that the
+execution mode must never change the science: serial, process-pool and
+cache-warm runs have to produce bit-identical metric values in identical
+seed order. These tests pin that contract, plus the acceptance criterion
+that a cache-warm invocation executes zero experiment callables.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.experiments.cache import (
+    ResultCache,
+    cached_call,
+    decode_result,
+    default_cache,
+    encode_result,
+    fingerprint_params,
+)
+from repro.experiments.campaign import run_campaign
+
+# Module-level experiments so ProcessPoolExecutor can pickle them.
+
+def _metric_experiment(seed: int) -> dict[str, float]:
+    """Deterministic pseudo-random metrics, different per seed."""
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=32)
+    return {
+        "deviation": float(values.sum()),
+        "max_roll": float(np.abs(values).max()),
+        "detected": float(seed % 2),
+    }
+
+
+def _flaky_experiment(seed: int) -> dict[str, float]:
+    if seed % 3 == 0:
+        raise RuntimeError(f"boom {seed}")
+    return {"x": float(seed)}
+
+
+_CALLS: list[int] = []
+
+
+def _counting_experiment(seed: int) -> dict[str, float]:
+    _CALLS.append(seed)
+    return _metric_experiment(seed)
+
+
+def _knobby_entry(scale: float = 1.0, workers: int = 0, cache=None):
+    """A fake whole-experiment entry point taking both execution knobs."""
+    _CALLS.append(int(scale))
+    return {
+        "scale": scale,
+        "workers": workers,
+        "cache_enabled": None if cache is None else bool(cache.enabled),
+    }
+
+
+def _knobbed_experiment(seed: int, workers: int = 0) -> dict[str, float]:
+    _CALLS.append(seed)
+    return {"x": float(seed)}
+
+
+def _values(result) -> dict[str, list[float]]:
+    return {name: list(m.values) for name, m in result.metrics.items()}
+
+
+class TestDeterminism:
+    SEEDS = list(range(10, 18))
+
+    def test_parallel_identical_to_serial(self):
+        serial = run_campaign(_metric_experiment, self.SEEDS)
+        parallel = run_campaign(_metric_experiment, self.SEEDS, workers=4)
+        # Bit-identical values, identical metric key order, same seeds.
+        assert _values(parallel) == _values(serial)
+        assert list(parallel.metrics) == list(serial.metrics)
+        assert parallel.seeds == serial.seeds == self.SEEDS
+
+    def test_cache_warm_identical_to_serial(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        serial = run_campaign(_metric_experiment, self.SEEDS)
+        cold = run_campaign(
+            _metric_experiment, self.SEEDS, cache=cache,
+            experiment_name="det", params={"n": 32},
+        )
+        warm = run_campaign(
+            _metric_experiment, self.SEEDS, cache=cache,
+            experiment_name="det", params={"n": 32},
+        )
+        assert _values(cold) == _values(warm) == _values(serial)
+        assert not cold.cached_seeds
+        assert warm.cached_seeds == self.SEEDS
+
+    def test_cache_warm_executes_zero_callables(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        _CALLS.clear()
+        run_campaign(_counting_experiment, self.SEEDS, cache=cache,
+                     experiment_name="count", params=None)
+        assert sorted(_CALLS) == self.SEEDS
+        _CALLS.clear()
+        warm = run_campaign(_counting_experiment, self.SEEDS, cache=cache,
+                            experiment_name="count", params=None)
+        assert _CALLS == []  # zero experiment callables executed
+        assert warm.cached_seeds == self.SEEDS
+
+    def test_parallel_fills_only_missing_seeds(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        head = self.SEEDS[:4]
+        run_campaign(_metric_experiment, head, cache=cache,
+                     experiment_name="mixed", params="p")
+        mixed = run_campaign(_metric_experiment, self.SEEDS, workers=4,
+                             cache=cache, experiment_name="mixed", params="p")
+        assert mixed.cached_seeds == head
+        assert _values(mixed) == _values(run_campaign(_metric_experiment,
+                                                      self.SEEDS))
+
+    def test_different_params_do_not_collide(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_campaign(_metric_experiment, [1], cache=cache,
+                     experiment_name="p", params={"rate": 1.0})
+        other = run_campaign(_metric_experiment, [1], cache=cache,
+                             experiment_name="p", params={"rate": 2.0})
+        assert not other.cached_seeds
+
+    def test_failures_identical_across_modes(self):
+        serial = run_campaign(_flaky_experiment, range(7))
+        parallel = run_campaign(_flaky_experiment, range(7), workers=4)
+        assert parallel.failures.keys() == serial.failures.keys() == {0, 3, 6}
+        assert _values(parallel) == _values(serial)
+
+    def test_raise_on_failure_parallel_raises_original_type(self):
+        with pytest.raises(RuntimeError, match="boom 0"):
+            run_campaign(_flaky_experiment, range(7), workers=4,
+                         raise_on_failure=True)
+
+    def test_timing_recorded(self):
+        result = run_campaign(_metric_experiment, self.SEEDS[:3])
+        assert sorted(result.timings) == self.SEEDS[:3]
+        assert result.total_seconds > 0.0
+        assert result.compute_seconds >= 0.0
+        assert result.seeds_per_second > 0.0
+        assert "seeds/s" in result.render()
+
+
+class TestCacheCodec:
+    """The JSON codec must round-trip the experiment result shapes."""
+
+    def test_roundtrip_nested_structures(self):
+        from repro.experiments.campaign import CampaignResult, MetricSummary
+        from repro.firmware.modes import FlightMode
+
+        original = {
+            "arr": np.linspace(0.0, 1.0, 7),
+            "ints": np.arange(4),
+            "tup": (1, "two", 3.0),
+            "float_keys": {0.5: (0.1, 0.2), 2.0: (0.3, 0.4)},
+            "enum": FlightMode.AUTO,
+            "campaign": CampaignResult(
+                metrics={"m": MetricSummary(name="m", values=[1.0, 2.0])},
+                seeds=[1, 2], failures={3: "boom"},
+                timings={1: 0.5}, cached_seeds=[2], total_seconds=1.25,
+            ),
+            "special": [float("nan"), float("inf"), -0.0],
+        }
+        decoded = decode_result(json.loads(json.dumps(
+            encode_result(original), allow_nan=True
+        )))
+        assert isinstance(decoded["arr"], np.ndarray)
+        np.testing.assert_array_equal(decoded["arr"], original["arr"])
+        assert decoded["ints"].dtype == original["ints"].dtype
+        assert decoded["tup"] == (1, "two", 3.0)
+        assert decoded["float_keys"][0.5] == (0.1, 0.2)
+        assert decoded["enum"] is FlightMode.AUTO
+        campaign = decoded["campaign"]
+        assert campaign.metric("m").values == [1.0, 2.0]
+        assert campaign.failures == {3: "boom"}
+        assert campaign.cached_seeds == [2]
+        assert np.isnan(decoded["special"][0])
+        assert decoded["special"][1] == float("inf")
+
+    def test_decode_refuses_foreign_types(self):
+        record = {"__dataclass__": "subprocess.Popen", "fields": {}}
+        with pytest.raises(AnalysisError):
+            decode_result(record)
+
+    def test_fingerprint_stability_and_sensitivity(self):
+        a = fingerprint_params({"x": 1.0, "y": [1, 2, (3, 4)]})
+        b = fingerprint_params({"y": [1, 2, (3, 4)], "x": 1.0})
+        assert a == b  # key order irrelevant
+        assert a != fingerprint_params({"x": 1.0, "y": [1, 2, [3, 4]]})
+        assert a != fingerprint_params({"x": 1.0 + 1e-12, "y": [1, 2, (3, 4)]})
+
+    def test_mission_params_fingerprint(self):
+        from repro.firmware.mission import line_mission
+
+        a = fingerprint_params(line_mission(length=45.0, altitude=10.0, legs=1))
+        b = fingerprint_params(line_mission(length=45.0, altitude=10.0, legs=1))
+        c = fingerprint_params(line_mission(length=46.0, altitude=10.0, legs=1))
+        assert a == b
+        assert a != c
+
+
+class TestCachedCall:
+    def test_second_call_decodes_instead_of_computing(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        _CALLS.clear()
+        first = cached_call(_counting_experiment, 5, experiment="one-shot",
+                            cache=cache)
+        second = cached_call(_counting_experiment, 5, experiment="one-shot",
+                             cache=cache)
+        assert _CALLS == [5]
+        assert second == first
+        assert cache.stats.hits == 1 and cache.stats.stores == 1
+
+    def test_execution_knobs_excluded_from_fingerprint(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        _CALLS.clear()
+        cached_call(_knobbed_experiment, 5, experiment="knobs", cache=cache,
+                    workers=0)
+        hit = cached_call(_knobbed_experiment, 5, experiment="knobs",
+                          cache=cache, workers=3)
+        assert _CALLS == [5]  # workers changed, fingerprint did not
+        assert hit == {"x": 5.0}
+
+    def test_disabled_cache_always_computes(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        cache = default_cache()
+        assert not cache.enabled
+        _CALLS.clear()
+        cached_call(_counting_experiment, 5, experiment="off", cache=cache)
+        cached_call(_counting_experiment, 5, experiment="off", cache=cache)
+        assert _CALLS == [5, 5]
+        assert not (tmp_path / "cache").exists()
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cached_call(_counting_experiment, 1, experiment="a", cache=cache)
+        cached_call(_counting_experiment, 2, experiment="b", cache=cache)
+        assert cache.clear("a") == 1
+        assert cache.clear() == 1
+
+
+class TestBenchWiring:
+    """A cache-warm bench invocation must execute zero experiment
+    callables — proven with a counting stub through the actual bench
+    ``run_once`` helper."""
+
+    @staticmethod
+    def _load_bench_conftest():
+        path = (Path(__file__).resolve().parent.parent
+                / "benchmarks" / "conftest.py")
+        spec = importlib.util.spec_from_file_location("bench_conftest", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    class _FakeBenchmark:
+        """Minimal stand-in for pytest-benchmark's fixture."""
+
+        def pedantic(self, fn, args=(), kwargs=None, rounds=1, iterations=1):
+            return fn(*args, **(kwargs or {}))
+
+    def test_bench_run_once_is_cache_warm_on_second_invocation(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "bench-cache"))
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        bench_conftest = self._load_bench_conftest()
+        _CALLS.clear()
+        first = bench_conftest.run_once(
+            self._FakeBenchmark(), _counting_experiment, 7,
+            experiment="stub-bench",
+        )
+        assert _CALLS == [7]
+        second = bench_conftest.run_once(
+            self._FakeBenchmark(), _counting_experiment, 7,
+            experiment="stub-bench",
+        )
+        assert _CALLS == [7]  # zero additional experiment callables
+        assert second == first
+
+    def test_bench_run_once_uncached_without_experiment_name(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "bench-cache"))
+        bench_conftest = self._load_bench_conftest()
+        _CALLS.clear()
+        bench_conftest.run_once(self._FakeBenchmark(), _counting_experiment, 7)
+        bench_conftest.run_once(self._FakeBenchmark(), _counting_experiment, 7)
+        assert _CALLS == [7, 7]
+
+
+class TestRunExperiment:
+    """The named front door must forward the execution knobs correctly.
+
+    Regression: entry points whose signature accepts ``cache`` (e.g.
+    ``run_fig9``) used to collide with ``cached_call``'s own ``cache``
+    parameter, so every ``python -m repro fig 9`` invocation raised
+    TypeError before any experiment ran.
+    """
+
+    def test_entry_accepting_knobs_receives_them(self, tmp_path, monkeypatch):
+        from repro.experiments import runner
+
+        monkeypatch.setitem(runner.EXPERIMENTS, "knobby", _knobby_entry)
+        cache = ResultCache(cache_dir=tmp_path / "cache", enabled=True)
+        _CALLS.clear()
+        result = runner.run_experiment("knobby", cache=cache, workers=3,
+                                       scale=2.0)
+        assert result == {"scale": 2.0, "workers": 3, "cache_enabled": True}
+        assert _CALLS == [2]
+
+    def test_knobs_stay_out_of_the_experiment_fingerprint(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.experiments import runner
+
+        monkeypatch.setitem(runner.EXPERIMENTS, "knobby", _knobby_entry)
+        cache = ResultCache(cache_dir=tmp_path / "cache", enabled=True)
+        _CALLS.clear()
+        first = runner.run_experiment("knobby", cache=cache, workers=3,
+                                      scale=2.0)
+        # Different workers, same science parameters: must be a cache hit
+        # that replays the stored result without calling the entry again.
+        second = runner.run_experiment("knobby", cache=cache, workers=5,
+                                       scale=2.0)
+        assert _CALLS == [2]
+        assert second == first

@@ -1,0 +1,104 @@
+"""Golden regression test for Algorithm 1 (the TSVL pipeline).
+
+A fixed-seed profiling trace (one line mission, per-mission seed 1, the
+default IRIS+ with 0.4 m/s wind gusts) is pushed through the full
+correlation → pruning → clustering → stepwise-AIC pipeline, and the
+outcome is frozen into ``tests/golden/tsvl_pid.json``. Any change to the
+statistics — a reordered cluster, a different stepwise selection, a
+pruning threshold drift — shows up as a diff against the golden file
+instead of silently shifting the paper-table results downstream.
+
+Regenerate after an *intentional* pipeline change with:
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_tsvl_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.tsvl import TsvlConfig, generate_tsvl
+from repro.firmware.mission import line_mission
+from repro.profiling.collector import ProfileCollector
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden" / "tsvl_pid.json"
+RESPONSES = ["ATT.R", "ATT.P", "ATT.Y"]
+
+
+@pytest.fixture(scope="module")
+def pipeline_snapshot() -> dict:
+    """Run Algorithm 1 on the fixed-seed trace; summarise every stage."""
+    collector = ProfileCollector("PID")
+    dataset = collector.collect(
+        missions=[line_mission(length=40.0, altitude=10.0, legs=1)]
+    )
+    # max_per_response=2 is the Table II configuration — the paper's
+    # compact per-response TSVLs rather than the unbounded selection.
+    result = generate_tsvl(
+        dataset.table, dynamics_variables=RESPONSES,
+        config=TsvlConfig(max_per_response=2),
+    )
+    corr = result.correlation
+    return {
+        "samples": dataset.num_samples,
+        "esvl_size": result.esvl_size,
+        # Stage 1 — correlation: spot values at full precision (repr) so
+        # numeric drift in the matrix itself is caught, not just its
+        # downstream consequences.
+        "correlation_spots": {
+            f"{a}|{b}": repr(corr.value(a, b))
+            for a, b in [
+                ("ATT.IRErr", "PIDR.INPUT"),
+                ("ATT.R", "PIDR.INTEG"),
+                ("ATT.P", "PIDP.INPUT"),
+            ]
+        },
+        # Stage 2 — pruning: every dropped variable and its reason.
+        "pruned": dict(sorted(result.pruning.dropped.items())),
+        "kept": list(result.pruning.kept),
+        # Stage 3 — clustering: full cluster membership.
+        "clusters": sorted(sorted(c) for c in result.clustering.clusters),
+        # Stage 4 — stepwise selection per response.
+        "models": {
+            response: list(model.selected)
+            for response, model in sorted(result.models.items())
+        },
+        "responses_used": list(result.responses_used),
+        # The final answer.
+        "tsvl": list(result.tsvl),
+    }
+
+
+def test_tsvl_pipeline_matches_golden(pipeline_snapshot):
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(pipeline_snapshot, indent=2, sort_keys=True) + "\n"
+        )
+        pytest.skip(f"regenerated {GOLDEN_PATH}")
+    assert GOLDEN_PATH.exists(), (
+        "golden file missing — regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert pipeline_snapshot == golden
+
+
+def test_golden_file_sanity():
+    """The checked-in golden must describe a plausible Algorithm 1 run."""
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert golden["samples"] > 200
+    assert golden["esvl_size"] == 64  # PID row of Table II
+    # Constant PID gains must be pruned (the paper's v1 KP, v2 KI, v3 KD).
+    assert {"PIDR.KP", "PIDR.KI", "PIDR.KD"} <= set(golden["pruned"])
+    # The TSVL is compact (≤ 2 per response) and excludes the responses.
+    assert 1 <= len(golden["tsvl"]) <= 6
+    assert not set(golden["tsvl"]) & set(RESPONSES)
+    # Every TSVL entry came out of some response's stepwise model.
+    selected_union = {
+        name for names in golden["models"].values() for name in names
+    }
+    assert set(golden["tsvl"]) <= selected_union
