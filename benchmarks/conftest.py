@@ -14,13 +14,33 @@ deleting ``.repro_cache/``) forces a cold run; ``REPRO_CACHE_DIR``
 relocates the store. Benches whose workload closes over fixtures or
 mutates monitors stay uncached — their ``once`` call simply omits
 ``experiment``.
+
+Each bench also records a telemetry snapshot: the per-bench delta of the
+metrics registry (sim steps, cache hits/misses, RL episodes, ...) lands
+in ``benchmark.extra_info["metrics"]`` so it is saved alongside timings
+in pytest-benchmark's JSON output. Set ``REPRO_BENCH_METRICS=PATH`` to
+additionally write the suite-wide final snapshot to ``PATH``.
 """
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
 
 from repro.experiments.cache import cached_call, default_cache
+from repro.obs.metrics import get_registry
+
+
+def _counter_deltas(before: dict, after: dict) -> dict:
+    """Counter increments between two registry snapshots (nonzero only)."""
+    deltas = {}
+    for key, value in after.get("counters", {}).items():
+        delta = value - before.get("counters", {}).get(key, 0.0)
+        if delta:
+            deltas[key] = delta
+    return deltas
 
 
 def run_once(benchmark, fn, *args, experiment=None, **kwargs):
@@ -29,16 +49,31 @@ def run_once(benchmark, fn, *args, experiment=None, **kwargs):
     With ``experiment`` set, the call goes through the result cache, so a
     cache-warm bench invocation executes zero experiment callables.
     """
+    before = get_registry().snapshot()
     if experiment is None:
-        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
-                                  rounds=1, iterations=1)
-    cache = default_cache()
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                    rounds=1, iterations=1)
+    else:
+        cache = default_cache()
 
-    def call():
-        return cached_call(fn, *args, experiment=experiment, cache=cache,
-                           **kwargs)
+        def call():
+            return cached_call(fn, *args, experiment=experiment, cache=cache,
+                               **kwargs)
 
-    return benchmark.pedantic(call, rounds=1, iterations=1)
+        result = benchmark.pedantic(call, rounds=1, iterations=1)
+    benchmark.extra_info["metrics"] = _counter_deltas(
+        before, get_registry().snapshot()
+    )
+    return result
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Optionally persist the suite-wide metrics snapshot."""
+    path = os.environ.get("REPRO_BENCH_METRICS")
+    if path:
+        with open(path, "w") as handle:
+            json.dump(get_registry().snapshot(), handle,
+                      sort_keys=True, indent=1)
 
 
 @pytest.fixture

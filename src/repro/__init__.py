@@ -14,7 +14,13 @@ Quickstart::
     ares.profile()            # fly benign missions, build the ESVL
     result = ares.identify()  # Algorithm 1 -> TSVL
     ares.exploit(result.tsvl[0], failure="uncontrolled")
-    print(ares.report().render())
+    summary = ares.report().render()   # a string — the library never prints
+
+Library layers report through return values and ``logging`` (see
+:mod:`repro.obs`); user-facing output is rendered only by the CLI layer
+(``python -m repro ...``). Stage progress is logged on the ``repro.*``
+loggers — enable it with ``repro.obs.configure_logging("INFO")`` or the
+CLI's ``--log-level``/``--log-json`` flags.
 """
 
 from repro.core import Ares, AresConfig, AssessmentReport, ExploitOutcome

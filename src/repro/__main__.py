@@ -10,18 +10,31 @@ table1 / table2
     Regenerate the paper's tables.
 fig N
     Regenerate one of the paper's figures (3, 5, 6, 7, 8, 9, 10 or 11).
+obs
+    Telemetry tooling: ``obs summary PATH...`` renders phase-time and
+    metric breakdown tables; ``obs validate FILE SCHEMA`` checks an
+    emitted artifact against a checked-in JSON schema.
 
 ``table``/``fig`` run through the campaign runner: ``--workers N`` fans
 campaign-style experiments over a process pool, and results are stored
 in the content-addressed cache (``--cache-dir``, default
 ``.repro_cache/``; ``--no-cache`` disables) so a re-run only computes
 what is missing.
+
+Telemetry flags (``assess``/``table``/``fig``): ``--trace PATH`` writes a
+Chrome-trace-event file (``.jsonl`` → span JSONL) loadable in
+chrome://tracing / Perfetto; ``--metrics-out PATH`` writes the metrics
+registry snapshot; ``--log-level``/``--log-json`` configure structured
+logging. All of it is passive — enabling telemetry never changes a
+result or a cache fingerprint.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 
 
 def _cmd_fly(args: argparse.Namespace) -> int:
@@ -55,14 +68,18 @@ def _cmd_assess(args: argparse.Namespace) -> int:
         ),
     )
     ares = Ares(config)
-    print("profiling ...")
-    ares.profile()
-    print("identifying ...")
-    tsvl = ares.identify()
-    print(f"TSVL: {', '.join(tsvl.tsvl)}")
-    variable = args.variable or "PIDR.INTEG"
-    print(f"training exploit against {variable} ...")
-    ares.exploit(variable=variable, failure=args.failure)
+    finish = _setup_telemetry(args)
+    try:
+        print("profiling ...")
+        ares.profile()
+        print("identifying ...")
+        tsvl = ares.identify()
+        print(f"TSVL: {', '.join(tsvl.tsvl)}")
+        variable = args.variable or "PIDR.INTEG"
+        print(f"training exploit against {variable} ...")
+        ares.exploit(variable=variable, failure=args.failure)
+    finally:
+        finish()
     print()
     print(ares.report().render())
     return 0
@@ -77,14 +94,60 @@ def _experiment_cache(args: argparse.Namespace):
     )
 
 
+def _setup_telemetry(args: argparse.Namespace):
+    """Configure logging/tracing from CLI flags; returns a finish callback.
+
+    All telemetry knobs stay in this layer — the experiment entry points
+    and cache fingerprints never see them, so ``--trace``/``--metrics-out``
+    cannot change what is computed or which cache records are hit.
+    """
+    from repro import obs
+
+    if getattr(args, "log_level", None) or getattr(args, "log_json", False):
+        obs.configure_logging(
+            level=args.log_level or "INFO",
+            json_output=bool(getattr(args, "log_json", False)),
+        )
+    tracer = previous_tracer = None
+    if getattr(args, "trace", None):
+        tracer = obs.Tracer(enabled=True)
+        previous_tracer = obs.set_tracer(tracer)
+    run_id = f"run-{os.getpid()}-{int(time.time())}"
+    context = obs.log_context(run_id=run_id)
+    context.__enter__()
+
+    def finish() -> None:
+        context.__exit__(None, None, None)
+        if previous_tracer is not None:
+            obs.set_tracer(previous_tracer)
+        if tracer is not None:
+            path = tracer.export(args.trace)
+            print(f"trace: {len(tracer.spans)} spans -> {path}",
+                  file=sys.stderr)
+        if getattr(args, "metrics_out", None):
+            import json
+
+            snapshot = obs.get_registry().snapshot()
+            with open(args.metrics_out, "w") as handle:
+                json.dump(snapshot, handle, sort_keys=True, indent=1)
+            print(f"metrics: {len(snapshot['counters'])} counters -> "
+                  f"{args.metrics_out}", file=sys.stderr)
+
+    return finish
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_experiment
 
-    result = run_experiment(
-        f"table{args.which}",
-        cache=_experiment_cache(args),
-        workers=args.workers,
-    )
+    finish = _setup_telemetry(args)
+    try:
+        result = run_experiment(
+            f"table{args.which}",
+            cache=_experiment_cache(args),
+            workers=args.workers,
+        )
+    finally:
+        finish()
     print(result.render())
     return 0
 
@@ -97,12 +160,36 @@ def _cmd_fig(args: argparse.Namespace) -> int:
               "(choose from ['10', '11', '3', '5', '6', '7', '8', '9'])",
               file=sys.stderr)
         return 2
-    result = run_experiment(
-        f"fig{args.number}",
-        cache=_experiment_cache(args),
-        workers=args.workers,
-    )
+    finish = _setup_telemetry(args)
+    try:
+        result = run_experiment(
+            f"fig{args.number}",
+            cache=_experiment_cache(args),
+            workers=args.workers,
+        )
+    finally:
+        finish()
     print(result.render())
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "summary":
+        from repro.obs.summary import render_summary
+
+        print(render_summary(args.paths))
+        return 0
+    # validate
+    from repro.obs.schema import validate_file
+
+    errors = validate_file(args.artifact, args.schema)
+    if errors:
+        for error in errors[:20]:
+            print(f"invalid: {error}", file=sys.stderr)
+        if len(errors) > 20:
+            print(f"... and {len(errors) - 20} more", file=sys.stderr)
+        return 1
+    print(f"{args.artifact}: valid against {args.schema}")
     return 0
 
 
@@ -121,6 +208,29 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", default=None,
         help="result-cache directory (default: .repro_cache, or "
              "$REPRO_CACHE_DIR)",
+    )
+
+
+def _add_obs_options(parser: argparse.ArgumentParser) -> None:
+    """Telemetry flags shared by assess/table/fig commands."""
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a span trace (Chrome trace-event JSON; '.jsonl' for "
+             "span JSONL) — load in chrome://tracing or Perfetto",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the metrics registry snapshot as JSON",
+    )
+    parser.add_argument(
+        "--log-level", default=None,
+        choices=("DEBUG", "INFO", "WARNING", "ERROR"),
+        help="enable structured logging at this level",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit log records as JSON lines (implies --log-level INFO "
+             "unless set)",
     )
 
 
@@ -148,17 +258,37 @@ def build_parser() -> argparse.ArgumentParser:
     assess.add_argument("--failure", choices=("uncontrolled", "controlled"),
                         default="uncontrolled")
     assess.add_argument("--with-detector", action="store_true")
+    _add_obs_options(assess)
     assess.set_defaults(func=_cmd_assess)
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("which", choices=("1", "2"))
     _add_runner_options(table)
+    _add_obs_options(table)
     table.set_defaults(func=_cmd_table)
 
     fig = sub.add_parser("fig", help="regenerate a paper figure")
     fig.add_argument("number")
     _add_runner_options(fig)
+    _add_obs_options(fig)
     fig.set_defaults(func=_cmd_fig)
+
+    obs = sub.add_parser("obs", help="inspect emitted telemetry artifacts")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_summary = obs_sub.add_parser(
+        "summary", help="render phase-time and metric breakdowns"
+    )
+    obs_summary.add_argument(
+        "paths", nargs="+",
+        help="trace and/or metrics files emitted by --trace/--metrics-out",
+    )
+    obs_summary.set_defaults(func=_cmd_obs)
+    obs_validate = obs_sub.add_parser(
+        "validate", help="validate an artifact against a JSON schema"
+    )
+    obs_validate.add_argument("artifact", help="trace or metrics file")
+    obs_validate.add_argument("schema", help="schema file (see schemas/)")
+    obs_validate.set_defaults(func=_cmd_obs)
     return parser
 
 

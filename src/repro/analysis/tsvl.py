@@ -16,9 +16,13 @@ from repro.analysis.correlation import CorrelationResult, correlation_matrix
 from repro.analysis.pruning import PruningConfig, PruningReport, prune_state_variables
 from repro.analysis.stepwise import StepwiseResult, stepwise_aic
 from repro.exceptions import AnalysisError
+from repro.obs.log import get_logger
+from repro.obs.tracing import span as obs_span
 from repro.utils.timeseries import TraceTable
 
 __all__ = ["TsvlConfig", "TsvlResult", "generate_tsvl"]
+
+_log = get_logger(__name__)
 
 
 @dataclass
@@ -87,56 +91,79 @@ def generate_tsvl(
     if missing:
         raise AnalysisError(f"dynamics variables not in ESVL: {missing}")
 
-    corr = correlation_matrix(table)  # line 14-15
-    pruning = prune_state_variables(table, config.pruning)  # line 16
+    with obs_span(
+        "analysis.correlation", columns=len(table.columns), rows=len(table)
+    ):  # line 14-15
+        corr = correlation_matrix(table)
+    with obs_span(
+        "analysis.pruning", columns_in=len(table.columns)
+    ) as prune_span:  # line 16
+        pruning = prune_state_variables(table, config.pruning)
+        prune_span.set("kept", len(pruning.kept))
+        prune_span.set("dropped", len(pruning.dropped))
     if len(pruning.kept) < 2:
         raise AnalysisError(
             "fewer than two variables survive pruning; "
             f"dropped: {pruning.dropped}"
         )
-    clustering = cluster_by_correlation(  # line 17
-        corr, names=pruning.kept,
-        distance_threshold=config.cluster_distance_threshold,
-    )
+    with obs_span(
+        "analysis.clustering", columns_in=len(pruning.kept)
+    ) as cluster_span:  # line 17
+        clustering = cluster_by_correlation(
+            corr, names=pruning.kept,
+            distance_threshold=config.cluster_distance_threshold,
+        )
+        cluster_span.set("clusters", len(clustering.clusters))
 
     tsvl: list[str] = []
     models: dict[str, StepwiseResult] = {}
     responses_used: list[str] = []
-    for subset in clustering.clusters:  # line 18
-        responses = [v for v in dynamics_variables if v in subset]
-        for response in responses:
-            partners = [
-                v for v in pruning.kept
-                if v not in subset
-                and abs(corr.value(response, v)) >= config.min_correlation
-            ]
-            candidates = [
-                v for v in list(subset) + partners
-                if v != response
-                and v not in dynamics_variables
-                and abs(corr.value(response, v)) < config.alias_threshold
-            ]
-            if not candidates:
-                continue
-            result = stepwise_aic(table, response, candidates)  # line 19
-            models[response] = result
-            responses_used.append(response)
-            if result.model is None:
-                continue
-            significant = result.model.significant_predictors(  # line 20
-                config.significance_alpha
-            )
-            if config.max_per_response is not None:
-                # Rank by significance (smallest p first).
-                p_by_name = dict(
-                    zip(result.model.predictors, result.model.p_values)
+    with obs_span(
+        "analysis.stepwise", clusters=len(clustering.clusters)
+    ) as stepwise_span:
+        for subset in clustering.clusters:  # line 18
+            responses = [v for v in dynamics_variables if v in subset]
+            for response in responses:
+                partners = [
+                    v for v in pruning.kept
+                    if v not in subset
+                    and abs(corr.value(response, v)) >= config.min_correlation
+                ]
+                candidates = [
+                    v for v in list(subset) + partners
+                    if v != response
+                    and v not in dynamics_variables
+                    and abs(corr.value(response, v)) < config.alias_threshold
+                ]
+                if not candidates:
+                    continue
+                result = stepwise_aic(table, response, candidates)  # line 19
+                models[response] = result
+                responses_used.append(response)
+                if result.model is None:
+                    continue
+                significant = result.model.significant_predictors(  # line 20
+                    config.significance_alpha
                 )
-                significant = sorted(significant, key=lambda n: p_by_name[n])
-                significant = significant[: config.max_per_response]
-            for name in significant:  # line 21
-                if name not in tsvl:
-                    tsvl.append(name)
+                if config.max_per_response is not None:
+                    # Rank by significance (smallest p first).
+                    p_by_name = dict(
+                        zip(result.model.predictors, result.model.p_values)
+                    )
+                    significant = sorted(significant, key=lambda n: p_by_name[n])
+                    significant = significant[: config.max_per_response]
+                for name in significant:  # line 21
+                    if name not in tsvl:
+                        tsvl.append(name)
+        stepwise_span.set("models", len(models))
+        stepwise_span.set("tsvl", len(tsvl))
 
+    _log.info(
+        "Algorithm 1: %d ESVL columns -> %d kept -> %d clusters -> "
+        "%d models -> %d TSVL entries",
+        len(table.columns), len(pruning.kept), len(clustering.clusters),
+        len(models), len(tsvl),
+    )
     return TsvlResult(
         tsvl=tsvl,
         correlation=corr,

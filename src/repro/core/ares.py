@@ -19,6 +19,8 @@ from dataclasses import dataclass, field, replace
 from repro.analysis.tsvl import TsvlConfig, TsvlResult, generate_tsvl
 from repro.core.report import AssessmentReport, ExploitOutcome
 from repro.exceptions import AnalysisError
+from repro.obs.log import get_logger
+from repro.obs.tracing import span as obs_span
 from repro.profiling.collector import ProfileCollector, ProfileDataset
 from repro.rl.ddpg import DdpgAgent, DdpgConfig
 from repro.rl.env import EnvConfig
@@ -27,6 +29,8 @@ from repro.rl.reinforce import ReinforceAgent, ReinforceConfig
 from repro.rl.training import TrainingResult, train_ddpg, train_reinforce
 
 __all__ = ["AresConfig", "Ares"]
+
+_log = get_logger(__name__)
 
 #: Responses used per controller-function kind during identification.
 _DEFAULT_RESPONSES = {
@@ -69,7 +73,17 @@ class Ares:
     def profile(self, missions=None, collector: ProfileCollector | None = None) -> ProfileDataset:
         """Collect the ESVL dataset from benign missions."""
         collector = collector or ProfileCollector(self.config.controller_kind)
-        self.dataset = collector.collect(missions=missions)
+        with obs_span(
+            "ares.profile", controller=self.config.controller_kind
+        ) as profile_span:
+            self.dataset = collector.collect(missions=missions)
+            profile_span.set("missions", self.dataset.missions_flown)
+            profile_span.set("samples", self.dataset.num_samples)
+        _log.info(
+            "profiled %d missions: %d samples x %d ESVL columns",
+            self.dataset.missions_flown, self.dataset.num_samples,
+            len(self.dataset.esvl_columns),
+        )
         return self.dataset
 
     # ------------------------------------------------------------------ #
@@ -86,9 +100,14 @@ class Ares:
         responses = [r for r in responses if r in dataset.table]
         if not responses:
             raise AnalysisError("no response variables present in the dataset")
-        self.tsvl_result = generate_tsvl(
-            dataset.table, dynamics_variables=responses, config=self.config.tsvl
-        )
+        with obs_span(
+            "ares.identify", responses=len(responses)
+        ) as identify_span:
+            self.tsvl_result = generate_tsvl(
+                dataset.table, dynamics_variables=responses,
+                config=self.config.tsvl,
+            )
+            identify_span.set("tsvl", len(self.tsvl_result.tsvl))
         return self.tsvl_result
 
     # ------------------------------------------------------------------ #
@@ -128,10 +147,18 @@ class Ares:
         env = self._make_env(failure, variable)
         agent = self._make_agent(env)
         episodes = episodes if episodes is not None else self.config.episodes
-        if self.config.agent == "reinforce":
-            result = train_reinforce(env, agent, episodes=episodes)
-        else:
-            result = train_ddpg(env, agent, episodes=episodes)
+        _log.info(
+            "training %s exploit against %s (%d episodes, %s)",
+            failure, variable, episodes, self.config.agent,
+        )
+        with obs_span(
+            "ares.exploit", variable=variable, failure=failure,
+            agent=self.config.agent,
+        ):
+            if self.config.agent == "reinforce":
+                result = train_reinforce(env, agent, episodes=episodes)
+            else:
+                result = train_ddpg(env, agent, episodes=episodes)
         self.training[f"{failure}:{variable}"] = result
         return result
 

@@ -13,8 +13,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import DetectionAlarm
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_registry
 
 __all__ = ["DetectorRecord", "Detector"]
+
+_log = get_logger(__name__)
 
 
 @dataclass
@@ -59,6 +63,14 @@ class Detector:
         self.strict = strict
         self.record = DetectorRecord()
         self._vehicle = None
+        # Per-detector instruments, resolved once for the per-step hook.
+        registry = get_registry()
+        self._metric_samples = registry.counter(
+            "detector.samples", detector=name
+        )
+        self._metric_alarms = registry.counter(
+            "detector.alarms", detector=name
+        )
 
     @property
     def alarmed(self) -> bool:
@@ -91,9 +103,15 @@ class Detector:
         if score is None:
             return
         time_s = vehicle.sim.time
+        self._metric_samples.inc()
         self.record.times.append(time_s)
         self.record.scores.append(float(score))
         if score > self.threshold:
+            self._metric_alarms.inc()
+            _log.debug(
+                "%s alarm at t=%.2fs (score %.4g > %.4g)",
+                self.name, time_s, float(score), self.threshold,
+            )
             self.record.alarm_times.append(time_s)
             if self.strict:
                 raise DetectionAlarm(self.name, time_s, float(score), self.threshold)

@@ -40,6 +40,7 @@ from typing import Any
 import numpy as np
 
 from repro.exceptions import AnalysisError
+from repro.obs.metrics import get_registry
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -242,26 +243,36 @@ class ResultCache:
         """The decoded entry, or ``None`` on miss/disabled/corrupt file."""
         if not self.enabled:
             return None
+        decode_start = time.perf_counter()
         path = self.path_for(experiment, fingerprint)
         try:
             raw = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
-            self.stats.misses += 1
+            self._miss(experiment)
             return None
         if raw.get("schema") != CACHE_SCHEMA_VERSION:
-            self.stats.misses += 1
+            self._miss(experiment)
             return None
         try:
             result = decode_result(raw["result"])
         except (AnalysisError, KeyError, TypeError, AttributeError):
-            self.stats.misses += 1
+            self._miss(experiment)
             return None
         self.stats.hits += 1
+        registry = get_registry()
+        registry.counter("cache.hits", experiment=experiment).inc()
+        registry.histogram("cache.decode_seconds").observe(
+            time.perf_counter() - decode_start
+        )
         return CacheEntry(
             experiment=experiment, fingerprint=fingerprint, result=result,
             elapsed_s=float(raw.get("elapsed_s", 0.0)),
             created_at=float(raw.get("created_at", 0.0)),
         )
+
+    def _miss(self, experiment: str) -> None:
+        self.stats.misses += 1
+        get_registry().counter("cache.misses", experiment=experiment).inc()
 
     def put(self, experiment: str, fingerprint: str, result: Any,
             elapsed_s: float = 0.0) -> Path | None:
@@ -282,6 +293,7 @@ class ResultCache:
         tmp.write_text(json.dumps(record, allow_nan=True))
         os.replace(tmp, path)
         self.stats.stores += 1
+        get_registry().counter("cache.stores", experiment=experiment).inc()
         return path
 
     def clear(self, experiment: str | None = None) -> int:

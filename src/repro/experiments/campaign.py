@@ -34,8 +34,13 @@ from repro.experiments.cache import (
     callable_name,
     fingerprint_params,
 )
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracing import Tracer, get_tracer, use_telemetry
 
 __all__ = ["MetricSummary", "CampaignResult", "run_campaign"]
+
+_log = get_logger(__name__)
 
 
 @dataclass
@@ -142,6 +147,28 @@ def _execute_seed(
     return seed, True, metrics, time.perf_counter() - start
 
 
+def _execute_seed_in_worker(
+    experiment: Callable[[int], Mapping[str, float]],
+    seed: int,
+    collect_spans: bool,
+) -> tuple[int, bool, Any, float, dict[str, Any]]:
+    """Pool-side wrapper: run one seed under fresh, isolated telemetry.
+
+    Each seed gets its own registry (and, when the parent is tracing, its
+    own span tracer), so snapshots never double-count across the seeds a
+    reused pool worker executes. The telemetry rides back with the result
+    tuple and the parent merges it in seed order — never into the result
+    values themselves, so execution mode cannot perturb the science.
+    """
+    registry = MetricsRegistry()
+    tracer = Tracer(enabled=collect_spans)
+    with use_telemetry(registry, tracer):
+        with tracer.span("campaign.seed", seed=seed):
+            outcome = _execute_seed(experiment, seed)
+    telemetry = {"metrics": registry.snapshot(), "spans": tracer.to_dicts()}
+    return (*outcome, telemetry)
+
+
 def run_campaign(
     experiment: Callable[[int], Mapping[str, float]],
     seeds,
@@ -172,11 +199,26 @@ def run_campaign(
         Anything that changes the experiment's behaviour besides the
         seed — it is fingerprinted into the cache key.
     """
-    wall_start = time.perf_counter()
     seeds = [int(s) for s in seeds]
     if not seeds:
         raise AnalysisError("campaign needs at least one seed")
     name = experiment_name or callable_name(experiment)
+    with get_tracer().span(
+        "campaign", experiment=name, seeds=len(seeds), workers=int(workers)
+    ) as campaign_span:
+        return _run_campaign_traced(
+            experiment, seeds, raise_on_failure, workers, cache, name,
+            params, campaign_span,
+        )
+
+
+def _run_campaign_traced(
+    experiment, seeds, raise_on_failure, workers, cache, name, params,
+    campaign_span,
+) -> CampaignResult:
+    wall_start = time.perf_counter()
+    tracer = get_tracer()
+    registry = get_registry()
     result = CampaignResult(seeds=seeds)
 
     outcomes: dict[int, tuple[bool, Any]] = {}
@@ -194,14 +236,27 @@ def run_campaign(
                 result.cached_seeds.append(seed)
                 continue
         missing.append(seed)
+    _log.debug(
+        "campaign start: %s (%d seeds, %d cached, workers=%d)",
+        name, len(seeds), len(result.cached_seeds), int(workers),
+    )
 
     if workers and workers > 1 and len(missing) > 1:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
-                pool.submit(_execute_seed, experiment, seed)
+                pool.submit(
+                    _execute_seed_in_worker, experiment, seed, tracer.enabled
+                )
                 for seed in missing
             ]
-            computed = [future.result() for future in futures]
+            shipped = [future.result() for future in futures]
+        # Merge worker telemetry in seed order (deterministic totals),
+        # then strip it — telemetry never enters the result values.
+        computed = []
+        for seed, ok, payload, elapsed, telemetry in shipped:
+            registry.merge(telemetry["metrics"])
+            tracer.adopt(telemetry["spans"])
+            computed.append((seed, ok, payload, elapsed))
         if raise_on_failure:
             for _, ok, payload, _ in computed:  # first failure in seed order
                 if not ok:
@@ -209,7 +264,8 @@ def run_campaign(
     else:
         computed = []
         for seed in missing:
-            outcome = _execute_seed(experiment, seed)
+            with tracer.span("campaign.seed", seed=seed):
+                outcome = _execute_seed(experiment, seed)
             if raise_on_failure and not outcome[1]:
                 raise outcome[2]
             computed.append(outcome)
@@ -235,4 +291,18 @@ def run_campaign(
             f"every campaign run failed: {result.failures}"
         )
     result.total_seconds = time.perf_counter() - wall_start
+    registry.counter("campaign.seeds_run", experiment=name).inc(len(computed))
+    registry.counter(
+        "campaign.seeds_cached", experiment=name
+    ).inc(len(result.cached_seeds))
+    registry.counter(
+        "campaign.seeds_failed", experiment=name
+    ).inc(len(result.failures))
+    campaign_span.set("cached", len(result.cached_seeds))
+    campaign_span.set("failed", len(result.failures))
+    _log.info(
+        "campaign done: %s %.2fs wall, %.2fs compute, %d/%d cached",
+        name, result.total_seconds, result.compute_seconds,
+        len(result.cached_seeds), len(seeds),
+    )
     return result

@@ -22,8 +22,12 @@ from typing import Any
 
 from repro.exceptions import AnalysisError
 from repro.experiments.cache import ResultCache, cached_call, default_cache
+from repro.obs.log import get_logger, log_context
+from repro.obs.tracing import span as obs_span
 
 __all__ = ["EXPERIMENTS", "experiment_entry", "run_experiment"]
+
+_log = get_logger(__name__)
 
 
 def _registry() -> dict[str, Callable]:
@@ -99,5 +103,18 @@ def run_experiment(
         # the fingerprint still keys on the bare entry point.
         entry = functools.partial(entry, cache=cache)
     # The execution knobs (workers/cache) are excluded from the
-    # fingerprint, so only the science parameters key the result.
-    return cached_call(entry, experiment=name, cache=cache, **call_kwargs)
+    # fingerprint, so only the science parameters key the result. The
+    # telemetry flags never even reach this layer (the CLI keeps them),
+    # so they cannot perturb a fingerprint either.
+    _log.info("experiment start: %s", name)
+    with log_context(experiment=name), obs_span(
+        "experiment", experiment=name, workers=int(workers)
+    ) as experiment_span:
+        result = cached_call(entry, experiment=name, cache=cache, **call_kwargs)
+        experiment_span.set("cache_hits", cache.stats.hits)
+        experiment_span.set("cache_misses", cache.stats.misses)
+    _log.info(
+        "experiment done: %s (cache: %d hits, %d misses, %d stores)",
+        name, cache.stats.hits, cache.stats.misses, cache.stats.stores,
+    )
+    return result

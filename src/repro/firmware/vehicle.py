@@ -10,6 +10,7 @@ layers attach to.
 from __future__ import annotations
 
 import math
+import time as _time
 from collections.abc import Callable
 
 import numpy as np
@@ -41,6 +42,8 @@ from repro.gcs.proxy import MavProxy
 from repro.memory.attacker import CompromisedRegionView
 from repro.memory.layout import AccessMode, MemoryLayout, MemoryRegion
 from repro.memory.mpu import Mpu
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span as obs_span
 from repro.sensors.suite import SensorSuite
 from repro.sim.config import SimConfig
 from repro.sim.simulator import Simulator
@@ -136,6 +139,9 @@ class Vehicle:
             Callable[["Vehicle", np.ndarray], np.ndarray]
         ] = []
         self.post_step_hooks: list[Callable[["Vehicle"], None]] = []
+
+        # Telemetry instruments, resolved once for the 400 Hz loop.
+        self._metric_cycles = get_registry().counter("vehicle.control_cycles")
 
         # Cached per-cycle values for logging and detector access.
         self.last_readings = None
@@ -497,6 +503,7 @@ class Vehicle:
     def step(self) -> None:
         """One full control cycle (sensors → estimate → control → physics)."""
         dt = self.sim.dt
+        self._metric_cycles.inc()
         self.link.service()
         if self.estimation_enabled:
             self._run_estimation(dt)
@@ -540,12 +547,25 @@ class Vehicle:
         ``stop_when(vehicle) -> bool`` is evaluated every cycle.
         """
         steps = int(round(duration / self.sim.dt))
-        for _ in range(steps):
-            if self.sim.vehicle.crashed:
-                break
-            if stop_when is not None and stop_when(self):
-                break
-            self.step()
+        with obs_span(
+            "vehicle.run", duration_s=duration, mode=self.modes.mode.name
+        ) as run_span:
+            start_step = self.sim.step_count
+            start_pc = _time.perf_counter()
+            for _ in range(steps):
+                if self.sim.vehicle.crashed:
+                    break
+                if stop_when is not None and stop_when(self):
+                    break
+                self.step()
+            wall = _time.perf_counter() - start_pc
+            stepped = self.sim.step_count - start_step
+            run_span.set("steps", stepped)
+            run_span.set("crashed", self.sim.vehicle.crashed)
+            if wall > 0.0 and stepped:
+                rate = stepped / wall
+                run_span.set("step_rate_hz", round(rate, 1))
+                get_registry().gauge("vehicle.step_rate_hz").set(rate)
 
     # ------------------------------------------------------------------ #
     # Convenience flight procedures

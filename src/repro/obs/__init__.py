@@ -1,0 +1,65 @@
+"""Telemetry: metrics registry, span tracing and structured logging.
+
+The observability layer the scaled pipeline is measured through
+(MAVFI-style instrumented telemetry along the control pipeline,
+arXiv:2105.12882). Three strictly passive facilities:
+
+* :mod:`repro.obs.metrics` — counters/gauges/histograms in a process
+  -global (or injected) :class:`MetricsRegistry`; snapshots are JSON and
+  merge across processes.
+* :mod:`repro.obs.tracing` — ``span("phase", **attrs)`` context managers
+  collected by a :class:`Tracer`, exported as span JSONL or Chrome
+  trace-event JSON (chrome://tracing / Perfetto).
+* :mod:`repro.obs.log` — stdlib logging with a JSON formatter carrying
+  run-id/experiment/seed context.
+
+"Strictly passive" is a hard contract: with no sinks configured the
+per-event cost is an attribute check (tracing) or one float add
+(metrics), no file is ever written implicitly, and no simulation,
+analysis or RL code path reads telemetry state — so enabling telemetry
+cannot change any cached or golden result.
+"""
+
+from repro.obs.log import (
+    JsonFormatter,
+    configure_logging,
+    current_context,
+    get_logger,
+    log_context,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.tracing import (
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span,
+    use_telemetry,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonFormatter",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "configure_logging",
+    "current_context",
+    "get_logger",
+    "get_registry",
+    "get_tracer",
+    "log_context",
+    "set_registry",
+    "set_tracer",
+    "span",
+    "use_telemetry",
+]

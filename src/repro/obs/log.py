@@ -1,0 +1,113 @@
+"""Structured logging: stdlib ``logging`` with a JSON formatter and context.
+
+Library layers log through ordinary ``logging.getLogger("repro...")``
+loggers and attach nothing by default — an un-configured process pays
+only the stdlib level check per call. :func:`configure_logging` (used by
+the CLI's ``--log-level`` / ``--log-json``) installs one handler on the
+``"repro"`` root; in JSON mode each record renders as one JSON object
+carrying the run context (run-id, experiment, seed) bound via
+:func:`log_context`, so campaign logs are machine-triageable
+(arXiv:2403.15857-style run artifacts).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import logging
+import sys
+import time
+from contextlib import contextmanager
+from typing import Any, TextIO
+
+__all__ = [
+    "JsonFormatter",
+    "configure_logging",
+    "current_context",
+    "get_logger",
+    "log_context",
+]
+
+#: Ambient run context folded into every structured record.
+_log_context: contextvars.ContextVar[dict[str, Any]] = contextvars.ContextVar(
+    "repro_log_context", default={}
+)
+
+#: Attributes of a LogRecord that are stdlib plumbing, not user fields.
+_RESERVED = frozenset(vars(
+    logging.LogRecord("x", 0, "x", 0, "", (), None)
+)) | {"message", "asctime", "taskName"}
+
+
+def current_context() -> dict[str, Any]:
+    """The ambient context fields (run_id/experiment/seed/...)."""
+    return dict(_log_context.get())
+
+
+@contextmanager
+def log_context(**fields: Any):
+    """Bind extra fields onto every record emitted inside the block."""
+    merged = {**_log_context.get(), **fields}
+    token = _log_context.set(merged)
+    try:
+        yield merged
+    finally:
+        _log_context.reset(token)
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, msg, context, extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        payload.update(_log_context.get())
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = record.exc_info[0].__name__
+            payload["exc_msg"] = str(record.exc_info[1])
+        return json.dumps(payload, default=str, sort_keys=True)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A namespaced repro logger (``repro.<name>``)."""
+    if name.startswith("repro"):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")
+
+
+def configure_logging(
+    level: str | int = "INFO",
+    json_output: bool = False,
+    stream: TextIO | None = None,
+) -> logging.Handler:
+    """Install one handler on the ``repro`` logger root (idempotent).
+
+    Re-invoking replaces the previously installed obs handler, so tests
+    and repeated CLI calls in one process do not stack duplicates.
+    Returns the installed handler.
+    """
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler._repro_obs = True  # type: ignore[attr-defined]
+    if json_output:
+        handler.setFormatter(JsonFormatter())
+    else:
+        formatter = logging.Formatter(
+            "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+        )
+        formatter.converter = time.gmtime
+        handler.setFormatter(formatter)
+    root.addHandler(handler)
+    root.setLevel(level if isinstance(level, int) else level.upper())
+    root.propagate = False
+    return handler

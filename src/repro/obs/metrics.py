@@ -1,0 +1,265 @@
+"""Near-zero-overhead metrics: counters, gauges and bucketed histograms.
+
+The registry is strictly passive: instruments are plain Python objects
+updated with one attribute operation per event, and nothing is written
+anywhere until a caller asks for a :meth:`MetricsRegistry.snapshot`.
+Instrument lookup (`registry.counter(...)`) does a dict get keyed by
+``(name, labels)``, so hot paths fetch their instruments once at
+construction time and pay only the increment afterwards.
+
+Two usage modes coexist:
+
+* the **process-global default registry** (:func:`get_registry`) that the
+  instrumented library layers use implicitly, and
+* **injectable instances** — campaign worker processes install a fresh
+  registry around each seed (:func:`use_telemetry` in
+  :mod:`repro.obs.tracing`), snapshot it, and ship the snapshot back so
+  the parent can :meth:`~MetricsRegistry.merge` child-process metrics
+  into its own totals.
+
+Snapshots are plain JSON-able dicts (see ``schemas/metrics.schema.json``)
+and merging is associative and commutative on counters/histograms, so
+serial and process-pool campaign runs agree on totals.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any
+
+__all__ = [
+    "METRICS_SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "set_registry",
+]
+
+#: Bump when the snapshot layout changes (checked by the JSON schema).
+METRICS_SCHEMA_VERSION = 1
+
+#: Default histogram buckets: log-spaced seconds, good for timings from
+#: sub-millisecond decodes to multi-minute campaigns.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+)
+
+
+def _key(name: str, labels: dict[str, Any]) -> str:
+    """Render ``name`` + labels into the snapshot key: ``name{k=v,...}``."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (one float add — safe in any hot loop)."""
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (e.g. a rate or a current size)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with quantile estimates.
+
+    Observations land in cumulative-style buckets (Prometheus layout:
+    ``counts[i]`` counts values ``<= bounds[i]``, with a final +Inf
+    bucket), so merging is element-wise addition and quantiles are
+    interpolated inside the winning bucket.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(sorted(float(b) for b in buckets))
+        self.counts = [0] * (len(self.bounds) + 1)  # last = +Inf
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile, interpolated within the bucket.
+
+        Exact at the recorded min/max; elsewhere accurate to the bucket
+        resolution. Returns 0 when empty.
+        """
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for idx, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= target:
+                if idx >= len(self.bounds):  # +Inf bucket
+                    return self.max
+                upper = self.bounds[idx]
+                lower = self.bounds[idx - 1] if idx else min(self.min, upper)
+                fraction = (
+                    (target - (cumulative - bucket_count)) / bucket_count
+                    if bucket_count else 1.0
+                )
+                value = lower + (upper - lower) * fraction
+                return min(max(value, self.min), self.max)
+        return self.max
+
+
+class MetricsRegistry:
+    """A family of named instruments plus snapshot/merge plumbing."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument accessors (memoised per key) ----------------------- #
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The counter for ``name`` + labels (created on first use)."""
+        key = _key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """The gauge for ``name`` + labels (created on first use)."""
+        key = _key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(self, name: str,
+                  buckets: tuple[float, ...] | None = None,
+                  **labels: Any) -> Histogram:
+        """The histogram for ``name`` + labels (created on first use)."""
+        key = _key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(
+                buckets if buckets is not None else DEFAULT_BUCKETS
+            )
+        return instrument
+
+    # -- export / merge ------------------------------------------------ #
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-able view of every instrument (sorted keys)."""
+        return {
+            "schema": METRICS_SCHEMA_VERSION,
+            "counters": {
+                key: self._counters[key].value
+                for key in sorted(self._counters)
+            },
+            "gauges": {
+                key: self._gauges[key].value for key in sorted(self._gauges)
+            },
+            "histograms": {
+                key: {
+                    "count": hist.count,
+                    "sum": hist.sum,
+                    "min": hist.min if hist.count else 0.0,
+                    "max": hist.max if hist.count else 0.0,
+                    "bounds": list(hist.bounds),
+                    "counts": list(hist.counts),
+                }
+                for key, hist in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, snapshot: dict[str, Any]) -> None:
+        """Fold a child snapshot into this registry.
+
+        Counters and histogram buckets add; gauges take the child's last
+        value (a later merge wins, matching "last write" semantics).
+        Histograms with different bucket bounds fall back to merging only
+        count/sum/min/max into a same-bounds local instrument.
+        """
+        for key, value in snapshot.get("counters", {}).items():
+            self._split_lookup(self.counter, key).inc(float(value))
+        for key, value in snapshot.get("gauges", {}).items():
+            self._split_lookup(self.gauge, key).set(float(value))
+        for key, data in snapshot.get("histograms", {}).items():
+            bounds = tuple(data.get("bounds", DEFAULT_BUCKETS))
+            hist = self._split_lookup(
+                lambda name, **labels: self.histogram(name, bounds, **labels),
+                key,
+            )
+            if not data.get("count"):
+                continue
+            if tuple(hist.bounds) == bounds:
+                for idx, bucket_count in enumerate(data["counts"]):
+                    hist.counts[idx] += int(bucket_count)
+            else:  # incompatible layouts: keep scalar aggregates only
+                hist.counts[-1] += int(data["count"])
+            hist.count += int(data["count"])
+            hist.sum += float(data["sum"])
+            hist.min = min(hist.min, float(data["min"]))
+            hist.max = max(hist.max, float(data["max"]))
+
+    @staticmethod
+    def _split_lookup(factory, key: str):
+        """Re-resolve a rendered ``name{k=v}`` snapshot key to an instrument."""
+        if "{" in key and key.endswith("}"):
+            name, _, raw = key.partition("{")
+            labels = dict(
+                pair.split("=", 1) for pair in raw[:-1].split(",") if "=" in pair
+            )
+            return factory(name, **labels)
+        return factory(key)
+
+
+#: The process-global default registry the instrumented layers use.
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The current default registry (swappable via :func:`set_registry`)."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the process default; returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous

@@ -1,0 +1,124 @@
+"""Minimal JSON-Schema validator for the telemetry artifacts.
+
+CI validates every emitted trace/metrics file against the checked-in
+schemas under ``schemas/`` before uploading them as workflow artifacts.
+The container deliberately carries no ``jsonschema`` dependency, so this
+implements the small draft-7 subset those schemas use: ``type``,
+``properties`` / ``required`` / ``additionalProperties``, ``items``,
+``enum``, ``const``, ``minimum`` / ``maximum``, ``minItems`` and
+``patternProperties``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any
+
+__all__ = ["validate", "validate_file"]
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(instance: Any, expected: str) -> bool:
+    if expected == "number":
+        return isinstance(instance, (int, float)) and not isinstance(instance, bool)
+    if expected == "integer":
+        return isinstance(instance, int) and not isinstance(instance, bool)
+    return isinstance(instance, _TYPES[expected])
+
+
+def validate(instance: Any, schema: dict[str, Any], path: str = "$") -> list[str]:
+    """All violations of ``schema`` by ``instance`` (empty list = valid)."""
+    errors: list[str] = []
+    expected_type = schema.get("type")
+    if expected_type is not None:
+        allowed = (
+            expected_type if isinstance(expected_type, list) else [expected_type]
+        )
+        if not any(_type_ok(instance, t) for t in allowed):
+            return [
+                f"{path}: expected type {'/'.join(allowed)}, "
+                f"got {type(instance).__name__}"
+            ]
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not in enum {schema['enum']}")
+    if "const" in schema and instance != schema["const"]:
+        errors.append(f"{path}: {instance!r} != const {schema['const']!r}")
+    if isinstance(instance, (int, float)) and not isinstance(instance, bool):
+        if "minimum" in schema and instance < schema["minimum"]:
+            errors.append(f"{path}: {instance} < minimum {schema['minimum']}")
+        if "maximum" in schema and instance > schema["maximum"]:
+            errors.append(f"{path}: {instance} > maximum {schema['maximum']}")
+    if isinstance(instance, dict):
+        properties = schema.get("properties", {})
+        for name in schema.get("required", []):
+            if name not in instance:
+                errors.append(f"{path}: missing required property '{name}'")
+        pattern_props = {
+            re.compile(pattern): sub
+            for pattern, sub in schema.get("patternProperties", {}).items()
+        }
+        for name, value in instance.items():
+            if name in properties:
+                errors.extend(validate(value, properties[name], f"{path}.{name}"))
+                continue
+            matched = False
+            for pattern, sub in pattern_props.items():
+                if pattern.search(name):
+                    matched = True
+                    errors.extend(validate(value, sub, f"{path}.{name}"))
+            if matched:
+                continue
+            extra = schema.get("additionalProperties", True)
+            if extra is False:
+                errors.append(f"{path}: unexpected property '{name}'")
+            elif isinstance(extra, dict):
+                errors.extend(validate(value, extra, f"{path}.{name}"))
+    if isinstance(instance, list):
+        if "minItems" in schema and len(instance) < schema["minItems"]:
+            errors.append(
+                f"{path}: {len(instance)} items < minItems {schema['minItems']}"
+            )
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for idx, value in enumerate(instance):
+                errors.extend(validate(value, items, f"{path}[{idx}]"))
+    return errors
+
+
+def validate_file(artifact_path: str | Path,
+                  schema_path: str | Path) -> list[str]:
+    """Validate a JSON or JSONL artifact file against a schema file.
+
+    ``.jsonl`` files are validated line by line (the schema describes one
+    record); anything else is parsed as a single JSON document.
+    """
+    artifact_path = Path(artifact_path)
+    schema = json.loads(Path(schema_path).read_text())
+    if artifact_path.suffix == ".jsonl":
+        errors: list[str] = []
+        for lineno, line in enumerate(
+            artifact_path.read_text().splitlines(), start=1
+        ):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"$[line {lineno}]: not valid JSON ({exc})")
+                continue
+            errors.extend(validate(record, schema, path=f"$[line {lineno}]"))
+        return errors
+    try:
+        document = json.loads(artifact_path.read_text())
+    except json.JSONDecodeError as exc:
+        return [f"$: not valid JSON ({exc})"]
+    return validate(document, schema)

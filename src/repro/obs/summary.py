@@ -1,0 +1,153 @@
+"""Render telemetry artifacts as human-readable breakdown tables.
+
+``python -m repro obs summary PATH [PATH ...]`` accepts any mix of trace
+files (Chrome trace-event JSON or span JSONL) and metrics snapshots and
+renders a phase-time breakdown (per span name: count, total, mean, share
+of wall clock) plus counter/gauge/histogram tables.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import AnalysisError
+from repro.obs.metrics import Histogram
+
+__all__ = ["classify_artifact", "load_spans", "render_summary"]
+
+
+def classify_artifact(path: str | Path) -> str:
+    """'trace', 'metrics' or 'unknown', sniffed from the file content."""
+    path = Path(path)
+    try:
+        first = path.read_text().lstrip()
+    except OSError as exc:
+        raise AnalysisError(f"cannot read telemetry artifact: {exc}") from exc
+    if not first:
+        return "unknown"
+    try:
+        if path.suffix == ".jsonl":
+            record = json.loads(first.splitlines()[0])
+            return "trace" if "duration_s" in record else "unknown"
+        document = json.loads(first)
+    except json.JSONDecodeError:
+        return "unknown"
+    if isinstance(document, dict):
+        if "traceEvents" in document:
+            return "trace"
+        if "counters" in document or "histograms" in document:
+            return "metrics"
+    return "unknown"
+
+
+def load_spans(path: str | Path) -> list[dict[str, Any]]:
+    """Normalised span records from a Chrome trace or a span JSONL file.
+
+    Each record has ``name``, ``start_unix`` (s), ``duration_s`` and
+    ``attrs`` regardless of the on-disk format.
+    """
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix == ".jsonl":
+        return [json.loads(line) for line in text.splitlines() if line.strip()]
+    document = json.loads(text)
+    spans = []
+    for event in document.get("traceEvents", []):
+        if event.get("ph") != "X":
+            continue
+        spans.append({
+            "name": event["name"],
+            "start_unix": float(event.get("ts", 0.0)) / 1e6,
+            "duration_s": float(event.get("dur", 0.0)) / 1e6,
+            "pid": event.get("pid", 0),
+            "tid": event.get("tid", 0),
+            "attrs": event.get("args", {}),
+        })
+    return spans
+
+
+def _render_trace(path: Path, spans: list[dict[str, Any]]) -> list[str]:
+    if not spans:
+        return [f"Trace {path}: no spans recorded"]
+    starts = [s["start_unix"] for s in spans]
+    ends = [s["start_unix"] + s["duration_s"] for s in spans]
+    wall = max(ends) - min(starts)
+    by_name: dict[str, list[float]] = {}
+    for span in spans:
+        by_name.setdefault(span["name"], []).append(span["duration_s"])
+    lines = [
+        f"Trace {path} — {len(spans)} spans, "
+        f"{len({s['pid'] for s in spans})} process(es), wall {wall:.2f}s",
+        f"  {'span':28s} {'count':>6s} {'total_s':>9s} {'mean_s':>9s} "
+        f"{'%wall':>6s}",
+    ]
+    ordered = sorted(
+        by_name.items(), key=lambda item: sum(item[1]), reverse=True
+    )
+    for name, durations in ordered:
+        total = sum(durations)
+        share = 100.0 * total / wall if wall > 0 else 0.0
+        lines.append(
+            f"  {name:28s} {len(durations):6d} {total:9.3f} "
+            f"{total / len(durations):9.4f} {share:5.1f}%"
+        )
+    return lines
+
+
+def _render_metrics(path: Path, snapshot: dict[str, Any]) -> list[str]:
+    lines = [f"Metrics {path}"]
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append(f"  {'counter':40s} {'value':>12s}")
+        for key, value in counters.items():
+            rendered = f"{int(value)}" if float(value).is_integer() \
+                else f"{value:.4g}"
+            lines.append(f"  {key:40s} {rendered:>12s}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append(f"  {'gauge':40s} {'value':>12s}")
+        for key, value in gauges.items():
+            lines.append(f"  {key:40s} {value:12.4g}")
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append(
+            f"  {'histogram':28s} {'count':>7s} {'mean':>9s} {'p50':>9s} "
+            f"{'p95':>9s} {'max':>9s}"
+        )
+        for key, data in histograms.items():
+            hist = Histogram(tuple(data.get("bounds", (1.0,))))
+            hist.counts = [int(c) for c in data.get("counts", hist.counts)]
+            hist.count = int(data.get("count", 0))
+            hist.sum = float(data.get("sum", 0.0))
+            hist.min = float(data.get("min", 0.0))
+            hist.max = float(data.get("max", 0.0))
+            lines.append(
+                f"  {key:28s} {hist.count:7d} {hist.mean:9.4g} "
+                f"{hist.quantile(0.5):9.4g} {hist.quantile(0.95):9.4g} "
+                f"{hist.max:9.4g}"
+            )
+    if len(lines) == 1:
+        lines.append("  (empty snapshot)")
+    return lines
+
+
+def render_summary(paths: list[str | Path]) -> str:
+    """The ``obs summary`` table for any mix of trace/metrics files."""
+    if not paths:
+        raise AnalysisError("obs summary needs at least one artifact path")
+    sections: list[str] = []
+    for raw in paths:
+        path = Path(raw)
+        kind = classify_artifact(path)
+        if kind == "trace":
+            sections.append("\n".join(_render_trace(path, load_spans(path))))
+        elif kind == "metrics":
+            snapshot = json.loads(path.read_text())
+            sections.append("\n".join(_render_metrics(path, snapshot)))
+        else:
+            raise AnalysisError(
+                f"'{path}' is neither a trace nor a metrics snapshot"
+            )
+    return "\n\n".join(sections)

@@ -1,0 +1,265 @@
+"""Span tracing with JSONL and Chrome-trace-event export.
+
+``tracer.span("phase", **attrs)`` is a context manager recording a named,
+timed span. Spans carry wall-clock start times (``time.time``) with
+``perf_counter`` durations, so spans recorded in campaign worker
+processes line up with the parent's on one timeline and render as
+separate process lanes in ``chrome://tracing`` / Perfetto.
+
+The tracer is strictly passive: a disabled tracer (the default) returns a
+shared no-op context manager — the cost of an instrumented call site is
+one attribute check. Enabling tracing only accumulates spans in memory;
+nothing touches disk until :meth:`Tracer.export_chrome` /
+:meth:`Tracer.export_jsonl` is called, and no simulation RNG or result
+path ever reads tracing state, so enabling it cannot perturb any
+cached or golden result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "span",
+    "use_telemetry",
+]
+
+#: Bump when the span JSONL layout changes (checked by the JSON schema).
+TRACE_SCHEMA_VERSION = 1
+
+
+class Span:
+    """One finished (or in-flight) span."""
+
+    __slots__ = ("name", "start_unix", "duration_s", "attrs", "pid", "tid")
+
+    def __init__(self, name: str, start_unix: float, duration_s: float,
+                 attrs: dict[str, Any], pid: int, tid: int) -> None:
+        self.name = name
+        self.start_unix = start_unix
+        self.duration_s = duration_s
+        self.attrs = attrs
+        self.pid = pid
+        self.tid = tid
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach/overwrite one attribute on the live span."""
+        self.attrs[key] = value
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSONL record form."""
+        return {
+            "schema": TRACE_SCHEMA_VERSION,
+            "name": self.name,
+            "start_unix": self.start_unix,
+            "duration_s": self.duration_s,
+            "pid": self.pid,
+            "tid": self.tid,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict[str, Any]) -> Span:
+        """Inverse of :meth:`to_dict` (used to adopt worker spans)."""
+        return cls(
+            name=str(record["name"]),
+            start_unix=float(record["start_unix"]),
+            duration_s=float(record["duration_s"]),
+            attrs=dict(record.get("attrs", {})),
+            pid=int(record.get("pid", 0)),
+            tid=int(record.get("tid", 0)),
+        )
+
+
+class _NullSpan:
+    """Shared no-op context manager handed out by a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> None:
+        """Discard the attribute (disabled tracer)."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """Context manager measuring one span and handing it to the tracer."""
+
+    __slots__ = ("_tracer", "_span", "_start_pc")
+
+    def __init__(self, tracer: Tracer, name: str, attrs: dict[str, Any]):
+        self._tracer = tracer
+        self._span = Span(
+            name=name, start_unix=time.time(), duration_s=0.0, attrs=attrs,
+            pid=os.getpid(), tid=threading.get_ident() & 0xFFFF,
+        )
+        self._start_pc = 0.0
+
+    def __enter__(self) -> Span:
+        self._start_pc = time.perf_counter()
+        return self._span
+
+    def __exit__(self, exc_type: Any, *exc_info: Any) -> bool:
+        self._span.duration_s = time.perf_counter() - self._start_pc
+        if exc_type is not None:
+            self._span.attrs["error"] = exc_type.__name__
+        self._tracer.record(self._span)
+        return False
+
+
+class Tracer:
+    """Collects spans in memory; export on demand.
+
+    Parameters
+    ----------
+    enabled:
+        When False (the default for the process-global tracer),
+        :meth:`span` returns a shared no-op context manager.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.spans: list[Span] = []
+
+    def span(self, name: str, **attrs: Any):
+        """Context manager timing one named phase.
+
+        The ``with`` target is the live :class:`Span`; call ``.set()`` on
+        it to attach outputs discovered mid-phase (e.g. column counts).
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return _LiveSpan(self, name, attrs)
+
+    def record(self, span: Span) -> None:
+        """Append one finished span."""
+        self.spans.append(span)
+
+    def adopt(self, records: list[dict[str, Any]]) -> None:
+        """Merge spans shipped back from a worker process (dict form)."""
+        if not self.enabled:
+            return
+        for record in records:
+            self.spans.append(Span.from_dict(record))
+
+    def clear(self) -> None:
+        """Drop all recorded spans."""
+        self.spans = []
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """All spans in JSONL record form (picklable/JSON-able)."""
+        return [span.to_dict() for span in self.spans]
+
+    # -- exporters ----------------------------------------------------- #
+    def export_jsonl(self, path: str | Path) -> Path:
+        """One JSON object per line; returns the written path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as handle:
+            for span in self.spans:
+                handle.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+        return path
+
+    def export_chrome(self, path: str | Path) -> Path:
+        """Chrome trace-event JSON, loadable in chrome://tracing / Perfetto.
+
+        Spans become complete ("ph": "X") events with microsecond
+        timestamps relative to the earliest span, one lane per
+        process/thread, so parallel campaign workers show up side by side.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        epoch = min((s.start_unix for s in self.spans), default=0.0)
+        events: list[dict[str, Any]] = []
+        for pid in sorted({s.pid for s in self.spans}):
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": f"repro pid {pid}"},
+            })
+        for span in self.spans:
+            events.append({
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": (span.start_unix - epoch) * 1e6,
+                "dur": max(span.duration_s, 0.0) * 1e6,
+                "pid": span.pid,
+                "tid": span.tid,
+                "args": span.attrs,
+            })
+        payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+        path.write_text(json.dumps(payload, sort_keys=True))
+        return path
+
+    def export(self, path: str | Path) -> Path:
+        """Export by extension: ``.jsonl`` → JSONL, anything else → Chrome."""
+        path = Path(path)
+        if path.suffix == ".jsonl":
+            return self.export_jsonl(path)
+        return self.export_chrome(path)
+
+
+#: The process-global tracer (disabled until a sink is configured).
+_default_tracer = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The current default tracer."""
+    return _default_tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process default; returns the previous one."""
+    global _default_tracer
+    previous = _default_tracer
+    _default_tracer = tracer
+    return previous
+
+
+def span(name: str, **attrs: Any):
+    """Convenience: a span on the process-global tracer."""
+    return _default_tracer.span(name, **attrs)
+
+
+@contextmanager
+def use_telemetry(registry: MetricsRegistry | None = None,
+                  tracer: Tracer | None = None):
+    """Temporarily install a registry/tracer pair as the process defaults.
+
+    Campaign workers run each seed under a fresh pair so per-seed
+    metrics/spans can be snapshotted and shipped back to the parent;
+    tests use it to isolate instrumented runs from the ambient registry.
+    Yields ``(registry, tracer)`` (the installed, possibly ambient, pair).
+    """
+    prev_registry = prev_tracer = None
+    if registry is not None:
+        prev_registry = set_registry(registry)
+    if tracer is not None:
+        prev_tracer = set_tracer(tracer)
+    try:
+        yield (registry or get_registry(), tracer or get_tracer())
+    finally:
+        if registry is not None and prev_registry is not None:
+            set_registry(prev_registry)
+        if tracer is not None and prev_tracer is not None:
+            set_tracer(prev_tracer)

@@ -107,9 +107,10 @@ class ProfileCollector:
         durations: list[float] = []
         for index, mission in enumerate(missions):
             vehicle = self._vehicle_factory(index + 1)
-            tracer = VariableTracer(vehicle, self.intermediates)
-            status = vehicle.fly_mission(mission, timeout=timeout_per_mission)
-            tracer.detach()
+            with VariableTracer(vehicle, self.intermediates) as tracer:
+                status = vehicle.fly_mission(
+                    mission, timeout=timeout_per_mission
+                )
             if status is not MissionStatus.COMPLETE:
                 raise AnalysisError(
                     f"benign profiling mission {index} did not complete "

@@ -40,6 +40,14 @@ class VariableTracer:
     records one row whenever the vehicle's logger records an ATT message
     (so traced intermediates align row-for-row with log-derived KSVL
     columns when both are exported).
+
+    The constructor attaches immediately. Use the tracer as a context
+    manager (or call :meth:`detach`) so repeated profiling runs against
+    one vehicle never accumulate stale ``post_step`` hooks::
+
+        with VariableTracer(vehicle, ["PIDR.INTEG"]) as tracer:
+            vehicle.fly_mission(mission)
+        matrix = tracer.to_matrix()   # hook already removed here
     """
 
     def __init__(self, vehicle: Vehicle, variables: list[str]):
@@ -53,7 +61,7 @@ class VariableTracer:
         self.variables = list(variables)
         self.table = TraceTable(self.variables)
         self._last_att_count = vehicle.logger.num_records("ATT")
-        vehicle.post_step_hooks.append(self._on_step)
+        self.attach()
 
     @staticmethod
     def _is_bound(vehicle: Vehicle, name: str) -> bool:
@@ -63,10 +71,28 @@ class VariableTracer:
         except Exception:
             return False
 
+    @property
+    def attached(self) -> bool:
+        """Whether the tracer's hook is currently installed."""
+        return self._on_step in self.vehicle.post_step_hooks
+
+    def attach(self) -> None:
+        """(Re-)install the vehicle hook; idempotent."""
+        if not self.attached:
+            self.vehicle.post_step_hooks.append(self._on_step)
+
     def detach(self) -> None:
-        """Stop tracing (remove the vehicle hook)."""
+        """Stop tracing (remove the vehicle hook); idempotent."""
         if self._on_step in self.vehicle.post_step_hooks:
             self.vehicle.post_step_hooks.remove(self._on_step)
+
+    def __enter__(self) -> VariableTracer:
+        self.attach()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.detach()
+        return False
 
     def _on_step(self, vehicle: Vehicle) -> None:
         att_count = vehicle.logger.num_records("ATT")

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
 from repro.rl.networks import MLP, AdamOptimizer
 from repro.rl.replay import ReplayBuffer
 from repro.utils.rng import make_rng
@@ -86,6 +87,7 @@ class DdpgAgent:
         c = self.config
         if len(self.buffer) < max(c.batch_size, c.warmup_transitions):
             return None
+        get_registry().counter("rl.policy_updates", algo="ddpg").inc()
         obs, act, rew, next_obs, done = self.buffer.sample(c.batch_size)
 
         # Critic target: r + gamma * (1-done) * Q'(s', pi'(s')).

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
 from repro.rl.networks import MLP, AdamOptimizer
 from repro.utils.rng import make_rng
 
@@ -71,6 +72,7 @@ class ReinforceAgent:
         ``episode`` is a list of (obs, action, reward) tuples; actions are
         in environment units (they are unscaled internally).
         """
+        get_registry().counter("rl.policy_updates", algo="reinforce").inc()
         c = self.config
         observations = np.vstack([np.asarray(o, dtype=float) for o, _, _ in episode])
         actions = np.vstack(

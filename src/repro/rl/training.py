@@ -6,10 +6,43 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span as obs_span
 from repro.rl.ddpg import DdpgAgent
 from repro.rl.reinforce import ReinforceAgent
 
 __all__ = ["EpisodeStats", "TrainingResult", "train_reinforce", "train_ddpg"]
+
+_log = get_logger(__name__)
+
+#: Episode-return histogram buckets: returns span large negative (crash /
+#: detection penalties) through positive deviation rewards.
+_RETURN_BUCKETS = (
+    -10_000.0, -1_000.0, -100.0, -10.0, -1.0, 0.0,
+    1.0, 10.0, 100.0, 1_000.0, 10_000.0,
+)
+
+
+def _record_episode(algo: str, stats: EpisodeStats) -> None:
+    """Fold one episode into the registry (and the debug log)."""
+    registry = get_registry()
+    registry.counter("rl.episodes", algo=algo).inc()
+    if stats.crashed:
+        registry.counter("rl.crashes", algo=algo).inc()
+    if stats.detected:
+        registry.counter("rl.detections", algo=algo).inc()
+    registry.histogram(
+        "rl.episode_return", buckets=_RETURN_BUCKETS, algo=algo
+    ).observe(stats.total_reward)
+    registry.histogram(
+        "rl.episode_steps", algo=algo
+    ).observe(float(stats.steps))
+    _log.debug(
+        "%s episode %d: return %.2f, %d steps, crashed=%s detected=%s",
+        algo, stats.episode, stats.total_reward, stats.steps,
+        stats.crashed, stats.detected,
+    )
 
 
 @dataclass
@@ -54,27 +87,31 @@ def train_reinforce(
 ) -> TrainingResult:
     """On-policy training: one policy update per episode."""
     result = TrainingResult()
-    for episode_idx in range(episodes):
-        obs = env.reset()
-        trajectory = []
-        total = 0.0
-        info: dict = {}
-        done = False
-        while not done:
-            action = agent.act(obs)
-            next_obs, reward, done, info = env.step(action)
-            trajectory.append((obs, action, reward))
-            total += reward
-            obs = next_obs
-        agent.update(trajectory)
-        stats = EpisodeStats(
-            episode=episode_idx, total_reward=total, steps=info.get("steps", 0),
-            crashed=info.get("crashed", False),
-            detected=info.get("detected", False), final_info=info,
-        )
-        result.episodes.append(stats)
-        if callback is not None:
-            callback(stats)
+    with obs_span("rl.train", algo="reinforce", episodes=episodes) as train_span:
+        for episode_idx in range(episodes):
+            with obs_span("rl.episode", algo="reinforce", episode=episode_idx):
+                obs = env.reset()
+                trajectory = []
+                total = 0.0
+                info: dict = {}
+                done = False
+                while not done:
+                    action = agent.act(obs)
+                    next_obs, reward, done, info = env.step(action)
+                    trajectory.append((obs, action, reward))
+                    total += reward
+                    obs = next_obs
+                agent.update(trajectory)
+            stats = EpisodeStats(
+                episode=episode_idx, total_reward=total, steps=info.get("steps", 0),
+                crashed=info.get("crashed", False),
+                detected=info.get("detected", False), final_info=info,
+            )
+            result.episodes.append(stats)
+            _record_episode("reinforce", stats)
+            if callback is not None:
+                callback(stats)
+        train_span.set("best_return", result.best_return)
     return result
 
 
@@ -84,26 +121,30 @@ def train_ddpg(
 ) -> TrainingResult:
     """Off-policy training: replay updates every environment step."""
     result = TrainingResult()
-    for episode_idx in range(episodes):
-        obs = env.reset()
-        total = 0.0
-        info: dict = {}
-        done = False
-        while not done:
-            action = agent.act(obs)
-            next_obs, reward, done, info = env.step(action)
-            agent.observe(obs, action, reward, next_obs, done)
-            for _ in range(updates_per_step):
-                agent.update()
-            total += reward
-            obs = next_obs
-        agent.end_episode()
-        stats = EpisodeStats(
-            episode=episode_idx, total_reward=total, steps=info.get("steps", 0),
-            crashed=info.get("crashed", False),
-            detected=info.get("detected", False), final_info=info,
-        )
-        result.episodes.append(stats)
-        if callback is not None:
-            callback(stats)
+    with obs_span("rl.train", algo="ddpg", episodes=episodes) as train_span:
+        for episode_idx in range(episodes):
+            with obs_span("rl.episode", algo="ddpg", episode=episode_idx):
+                obs = env.reset()
+                total = 0.0
+                info: dict = {}
+                done = False
+                while not done:
+                    action = agent.act(obs)
+                    next_obs, reward, done, info = env.step(action)
+                    agent.observe(obs, action, reward, next_obs, done)
+                    for _ in range(updates_per_step):
+                        agent.update()
+                    total += reward
+                    obs = next_obs
+                agent.end_episode()
+            stats = EpisodeStats(
+                episode=episode_idx, total_reward=total, steps=info.get("steps", 0),
+                crashed=info.get("crashed", False),
+                detected=info.get("detected", False), final_info=info,
+            )
+            result.episodes.append(stats)
+            _record_episode("ddpg", stats)
+            if callback is not None:
+                callback(stats)
+        train_span.set("best_return", result.best_return)
     return result

@@ -266,6 +266,9 @@ class TestBenchWiring:
     class _FakeBenchmark:
         """Minimal stand-in for pytest-benchmark's fixture."""
 
+        def __init__(self):
+            self.extra_info = {}
+
         def pedantic(self, fn, args=(), kwargs=None, rounds=1, iterations=1):
             return fn(*args, **(kwargs or {}))
 

@@ -1,8 +1,13 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.__main__ import build_parser, main
+
+SCHEMAS = Path(__file__).resolve().parent.parent / "schemas"
 
 
 class TestParser:
@@ -26,6 +31,29 @@ class TestParser:
         args = build_parser().parse_args(["fig", "6"])
         assert args.number == "6"
 
+    def test_telemetry_flags(self):
+        args = build_parser().parse_args(
+            ["fig", "9", "--trace", "t.json", "--metrics-out", "m.json",
+             "--log-level", "DEBUG", "--log-json"]
+        )
+        assert args.trace == "t.json"
+        assert args.metrics_out == "m.json"
+        assert args.log_level == "DEBUG"
+        assert args.log_json
+        # The same flags exist on assess and table.
+        assert build_parser().parse_args(
+            ["assess", "--trace", "t.json"]).trace == "t.json"
+        assert build_parser().parse_args(
+            ["table", "1", "--metrics-out", "m.json"]).metrics_out == "m.json"
+
+    def test_obs_subcommands(self):
+        summary = build_parser().parse_args(["obs", "summary", "a", "b"])
+        assert summary.paths == ["a", "b"]
+        validate = build_parser().parse_args(["obs", "validate", "a", "s"])
+        assert validate.artifact == "a" and validate.schema == "s"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
+
 
 class TestCommands:
     def test_table1(self, capsys):
@@ -41,3 +69,65 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "COMPLETE" in out
+
+
+class TestTelemetryCommands:
+    def test_table_emits_valid_trace_and_metrics(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.obs.schema import validate_file
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.json"
+        assert main(["table", "1", "--trace", str(trace),
+                     "--metrics-out", str(metrics)]) == 0
+        assert validate_file(trace, SCHEMAS / "trace.schema.json") == []
+        assert validate_file(metrics, SCHEMAS / "metrics.schema.json") == []
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert "experiment" in {e["name"] for e in events}
+        counters = json.loads(metrics.read_text())["counters"]
+        assert any(key.startswith("cache.") for key in counters)
+
+    def test_obs_summary_renders_both_artifacts(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.json"
+        main(["table", "1", "--trace", str(trace),
+              "--metrics-out", str(metrics)])
+        capsys.readouterr()
+        assert main(["obs", "summary", str(trace), str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "%wall" in out
+        assert "counter" in out
+
+    def test_obs_validate_rejects_bad_artifact(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": "not-a-list"}')
+        assert main(["obs", "validate", str(bad),
+                     str(SCHEMAS / "trace.schema.json")]) == 1
+        assert "invalid" in capsys.readouterr().err
+
+    def test_obs_commands_handle_non_json_cleanly(self, tmp_path, capsys):
+        """No raw tracebacks: error:/rc-2 from summary, invalid/rc-1 from
+        validate."""
+        rogue = tmp_path / "rogue.json"
+        rogue.write_text("not json at all\n")
+        assert main(["obs", "summary", str(rogue)]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(["obs", "validate", str(rogue),
+                     str(SCHEMAS / "trace.schema.json")]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_trace_does_not_change_table_output(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """Telemetry flags must not perturb the rendered science."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        main(["table", "1"])
+        plain = capsys.readouterr().out
+        main(["table", "1", "--no-cache", "--trace", str(tmp_path / "t.json")])
+        traced = capsys.readouterr().out
+        assert traced == plain

@@ -1,0 +1,450 @@
+"""The telemetry subsystem: metrics, spans, logs — and its core contract.
+
+Telemetry must be strictly passive: enabling tracing or metrics cannot
+change a single result value, and execution mode (serial vs process
+pool) cannot change metric totals. These tests pin the instrument
+semantics, both exporters against the checked-in schemas, the merge
+algebra, and the determinism contract end to end through the campaign
+runner.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from io import StringIO
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.experiments.campaign import run_campaign
+from repro.obs import (
+    JsonFormatter,
+    MetricsRegistry,
+    Tracer,
+    configure_logging,
+    get_logger,
+    get_registry,
+    log_context,
+    use_telemetry,
+)
+from repro.obs.schema import validate, validate_file
+from repro.obs.summary import classify_artifact, load_spans, render_summary
+
+SCHEMAS = Path(__file__).resolve().parent.parent / "schemas"
+
+
+def _load_schema(name: str) -> dict:
+    return json.loads((SCHEMAS / name).read_text())
+
+
+# --------------------------------------------------------------------- #
+# Metrics
+# --------------------------------------------------------------------- #
+class TestMetrics:
+    def test_counter_and_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(2.0)
+        registry.counter("hits", kind="a").inc()
+        snap = registry.snapshot()
+        assert snap["counters"] == {"hits": 3.0, "hits{kind=a}": 1.0}
+
+    def test_instrument_identity_is_memoised(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x", a=1) is registry.counter("x", a=1)
+        assert registry.counter("x", a=1) is not registry.counter("x", a=2)
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("rate").set(10.0)
+        registry.gauge("rate").set(400.5)
+        assert registry.snapshot()["gauges"]["rate"] == 400.5
+
+    def test_histogram_quantiles_bracket_observations(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("t", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.2, 0.5, 2.0, 5.0, 20.0):
+            hist.observe(value)
+        assert hist.count == 6
+        assert hist.min == 0.05 and hist.max == 20.0
+        assert hist.mean == pytest.approx(27.75 / 6)
+        assert 0.05 <= hist.quantile(0.5) <= 10.0
+        assert hist.quantile(1.0) == 20.0
+        assert hist.quantile(0.0) >= hist.min
+
+    def test_empty_histogram_is_safe(self):
+        hist = MetricsRegistry().histogram("empty")
+        assert hist.mean == 0.0
+        assert hist.quantile(0.5) == 0.0
+
+    def test_snapshot_is_schema_valid(self):
+        registry = MetricsRegistry()
+        registry.counter("c", experiment="fig9").inc()
+        registry.gauge("g").set(-1.5)
+        registry.histogram("h").observe(0.3)
+        errors = validate(registry.snapshot(), _load_schema("metrics.schema.json"))
+        assert errors == []
+
+    def test_merge_matches_single_registry(self):
+        """Merging child snapshots == observing everything in one registry."""
+        whole = MetricsRegistry()
+        parent = MetricsRegistry()
+        # Binary-exact values keep float summation associative, so the
+        # snapshots must match bit for bit, not just approximately.
+        for chunk in ([0.25, 0.5, 4.0], [0.125, 2.0], [8.0]):
+            child = MetricsRegistry()
+            for value in chunk:
+                for registry in (whole, child):
+                    registry.counter("n", src="sim").inc()
+                    registry.histogram("lat").observe(value)
+            parent.merge(child.snapshot())
+        assert parent.snapshot() == whole.snapshot()
+
+    def test_merge_mismatched_bounds_keeps_aggregates(self):
+        child = MetricsRegistry()
+        child.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        parent = MetricsRegistry()
+        parent.histogram("h", buckets=(5.0, 10.0)).observe(7.0)
+        parent.merge(child.snapshot())
+        hist = parent.histogram("h", buckets=(5.0, 10.0))
+        assert hist.count == 2
+        assert hist.sum == pytest.approx(8.5)
+        assert hist.min == 1.5 and hist.max == 7.0
+
+
+# --------------------------------------------------------------------- #
+# Tracing
+# --------------------------------------------------------------------- #
+class TestTracer:
+    def test_disabled_tracer_is_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        first = tracer.span("a", x=1)
+        second = tracer.span("b")
+        assert first is second  # one shared object, zero allocation
+        with first as span:
+            span.set("ignored", True)
+        assert tracer.spans == []
+
+    def test_enabled_tracer_records_spans_and_attrs(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("phase", stage=1) as span:
+            span.set("columns", 42)
+        assert len(tracer.spans) == 1
+        recorded = tracer.spans[0]
+        assert recorded.name == "phase"
+        assert recorded.attrs == {"stage": 1, "columns": 42}
+        assert recorded.duration_s >= 0.0
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        assert tracer.spans[0].attrs["error"] == "ValueError"
+
+    def test_jsonl_export_schema_valid_roundtrip(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        with tracer.span("x", k="v"):
+            pass
+        path = tracer.export(tmp_path / "spans.jsonl")
+        assert path.suffix == ".jsonl"
+        assert validate_file(path, SCHEMAS / "trace_span.schema.json") == []
+        adopted = Tracer(enabled=True)
+        adopted.adopt([json.loads(line) for line in path.read_text().splitlines()])
+        assert adopted.spans[0].name == "x"
+        assert adopted.spans[0].attrs == {"k": "v"}
+
+    def test_chrome_export_loadable_and_schema_valid(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        with tracer.span("campaign", seeds=3):
+            with tracer.span("campaign.seed", seed=0):
+                pass
+        path = tracer.export(tmp_path / "trace.json")
+        document = json.loads(path.read_text())
+        events = document["traceEvents"]
+        phases = {event["ph"] for event in events}
+        assert phases == {"M", "X"}  # metadata lane names + complete spans
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"campaign", "campaign.seed"}
+        for event in complete:
+            assert event["ts"] >= 0.0 and event["dur"] >= 0.0
+        assert validate_file(path, SCHEMAS / "trace.schema.json") == []
+
+    def test_use_telemetry_restores_globals(self):
+        ambient_registry = get_registry()
+        registry, tracer = MetricsRegistry(), Tracer(enabled=True)
+        with use_telemetry(registry, tracer) as (active_registry, active_tracer):
+            assert get_registry() is registry is active_registry
+            from repro.obs.tracing import get_tracer
+
+            assert get_tracer() is tracer is active_tracer
+        assert get_registry() is ambient_registry
+
+
+# --------------------------------------------------------------------- #
+# Structured logging
+# --------------------------------------------------------------------- #
+class TestLogging:
+    def test_json_formatter_carries_context_and_extras(self):
+        stream = StringIO()
+        handler = configure_logging("DEBUG", json_output=True, stream=stream)
+        try:
+            with log_context(run_id="r1", experiment="fig9", seed=3):
+                get_logger("test").info("hello %s", "world", extra={"n": 2})
+            record = json.loads(stream.getvalue())
+            assert record["msg"] == "hello world"
+            assert record["run_id"] == "r1"
+            assert record["experiment"] == "fig9"
+            assert record["seed"] == 3
+            assert record["n"] == 2
+            assert record["level"] == "INFO"
+        finally:
+            logging.getLogger("repro").removeHandler(handler)
+
+    def test_configure_logging_is_idempotent(self):
+        stream = StringIO()
+        configure_logging("INFO", stream=stream)
+        handler = configure_logging("INFO", stream=stream)
+        try:
+            root = logging.getLogger("repro")
+            obs_handlers = [
+                h for h in root.handlers if getattr(h, "_repro_obs", False)
+            ]
+            assert len(obs_handlers) == 1
+        finally:
+            logging.getLogger("repro").removeHandler(handler)
+
+    def test_nested_context_merges_and_restores(self):
+        with log_context(run_id="outer"):
+            with log_context(seed=7) as merged:
+                assert merged == {"run_id": "outer", "seed": 7}
+            from repro.obs.log import current_context
+
+            assert current_context() == {"run_id": "outer"}
+
+    def test_formatter_renders_exceptions(self):
+        formatter = JsonFormatter()
+        try:
+            raise KeyError("missing")
+        except KeyError:
+            record = logging.LogRecord(
+                "repro.t", logging.ERROR, __file__, 1, "failed", (),
+                exc_info=True,
+            )
+            import sys
+
+            record.exc_info = sys.exc_info()
+        payload = json.loads(formatter.format(record))
+        assert payload["exc"] == "KeyError"
+
+
+# --------------------------------------------------------------------- #
+# Schema validator
+# --------------------------------------------------------------------- #
+class TestSchemaValidator:
+    SCHEMA = {
+        "type": "object",
+        "required": ["schema"],
+        "properties": {
+            "schema": {"const": 1},
+            "mode": {"enum": ["a", "b"]},
+            "count": {"type": "integer", "minimum": 0},
+            "items": {"type": "array", "minItems": 1,
+                      "items": {"type": "number"}},
+        },
+        "patternProperties": {"^x_": {"type": "string"}},
+        "additionalProperties": False,
+    }
+
+    def test_valid_instance(self):
+        doc = {"schema": 1, "mode": "a", "count": 2, "items": [0.5],
+               "x_extra": "ok"}
+        assert validate(doc, self.SCHEMA) == []
+
+    def test_each_violation_reported(self):
+        doc = {"schema": 2, "mode": "c", "count": -1, "items": [],
+               "x_extra": 3, "rogue": True}
+        errors = "\n".join(validate(doc, self.SCHEMA))
+        assert "const" in errors
+        assert "enum" in errors
+        assert "minimum" in errors
+        assert "minItems" in errors
+        assert "expected type string" in errors
+        assert "unexpected property 'rogue'" in errors
+
+    def test_type_mismatch_short_circuits(self):
+        assert validate([], {"type": "object"}) == [
+            "$: expected type object, got list"
+        ]
+
+    def test_bool_is_not_a_number(self):
+        assert validate(True, {"type": "number"}) != []
+        assert validate(True, {"type": "boolean"}) == []
+
+    def test_validate_file_jsonl_reports_line(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        path.write_text('{"schema": 1}\n{"schema": 2}\n')
+        errors = validate_file(path, self._write_schema(tmp_path))
+        assert len(errors) == 1
+        assert "line 2" in errors[0]
+
+    @staticmethod
+    def _write_schema(tmp_path) -> Path:
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps({
+            "type": "object", "properties": {"schema": {"const": 1}},
+        }))
+        return path
+
+
+# --------------------------------------------------------------------- #
+# Summary rendering
+# --------------------------------------------------------------------- #
+class TestSummary:
+    @staticmethod
+    def _artifacts(tmp_path):
+        tracer = Tracer(enabled=True)
+        with tracer.span("campaign", experiment="t"):
+            with tracer.span("campaign.seed", seed=1):
+                pass
+        trace = tracer.export(tmp_path / "trace.json")
+        registry = MetricsRegistry()
+        registry.counter("cache.hits", experiment="t").inc(4)
+        registry.gauge("vehicle.step_rate_hz").set(400.0)
+        registry.histogram("cache.decode_seconds").observe(0.002)
+        metrics = tmp_path / "metrics.json"
+        metrics.write_text(json.dumps(registry.snapshot()))
+        return trace, metrics
+
+    def test_classify(self, tmp_path):
+        trace, metrics = self._artifacts(tmp_path)
+        assert classify_artifact(trace) == "trace"
+        assert classify_artifact(metrics) == "metrics"
+
+    def test_load_spans_both_formats_agree(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a", k=1):
+            pass
+        chrome = tracer.export_chrome(tmp_path / "c.json")
+        jsonl = tracer.export_jsonl(tmp_path / "s.jsonl")
+        from_chrome, from_jsonl = load_spans(chrome), load_spans(jsonl)
+        assert [s["name"] for s in from_chrome] == ["a"]
+        assert from_chrome[0]["attrs"] == from_jsonl[0]["attrs"] == {"k": 1}
+
+    def test_render_summary_mixed_artifacts(self, tmp_path):
+        trace, metrics = self._artifacts(tmp_path)
+        text = render_summary([trace, metrics])
+        assert "campaign.seed" in text
+        assert "%wall" in text
+        assert "cache.hits{experiment=t}" in text
+        assert "p95" in text
+
+    def test_render_summary_rejects_garbage(self, tmp_path):
+        rogue = tmp_path / "rogue.json"
+        rogue.write_text('{"neither": true}')
+        with pytest.raises(AnalysisError):
+            render_summary([rogue])
+
+
+# --------------------------------------------------------------------- #
+# Determinism through the campaign runner (the core telemetry contract)
+# --------------------------------------------------------------------- #
+
+# Module-level so ProcessPoolExecutor can pickle them.
+
+def _science_experiment(seed: int) -> dict[str, float]:
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    return {"deviation": float(rng.normal(size=16).sum())}
+
+
+def _instrumented_experiment(seed: int) -> dict[str, float]:
+    registry = get_registry()
+    registry.counter("test.runs").inc()
+    registry.counter("test.parity", even=seed % 2 == 0).inc()
+    registry.histogram("test.seed_value").observe(seed * 0.01)
+    return {"x": float(seed)}
+
+
+def _campaign_values(result) -> dict[str, list[float]]:
+    return {name: list(m.values) for name, m in result.metrics.items()}
+
+
+class TestTelemetryDeterminism:
+    SEEDS = list(range(20, 27))
+
+    def test_results_bit_identical_tracing_on_vs_off(self):
+        baseline = run_campaign(_science_experiment, self.SEEDS)
+        with use_telemetry(MetricsRegistry(), Tracer(enabled=True)) as (_, tracer):
+            traced = run_campaign(_science_experiment, self.SEEDS)
+            span_names = {s.name for s in tracer.spans}
+        assert _campaign_values(traced) == _campaign_values(baseline)
+        assert traced.seeds == baseline.seeds
+        assert {"campaign", "campaign.seed"} <= span_names
+
+    def test_results_bit_identical_tracing_on_vs_off_parallel(self):
+        baseline = run_campaign(_science_experiment, self.SEEDS, workers=4)
+        with use_telemetry(MetricsRegistry(), Tracer(enabled=True)) as (_, tracer):
+            traced = run_campaign(_science_experiment, self.SEEDS, workers=4)
+            # Worker spans ship back and land on the parent tracer.
+            seed_spans = [s for s in tracer.spans if s.name == "campaign.seed"]
+        assert _campaign_values(traced) == _campaign_values(baseline)
+        assert sorted(s.attrs["seed"] for s in seed_spans) == self.SEEDS
+
+    def test_serial_and_parallel_counter_totals_agree(self):
+        with use_telemetry(MetricsRegistry()) as (serial_registry, _):
+            run_campaign(_instrumented_experiment, self.SEEDS)
+            serial = serial_registry.snapshot()
+        with use_telemetry(MetricsRegistry()) as (parallel_registry, _):
+            run_campaign(_instrumented_experiment, self.SEEDS, workers=4)
+            parallel = parallel_registry.snapshot()
+        assert parallel["counters"] == serial["counters"]
+        assert parallel["counters"]["test.runs"] == len(self.SEEDS)
+        # Histogram totals agree too (bucket-wise additive merge).
+        assert (parallel["histograms"]["test.seed_value"]
+                == serial["histograms"]["test.seed_value"])
+
+    def test_algorithm1_stage_spans(self):
+        """Algorithm 1 emits its stage breakdown with column counts."""
+        import numpy as np
+
+        from repro.analysis.tsvl import generate_tsvl
+        from repro.utils.timeseries import TraceTable
+
+        rng = np.random.default_rng(0)
+        table = TraceTable([f"V{i}" for i in range(8)] + ["ATT.R"])
+        base = rng.normal(size=400)
+        for t in range(400):
+            row = {f"V{i}": base[t] * (i + 1) + rng.normal() * 0.1
+                   for i in range(8)}
+            row["ATT.R"] = base[t] + rng.normal() * 0.05
+            table.append_row(t / 16.0, row)
+        with use_telemetry(tracer=Tracer(enabled=True)) as (_, tracer):
+            generate_tsvl(table, dynamics_variables=["ATT.R"])
+            spans = {s.name: s.attrs for s in tracer.spans}
+        assert {"analysis.correlation", "analysis.pruning",
+                "analysis.clustering", "analysis.stepwise"} <= spans.keys()
+        assert spans["analysis.correlation"]["columns"] == 9
+        assert spans["analysis.correlation"]["rows"] == 400
+        assert spans["analysis.stepwise"]["tsvl"] >= 1
+
+    def test_campaign_counters_track_cache(self, tmp_path):
+        from repro.experiments.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        with use_telemetry(MetricsRegistry()) as (registry, _):
+            run_campaign(_science_experiment, self.SEEDS, cache=cache,
+                         experiment_name="obs-det", params=None)
+            run_campaign(_science_experiment, self.SEEDS, cache=cache,
+                         experiment_name="obs-det", params=None)
+            counters = registry.snapshot()["counters"]
+        assert counters["campaign.seeds_run{experiment=obs-det}"] \
+            == len(self.SEEDS)
+        assert counters["campaign.seeds_cached{experiment=obs-det}"] \
+            == len(self.SEEDS)
+        assert counters["cache.hits{experiment=obs-det}"] == len(self.SEEDS)
+        assert counters["cache.misses{experiment=obs-det}"] == len(self.SEEDS)
