@@ -19,7 +19,12 @@ obs
 campaign-style experiments over a process pool, and results are stored
 in the content-addressed cache (``--cache-dir``, default
 ``.repro_cache/``; ``--no-cache`` disables) so a re-run only computes
-what is missing.
+what is missing. Resilience flags (campaign-style experiments only):
+``--seed-timeout``/``--max-retries``/``--failure-budget`` control the
+fault policy, ``--manifest PATH`` checkpoints each completed seed to a
+JSONL file and ``--resume`` restarts an interrupted sweep with zero
+recomputation of finished seeds (Ctrl-C exits 130 with the checkpoint
+flushed).
 
 Telemetry flags (``assess``/``table``/``fig``): ``--trace PATH`` writes a
 Chrome-trace-event file (``.jsonl`` → span JSONL) loadable in
@@ -136,6 +141,21 @@ def _setup_telemetry(args: argparse.Namespace):
     return finish
 
 
+def _fault_policy(args: argparse.Namespace):
+    """A FaultPolicy from the resilience flags, or None (legacy behaviour)
+    when no flag was given."""
+    if (args.seed_timeout is None and args.max_retries is None
+            and args.failure_budget is None):
+        return None
+    from repro.experiments.faults import FaultPolicy
+
+    return FaultPolicy(
+        seed_timeout=args.seed_timeout,
+        max_retries=args.max_retries if args.max_retries is not None else 2,
+        failure_budget=args.failure_budget,
+    )
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_experiment
 
@@ -145,6 +165,9 @@ def _cmd_table(args: argparse.Namespace) -> int:
             f"table{args.which}",
             cache=_experiment_cache(args),
             workers=args.workers,
+            policy=_fault_policy(args),
+            manifest=args.manifest,
+            resume=args.resume,
         )
     finally:
         finish()
@@ -166,6 +189,9 @@ def _cmd_fig(args: argparse.Namespace) -> int:
             f"fig{args.number}",
             cache=_experiment_cache(args),
             workers=args.workers,
+            policy=_fault_policy(args),
+            manifest=args.manifest,
+            resume=args.resume,
         )
     finally:
         finish()
@@ -208,6 +234,31 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", default=None,
         help="result-cache directory (default: .repro_cache, or "
              "$REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--seed-timeout", type=float, default=None, metavar="S",
+        help="per-seed wall-clock timeout in seconds; a hung worker is "
+             "killed and the seed retried (forces pool execution)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="retries per seed for transient failures (worker crash, "
+             "timeout, corrupt payload); default 2 when any resilience "
+             "flag is set",
+    )
+    parser.add_argument(
+        "--failure-budget", type=int, default=None, metavar="N",
+        help="abort the campaign once more than N seeds fail terminally",
+    )
+    parser.add_argument(
+        "--manifest", default=None, metavar="PATH",
+        help="JSONL campaign checkpoint; one flushed record per "
+             "completed seed (see schemas/manifest.schema.json)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="adopt finished seeds from --manifest instead of "
+             "recomputing them",
     )
 
 
@@ -303,6 +354,14 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # The campaign layer flushes and closes its manifest on the way
+        # out, so an interrupted sweep is resumable via --resume.
+        note = ""
+        if getattr(args, "manifest", None):
+            note = f" (checkpoint flushed to '{args.manifest}'; use --resume)"
+        print(f"interrupted{note}", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

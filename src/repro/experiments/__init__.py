@@ -11,6 +11,13 @@ from repro.experiments.campaign import (
     MetricSummary,
     run_campaign,
 )
+from repro.experiments.faults import (
+    CampaignManifest,
+    FaultInjector,
+    FaultPolicy,
+    FaultSpec,
+    ManifestRecord,
+)
 from repro.experiments.fig3 import Fig3Result, run_fig3
 from repro.experiments.fig5 import Fig5Result, run_fig5
 from repro.experiments.fig6 import Fig6Condition, Fig6Result, run_fig6
@@ -24,9 +31,14 @@ from repro.experiments.table1 import Table1Result, run_table1
 from repro.experiments.table2 import PAPER_TABLE2, Table2Result, Table2Row, run_table2
 
 __all__ = [
+    "CampaignManifest",
     "CampaignResult",
     "CrashScenarioTrace",
     "EXPERIMENTS",
+    "FaultInjector",
+    "FaultPolicy",
+    "FaultSpec",
+    "ManifestRecord",
     "MetricSummary",
     "ResultCache",
     "cached_call",

@@ -201,6 +201,8 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: Corrupt/truncated records deleted from disk (each also a miss).
+    evictions: int = 0
 
 
 @dataclass
@@ -240,15 +242,30 @@ class ResultCache:
         return self.root / safe / f"{fingerprint}.json"
 
     def get(self, experiment: str, fingerprint: str) -> CacheEntry | None:
-        """The decoded entry, or ``None`` on miss/disabled/corrupt file."""
+        """The decoded entry, or ``None`` on miss/disabled/corrupt file.
+
+        A record that exists but cannot be decoded — truncated write,
+        bit-rot, tampering — is *evicted* (deleted, ``cache.evictions``
+        counter bumped) so the slot recomputes cleanly instead of failing
+        the same way on every future run. A file that simply is not there
+        stays an ordinary miss.
+        """
         if not self.enabled:
             return None
         decode_start = time.perf_counter()
         path = self.path_for(experiment, fingerprint)
         try:
             raw = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+        except FileNotFoundError:
             self._miss(experiment)
+            return None
+        except (OSError, json.JSONDecodeError):
+            self._evict(experiment, path)
+            return None
+        if not isinstance(raw, dict):
+            # Valid JSON but not a cache record (e.g. a bare number from a
+            # torn write): corrupt, not merely stale.
+            self._evict(experiment, path)
             return None
         if raw.get("schema") != CACHE_SCHEMA_VERSION:
             self._miss(experiment)
@@ -256,7 +273,7 @@ class ResultCache:
         try:
             result = decode_result(raw["result"])
         except (AnalysisError, KeyError, TypeError, AttributeError):
-            self._miss(experiment)
+            self._evict(experiment, path)
             return None
         self.stats.hits += 1
         registry = get_registry()
@@ -273,6 +290,13 @@ class ResultCache:
     def _miss(self, experiment: str) -> None:
         self.stats.misses += 1
         get_registry().counter("cache.misses", experiment=experiment).inc()
+
+    def _evict(self, experiment: str, path: Path) -> None:
+        """Delete a corrupt record and account it as an eviction + miss."""
+        path.unlink(missing_ok=True)
+        self.stats.evictions += 1
+        get_registry().counter("cache.evictions", experiment=experiment).inc()
+        self._miss(experiment)
 
     def put(self, experiment: str, fingerprint: str, result: Any,
             elapsed_s: float = 0.0) -> Path | None:
@@ -324,7 +348,9 @@ def cached_call(
     experiment: str | None = None,
     cache: ResultCache | None = None,
     extra_key: Any = None,
-    exclude: tuple[str, ...] = ("workers", "cache"),
+    exclude: tuple[str, ...] = (
+        "workers", "cache", "policy", "manifest", "resume"
+    ),
     **kwargs: Any,
 ):
     """Call ``fn(*args, **kwargs)`` through the result cache.
@@ -333,8 +359,9 @@ def cached_call(
     positional/keyword arguments and ``extra_key``; ``experiment`` names
     the cache bucket (defaults to the callable's qualified name). Keyword
     arguments named in ``exclude`` are forwarded to ``fn`` but left out of
-    the fingerprint — by default the execution knobs (``workers``,
-    ``cache``) that change how a result is computed, never what it is.
+    the fingerprint — by default the execution/resilience knobs
+    (``workers``, ``cache``, ``policy``, ``manifest``, ``resume``) that
+    change how a result is computed, never what it is.
     """
     from repro import __version__
 

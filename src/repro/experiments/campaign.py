@@ -16,14 +16,32 @@ values and seed ordering):
   per-seed metric dicts are looked up by experiment name + seed + params
   fingerprint first, and only the missing seeds are computed (then
   stored), so a warm re-run executes zero experiment callables.
+
+Fault tolerance (:mod:`repro.experiments.faults`): the parent process
+supervises every pool future itself — per-seed wall-clock deadlines, a
+kill-and-respawn path for hung or crashed workers, transient-vs-
+deterministic failure classification with bounded retries and
+deterministic backoff, a campaign failure budget, and an append-only
+JSONL manifest (checkpoint) enabling ``resume`` with zero recomputation
+of finished seeds. Because every experiment is a pure function of its
+seed, a retried seed is bit-identical to a clean run; the chaos suite in
+``tests/test_campaign_faults.py`` pins this.
 """
 
 from __future__ import annotations
 
 import time
 from collections.abc import Callable, Mapping
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    CancelledError,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 import numpy as np
@@ -34,6 +52,20 @@ from repro.experiments.cache import (
     callable_name,
     fingerprint_params,
 )
+from repro.experiments.faults import (
+    STATUS_CACHED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_RESUMED,
+    STATUS_RETRIED,
+    STATUS_TIMEOUT,
+    CampaignManifest,
+    CorruptResult,
+    FaultInjector,
+    FaultPolicy,
+    ManifestRecord,
+    SeedTimeout,
+)
 from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.tracing import Tracer, get_tracer, use_telemetry
@@ -41,6 +73,10 @@ from repro.obs.tracing import Tracer, get_tracer, use_telemetry
 __all__ = ["MetricSummary", "CampaignResult", "run_campaign"]
 
 _log = get_logger(__name__)
+
+#: Supervisor poll interval: how often deadlines are checked and backed-off
+#: retries become eligible for resubmission.
+_SUPERVISOR_TICK_S = 0.05
 
 
 @dataclass
@@ -73,7 +109,7 @@ class MetricSummary:
 
 @dataclass
 class CampaignResult:
-    """All per-seed metric values plus aggregates and timing."""
+    """All per-seed metric values plus aggregates, statuses and timing."""
 
     metrics: dict[str, MetricSummary] = field(default_factory=dict)
     seeds: list[int] = field(default_factory=list)
@@ -83,6 +119,13 @@ class CampaignResult:
     timings: dict[int, float] = field(default_factory=dict)
     #: Seeds whose metrics came out of the result cache this run.
     cached_seeds: list[int] = field(default_factory=list)
+    #: Seeds adopted from the campaign manifest this run (``resume``).
+    resumed_seeds: list[int] = field(default_factory=list)
+    #: Per-seed terminal status: ok / retried / failed / timeout /
+    #: cached / resumed.
+    statuses: dict[int, str] = field(default_factory=dict)
+    #: Attempts consumed per computed seed (1 = first try succeeded).
+    attempts: dict[int, int] = field(default_factory=dict)
     #: Wall-clock duration of the whole ``run_campaign`` call.
     total_seconds: float = 0.0
 
@@ -98,6 +141,12 @@ class CampaignResult:
             return 0.0
         return len(self.seeds) / self.total_seconds
 
+    @property
+    def retried_seeds(self) -> list[int]:
+        """Seeds that needed at least one transient-failure retry."""
+        return [s for s, status in sorted(self.statuses.items())
+                if status == STATUS_RETRIED]
+
     def metric(self, name: str) -> MetricSummary:
         """One metric's summary."""
         try:
@@ -111,6 +160,8 @@ class CampaignResult:
             f"Campaign over {len(self.seeds)} seeds"
             + (f" ({len(self.failures)} failed)" if self.failures else "")
             + (f" ({len(self.cached_seeds)} cached)" if self.cached_seeds
+               else "")
+            + (f" ({len(self.resumed_seeds)} resumed)" if self.resumed_seeds
                else ""),
             "  metric                    mean      median      min       max",
         ]
@@ -128,20 +179,75 @@ class CampaignResult:
         return "\n".join(lines)
 
 
+@dataclass
+class _SeedOutcome:
+    """One seed's terminal state after retries, as the supervisor saw it."""
+
+    seed: int
+    ok: bool
+    payload: Any  # metrics dict on success, exception object on failure
+    elapsed: float
+    attempts: int = 1
+    status: str = STATUS_OK
+    timeouts: int = 0
+
+
+class _FailureBudget:
+    """Counts terminal per-seed failures against the policy budget."""
+
+    def __init__(self, budget: int | None):
+        self.budget = budget
+        self.failed = 0
+
+    def record(self) -> None:
+        self.failed += 1
+
+    @property
+    def exceeded(self) -> bool:
+        return self.budget is not None and self.failed > self.budget
+
+
+def _payload_error(payload: Any) -> CorruptResult | None:
+    """Detect a corrupt/garbled metrics payload shipped back by a worker."""
+    if not isinstance(payload, dict):
+        return CorruptResult(
+            f"metrics payload is {type(payload).__name__}, not a dict"
+        )
+    for key, value in payload.items():
+        if not isinstance(key, str) or not isinstance(value, float):
+            return CorruptResult(
+                f"corrupt metric entry {key!r} -> {type(value).__name__}"
+            )
+    return None
+
+
 def _execute_seed(
-    experiment: Callable[[int], Mapping[str, float]], seed: int
+    experiment: Callable[[int], Mapping[str, float]], seed: int,
+    injector: FaultInjector | None = None, hard: bool = False,
 ) -> tuple[int, bool, Any, float]:
     """Run one seed; returns (seed, ok, metrics-or-error, elapsed_s).
 
     Module-level so :class:`ProcessPoolExecutor` can pickle it; exceptions
-    are captured as strings so one bad seed cannot kill the pool.
+    are captured as objects so one bad seed cannot kill the pool. The
+    chaos injection points ``worker_start``/``mid_seed``/``serialize``
+    fire here (``hard`` selects process-killing crashes, used inside pool
+    workers).
     """
     start = time.perf_counter()
     try:
-        metrics = {
-            str(name): float(value)
-            for name, value in experiment(seed).items()
+        if injector is not None:
+            injector.fire("worker_start", seed, hard=hard)
+        raw = experiment(seed)
+        if injector is not None:
+            injector.fire("mid_seed", seed, hard=hard)
+        metrics: dict[str, Any] = {
+            str(name): float(value) for name, value in raw.items()
         }
+        if injector is not None and \
+                injector.fire("serialize", seed, hard=hard) == "corrupt":
+            # Simulated bit-rot in the shipped payload; the parent-side
+            # validation must catch this and classify it as transient.
+            metrics["__corrupt__"] = "\x00garbage"
     except Exception as exc:  # noqa: BLE001 - campaign isolation
         return seed, False, exc, time.perf_counter() - start
     return seed, True, metrics, time.perf_counter() - start
@@ -151,6 +257,8 @@ def _execute_seed_in_worker(
     experiment: Callable[[int], Mapping[str, float]],
     seed: int,
     collect_spans: bool,
+    injector: FaultInjector | None = None,
+    attempt: int = 1,
 ) -> tuple[int, bool, Any, float, dict[str, Any]]:
     """Pool-side wrapper: run one seed under fresh, isolated telemetry.
 
@@ -163,8 +271,8 @@ def _execute_seed_in_worker(
     registry = MetricsRegistry()
     tracer = Tracer(enabled=collect_spans)
     with use_telemetry(registry, tracer):
-        with tracer.span("campaign.seed", seed=seed):
-            outcome = _execute_seed(experiment, seed)
+        with tracer.span("campaign.seed", seed=seed, attempt=attempt):
+            outcome = _execute_seed(experiment, seed, injector, hard=True)
     telemetry = {"metrics": registry.snapshot(), "spans": tracer.to_dicts()}
     return (*outcome, telemetry)
 
@@ -177,6 +285,10 @@ def run_campaign(
     cache: ResultCache | None = None,
     experiment_name: str | None = None,
     params: Any = None,
+    policy: FaultPolicy | None = None,
+    injector: FaultInjector | None = None,
+    manifest: CampaignManifest | str | Path | None = None,
+    resume: bool = False,
 ) -> CampaignResult:
     """Run ``experiment(seed) -> {metric: value}`` across ``seeds``.
 
@@ -190,6 +302,8 @@ def run_campaign(
         ``0``/``1`` runs serially in-process; ``N > 1`` computes missing
         seeds on a process pool (the experiment callable must be
         picklable, i.e. a module-level function or a partial of one).
+        A policy with ``seed_timeout`` forces pool execution (a pool
+        worker can be killed; the parent cannot interrupt itself).
     cache:
         Optional result cache; per-seed metric dicts are keyed by
         ``experiment_name`` + seed + a fingerprint of ``params``.
@@ -198,23 +312,54 @@ def run_campaign(
     params:
         Anything that changes the experiment's behaviour besides the
         seed — it is fingerprinted into the cache key.
+    policy:
+        :class:`~repro.experiments.faults.FaultPolicy` controlling
+        timeouts, retries, backoff and the failure budget. ``None`` keeps
+        the legacy behaviour (no timeout, no retries, no budget).
+    injector:
+        Chaos hook for the fault-injection test harness; defaults to
+        :meth:`FaultInjector.from_env` (``REPRO_FAULTS``).
+    manifest:
+        JSONL checkpoint path (or :class:`CampaignManifest`); each
+        completed seed appends one flushed record, enabling ``resume``.
+    resume:
+        Adopt finished seeds from ``manifest`` instead of recomputing
+        them. Requires an existing manifest file.
     """
     seeds = [int(s) for s in seeds]
     if not seeds:
         raise AnalysisError("campaign needs at least one seed")
     name = experiment_name or callable_name(experiment)
+    policy = policy if policy is not None else FaultPolicy(max_retries=0)
+    if injector is None:
+        injector = FaultInjector.from_env()
+    if isinstance(manifest, (str, Path)):
+        manifest = CampaignManifest(manifest)
+    if resume and (manifest is None or not manifest.exists()):
+        where = f" at '{manifest.path}'" if manifest is not None else ""
+        raise AnalysisError(
+            f"cannot resume campaign '{name}': no manifest{where} "
+            "(run without resume first, or pass the manifest path of the "
+            "interrupted run)"
+        )
     with get_tracer().span(
         "campaign", experiment=name, seeds=len(seeds), workers=int(workers)
     ) as campaign_span:
-        return _run_campaign_traced(
-            experiment, seeds, raise_on_failure, workers, cache, name,
-            params, campaign_span,
-        )
+        try:
+            return _run_campaign_traced(
+                experiment, seeds, raise_on_failure, workers, cache, name,
+                params, policy, injector, manifest, resume, campaign_span,
+            )
+        finally:
+            # Flush/close the checkpoint no matter how we exit —
+            # including KeyboardInterrupt and a blown failure budget.
+            if manifest is not None:
+                manifest.close()
 
 
 def _run_campaign_traced(
     experiment, seeds, raise_on_failure, workers, cache, name, params,
-    campaign_span,
+    policy, injector, manifest, resume, campaign_span,
 ) -> CampaignResult:
     wall_start = time.perf_counter()
     tracer = get_tracer()
@@ -223,58 +368,92 @@ def _run_campaign_traced(
 
     outcomes: dict[int, tuple[bool, Any]] = {}
     fingerprints: dict[int, str] = {}
+    previous = manifest.load() if (manifest is not None and resume) else {}
+    if manifest is not None and not resume:
+        manifest.truncate()
+
     missing: list[int] = []
     for seed in seeds:
+        record = previous.get(seed)
+        if record is not None and record.finished:
+            outcomes[seed] = (True, dict(record.metrics))
+            result.timings[seed] = record.elapsed_s
+            result.resumed_seeds.append(seed)
+            result.statuses[seed] = STATUS_RESUMED
+            result.attempts[seed] = record.attempts
+            continue
         if cache is not None:
             fingerprints[seed] = fingerprint_params(
                 {"experiment": name, "seed": seed, "params": params}
             )
+            if injector is not None:
+                injector.fire("cache_decode", seed,
+                              path=cache.path_for(name, fingerprints[seed]))
             entry = cache.get(name, fingerprints[seed])
             if entry is not None and isinstance(entry.result, dict):
                 outcomes[seed] = (True, entry.result)
                 result.timings[seed] = entry.elapsed_s
                 result.cached_seeds.append(seed)
+                result.statuses[seed] = STATUS_CACHED
                 continue
         missing.append(seed)
     _log.debug(
-        "campaign start: %s (%d seeds, %d cached, workers=%d)",
-        name, len(seeds), len(result.cached_seeds), int(workers),
+        "campaign start: %s (%d seeds, %d cached, %d resumed, workers=%d)",
+        name, len(seeds), len(result.cached_seeds),
+        len(result.resumed_seeds), int(workers),
     )
 
-    if workers and workers > 1 and len(missing) > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(
-                    _execute_seed_in_worker, experiment, seed, tracer.enabled
-                )
-                for seed in missing
-            ]
-            shipped = [future.result() for future in futures]
-        # Merge worker telemetry in seed order (deterministic totals),
-        # then strip it — telemetry never enters the result values.
-        computed = []
-        for seed, ok, payload, elapsed, telemetry in shipped:
-            registry.merge(telemetry["metrics"])
-            tracer.adopt(telemetry["spans"])
-            computed.append((seed, ok, payload, elapsed))
-        if raise_on_failure:
-            for _, ok, payload, _ in computed:  # first failure in seed order
-                if not ok:
-                    raise payload
-    else:
-        computed = []
-        for seed in missing:
-            with tracer.span("campaign.seed", seed=seed):
-                outcome = _execute_seed(experiment, seed)
-            if raise_on_failure and not outcome[1]:
-                raise outcome[2]
-            computed.append(outcome)
+    budget = _FailureBudget(policy.failure_budget)
 
-    for seed, ok, payload, elapsed in computed:
-        outcomes[seed] = (ok, payload)
-        result.timings[seed] = elapsed
-        if ok and cache is not None:
-            cache.put(name, fingerprints[seed], payload, elapsed_s=elapsed)
+    def on_done(outcome: _SeedOutcome) -> None:
+        """Record one terminal seed: result, cache, checkpoint, budget."""
+        outcomes[outcome.seed] = (outcome.ok, outcome.payload)
+        result.timings[outcome.seed] = outcome.elapsed
+        result.statuses[outcome.seed] = outcome.status
+        result.attempts[outcome.seed] = outcome.attempts
+        if outcome.ok and cache is not None:
+            cache.put(name, fingerprints[outcome.seed], outcome.payload,
+                      elapsed_s=outcome.elapsed)
+        if manifest is not None:
+            manifest.append(ManifestRecord(
+                experiment=name, seed=outcome.seed, status=outcome.status,
+                attempts=outcome.attempts, elapsed_s=outcome.elapsed,
+                fingerprint=fingerprints.get(outcome.seed),
+                metrics=outcome.payload if outcome.ok else None,
+                error=None if outcome.ok else str(outcome.payload),
+                created_at=time.time(),
+            ))
+        if not outcome.ok:
+            budget.record()
+
+    use_pool = bool(
+        (workers and workers > 1 and len(missing) > 1)
+        or (policy.seed_timeout is not None and missing)
+    )
+    if use_pool:
+        executed = _supervise_pool(
+            experiment, missing, max(int(workers), 1), policy, injector,
+            tracer, registry, on_done, budget,
+        )
+    else:
+        executed = _run_serial(
+            experiment, missing, policy, injector, tracer, on_done, budget,
+            raise_on_failure,
+        )
+
+    if budget.exceeded:
+        checkpoint = f"; completed seeds are checkpointed in '{manifest.path}'" \
+            if manifest is not None else ""
+        raise AnalysisError(
+            f"campaign '{name}' failure budget exhausted: {budget.failed} "
+            f"seeds failed terminally (budget {policy.failure_budget})"
+            f"{checkpoint}"
+        )
+    if raise_on_failure:
+        for seed in seeds:  # first failure in seed order
+            recorded = outcomes.get(seed)
+            if recorded is not None and not recorded[0]:
+                raise recorded[1]
 
     # Aggregate strictly in seed order so serial, parallel and cache-warm
     # runs produce identical metric value sequences.
@@ -291,18 +470,226 @@ def _run_campaign_traced(
             f"every campaign run failed: {result.failures}"
         )
     result.total_seconds = time.perf_counter() - wall_start
-    registry.counter("campaign.seeds_run", experiment=name).inc(len(computed))
+    retries = sum(max(0, o.attempts - 1) for o in executed)
+    timeouts = sum(o.timeouts for o in executed)
+    registry.counter("campaign.seeds_run", experiment=name).inc(len(executed))
     registry.counter(
         "campaign.seeds_cached", experiment=name
     ).inc(len(result.cached_seeds))
     registry.counter(
+        "campaign.seeds_resumed", experiment=name
+    ).inc(len(result.resumed_seeds))
+    registry.counter(
         "campaign.seeds_failed", experiment=name
     ).inc(len(result.failures))
+    if retries:
+        registry.counter("campaign.retries", experiment=name).inc(retries)
+    if timeouts:
+        registry.counter(
+            "campaign.seed_timeouts", experiment=name
+        ).inc(timeouts)
     campaign_span.set("cached", len(result.cached_seeds))
+    campaign_span.set("resumed", len(result.resumed_seeds))
     campaign_span.set("failed", len(result.failures))
+    campaign_span.set("retried", len(result.retried_seeds))
+    campaign_span.set("timeouts", timeouts)
     _log.info(
-        "campaign done: %s %.2fs wall, %.2fs compute, %d/%d cached",
+        "campaign done: %s %.2fs wall, %.2fs compute, %d/%d cached, "
+        "%d resumed, %d retries",
         name, result.total_seconds, result.compute_seconds,
-        len(result.cached_seeds), len(seeds),
+        len(result.cached_seeds), len(seeds), len(result.resumed_seeds),
+        retries,
     )
     return result
+
+
+def _terminal_outcome(seed: int, exc: BaseException, elapsed: float,
+                      attempts: int, timeouts: int) -> _SeedOutcome:
+    status = STATUS_TIMEOUT if isinstance(exc, SeedTimeout) else STATUS_FAILED
+    return _SeedOutcome(seed, False, exc, elapsed, attempts, status, timeouts)
+
+
+def _run_serial(experiment, seeds, policy, injector, tracer, on_done, budget,
+                raise_on_failure) -> list[_SeedOutcome]:
+    """In-process execution with retry/backoff (no timeout enforcement —
+    the parent cannot kill itself; a policy timeout routes to the pool)."""
+    executed: list[_SeedOutcome] = []
+    for seed in seeds:
+        if budget.exceeded:
+            break
+        attempt = 0
+        timeouts = 0
+        while True:
+            attempt += 1
+            with tracer.span("campaign.seed", seed=seed, attempt=attempt):
+                _, ok, payload, elapsed = _execute_seed(
+                    experiment, seed, injector
+                )
+            if ok:
+                error = _payload_error(payload)
+                if error is None:
+                    outcome = _SeedOutcome(
+                        seed, True, payload, elapsed, attempt,
+                        STATUS_RETRIED if attempt > 1 else STATUS_OK,
+                        timeouts,
+                    )
+                    break
+                payload = error
+            if policy.is_transient(payload) and attempt <= policy.max_retries:
+                time.sleep(policy.backoff_seconds(seed, attempt))
+                continue
+            outcome = _terminal_outcome(seed, payload, elapsed, attempt,
+                                        timeouts)
+            break
+        on_done(outcome)
+        executed.append(outcome)
+        if raise_on_failure and not outcome.ok:
+            raise outcome.payload
+    return executed
+
+
+@dataclass
+class _Flight:
+    """One in-flight pool future: which seed/attempt, and its deadline."""
+
+    seed: int
+    attempt: int
+    deadline: float | None
+    timeouts: int
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Terminate every worker and abandon the pool (hung-seed recovery)."""
+    for process in list((getattr(pool, "_processes", None) or {}).values()):
+        process.terminate()
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _supervise_pool(experiment, seeds, workers, policy, injector, tracer,
+                    registry, on_done, budget) -> list[_SeedOutcome]:
+    """Fan seeds over a :class:`ProcessPoolExecutor` under the policy.
+
+    The parent owns all failure handling: a worker process dying breaks
+    the whole pool (every in-flight future raises ``BrokenProcessPool``),
+    and a worker that never returns trips its per-seed deadline, at which
+    point the pool is killed outright. Both are classified transient, the
+    affected seeds requeued with deterministic backoff, and the pool
+    respawned once its broken futures have drained. Failures the
+    experiment itself raises are deterministic: recorded, never retried.
+
+    Worker telemetry is merged strictly in (seed, attempt) order after
+    the loop, so completion order can never perturb merged counter
+    totals (serial ≡ parallel, pinned by tests/test_obs.py).
+    """
+    pending: list[tuple[int, int, int]] = [(seed, 1, 0) for seed in seeds]
+    not_before: dict[tuple[int, int], float] = {}
+    executed: list[_SeedOutcome] = []
+    telemetry_parts: dict[tuple[int, int], dict[str, Any]] = {}
+    in_flight: dict[Future, _Flight] = {}
+    pool = ProcessPoolExecutor(max_workers=workers)
+    broken = False
+
+    def settle(flight: _Flight, exc: BaseException, elapsed: float) -> None:
+        """Requeue a transient failure with backoff, or finish the seed."""
+        timeouts = flight.timeouts + int(isinstance(exc, SeedTimeout))
+        if policy.is_transient(exc) and flight.attempt <= policy.max_retries:
+            not_before[(flight.seed, flight.attempt + 1)] = (
+                time.monotonic()
+                + policy.backoff_seconds(flight.seed, flight.attempt)
+            )
+            pending.append((flight.seed, flight.attempt + 1, timeouts))
+            return
+        outcome = _terminal_outcome(flight.seed, exc, elapsed,
+                                    flight.attempt, timeouts)
+        executed.append(outcome)
+        on_done(outcome)
+
+    try:
+        while pending or in_flight:
+            if budget.exceeded:
+                break
+            now = time.monotonic()
+            if broken and not in_flight:
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = ProcessPoolExecutor(max_workers=workers)
+                broken = False
+            if not broken:
+                ready = [item for item in pending
+                         if not_before.get(item[:2], 0.0) <= now]
+                for item in ready:
+                    if len(in_flight) >= workers:
+                        break
+                    pending.remove(item)
+                    seed, attempt, timeouts = item
+                    try:
+                        future = pool.submit(
+                            _execute_seed_in_worker, experiment, seed,
+                            tracer.enabled, injector, attempt,
+                        )
+                    except BrokenExecutor:
+                        broken = True
+                        pending.append(item)
+                        break
+                    deadline = (now + policy.seed_timeout
+                                if policy.seed_timeout is not None else None)
+                    in_flight[future] = _Flight(seed, attempt, deadline,
+                                                timeouts)
+            if not in_flight:
+                # Everything is backing off or the pool just broke.
+                time.sleep(_SUPERVISOR_TICK_S)
+                continue
+            done, _ = wait(set(in_flight), timeout=_SUPERVISOR_TICK_S,
+                           return_when=FIRST_COMPLETED)
+            now = time.monotonic()
+            for future in done:
+                flight = in_flight.pop(future)
+                try:
+                    seed, ok, payload, elapsed, telemetry = future.result()
+                except (BrokenExecutor, CancelledError, OSError) as exc:
+                    # The worker process died (or was killed with the
+                    # pool): pool-wide breakage, everyone in flight is a
+                    # transient casualty.
+                    broken = True
+                    settle(flight, exc, 0.0)
+                    continue
+                telemetry_parts[(flight.seed, flight.attempt)] = telemetry
+                if ok:
+                    error = _payload_error(payload)
+                    if error is None:
+                        outcome = _SeedOutcome(
+                            seed, True, payload, elapsed, flight.attempt,
+                            STATUS_RETRIED if flight.attempt > 1
+                            else STATUS_OK,
+                            flight.timeouts,
+                        )
+                        executed.append(outcome)
+                        on_done(outcome)
+                        continue
+                    payload = error
+                settle(flight, payload, elapsed)
+            # Deadline sweep: a hung worker never returns on its own.
+            hung = [f for f, flight in in_flight.items()
+                    if flight.deadline is not None and now > flight.deadline]
+            if hung:
+                _kill_pool(pool)
+                broken = True
+                for future in hung:
+                    flight = in_flight.pop(future)
+                    settle(flight, SeedTimeout(
+                        f"seed {flight.seed} exceeded the "
+                        f"{policy.seed_timeout}s wall-clock timeout "
+                        f"(attempt {flight.attempt})"
+                    ), float(policy.seed_timeout))
+                # Remaining in-flight futures surface BrokenExecutor or
+                # CancelledError on the next tick and are settled there.
+    finally:
+        if broken or budget.exceeded:
+            _kill_pool(pool)
+        else:
+            pool.shutdown(wait=True, cancel_futures=True)
+        # Merge worker telemetry in (seed, attempt) order — deterministic
+        # totals — then discard it: telemetry never enters result values.
+        for key in sorted(telemetry_parts):
+            registry.merge(telemetry_parts[key]["metrics"])
+            tracer.adopt(telemetry_parts[key]["spans"])
+    return executed

@@ -1,0 +1,421 @@
+"""Fault-tolerant campaign execution: policies, chaos injection, manifests.
+
+Long multi-seed campaigns are exactly where infrastructure fails: a hung
+worker, a process killed by the OOM killer, a result payload garbled in
+transit, a cache file truncated by a crash mid-write. Without a recovery
+layer one such event throws away every completed seed of a sweep. This
+module provides the three pieces the campaign runner composes:
+
+* :class:`FaultPolicy` — per-seed wall-clock timeout, retry count with
+  exponential backoff (jitter is derived deterministically from the seed
+  and the attempt number, so reruns schedule identically), and a
+  campaign-level failure budget;
+* :class:`FaultInjector` — a pluggable chaos hook that deterministically
+  crashes, hangs or corrupts execution at named injection points
+  (``worker_start``, ``mid_seed``, ``serialize``, ``cache_decode``).
+  Once-per-seed semantics survive process boundaries via marker files
+  under ``state_dir`` (the injector is pickled into pool workers, so
+  every process agrees on what has already fired);
+* :class:`CampaignManifest` — an append-only JSONL checkpoint of
+  seed → status (+ metrics and cache key), flushed as each seed
+  completes, so an interrupted campaign resumes with zero recomputation
+  of finished seeds (see ``schemas/manifest.schema.json``).
+
+The core invariant, pinned by ``tests/test_campaign_faults.py``: a
+retried seed is bit-identical to a clean run — the recovery machinery may
+change *when* a seed computes, never *what* it computes.
+
+Environment hooks (used by the CI ``chaos-smoke`` job): ``REPRO_FAULTS``
+holds ``point:action:seed,seed[:times]`` clauses joined by ``;`` and
+``REPRO_FAULT_STATE`` names the marker directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from collections.abc import Iterable, Mapping
+from concurrent.futures import BrokenExecutor, CancelledError
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import AnalysisError, ReproError
+
+__all__ = [
+    "ACTIONS",
+    "FINISHED_STATUSES",
+    "INJECTION_POINTS",
+    "MANIFEST_SCHEMA_VERSION",
+    "STATUS_CACHED",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "STATUS_RESUMED",
+    "STATUS_RETRIED",
+    "STATUS_TIMEOUT",
+    "CampaignManifest",
+    "CorruptResult",
+    "FaultInjector",
+    "FaultPolicy",
+    "FaultSpec",
+    "InjectedFault",
+    "ManifestRecord",
+    "SeedTimeout",
+]
+
+#: Bump when the manifest record layout changes (checked by the schema).
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Terminal per-seed statuses reported in :class:`CampaignResult.statuses`
+#: and manifest records.
+STATUS_OK = "ok"
+STATUS_RETRIED = "retried"
+STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
+STATUS_CACHED = "cached"
+STATUS_RESUMED = "resumed"
+
+#: Statuses that mean "this seed's metrics are final" — a resume run
+#: adopts these from the manifest instead of recomputing.
+FINISHED_STATUSES = frozenset({STATUS_OK, STATUS_RETRIED})
+
+INJECTION_POINTS = ("worker_start", "mid_seed", "serialize", "cache_decode")
+ACTIONS = ("crash", "hang", "corrupt")
+
+
+class InjectedFault(ReproError):
+    """A chaos-injected failure (always classified as transient)."""
+
+
+class SeedTimeout(ReproError):
+    """One seed exceeded the policy's per-seed wall-clock timeout."""
+
+
+class CorruptResult(ReproError):
+    """A worker shipped a result payload that fails validation."""
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How the campaign supervisor reacts to per-seed failures.
+
+    Failures are classified by :meth:`is_transient`: infrastructure-shaped
+    ones (a dead or hung worker, a corrupt payload, a dropped connection)
+    are retried up to ``max_retries`` times with exponential backoff;
+    anything the experiment itself raises is deterministic — retrying
+    would reproduce it — so it is recorded and the seed skipped.
+    """
+
+    #: Per-seed wall-clock timeout in seconds (``None`` = no limit). A
+    #: hung worker is killed, the pool respawned and the seed retried.
+    seed_timeout: float | None = None
+    #: Transient-failure retries per seed (0 = fail on first error).
+    max_retries: int = 2
+    #: First backoff delay; doubles (``backoff_factor``) per attempt up
+    #: to ``backoff_max_s``.
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 5.0
+    #: Fraction of the backoff added as deterministic seed-derived jitter.
+    jitter: float = 0.5
+    #: Terminal per-seed failures tolerated before the whole campaign
+    #: aborts with :class:`~repro.exceptions.AnalysisError`
+    #: (``None`` = unlimited; completed seeds stay checkpointed).
+    failure_budget: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.seed_timeout is not None and not self.seed_timeout > 0:
+            raise AnalysisError(
+                f"seed timeout must be > 0 seconds (got {self.seed_timeout})"
+            )
+        if self.max_retries < 0:
+            raise AnalysisError(
+                f"max retries must be >= 0 (got {self.max_retries})"
+            )
+        if self.failure_budget is not None and self.failure_budget < 0:
+            raise AnalysisError(
+                f"failure budget must be >= 0 (got {self.failure_budget})"
+            )
+        if self.backoff_base_s < 0 or self.backoff_factor < 1.0:
+            raise AnalysisError("backoff must be non-negative and non-shrinking")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise AnalysisError(f"jitter must be in [0, 1] (got {self.jitter})")
+
+    def backoff_seconds(self, seed: int, attempt: int) -> float:
+        """Delay before retry ``attempt + 1`` of ``seed``.
+
+        Deterministic: the jitter comes from a PRNG keyed on
+        ``(seed, attempt)``, so identical reruns schedule identically and
+        no global RNG state is consumed.
+        """
+        base = min(
+            self.backoff_base_s * self.backoff_factor ** max(attempt - 1, 0),
+            self.backoff_max_s,
+        )
+        fraction = random.Random(f"{seed}:{attempt}").random()
+        return base * (1.0 + self.jitter * fraction)
+
+    def is_transient(self, exc: BaseException) -> bool:
+        """Whether ``exc`` is worth retrying (infrastructure, not science)."""
+        return isinstance(exc, (
+            InjectedFault, SeedTimeout, CorruptResult,
+            BrokenExecutor, CancelledError, ConnectionError, TimeoutError,
+        ))
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: ``action`` at an injection point for ``seeds``."""
+
+    action: str
+    seeds: frozenset[int]
+    #: Firings per (point, seed); 0 = every time (a deterministic fault).
+    times: int = 1
+    #: Sleep length for ``hang`` (must exceed the policy timeout to bite).
+    hang_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise AnalysisError(
+                f"unknown fault action '{self.action}' (choose from {ACTIONS})"
+            )
+        if self.times < 0:
+            raise AnalysisError(f"fault times must be >= 0 (got {self.times})")
+
+
+class FaultInjector:
+    """Deterministic chaos hook for campaign execution.
+
+    The campaign runner (and its pool workers — the injector is pickled
+    into them) calls :meth:`fire` at each named injection point. Actions:
+
+    * ``crash`` — ``os._exit(13)`` inside a pool worker (``hard=True``),
+      indistinguishable from a segfaulted worker; raises
+      :class:`InjectedFault` in-process otherwise;
+    * ``hang`` — sleep ``hang_s`` seconds, tripping the policy timeout;
+    * ``corrupt`` — truncate the file at ``path`` when one is given (the
+      ``cache_decode`` point), otherwise return ``"corrupt"`` so the
+      caller garbles its outbound payload.
+    """
+
+    def __init__(self, plan: Mapping[str, Iterable[FaultSpec]],
+                 state_dir: str | Path):
+        for point in plan:
+            if point not in INJECTION_POINTS:
+                raise AnalysisError(
+                    f"unknown injection point '{point}' "
+                    f"(choose from {INJECTION_POINTS})"
+                )
+        self.plan = {point: tuple(specs) for point, specs in plan.items()}
+        self.state_dir = Path(state_dir)
+
+    def fire(self, point: str, seed: int, hard: bool = False,
+             path: str | Path | None = None) -> str | None:
+        """Trigger any planned fault for ``(point, seed)``.
+
+        Returns the action fired (``None`` when nothing was planned or
+        the firing budget for this point/seed is spent).
+        """
+        for spec in self.plan.get(point, ()):
+            if seed not in spec.seeds:
+                continue
+            if not self._arm(point, seed, spec.times):
+                continue
+            if spec.action == "hang":
+                time.sleep(spec.hang_s)
+                return "hang"
+            if spec.action == "crash":
+                if hard:
+                    os._exit(13)
+                raise InjectedFault(
+                    f"injected crash at {point} for seed {seed}"
+                )
+            if path is not None:
+                target = Path(path)
+                if target.exists():
+                    raw = target.read_bytes()
+                    target.write_bytes(raw[: max(1, len(raw) // 2)])
+            return "corrupt"
+        return None
+
+    def _arm(self, point: str, seed: int, times: int) -> bool:
+        """Claim one firing slot via an exclusive marker-file create."""
+        if times <= 0:
+            return True
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        for shot in range(1, times + 1):
+            marker = self.state_dir / f"{point}.{seed}.{shot}"
+            try:
+                handle = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.close(handle)
+            return True
+        return False
+
+    @classmethod
+    def from_env(cls, environ: Mapping[str, str] | None = None
+                 ) -> FaultInjector | None:
+        """Build an injector from ``REPRO_FAULTS`` / ``REPRO_FAULT_STATE``.
+
+        ``REPRO_FAULTS`` holds ``point:action:seed,seed[:times]`` clauses
+        joined by ``;`` (e.g. ``worker_start:crash:22`` crashes the worker
+        running seed 22, once). Returns ``None`` when unset.
+        """
+        env = os.environ if environ is None else environ
+        spec_text = env.get("REPRO_FAULTS", "")
+        if not spec_text.strip():
+            return None
+        state_dir = env.get("REPRO_FAULT_STATE", "")
+        if not state_dir:
+            raise AnalysisError(
+                "REPRO_FAULTS is set but REPRO_FAULT_STATE (the marker "
+                "directory for once-per-seed faults) is not"
+            )
+        plan: dict[str, list[FaultSpec]] = {}
+        for clause in spec_text.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            parts = clause.split(":")
+            if len(parts) not in (3, 4):
+                raise AnalysisError(
+                    f"bad REPRO_FAULTS clause {clause!r} "
+                    "(want point:action:seed,seed[:times])"
+                )
+            try:
+                seeds = frozenset(
+                    int(s) for s in parts[2].split(",") if s.strip()
+                )
+                times = int(parts[3]) if len(parts) == 4 else 1
+            except ValueError as exc:
+                raise AnalysisError(
+                    f"bad REPRO_FAULTS clause {clause!r}: {exc}"
+                ) from None
+            spec = FaultSpec(action=parts[1], seeds=seeds, times=times)
+            if parts[0] not in INJECTION_POINTS:
+                raise AnalysisError(
+                    f"unknown injection point '{parts[0]}' "
+                    f"(choose from {INJECTION_POINTS})"
+                )
+            plan.setdefault(parts[0], []).append(spec)
+        return cls(plan, state_dir)
+
+
+# --------------------------------------------------------------------------
+# Campaign manifest (checkpoint/resume)
+# --------------------------------------------------------------------------
+
+@dataclass
+class ManifestRecord:
+    """One per-seed checkpoint line (see ``schemas/manifest.schema.json``)."""
+
+    experiment: str
+    seed: int
+    status: str
+    attempts: int = 1
+    elapsed_s: float = 0.0
+    fingerprint: str | None = None
+    metrics: dict[str, float] | None = None
+    error: str | None = None
+    created_at: float = 0.0
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "schema": MANIFEST_SCHEMA_VERSION,
+            "experiment": self.experiment,
+            "seed": self.seed,
+            "status": self.status,
+            "attempts": self.attempts,
+            "elapsed_s": self.elapsed_s,
+            "fingerprint": self.fingerprint,
+            "metrics": self.metrics,
+            "error": self.error,
+            "created_at": self.created_at,
+        }
+
+    @classmethod
+    def from_json(cls, raw: Mapping[str, Any]) -> ManifestRecord:
+        metrics = raw.get("metrics")
+        if metrics is not None:
+            metrics = {str(k): float(v) for k, v in metrics.items()}
+        return cls(
+            experiment=str(raw["experiment"]),
+            seed=int(raw["seed"]),
+            status=str(raw["status"]),
+            attempts=int(raw.get("attempts", 1)),
+            elapsed_s=float(raw.get("elapsed_s", 0.0)),
+            fingerprint=raw.get("fingerprint"),
+            metrics=metrics,
+            error=raw.get("error"),
+            created_at=float(raw.get("created_at", 0.0)),
+        )
+
+    @property
+    def finished(self) -> bool:
+        """Whether this seed's metrics are final (safe to adopt on resume)."""
+        return self.status in FINISHED_STATUSES and self.metrics is not None
+
+
+class CampaignManifest:
+    """Append-only JSONL checkpoint of per-seed campaign progress.
+
+    Each completed seed (ok, retried, failed or timed out) appends one
+    flushed line, so an interrupt — including ``KeyboardInterrupt`` —
+    loses at most the seeds still in flight. ``--resume`` re-reads the
+    file and adopts every finished seed's metrics without recomputing.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._handle = None
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def load(self) -> dict[int, ManifestRecord]:
+        """All records keyed by seed; later lines win.
+
+        Corrupt or truncated lines (a crash mid-write) are skipped — the
+        affected seed simply recomputes.
+        """
+        records: dict[int, ManifestRecord] = {}
+        if not self.path.exists():
+            return records
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(raw, dict) or \
+                    raw.get("schema") != MANIFEST_SCHEMA_VERSION:
+                continue
+            try:
+                record = ManifestRecord.from_json(raw)
+            except (KeyError, TypeError, ValueError):
+                continue
+            records[record.seed] = record
+        return records
+
+    def append(self, record: ManifestRecord) -> None:
+        """Write one record and flush it to disk immediately."""
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a")
+        self._handle.write(json.dumps(record.to_json(), sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def truncate(self) -> None:
+        """Start a fresh checkpoint (non-resume runs discard stale state)."""
+        self.close()
+        self.path.unlink(missing_ok=True)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

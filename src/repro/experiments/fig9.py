@@ -126,11 +126,16 @@ def run_fig9(
     base_seed: int = 20,
     workers: int = 0,
     cache=None,
+    policy=None,
+    manifest=None,
+    resume: bool = False,
 ) -> Fig9Result:
     """Run the three conditions over ``trials`` seeds and sweep thresholds.
 
     The per-seed trials go through :func:`run_campaign`, so they can fan
-    out over ``workers`` processes and reuse cached seeds.
+    out over ``workers`` processes, reuse cached seeds, retry transient
+    worker failures under ``policy``, checkpoint to ``manifest`` and
+    ``resume`` an interrupted sweep without recomputing finished seeds.
     """
     params = {
         "duration": duration, "steady_after": steady_after,
@@ -144,6 +149,9 @@ def run_fig9(
         cache=cache,
         experiment_name="fig9.trial",
         params=params,
+        policy=policy,
+        manifest=manifest,
+        resume=resume,
     )
     result = Fig9Result(
         benign=list(campaign.metric("benign").values),

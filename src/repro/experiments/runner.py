@@ -80,14 +80,19 @@ def run_experiment(
     *,
     cache: ResultCache | None = None,
     workers: int = 0,
+    policy: Any = None,
+    manifest: Any = None,
+    resume: bool = False,
     **kwargs: Any,
 ):
     """Run one named experiment through the cache/worker layer.
 
-    ``workers`` is forwarded to entry points that accept it (the
-    campaign-style experiments); per-seed caching inside such experiments
-    reuses the same ``cache`` instance, so even a partial prior run
-    contributes its finished seeds.
+    ``workers`` — and the resilience knobs ``policy`` (a
+    :class:`~repro.experiments.faults.FaultPolicy`), ``manifest``
+    (checkpoint path) and ``resume`` — are forwarded to entry points that
+    accept them (the campaign-style experiments); per-seed caching inside
+    such experiments reuses the same ``cache`` instance, so even a
+    partial prior run contributes its finished seeds.
     """
     entry = experiment_entry(name)
     if cache is None:
@@ -96,6 +101,15 @@ def run_experiment(
     call_kwargs = dict(kwargs)
     if "workers" in signature.parameters:
         call_kwargs["workers"] = workers
+    for knob, value in (("policy", policy), ("manifest", manifest),
+                        ("resume", resume)):
+        if knob in signature.parameters:
+            call_kwargs[knob] = value
+        elif value:
+            raise AnalysisError(
+                f"experiment '{name}' does not support --{knob.replace('_', '-')}"
+                " (campaign-style experiments only)"
+            )
     if "cache" in signature.parameters:
         # ``cache`` cannot ride through cached_call's **kwargs (it would
         # bind to cached_call's own ``cache`` parameter), so bind it onto

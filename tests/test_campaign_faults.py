@@ -1,0 +1,520 @@
+"""Chaos suite for fault-tolerant campaign execution.
+
+The resilience layer's core contract: the recovery machinery (timeouts,
+retries, worker respawn, checkpoint/resume, cache eviction) may change
+*when* a seed computes, never *what* it computes. Every test here injects
+deterministic faults and asserts the surviving results are bit-identical
+to a fault-free run — including the ISSUE acceptance scenario of crashes
++ a hang + a corrupt payload on ``workers=4``.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import AnalysisError
+from repro.experiments.cache import ResultCache
+from repro.experiments.campaign import run_campaign
+from repro.experiments.faults import (
+    CampaignManifest,
+    CorruptResult,
+    FaultInjector,
+    FaultPolicy,
+    FaultSpec,
+    InjectedFault,
+    ManifestRecord,
+    SeedTimeout,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.schema import validate_file
+from repro.obs.tracing import Tracer, use_telemetry
+
+SCHEMAS = Path(__file__).resolve().parent.parent / "schemas"
+
+#: Fast-retry policy used throughout — keeps the chaos tests quick while
+#: still exercising the real backoff code path.
+FAST = dict(backoff_base_s=0.001, backoff_max_s=0.01)
+
+
+# Module-level experiments so ProcessPoolExecutor can pickle them.
+
+def _chaos_experiment(seed: int) -> dict[str, float]:
+    """Deterministic per-seed metrics (no RNG state shared across seeds)."""
+    return {
+        "deviation": float(seed) * 1.25 + 0.125,
+        "detected": float(seed % 2),
+    }
+
+
+_CALLS: list[int] = []
+
+
+def _counting_experiment(seed: int) -> dict[str, float]:
+    _CALLS.append(seed)
+    return _chaos_experiment(seed)
+
+
+def _interrupting_experiment(seed: int) -> dict[str, float]:
+    if seed == 3:
+        raise KeyboardInterrupt
+    return _chaos_experiment(seed)
+
+
+def _values(result) -> dict[str, list[float]]:
+    return {name: list(m.values) for name, m in result.metrics.items()}
+
+
+def _render_stable(result) -> str:
+    """The rendered result minus the (intentionally varying) wall line."""
+    return "\n".join(
+        line for line in result.render().splitlines() if "wall " not in line
+    )
+
+
+def _injector(tmp_path, plan) -> FaultInjector:
+    return FaultInjector(plan, tmp_path / "fault-state")
+
+
+class TestFaultPolicy:
+    def test_validation(self):
+        with pytest.raises(AnalysisError, match="timeout must be > 0"):
+            FaultPolicy(seed_timeout=0)
+        with pytest.raises(AnalysisError, match="retries"):
+            FaultPolicy(max_retries=-1)
+        with pytest.raises(AnalysisError, match="budget"):
+            FaultPolicy(failure_budget=-1)
+        with pytest.raises(AnalysisError, match="jitter"):
+            FaultPolicy(jitter=1.5)
+
+    def test_backoff_is_deterministic_and_bounded(self):
+        policy = FaultPolicy(backoff_base_s=0.1, backoff_max_s=1.0, jitter=0.5)
+        first = policy.backoff_seconds(7, 1)
+        assert first == policy.backoff_seconds(7, 1)  # rerun-identical
+        assert first != policy.backoff_seconds(8, 1)  # seed-derived jitter
+        # Exponential growth, capped: base * factor^(n-1) up to max, plus
+        # at most `jitter` of itself on top.
+        for attempt in range(1, 12):
+            delay = policy.backoff_seconds(3, attempt)
+            assert 0.1 <= delay <= 1.0 * 1.5
+        assert policy.backoff_seconds(3, 10) >= 1.0
+
+    def test_backoff_consumes_no_global_rng(self):
+        import random
+
+        random.seed(1234)
+        before = random.random()
+        random.seed(1234)
+        FaultPolicy().backoff_seconds(5, 2)
+        assert random.random() == before
+
+    def test_transient_classification(self):
+        policy = FaultPolicy()
+        assert policy.is_transient(InjectedFault("x"))
+        assert policy.is_transient(SeedTimeout("x"))
+        assert policy.is_transient(CorruptResult("x"))
+        assert policy.is_transient(TimeoutError())
+        assert not policy.is_transient(ValueError("science said no"))
+        assert not policy.is_transient(AnalysisError("x"))
+
+
+class TestFaultInjector:
+    def test_once_per_seed_across_calls(self, tmp_path):
+        inj = _injector(tmp_path, {"mid_seed": [FaultSpec("crash", frozenset({4}))]})
+        with pytest.raises(InjectedFault):
+            inj.fire("mid_seed", 4)
+        assert inj.fire("mid_seed", 4) is None  # budget spent
+        assert inj.fire("mid_seed", 5) is None  # other seeds untouched
+        assert inj.fire("worker_start", 4) is None  # other points untouched
+
+    def test_times_budget(self, tmp_path):
+        inj = _injector(
+            tmp_path,
+            {"serialize": [FaultSpec("corrupt", frozenset({1}), times=2)]},
+        )
+        assert inj.fire("serialize", 1) == "corrupt"
+        assert inj.fire("serialize", 1) == "corrupt"
+        assert inj.fire("serialize", 1) is None
+
+    def test_unknown_point_rejected(self, tmp_path):
+        with pytest.raises(AnalysisError, match="injection point"):
+            _injector(tmp_path, {"teardown": []})
+        with pytest.raises(AnalysisError, match="action"):
+            FaultSpec("melt", frozenset({1}))
+
+    def test_from_env(self, tmp_path):
+        assert FaultInjector.from_env({}) is None
+        with pytest.raises(AnalysisError, match="REPRO_FAULT_STATE"):
+            FaultInjector.from_env({"REPRO_FAULTS": "mid_seed:crash:1"})
+        inj = FaultInjector.from_env({
+            "REPRO_FAULTS": "worker_start:crash:22,23; serialize:corrupt:24:2",
+            "REPRO_FAULT_STATE": str(tmp_path / "state"),
+        })
+        assert inj.plan["worker_start"][0].seeds == frozenset({22, 23})
+        assert inj.plan["serialize"][0].times == 2
+        for bad in ("worker_start", "worker_start:crash", "nope:crash:1",
+                    "worker_start:crash:x"):
+            with pytest.raises(AnalysisError):
+                FaultInjector.from_env({
+                    "REPRO_FAULTS": bad,
+                    "REPRO_FAULT_STATE": str(tmp_path / "state"),
+                })
+
+
+class TestChaosCampaign:
+    SEEDS = list(range(10, 20))
+
+    def clean(self):
+        return run_campaign(_chaos_experiment, self.SEEDS)
+
+    def test_crash_once_on_a_third_of_seeds(self, tmp_path):
+        crashing = frozenset(self.SEEDS[::3])  # ~30% of seeds
+        inj = _injector(
+            tmp_path, {"worker_start": [FaultSpec("crash", crashing)]}
+        )
+        chaos = run_campaign(
+            _chaos_experiment, self.SEEDS,
+            policy=FaultPolicy(max_retries=2, **FAST), injector=inj,
+        )
+        clean = self.clean()
+        assert _values(chaos) == _values(clean)
+        assert _render_stable(chaos) == _render_stable(clean)
+        assert not chaos.failures
+        assert set(chaos.retried_seeds) == set(crashing)
+        assert all(chaos.attempts[s] == 2 for s in crashing)
+
+    def test_acceptance_scenario_workers4(self, tmp_path):
+        """ISSUE acceptance: crashes + a hang hitting the timeout + a
+        corrupt payload, on ``workers=4`` — byte-identical to a fault-free
+        serial run."""
+        crashing = frozenset(self.SEEDS[::3])
+        hanging = self.SEEDS[1]
+        corrupted = self.SEEDS[2]
+        inj = _injector(tmp_path, {
+            "worker_start": [
+                FaultSpec("crash", crashing),
+                FaultSpec("hang", frozenset({hanging}), hang_s=20.0),
+            ],
+            "serialize": [FaultSpec("corrupt", frozenset({corrupted}))],
+        })
+        chaos = run_campaign(
+            _chaos_experiment, self.SEEDS, workers=4,
+            policy=FaultPolicy(seed_timeout=3.0, max_retries=5, **FAST),
+            injector=inj,
+        )
+        clean = self.clean()
+        assert _values(chaos) == _values(clean)
+        assert _render_stable(chaos) == _render_stable(clean)
+        assert not chaos.failures
+        # The hung seed was killed at the deadline and retried clean.
+        assert chaos.statuses[hanging] == "retried"
+        assert chaos.statuses[corrupted] == "retried"
+        # A pool-breaking crash can take innocent in-flight seeds down
+        # with it, so more seeds than the planned set may retry — but
+        # every planned victim must have needed at least one extra try.
+        assert crashing <= set(chaos.retried_seeds)
+
+    def test_corrupt_payload_is_transient_and_bit_identical(self, tmp_path):
+        inj = _injector(
+            tmp_path,
+            {"serialize": [FaultSpec("corrupt", frozenset({self.SEEDS[0]}))]},
+        )
+        chaos = run_campaign(
+            _chaos_experiment, self.SEEDS,
+            policy=FaultPolicy(max_retries=1, **FAST), injector=inj,
+        )
+        assert _values(chaos) == _values(self.clean())
+        assert chaos.statuses[self.SEEDS[0]] == "retried"
+
+    def test_retries_exhausted_becomes_failed(self, tmp_path):
+        inj = _injector(
+            tmp_path,
+            {"mid_seed": [FaultSpec("crash", frozenset({self.SEEDS[0]}),
+                                    times=3)]},
+        )
+        chaos = run_campaign(
+            _chaos_experiment, self.SEEDS,
+            policy=FaultPolicy(max_retries=1, **FAST), injector=inj,
+        )
+        assert chaos.statuses[self.SEEDS[0]] == "failed"
+        assert self.SEEDS[0] in chaos.failures
+        # The other seeds are untouched.
+        assert len(chaos.metrics["deviation"].values) == len(self.SEEDS) - 1
+
+    def test_deterministic_failures_never_retried(self):
+        def flaky(seed):
+            _CALLS.append(seed)
+            if seed == self.SEEDS[0]:
+                raise ValueError("deterministic science bug")
+            return _chaos_experiment(seed)
+
+        _CALLS.clear()
+        result = run_campaign(
+            flaky, self.SEEDS, policy=FaultPolicy(max_retries=3, **FAST)
+        )
+        assert _CALLS.count(self.SEEDS[0]) == 1  # no retry on science bugs
+        assert result.statuses[self.SEEDS[0]] == "failed"
+
+    def test_failure_budget_aborts_and_keeps_checkpoint(self, tmp_path):
+        def doomed(seed):
+            if seed >= self.SEEDS[2]:
+                raise ValueError(f"boom {seed}")
+            return _chaos_experiment(seed)
+
+        manifest = tmp_path / "m.jsonl"
+        with pytest.raises(AnalysisError, match="failure budget exhausted"):
+            run_campaign(
+                doomed, self.SEEDS, manifest=manifest,
+                policy=FaultPolicy(max_retries=0, failure_budget=1, **FAST),
+            )
+        records = CampaignManifest(manifest).load()
+        # The two pre-failure seeds were checkpointed before the abort.
+        assert all(records[s].finished for s in self.SEEDS[:2])
+
+    def test_retry_and_timeout_counters(self, tmp_path):
+        inj = _injector(
+            tmp_path,
+            {"worker_start": [FaultSpec("hang", frozenset({self.SEEDS[0]}),
+                                        hang_s=20.0)]},
+        )
+        registry = MetricsRegistry()
+        with use_telemetry(registry, Tracer()):
+            run_campaign(
+                _chaos_experiment, self.SEEDS, workers=2,
+                policy=FaultPolicy(seed_timeout=2.0, max_retries=3, **FAST),
+                injector=inj, experiment_name="counted",
+            )
+            counters = registry.snapshot()["counters"]
+        assert counters["campaign.retries{experiment=counted}"] >= 1
+        assert counters["campaign.seed_timeouts{experiment=counted}"] >= 1
+
+    def test_telemetry_deterministic_under_chaos(self, tmp_path):
+        """With in-process (soft) faults the whole counter snapshot —
+        including retry totals — is rerun-identical. (Hard pool crashes
+        may take a timing-dependent number of innocent in-flight seeds
+        down with them, so only *results* are pinned there.)"""
+        def snapshot(state):
+            inj = _injector(
+                state, {"worker_start": [FaultSpec("crash",
+                                                   frozenset(self.SEEDS[:2]))]}
+            )
+            registry = MetricsRegistry()
+            with use_telemetry(registry, Tracer()):
+                run_campaign(
+                    _chaos_experiment, self.SEEDS,
+                    policy=FaultPolicy(max_retries=2, **FAST),
+                    injector=inj, experiment_name="det-merge",
+                )
+                return registry.snapshot()["counters"]
+
+        first = snapshot(tmp_path / "a")
+        second = snapshot(tmp_path / "b")
+        assert first == second
+        assert first["campaign.retries{experiment=det-merge}"] == 2.0
+
+
+class TestCacheEviction:
+    """Regression: a corrupt ``.repro_cache`` record must evict-and-
+    recompute instead of crashing or missing forever."""
+
+    def _warm(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_campaign(_chaos_experiment, [1, 2, 3], cache=cache,
+                     experiment_name="evict", params=None)
+        return cache
+
+    def _paths(self, cache):
+        return sorted((cache.root / "evict").glob("*.json"))
+
+    @pytest.mark.parametrize("garbage", [
+        '{"schema": 1, "result',  # truncated mid-write
+        "42",                     # valid JSON, not a record (AttributeError
+                                  # crash before this fix)
+        "[]",
+        "not json at all",
+    ])
+    def test_corrupt_entry_evicted_and_recomputed(self, tmp_path, garbage):
+        cache = self._warm(tmp_path)
+        victim = self._paths(cache)[0]
+        victim.write_text(garbage)
+        registry = MetricsRegistry()
+        with use_telemetry(registry, Tracer()):
+            rerun = run_campaign(_chaos_experiment, [1, 2, 3], cache=cache,
+                                 experiment_name="evict", params=None)
+            counters = registry.snapshot()["counters"]
+        assert cache.stats.evictions == 1
+        assert counters["cache.evictions{experiment=evict}"] == 1.0
+        assert _values(rerun) == _values(run_campaign(_chaos_experiment,
+                                                      [1, 2, 3]))
+        assert len(rerun.cached_seeds) == 2  # the victim recomputed
+        # ... and was re-stored: a third run is fully warm again.
+        assert run_campaign(_chaos_experiment, [1, 2, 3], cache=cache,
+                            experiment_name="evict",
+                            params=None).cached_seeds == [1, 2, 3]
+
+    def test_missing_file_is_a_plain_miss_not_an_eviction(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.get("evict", "0" * 64) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.evictions == 0
+
+    def test_injected_cache_corruption_end_to_end(self, tmp_path):
+        cache = self._warm(tmp_path)
+        inj = _injector(
+            tmp_path, {"cache_decode": [FaultSpec("corrupt", frozenset({2}))]}
+        )
+        rerun = run_campaign(_chaos_experiment, [1, 2, 3], cache=cache,
+                             experiment_name="evict", params=None,
+                             injector=inj)
+        assert cache.stats.evictions == 1
+        assert rerun.cached_seeds == [1, 3]
+        assert rerun.statuses[2] == "ok"
+        assert _values(rerun) == _values(run_campaign(_chaos_experiment,
+                                                      [1, 2, 3]))
+
+
+class TestManifestResume:
+    SEEDS = list(range(5))
+
+    def test_resume_recomputes_zero_finished_seeds(self, tmp_path):
+        manifest = tmp_path / "m.jsonl"
+        first = run_campaign(_counting_experiment, self.SEEDS,
+                             manifest=manifest)
+        assert validate_file(manifest, SCHEMAS / "manifest.schema.json") == []
+        _CALLS.clear()
+        resumed = run_campaign(_counting_experiment, self.SEEDS,
+                               manifest=manifest, resume=True)
+        assert _CALLS == []  # zero recomputation
+        assert resumed.resumed_seeds == self.SEEDS
+        assert all(s == "resumed" for s in resumed.statuses.values())
+        assert _values(resumed) == _values(first)
+
+    def test_keyboard_interrupt_flushes_manifest_then_resume(self, tmp_path):
+        manifest = tmp_path / "m.jsonl"
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(_interrupting_experiment, self.SEEDS,
+                         manifest=manifest)
+        records = CampaignManifest(manifest).load()
+        assert sorted(records) == [0, 1, 2]  # flushed before the interrupt
+        _CALLS.clear()
+        resumed = run_campaign(_counting_experiment, self.SEEDS,
+                               manifest=manifest, resume=True)
+        assert sorted(_CALLS) == [3, 4]  # only the unfinished seeds
+        assert resumed.resumed_seeds == [0, 1, 2]
+        assert _values(resumed) == _values(
+            run_campaign(_chaos_experiment, self.SEEDS)
+        )
+
+    def test_failed_seeds_recompute_on_resume(self, tmp_path):
+        manifest = tmp_path / "m.jsonl"
+
+        def flaky(seed):
+            if seed == 2:
+                raise ValueError("boom")
+            return _chaos_experiment(seed)
+
+        run_campaign(flaky, self.SEEDS, manifest=manifest)
+        _CALLS.clear()
+        resumed = run_campaign(_counting_experiment, self.SEEDS,
+                               manifest=manifest, resume=True)
+        assert _CALLS == [2]  # failed seed retried, finished ones adopted
+        assert not resumed.failures
+
+    def test_corrupt_manifest_lines_skipped(self, tmp_path):
+        manifest = tmp_path / "m.jsonl"
+        run_campaign(_chaos_experiment, self.SEEDS, manifest=manifest)
+        lines = manifest.read_text().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]  # torn write
+        lines.append("not json")
+        manifest.write_text("\n".join(lines) + "\n")
+        records = CampaignManifest(manifest).load()
+        assert len(records) == len(self.SEEDS) - 1
+        _CALLS.clear()
+        run_campaign(_counting_experiment, self.SEEDS, manifest=manifest,
+                     resume=True)
+        assert len(_CALLS) == 1  # only the torn seed recomputes
+
+    def test_later_lines_win(self, tmp_path):
+        manifest = CampaignManifest(tmp_path / "m.jsonl")
+        manifest.append(ManifestRecord("e", 1, "failed", error="boom"))
+        manifest.append(ManifestRecord("e", 1, "ok", metrics={"m": 2.0}))
+        manifest.close()
+        records = manifest.load()
+        assert records[1].status == "ok" and records[1].finished
+
+    def test_resume_without_manifest_raises(self, tmp_path):
+        with pytest.raises(AnalysisError, match="cannot resume"):
+            run_campaign(_chaos_experiment, self.SEEDS, resume=True)
+        with pytest.raises(AnalysisError, match="cannot resume"):
+            run_campaign(_chaos_experiment, self.SEEDS,
+                         manifest=tmp_path / "nope.jsonl", resume=True)
+
+    def test_fresh_run_truncates_stale_manifest(self, tmp_path):
+        manifest = tmp_path / "m.jsonl"
+        run_campaign(_chaos_experiment, self.SEEDS, manifest=manifest)
+        run_campaign(_chaos_experiment, self.SEEDS[:2], manifest=manifest)
+        assert sorted(CampaignManifest(manifest).load()) == self.SEEDS[:2]
+
+
+# Random fault schedules within budget: the surviving `ok` results must
+# always equal the clean run's (satellite: Hypothesis property test).
+
+_PROPERTY_SEEDS = list(range(6))
+_CLEAN = {s: _chaos_experiment(s) for s in _PROPERTY_SEEDS}
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    crashes=st.dictionaries(
+        st.sampled_from(["worker_start", "mid_seed"]),
+        st.sets(st.sampled_from(_PROPERTY_SEEDS), max_size=4),
+    ),
+    corrupts=st.sets(st.sampled_from(_PROPERTY_SEEDS), max_size=3),
+    jitter=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_random_fault_schedules_never_perturb_ok_results(
+    crashes, corrupts, jitter
+):
+    plan = {
+        point: [FaultSpec("crash", frozenset(seeds))]
+        for point, seeds in crashes.items() if seeds
+    }
+    if corrupts:
+        plan["serialize"] = [FaultSpec("corrupt", frozenset(corrupts))]
+    with tempfile.TemporaryDirectory() as state:
+        injector = FaultInjector(plan, Path(state)) if plan else None
+        result = run_campaign(
+            _chaos_experiment, _PROPERTY_SEEDS,
+            # Each of the 3 points fires at most once per seed, so 3
+            # retries always stay within the transient budget.
+            policy=FaultPolicy(max_retries=3, jitter=jitter,
+                               backoff_base_s=0.0005, backoff_max_s=0.002),
+            injector=injector,
+        )
+    assert not result.failures
+    for idx, seed in enumerate(_PROPERTY_SEEDS):
+        for name, value in _CLEAN[seed].items():
+            assert result.metrics[name].values[idx] == value
+    faulted = set().union(*crashes.values(), corrupts) if crashes or corrupts \
+        else set()
+    for seed in _PROPERTY_SEEDS:
+        expected = "retried" if seed in faulted else "ok"
+        assert result.statuses[seed] == expected
+
+
+def test_manifest_record_roundtrip():
+    record = ManifestRecord(
+        experiment="e", seed=7, status="retried", attempts=3,
+        elapsed_s=0.25, fingerprint="ab" * 32,
+        metrics={"deviation": 1.5}, created_at=1e9,
+    )
+    back = ManifestRecord.from_json(json.loads(json.dumps(record.to_json())))
+    assert back == record
+    assert back.finished
+    assert not ManifestRecord("e", 1, "failed", error="x").finished
+    assert not ManifestRecord("e", 1, "ok").finished  # no metrics

@@ -10,6 +10,35 @@ from repro.__main__ import build_parser, main
 SCHEMAS = Path(__file__).resolve().parent.parent / "schemas"
 
 
+def _cli_trial(seed: int) -> dict[str, float]:
+    return {"m": float(seed) * 3.0}
+
+
+def _cli_flaky_trial(seed: int) -> dict[str, float]:
+    if seed >= 1:
+        raise ValueError(f"boom {seed}")
+    return _cli_trial(seed)
+
+
+def _cli_interrupting_trial(seed: int) -> dict[str, float]:
+    if seed == 2:
+        raise KeyboardInterrupt
+    return _cli_trial(seed)
+
+
+def _campaign_entry(_trial=_cli_trial, workers=0, cache=None, policy=None,
+                    manifest=None, resume=False):
+    """Fake campaign-style experiment entry, registered over table1 in
+    tests so the resilience flags exercise a real ``run_campaign``."""
+    from repro.experiments.campaign import run_campaign
+
+    return run_campaign(
+        _trial, range(4), workers=workers, cache=cache,
+        experiment_name="cli-chaos", policy=policy, manifest=manifest,
+        resume=resume,
+    )
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -69,6 +98,103 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "COMPLETE" in out
+
+
+class TestResilienceCLI:
+    """Error paths of --seed-timeout/--max-retries/--failure-budget/
+    --resume/--manifest (satellite of the fault-tolerance issue)."""
+
+    def test_parser_accepts_resilience_flags(self):
+        args = build_parser().parse_args(
+            ["fig", "9", "--seed-timeout", "30", "--max-retries", "3",
+             "--failure-budget", "2", "--manifest", "m.jsonl", "--resume"]
+        )
+        assert args.seed_timeout == 30.0
+        assert args.max_retries == 3
+        assert args.failure_budget == 2
+        assert args.manifest == "m.jsonl"
+        assert args.resume
+        # Same flags on table; all default to the legacy behaviour.
+        table = build_parser().parse_args(["table", "1"])
+        assert table.seed_timeout is None and not table.resume
+
+    def test_seed_timeout_zero_is_a_clean_error(self, capsys):
+        assert main(["table", "1", "--seed-timeout", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "timeout must be > 0" in err
+
+    def test_resume_on_non_campaign_experiment(self, capsys):
+        assert main(["table", "1", "--resume"]) == 2
+        assert "does not support --resume" in capsys.readouterr().err
+
+    def test_resume_without_manifest(self, tmp_path, monkeypatch, capsys):
+        from functools import partial
+
+        from repro.experiments import runner
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setitem(runner.EXPERIMENTS, "table1",
+                            partial(_campaign_entry, _cli_trial))
+        assert main(["table", "1", "--resume"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "cannot resume" in err
+
+    def test_failure_budget_exhausted_mid_campaign(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from functools import partial
+
+        from repro.experiments import runner
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setitem(runner.EXPERIMENTS, "table1",
+                            partial(_campaign_entry, _cli_flaky_trial))
+        manifest = tmp_path / "m.jsonl"
+        assert main(["table", "1", "--failure-budget", "0",
+                     "--max-retries", "0", "--manifest", str(manifest)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "failure budget exhausted" in err
+        # The seed that completed before the abort is checkpointed.
+        from repro.experiments.faults import CampaignManifest
+
+        assert CampaignManifest(manifest).load()[0].finished
+
+    def test_keyboard_interrupt_flushes_manifest(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from functools import partial
+
+        from repro.experiments import runner
+        from repro.experiments.faults import CampaignManifest
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setitem(runner.EXPERIMENTS, "table1",
+                            partial(_campaign_entry, _cli_interrupting_trial))
+        manifest = tmp_path / "m.jsonl"
+        assert main(["table", "1", "--manifest", str(manifest)]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err and "--resume" in err
+        records = CampaignManifest(manifest).load()
+        assert sorted(records) == [0, 1]  # flushed before the interrupt
+        assert all(r.finished for r in records.values())
+
+    def test_manifest_schema_covered_by_obs_validate(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from functools import partial
+
+        from repro.experiments import runner
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setitem(runner.EXPERIMENTS, "table1",
+                            partial(_campaign_entry, _cli_trial))
+        manifest = tmp_path / "m.jsonl"
+        assert main(["table", "1", "--manifest", str(manifest)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "validate", str(manifest),
+                     str(SCHEMAS / "manifest.schema.json")]) == 0
+        assert "valid" in capsys.readouterr().out
 
 
 class TestTelemetryCommands:
