@@ -6,8 +6,10 @@ fly
     Fly a benign mission and print a flight summary.
 assess
     Run the full ARES campaign (profile → identify → exploit → report).
-table1 / table2
-    Regenerate the paper's tables.
+table1 / table2 / table robustness
+    Regenerate the paper's tables, or sweep the fault-injection
+    robustness matrix (``--fault-schedule``/``--kinds``/``--intensities``
+    and the other robustness flags scale the sweep).
 fig N
     Regenerate one of the paper's figures (3, 5, 6, 7, 8, 9, 10 or 11).
 obs
@@ -156,13 +158,65 @@ def _fault_policy(args: argparse.Namespace):
     )
 
 
+def _robustness_kwargs(args: argparse.Namespace) -> dict | int:
+    """Extra run_robustness kwargs from the robustness-only CLI flags.
+
+    Returns an exit code instead when a robustness flag is used with a
+    plain paper table.
+    """
+    flags = {
+        "--fault-schedule": args.fault_schedule,
+        "--trials": args.trials,
+        "--kinds": args.kinds,
+        "--intensities": args.intensities,
+        "--physics-hz": args.physics_hz,
+        "--profile-length": args.profile_length,
+        "--detector-duration": args.detector_duration,
+    }
+    if args.which != "robustness":
+        used = [flag for flag, value in flags.items() if value is not None]
+        if used:
+            print(
+                f"{', '.join(used)}: only valid with 'table robustness'",
+                file=sys.stderr,
+            )
+            return 2
+        return {}
+    kwargs: dict = {}
+    if args.fault_schedule is not None:
+        with open(args.fault_schedule, encoding="utf-8") as fh:
+            kwargs["schedule_json"] = fh.read()
+    if args.trials is not None:
+        kwargs["trials"] = args.trials
+    if args.kinds is not None:
+        kwargs["kinds"] = tuple(k for k in args.kinds.split(",") if k)
+    if args.intensities is not None:
+        kwargs["intensities"] = tuple(
+            float(v) for v in args.intensities.split(",") if v
+        )
+    if args.physics_hz is not None:
+        kwargs["physics_hz"] = args.physics_hz
+    if args.profile_length is not None:
+        kwargs["profile_length"] = args.profile_length
+    if args.detector_duration is not None:
+        kwargs["detector_duration"] = args.detector_duration
+    return kwargs
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_experiment
 
+    kwargs = _robustness_kwargs(args)
+    if isinstance(kwargs, int):
+        return kwargs
+    name = (
+        "robustness" if args.which == "robustness" else f"table{args.which}"
+    )
     finish = _setup_telemetry(args)
     try:
         result = run_experiment(
-            f"table{args.which}",
+            name,
+            **kwargs,
             cache=_experiment_cache(args),
             workers=args.workers,
             policy=_fault_policy(args),
@@ -312,8 +366,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_options(assess)
     assess.set_defaults(func=_cmd_assess)
 
-    table = sub.add_parser("table", help="regenerate a paper table")
-    table.add_argument("which", choices=("1", "2"))
+    table = sub.add_parser(
+        "table", help="regenerate a paper table or the robustness matrix"
+    )
+    table.add_argument("which", choices=("1", "2", "robustness"))
+    robust = table.add_argument_group(
+        "robustness options", "only valid with 'table robustness'"
+    )
+    robust.add_argument(
+        "--fault-schedule", default=None, metavar="PATH",
+        help="FaultSchedule JSON to sweep (scaled per intensity) instead "
+             "of single-kind faults",
+    )
+    robust.add_argument("--trials", type=int, default=None, metavar="N",
+                        help="seeds per matrix cell (default 3)")
+    robust.add_argument(
+        "--kinds", default=None, metavar="K1,K2,...",
+        help="comma-separated fault kinds (default: one per family)",
+    )
+    robust.add_argument(
+        "--intensities", default=None, metavar="X1,X2,...",
+        help="comma-separated intensity multipliers (default 0.25,1.0)",
+    )
+    robust.add_argument("--physics-hz", type=float, default=None, metavar="HZ",
+                        help="simulation rate (default 400; CI smoke uses 100)")
+    robust.add_argument("--profile-length", type=float, default=None,
+                        metavar="M", help="profiling mission leg length (m)")
+    robust.add_argument("--detector-duration", type=float, default=None,
+                        metavar="S", help="monitored flight duration (s)")
     _add_runner_options(table)
     _add_obs_options(table)
     table.set_defaults(func=_cmd_table)

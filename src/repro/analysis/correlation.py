@@ -62,8 +62,9 @@ class CorrelationResult:
 def pearson(x: np.ndarray, y: np.ndarray) -> float:
     """Pearson correlation coefficient of two equal-length series (Eq. 1).
 
-    Returns ``nan`` when either series is constant (the coefficient is
-    undefined); Algorithm 1 prunes such variables before use.
+    Returns ``nan`` when either series is constant or contains non-finite
+    values (the coefficient is undefined); Algorithm 1 prunes such
+    variables before use.
     """
     x = np.asarray(x, dtype=float)
     y = np.asarray(y, dtype=float)
@@ -71,6 +72,8 @@ def pearson(x: np.ndarray, y: np.ndarray) -> float:
         raise AnalysisError(f"length mismatch: {x.shape} vs {y.shape}")
     if x.size < 2:
         raise AnalysisError("need at least two samples")
+    if not (np.isfinite(x).all() and np.isfinite(y).all()):
+        return float("nan")
     # A constant series has undefined correlation. Checked on the raw
     # values (ptp == 0), not the centred norm: subtracting the mean of a
     # non-representable constant (e.g. 1.7856…) leaves ~1 ulp of rounding
@@ -95,7 +98,11 @@ def correlation_matrix(table: TraceTable) -> CorrelationResult:
     # Constant columns have undefined correlation; detected on the raw
     # values (ptp == 0) because mean-centering a non-representable
     # constant leaves rounding residue that inflates the centred norm.
-    constant = (np.ptp(matrix, axis=0) == 0.0) | (norms <= 1e-300)
+    # Columns with non-finite samples are equally undefined — and the
+    # NaN comparisons below would otherwise mask them as ordinary.
+    finite = np.isfinite(matrix).all(axis=0)
+    with np.errstate(invalid="ignore"):
+        constant = ~finite | (np.ptp(matrix, axis=0) == 0.0) | (norms <= 1e-300)
     with np.errstate(invalid="ignore", divide="ignore"):
         normalised = np.where(~constant, centered / norms, np.nan)
         corr = normalised.T @ normalised

@@ -33,6 +33,9 @@ class PruningConfig:
     max_abs_skewness: float = 15.0
     max_excess_kurtosis: float = 150.0
     max_lag1_autocorr: float = 0.9999
+    #: Columns shorter than this cannot support any statistic downstream
+    #: (correlation needs 2, OLS more); dropped with reason.
+    min_samples: int = 3
 
 
 @dataclass
@@ -80,6 +83,19 @@ def prune_state_variables(
     report = PruningReport()
     for name in table.columns:
         x = table.column(name)
+        # Degraded-data guards first: NaN propagates silently through the
+        # moment checks below (every comparison on NaN is False), so a
+        # NaN-bearing column would otherwise *pass* pruning and crash
+        # clustering. Prune-with-reason instead.
+        if x.size < config.min_samples:
+            report.dropped[name] = (
+                f"too few samples (n={x.size} < {config.min_samples})"
+            )
+            continue
+        if not np.isfinite(x).all():
+            bad = int(np.count_nonzero(~np.isfinite(x)))
+            report.dropped[name] = f"missing samples ({bad} non-finite values)"
+            continue
         if x.std() <= config.constant_std:
             report.dropped[name] = "constant"
             continue

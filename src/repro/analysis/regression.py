@@ -70,6 +70,13 @@ def fit_ols(
         raise AnalysisError("predictor-name count mismatch")
     if n <= k + 1:
         raise AnalysisError(f"need more than {k + 1} samples, got {n}")
+    if not (np.isfinite(y).all() and np.isfinite(X).all()):
+        # Surface degraded data as the pipeline's own error type, not a
+        # LinAlgError from deep inside lstsq — stepwise treats it as an
+        # unfittable (non-improving) move.
+        raise AnalysisError(
+            f"non-finite values in regression inputs for '{response}'"
+        )
 
     design = np.column_stack([np.ones(n), X])
     coef, _, rank, _ = np.linalg.lstsq(design, y, rcond=None)

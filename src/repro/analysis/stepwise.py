@@ -84,14 +84,22 @@ def stepwise_aic(
         for candidate in candidates:
             if candidate in current:
                 continue
-            model = _fit(table, response, current + [candidate])
+            try:
+                model = _fit(table, response, current + [candidate])
+            except AnalysisError:
+                # Unfittable move (e.g. too few rows for one more column
+                # on a degraded dataset): treat as non-improving, not fatal.
+                continue
             if model.aic < best_move_aic - 1e-9:
                 best_move = ("add", candidate)
                 best_move_aic = model.aic
                 best_move_model = model
         for included in current:
             reduced = [c for c in current if c != included]
-            model = _fit(table, response, reduced)
+            try:
+                model = _fit(table, response, reduced)
+            except AnalysisError:
+                continue
             if model.aic < best_move_aic - 1e-9:
                 best_move = ("drop", included)
                 best_move_aic = model.aic

@@ -9,7 +9,10 @@ surface handed to the RL exploit generator.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.analysis.clustering import ClusteringResult, cluster_by_correlation
 from repro.analysis.correlation import CorrelationResult, correlation_matrix
@@ -58,6 +61,15 @@ class TsvlResult:
     models: dict[str, StepwiseResult]
     esvl_size: int
     responses_used: list[str]
+    #: Degradation notes: why the pipeline produced less than usual (empty
+    #: on a healthy run). Together with ``pruning.dropped`` this accounts
+    #: for every variable that fell out of the analysis.
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the pipeline hit a degraded-data path."""
+        return bool(self.notes)
 
     @property
     def selection_ratio(self) -> float:
@@ -90,6 +102,31 @@ def generate_tsvl(
     missing = [v for v in dynamics_variables if v not in table]
     if missing:
         raise AnalysisError(f"dynamics variables not in ESVL: {missing}")
+    if len(table) < 2:
+        # Degenerate dataset (a crashed profiling mission can log almost
+        # nothing): even pairwise correlation is undefined. Degrade with
+        # every variable accounted for instead of raising.
+        note = f"dataset has {len(table)} rows; Algorithm 1 needs at least 2"
+        _log.warning("Algorithm 1 degraded: %s", note)
+        return TsvlResult(
+            tsvl=[],
+            correlation=CorrelationResult(
+                names=list(table.columns),
+                matrix=np.full((len(table.columns),) * 2, np.nan),
+            ),
+            pruning=PruningReport(dropped={
+                name: f"too few samples (n={len(table)} < 2)"
+                for name in table.columns
+            }),
+            clustering=ClusteringResult(
+                clusters=[], labels={},
+                linkage=np.empty((0, 4)), names=[],
+            ),
+            models={},
+            esvl_size=len(table.columns),
+            responses_used=[],
+            notes=[note],
+        )
 
     with obs_span(
         "analysis.correlation", columns=len(table.columns), rows=len(table)
@@ -101,10 +138,45 @@ def generate_tsvl(
         pruning = prune_state_variables(table, config.pruning)
         prune_span.set("kept", len(pruning.kept))
         prune_span.set("dropped", len(pruning.dropped))
+    notes: list[str] = []
+    # Correlation can be undefined (NaN) for a pruning survivor in corner
+    # cases the moment checks don't cover (e.g. pathological scaling);
+    # clustering refuses NaN distances, so such variables are pruned here
+    # with a recorded reason instead.
+    defined = []
+    for name in pruning.kept:
+        row_ok = all(
+            not math.isnan(corr.value(name, other))
+            for other in pruning.kept
+            if other != name
+        )
+        if row_ok:
+            defined.append(name)
+        else:
+            pruning.dropped[name] = "undefined correlation"
+            notes.append(f"dropped '{name}': undefined correlation")
+    pruning.kept = defined
     if len(pruning.kept) < 2:
-        raise AnalysisError(
-            "fewer than two variables survive pruning; "
-            f"dropped: {pruning.dropped}"
+        # Degrade, don't raise: an empty TSVL with the reasons recorded is
+        # the honest answer to a dataset this broken (Algorithm 1 has
+        # nothing left to cluster or regress).
+        notes.append(
+            "fewer than two variables survive pruning; TSVL is empty "
+            f"(dropped: {len(pruning.dropped)})"
+        )
+        _log.warning("Algorithm 1 degraded: %s", notes[-1])
+        return TsvlResult(
+            tsvl=[],
+            correlation=corr,
+            pruning=pruning,
+            clustering=cluster_by_correlation(
+                corr, names=pruning.kept,
+                distance_threshold=config.cluster_distance_threshold,
+            ),
+            models={},
+            esvl_size=len(table.columns),
+            responses_used=[],
+            notes=notes,
         )
     with obs_span(
         "analysis.clustering", columns_in=len(pruning.kept)
@@ -172,4 +244,5 @@ def generate_tsvl(
         models=models,
         esvl_size=len(table.columns),
         responses_used=responses_used,
+        notes=notes,
     )

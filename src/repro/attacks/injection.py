@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.attacks.base import Attack
 from repro.exceptions import ParameterRangeError
+from repro.gcs.messages import ParamSet, ParamValue
 
 __all__ = ["VariableManipulator", "ParamSetAttack"]
 
@@ -73,6 +74,16 @@ class ParamSetAttack(Attack):
     parameters in the victim RAV". Writes are range-validated by the
     firmware, so the schedule must stay inside declared ranges to succeed;
     rejected writes are counted.
+
+    With ``link=None`` (default) writes hit the parameter store directly.
+    Passing the vehicle's GCS :class:`repro.gcs.link.Link` sends real
+    ``PARAM_SET`` messages instead — subject to the channel's loss/delay —
+    with a bounded non-blocking retry + ack-timeout state machine (one
+    write in flight at a time; this hook runs *inside* ``vehicle.step``,
+    so it cannot pump the vehicle synchronously). The attack then owns the
+    GCS receive side while active. Writes that exhaust every retry are
+    counted in ``lost``; the whole retry trace is deterministic from the
+    link seed and fault schedule.
     """
 
     def __init__(
@@ -80,16 +91,59 @@ class ParamSetAttack(Attack):
         schedule,  # callable (elapsed) -> list[(param_name, value)] | None
         period: float = 0.3,
         start_time: float = 0.0,
+        link=None,
+        ack_timeout_s: float = 0.5,
+        retries: int = 3,
     ):
         super().__init__("param-set", start_time=start_time)
         self.schedule = schedule
         self.period = period
+        self.link = link
+        self.ack_timeout_s = ack_timeout_s
+        self.retries = retries
         self.rejected = 0
         self.accepted = 0
+        #: Writes abandoned after every retry timed out (via-link only).
+        self.lost = 0
+        #: Resends issued on ack timeout (via-link only).
+        self.retry_count = 0
         self._last = -np.inf
+        self._pending: list[ParamSet] = []
+        self._inflight: tuple[ParamSet, float, int] | None = None
+
+    def _poll_link(self, now: float) -> None:
+        """Advance the via-link state machine one control cycle."""
+        while True:
+            reply = self.link.receive()
+            if reply is None:
+                break
+            if isinstance(reply, ParamValue) and self._inflight is not None:
+                if reply.ok:
+                    self.accepted += 1
+                else:
+                    self.rejected += 1
+                if self.result is not None:
+                    self.result.injections += 1
+                self._inflight = None
+        if self._inflight is not None:
+            message, sent_at, attempt = self._inflight
+            if now - sent_at >= self.ack_timeout_s:
+                if attempt < self.retries:
+                    self.retry_count += 1
+                    self.link.send(message)
+                    self._inflight = (message, now, attempt + 1)
+                else:
+                    self.lost += 1
+                    self._inflight = None
+        if self._inflight is None and self._pending:
+            message = self._pending.pop(0)
+            self.link.send(message)
+            self._inflight = (message, now, 0)
 
     def _inject(self, vehicle) -> None:
         now = vehicle.sim.time
+        if self.link is not None:
+            self._poll_link(now)
         if now - self._last < self.period:
             return
         self._last = now
@@ -97,6 +151,9 @@ class ParamSetAttack(Attack):
         if not updates:
             return
         for name, value in updates:
+            if self.link is not None:
+                self._pending.append(ParamSet(name=name, value=float(value)))
+                continue
             try:
                 vehicle.params.set(name, value)
                 self.accepted += 1

@@ -55,6 +55,15 @@ class Detector:
     strict:
         When True the first alarm raises :class:`DetectionAlarm` instead of
         just being recorded.
+
+    Degraded-data contract: when a cycle's inputs are unusable (non-finite
+    sensor readings under a fault), a detector calls :meth:`_note_degraded`
+    and then either *holds* its previous score (cumulative monitors: the
+    control-invariants window, the EKF-residual CUSUM) or *skips* the
+    sample (per-cycle monitors: the ML output monitor, the variable-level
+    monitor return None). Either way ``degraded_samples`` and the
+    ``defense.degraded_samples`` metric account for every affected cycle,
+    so fault-time FPR/TPR shifts are measurable rather than silent.
     """
 
     def __init__(self, name: str, threshold: float, strict: bool = False):
@@ -63,6 +72,8 @@ class Detector:
         self.strict = strict
         self.record = DetectorRecord()
         self._vehicle = None
+        #: Cycles where degraded input forced a hold/skip since last reset.
+        self.degraded_samples = 0
         # Per-detector instruments, resolved once for the per-step hook.
         registry = get_registry()
         self._metric_samples = registry.counter(
@@ -70,6 +81,9 @@ class Detector:
         )
         self._metric_alarms = registry.counter(
             "detector.alarms", detector=name
+        )
+        self._metric_degraded = registry.counter(
+            "defense.degraded_samples", detector=name
         )
 
     @property
@@ -85,7 +99,13 @@ class Detector:
     def reset(self) -> None:
         """Clear history (new flight)."""
         self.record = DetectorRecord()
+        self.degraded_samples = 0
         self._reset_state()
+
+    def _note_degraded(self) -> None:
+        """Account one cycle whose input was unusable (held or skipped)."""
+        self.degraded_samples += 1
+        self._metric_degraded.inc()
 
     def attach(self, vehicle) -> None:
         """Install on a vehicle's post-step hook."""

@@ -89,6 +89,11 @@ class ControlInvariantsDetector(Detector):
         measured = np.array(euler)
 
         gyro = np.asarray(gyro, dtype=float)
+        if not (np.isfinite(measured).all() and np.isfinite(gyro).all()):
+            # Degraded input: hold the window sum (cumulative monitor),
+            # account the cycle, and leave the model untouched.
+            self._note_degraded()
+            return self._errors.sum if self._initialised else None
         if not self._initialised:
             self._pred_euler = measured.copy()
             self._pred_rate = gyro.copy()

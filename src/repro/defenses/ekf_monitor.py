@@ -101,6 +101,10 @@ class EKFResidualDetector(Detector):
         self._pred_rate = self._pred_rate + (torque / self._inertia) * dt
 
         gyro = np.asarray(vehicle.last_readings.imu.gyro, dtype=float)
+        if not np.isfinite(gyro).all():
+            # Degraded input: hold the CUSUM, skip the observer update.
+            self._note_degraded()
+            return self._cusum
         innovation = gyro - self._pred_rate
         # Leaky observer keeps the model anchored to honest measurements;
         # a sustained sensor-vs-physics mismatch still shows as residual.

@@ -121,6 +121,11 @@ class MLOutputMonitor(Detector):
         if not vehicle.armed:
             return None
         features, actual = self._observe(vehicle)
+        if not (np.isfinite(features).all() and np.isfinite(actual)):
+            # Degraded input: skip the sample (per-cycle monitor) so a NaN
+            # feature can neither poison collection nor fake a distance.
+            self._note_degraded()
+            return None
         if self.collecting:
             self._collected_features.append(features)
             self._collected_outputs.append(actual)

@@ -142,9 +142,15 @@ class VariableLevelMonitor(Detector):
     def _score(self, vehicle) -> float | None:
         if not vehicle.armed:
             return None
+        values = {name: self._read(vehicle, name) for name in self.variables}
+        if not all(np.isfinite(v) for v in values.values()):
+            # Degraded input: skip the sample (per-cycle monitor); NaN must
+            # neither enter the training envelopes nor the CUSUM.
+            self._note_degraded()
+            return None
         if self.collecting:
             for name in self.variables:
-                self._samples[name].append(self._read(vehicle, name))
+                self._samples[name].append(values[name])
             return None
         if not self.trained:
             return None
@@ -154,7 +160,7 @@ class VariableLevelMonitor(Detector):
             return 0.0
         total_exceedance = 0.0
         for name in self.variables:
-            value = self._read(vehicle, name)
+            value = values[name]
             last = self._last_values.get(name, value)
             self._last_values[name] = value
             total_exceedance += self.envelopes[name].exceedance(

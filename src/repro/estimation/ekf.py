@@ -24,6 +24,7 @@ import math
 import numpy as np
 
 from repro.exceptions import ControlError
+from repro.obs.metrics import get_registry
 from repro.utils.math3d import dcm_from_euler, wrap_pi
 
 __all__ = ["EkfConfig", "AttitudePositionEKF"]
@@ -75,7 +76,15 @@ _NSTATES = 12
 
 
 class AttitudePositionEKF:
-    """12-state EKF over attitude, velocity, position and gyro bias."""
+    """12-state EKF over attitude, velocity, position and gyro bias.
+
+    Degraded-data contract: any measurement containing a non-finite value
+    (a dropped-out GPS reporting NaN, a frozen/poisoned channel) is
+    *rejected* — the update is skipped, the state coasts on prediction,
+    and ``rejected_updates`` (plus the ``ekf.rejected_updates`` metric)
+    counts the rejection. A non-finite IMU sample likewise holds the
+    prediction instead of propagating NaN through the whole state.
+    """
 
     def __init__(self, config: EkfConfig | None = None):
         self.config = config or EkfConfig()
@@ -83,6 +92,18 @@ class AttitudePositionEKF:
         self.P = np.diag(
             [0.05] * 3 + [0.5] * 3 + [2.0] * 3 + [1e-4] * 3
         )
+        #: Measurement updates / predictions skipped due to non-finite input.
+        self.rejected_updates = 0
+        self._metric_rejected = get_registry().counter("ekf.rejected_updates")
+
+    def _reject_nonfinite(self, *arrays) -> bool:
+        """True (and count) when any input contains a non-finite value."""
+        for arr in arrays:
+            if not np.all(np.isfinite(arr)):
+                self.rejected_updates += 1
+                self._metric_rejected.inc()
+                return True
+        return False
 
     # ------------------------------------------------------------------ #
     # Accessors matching the EKF1 dataflash message fields.
@@ -136,7 +157,12 @@ class AttitudePositionEKF:
     # Prediction
     # ------------------------------------------------------------------ #
     def predict(self, gyro: np.ndarray, accel: np.ndarray, dt: float) -> None:
-        """Propagate with one IMU sample (gyro rad/s, accel specific force)."""
+        """Propagate with one IMU sample (gyro rad/s, accel specific force).
+
+        A non-finite sample holds the state (no propagation).
+        """
+        if self._reject_nonfinite(gyro, accel):
+            return
         phi, theta, psi = self.x[_PHI], self.x[_THETA], self.x[_PSI]
         omega = gyro - self.x[_BGX : _BGZ + 1]
 
@@ -208,6 +234,8 @@ class AttitudePositionEKF:
         Skipped automatically when the specific-force magnitude is far from
         1 g (hard maneuvering makes the gravity direction unobservable).
         """
+        if self._reject_nonfinite(accel):
+            return
         norm = float(np.linalg.norm(accel))
         if not 0.7 * self.config.gravity < norm < 1.3 * self.config.gravity:
             return
@@ -228,6 +256,8 @@ class AttitudePositionEKF:
 
     def update_mag_yaw(self, mag_field_body: np.ndarray) -> None:
         """Yaw correction from a tilt-compensated compass heading."""
+        if self._reject_nonfinite(mag_field_body):
+            return
         phi, theta = self.x[_PHI], self.x[_THETA]
         sphi, cphi = math.sin(phi), math.cos(phi)
         stheta, ctheta = math.sin(theta), math.cos(theta)
@@ -245,6 +275,8 @@ class AttitudePositionEKF:
 
     def update_gps(self, position: np.ndarray, velocity: np.ndarray) -> None:
         """Velocity + horizontal position correction from a GPS fix."""
+        if self._reject_nonfinite(position, velocity):
+            return
         z = np.array([velocity[0], velocity[1], velocity[2], position[0], position[1]])
         H = np.zeros((5, _NSTATES))
         H[0, _VN] = H[1, _VE] = H[2, _VD] = 1.0
@@ -257,6 +289,8 @@ class AttitudePositionEKF:
 
     def update_baro(self, altitude: float) -> None:
         """Down-position correction from barometric altitude."""
+        if self._reject_nonfinite(np.asarray([altitude])):
+            return
         z = np.array([-altitude])
         H = np.zeros((1, _NSTATES))
         H[0, _PD] = 1.0

@@ -1,0 +1,330 @@
+"""Robustness matrix: fault type × intensity sweep of the ARES pipeline.
+
+For every cell of the matrix a :class:`~repro.faults.FaultSchedule` is
+injected into the testbed and the two halves of the pipeline are scored
+against their fault-free behaviour on the same seed:
+
+* **TSVL stability** — Algorithm 1 runs over a profiling mission flown
+  under the fault; the Jaccard index between the faulted and fault-free
+  TSVL measures how much the identified attack surface drifts.
+* **Detector shift** — the control-invariants detector (paper Fig. 6
+  configuration) monitors one benign and one attacked flight under the
+  fault; the per-cell alarm rates are the fault-conditional FPR and TPR.
+  ``degraded`` counts the detector cycles held/skipped on unusable input.
+
+Cells whose mission cannot even be flown (a severe fault crashing
+takeoff) are recorded in the ``failed`` metric rather than aborting the
+sweep. Instead of single-kind schedules, a checked-in schedule JSON can
+be swept by scaling every spec's intensity per cell (the CI smoke job
+does this with ``examples/fault_schedule.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from functools import partial
+
+import numpy as np
+
+from repro.analysis.tsvl import TsvlResult, generate_tsvl
+from repro.attacks.gradual import GradualRollAttack
+from repro.defenses.control_invariants import ControlInvariantsDetector
+from repro.experiments.campaign import run_campaign
+from repro.faults import FaultSchedule, FaultSpec
+from repro.faults.schedule import FaultConfigError
+from repro.firmware.mission import line_mission
+from repro.firmware.modes import FlightMode
+from repro.firmware.vehicle import Vehicle
+from repro.profiling.collector import ProfileCollector
+from repro.sim.config import SimConfig
+
+__all__ = ["RobustnessCell", "RobustnessResult", "run_robustness"]
+
+#: Default fault kinds swept (one per family plus the GPS pair); the full
+#: taxonomy is in :mod:`repro.faults.schedule`.
+DEFAULT_KINDS = (
+    "gps_dropout",
+    "gps_glitch",
+    "imu_noise_burst",
+    "baro_drift",
+    "motor_efficiency",
+    "link_loss",
+)
+
+#: Responses for the PID experiment's Algorithm 1 run (Table II).
+_RESPONSES = ("ATT.R", "ATT.P", "ATT.Y")
+
+
+def _parse_schedule(text: str) -> FaultSchedule:
+    """Validate and parse FaultSchedule JSON *text* (not a file path)."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise FaultConfigError(
+            f"fault schedule JSON is invalid: {exc}"
+        ) from None
+    return FaultSchedule.from_dict(data)
+
+
+def _jaccard(a: list[str], b: list[str]) -> float:
+    """Jaccard index of two variable lists; two empty sets agree fully."""
+    sa, sb = set(a), set(b)
+    union = sa | sb
+    if not union:
+        return 1.0
+    return len(sa & sb) / len(union)
+
+
+def _cell_schedule(
+    kind: str, intensity: float, base: FaultSchedule | None
+) -> FaultSchedule:
+    """The schedule for one matrix cell.
+
+    Without a base schedule: one spec of ``kind`` at ``intensity``,
+    active from t=4 s (past takeoff, so mild cells still reach cruise).
+    With one: every spec's intensity is scaled by ``intensity`` and the
+    ``kind`` axis collapses to the single pseudo-kind ``"schedule"``.
+    """
+    if base is not None:
+        return FaultSchedule(tuple(
+            FaultSpec(
+                kind=spec.kind, start=spec.start, duration=spec.duration,
+                intensity=spec.intensity * intensity, motor=spec.motor,
+            )
+            for spec in base
+        ))
+    return FaultSchedule.single(kind, intensity=intensity, start=4.0)
+
+
+def _profile_tsvl(
+    seed: int,
+    schedule: FaultSchedule | None,
+    profile_length: float,
+    physics_hz: float,
+) -> TsvlResult:
+    """Fly one profiling mission (possibly faulted) and run Algorithm 1."""
+    def factory(mission_seed: int) -> Vehicle:
+        return Vehicle(
+            SimConfig(
+                seed=seed * 1000 + mission_seed,
+                wind_gust_std=0.4,
+                physics_hz=physics_hz,
+            ),
+            fault_schedule=schedule,
+        )
+
+    collector = ProfileCollector("PID", vehicle_factory=factory)
+    dataset = collector.collect(
+        missions=[line_mission(length=profile_length, altitude=8.0, legs=2)],
+        timeout_per_mission=150.0,
+        require_complete=False,
+    )
+    return generate_tsvl(dataset.table, list(_RESPONSES))
+
+
+def _detector_flight(
+    seed: int,
+    schedule: FaultSchedule | None,
+    attack_rate: float | None,
+    duration: float,
+    physics_hz: float,
+) -> tuple[float, float]:
+    """One monitored flight; returns (alarm flag, degraded-cycle count)."""
+    vehicle = Vehicle(
+        SimConfig(seed=seed, wind_gust_std=0.4, physics_hz=physics_hz),
+        fault_schedule=schedule,
+    )
+    detector = ControlInvariantsDetector(vehicle.config.airframe)
+    detector.attach(vehicle)
+    vehicle.mission = line_mission(length=500.0, altitude=10.0, legs=1)
+    vehicle.takeoff(10.0)
+    if attack_rate is not None:
+        GradualRollAttack(rate_deg_s=attack_rate, start_time=5.0).attach(vehicle)
+    vehicle.set_mode(FlightMode.AUTO)
+    vehicle.run(duration)
+    return (
+        1.0 if detector.alarmed else 0.0,
+        float(detector.degraded_samples),
+    )
+
+
+def _robustness_trial(
+    seed: int,
+    kinds: tuple[str, ...],
+    intensities: tuple[float, ...],
+    schedule_json: str | None,
+    profile_length: float,
+    detector_duration: float,
+    attack_rate: float,
+    physics_hz: float,
+) -> dict[str, float]:
+    """One campaign trial: the full matrix on one seed.
+
+    The fault-free baseline (TSVL and detector behaviour) is computed
+    once per seed; each cell then reports ``jaccard.<cell>``,
+    ``fpr.<cell>``, ``tpr.<cell>``, ``degraded.<cell>`` and
+    ``failed.<cell>`` (1.0 when the cell's missions could not be flown,
+    in which case the other metrics are omitted for this seed).
+    """
+    base = (
+        _parse_schedule(schedule_json) if schedule_json is not None else None
+    )
+    baseline = _profile_tsvl(seed, None, profile_length, physics_hz)
+    metrics: dict[str, float] = {
+        "baseline.tsvl_size": float(len(baseline.tsvl)),
+    }
+    for kind in kinds:
+        for intensity in intensities:
+            cell = f"{kind}@{intensity:g}"
+            schedule = _cell_schedule(kind, intensity, base)
+            try:
+                faulted = _profile_tsvl(
+                    seed, schedule, profile_length, physics_hz
+                )
+                fpr, degraded_b = _detector_flight(
+                    seed, schedule, None, detector_duration, physics_hz
+                )
+                tpr, degraded_a = _detector_flight(
+                    seed, schedule, attack_rate, detector_duration, physics_hz
+                )
+            except Exception:  # noqa: BLE001 — a crashed cell is a result
+                metrics[f"failed.{cell}"] = 1.0
+                continue
+            metrics[f"jaccard.{cell}"] = _jaccard(baseline.tsvl, faulted.tsvl)
+            metrics[f"fpr.{cell}"] = fpr
+            metrics[f"tpr.{cell}"] = tpr
+            metrics[f"degraded.{cell}"] = degraded_b + degraded_a
+            metrics[f"failed.{cell}"] = 0.0
+    return metrics
+
+
+@dataclass
+class RobustnessCell:
+    """Aggregated scores of one (kind, intensity) cell."""
+
+    kind: str
+    intensity: float
+    jaccard: float
+    fpr: float
+    tpr: float
+    degraded: float
+    failed: float
+
+
+@dataclass
+class RobustnessResult:
+    """The full matrix plus campaign metadata."""
+
+    cells: list[RobustnessCell] = field(default_factory=list)
+    trials: int = 0
+    baseline_tsvl_size: float = 0.0
+
+    def cell(self, kind: str, intensity: float) -> RobustnessCell:
+        """One cell of the matrix."""
+        for c in self.cells:
+            if c.kind == kind and c.intensity == intensity:
+                return c
+        raise KeyError((kind, intensity))
+
+    def render(self) -> str:
+        """Matrix table: one row per (fault kind, intensity) cell."""
+        lines = [
+            "Robustness matrix — fault type × intensity",
+            f"  ({self.trials} trials/cell; baseline TSVL size "
+            f"{self.baseline_tsvl_size:.1f}; Jaccard vs fault-free TSVL; "
+            "FPR/TPR = CI-detector alarm rate benign/attacked)",
+            "  fault kind        intens  jaccard    FPR    TPR  degraded  failed",
+        ]
+        for c in self.cells:
+            lines.append(
+                f"  {c.kind:16s} {c.intensity:6.2f}  {c.jaccard:7.2f} "
+                f"{c.fpr * 100:5.0f}% {c.tpr * 100:5.0f}%  {c.degraded:8.0f} "
+                f"{c.failed * 100:5.0f}%"
+            )
+        return "\n".join(lines)
+
+
+def _mean(campaign, name: str, default: float = float("nan")) -> float:
+    summary = campaign.metrics.get(name)
+    if summary is None or not summary.values:
+        return default
+    return float(np.mean(summary.values))
+
+
+def run_robustness(
+    kinds: tuple[str, ...] | list[str] | None = None,
+    intensities: tuple[float, ...] | list[float] = (0.25, 1.0),
+    trials: int = 3,
+    schedule_json: str | None = None,
+    profile_length: float = 45.0,
+    detector_duration: float = 25.0,
+    attack_rate: float = 5.0,
+    physics_hz: float = 400.0,
+    base_seed: int = 400,
+    workers: int = 0,
+    cache=None,
+    policy=None,
+    manifest=None,
+    resume: bool = False,
+) -> RobustnessResult:
+    """Sweep the fault matrix over ``trials`` seeds per cell.
+
+    Parameters
+    ----------
+    kinds:
+        Fault kinds forming the matrix rows (default: one representative
+        per family, :data:`DEFAULT_KINDS`). Ignored when
+        ``schedule_json`` is given.
+    intensities:
+        Intensity multipliers forming the matrix columns.
+    schedule_json:
+        JSON text of a checked-in :class:`FaultSchedule`; when given,
+        each cell scales every spec's intensity instead of injecting a
+        single-kind fault (the ``kind`` axis becomes ``"schedule"``).
+    physics_hz:
+        Simulation rate; the CI smoke job drops it to 100 Hz.
+    """
+    kinds = tuple(kinds) if kinds is not None else DEFAULT_KINDS
+    if schedule_json is not None:
+        _parse_schedule(schedule_json)  # fail fast on bad input
+        kinds = ("schedule",)
+    intensities = tuple(float(v) for v in intensities)
+    params = {
+        "kinds": kinds,
+        "intensities": intensities,
+        "schedule_json": schedule_json,
+        "profile_length": profile_length,
+        "detector_duration": detector_duration,
+        "attack_rate": attack_rate,
+        "physics_hz": physics_hz,
+    }
+    campaign = run_campaign(
+        partial(_robustness_trial, **params),
+        seeds=range(base_seed, base_seed + trials),
+        raise_on_failure=True,
+        workers=workers,
+        cache=cache,
+        experiment_name="robustness.trial",
+        params=params,
+        policy=policy,
+        manifest=manifest,
+        resume=resume,
+    )
+    result = RobustnessResult(
+        trials=trials,
+        baseline_tsvl_size=_mean(campaign, "baseline.tsvl_size", 0.0),
+    )
+    for kind in kinds:
+        for intensity in intensities:
+            cell = f"{kind}@{intensity:g}"
+            result.cells.append(RobustnessCell(
+                kind=kind,
+                intensity=intensity,
+                jaccard=_mean(campaign, f"jaccard.{cell}"),
+                fpr=_mean(campaign, f"fpr.{cell}"),
+                tpr=_mean(campaign, f"tpr.{cell}"),
+                degraded=_mean(campaign, f"degraded.{cell}"),
+                failed=_mean(campaign, f"failed.{cell}", 0.0),
+            ))
+    return result

@@ -1,0 +1,49 @@
+"""Cyber-physical fault layer: declarative, seed-deterministic faults.
+
+The paper provokes RAV failures by perturbing the cyber-physical loop;
+this package does the same to our *reproduction testbed* so the science
+layers (Algorithm 1, the three detector families, the EKF) can be
+evaluated on the kind of degraded telemetry a real ArduPilot rig
+produces. Distinct from :mod:`repro.experiments.faults`, which injects
+faults into the *campaign infrastructure* (worker crashes, hangs); this
+package injects faults into the *simulated vehicle* itself:
+
+* sensor faults (GPS dropout/glitch, IMU bias step and noise burst,
+  barometer drift, frozen readings) applied inside the sensor suite,
+* actuator faults (motor efficiency loss, extra lag) applied to the
+  motor commands entering the physics step,
+* channel faults (packet loss, delay, reordering, duplication) applied
+  to the GCS↔vehicle link.
+
+Everything is driven by a :class:`FaultSchedule` — a declarative list of
+:class:`FaultSpec` windows, JSON-(de)serialisable and validated against
+``schemas/fault_schedule.schema.json``. Injection is fully deterministic
+from ``(seed, schedule)``: each spec derives its own RNG stream, so a
+re-run (serial or in campaign workers) replays bit-identical faults. An
+empty schedule installs no injectors at all — the fault layer is provably
+zero-cost when off.
+"""
+
+from repro.faults.actuators import ActuatorFaultInjector
+from repro.faults.channel import ChannelFaultModel
+from repro.faults.schedule import (
+    ACTUATOR_KINDS,
+    CHANNEL_KINDS,
+    FAULT_KINDS,
+    SENSOR_KINDS,
+    FaultSchedule,
+    FaultSpec,
+)
+from repro.faults.sensors import SensorFaultInjector
+
+__all__ = [
+    "ACTUATOR_KINDS",
+    "CHANNEL_KINDS",
+    "FAULT_KINDS",
+    "SENSOR_KINDS",
+    "FaultSchedule",
+    "FaultSpec",
+    "ActuatorFaultInjector",
+    "ChannelFaultModel",
+    "SensorFaultInjector",
+]

@@ -1,0 +1,65 @@
+"""Actuator fault injection: degrade motor commands entering the mixer.
+
+Applied by the simulator to the normalized per-motor commands (0..1)
+*before* the motor first-order dynamics, mirroring ESC-side failures:
+efficiency loss scales the command, extra lag low-passes it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.schedule import ACTUATOR_KINDS, FaultSchedule
+
+__all__ = ["ActuatorFaultInjector"]
+
+
+class ActuatorFaultInjector:
+    """Applies the actuator-family windows of a schedule to motor commands."""
+
+    def __init__(self, schedule: FaultSchedule, seed: int | None = 0):
+        self._schedule = schedule
+        self._seed = seed
+        self._entries = schedule.of_kinds(ACTUATOR_KINDS)
+        self.reset()
+
+    @property
+    def empty(self) -> bool:
+        """True when the schedule holds no actuator-family windows."""
+        return not self._entries
+
+    def reset(self) -> None:
+        """Clear lag-filter state."""
+        self._state: dict[int, dict] = {i: {} for i, _ in self._entries}
+
+    @staticmethod
+    def _mask(spec) -> np.ndarray:
+        if spec.motor is None:
+            return np.ones(4, dtype=bool)
+        mask = np.zeros(4, dtype=bool)
+        mask[spec.motor] = True
+        return mask
+
+    def apply(self, commands: np.ndarray, time_s: float, dt: float) -> np.ndarray:
+        """Return a (possibly) degraded copy of the motor command vector."""
+        out = np.asarray(commands, dtype=float)
+        for index, spec in self._entries:
+            if not spec.active(time_s):
+                continue
+            mask = self._mask(spec)
+            if spec.kind == "motor_efficiency":
+                scale = max(0.0, 1.0 - 0.5 * spec.intensity)
+                out = np.where(mask, out * scale, out)
+            elif spec.kind == "motor_lag":
+                tau = 0.2 * spec.intensity
+                state = self._state[index]
+                filtered = state.get("filtered")
+                if filtered is None:
+                    # Seed the filter with the first in-window command so the
+                    # lag starts from reality, not from zero thrust.
+                    filtered = np.asarray(out, dtype=float).copy()
+                alpha = dt / (tau + dt) if tau > 0.0 else 1.0
+                filtered = filtered + alpha * (out - filtered)
+                state["filtered"] = filtered
+                out = np.where(mask, filtered, out)
+        return out

@@ -1,0 +1,82 @@
+"""Channel fault injection: break the GCS↔vehicle link.
+
+Consulted by :meth:`Link.send` for every GCS→vehicle message. The model
+returns the *fate* of a transmission as a list of extra delivery delays
+(in link steps): an empty list drops the message, ``[0]`` delivers it
+normally, ``[0, d]`` duplicates it. Its RNG streams are separate from the
+link's own loss RNG, so a link with an empty schedule consumes exactly
+the same random numbers as one with no channel model at all.
+"""
+
+from __future__ import annotations
+
+from repro.faults.schedule import CHANNEL_KINDS, FaultSchedule
+
+__all__ = ["ChannelFaultModel"]
+
+
+class ChannelFaultModel:
+    """Applies the channel-family windows of a schedule to link sends.
+
+    ``steps_per_second`` converts the link's step counter into seconds so
+    fault windows (specified in seconds) line up with vehicle time; the
+    vehicle pumps the link once per physics step.
+    """
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        seed: int | None = 0,
+        steps_per_second: float = 400.0,
+    ):
+        self._schedule = schedule
+        self._seed = seed
+        self.steps_per_second = float(steps_per_second)
+        self._entries = schedule.of_kinds(CHANNEL_KINDS)
+        self.reset()
+
+    @property
+    def empty(self) -> bool:
+        """True when the schedule holds no channel-family windows."""
+        return not self._entries
+
+    def reset(self) -> None:
+        """Rewind every spec's RNG stream and the fault counters."""
+        self._rngs = {i: self._schedule.rng_for(self._seed, i) for i, _ in self._entries}
+        self.dropped = 0
+        self.delayed = 0
+        self.reordered = 0
+        self.duplicated = 0
+
+    def transmit(self, step: int) -> list[int]:
+        """Decide the fate of one message sent at link step ``step``.
+
+        Returns extra delivery delays (steps) for each copy to deliver;
+        an empty list means the message was lost.
+        """
+        time_s = step / self.steps_per_second
+        delays = [0]
+        for index, spec in self._entries:
+            if not spec.active(time_s):
+                continue
+            rng = self._rngs[index]
+            k = spec.intensity
+            if spec.kind == "link_loss":
+                if rng.random() < min(k, 0.95):
+                    self.dropped += 1
+                    return []
+            elif spec.kind == "link_delay":
+                extra = int(round(40.0 * k))
+                if extra > 0:
+                    self.delayed += 1
+                    delays = [d + extra for d in delays]
+            elif spec.kind == "link_reorder":
+                if rng.random() < min(k, 1.0):
+                    self.reordered += 1
+                    bump = int(rng.integers(1, 9))
+                    delays = [d + bump for d in delays]
+            elif spec.kind == "link_duplicate":
+                if rng.random() < min(k, 1.0):
+                    self.duplicated += 1
+                    delays = delays + [d + 1 for d in delays]
+        return delays

@@ -1,0 +1,219 @@
+"""Declarative fault schedules: what breaks, when, and how hard.
+
+A :class:`FaultSchedule` is an ordered list of :class:`FaultSpec` windows.
+Each spec names a fault ``kind`` (the taxonomy below), a start time, a
+duration (``None`` = until the end of the run) and a dimensionless
+``intensity`` that every injector maps onto its own physical scale, so a
+single knob sweeps "barely degraded" → "badly broken" uniformly across
+fault families:
+
+========================  =====================================================
+kind                      intensity semantics (at 1.0)
+========================  =====================================================
+``gps_dropout``           no fix: NaN position/velocity, 0 sats, HDOP 99.9
+``gps_glitch``            per-cycle position jumps, sigma = 10 m * intensity
+``imu_bias_step``         gyro bias step of 0.05 rad/s * intensity (+ accel)
+``imu_noise_burst``       extra white noise, 0.05 rad/s / 0.5 m/s2 * intensity
+``baro_drift``            altitude drift ramp of 0.5 m/s * intensity
+``sensor_freeze``         all readings stuck at their window-entry values
+``motor_efficiency``      thrust scale 1 - 0.5 * intensity on affected motors
+``motor_lag``             extra first-order command lag, tau = 0.2 s * intensity
+``link_loss``             extra packet-loss probability = intensity (cap 0.95)
+``link_delay``            extra delivery delay of 40 steps * intensity
+``link_reorder``          P(reorder) = intensity; bumped 1-8 steps later
+``link_duplicate``        P(duplicate) = intensity
+========================  =====================================================
+
+Schedules serialise to/from JSON (``schemas/fault_schedule.schema.json``
+describes the on-disk form) and every RNG an injector uses is derived
+from ``(seed, spec index)``, never from global state — the whole fault
+stream is a pure function of ``(seed, schedule)``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "SENSOR_KINDS",
+    "ACTUATOR_KINDS",
+    "CHANNEL_KINDS",
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultSchedule",
+]
+
+SENSOR_KINDS = (
+    "gps_dropout",
+    "gps_glitch",
+    "imu_bias_step",
+    "imu_noise_burst",
+    "baro_drift",
+    "sensor_freeze",
+)
+ACTUATOR_KINDS = ("motor_efficiency", "motor_lag")
+CHANNEL_KINDS = ("link_loss", "link_delay", "link_reorder", "link_duplicate")
+FAULT_KINDS = SENSOR_KINDS + ACTUATOR_KINDS + CHANNEL_KINDS
+
+
+class FaultConfigError(ReproError):
+    """A fault schedule was malformed (unknown kind, bad window...)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault window.
+
+    ``motor`` restricts actuator faults to a single motor index (0-3);
+    ``None`` affects all four. It is ignored by non-actuator kinds.
+    """
+
+    kind: str
+    start: float = 0.0
+    duration: float | None = None
+    intensity: float = 1.0
+    motor: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultConfigError(
+                f"unknown fault kind '{self.kind}' "
+                f"(choose from {', '.join(FAULT_KINDS)})"
+            )
+        if self.start < 0.0:
+            raise FaultConfigError(f"fault start must be >= 0, got {self.start}")
+        if self.duration is not None and self.duration <= 0.0:
+            raise FaultConfigError(
+                f"fault duration must be positive (or null), got {self.duration}"
+            )
+        if self.intensity < 0.0:
+            raise FaultConfigError(
+                f"fault intensity must be >= 0, got {self.intensity}"
+            )
+        if self.motor is not None and not 0 <= int(self.motor) <= 3:
+            raise FaultConfigError(f"motor index must be 0-3, got {self.motor}")
+
+    def active(self, time_s: float) -> bool:
+        """Whether this window covers ``time_s``."""
+        if time_s < self.start:
+            return False
+        if self.duration is None:
+            return True
+        return time_s < self.start + self.duration
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (schema: one entry of ``faults``)."""
+        out: dict = {"kind": self.kind, "start": self.start,
+                     "intensity": self.intensity}
+        out["duration"] = self.duration
+        if self.motor is not None:
+            out["motor"] = int(self.motor)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        """Parse one schedule entry, rejecting unknown keys."""
+        if not isinstance(data, dict):
+            raise FaultConfigError(f"fault entry must be an object, got {data!r}")
+        unknown = set(data) - {"kind", "start", "duration", "intensity", "motor"}
+        if unknown:
+            raise FaultConfigError(
+                f"unknown fault entry keys: {sorted(unknown)}"
+            )
+        if "kind" not in data:
+            raise FaultConfigError("fault entry missing required key 'kind'")
+        return cls(
+            kind=data["kind"],
+            start=float(data.get("start", 0.0)),
+            duration=(
+                None if data.get("duration") is None
+                else float(data["duration"])
+            ),
+            intensity=float(data.get("intensity", 1.0)),
+            motor=(None if data.get("motor") is None else int(data["motor"])),
+        )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered, immutable collection of fault windows."""
+
+    specs: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    @property
+    def empty(self) -> bool:
+        """True when no fault windows are scheduled."""
+        return not self.specs
+
+    def of_kinds(self, kinds) -> list[tuple[int, FaultSpec]]:
+        """(schedule index, spec) pairs whose kind is in ``kinds``.
+
+        The schedule index — not a per-family position — keys each spec's
+        derived RNG stream, so adding a spec of one family never shifts
+        another family's noise.
+        """
+        return [(i, s) for i, s in enumerate(self.specs) if s.kind in kinds]
+
+    def rng_for(self, seed: int | None, index: int) -> np.random.Generator:
+        """The deterministic RNG stream of the spec at ``index``."""
+        return np.random.default_rng([0 if seed is None else seed, index, 0x5FA])
+
+    def to_dict(self) -> dict:
+        """JSON-ready form matching ``schemas/fault_schedule.schema.json``."""
+        return {"version": 1, "faults": [s.to_dict() for s in self.specs]}
+
+    def to_json(self, path: str | Path) -> Path:
+        """Write the schedule to ``path`` as JSON."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=1, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSchedule":
+        """Parse a schedule document, validating its structure."""
+        if not isinstance(data, dict):
+            raise FaultConfigError("fault schedule must be a JSON object")
+        if data.get("version", 1) != 1:
+            raise FaultConfigError(
+                f"unsupported fault schedule version {data.get('version')!r}"
+            )
+        faults = data.get("faults")
+        if not isinstance(faults, list):
+            raise FaultConfigError("fault schedule needs a 'faults' array")
+        return cls(specs=tuple(FaultSpec.from_dict(entry) for entry in faults))
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "FaultSchedule":
+        """Load and validate a schedule file."""
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise FaultConfigError(f"fault schedule file not found: {path}") from None
+        except json.JSONDecodeError as exc:
+            raise FaultConfigError(
+                f"fault schedule '{path}' is not valid JSON: {exc}"
+            ) from None
+        return cls.from_dict(data)
+
+    @classmethod
+    def single(cls, kind: str, intensity: float = 1.0, start: float = 0.0,
+               duration: float | None = None) -> "FaultSchedule":
+        """Convenience: a schedule with exactly one fault window."""
+        return cls(specs=(FaultSpec(kind=kind, start=start, duration=duration,
+                                    intensity=intensity),))

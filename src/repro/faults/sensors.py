@@ -1,0 +1,111 @@
+"""Sensor fault injection: corrupt a :class:`SensorReadings` bundle.
+
+The injector sits between :meth:`SensorSuite.sample` and the estimation
+stack. It never mutates the sample objects it receives — rate-limited
+sensors hand out the *same held object* across control cycles, so every
+transformation builds new samples with :func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.faults.schedule import SENSOR_KINDS, FaultSchedule
+from repro.sensors import barometer as _baro
+
+__all__ = ["SensorFaultInjector"]
+
+
+def _unit(rng: np.random.Generator) -> np.ndarray:
+    v = rng.normal(size=3)
+    n = float(np.linalg.norm(v))
+    return v / n if n > 1e-12 else np.array([1.0, 0.0, 0.0])
+
+
+class SensorFaultInjector:
+    """Applies the sensor-family windows of a schedule to sensor readings.
+
+    Deterministic from ``(seed, schedule)``: each spec draws from its own
+    RNG stream keyed by its schedule index, and draws only while its
+    window is active, so re-runs replay bit-identical corruption.
+    """
+
+    def __init__(self, schedule: FaultSchedule, seed: int | None = 0):
+        self._schedule = schedule
+        self._seed = seed
+        self._entries = schedule.of_kinds(SENSOR_KINDS)
+        self.reset()
+
+    @property
+    def empty(self) -> bool:
+        """True when the schedule holds no sensor-family windows."""
+        return not self._entries
+
+    def reset(self) -> None:
+        """Rewind every spec's RNG stream and transient state."""
+        self._rngs = {i: self._schedule.rng_for(self._seed, i) for i, _ in self._entries}
+        self._state: dict[int, dict] = {i: {} for i, _ in self._entries}
+        self.applied: dict[str, int] = {}
+
+    def apply(self, readings, time_s: float):
+        """Return a (possibly) corrupted copy of ``readings``."""
+        for index, spec in self._entries:
+            if not spec.active(time_s):
+                continue
+            self.applied[spec.kind] = self.applied.get(spec.kind, 0) + 1
+            rng = self._rngs[index]
+            state = self._state[index]
+            k = spec.intensity
+            if spec.kind == "gps_dropout":
+                readings = replace(
+                    readings,
+                    gps=replace(
+                        readings.gps,
+                        position=np.full(3, np.nan),
+                        velocity=np.full(3, np.nan),
+                        num_sats=0,
+                        hdop=99.9,
+                    ),
+                )
+            elif spec.kind == "gps_glitch":
+                jump = rng.normal(0.0, 10.0 * k, size=3)
+                readings = replace(
+                    readings, gps=replace(readings.gps, position=readings.gps.position + jump)
+                )
+            elif spec.kind == "imu_bias_step":
+                if "gyro_bias" not in state:
+                    state["gyro_bias"] = 0.05 * k * _unit(rng)
+                    state["accel_bias"] = 0.5 * k * _unit(rng)
+                readings = replace(
+                    readings,
+                    imu=replace(
+                        readings.imu,
+                        gyro=readings.imu.gyro + state["gyro_bias"],
+                        accel=readings.imu.accel + state["accel_bias"],
+                    ),
+                )
+            elif spec.kind == "imu_noise_burst":
+                readings = replace(
+                    readings,
+                    imu=replace(
+                        readings.imu,
+                        gyro=readings.imu.gyro + rng.normal(0.0, 0.05 * k, size=3),
+                        accel=readings.imu.accel + rng.normal(0.0, 0.5 * k, size=3),
+                    ),
+                )
+            elif spec.kind == "baro_drift":
+                alt = readings.baro.altitude + 0.5 * k * (time_s - spec.start)
+                pressure = _baro._P0 * np.exp(-max(alt, -100.0) / _baro._SCALE_HEIGHT)
+                readings = replace(
+                    readings,
+                    baro=replace(readings.baro, altitude=alt, pressure=float(pressure)),
+                )
+            elif spec.kind == "sensor_freeze":
+                if "frozen" not in state:
+                    # Capture after any earlier windows corrupted the bundle:
+                    # downstream sees the stuck post-fault values.
+                    state["frozen"] = readings
+                readings = state["frozen"]
+        return readings

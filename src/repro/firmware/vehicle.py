@@ -73,6 +73,11 @@ class Vehicle:
         stabilise RL training episodes.
     log_rate_hz:
         Dataflash decimation rate (paper: 16 Hz).
+    fault_schedule:
+        Optional :class:`repro.faults.FaultSchedule`. Injectors are built
+        only for the fault families the schedule actually contains, and an
+        empty (or None) schedule installs nothing at all — the pristine
+        loop runs bit-identically to a vehicle built without the argument.
     """
 
     def __init__(
@@ -82,6 +87,7 @@ class Vehicle:
         use_truth_state: bool = False,
         log_rate_hz: float = 16.0,
         estimation_enabled: bool = True,
+        fault_schedule=None,
     ):
         self.config = config or SimConfig()
         self.sim = Simulator(self.config, world)
@@ -118,6 +124,10 @@ class Vehicle:
         self.link = Link()
         self._register_link_handlers()
 
+        self.fault_schedule = fault_schedule
+        if fault_schedule is not None and not fault_schedule.empty:
+            self._install_faults(fault_schedule, seed)
+
         self.memory = MemoryLayout()
         self.mpu = Mpu(self.memory)
         self._build_memory_map()
@@ -150,6 +160,33 @@ class Vehicle:
         self.last_motors = np.zeros(4)
         self._ekf_timers = {"gps": -np.inf, "baro": -np.inf, "mag": -np.inf,
                            "accel": -np.inf}
+
+    # ------------------------------------------------------------------ #
+    # Fault layer
+    # ------------------------------------------------------------------ #
+    def _install_faults(self, schedule, seed) -> None:
+        """Attach per-family injectors for a non-empty fault schedule.
+
+        Imported lazily and installed selectively so vehicles without
+        faults never touch the fault layer.
+        """
+        from repro.faults import (
+            ActuatorFaultInjector,
+            ChannelFaultModel,
+            SensorFaultInjector,
+        )
+
+        sensor_injector = SensorFaultInjector(schedule, seed=seed)
+        if not sensor_injector.empty:
+            self.sensors.fault_injector = sensor_injector
+        actuator_injector = ActuatorFaultInjector(schedule, seed=seed)
+        if not actuator_injector.empty:
+            self.sim.actuator_faults = actuator_injector
+        channel_model = ChannelFaultModel(
+            schedule, seed=seed, steps_per_second=1.0 / self.sim.dt
+        )
+        if not channel_model.empty:
+            self.link.channel_faults = channel_model
 
     # ------------------------------------------------------------------ #
     # Parameter wiring
@@ -376,9 +413,15 @@ class Vehicle:
         self.last_readings = readings
         imu = readings.imu
 
+        # Non-finite measurements (e.g. a GPS dropout fault reporting NaN)
+        # must not poison the dead-reckoning stacks: the EKF rejects them
+        # internally (counting ekf.rejected_updates); SINS/AHRS have no
+        # such guard, so they are gated here and simply coast.
+        imu_ok = bool(np.isfinite(imu.gyro).all() and np.isfinite(imu.accel).all())
         self.ekf.predict(imu.gyro, imu.accel, dt)
-        self.sins.predict(imu.gyro, imu.accel, dt)
-        self.ahrs.update(imu.gyro, imu.accel, dt)
+        if imu_ok:
+            self.sins.predict(imu.gyro, imu.accel, dt)
+            self.ahrs.update(imu.gyro, imu.accel, dt)
         timers = self._ekf_timers
         if time_s - timers["accel"] >= 0.05:
             self.ekf.update_accel_attitude(imu.accel)
@@ -388,11 +431,16 @@ class Vehicle:
             timers["mag"] = time_s
         if time_s - timers["gps"] >= 0.1:
             self.ekf.update_gps(readings.gps.position, readings.gps.velocity)
-            self.sins.correct_gps(readings.gps.position, readings.gps.velocity)
+            if bool(
+                np.isfinite(readings.gps.position).all()
+                and np.isfinite(readings.gps.velocity).all()
+            ):
+                self.sins.correct_gps(readings.gps.position, readings.gps.velocity)
             timers["gps"] = time_s
         if time_s - timers["baro"] >= 0.05:
             self.ekf.update_baro(readings.baro.altitude)
-            self.sins.correct_baro(readings.baro.altitude)
+            if math.isfinite(readings.baro.altitude):
+                self.sins.correct_baro(readings.baro.altitude)
             timers["baro"] = time_s
 
     def estimated_state(self) -> tuple[np.ndarray, np.ndarray, tuple[float, float, float], np.ndarray]:

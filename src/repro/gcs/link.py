@@ -1,17 +1,30 @@
-"""GCS↔vehicle link with optional latency and loss.
+"""GCS↔vehicle link with optional latency, loss and channel faults.
 
 The vehicle end registers handlers per message type; the GCS end sends
 messages and collects replies. Latency is modelled in *vehicle steps*: the
 link's queue is drained by the vehicle's scheduler each control cycle.
+
+Two robustness hooks ride on top of the healthy-channel model:
+
+* ``channel_faults`` — an optional :class:`repro.faults.ChannelFaultModel`
+  that can drop, delay, reorder or duplicate each GCS→vehicle message. Its
+  RNG streams are independent of the link's own loss RNG, so installing an
+  *empty* schedule consumes no extra randomness and the link behaves
+  bit-identically to a fault-free one.
+* Handler exceptions do not wedge the queue: :meth:`service` catches them,
+  counts ``handler_errors`` (and the ``link.handler_errors`` metric) and
+  keeps dispatching. A *missing* handler is still a loud
+  :class:`LinkError` — that is a wiring bug, not a runtime fault.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import heapq
 from collections.abc import Callable
 
 from repro.exceptions import LinkError
 from repro.gcs.messages import Message
+from repro.obs.metrics import get_registry
 from repro.utils.rng import make_rng
 
 __all__ = ["Link"]
@@ -25,6 +38,7 @@ class Link:
         latency_steps: int = 0,
         loss_probability: float = 0.0,
         seed: int | None = 0,
+        channel_faults=None,
     ):
         if latency_steps < 0:
             raise LinkError("latency must be non-negative")
@@ -32,14 +46,22 @@ class Link:
             raise LinkError("loss probability must be in [0, 1)")
         self.latency_steps = latency_steps
         self.loss_probability = loss_probability
+        self.channel_faults = channel_faults
         self._rng = make_rng(seed)
-        self._to_vehicle: deque[tuple[int, Message]] = deque()
-        self._to_gcs: deque[Message] = deque()
+        # Min-heap on (deliver_at, arrival sequence): channel faults can
+        # delay copies past later sends, so FIFO order is not guaranteed.
+        # With equal deliver_at the arrival sequence breaks the tie, which
+        # makes the fault-free case exactly the old FIFO behavior.
+        self._to_vehicle: list[tuple[int, int, Message]] = []
+        self._to_gcs: list[Message] = []
         self._handlers: dict[type, Callable[[Message], Message | None]] = {}
         self._step = 0
         self._sequence = 0
+        self._arrival = 0
         self.sent_count = 0
         self.dropped_count = 0
+        self.handler_errors = 0
+        self._metric_handler_errors = get_registry().counter("link.handler_errors")
 
     def register_handler(
         self, msg_type: type, handler: Callable[[Message], Message | None]
@@ -48,25 +70,42 @@ class Link:
         self._handlers[msg_type] = handler
 
     def send(self, message: Message) -> None:
-        """GCS→vehicle send (subject to loss and latency)."""
+        """GCS→vehicle send (subject to loss, latency and channel faults)."""
         self.sent_count += 1
         if self.loss_probability and self._rng.random() < self.loss_probability:
             self.dropped_count += 1
             return
+        extra_delays = [0]
+        if self.channel_faults is not None and not self.channel_faults.empty:
+            extra_delays = self.channel_faults.transmit(self._step)
+            if not extra_delays:
+                self.dropped_count += 1
+                return
         self._sequence += 1
-        deliver_at = self._step + self.latency_steps
-        self._to_vehicle.append((deliver_at, message))
+        for extra in extra_delays:
+            deliver_at = self._step + self.latency_steps + extra
+            heapq.heappush(self._to_vehicle, (deliver_at, self._arrival, message))
+            self._arrival += 1
 
     def service(self) -> int:
-        """Vehicle-side pump: dispatch all due messages, return the count."""
+        """Vehicle-side pump: dispatch all due messages, return the count.
+
+        A handler that raises loses only its own message: the exception is
+        swallowed, ``handler_errors`` incremented, and dispatch continues.
+        """
         self._step += 1
         dispatched = 0
         while self._to_vehicle and self._to_vehicle[0][0] <= self._step:
-            _, message = self._to_vehicle.popleft()
+            _, _, message = heapq.heappop(self._to_vehicle)
             handler = self._handlers.get(type(message))
             if handler is None:
                 raise LinkError(f"no handler for {type(message).__name__}")
-            reply = handler(message)
+            try:
+                reply = handler(message)
+            except Exception:
+                self.handler_errors += 1
+                self._metric_handler_errors.inc()
+                reply = None
             if reply is not None:
                 self._to_gcs.append(reply)
             dispatched += 1
@@ -75,7 +114,7 @@ class Link:
     def receive(self) -> Message | None:
         """GCS-side receive of the next pending reply (None if empty)."""
         if self._to_gcs:
-            return self._to_gcs.popleft()
+            return self._to_gcs.pop(0)
         return None
 
     def drain(self) -> list[Message]:

@@ -33,9 +33,28 @@ class MavProxy:
     between a send and the expected reply; the vehicle object provides it.
     """
 
-    def __init__(self, link: Link, pump):
+    def __init__(
+        self,
+        link: Link,
+        pump,
+        ack_timeout_steps: int = 400,
+        retries: int = 3,
+    ):
+        if ack_timeout_steps <= 0:
+            raise LinkError("ack timeout must be positive")
+        if retries < 0:
+            raise LinkError("retries must be non-negative")
         self.link = link
         self._pump = pump
+        self.ack_timeout_steps = ack_timeout_steps
+        self.retries = retries
+        #: Resends issued because an ack timed out (all transactions).
+        self.retry_count = 0
+        #: Ack windows that expired without a reply (all transactions).
+        self.timeout_count = 0
+        #: Leftover replies discarded before starting a new transaction
+        #: (late acks of an earlier, retried send on a slow channel).
+        self.stale_replies = 0
 
     def _await_reply(self, max_steps: int = 1000):
         for _ in range(max_steps):
@@ -44,6 +63,33 @@ class MavProxy:
                 return reply
             self._pump()
         raise LinkError("no reply from vehicle (link stalled?)")
+
+    def _transact(self, message):
+        """Send with bounded retry + ack timeout (lossy-channel safe).
+
+        Each attempt pumps the vehicle for ``ack_timeout_steps`` cycles; on
+        silence the message is resent, up to ``retries`` times. Stale
+        replies queued by a previous transaction's late ack are discarded
+        first so retries can never cross-talk between transactions. Fully
+        deterministic: the pump and the link RNGs are seeded, so the retry
+        trace is a pure function of (seed, schedule).
+        """
+        while self.link.receive() is not None:
+            self.stale_replies += 1
+        for attempt in range(self.retries + 1):
+            self.link.send(message)
+            for _ in range(self.ack_timeout_steps):
+                reply = self.link.receive()
+                if reply is not None:
+                    return reply
+                self._pump()
+            self.timeout_count += 1
+            if attempt < self.retries:
+                self.retry_count += 1
+        raise LinkError(
+            f"no ack for {type(message).__name__} after "
+            f"{self.retries + 1} attempts of {self.ack_timeout_steps} steps"
+        )
 
     def param_get(self, name: str) -> float:
         """Read one firmware parameter."""
@@ -58,10 +104,11 @@ class MavProxy:
 
         Returns the vehicle's report; ``report.ok`` is False when range
         validation rejected the value — the firmware-side restriction the
-        paper notes an attacker must work within on this path.
+        paper notes an attacker must work within on this path. Sends with
+        bounded retry + ack timeout so the write survives a lossy channel
+        (parameter writes are idempotent, making resends safe).
         """
-        self.link.send(ParamSet(name=name, value=value))
-        reply = self._await_reply()
+        reply = self._transact(ParamSet(name=name, value=value))
         if not isinstance(reply, ParamValue):
             raise LinkError("unexpected reply to PARAM_SET")
         return reply

@@ -97,8 +97,15 @@ class ProfileCollector:
         self,
         missions: list[Mission] | None = None,
         timeout_per_mission: float = 150.0,
+        require_complete: bool = True,
     ) -> ProfileDataset:
-        """Fly every mission and return the aligned ESVL dataset."""
+        """Fly every mission and return the aligned ESVL dataset.
+
+        With ``require_complete=False`` an incomplete mission (a crash or
+        timeout under injected faults) contributes whatever telemetry it
+        produced instead of raising — the robustness sweep profiles
+        degraded testbeds on purpose.
+        """
         missions = missions if missions is not None else default_profile_missions()
         if not missions:
             raise AnalysisError("profiling needs at least one mission")
@@ -111,7 +118,7 @@ class ProfileCollector:
                 status = vehicle.fly_mission(
                     mission, timeout=timeout_per_mission
                 )
-            if status is not MissionStatus.COMPLETE:
+            if status is not MissionStatus.COMPLETE and require_complete:
                 raise AnalysisError(
                     f"benign profiling mission {index} did not complete "
                     f"(status={status.name}, crashed={vehicle.sim.vehicle.crashed})"

@@ -44,6 +44,11 @@ class Barometer(RateLimitedSensor):
             altitude_std, bias_instability=drift_std, seed=seed, dims=1
         )
 
+    def reset(self) -> None:
+        """Clear held sample and rewind the noise/drift stream."""
+        super().reset()
+        self._noise.reset()
+
     def _measure(self, time_s: float, state: RigidBodyState) -> BaroSample:
         truth = np.array([state.altitude])
         noisy_alt = float(self._noise.apply(truth, 1.0 / self.rate_hz)[0])

@@ -28,8 +28,10 @@ class NoiseModel:
         if std < 0.0 or bias_std < 0.0 or bias_instability < 0.0:
             raise SensorError("noise magnitudes must be non-negative")
         self.std = std
+        self.bias_std = bias_std
         self.bias_instability = bias_instability
         self.dims = dims
+        self._seed = seed
         self._rng = make_rng(seed)
         self._bias = self._rng.normal(0.0, bias_std, size=dims) if bias_std else np.zeros(dims)
         self._initial_bias = self._bias.copy()
@@ -40,8 +42,19 @@ class NoiseModel:
         return self._bias
 
     def reset(self) -> None:
-        """Restore the initial (constant-part) bias."""
-        self._bias = self._initial_bias.copy()
+        """Rewind to the as-constructed state.
+
+        Rebuilds the RNG from the stored seed and re-draws the initial
+        bias, so a reset model replays the *identical* noise/bias stream
+        — a re-run after reset is bit-for-bit the first run.
+        """
+        self._rng = make_rng(self._seed)
+        self._bias = (
+            self._rng.normal(0.0, self.bias_std, size=self.dims)
+            if self.bias_std
+            else np.zeros(self.dims)
+        )
+        self._initial_bias = self._bias.copy()
 
     def apply(self, truth: np.ndarray, dt: float) -> np.ndarray:
         """Corrupt a truth vector with bias walk + white noise."""

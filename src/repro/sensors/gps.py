@@ -52,9 +52,11 @@ class Gps(RateLimitedSensor):
         self._history: deque[tuple[float, np.ndarray, np.ndarray]] = deque(maxlen=512)
 
     def reset(self) -> None:
-        """Clear held sample and the latency history."""
+        """Clear held sample, latency history, and rewind noise streams."""
         super().reset()
         self._history.clear()
+        self._pos_noise.reset()
+        self._vel_noise.reset()
 
     def record_truth(self, time_s: float, state: RigidBodyState) -> None:
         """Push ground truth into the latency pipeline (call every step)."""

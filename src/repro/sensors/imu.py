@@ -55,12 +55,14 @@ class Imu:
             seed=None if seed is None else seed + 1,
         )
         self.vibration_gain = vibration_gain
-        self._vibration_rng = make_rng(None if seed is None else seed + 2)
+        self._vibration_seed = None if seed is None else seed + 2
+        self._vibration_rng = make_rng(self._vibration_seed)
 
     def reset(self) -> None:
-        """Restore initial biases."""
+        """Rewind noise models and the vibration stream (replays identically)."""
         self.gyro_noise.reset()
         self.accel_noise.reset()
+        self._vibration_rng = make_rng(self._vibration_seed)
 
     def sample(self, vehicle: QuadrotorModel, time_s: float, dt: float) -> ImuSample:
         """Measure the vehicle's angular rate and specific force."""

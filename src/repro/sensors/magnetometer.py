@@ -47,6 +47,11 @@ class Magnetometer(RateLimitedSensor):
         )
         self._noise = NoiseModel(noise_std, seed=seed)
 
+    def reset(self) -> None:
+        """Clear held sample and rewind the noise stream."""
+        super().reset()
+        self._noise.reset()
+
     def _measure(self, time_s: float, state: RigidBodyState) -> MagSample:
         field_body = quat_inverse_rotate(state.quaternion, self.field_world)
         noisy = self._noise.apply(field_body + self.hard_iron, 1.0 / self.rate_hz)

@@ -33,6 +33,8 @@ class SensorSuite:
         self.gps = Gps(seed=None if seed is None else offset + 20)
         self.baro = Barometer(seed=None if seed is None else offset + 30)
         self.mag = Magnetometer(seed=None if seed is None else offset + 40)
+        #: Optional repro.faults.SensorFaultInjector; None = pristine sensors.
+        self.fault_injector = None
 
     def reset(self) -> None:
         """Reset every sensor (bias walks, latency pipelines, held samples)."""
@@ -40,14 +42,19 @@ class SensorSuite:
         self.gps.reset()
         self.baro.reset()
         self.mag.reset()
+        if self.fault_injector is not None:
+            self.fault_injector.reset()
 
     def sample(self, vehicle: QuadrotorModel, time_s: float, dt: float) -> SensorReadings:
         """Sample all sensors for the current control cycle."""
         self.gps.record_truth(time_s, vehicle.state)
-        return SensorReadings(
+        readings = SensorReadings(
             imu=self.imu.sample(vehicle, time_s, dt),
             gps=self.gps.sample(time_s),
             baro=self.baro.sample(time_s, vehicle.state),
             mag=self.mag.sample(time_s, vehicle.state),
             time_s=time_s,
         )
+        if self.fault_injector is not None:
+            readings = self.fault_injector.apply(readings, time_s)
+        return readings

@@ -32,6 +32,8 @@ class Simulator:
         self._time = 0.0
         self._step_count = 0
         self._collision_callbacks: list[Callable[[str], None]] = []
+        #: Optional repro.faults.ActuatorFaultInjector; None = healthy motors.
+        self.actuator_faults = None
         # Telemetry instruments are resolved once here so the 400 Hz step
         # loop pays exactly one float add per event.
         registry = get_registry()
@@ -62,9 +64,15 @@ class Simulator:
         self.vehicle.reset(position=position, seed=seed)
         self._time = 0.0
         self._step_count = 0
+        if self.actuator_faults is not None:
+            self.actuator_faults.reset()
 
     def step(self, motor_commands) -> None:
         """Advance one physics step with the given motor commands."""
+        if self.actuator_faults is not None:
+            motor_commands = self.actuator_faults.apply(
+                motor_commands, self._time, self.dt
+            )
         self.vehicle.step(motor_commands, self.dt)
         self._time += self.dt
         self._step_count += 1

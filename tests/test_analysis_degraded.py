@@ -1,0 +1,177 @@
+"""Algorithm 1 on pathological inputs: prune-with-reason, never raise.
+
+Property-based coverage of the degraded-data contract: whatever mix of
+NaN runs, frozen (constant-after-k) columns and too-short series a
+faulted profiling campaign produces, every stage of the pipeline —
+correlation → pruning → clustering → stepwise → TSVL — must degrade
+gracefully, with each dropped variable accounted for by a reason in the
+pruning report or a note on the result.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.correlation import correlation_matrix, pearson
+from repro.analysis.pruning import prune_state_variables
+from repro.analysis.stepwise import stepwise_aic
+from repro.analysis.tsvl import generate_tsvl
+from repro.utils.timeseries import TraceTable
+
+N_SAMPLES = 60
+
+
+def _healthy_column(rng: np.random.Generator, phase: float) -> np.ndarray:
+    t = np.linspace(0.0, 6.0, N_SAMPLES)
+    return np.sin(t + phase) + 0.2 * rng.normal(size=N_SAMPLES)
+
+
+def _build_table(columns: dict[str, np.ndarray]) -> TraceTable:
+    table = TraceTable(list(columns))
+    n = len(next(iter(columns.values())))
+    for i in range(n):
+        table.append_row(
+            float(i) / 16.0, {name: float(v[i]) for name, v in columns.items()}
+        )
+    return table
+
+
+#: (strategy label, corruptor) — each turns a healthy column pathological.
+def _corrupt(values: np.ndarray, mode: str, pos: int, run: int) -> np.ndarray:
+    out = values.copy()
+    if mode == "nan_run":
+        out[pos : pos + run] = np.nan
+    elif mode == "constant_after_k":
+        out[pos:] = out[pos]
+    elif mode == "all_constant":
+        out[:] = 1.7856
+    return out
+
+
+pathology = st.fixed_dictionaries({
+    "mode": st.sampled_from(["nan_run", "constant_after_k", "all_constant"]),
+    "pos": st.integers(min_value=0, max_value=N_SAMPLES - 8),
+    "run": st.integers(min_value=1, max_value=N_SAMPLES),
+    "seed": st.integers(min_value=0, max_value=2**16),
+})
+
+
+def _pathological_table(params) -> tuple[TraceTable, str]:
+    """A 4-column table with one corrupted column; returns its name."""
+    rng = np.random.default_rng(params["seed"])
+    columns = {
+        "RESP": _healthy_column(rng, 0.0),
+        "A": _healthy_column(rng, 0.4),
+        "B": _healthy_column(rng, 0.9),
+        "BAD": _corrupt(
+            _healthy_column(rng, 1.3), params["mode"], params["pos"],
+            params["run"],
+        ),
+    }
+    return _build_table(columns), "BAD"
+
+
+class TestPruningAccountsForEverything:
+    @given(params=pathology)
+    @settings(max_examples=40, deadline=None)
+    def test_pathological_column_pruned_with_reason(self, params):
+        table, bad = _pathological_table(params)
+        report = prune_state_variables(table)
+        if params["mode"] == "nan_run":
+            # NaN anywhere always disqualifies; the frozen/constant modes
+            # may leave enough early variance to legitimately survive.
+            assert bad in report.dropped
+        assert set(report.kept) | set(report.dropped) == set(table.columns)
+        assert set(report.kept) & set(report.dropped) == set()
+        for name in report.dropped:
+            assert report.dropped[name]  # non-empty reason string
+
+    def test_too_short_series_pruned_with_reason(self):
+        table = _build_table({"X": np.array([1.0, 2.0]),
+                              "Y": np.array([3.0, 1.0])})
+        report = prune_state_variables(table)
+        assert report.dropped["X"].startswith("too few samples")
+        assert report.kept == []
+
+
+class TestCorrelationOnDegradedData:
+    @given(params=pathology)
+    @settings(max_examples=40, deadline=None)
+    def test_matrix_never_raises_and_masks_bad_columns(self, params):
+        table, bad = _pathological_table(params)
+        corr = correlation_matrix(table)
+        if params["mode"] in ("nan_run", "all_constant"):
+            # Undefined coefficient → masked as NaN. A constant-after-k
+            # column still has variance, so its coefficient is defined.
+            assert math.isnan(corr.value(bad, "A"))
+        assert corr.value("A", "B") == pytest.approx(
+            pearson(table.column("A"), table.column("B"))
+        )
+
+    def test_pearson_nan_on_nonfinite_or_constant(self):
+        x = np.array([1.0, np.nan, 3.0, 4.0])
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        assert math.isnan(pearson(x, y))
+        assert math.isnan(pearson(np.full(4, 2.0), y))
+
+
+class TestStepwiseOnDegradedData:
+    @given(params=pathology)
+    @settings(max_examples=25, deadline=None)
+    def test_unfittable_moves_are_skipped_not_fatal(self, params):
+        table, bad = _pathological_table(params)
+        # Feed the corrupted column straight to stepwise (bypassing the
+        # pruning that would normally protect it): moves that cannot be
+        # fitted must be treated as non-improving, never as exceptions.
+        result = stepwise_aic(table, "RESP", ["A", "B", bad])
+        assert set(result.selected) <= {"A", "B", bad}
+
+
+class TestTsvlEndToEnd:
+    @given(params=pathology)
+    @settings(max_examples=25, deadline=None)
+    def test_pipeline_never_raises_and_accounts_for_drops(self, params):
+        table, bad = _pathological_table(params)
+        result = generate_tsvl(table, ["RESP"])
+        if params["mode"] in ("nan_run", "all_constant"):
+            # Columns with undefined statistics can never be selected; a
+            # column frozen only part-way is legitimately usable data.
+            assert bad not in result.tsvl
+            assert bad in result.pruning.dropped
+        accounted = set(result.pruning.kept) | set(result.pruning.dropped)
+        assert accounted == set(table.columns)
+
+    def test_all_pathological_table_degrades_with_notes(self):
+        rng = np.random.default_rng(5)
+        table = _build_table({
+            "RESP": np.full(N_SAMPLES, np.nan),
+            "A": np.full(N_SAMPLES, 3.0),
+            "B": _corrupt(_healthy_column(rng, 0.2), "nan_run", 10, 50),
+        })
+        result = generate_tsvl(table, ["RESP"])
+        assert result.degraded and result.tsvl == []
+        assert set(result.pruning.dropped) == {"RESP", "A", "B"}
+        assert any("fewer than two variables" in n for n in result.notes)
+
+    def test_near_empty_dataset_degrades_with_notes(self):
+        table = TraceTable(["RESP", "A"])
+        table.append_row(0.0, {"RESP": 1.0, "A": 2.0})
+        result = generate_tsvl(table, ["RESP"])
+        assert result.degraded and result.tsvl == []
+        assert set(result.pruning.dropped) == {"RESP", "A"}
+        assert result.selection_ratio == 0.0
+
+    def test_healthy_table_not_degraded(self):
+        rng = np.random.default_rng(11)
+        table = _build_table({
+            "RESP": _healthy_column(rng, 0.0),
+            "A": _healthy_column(rng, 0.4),
+            "B": _healthy_column(rng, 0.9),
+        })
+        result = generate_tsvl(table, ["RESP"])
+        assert not result.degraded and result.notes == []

@@ -1,0 +1,152 @@
+"""The robustness-matrix experiment: determinism, wiring, CLI flags.
+
+The sweep must be a pure function of (seed, schedule): serial, parallel
+and repeated runs produce identical matrices, including any retry and
+degraded-data paths taken inside the trials.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.robustness_matrix import (
+    _cell_schedule,
+    _jaccard,
+    run_robustness,
+)
+from repro.faults import FaultSchedule, FaultSpec
+from repro.faults.schedule import FaultConfigError
+
+#: Smallest sweep that still exercises sensor + detector + Algorithm 1.
+TINY = dict(
+    kinds=("gps_glitch",),
+    intensities=(0.4,),
+    trials=2,
+    profile_length=6.0,
+    detector_duration=4.0,
+    physics_hz=100.0,
+    base_seed=900,
+)
+
+
+def _cells(result):
+    return [
+        (c.kind, c.intensity, c.jaccard, c.fpr, c.tpr, c.degraded, c.failed)
+        for c in result.cells
+    ]
+
+
+class TestJaccard:
+    def test_empty_sets_agree(self):
+        assert _jaccard([], []) == 1.0
+
+    def test_partial_overlap(self):
+        assert _jaccard(["a", "b"], ["b", "c"]) == pytest.approx(1 / 3)
+
+
+class TestCellSchedule:
+    def test_single_kind_cell(self):
+        schedule = _cell_schedule("baro_drift", 0.5, None)
+        assert len(schedule) == 1
+        (spec,) = schedule
+        assert spec.kind == "baro_drift" and spec.intensity == 0.5
+
+    def test_base_schedule_scaled(self):
+        base = FaultSchedule((
+            FaultSpec(kind="gps_glitch", intensity=0.4),
+            FaultSpec(kind="link_loss", intensity=0.2),
+        ))
+        scaled = _cell_schedule("schedule", 0.5, base)
+        assert [s.intensity for s in scaled] == [0.2, 0.1]
+        assert [s.kind for s in scaled] == ["gps_glitch", "link_loss"]
+
+
+class TestSweepDeterminism:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_robustness(**TINY)
+
+    def test_rerun_is_identical(self, serial):
+        assert _cells(run_robustness(**TINY)) == _cells(serial)
+
+    def test_workers_match_serial(self, serial):
+        parallel = run_robustness(**TINY, workers=2)
+        assert _cells(parallel) == _cells(serial)
+
+    def test_matrix_shape_and_sanity(self, serial):
+        assert len(serial.cells) == 1
+        cell = serial.cell("gps_glitch", 0.4)
+        assert 0.0 <= cell.jaccard <= 1.0
+        assert cell.failed == 0.0
+        assert serial.baseline_tsvl_size > 0
+        text = serial.render()
+        assert "gps_glitch" in text and "Jaccard" in text
+
+
+class TestScheduleJsonMode:
+    def test_kinds_collapse_to_schedule_axis(self):
+        with open("examples/fault_schedule.json", encoding="utf-8") as fh:
+            text = fh.read()
+        result = run_robustness(
+            schedule_json=text,
+            intensities=(0.3,),
+            trials=1,
+            profile_length=6.0,
+            detector_duration=4.0,
+            physics_hz=100.0,
+            base_seed=910,
+        )
+        assert [c.kind for c in result.cells] == ["schedule"]
+
+    def test_invalid_json_fails_fast(self):
+        with pytest.raises(FaultConfigError, match="invalid"):
+            run_robustness(schedule_json="{not json", trials=1)
+        with pytest.raises(FaultConfigError, match="unknown fault kind"):
+            run_robustness(
+                schedule_json=json.dumps(
+                    {"version": 1, "faults": [{"kind": "gremlins"}]}
+                ),
+                trials=1,
+            )
+
+
+class TestRegistryAndCli:
+    def test_registered_as_experiment(self):
+        from repro.experiments.runner import experiment_entry
+
+        assert experiment_entry("robustness") is run_robustness
+
+    def test_parser_accepts_robustness_flags(self):
+        from repro.__main__ import build_parser
+
+        args = build_parser().parse_args([
+            "table", "robustness", "--trials", "1",
+            "--kinds", "gps_glitch,link_loss", "--intensities", "0.1,0.5",
+            "--fault-schedule", "examples/fault_schedule.json",
+            "--physics-hz", "100", "--profile-length", "6",
+            "--detector-duration", "4",
+        ])
+        assert args.which == "robustness" and args.trials == 1
+
+    def test_robustness_flags_rejected_for_paper_tables(self, capsys):
+        from repro.__main__ import _cmd_table, build_parser
+
+        args = build_parser().parse_args(["table", "1", "--trials", "2"])
+        assert _cmd_table(args) == 2
+        assert "only valid with 'table robustness'" in capsys.readouterr().err
+
+    def test_kwargs_built_from_flags(self, tmp_path):
+        from repro.__main__ import _robustness_kwargs, build_parser
+
+        sched = tmp_path / "s.json"
+        FaultSchedule.single("link_loss", intensity=0.2).to_json(sched)
+        args = build_parser().parse_args([
+            "table", "robustness", "--fault-schedule", str(sched),
+            "--trials", "2", "--intensities", "0.1,0.5",
+        ])
+        kwargs = _robustness_kwargs(args)
+        assert kwargs["trials"] == 2
+        assert kwargs["intensities"] == (0.1, 0.5)
+        assert json.loads(kwargs["schedule_json"])["faults"][0]["kind"] == "link_loss"
