@@ -1,0 +1,124 @@
+"""Bench: the vectorized fleet engine vs the scalar oracle.
+
+The tentpole claim is quantitative — stepping N=16 vehicles as one
+batched :class:`~repro.sim.vectorized.VectorizedFleet` must beat 16
+scalar :class:`~repro.firmware.vehicle.Vehicle` runs by at least 4× on
+the hot loop — so this bench measures exactly that and fails when the
+margin erodes. The workload helpers are module-level on purpose:
+``benchmarks/trajectory.py`` imports them to produce the ``BENCH_*.json``
+performance-trajectory snapshots, so the snapshot series and this bench
+time the identical code path.
+
+The speedup floor can be relaxed for noisy shared runners via
+``REPRO_BENCH_MIN_SPEEDUP`` (CI sets 2.0; the default 4.0 is the
+acceptance bar on dedicated hardware).
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+import numpy as np
+
+from repro.firmware.vehicle import Vehicle
+from repro.sim.config import SimConfig
+from repro.sim.vectorized import VectorizedFleet
+
+#: Hot-loop parameters shared with the trajectory writer.
+FLEET_N = 16
+HOT_LOOP_DURATION_S = 5.0
+
+
+def build_scalar(seed: int = 0) -> Vehicle:
+    """One scalar vehicle, hovering and ready for the timed run."""
+    vehicle = Vehicle(SimConfig(seed=seed, wind_gust_std=0.4))
+    vehicle.takeoff(10.0)
+    return vehicle
+
+
+def build_fleet(n: int = FLEET_N) -> VectorizedFleet:
+    """A fleet of ``n`` lanes (seeds 0..n-1), hovering like the scalar."""
+    fleet = VectorizedFleet(SimConfig(wind_gust_std=0.4), seeds=list(range(n)))
+    fleet.takeoff(10.0)
+    return fleet
+
+
+def time_scalar(duration: float = HOT_LOOP_DURATION_S, seed: int = 0) -> float:
+    """Wall-clock seconds for one scalar vehicle's hot loop."""
+    vehicle = build_scalar(seed)
+    begin = perf_counter()
+    vehicle.run(duration)
+    return perf_counter() - begin
+
+
+def time_fleet(n: int = FLEET_N,
+               duration: float = HOT_LOOP_DURATION_S) -> float:
+    """Wall-clock seconds for the batched ``n``-lane hot loop."""
+    fleet = build_fleet(n)
+    begin = perf_counter()
+    fleet.run(duration)
+    return perf_counter() - begin
+
+
+def measure_speedup(
+    n: int = FLEET_N,
+    duration: float = HOT_LOOP_DURATION_S,
+    repeats: int = 2,
+) -> dict[str, float]:
+    """Best-of-``repeats`` speedup of the fleet over ``n`` scalar runs.
+
+    Minimum-of-repeats is the standard anti-jitter estimator: the fastest
+    observation is the least-perturbed one on a busy machine.
+    """
+    scalar_s = min(time_scalar(duration) for _ in range(repeats))
+    fleet_s = min(time_fleet(n, duration) for _ in range(repeats))
+    return {
+        "n": float(n),
+        "scalar_s": scalar_s,
+        "fleet_s": fleet_s,
+        "speedup": n * scalar_s / fleet_s,
+    }
+
+
+def _min_speedup() -> float:
+    return float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "4.0"))
+
+
+def test_fleet_oracle_spot_check(once):
+    """Lane i of a 4-lane fleet is bit-identical to scalar seed i.
+
+    A cheap in-suite guard (the exhaustive proofs live in
+    ``tests/test_vectorized_oracle.py``): a speedup measured against a
+    diverged simulation would be meaningless.
+    """
+
+    def check():
+        fleet = build_fleet(4)
+        fleet.run(2.0)
+        for i in range(4):
+            vehicle = build_scalar(seed=i)
+            vehicle.run(2.0)
+            state = vehicle.sim.vehicle.state
+            assert np.array_equal(fleet._pos[i], state.position)
+            assert np.array_equal(fleet._quat[i], state.quaternion)
+        return True
+
+    assert once(check)
+
+
+def test_vectorized_speedup_n16(benchmark):
+    """The batched hot loop clears the 4× acceptance bar at N=16."""
+    result = benchmark.pedantic(measure_speedup, rounds=1, iterations=1)
+    benchmark.extra_info["speedup_n16"] = round(result["speedup"], 2)
+    benchmark.extra_info["scalar_s"] = round(result["scalar_s"], 3)
+    benchmark.extra_info["fleet_s"] = round(result["fleet_s"], 3)
+    print(
+        f"\nvectorized speedup @ N={FLEET_N}: {result['speedup']:.2f}x "
+        f"(scalar {result['scalar_s']:.3f}s x{FLEET_N} vs "
+        f"fleet {result['fleet_s']:.3f}s)"
+    )
+    assert result["speedup"] >= _min_speedup(), (
+        f"vectorized speedup {result['speedup']:.2f}x fell below the "
+        f"{_min_speedup():.1f}x floor"
+    )

@@ -1,0 +1,116 @@
+"""Write and compare ``BENCH_<date>.json`` performance-trajectory snapshots.
+
+``write`` runs the vectorized-engine hot-loop suites (the same workload
+functions ``benchmarks/bench_vectorized.py`` benches) and snapshots their
+wall-clock timings, the obs counter deltas observed while they ran, and
+the derived N=16 speedup into ``BENCH_<date>.json``; ``compare`` checks
+the newest snapshot against its predecessor within a relative tolerance
+band and exits nonzero on a regression. Both are robust to the bootstrap
+case — an empty trajectory writes a first baseline and compares clean.
+
+Run from the repo root with the usual ``PYTHONPATH=src``::
+
+    PYTHONPATH=src python benchmarks/trajectory.py write --label "my change"
+    PYTHONPATH=src python benchmarks/trajectory.py compare --tolerance 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_bench_vectorized():
+    """Import the sibling bench module (``benchmarks`` is not a package)."""
+    path = Path(__file__).resolve().parent / "bench_vectorized.py"
+    spec = importlib.util.spec_from_file_location("bench_vectorized", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _cmd_write(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import get_registry
+    from repro.obs.trajectory import write_snapshot
+
+    bench = _load_bench_vectorized()
+    before = get_registry().snapshot()
+    scalar_s = min(
+        bench.time_scalar(args.duration) for _ in range(args.repeats)
+    )
+    fleet_s = min(
+        bench.time_fleet(args.n, args.duration) for _ in range(args.repeats)
+    )
+    after = get_registry().snapshot()
+    counters = {}
+    for key, value in after.get("counters", {}).items():
+        delta = value - before.get("counters", {}).get(key, 0.0)
+        if delta:
+            counters[key] = delta
+    speedup = args.n * scalar_s / fleet_s
+    path = write_snapshot(
+        args.dir,
+        suites={
+            "scalar_hot_loop": {"wall_s": scalar_s},
+            f"vectorized_hot_loop_n{args.n}": {"wall_s": fleet_s},
+        },
+        counters=counters,
+        extras={f"speedup_n{args.n}": round(speedup, 2)},
+        label=args.label,
+        date=args.date,
+    )
+    print(
+        f"wrote {path}: scalar {scalar_s:.3f}s, "
+        f"fleet(n={args.n}) {fleet_s:.3f}s, speedup {speedup:.2f}x"
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.obs.trajectory import compare_snapshots, latest_snapshots
+
+    current, previous = latest_snapshots(args.dir)
+    comparison = compare_snapshots(current, previous,
+                                   tolerance=args.tolerance)
+    print(comparison.render())
+    return 0 if comparison.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="bench performance-trajectory snapshots"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    write = sub.add_parser("write", help="run the suites, write BENCH_<date>.json")
+    write.add_argument("--dir", default=str(REPO_ROOT),
+                       help="snapshot directory (default: repo root)")
+    write.add_argument("--label", default="", help="free-form snapshot label")
+    write.add_argument("--date", default=None,
+                       help="override the snapshot date (YYYY-MM-DD)")
+    write.add_argument("--n", type=int, default=16, help="fleet width")
+    write.add_argument("--duration", type=float, default=5.0,
+                       help="simulated seconds per hot loop")
+    write.add_argument("--repeats", type=int, default=2,
+                       help="timing repeats (minimum is kept)")
+    write.set_defaults(func=_cmd_write)
+
+    compare = sub.add_parser(
+        "compare", help="compare the newest snapshot against its predecessor"
+    )
+    compare.add_argument("--dir", default=str(REPO_ROOT),
+                         help="snapshot directory (default: repo root)")
+    compare.add_argument("--tolerance", type=float, default=0.25,
+                         help="allowed relative slowdown (0.25 = 25%%)")
+    compare.set_defaults(func=_cmd_compare)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,9 @@ obs
     emitted artifact against a checked-in JSON schema.
 
 ``table``/``fig`` run through the campaign runner: ``--workers N`` fans
-campaign-style experiments over a process pool, and results are stored
+campaign-style experiments over a process pool, ``--engine vectorized``
+batches same-parameter seeds through the vectorized fleet engine
+(bit-identical results, per-seed scalar fallback), and results are stored
 in the content-addressed cache (``--cache-dir``, default
 ``.repro_cache/``; ``--no-cache`` disables) so a re-run only computes
 what is missing. Resilience flags (campaign-style experiments only):
@@ -222,6 +224,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
             policy=_fault_policy(args),
             manifest=args.manifest,
             resume=args.resume,
+            engine=args.engine,
         )
     finally:
         finish()
@@ -246,6 +249,7 @@ def _cmd_fig(args: argparse.Namespace) -> int:
             policy=_fault_policy(args),
             manifest=args.manifest,
             resume=args.resume,
+            engine=args.engine,
         )
     finally:
         finish()
@@ -279,6 +283,13 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
         "--workers", type=int, default=0,
         help="process-pool size for campaign-style experiments "
              "(0 = serial)",
+    )
+    parser.add_argument(
+        "--engine", choices=("scalar", "vectorized"), default="scalar",
+        help="simulation engine for campaign-style experiments: "
+             "'vectorized' batches same-parameter seeds through the "
+             "VectorizedFleet (bit-identical results, falls back to "
+             "scalar per seed for unsupported features)",
     )
     parser.add_argument(
         "--no-cache", action="store_true",

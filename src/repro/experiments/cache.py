@@ -349,7 +349,7 @@ def cached_call(
     cache: ResultCache | None = None,
     extra_key: Any = None,
     exclude: tuple[str, ...] = (
-        "workers", "cache", "policy", "manifest", "resume"
+        "workers", "cache", "policy", "manifest", "resume", "engine"
     ),
     **kwargs: Any,
 ):
@@ -360,8 +360,8 @@ def cached_call(
     the cache bucket (defaults to the callable's qualified name). Keyword
     arguments named in ``exclude`` are forwarded to ``fn`` but left out of
     the fingerprint — by default the execution/resilience knobs
-    (``workers``, ``cache``, ``policy``, ``manifest``, ``resume``) that
-    change how a result is computed, never what it is.
+    (``workers``, ``cache``, ``policy``, ``manifest``, ``resume``,
+    ``engine``) that change how a result is computed, never what it is.
     """
     from repro import __version__
 

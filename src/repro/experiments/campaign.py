@@ -12,6 +12,12 @@ values and seed ordering):
 * **parallel** — ``workers=N`` fans the missing seeds out over a
   :class:`~concurrent.futures.ProcessPoolExecutor` and collects results
   back in seed order before aggregating;
+* **vectorized** — ``engine="vectorized"`` with a ``batch`` callable
+  computes chunks of seeds at once (a
+  :class:`~repro.sim.vectorized.VectorizedFleet` under the hood for the
+  experiments that provide one), with per-seed scalar fallback for
+  anything the batch declines; statuses record which engine ran each
+  seed (``"vectorized"`` / ``"fallback"``);
 * **cached** — with a :class:`~repro.experiments.cache.ResultCache`,
   per-seed metric dicts are looked up by experiment name + seed + params
   fingerprint first, and only the missing seeds are computed (then
@@ -55,10 +61,12 @@ from repro.experiments.cache import (
 from repro.experiments.faults import (
     STATUS_CACHED,
     STATUS_FAILED,
+    STATUS_FALLBACK,
     STATUS_OK,
     STATUS_RESUMED,
     STATUS_RETRIED,
     STATUS_TIMEOUT,
+    STATUS_VECTORIZED,
     CampaignManifest,
     CorruptResult,
     FaultInjector,
@@ -147,6 +155,18 @@ class CampaignResult:
         return [s for s, status in sorted(self.statuses.items())
                 if status == STATUS_RETRIED]
 
+    @property
+    def vectorized_seeds(self) -> list[int]:
+        """Seeds whose metrics came from a vectorized batch this run."""
+        return [s for s, status in sorted(self.statuses.items())
+                if status == STATUS_VECTORIZED]
+
+    @property
+    def fallback_seeds(self) -> list[int]:
+        """Seeds the vectorized engine declined (computed scalar)."""
+        return [s for s, status in sorted(self.statuses.items())
+                if status == STATUS_FALLBACK]
+
     def metric(self, name: str) -> MetricSummary:
         """One metric's summary."""
         try:
@@ -162,7 +182,9 @@ class CampaignResult:
             + (f" ({len(self.cached_seeds)} cached)" if self.cached_seeds
                else "")
             + (f" ({len(self.resumed_seeds)} resumed)" if self.resumed_seeds
-               else ""),
+               else "")
+            + (f" ({len(self.vectorized_seeds)} vectorized)"
+               if self.vectorized_seeds else ""),
             "  metric                    mean      median      min       max",
         ]
         for summary in self.metrics.values():
@@ -289,6 +311,9 @@ def run_campaign(
     injector: FaultInjector | None = None,
     manifest: CampaignManifest | str | Path | None = None,
     resume: bool = False,
+    engine: str = "scalar",
+    batch: Callable[[list[int]], Mapping[int, Mapping[str, float]]] | None = None,
+    batch_size: int = 16,
 ) -> CampaignResult:
     """Run ``experiment(seed) -> {metric: value}`` across ``seeds``.
 
@@ -325,10 +350,32 @@ def run_campaign(
     resume:
         Adopt finished seeds from ``manifest`` instead of recomputing
         them. Requires an existing manifest file.
+    engine:
+        ``"scalar"`` (default) computes every missing seed through the
+        ``experiment`` callable. ``"vectorized"`` first offers missing
+        seeds to ``batch`` in chunks of ``batch_size`` and only the
+        leftovers go through the scalar path. The engine never changes a
+        result value or a cache fingerprint — it only changes how the
+        value is computed — so vectorized and scalar runs hit each
+        other's cache entries.
+    batch:
+        ``batch(seeds) -> {seed: {metric: value}}`` computing many seeds
+        at once (e.g. a :class:`~repro.sim.vectorized.VectorizedFleet`
+        wrapper). It may return a subset: seeds missing from the mapping
+        — and every seed of a chunk whose ``batch`` call raises — fall
+        back to the scalar path and finish with status ``"fallback"``;
+        batch-computed seeds report status ``"vectorized"``.
     """
     seeds = [int(s) for s in seeds]
     if not seeds:
         raise AnalysisError("campaign needs at least one seed")
+    if engine not in ("scalar", "vectorized"):
+        raise AnalysisError(
+            f"unknown campaign engine '{engine}' "
+            "(choose 'scalar' or 'vectorized')"
+        )
+    if batch_size < 1:
+        raise AnalysisError(f"batch_size must be >= 1 (got {batch_size})")
     name = experiment_name or callable_name(experiment)
     policy = policy if policy is not None else FaultPolicy(max_retries=0)
     if injector is None:
@@ -349,6 +396,7 @@ def run_campaign(
             return _run_campaign_traced(
                 experiment, seeds, raise_on_failure, workers, cache, name,
                 params, policy, injector, manifest, resume, campaign_span,
+                engine, batch, batch_size,
             )
         finally:
             # Flush/close the checkpoint no matter how we exit —
@@ -360,6 +408,7 @@ def run_campaign(
 def _run_campaign_traced(
     experiment, seeds, raise_on_failure, workers, cache, name, params,
     policy, injector, manifest, resume, campaign_span,
+    engine="scalar", batch=None, batch_size=16,
 ) -> CampaignResult:
     wall_start = time.perf_counter()
     tracer = get_tracer()
@@ -404,9 +453,16 @@ def _run_campaign_traced(
     )
 
     budget = _FailureBudget(policy.failure_budget)
+    vectorized_outcomes: list[_SeedOutcome] = []
+    fallback_seeds: set[int] = set()
 
     def on_done(outcome: _SeedOutcome) -> None:
         """Record one terminal seed: result, cache, checkpoint, budget."""
+        if outcome.ok and outcome.status == STATUS_OK \
+                and outcome.seed in fallback_seeds:
+            # Scalar fallback of a seed the vectorized batch declined:
+            # same metrics, distinct status so the fallback is auditable.
+            outcome.status = STATUS_FALLBACK
         outcomes[outcome.seed] = (outcome.ok, outcome.payload)
         result.timings[outcome.seed] = outcome.elapsed
         result.statuses[outcome.seed] = outcome.status
@@ -426,6 +482,12 @@ def _run_campaign_traced(
         if not outcome.ok:
             budget.record()
 
+    if engine == "vectorized" and batch is not None and missing:
+        missing = _run_vectorized(
+            batch, missing, batch_size, tracer, on_done,
+            vectorized_outcomes, fallback_seeds, name,
+        )
+
     use_pool = bool(
         (workers and workers > 1 and len(missing) > 1)
         or (policy.seed_timeout is not None and missing)
@@ -440,6 +502,7 @@ def _run_campaign_traced(
             experiment, missing, policy, injector, tracer, on_done, budget,
             raise_on_failure,
         )
+    executed = vectorized_outcomes + executed
 
     if budget.exceeded:
         checkpoint = f"; completed seeds are checkpointed in '{manifest.path}'" \
@@ -482,6 +545,14 @@ def _run_campaign_traced(
     registry.counter(
         "campaign.seeds_failed", experiment=name
     ).inc(len(result.failures))
+    if vectorized_outcomes:
+        registry.counter(
+            "campaign.seeds_vectorized", experiment=name
+        ).inc(len(vectorized_outcomes))
+    if fallback_seeds:
+        registry.counter(
+            "campaign.seeds_fallback", experiment=name
+        ).inc(len(fallback_seeds))
     if retries:
         registry.counter("campaign.retries", experiment=name).inc(retries)
     if timeouts:
@@ -492,6 +563,8 @@ def _run_campaign_traced(
     campaign_span.set("resumed", len(result.resumed_seeds))
     campaign_span.set("failed", len(result.failures))
     campaign_span.set("retried", len(result.retried_seeds))
+    campaign_span.set("vectorized", len(result.vectorized_seeds))
+    campaign_span.set("fallback", len(result.fallback_seeds))
     campaign_span.set("timeouts", timeouts)
     _log.info(
         "campaign done: %s %.2fs wall, %.2fs compute, %d/%d cached, "
@@ -546,6 +619,51 @@ def _run_serial(experiment, seeds, policy, injector, tracer, on_done, budget,
         if raise_on_failure and not outcome.ok:
             raise outcome.payload
     return executed
+
+
+def _run_vectorized(batch, missing, batch_size, tracer, on_done,
+                    vectorized_outcomes, fallback_seeds, name) -> list[int]:
+    """Offer missing seeds to the vectorized ``batch`` in chunks.
+
+    Returns the seeds still missing afterwards (declined by the batch or
+    part of a chunk whose ``batch`` call raised); those are recorded in
+    ``fallback_seeds`` and computed by the scalar path, which reports
+    them with status ``"fallback"``.
+    """
+    leftovers: list[int] = []
+    for start in range(0, len(missing), batch_size):
+        chunk = missing[start:start + batch_size]
+        begin = time.perf_counter()
+        try:
+            with tracer.span("campaign.vectorized_batch", experiment=name,
+                             seeds=len(chunk)):
+                produced = batch(list(chunk))
+        except Exception as exc:  # noqa: BLE001 - fall back, never abort
+            _log.warning(
+                "vectorized batch failed for %s (%s: %s); "
+                "%d seeds fall back to the scalar engine",
+                name, type(exc).__name__, exc, len(chunk),
+            )
+            fallback_seeds.update(chunk)
+            leftovers.extend(chunk)
+            continue
+        elapsed = time.perf_counter() - begin
+        handled = [seed for seed in chunk if seed in produced]
+        per_seed = elapsed / max(len(handled), 1)
+        for seed in chunk:
+            if seed not in handled:
+                fallback_seeds.add(seed)
+                leftovers.append(seed)
+                continue
+            payload = {
+                str(k): float(v) for k, v in produced[seed].items()
+            }
+            outcome = _SeedOutcome(
+                seed, True, payload, per_seed, 1, STATUS_VECTORIZED
+            )
+            vectorized_outcomes.append(outcome)
+            on_done(outcome)
+    return leftovers
 
 
 @dataclass

@@ -55,6 +55,8 @@ __all__ = [
     "STATUS_RESUMED",
     "STATUS_RETRIED",
     "STATUS_TIMEOUT",
+    "STATUS_VECTORIZED",
+    "STATUS_FALLBACK",
     "CampaignManifest",
     "CorruptResult",
     "FaultInjector",
@@ -76,10 +78,18 @@ STATUS_FAILED = "failed"
 STATUS_TIMEOUT = "timeout"
 STATUS_CACHED = "cached"
 STATUS_RESUMED = "resumed"
+#: Metrics came out of a vectorized in-process batch (same values as a
+#: scalar run — the oracle tests pin bit-equality).
+STATUS_VECTORIZED = "vectorized"
+#: The vectorized engine could not handle this seed (unsupported feature
+#: or a batch error); it was computed by the scalar path instead.
+STATUS_FALLBACK = "fallback"
 
 #: Statuses that mean "this seed's metrics are final" — a resume run
 #: adopts these from the manifest instead of recomputing.
-FINISHED_STATUSES = frozenset({STATUS_OK, STATUS_RETRIED})
+FINISHED_STATUSES = frozenset(
+    {STATUS_OK, STATUS_RETRIED, STATUS_VECTORIZED, STATUS_FALLBACK}
+)
 
 INJECTION_POINTS = ("worker_start", "mid_seed", "serialize", "cache_decode")
 ACTIONS = ("crash", "hang", "corrupt")

@@ -85,6 +85,7 @@ def run_experiment(
     policy: Any = None,
     manifest: Any = None,
     resume: bool = False,
+    engine: str = "scalar",
     **kwargs: Any,
 ):
     """Run one named experiment through the cache/worker layer.
@@ -95,6 +96,14 @@ def run_experiment(
     accept them (the campaign-style experiments); per-seed caching inside
     such experiments reuses the same ``cache`` instance, so even a
     partial prior run contributes its finished seeds.
+
+    ``engine="vectorized"`` requests the batched
+    :class:`~repro.sim.vectorized.VectorizedFleet` path for entry points
+    that support it (currently fig9). Experiments without a vectorized
+    path log a warning and run scalar — never an error, and always the
+    identical result, because the engine only changes how values are
+    computed. Like ``workers``, the engine is excluded from cache
+    fingerprints.
     """
     entry = experiment_entry(name)
     if cache is None:
@@ -103,6 +112,13 @@ def run_experiment(
     call_kwargs = dict(kwargs)
     if "workers" in signature.parameters:
         call_kwargs["workers"] = workers
+    if "engine" in signature.parameters:
+        call_kwargs["engine"] = engine
+    elif engine != "scalar":
+        _log.warning(
+            "experiment '%s' has no vectorized path; running scalar "
+            "(results are identical either way)", name,
+        )
     for knob, value in (("policy", policy), ("manifest", manifest),
                         ("resume", resume)):
         if knob in signature.parameters:

@@ -56,6 +56,15 @@ __all__ = ["Vehicle", "STABILIZER_REGION", "NAV_REGION"]
 STABILIZER_REGION = "SRAM_STABILIZER"
 NAV_REGION = "SRAM_NAV"
 
+#: Minimum interval (s) between EKF measurement updates, per sensor. Shared
+#: with the vectorized engine so both paths schedule updates identically.
+EKF_UPDATE_PERIODS = {"accel": 0.05, "mag": 0.1, "gps": 0.1, "baro": 0.05}
+
+#: Takeoff completion thresholds (shared with the vectorized engine).
+TAKEOFF_ALT_TOLERANCE = 0.25
+TAKEOFF_VEL_TOLERANCE = 0.5
+TAKEOFF_SUCCESS_TOLERANCE = 0.5
+
 
 class Vehicle:
     """A complete virtual RAV running ArduCopter-style firmware.
@@ -423,13 +432,13 @@ class Vehicle:
             self.sins.predict(imu.gyro, imu.accel, dt)
             self.ahrs.update(imu.gyro, imu.accel, dt)
         timers = self._ekf_timers
-        if time_s - timers["accel"] >= 0.05:
+        if time_s - timers["accel"] >= EKF_UPDATE_PERIODS["accel"]:
             self.ekf.update_accel_attitude(imu.accel)
             timers["accel"] = time_s
-        if time_s - timers["mag"] >= 0.1:
+        if time_s - timers["mag"] >= EKF_UPDATE_PERIODS["mag"]:
             self.ekf.update_mag_yaw(readings.mag.field)
             timers["mag"] = time_s
-        if time_s - timers["gps"] >= 0.1:
+        if time_s - timers["gps"] >= EKF_UPDATE_PERIODS["gps"]:
             self.ekf.update_gps(readings.gps.position, readings.gps.velocity)
             if bool(
                 np.isfinite(readings.gps.position).all()
@@ -437,7 +446,7 @@ class Vehicle:
             ):
                 self.sins.correct_gps(readings.gps.position, readings.gps.velocity)
             timers["gps"] = time_s
-        if time_s - timers["baro"] >= 0.05:
+        if time_s - timers["baro"] >= EKF_UPDATE_PERIODS["baro"]:
             self.ekf.update_baro(readings.baro.altitude)
             if math.isfinite(readings.baro.altitude):
                 self.sins.correct_baro(readings.baro.altitude)
@@ -627,10 +636,15 @@ class Vehicle:
         self.set_guided_target(float(start[0]), float(start[1]), altitude)
         self.run(
             timeout,
-            stop_when=lambda v: abs(v.sim.vehicle.state.altitude - altitude) < 0.25
-            and float(np.linalg.norm(v.sim.vehicle.state.velocity)) < 0.5,
+            stop_when=lambda v: abs(v.sim.vehicle.state.altitude - altitude)
+            < TAKEOFF_ALT_TOLERANCE
+            and float(np.linalg.norm(v.sim.vehicle.state.velocity))
+            < TAKEOFF_VEL_TOLERANCE,
         )
-        return abs(self.sim.vehicle.state.altitude - altitude) < 0.5
+        return (
+            abs(self.sim.vehicle.state.altitude - altitude)
+            < TAKEOFF_SUCCESS_TOLERANCE
+        )
 
     def fly_mission(self, mission: Mission, timeout: float = 300.0) -> MissionStatus:
         """Load and fly a mission in AUTO; returns the final status."""

@@ -1,0 +1,224 @@
+"""Performance-trajectory snapshots: the ``BENCH_<date>.json`` series.
+
+Each snapshot records the wall-clock time of named bench suites plus the
+obs counter deltas observed while they ran (sim steps, cache activity,
+...), so performance changes land as reviewable diffs instead of
+anecdotes. The files form a *trajectory*: sorted by date, the newest two
+are compared with a relative tolerance band — a suite that got more than
+``tolerance`` slower than the previous snapshot is a regression.
+
+The comparison is deliberately robust to the bootstrap case: an empty
+directory (no snapshot yet — the state before this module existed) or a
+single first snapshot compares clean, so the first CI run that writes
+``BENCH_*.json`` passes and later runs have a baseline.
+
+Snapshots are written by ``benchmarks/trajectory.py`` and validate
+against ``schemas/bench_trajectory.schema.json`` (``python -m repro obs
+validate BENCH_2026-08-09.json schemas/bench_trajectory.schema.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import AnalysisError
+
+__all__ = [
+    "SNAPSHOT_PREFIX",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "SuiteComparison",
+    "TrajectoryComparison",
+    "compare_snapshots",
+    "latest_snapshots",
+    "load_trajectory",
+    "snapshot_path",
+    "write_snapshot",
+]
+
+#: Snapshot files are ``BENCH_<YYYY-MM-DD>.json`` in the repo root.
+SNAPSHOT_PREFIX = "BENCH_"
+
+#: Bump when the snapshot layout changes (checked by the schema).
+SNAPSHOT_SCHEMA_VERSION = 1
+
+
+def snapshot_path(directory: str | Path, date: str | None = None) -> Path:
+    """The snapshot file path for ``date`` (default: today, local time)."""
+    date = date or time.strftime("%Y-%m-%d")
+    return Path(directory) / f"{SNAPSHOT_PREFIX}{date}.json"
+
+
+def write_snapshot(
+    directory: str | Path,
+    suites: dict[str, dict[str, float]],
+    counters: dict[str, float] | None = None,
+    extras: dict[str, float] | None = None,
+    label: str = "",
+    date: str | None = None,
+) -> Path:
+    """Write one ``BENCH_<date>.json`` snapshot and return its path.
+
+    ``suites`` maps suite name -> ``{"wall_s": seconds, ...}`` (extra
+    numeric fields are allowed and preserved); ``counters`` holds the obs
+    counter deltas observed while the suites ran; ``extras`` holds
+    derived scalars such as ``speedup_n16``.
+    """
+    for name, timing in suites.items():
+        if "wall_s" not in timing:
+            raise AnalysisError(f"suite '{name}' is missing 'wall_s'")
+        if float(timing["wall_s"]) < 0.0:
+            raise AnalysisError(f"suite '{name}' has negative wall_s")
+    path = snapshot_path(directory, date)
+    document = {
+        "schema": SNAPSHOT_SCHEMA_VERSION,
+        "date": path.stem[len(SNAPSHOT_PREFIX):],
+        "label": label,
+        "python": platform.python_version(),
+        "numpy": _numpy_version(),
+        "suites": {
+            name: {key: float(value) for key, value in timing.items()}
+            for name, timing in sorted(suites.items())
+        },
+        "counters": {
+            key: float(value)
+            for key, value in sorted((counters or {}).items())
+        },
+        "extras": {
+            key: float(value) for key, value in sorted((extras or {}).items())
+        },
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def _numpy_version() -> str:
+    import numpy
+
+    return str(numpy.__version__)
+
+
+def load_trajectory(directory: str | Path) -> list[tuple[Path, dict]]:
+    """All snapshots under ``directory``, oldest first.
+
+    Returns an empty list when the directory is missing or holds no
+    ``BENCH_*.json`` files (the bootstrap case); unparseable files raise.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    trajectory: list[tuple[Path, dict]] = []
+    for path in sorted(directory.glob(f"{SNAPSHOT_PREFIX}*.json")):
+        try:
+            document = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise AnalysisError(
+                f"corrupt bench snapshot '{path}': {exc}"
+            ) from exc
+        trajectory.append((path, document))
+    return trajectory
+
+
+def latest_snapshots(
+    directory: str | Path,
+) -> tuple[dict | None, dict | None]:
+    """The newest snapshot and its predecessor (either may be ``None``)."""
+    trajectory = load_trajectory(directory)
+    current = trajectory[-1][1] if trajectory else None
+    previous = trajectory[-2][1] if len(trajectory) > 1 else None
+    return current, previous
+
+
+@dataclass
+class SuiteComparison:
+    """One suite's timing against the previous snapshot."""
+
+    name: str
+    current_s: float
+    previous_s: float | None
+
+    @property
+    def slowdown(self) -> float | None:
+        """Relative slowdown vs the previous snapshot (0.1 = 10% slower);
+        ``None`` when there is no comparable previous timing."""
+        if self.previous_s is None or self.previous_s <= 0.0:
+            return None
+        return self.current_s / self.previous_s - 1.0
+
+
+@dataclass
+class TrajectoryComparison:
+    """Comparison of the newest snapshot against the previous one."""
+
+    tolerance: float
+    suites: list[SuiteComparison] = field(default_factory=list)
+    #: True when there was no previous snapshot to compare against.
+    bootstrap: bool = False
+
+    @property
+    def regressions(self) -> list[SuiteComparison]:
+        """Suites slower than the tolerance band allows."""
+        return [
+            suite for suite in self.suites
+            if suite.slowdown is not None and suite.slowdown > self.tolerance
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        """Human-readable comparison report."""
+        if self.bootstrap:
+            return (
+                "bench trajectory: no previous snapshot — baseline "
+                "established, nothing to compare"
+            )
+        lines = [
+            f"bench trajectory (tolerance {self.tolerance:+.0%} wall-clock):"
+        ]
+        for suite in self.suites:
+            if suite.slowdown is None:
+                lines.append(f"  {suite.name:32s} {suite.current_s:8.3f}s  (new suite)")
+                continue
+            verdict = "REGRESSION" if suite.slowdown > self.tolerance else "ok"
+            lines.append(
+                f"  {suite.name:32s} {suite.current_s:8.3f}s  "
+                f"prev {suite.previous_s:8.3f}s  {suite.slowdown:+7.1%}  {verdict}"
+            )
+        return "\n".join(lines)
+
+
+def compare_snapshots(
+    current: dict | None,
+    previous: dict | None,
+    tolerance: float = 0.25,
+) -> TrajectoryComparison:
+    """Compare two snapshots within a relative ``tolerance`` band.
+
+    A missing ``previous`` (first snapshot, or an empty trajectory) is
+    the bootstrap case and passes; a suite present only in ``current``
+    is new and cannot regress; a suite that vanished is ignored — only
+    suites measured in both snapshots can fail the band.
+    """
+    if tolerance < 0.0:
+        raise AnalysisError(f"tolerance must be >= 0 (got {tolerance})")
+    comparison = TrajectoryComparison(tolerance=tolerance)
+    if current is None or previous is None:
+        comparison.bootstrap = True
+        return comparison
+    previous_suites = previous.get("suites", {})
+    for name, timing in sorted(current.get("suites", {}).items()):
+        before = previous_suites.get(name)
+        comparison.suites.append(SuiteComparison(
+            name=name,
+            current_s=float(timing["wall_s"]),
+            previous_s=(
+                float(before["wall_s"]) if before is not None else None
+            ),
+        ))
+    return comparison

@@ -65,12 +65,13 @@ class Gps(RateLimitedSensor):
     def _measure(self, time_s: float) -> GpsSample:
         target_time = time_s - self.latency_s
         # Use the newest history entry no newer than the delayed timestamp.
+        # The history is time-ordered, so walk backwards and stop at the
+        # first qualifying entry: O(latency window), not O(history).
         position = np.zeros(3)
         velocity = np.zeros(3)
-        for t, pos, vel in self._history:
+        for t, pos, vel in reversed(self._history):
             if t <= target_time:
                 position, velocity = pos, vel
-            else:
                 break
         noisy_pos = position + self._pos_noise.apply(np.zeros(3), 1.0) * self._axis_std
         noisy_vel = self._vel_noise.apply(velocity, 1.0)

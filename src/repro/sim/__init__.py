@@ -26,9 +26,20 @@ __all__ = [
     "RigidBodyState",
     "SimConfig",
     "Simulator",
+    "VectorizedFleet",
     "World",
     "iris_plus_airframe",
     "path_distance",
     "pixhawk4_airframe",
     "point_segment_distance",
 ]
+
+
+def __getattr__(name: str):
+    # Imported lazily: the fleet pulls in firmware modules, which would
+    # otherwise make ``repro.sim`` ↔ ``repro.firmware`` circular.
+    if name == "VectorizedFleet":
+        from repro.sim.vectorized import VectorizedFleet
+
+        return VectorizedFleet
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -13,7 +13,21 @@ import numpy as np
 from repro.exceptions import SimulationError
 from repro.utils.math3d import constrain
 
-__all__ = ["Motor", "MotorArray"]
+__all__ = ["Motor", "MotorArray", "MOTOR_LAYOUT", "MOTOR_SPIN"]
+
+#: Unit positions of each motor in the body X/Y plane for the QUAD/X frame
+#: (front-right, back-left, front-left, back-right); scaled by arm length.
+MOTOR_LAYOUT = np.array(
+    [
+        [0.7071, 0.7071],
+        [-0.7071, -0.7071],
+        [0.7071, -0.7071],
+        [-0.7071, 0.7071],
+    ]
+)
+
+#: +1 for CCW props (positive yaw reaction), -1 for CW.
+MOTOR_SPIN = np.array([-1.0, -1.0, 1.0, 1.0])
 
 
 class Motor:
@@ -83,18 +97,8 @@ class MotorArray:
     alternate so yaw torque can be commanded differentially.
     """
 
-    #: Unit positions of each motor in the body X/Y plane (front-right,
-    #: back-left, front-left, back-right), scaled by arm length at runtime.
-    _LAYOUT = np.array(
-        [
-            [0.7071, 0.7071],
-            [-0.7071, -0.7071],
-            [0.7071, -0.7071],
-            [-0.7071, 0.7071],
-        ]
-    )
-    #: +1 for CCW props (positive yaw reaction), -1 for CW.
-    _SPIN = np.array([-1.0, -1.0, 1.0, 1.0])
+    _LAYOUT = MOTOR_LAYOUT
+    _SPIN = MOTOR_SPIN
 
     def __init__(self, airframe) -> None:
         self.airframe = airframe

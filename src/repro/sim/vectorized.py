@@ -1,0 +1,1360 @@
+"""Vectorized multi-vehicle simulation engine.
+
+:class:`VectorizedFleet` steps N vehicles with the same physical and
+controller parameters (only the seed differs) as batched numpy ``(N, …)``
+arrays. The scalar :class:`repro.firmware.vehicle.Vehicle` remains the
+oracle: lane ``i`` of a fleet is **bit-identical** to a scalar run with
+seed ``i``, which ``tests/test_vectorized_oracle.py`` pins step by step.
+
+Bit-exactness strategy
+----------------------
+The scalar stack mixes ``math.*`` scalar calls with numpy array code, and
+the two families do not always round identically (``math.tan``,
+``math.atan2`` and ``np.linalg.norm`` differ from any naive elementwise
+rewrite). The fleet therefore batches only the operations that were
+*measured* to be bit-equal to the scalar path:
+
+* elementwise ``+ - * /``, ``np.sin/cos/sqrt/exp/copysign``, ``%``-based
+  angle wrapping and ``np.clip`` (equal to ``constrain``);
+* batched matmul ``(N, k, k) @ (N, k, k)`` and batched matvec via
+  ``(M @ v[:, :, None])[:, :, 0]``, which numpy computes with the same
+  kernels it uses per-slice;
+* explicit column formulas for 3-vector cross products (equal to
+  ``np.cross``).
+
+Everything else stays *per lane* and reuses the scalar objects verbatim:
+sensor suites (one seed-keyed ``Generator`` set per lane, so lane i's
+noise stream is identical to the scalar run regardless of N), SINS and
+complementary-filter dead reckoning, EKF measurement updates (the real
+:class:`AttitudePositionEKF` methods run on each lane's state), missions,
+mode managers, batteries, ``math.atan2``/``math.tan`` call sites and every
+``np.linalg.norm``. Detectors and attacks attach unmodified to per-lane
+vehicle adapters.
+
+Not vectorized (campaigns fall back to the scalar engine for these):
+dataflash logging, GCS link traffic, actuator fault schedules, worlds with
+obstacles, and target/torque hooks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import numpy as np
+
+from repro.estimation.complementary import ComplementaryFilter
+from repro.estimation.ekf import AttitudePositionEKF
+from repro.estimation.sins import StrapdownINS
+from repro.exceptions import ControlError, MissionError, SimulationError
+from repro.control.attitude import AttitudeController, AttitudeTargets
+from repro.control.mixer import MotorMixer
+from repro.control.position import PositionController
+from repro.firmware.mission import Mission, MissionStatus
+from repro.firmware.modes import FlightMode, ModeManager
+from repro.firmware.parameters import ParameterStore
+from repro.firmware.param_defs import arducopter_parameter_defs
+from repro.firmware.vehicle import (
+    EKF_UPDATE_PERIODS,
+    STABILIZER_REGION,
+    TAKEOFF_ALT_TOLERANCE,
+    TAKEOFF_SUCCESS_TOLERANCE,
+    TAKEOFF_VEL_TOLERANCE,
+)
+from repro.sensors.suite import SensorSuite
+from repro.sim.battery import Battery
+from repro.sim.config import SimConfig
+from repro.sim.motor import MOTOR_LAYOUT, MOTOR_SPIN
+from repro.sim.rigidbody import RigidBody6DoF
+from repro.utils.math3d import quat_from_euler, quat_to_euler, wrap_pi
+from repro.utils.rng import make_rng
+from repro.utils.filters import alpha_from_cutoff
+
+__all__ = ["VectorizedFleet"]
+
+
+# --------------------------------------------------------------------- #
+# Batched primitives (each proven bit-equal to its scalar counterpart)
+# --------------------------------------------------------------------- #
+def _wrap_cols(a: np.ndarray) -> np.ndarray:
+    """Batched wrap_pi; ``%`` rounds identically to the scalar path."""
+    return (a + np.pi) % (2.0 * np.pi) - np.pi
+
+
+def _cross_cols(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise 3-vector cross product, columnwise (== np.cross)."""
+    out = np.empty_like(a)
+    out[:, 0] = a[:, 1] * b[:, 2] - a[:, 2] * b[:, 1]
+    out[:, 1] = a[:, 2] * b[:, 0] - a[:, 0] * b[:, 2]
+    out[:, 2] = a[:, 0] * b[:, 1] - a[:, 1] * b[:, 0]
+    return out
+
+
+def _quat_rotate_cols(q: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Row-wise body→world rotation (== math3d.quat_rotate per row)."""
+    w = q[:, 0:1]
+    u = q[:, 1:4]
+    return v + 2.0 * _cross_cols(u, _cross_cols(u, v) + w * v)
+
+
+def _quat_inverse_rotate_cols(q: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Row-wise world→body rotation (== math3d.quat_inverse_rotate)."""
+    conj = np.concatenate((q[:, 0:1], -q[:, 1:4]), axis=1)
+    return _quat_rotate_cols(conj, v)
+
+
+def _matvec(m: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Batched matrix·vector, same kernel as the per-slice ``m @ v``."""
+    return (m @ v[:, :, None])[:, :, 0]
+
+
+def _quat_integrate_fast(q: np.ndarray, omega: np.ndarray, dt: float) -> np.ndarray:
+    """Per-lane ``math3d.quat_integrate`` minus the wrapper overhead.
+
+    Performs the identical operation sequence — ``np.linalg.norm`` is
+    ``sqrt(dot(x, x))`` internally, reproduced here as
+    ``math.sqrt(x.dot(x))`` (same dot kernel, ``math.sqrt == np.sqrt``
+    bitwise) — so results match the scalar path bit for bit.
+    """
+    nrm = math.sqrt(omega.dot(omega))
+    angle = nrm * dt
+    if angle < 1e-12:
+        dw, dx, dy, dz = 1.0, 0.0, 0.0, 0.0
+    else:
+        half = angle / 2.0
+        sh = math.sin(half)
+        dw = math.cos(half)
+        dx = sh * (omega[0] / nrm)
+        dy = sh * (omega[1] / nrm)
+        dz = sh * (omega[2] / nrm)
+    w1, x1, y1, z1 = q
+    out = np.array(
+        [
+            w1 * dw - x1 * dx - y1 * dy - z1 * dz,
+            w1 * dx + x1 * dw + y1 * dz - z1 * dy,
+            w1 * dy - x1 * dz + y1 * dw + z1 * dx,
+            w1 * dz + x1 * dy - y1 * dx + z1 * dw,
+        ]
+    )
+    norm = math.sqrt(out.dot(out))
+    if norm < 1e-12:
+        raise ValueError("cannot normalise near-zero quaternion")
+    return out / norm
+
+
+def _quat_integrate_cols(q: np.ndarray, omega: np.ndarray, dt: float) -> np.ndarray:
+    """Row-wise :func:`_quat_integrate_fast`, bit-equal per row.
+
+    The per-row norms stay as ``math.sqrt(row.dot(row))`` scalar calls
+    (the dot kernel does not batch bit-exactly); everything else —
+    sin/cos, the axis scaling, the Hamilton product and the final
+    normalising divide — is elementwise, where the batched ufunc applies
+    the identical operation per element as the scalar path.
+    """
+    n = q.shape[0]
+    nrm = np.empty(n)
+    for k in range(n):
+        row = omega[k]
+        nrm[k] = math.sqrt(row.dot(row))
+    angle = nrm * dt
+    half = angle / 2.0
+    sh = np.sin(half)
+    dw = np.cos(half)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        dq = sh[:, None] * (omega / nrm[:, None])
+    small = angle < 1e-12
+    if small.any():
+        dw[small] = 1.0
+        dq[small] = 0.0
+    w1, x1, y1, z1 = q[:, 0], q[:, 1], q[:, 2], q[:, 3]
+    dx, dy, dz = dq[:, 0], dq[:, 1], dq[:, 2]
+    out = np.empty((n, 4))
+    out[:, 0] = w1 * dw - x1 * dx - y1 * dy - z1 * dz
+    out[:, 1] = w1 * dx + x1 * dw + y1 * dz - z1 * dy
+    out[:, 2] = w1 * dy - x1 * dz + y1 * dw + z1 * dx
+    out[:, 3] = w1 * dz + x1 * dy - y1 * dx + z1 * dw
+    norms = np.empty(n)
+    for k in range(n):
+        row = out[k]
+        norms[k] = math.sqrt(row.dot(row))
+    if np.any(norms < 1e-12):
+        raise ValueError("cannot normalise near-zero quaternion")
+    return out / norms[:, None]
+
+
+def _dcm_from_euler_cols(
+    roll: np.ndarray, pitch: np.ndarray, yaw: np.ndarray
+) -> np.ndarray:
+    """Row-wise ``dcm_from_euler`` (quat_from_euler → quat_to_dcm)."""
+    cr, sr = np.cos(roll / 2.0), np.sin(roll / 2.0)
+    cp, sp = np.cos(pitch / 2.0), np.sin(pitch / 2.0)
+    cy, sy = np.cos(yaw / 2.0), np.sin(yaw / 2.0)
+    w = cy * cp * cr + sy * sp * sr
+    x = cy * cp * sr - sy * sp * cr
+    y = cy * sp * cr + sy * cp * sr
+    z = sy * cp * cr - cy * sp * sr
+    dcm = np.empty((roll.shape[0], 3, 3))
+    dcm[:, 0, 0] = 1.0 - 2.0 * (y * y + z * z)
+    dcm[:, 0, 1] = 2.0 * (x * y - w * z)
+    dcm[:, 0, 2] = 2.0 * (x * z + w * y)
+    dcm[:, 1, 0] = 2.0 * (x * y + w * z)
+    dcm[:, 1, 1] = 1.0 - 2.0 * (x * x + z * z)
+    dcm[:, 1, 2] = 2.0 * (y * z - w * x)
+    dcm[:, 2, 0] = 2.0 * (x * z - w * y)
+    dcm[:, 2, 1] = 2.0 * (y * z + w * x)
+    dcm[:, 2, 2] = 1.0 - 2.0 * (x * x + y * y)
+    return dcm
+
+
+# --------------------------------------------------------------------- #
+# Controller banks: N scalar controllers as column state
+# --------------------------------------------------------------------- #
+class _PidBank:
+    """N :class:`PIDController` instances with batched update.
+
+    Gains are per lane because the attacker's memory view can overwrite
+    KP/KI/KD/FF on individual lanes.
+    """
+
+    def __init__(self, n: int, gains, output_limit: float):
+        self.n = n
+        self.kp = np.full(n, gains.kp)
+        self.ki = np.full(n, gains.ki)
+        self.kd = np.full(n, gains.kd)
+        self.kff = np.full(n, gains.kff)
+        self.imax = float(gains.imax)
+        self.filt_hz = float(gains.filt_hz)
+        self.output_limit = float(output_limit)
+        self.integrator = np.zeros(n)
+        self.input_error = np.zeros(n)
+        self.derivative = np.zeros(n)
+        self.scaler = np.ones(n)
+        self.last_dt = np.zeros(n)
+        self._last_error = np.zeros(n)
+        self._has_last = np.zeros(n, dtype=bool)
+
+    def update(
+        self, idx: np.ndarray, target: np.ndarray, measurement: np.ndarray, dt: float
+    ) -> np.ndarray:
+        """One PID cycle for the lanes in ``idx``; mirrors PIDController."""
+        error = target - measurement
+        self.input_error[idx] = error
+        self.last_dt[idx] = dt
+
+        p_term = self.kp[idx] * error
+
+        integ = np.clip(
+            self.integrator[idx] + self.ki[idx] * error * dt, -self.imax, self.imax
+        )
+        self.integrator[idx] = integ
+
+        raw_derivative = np.where(
+            self._has_last[idx], (error - self._last_error[idx]) / dt, 0.0
+        )
+        self._last_error[idx] = error
+        self._has_last[idx] = True
+        alpha = alpha_from_cutoff(self.filt_hz, dt)
+        deriv = self.derivative[idx]
+        deriv = deriv + alpha * (raw_derivative - deriv)
+        self.derivative[idx] = deriv
+        d_term = self.kd[idx] * deriv
+
+        ff_term = self.kff[idx] * target
+
+        total = (p_term + integ + d_term + ff_term) * self.scaler[idx]
+        return np.clip(total, -self.output_limit, self.output_limit)
+
+    _ARRAYS = {
+        "KP": "kp", "KI": "ki", "KD": "kd", "FF": "kff", "DT": "last_dt",
+        "INTEG": "integrator", "INPUT": "input_error", "DERIV": "derivative",
+        "SCALER": "scaler",
+    }
+
+    def set_state_variable(self, lane: int, name: str, value: float) -> None:
+        """Per-lane equivalent of PIDController.set_state_variable."""
+        attr = self._ARRAYS.get(name)
+        if attr is None:
+            raise ControlError(f"unknown state variable '{name}'")
+        getattr(self, attr)[lane] = float(value)
+
+    def get_state_variable(self, lane: int, name: str) -> float:
+        attr = self._ARRAYS.get(name)
+        if attr is None:
+            raise ControlError(f"unknown state variable '{name}'")
+        return float(getattr(self, attr)[lane])
+
+
+class _SqrtBank:
+    """N :class:`SqrtController` instances with batched update."""
+
+    def __init__(self, n: int, proto):
+        self.p = float(proto.p)
+        self.accel_max = float(proto.accel_max)
+        self.output_max = float(proto.output_max)
+        self.linear_region = proto.linear_region
+        self.error = np.zeros(n)
+        self.output = np.zeros(n)
+
+    def update(
+        self, idx: np.ndarray, target: np.ndarray, measurement: np.ndarray
+    ) -> np.ndarray:
+        error = target - measurement
+        self.error[idx] = error
+        linear = self.linear_region
+        abs_error = np.abs(error)
+        with np.errstate(invalid="ignore"):
+            sqrt_out = np.copysign(
+                np.sqrt(2.0 * self.accel_max * (abs_error - linear / 2.0)), error
+            )
+        out = np.where(abs_error <= linear, self.p * error, sqrt_out)
+        out = np.clip(out, -self.output_max, self.output_max)
+        self.output[idx] = out
+        return out
+
+
+# --------------------------------------------------------------------- #
+# Per-lane adapters: the Vehicle interface detectors/attacks expect
+# --------------------------------------------------------------------- #
+class _LaneState:
+    """RigidBodyState view over one lane's batched plant state."""
+
+    __slots__ = ("_f", "_i")
+
+    def __init__(self, fleet: "VectorizedFleet", i: int):
+        self._f = fleet
+        self._i = i
+
+    @property
+    def position(self) -> np.ndarray:
+        return self._f._pos[self._i]
+
+    @property
+    def velocity(self) -> np.ndarray:
+        return self._f._vel[self._i]
+
+    @property
+    def quaternion(self) -> np.ndarray:
+        return self._f._quat[self._i]
+
+    @property
+    def omega_body(self) -> np.ndarray:
+        return self._f._omega[self._i]
+
+    @property
+    def euler(self) -> tuple[float, float, float]:
+        return quat_to_euler(self._f._quat[self._i])
+
+    @property
+    def altitude(self) -> float:
+        return -float(self._f._pos[self._i, 2])
+
+
+class _LaneMotors:
+    """MotorArray view over one lane (sensors read ``.thrusts``)."""
+
+    __slots__ = ("_f", "_i")
+
+    def __init__(self, fleet: "VectorizedFleet", i: int):
+        self._f = fleet
+        self._i = i
+
+    @property
+    def thrusts(self) -> np.ndarray:
+        return self._f._thrusts[self._i]
+
+    @property
+    def commands(self) -> np.ndarray:
+        return self._f._motor_cmd[self._i]
+
+
+class _LanePlant:
+    """QuadrotorModel view over one lane (what sensors sample)."""
+
+    __slots__ = ("_f", "_i", "state", "motors")
+
+    def __init__(self, fleet: "VectorizedFleet", i: int):
+        self._f = fleet
+        self._i = i
+        self.state = _LaneState(fleet, i)
+        self.motors = _LaneMotors(fleet, i)
+
+    @property
+    def airframe(self):
+        return self._f.config.airframe
+
+    @property
+    def specific_force_body(self) -> np.ndarray:
+        return self._f._sfb[self._i]
+
+    @property
+    def landed(self) -> bool:
+        return bool(self._f._landed[self._i])
+
+    @property
+    def crashed(self) -> bool:
+        return bool(self._f._crashed[self._i])
+
+    @property
+    def crash_reason(self) -> str | None:
+        return self._f._crash_reason[self._i]
+
+    @property
+    def battery(self) -> Battery:
+        return self._f._batteries[self._i]
+
+
+class _LaneSim:
+    """Simulator view over one lane (per-lane clock)."""
+
+    __slots__ = ("_f", "_i", "vehicle")
+
+    def __init__(self, fleet: "VectorizedFleet", i: int):
+        self._f = fleet
+        self._i = i
+        self.vehicle = _LanePlant(fleet, i)
+
+    @property
+    def time(self) -> float:
+        return self._f._time[self._i]
+
+    @property
+    def dt(self) -> float:
+        return self._f.dt
+
+    @property
+    def step_count(self) -> int:
+        return int(self._f._step_count[self._i])
+
+
+class _LaneRegionView:
+    """Compromised-region view routing writes into the batched PID banks.
+
+    Mirrors :class:`repro.memory.attacker.CompromisedRegionView` for the
+    stabilizer region: the write log records ``(name, value)`` tuples in
+    injection order, exactly like the scalar view.
+    """
+
+    def __init__(self, fleet: "VectorizedFleet", lane: int, region: str):
+        if region != STABILIZER_REGION:
+            raise SimulationError(
+                f"vectorized engine only models the {STABILIZER_REGION} region"
+            )
+        self._fleet = fleet
+        self._lane = lane
+        self.region_name = region
+        self._writes: list[tuple[str, float]] = []
+
+    def _bank(self, pid_name: str) -> _PidBank:
+        bank = self._fleet._pid_banks.get(pid_name)
+        if bank is None:
+            raise SimulationError(
+                f"variable owner '{pid_name}' is not vectorized"
+            )
+        return bank
+
+    def write(self, name: str, value: float) -> None:
+        pid_name, _, var = name.partition(".")
+        self._bank(pid_name).set_state_variable(self._lane, var, value)
+        self._writes.append((name, float(value)))
+
+    def read(self, name: str) -> float:
+        pid_name, _, var = name.partition(".")
+        return self._bank(pid_name).get_state_variable(self._lane, var)
+
+    @property
+    def write_log(self) -> list[tuple[str, float]]:
+        return list(self._writes)
+
+
+class _LaneVehicle:
+    """Vehicle-shaped adapter for one lane.
+
+    Exposes the subset of the :class:`Vehicle` surface that detectors,
+    attacks, ``stop_when`` predicates and the differential-oracle tests
+    consume: ``sim``, ``armed``, ``estimated_state()``, ``last_motors``,
+    ``mission``, ``modes``, the hook lists and ``compromised_view``.
+    """
+
+    def __init__(self, fleet: "VectorizedFleet", i: int):
+        self._fleet = fleet
+        self.index = i
+        self.config = fleet.lane_configs[i]
+        self.sim = _LaneSim(fleet, i)
+        self.pre_control_hooks: list = []
+        self.post_step_hooks: list = []
+        self.target_hooks: list = []
+        self.torque_hooks: list = []
+
+    @property
+    def armed(self) -> bool:
+        return bool(self._fleet._armed[self.index])
+
+    @property
+    def mission(self) -> Mission | None:
+        return self._fleet.missions[self.index]
+
+    @mission.setter
+    def mission(self, mission: Mission | None) -> None:
+        self._fleet.missions[self.index] = mission
+
+    @property
+    def modes(self) -> ModeManager:
+        return self._fleet._modes[self.index]
+
+    @property
+    def params(self) -> ParameterStore:
+        return self._fleet.params
+
+    @property
+    def home(self) -> np.ndarray:
+        return self._fleet._home[self.index]
+
+    @property
+    def last_motors(self) -> np.ndarray:
+        return self._fleet._motor_cmd[self.index]
+
+    @property
+    def last_targets(self) -> AttitudeTargets:
+        return self._fleet._last_targets[self.index]
+
+    @property
+    def manual_targets(self) -> AttitudeTargets:
+        return self._fleet._manual_targets[self.index]
+
+    @manual_targets.setter
+    def manual_targets(self, targets: AttitudeTargets) -> None:
+        self._fleet._manual_targets[self.index] = targets
+
+    @property
+    def guided_target(self) -> np.ndarray | None:
+        return self._fleet._guided_target[self.index]
+
+    @property
+    def last_readings(self):
+        return self._fleet._last_readings[self.index]
+
+    @property
+    def ekf(self) -> AttitudePositionEKF:
+        return self._fleet._ekfs[self.index]
+
+    @property
+    def sensors(self) -> SensorSuite:
+        return self._fleet._sensors[self.index]
+
+    def estimated_state(self):
+        """(position, velocity, euler, gyro), exactly as Vehicle returns."""
+        fleet = self._fleet
+        i = self.index
+        readings = fleet._last_readings[i]
+        gyro = readings.imu.gyro if readings is not None else np.zeros(3)
+        ekf = fleet._ekfs[i]
+        return (
+            ekf.position, ekf.velocity, (ekf.roll, ekf.pitch, ekf.yaw), gyro,
+        )
+
+    def compromised_view(self, region: str = STABILIZER_REGION) -> _LaneRegionView:
+        return _LaneRegionView(self._fleet, self.index, region)
+
+
+# --------------------------------------------------------------------- #
+# The fleet
+# --------------------------------------------------------------------- #
+class VectorizedFleet:
+    """N same-parameter vehicles stepped as batched arrays.
+
+    Parameters
+    ----------
+    config:
+        Shared :class:`SimConfig`; the per-lane config is ``config`` with
+        the lane's seed substituted. All physical and controller
+        parameters are common across lanes — batching different airframes
+        is not supported (campaigns batch same-parameter seed groups).
+    seeds:
+        One RNG seed per lane. Lane ``i`` reproduces the scalar
+        ``Vehicle(SimConfig(seed=seeds[i], ...))`` bit for bit.
+    """
+
+    def __init__(self, config: SimConfig | None = None, seeds=(0,)):
+        base = config or SimConfig()
+        self.seeds = [int(s) for s in seeds]
+        n = len(self.seeds)
+        if n < 1:
+            raise SimulationError("fleet needs at least one seed")
+        self.n = n
+        self.config = base
+        self.dt = base.dt
+        self.lane_configs = [replace(base, seed=s) for s in self.seeds]
+        airframe = base.airframe
+
+        # --- plant state ------------------------------------------------
+        self._pos = np.zeros((n, 3))
+        self._vel = np.zeros((n, 3))
+        self._quat = np.tile(np.array([1.0, 0.0, 0.0, 0.0]), (n, 1))
+        self._omega = np.zeros((n, 3))
+        self._thrusts = np.zeros((n, 4))
+        self._motor_cmd = np.zeros((n, 4))
+        self._gust = np.zeros((n, 3))
+        self._sfb = np.zeros((n, 3))
+        self._landed = np.ones(n, dtype=bool)
+        self._crashed = np.zeros(n, dtype=bool)
+        self._crash_reason: list[str | None] = [None] * n
+        self._time = [0.0] * n  # per-lane clock, accumulated like Simulator
+        self._step_count = np.zeros(n, dtype=np.int64)
+        self._env_rngs = [make_rng(s) for s in self.seeds]
+        self._batteries = [Battery() for _ in range(n)]
+
+        # Plant constants, computed exactly as the scalar stack does.
+        body = RigidBody6DoF(airframe.mass, airframe.inertia)
+        self._inertia_b = np.tile(np.asarray(body.inertia), (n, 1, 1))
+        self._inertia_inv_b = np.tile(body._inertia_inv, (n, 1, 1))
+        self._mass = airframe.mass
+        self._weight = airframe.mass * base.gravity
+        self._max_thrust = airframe.motor_max_thrust
+        self._motor_tc = airframe.motor_time_constant
+        self._torque_coeff = airframe.motor_torque_coeff
+        self._positions = MOTOR_LAYOUT * airframe.arm_length
+        self._spin = MOTOR_SPIN
+        self._drag_coeff = airframe.linear_drag_coeff
+        self._ang_drag = airframe.angular_drag_coeff
+        self._ground = base.ground_altitude
+        self._gravity_world = np.array([0.0, 0.0, base.gravity])
+        self._neg_gravity_world = -np.array([0.0, 0.0, base.gravity])
+        self._gravity_force = self._gravity_world * airframe.mass
+        self._wind_mean = np.asarray(base.wind_mean)
+        self._gust_std = base.wind_gust_std
+        self._gust_tau = base.wind_gust_tau
+
+        # --- estimation -------------------------------------------------
+        self._sensors = [SensorSuite(seed=s) for s in self.seeds]
+        self._ekfs = [AttitudePositionEKF() for _ in range(n)]
+        self._sins = [StrapdownINS(gravity=base.gravity) for _ in range(n)]
+        self._sins_gravity = np.array([0.0, 0.0, base.gravity])
+        self._ahrs = [ComplementaryFilter() for _ in range(n)]
+        self._ekf_timers = [
+            {"gps": -np.inf, "baro": -np.inf, "mag": -np.inf, "accel": -np.inf}
+            for _ in range(n)
+        ]
+        self._last_readings = [None] * n
+        ekf_cfg = self._ekfs[0].config
+        self._ekf_gravity_vec = np.array([0.0, 0.0, ekf_cfg.gravity])
+        self._ekf_q_att = (ekf_cfg.gyro_noise * self.dt) ** 2
+        self._ekf_q_vel = (ekf_cfg.accel_noise * self.dt) ** 2
+        self._ekf_q_bias = (ekf_cfg.gyro_bias_noise * self.dt) ** 2
+        self._ekf_Q = np.diag(
+            [self._ekf_q_att] * 3 + [self._ekf_q_vel] * 3
+            + [0.0] * 3 + [self._ekf_q_bias] * 3
+        )
+
+        # --- control ----------------------------------------------------
+        atc = AttitudeController()
+        self._angle_p = atc.angle_p
+        self._rate_max = atc.rate_max
+        pc = PositionController(hover_throttle=airframe.hover_throttle)
+        self._hover_throttle = pc.hover_throttle
+        self._ctrl_gravity = pc.gravity
+        self._lean_max = pc.lean_angle_max
+        self._accel_xy_max = pc.axis_x.accel_max
+        self._accel_z_max = pc.axis_z.accel_max
+        self._sqrt_x = _SqrtBank(n, pc.axis_x.pos_ctrl)
+        self._sqrt_y = _SqrtBank(n, pc.axis_y.pos_ctrl)
+        self._sqrt_z = _SqrtBank(n, pc.axis_z.pos_ctrl)
+        self._pid_vel_x = _PidBank(n, pc.axis_x.vel_ctrl.gains, pc.axis_x.vel_ctrl.output_limit)
+        self._pid_vel_y = _PidBank(n, pc.axis_y.vel_ctrl.gains, pc.axis_y.vel_ctrl.output_limit)
+        self._pid_vel_z = _PidBank(n, pc.axis_z.vel_ctrl.gains, pc.axis_z.vel_ctrl.output_limit)
+        self._pid_roll = _PidBank(n, atc.pid_roll.gains, atc.pid_roll.output_limit)
+        self._pid_pitch = _PidBank(n, atc.pid_pitch.gains, atc.pid_pitch.output_limit)
+        self._pid_yaw = _PidBank(n, atc.pid_yaw.gains, atc.pid_yaw.output_limit)
+        #: Stabilizer-region variable owners the attacker's view can touch
+        #: (PIDA is the vertical acceleration PID, as in Vehicle's map).
+        self._pid_banks = {
+            "PIDR": self._pid_roll, "PIDP": self._pid_pitch,
+            "PIDY": self._pid_yaw, "PIDA": self._pid_vel_z,
+        }
+        self._mixer = MotorMixer(0.0, 1.0)
+        self._torque = np.zeros((n, 3))
+
+        # --- firmware ---------------------------------------------------
+        self.params = ParameterStore()
+        self.params.declare_all(arducopter_parameter_defs())
+        self._modes = [ModeManager(FlightMode.STABILIZE) for _ in range(n)]
+        self.missions: list[Mission | None] = [None] * n
+        self._armed = np.zeros(n, dtype=bool)
+        self._home = np.zeros((n, 3))
+        self._guided_target: list[np.ndarray | None] = [None] * n
+        self._yaw_target = [0.0] * n
+        self._yaw_slew_rate = math.radians(60.0)
+        self._last_targets = [AttitudeTargets() for _ in range(n)]
+        self._manual_targets = [AttitudeTargets() for _ in range(n)]
+        self.lanes = [_LaneVehicle(self, i) for i in range(n)]
+
+        # Gust constants (python-float path identical to Environment.step).
+        if self._gust_std > 0.0:
+            decay = np.exp(-self.dt / self._gust_tau)
+            self._gust_decay = decay
+            self._gust_noise_scale = self._gust_std * np.sqrt(1.0 - decay**2)
+
+    # ------------------------------------------------------------------ #
+    # Flight state machine (mirrors Vehicle)
+    # ------------------------------------------------------------------ #
+    def lane(self, i: int) -> _LaneVehicle:
+        """The vehicle-shaped adapter for lane ``i``."""
+        return self.lanes[i]
+
+    def arm(self) -> None:
+        """Arm every lane; each lane's current position becomes home."""
+        for i in range(self.n):
+            self._armed[i] = True
+            self._home[i] = self._pos[i].copy()
+
+    def disarm(self) -> None:
+        self._armed[:] = False
+
+    def set_mission(self, factory) -> None:
+        """Give every lane its own mission instance from ``factory()``."""
+        for i in range(self.n):
+            self.missions[i] = factory()
+
+    def set_mode(self, mode: FlightMode) -> None:
+        """Change flight mode on every lane."""
+        for i in range(self.n):
+            self._lane_set_mode(i, mode)
+
+    def _lane_set_mode(self, i: int, mode: FlightMode) -> None:
+        if mode is FlightMode.AUTO and self.missions[i] is None:
+            raise MissionError("cannot enter AUTO without a mission")
+        self._modes[i].set_mode(mode, self._time[i])
+        if mode is FlightMode.AUTO and self.missions[i] is not None:
+            if self.missions[i].status is MissionStatus.PENDING:
+                self.missions[i].start()
+
+    def set_guided_target(self, north: float, east: float, altitude: float) -> None:
+        for i in range(self.n):
+            self._guided_target[i] = np.array([north, east, -altitude])
+
+    def takeoff(self, altitude: float, timeout: float = 30.0) -> list[bool]:
+        """Arm and climb every lane to ``altitude``; per-lane success."""
+        for i in range(self.n):
+            if self._modes[i].mode is not FlightMode.GUIDED:
+                self._lane_set_mode(i, FlightMode.GUIDED)
+        self.arm()
+        for i in range(self.n):
+            start = self._pos[i]
+            self._guided_target[i] = np.array(
+                [float(start[0]), float(start[1]), -altitude]
+            )
+        self.run(
+            timeout,
+            stop_when=lambda v: abs(v.sim.vehicle.state.altitude - altitude)
+            < TAKEOFF_ALT_TOLERANCE
+            and float(np.linalg.norm(v.sim.vehicle.state.velocity))
+            < TAKEOFF_VEL_TOLERANCE,
+        )
+        return [
+            abs(-float(self._pos[i, 2]) - altitude) < TAKEOFF_SUCCESS_TOLERANCE
+            for i in range(self.n)
+        ]
+
+    def run(self, duration: float, stop_when=None) -> None:
+        """Run all lanes for ``duration`` seconds (per-lane early-out).
+
+        Reproduces ``Vehicle.run`` per lane: each loop iteration checks
+        the crash flag, then ``stop_when(lane)``, then steps. A lane that
+        crashes or satisfies ``stop_when`` freezes — its clock and RNG
+        streams stop exactly where the scalar run's would.
+        """
+        for lane in self.lanes:
+            if lane.target_hooks or lane.torque_hooks:
+                raise SimulationError(
+                    "target/torque hooks are not vectorized; use the scalar engine"
+                )
+        steps = int(round(duration / self.dt))
+        stopped = np.zeros(self.n, dtype=bool)
+        for _ in range(steps):
+            active: list[int] = []
+            for i in range(self.n):
+                if stopped[i]:
+                    continue
+                if self._crashed[i]:
+                    stopped[i] = True
+                    continue
+                if stop_when is not None and stop_when(self.lanes[i]):
+                    stopped[i] = True
+                    continue
+                active.append(i)
+            if not active:
+                break
+            self.step_lanes(np.asarray(active, dtype=np.intp))
+
+    # ------------------------------------------------------------------ #
+    # One control cycle for a set of lanes
+    # ------------------------------------------------------------------ #
+    def step(self) -> None:
+        """Step every non-crashed lane once."""
+        idx = np.flatnonzero(~self._crashed)
+        if idx.size:
+            self.step_lanes(idx)
+
+    def step_lanes(self, idx: np.ndarray) -> None:
+        """One full control cycle (sensors → estimate → control → physics)
+        for the lanes in ``idx``, mirroring ``Vehicle.step``."""
+        dt = self.dt
+        self._estimation(idx)
+        for i in idx:
+            self._check_failsafes(int(i))
+        for i in idx:
+            lane = self.lanes[i]
+            for hook in lane.pre_control_hooks:
+                hook(lane)
+
+        armed_idx = idx[self._armed[idx]]
+        disarmed_idx = idx[~self._armed[idx]]
+        if disarmed_idx.size:
+            self._motor_cmd[disarmed_idx] = 0.0
+        if armed_idx.size:
+            self._control(armed_idx, dt)
+
+        self._plant_step(idx)
+        for i in idx:
+            self._time[i] += dt
+        self._step_count[idx] += 1
+
+        for i in idx:
+            lane = self.lanes[i]
+            for hook in lane.post_step_hooks:
+                hook(lane)
+
+    # ------------------------------------------------------------------ #
+    # Estimation
+    # ------------------------------------------------------------------ #
+    def _estimation(self, idx: np.ndarray) -> None:
+        dt = self.dt
+        readings_rows = []
+        for i in idx:
+            readings = self._sensors[i].sample(
+                self.lanes[i].sim.vehicle, self._time[i], dt
+            )
+            self._last_readings[i] = readings
+            readings_rows.append(readings)
+
+        gyro = np.array([r.imu.gyro for r in readings_rows])
+        accel = np.array([r.imu.accel for r in readings_rows])
+        finite = np.isfinite(gyro).all(axis=1) & np.isfinite(accel).all(axis=1)
+        self._ekf_predict(idx[finite], gyro[finite], accel[finite])
+        for k in np.flatnonzero(~finite):
+            ekf = self._ekfs[idx[k]]
+            ekf.rejected_updates += 1
+            ekf._metric_rejected.inc()
+
+        self._sins_predict(idx[finite], gyro[finite], accel[finite])
+
+        fin_rows = np.flatnonzero(finite)
+        ahrs_row = {}
+        if fin_rows.size:
+            ahrs_q = _quat_integrate_cols(
+                np.array([self._ahrs[int(idx[k])]._quat for k in fin_rows]),
+                gyro[finite],
+                dt,
+            )
+            ahrs_row = {int(k): j for j, k in enumerate(fin_rows)}
+
+        for k, i in enumerate(idx):
+            i = int(i)
+            readings = readings_rows[k]
+            imu = readings.imu
+            imu_ok = bool(finite[k])
+            if imu_ok:
+                self._ahrs_update(
+                    self._ahrs[i], ahrs_q[ahrs_row[k]], imu.gyro, imu.accel
+                )
+            time_s = self._time[i]
+            timers = self._ekf_timers[i]
+            ekf = self._ekfs[i]
+            if time_s - timers["accel"] >= EKF_UPDATE_PERIODS["accel"]:
+                ekf.update_accel_attitude(imu.accel)
+                timers["accel"] = time_s
+            if time_s - timers["mag"] >= EKF_UPDATE_PERIODS["mag"]:
+                ekf.update_mag_yaw(readings.mag.field)
+                timers["mag"] = time_s
+            if time_s - timers["gps"] >= EKF_UPDATE_PERIODS["gps"]:
+                ekf.update_gps(readings.gps.position, readings.gps.velocity)
+                if bool(
+                    np.isfinite(readings.gps.position).all()
+                    and np.isfinite(readings.gps.velocity).all()
+                ):
+                    self._sins[i].correct_gps(
+                        readings.gps.position, readings.gps.velocity
+                    )
+                timers["gps"] = time_s
+            if time_s - timers["baro"] >= EKF_UPDATE_PERIODS["baro"]:
+                ekf.update_baro(readings.baro.altitude)
+                if math.isfinite(readings.baro.altitude):
+                    self._sins[i].correct_baro(readings.baro.altitude)
+                timers["baro"] = time_s
+
+    @staticmethod
+    def _ahrs_update(ahrs, q: np.ndarray, gyro: np.ndarray, accel: np.ndarray) -> None:
+        """ComplementaryFilter.update (no mag), on the lane's filter state.
+
+        ``q`` is the gyro-integrated quaternion (batched upstream via
+        ``_quat_integrate_cols``); the accel correction and norms mirror
+        the scalar filter, with ``math.sqrt(x.dot(x))`` bit-equal to
+        ``np.linalg.norm``.
+        """
+        roll, pitch, yaw = quat_to_euler(q)
+        accel_norm = float(math.sqrt(accel.dot(accel)))
+        gyro_norm = float(math.sqrt(gyro.dot(gyro)))
+        if 0.5 * 9.80665 < accel_norm < 1.5 * 9.80665 and gyro_norm < 1.0:
+            accel_roll = math.atan2(-accel[1], -accel[2])
+            accel_pitch = math.atan2(accel[0], math.hypot(accel[1], accel[2]))
+            roll += ahrs.accel_gain * wrap_pi(accel_roll - roll)
+            pitch += ahrs.accel_gain * wrap_pi(accel_pitch - pitch)
+        ahrs._quat = quat_from_euler(roll, pitch, yaw)
+
+    def _sins_predict(
+        self, idx: np.ndarray, gyro: np.ndarray, accel: np.ndarray
+    ) -> None:
+        """Batched StrapdownINS.predict over the lanes in ``idx``.
+
+        The attitude integration keeps the scalar ``quat_integrate`` call
+        per lane (its norms do not batch bit-exactly); the rotate /
+        gravity-compensate / integrate mechanisation is batched.
+        """
+        m = idx.size
+        if not m:
+            return
+        dt = self.dt
+        sinses = [self._sins[int(i)] for i in idx]
+        quats = _quat_integrate_cols(
+            np.array([sins._quat for sins in sinses]), gyro, dt
+        )
+        for k, sins in enumerate(sinses):
+            sins._quat = quats[k]
+        accel_world = _quat_rotate_cols(quats, accel) + self._sins_gravity
+        dv = accel_world * dt
+        vel = np.array([sins._velocity for sins in sinses]) + dv
+        dp = vel * dt
+        pos = np.array([sins._position for sins in sinses]) + dp
+        for k, sins in enumerate(sinses):
+            sins._velocity = vel[k]
+            sins._position = pos[k]
+            inter = sins.intermediates
+            inter["ACC_N"] = float(accel_world[k, 0])
+            inter["ACC_E"] = float(accel_world[k, 1])
+            inter["ACC_D"] = float(accel_world[k, 2])
+            inter["DV_N"] = float(dv[k, 0])
+            inter["DV_E"] = float(dv[k, 1])
+            inter["DV_D"] = float(dv[k, 2])
+            inter["DP_N"] = float(dp[k, 0])
+            inter["DP_E"] = float(dp[k, 1])
+            inter["DP_D"] = float(dp[k, 2])
+
+    def _ekf_predict(
+        self, idx: np.ndarray, gyro: np.ndarray, accel: np.ndarray
+    ) -> None:
+        """Batched AttitudePositionEKF.predict over the lanes in ``idx``."""
+        m = idx.size
+        if not m:
+            return
+        dt = self.dt
+        x = np.array([self._ekfs[i].x for i in idx])
+        p = np.array([self._ekfs[i].P for i in idx])
+
+        omega = gyro - x[:, 9:12]
+        phi = x[:, 0]
+        theta = x[:, 1]
+        sphi = np.sin(phi)
+        cphi = np.cos(phi)
+        ctheta = np.cos(theta)
+        # math.tan rounds differently from np.tan: keep the scalar call,
+        # with the scalar gimbal-lock guard, per lane.
+        ttheta = np.empty(m)
+        for k in range(m):
+            th = theta[k]
+            ct = ctheta[k]
+            if abs(ct) < 1e-3:
+                ct = math.copysign(1e-3, ct if ct != 0.0 else 1.0)
+                ctheta[k] = ct
+                ttheta[k] = math.sin(th) / ct
+            else:
+                ttheta[k] = math.tan(th)
+
+        er0 = omega[:, 0] + sphi * ttheta * omega[:, 1] + cphi * ttheta * omega[:, 2]
+        er1 = cphi * omega[:, 1] - sphi * omega[:, 2]
+        er2 = (sphi / ctheta) * omega[:, 1] + (cphi / ctheta) * omega[:, 2]
+        x[:, 0] = x[:, 0] + er0 * dt
+        x[:, 1] = x[:, 1] + er1 * dt
+        x[:, 2] = x[:, 2] + er2 * dt
+        x[:, 0] = _wrap_cols(x[:, 0])
+        x[:, 2] = _wrap_cols(x[:, 2])
+
+        dcm = _dcm_from_euler_cols(x[:, 0], x[:, 1], x[:, 2])
+        f_ned = _matvec(dcm, accel)
+        accel_ned = f_ned + self._ekf_gravity_vec
+        x[:, 3:6] = x[:, 3:6] + accel_ned * dt
+        x[:, 6:9] = x[:, 6:9] + x[:, 3:6] * dt
+
+        f = np.tile(np.eye(12), (m, 1, 1))
+        f[:, 6, 3] = dt
+        f[:, 7, 4] = dt
+        f[:, 8, 5] = dt
+        f[:, 0, 9] = -dt
+        f[:, 1, 10] = -dt
+        f[:, 2, 11] = -dt
+        f[:, 3, 1] = f_ned[:, 2] * dt
+        f[:, 3, 2] = -f_ned[:, 1] * dt
+        f[:, 4, 0] = -f_ned[:, 2] * dt
+        f[:, 4, 2] = f_ned[:, 0] * dt
+        f[:, 5, 0] = f_ned[:, 1] * dt
+        f[:, 5, 1] = -f_ned[:, 0] * dt
+
+        fp = f @ p
+        ft = np.ascontiguousarray(f.transpose(0, 2, 1))
+        p_new = fp @ ft + self._ekf_Q
+
+        for k, i in enumerate(idx):
+            ekf = self._ekfs[i]
+            ekf.x = x[k]
+            ekf.P = p_new[k]
+
+    # ------------------------------------------------------------------ #
+    # Failsafes (mirrors Vehicle._check_failsafes)
+    # ------------------------------------------------------------------ #
+    def _check_failsafes(self, i: int) -> None:
+        if not self._armed[i] or self._modes[i].mode is FlightMode.LAND:
+            return
+        battery = self._batteries[i]
+        params = self.params
+        if battery.voltage <= params.get("BATT_CRT_VOLT") or battery.depleted:
+            self._lane_set_mode(i, FlightMode.LAND)
+            return
+        if battery.voltage <= params.get("BATT_LOW_VOLT"):
+            if (
+                params.get("BATT_FS_LOW_ACT") >= 2.0
+                and self._modes[i].mode is not FlightMode.RTL
+            ):
+                self._lane_set_mode(i, FlightMode.RTL)
+                return
+        if (
+            params.get("FENCE_ENABLE") >= 1.0
+            and self._modes[i].mode is not FlightMode.RTL
+        ):
+            position = self._pos[i]
+            horizontal = float(np.hypot(
+                position[0] - self._home[i][0], position[1] - self._home[i][1]
+            ))
+            breach = (
+                horizontal > params.get("FENCE_RADIUS")
+                or -float(position[2]) > params.get("FENCE_ALT_MAX")
+            )
+            if breach and params.get("FENCE_ACTION") >= 1.0:
+                self._lane_set_mode(i, FlightMode.RTL)
+
+    # ------------------------------------------------------------------ #
+    # Control (navigation → position → attitude → mixer)
+    # ------------------------------------------------------------------ #
+    def _control(self, idx: np.ndarray, dt: float) -> None:
+        m = idx.size
+        # Estimated state, exactly as Vehicle.step reads it.
+        pos_est = np.array([self._ekfs[i].x[6:9] for i in idx])
+        vel_est = np.array([self._ekfs[i].x[3:6] for i in idx])
+        roll_est = np.array([self._ekfs[i].x[0] for i in idx])
+        pitch_est = np.array([self._ekfs[i].x[1] for i in idx])
+        yaw_est = np.array([self._ekfs[i].x[2] for i in idx])
+        gyro_rows = []
+        for i in idx:
+            readings = self._last_readings[i]
+            gyro_rows.append(
+                readings.imu.gyro if readings is not None else np.zeros(3)
+            )
+        gyro = np.array(gyro_rows)
+
+        # Navigation (per-lane mode logic) → position setpoints.
+        nav_rows: list[int] = []  # positions within idx that run the cascade
+        sp_pos = np.zeros((m, 3))
+        sp_yaw = np.zeros(m)
+        for k, i in enumerate(idx):
+            i = int(i)
+            mode = self._modes[i].mode
+            if mode is FlightMode.STABILIZE:
+                continue  # manual targets; no position cascade
+            if mode is FlightMode.GUIDED:
+                target = (
+                    self._guided_target[i]
+                    if self._guided_target[i] is not None
+                    else self._home[i]
+                )
+                yaw_sp = self._last_targets[i].yaw
+            elif mode is FlightMode.AUTO:
+                mission = self.missions[i]
+                if mission is None:
+                    raise MissionError("AUTO mode with no mission")
+                position = self._ekfs[i].position
+                wp = mission.update(position, self._time[i])
+                desired_yaw = mission.desired_yaw(position)
+                max_step = self._yaw_slew_rate * dt
+                err = wrap_pi(desired_yaw - self._yaw_target[i])
+                self._yaw_target[i] = wrap_pi(
+                    self._yaw_target[i] + float(np.clip(err, -max_step, max_step))
+                )
+                target = wp.position
+                yaw_sp = self._yaw_target[i]
+            elif mode is FlightMode.RTL:
+                rtl_alt = self.params.get("RTL_ALT")
+                target = np.array(
+                    [self._home[i][0], self._home[i][1], -rtl_alt]
+                )
+                yaw_sp = self._last_targets[i].yaw
+            else:  # LAND
+                land_speed = self.params.get("LAND_SPEED")
+                position = self._ekfs[i].position
+                target_down = position[2] + land_speed * 1.0
+                target = np.array([position[0], position[1], target_down])
+                yaw_sp = self._last_targets[i].yaw
+            nav_rows.append(k)
+            sp_pos[k] = target
+            sp_yaw[k] = yaw_sp
+
+        t_roll = np.zeros(m)
+        t_pitch = np.zeros(m)
+        t_yaw = np.zeros(m)
+        t_thr = np.zeros(m)
+        if nav_rows:
+            rows = np.asarray(nav_rows, dtype=np.intp)
+            nav_idx = idx[rows]
+            accel_n = self._axis_update(
+                self._sqrt_x, self._pid_vel_x, self._accel_xy_max, nav_idx,
+                sp_pos[rows, 0], pos_est[rows, 0], vel_est[rows, 0], dt,
+            )
+            accel_e = self._axis_update(
+                self._sqrt_y, self._pid_vel_y, self._accel_xy_max, nav_idx,
+                sp_pos[rows, 1], pos_est[rows, 1], vel_est[rows, 1], dt,
+            )
+            accel_d = self._axis_update(
+                self._sqrt_z, self._pid_vel_z, self._accel_z_max, nav_idx,
+                sp_pos[rows, 2], pos_est[rows, 2], vel_est[rows, 2], dt,
+            )
+            yaw_rows = yaw_est[rows]
+            cos_yaw = np.cos(yaw_rows)
+            sin_yaw = np.sin(yaw_rows)
+            accel_fwd = accel_n * cos_yaw + accel_e * sin_yaw
+            accel_rgt = -accel_n * sin_yaw + accel_e * cos_yaw
+            # math.atan2 rounds differently from np.arctan2: per lane.
+            grav = self._ctrl_gravity
+            lean = self._lean_max
+            roll_t = np.empty(rows.size)
+            pitch_t = np.empty(rows.size)
+            for k in range(rows.size):
+                pitch = -math.atan2(float(accel_fwd[k]), grav)
+                pitch_t[k] = -lean if pitch < -lean else lean if pitch > lean else pitch
+                roll = math.atan2(float(accel_rgt[k]), grav)
+                roll_t[k] = -lean if roll < -lean else lean if roll > lean else roll
+            tilt = np.cos(roll_t) * np.cos(pitch_t)
+            tilt = np.maximum(tilt, 0.5)
+            climb_accel = -accel_d
+            throttle = self._hover_throttle * (1.0 + climb_accel / grav) / tilt
+            throttle = np.clip(throttle, 0.0, 1.0)
+            t_roll[rows] = roll_t
+            t_pitch[rows] = pitch_t
+            t_yaw[rows] = sp_yaw[rows]
+            t_thr[rows] = throttle
+
+        nav_set = set(nav_rows)
+        for k, i in enumerate(idx):
+            i = int(i)
+            if k in nav_set:
+                targets = AttitudeTargets(
+                    roll=float(t_roll[k]), pitch=float(t_pitch[k]),
+                    yaw=float(t_yaw[k]), throttle=float(t_thr[k]),
+                )
+            else:
+                targets = self._manual_targets[i]
+                t_roll[k] = targets.roll
+                t_pitch[k] = targets.pitch
+                t_yaw[k] = targets.yaw
+                t_thr[k] = targets.throttle
+            self._last_targets[i] = targets
+
+        # Attitude controller (AttitudeController.update, batched).
+        err_r = _wrap_cols(t_roll - roll_est)
+        err_p = _wrap_cols(t_pitch - pitch_est)
+        err_y = _wrap_cols(t_yaw - yaw_est)
+        rt_r = np.clip(self._angle_p * err_r, -self._rate_max, self._rate_max)
+        rt_p = np.clip(self._angle_p * err_p, -self._rate_max, self._rate_max)
+        rt_y = np.clip(self._angle_p * err_y, -self._rate_max, self._rate_max)
+        tq_r = np.clip(self._pid_roll.update(idx, rt_r, gyro[:, 0], dt), -1.0, 1.0)
+        tq_p = np.clip(self._pid_pitch.update(idx, rt_p, gyro[:, 1], dt), -1.0, 1.0)
+        tq_y = np.clip(self._pid_yaw.update(idx, rt_y, gyro[:, 2], dt), -1.0, 1.0)
+        self._torque[idx, 0] = tq_r
+        self._torque[idx, 1] = tq_p
+        self._torque[idx, 2] = tq_y
+
+        self._motor_cmd[idx] = self._mix_cols(t_thr, tq_r, tq_p, tq_y)
+
+    def _mix_cols(
+        self, thr: np.ndarray, tq_r: np.ndarray, tq_p: np.ndarray, tq_y: np.ndarray
+    ) -> np.ndarray:
+        """Batched MotorMixer.mix (all ops elementwise / exact comparisons).
+
+        The saturation branches are evaluated with masks; ``np.where``
+        selects exactly the branch the scalar mixer would take, and the
+        divisions inside a discarded branch (0/0 etc.) are masked out.
+        """
+        mixer = self._mixer
+        min_t = mixer.min_throttle
+        max_t = mixer.max_throttle
+        roll_f = mixer.ROLL_FACTORS
+        pitch_f = mixer.PITCH_FACTORS
+        yaw_f = mixer.YAW_FACTORS
+        thr = np.clip(thr, 0.0, 1.0)
+        headroom = np.minimum(thr - min_t, max_t - thr)
+        mix = (
+            roll_f * tq_r[:, None]
+            + pitch_f * tq_p[:, None]
+            + yaw_f * tq_y[:, None]
+        )
+        peak = np.max(np.abs(mix), axis=1)
+        sat = (peak > headroom) & (peak > 0.0)
+        if np.any(sat):
+            rp_mix = roll_f * tq_r[sat, None] + pitch_f * tq_p[sat, None]
+            rp_peak = np.max(np.abs(rp_mix), axis=1)
+            hr = headroom[sat]
+            rp_over = (rp_peak > hr) & (rp_peak > 0.0)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                rp_scaled = rp_mix * (hr / rp_peak)[:, None]
+                yaw_hr = hr - rp_peak
+                yaw_mix = yaw_f * tq_y[sat, None]
+                yaw_peak = np.max(np.abs(yaw_mix), axis=1)
+                yaw_over = (yaw_peak > yaw_hr) & (yaw_peak > 0.0)
+                yaw_mix = np.where(
+                    yaw_over[:, None],
+                    yaw_mix * (yaw_hr / yaw_peak)[:, None],
+                    yaw_mix,
+                )
+            mix[sat] = np.where(rp_over[:, None], rp_scaled, rp_mix + yaw_mix)
+        return np.clip(thr[:, None] + mix, min_t, max_t)
+
+    def _axis_update(
+        self, sqrt_bank, vel_bank, accel_max, idx, pos_target, pos, vel, dt
+    ) -> np.ndarray:
+        """AxisCascade.update, batched."""
+        vel_target = sqrt_bank.update(idx, pos_target, pos)
+        raw_accel = vel_bank.update(idx, vel_target, vel, dt)
+        return np.clip(raw_accel, -accel_max, accel_max)
+
+    # ------------------------------------------------------------------ #
+    # Plant (mirrors QuadrotorModel.step + Simulator.step)
+    # ------------------------------------------------------------------ #
+    def _plant_step(self, idx: np.ndarray) -> None:
+        dt = self.dt
+        cmds = np.clip(self._motor_cmd[idx], 0.0, 1.0)
+        self._motor_cmd[idx] = cmds
+
+        if self._gust_std > 0.0:
+            noise = np.array(
+                [self._env_rngs[int(i)].standard_normal(3) for i in idx]
+            )
+            self._gust[idx] = (
+                self._gust_decay * self._gust[idx] + self._gust_noise_scale * noise
+            )
+
+        thrusts = self._thrusts[idx]
+        target = cmds * self._max_thrust
+        alpha = dt / (dt + self._motor_tc)
+        thrusts = thrusts + alpha * (target - thrusts)
+        self._thrusts[idx] = thrusts
+        # Length-4 reductions done as sequential adds (== 1-D np.sum).
+        total = thrusts[:, 0] + thrusts[:, 1] + thrusts[:, 2] + thrusts[:, 3]
+        tx = -self._positions[:, 1] * thrusts
+        tau_x = tx[:, 0] + tx[:, 1] + tx[:, 2] + tx[:, 3]
+        ty = self._positions[:, 0] * thrusts
+        tau_y = ty[:, 0] + ty[:, 1] + ty[:, 2] + ty[:, 3]
+        tz = self._spin * thrusts * self._torque_coeff
+        tau_z = tz[:, 0] + tz[:, 1] + tz[:, 2] + tz[:, 3]
+
+        vel = self._vel[idx]
+        quat = self._quat[idx]
+        omega = self._omega[idx]
+        wind = self._wind_mean + self._gust[idx]
+        airspeed = vel - wind
+        drag_world = -self._drag_coeff * airspeed
+        force_body = np.zeros((idx.size, 3))
+        force_body[:, 2] = -total
+        thrust_world = _quat_rotate_cols(quat, force_body)
+        force_world = thrust_world + drag_world + self._gravity_force
+        torque_body = np.stack([tau_x, tau_y, tau_z], axis=1)
+        torque_body = torque_body - self._ang_drag * omega
+
+        altitude = -self._pos[idx, 2]
+        rest = (
+            (altitude <= self._ground + 1e-6)
+            & (vel[:, 2] >= 0.0)
+            & (total <= self._weight)
+        )
+        rest_lanes = idx[rest]
+        if rest_lanes.size:
+            self._landed[rest_lanes] = True
+            self._pos[rest_lanes, 2] = -self._ground
+            self._vel[rest_lanes] = 0.0
+            self._omega[rest_lanes] = 0.0
+            self._sfb[rest_lanes] = _quat_inverse_rotate_cols(
+                self._quat[rest_lanes],
+                np.tile(self._neg_gravity_world, (rest_lanes.size, 1)),
+            )
+            for k, i in enumerate(rest_lanes):
+                self._battery_step(int(i), dt)
+
+        dyn = ~rest
+        dyn_lanes = idx[dyn]
+        if not dyn_lanes.size:
+            return
+        total_d = total[dyn]
+        unlatch = self._landed[dyn_lanes] & (total_d > self._weight)
+        self._landed[dyn_lanes[unlatch]] = False
+
+        omega_d = omega[dyn]
+        i_omega = _matvec(self._inertia_b[: dyn_lanes.size], omega_d)
+        gyroscopic = _cross_cols(omega_d, i_omega)
+        omega_dot = _matvec(
+            self._inertia_inv_b[: dyn_lanes.size], torque_body[dyn] - gyroscopic
+        )
+        omega_new = omega_d + omega_dot * dt
+        self._quat[dyn_lanes] = _quat_integrate_cols(
+            self._quat[dyn_lanes], omega_new, dt
+        )
+        self._omega[dyn_lanes] = omega_new
+        accel = force_world[dyn] / self._mass
+        vel_new = vel[dyn] + accel * dt
+        self._vel[dyn_lanes] = vel_new
+        self._pos[dyn_lanes] = self._pos[dyn_lanes] + vel_new * dt
+
+        nongrav_world = thrust_world[dyn] + drag_world[dyn]
+        self._sfb[dyn_lanes] = _quat_inverse_rotate_cols(
+            self._quat[dyn_lanes], nongrav_world / self._mass
+        )
+
+        impact = np.flatnonzero(
+            -self._pos[dyn_lanes, 2] < self._ground - 0.01
+        )
+        for k in impact:
+            i = int(dyn_lanes[k])
+            impact_speed = float(self._vel[i, 2])
+            self._pos[i, 2] = -self._ground
+            if impact_speed > 2.0 and not self._landed[i]:
+                self._crashed[i] = True
+                self._crash_reason[i] = f"ground impact at {impact_speed:.1f} m/s"
+            self._vel[i] = 0.0
+            self._omega[i] = 0.0
+            self._landed[i] = True
+
+        for i in dyn_lanes:
+            i = int(i)
+            self._battery_step(i, dt)
+            if self._batteries[i].depleted and not self._landed[i]:
+                self._motor_cmd[i] = 0.0
+
+    def _battery_step(self, i: int, dt: float) -> None:
+        cmd = self._motor_cmd[i]
+        throttle_mean = (
+            float(cmd[0]) + float(cmd[1]) + float(cmd[2]) + float(cmd[3])
+        ) / 4.0
+        self._batteries[i].step(throttle_mean, dt)

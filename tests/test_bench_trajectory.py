@@ -1,0 +1,195 @@
+"""The BENCH_<date>.json performance-trajectory machinery.
+
+Pins the snapshot writer (schema-valid output, validated with the same
+``repro.obs.schema`` validator the CLI's ``obs validate`` uses), the
+tolerance-band comparison (detects an injected regression, passes within
+tolerance, survives the bootstrap/no-previous case) and the
+``benchmarks/trajectory.py`` CLI wrapper, plus the checked-in first
+snapshot itself.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.obs.schema import validate, validate_file
+from repro.obs.trajectory import (
+    compare_snapshots,
+    latest_snapshots,
+    load_trajectory,
+    snapshot_path,
+    write_snapshot,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCHEMA = REPO_ROOT / "schemas" / "bench_trajectory.schema.json"
+
+
+def _suites(scalar=1.0, fleet=3.5):
+    return {
+        "scalar_hot_loop": {"wall_s": scalar},
+        "vectorized_hot_loop_n16": {"wall_s": fleet},
+    }
+
+
+class TestWriteSnapshot:
+    def test_writes_schema_valid_json(self, tmp_path):
+        path = write_snapshot(
+            tmp_path, _suites(), counters={"sim.steps": 64000.0},
+            extras={"speedup_n16": 4.5}, label="unit test",
+            date="2026-08-09",
+        )
+        assert path.name == "BENCH_2026-08-09.json"
+        assert validate_file(path, SCHEMA) == []
+        document = json.loads(path.read_text())
+        assert document["date"] == "2026-08-09"
+        assert document["suites"]["scalar_hot_loop"]["wall_s"] == 1.0
+        assert document["extras"]["speedup_n16"] == 4.5
+
+    def test_default_date_is_today(self, tmp_path):
+        path = write_snapshot(tmp_path, _suites())
+        assert path == snapshot_path(tmp_path)
+        assert validate_file(path, SCHEMA) == []
+
+    def test_rejects_malformed_suites(self, tmp_path):
+        with pytest.raises(AnalysisError, match="missing 'wall_s'"):
+            write_snapshot(tmp_path, {"bad": {"seconds": 1.0}})
+        with pytest.raises(AnalysisError, match="negative"):
+            write_snapshot(tmp_path, {"bad": {"wall_s": -1.0}})
+
+    def test_schema_rejects_corrupt_snapshot(self, tmp_path):
+        path = write_snapshot(tmp_path, _suites(), date="2026-08-09")
+        document = json.loads(path.read_text())
+        del document["suites"]
+        document["bogus"] = True
+        errors = validate(document, json.loads(SCHEMA.read_text()))
+        assert any("suites" in e for e in errors)
+        assert any("bogus" in e for e in errors)
+
+
+class TestTrajectory:
+    def test_empty_and_missing_directories(self, tmp_path):
+        assert load_trajectory(tmp_path) == []
+        assert load_trajectory(tmp_path / "nope") == []
+        assert latest_snapshots(tmp_path) == (None, None)
+
+    def test_sorted_by_date_with_latest_pair(self, tmp_path):
+        write_snapshot(tmp_path, _suites(1.0), date="2026-08-01")
+        write_snapshot(tmp_path, _suites(1.2), date="2026-08-08")
+        write_snapshot(tmp_path, _suites(1.1), date="2026-08-05")
+        trajectory = load_trajectory(tmp_path)
+        assert [p.name for p, _ in trajectory] == [
+            "BENCH_2026-08-01.json", "BENCH_2026-08-05.json",
+            "BENCH_2026-08-08.json",
+        ]
+        current, previous = latest_snapshots(tmp_path)
+        assert current["date"] == "2026-08-08"
+        assert previous["date"] == "2026-08-05"
+
+    def test_corrupt_snapshot_raises(self, tmp_path):
+        (tmp_path / "BENCH_2026-08-01.json").write_text("{nope")
+        with pytest.raises(AnalysisError, match="corrupt"):
+            load_trajectory(tmp_path)
+
+
+class TestCompare:
+    def _docs(self, tmp_path, prev_scalar, cur_scalar):
+        write_snapshot(tmp_path, _suites(scalar=prev_scalar),
+                       date="2026-08-01")
+        write_snapshot(tmp_path, _suites(scalar=cur_scalar),
+                       date="2026-08-08")
+        return latest_snapshots(tmp_path)
+
+    def test_detects_injected_regression(self, tmp_path):
+        current, previous = self._docs(tmp_path, 1.0, 1.5)
+        comparison = compare_snapshots(current, previous, tolerance=0.25)
+        assert not comparison.ok
+        names = [suite.name for suite in comparison.regressions]
+        assert names == ["scalar_hot_loop"]
+        assert comparison.regressions[0].slowdown == pytest.approx(0.5)
+        assert "REGRESSION" in comparison.render()
+
+    def test_passes_within_tolerance_band(self, tmp_path):
+        current, previous = self._docs(tmp_path, 1.0, 1.2)
+        comparison = compare_snapshots(current, previous, tolerance=0.25)
+        assert comparison.ok
+        assert "ok" in comparison.render()
+
+    def test_speedup_never_flags(self, tmp_path):
+        current, previous = self._docs(tmp_path, 1.0, 0.5)
+        assert compare_snapshots(current, previous, tolerance=0.25).ok
+
+    def test_bootstrap_cases_pass(self, tmp_path):
+        assert compare_snapshots(None, None).ok
+        write_snapshot(tmp_path, _suites(), date="2026-08-08")
+        current, previous = latest_snapshots(tmp_path)
+        assert previous is None
+        comparison = compare_snapshots(current, previous)
+        assert comparison.ok and comparison.bootstrap
+        assert "baseline" in comparison.render()
+
+    def test_new_suite_is_not_a_regression(self, tmp_path):
+        write_snapshot(tmp_path, {"old": {"wall_s": 1.0}}, date="2026-08-01")
+        write_snapshot(
+            tmp_path,
+            {"old": {"wall_s": 1.0}, "fresh": {"wall_s": 99.0}},
+            date="2026-08-08",
+        )
+        current, previous = latest_snapshots(tmp_path)
+        comparison = compare_snapshots(current, previous, tolerance=0.25)
+        assert comparison.ok
+        assert "new suite" in comparison.render()
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(AnalysisError, match="tolerance"):
+            compare_snapshots(None, None, tolerance=-0.1)
+
+
+class TestTrajectoryCli:
+    """The benchmarks/trajectory.py compare command (the CI gate)."""
+
+    @staticmethod
+    def _load_cli():
+        path = REPO_ROOT / "benchmarks" / "trajectory.py"
+        spec = importlib.util.spec_from_file_location("bench_trajectory_cli",
+                                                      path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_compare_exits_clean_on_empty_and_single(self, tmp_path, capsys):
+        cli = self._load_cli()
+        assert cli.main(["compare", "--dir", str(tmp_path)]) == 0
+        write_snapshot(tmp_path, _suites(), date="2026-08-08")
+        assert cli.main(["compare", "--dir", str(tmp_path)]) == 0
+        assert "baseline" in capsys.readouterr().out
+
+    def test_compare_fails_on_regression_and_respects_tolerance(
+        self, tmp_path, capsys
+    ):
+        cli = self._load_cli()
+        write_snapshot(tmp_path, _suites(scalar=1.0), date="2026-08-01")
+        write_snapshot(tmp_path, _suites(scalar=1.5), date="2026-08-08")
+        assert cli.main(["compare", "--dir", str(tmp_path)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        # A looser band accepts the same pair.
+        assert cli.main(["compare", "--dir", str(tmp_path),
+                         "--tolerance", "0.6"]) == 0
+
+
+class TestCheckedInSnapshot:
+    """The committed BENCH_*.json series is valid and records the
+    acceptance speedup."""
+
+    def test_first_snapshot_checked_in_and_valid(self):
+        trajectory = load_trajectory(REPO_ROOT)
+        assert trajectory, "no BENCH_*.json checked in at the repo root"
+        for path, _ in trajectory:
+            assert validate_file(path, SCHEMA) == [], path
+        latest = trajectory[-1][1]
+        assert latest["extras"]["speedup_n16"] >= 4.0

@@ -338,3 +338,270 @@ class TestRunExperiment:
                                        scale=2.0)
         assert _CALLS == [2]
         assert second == first
+
+
+# --------------------------------------------------------------------- #
+# engine="vectorized": batched execution must never change the science
+# --------------------------------------------------------------------- #
+
+_BATCH_CALLS: list[list[int]] = []
+
+
+def _batch_all(seeds: list[int]) -> dict[int, dict[str, float]]:
+    """A batch callable that handles every seed (values match the scalar
+    experiment bit-for-bit because it calls the same function)."""
+    return {seed: _metric_experiment(seed) for seed in seeds}
+
+
+def _batch_counting(seeds: list[int]) -> dict[int, dict[str, float]]:
+    _BATCH_CALLS.append(list(seeds))
+    return _batch_all(seeds)
+
+
+def _batch_even_only(seeds: list[int]) -> dict[int, dict[str, float]]:
+    """A batch callable that can only vectorize even seeds — the odd ones
+    must fall back to the scalar engine per seed."""
+    return {seed: _metric_experiment(seed) for seed in seeds if seed % 2 == 0}
+
+
+def _batch_exploding(seeds: list[int]) -> dict[int, dict[str, float]]:
+    raise RuntimeError("no SIMD today")
+
+
+class TestVectorizedEngine:
+    SEEDS = list(range(10, 18))
+
+    def test_vectorized_identical_to_serial_and_parallel(self):
+        serial = run_campaign(_metric_experiment, self.SEEDS)
+        parallel = run_campaign(_metric_experiment, self.SEEDS, workers=4)
+        vectorized = run_campaign(_metric_experiment, self.SEEDS,
+                                  engine="vectorized", batch=_batch_all)
+        assert _values(vectorized) == _values(parallel) == _values(serial)
+        assert vectorized.seeds == serial.seeds == self.SEEDS
+        assert vectorized.vectorized_seeds == self.SEEDS
+        assert not vectorized.fallback_seeds
+        assert set(vectorized.statuses.values()) == {"vectorized"}
+        assert "vectorized" in vectorized.render()
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown campaign engine"):
+            run_campaign(_metric_experiment, [1], engine="simd")
+        with pytest.raises(AnalysisError, match="batch_size"):
+            run_campaign(_metric_experiment, [1], engine="vectorized",
+                         batch=_batch_all, batch_size=0)
+
+    def test_chunking_respects_batch_size(self):
+        _BATCH_CALLS.clear()
+        run_campaign(_metric_experiment, self.SEEDS, engine="vectorized",
+                     batch=_batch_counting, batch_size=3)
+        assert [len(chunk) for chunk in _BATCH_CALLS] == [3, 3, 2]
+        assert [s for chunk in _BATCH_CALLS for s in chunk] == self.SEEDS
+
+    def test_partial_batch_falls_back_per_seed(self):
+        serial = run_campaign(_metric_experiment, self.SEEDS)
+        mixed = run_campaign(_metric_experiment, self.SEEDS,
+                             engine="vectorized", batch=_batch_even_only)
+        assert _values(mixed) == _values(serial)
+        assert mixed.seeds == self.SEEDS
+        evens = [s for s in self.SEEDS if s % 2 == 0]
+        odds = [s for s in self.SEEDS if s % 2 == 1]
+        assert mixed.vectorized_seeds == evens
+        assert mixed.fallback_seeds == odds
+        for seed in evens:
+            assert mixed.statuses[seed] == "vectorized"
+        for seed in odds:
+            assert mixed.statuses[seed] == "fallback"
+
+    def test_raising_batch_falls_back_whole_chunks(self):
+        serial = run_campaign(_metric_experiment, self.SEEDS)
+        fallen = run_campaign(_metric_experiment, self.SEEDS,
+                              engine="vectorized", batch=_batch_exploding,
+                              batch_size=4)
+        assert _values(fallen) == _values(serial)
+        assert fallen.fallback_seeds == self.SEEDS
+        assert not fallen.vectorized_seeds
+
+    def test_engine_without_batch_runs_scalar(self):
+        """vectorized without a batch callable (experiment has no batched
+        implementation) silently behaves exactly like the scalar engine."""
+        serial = run_campaign(_metric_experiment, self.SEEDS)
+        result = run_campaign(_metric_experiment, self.SEEDS,
+                              engine="vectorized", batch=None)
+        assert _values(result) == _values(serial)
+        assert not result.vectorized_seeds and not result.fallback_seeds
+
+    def test_vectorized_run_populates_cache_for_scalar(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        _CALLS.clear()
+        cold = run_campaign(_counting_experiment, self.SEEDS,
+                            engine="vectorized", batch=_batch_all,
+                            cache=cache, experiment_name="xhit", params={"p": 1})
+        assert _CALLS == []  # every seed batched; scalar callable never ran
+        assert cold.vectorized_seeds == self.SEEDS
+        warm = run_campaign(_counting_experiment, self.SEEDS, cache=cache,
+                            experiment_name="xhit", params={"p": 1})
+        assert _CALLS == []  # scalar engine fully served by the cache
+        assert warm.cached_seeds == self.SEEDS
+        assert _values(warm) == _values(cold)
+
+    def test_scalar_run_populates_cache_for_vectorized(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_campaign(_metric_experiment, self.SEEDS, cache=cache,
+                            experiment_name="xhit2", params=None)
+        _BATCH_CALLS.clear()
+        warm = run_campaign(_metric_experiment, self.SEEDS,
+                            engine="vectorized", batch=_batch_counting,
+                            cache=cache, experiment_name="xhit2", params=None)
+        assert _BATCH_CALLS == []  # nothing left for the batch to compute
+        assert warm.cached_seeds == self.SEEDS
+        assert _values(warm) == _values(cold)
+
+    def test_manifest_records_vectorized_and_fallback_statuses(self, tmp_path):
+        from repro.obs.schema import validate_file
+
+        manifest = tmp_path / "manifest.jsonl"
+        run_campaign(_metric_experiment, self.SEEDS, engine="vectorized",
+                     batch=_batch_even_only, manifest=manifest)
+        schema = (Path(__file__).resolve().parent.parent
+                  / "schemas" / "manifest.schema.json")
+        assert validate_file(manifest, schema) == []
+        statuses = {}
+        for line in manifest.read_text().splitlines():
+            record = json.loads(line)
+            statuses[record["seed"]] = record["status"]
+        for seed in self.SEEDS:
+            expected = "vectorized" if seed % 2 == 0 else "fallback"
+            assert statuses[seed] == expected
+
+
+# --------------------------------------------------------------------- #
+# Real-simulation fallback: fault-scheduled seeds are not batchable
+# --------------------------------------------------------------------- #
+
+_MIX_SEEDS = [30, 31, 32, 33]
+_MIX_FAULTY = {31, 33}
+
+
+def _mix_schedule():
+    from repro.faults.schedule import FaultSchedule
+
+    return FaultSchedule.single("imu_noise_burst", intensity=0.5, start=1.0)
+
+
+def _mix_metrics(sim_vehicle) -> dict[str, float]:
+    state = sim_vehicle.state
+    return {
+        "alt": float(state.altitude),
+        "roll": float(state.euler[0]),
+        "crashed": float(sim_vehicle.crashed),
+    }
+
+
+def _mix_experiment(seed: int) -> dict[str, float]:
+    """Scalar trial: seeds in ``_MIX_FAULTY`` fly with a fault schedule."""
+    from repro.firmware.vehicle import Vehicle
+    from repro.sim.config import SimConfig
+
+    schedule = _mix_schedule() if seed in _MIX_FAULTY else None
+    vehicle = Vehicle(SimConfig(seed=seed, wind_gust_std=0.4),
+                      fault_schedule=schedule)
+    vehicle.takeoff(4.0)
+    vehicle.run(1.5)
+    return _mix_metrics(vehicle.sim.vehicle)
+
+
+def _mix_batch(seeds: list[int]) -> dict[int, dict[str, float]]:
+    """Vectorized where possible: fault schedules are a scalar-only
+    feature, so the batch declines those seeds by omitting them."""
+    from repro.sim.config import SimConfig
+    from repro.sim.vectorized import VectorizedFleet
+
+    clean = [seed for seed in seeds if seed not in _MIX_FAULTY]
+    if not clean:
+        return {}
+    fleet = VectorizedFleet(SimConfig(wind_gust_std=0.4), seeds=clean)
+    fleet.takeoff(4.0)
+    fleet.run(1.5)
+    return {
+        seed: _mix_metrics(fleet.lanes[i].sim.vehicle)
+        for i, seed in enumerate(clean)
+    }
+
+
+class TestFaultScheduleFallback:
+    """A campaign mixing plain seeds with FaultSchedule seeds runs
+    vectorized where possible, falls back per seed, and matches the
+    all-scalar campaign byte for byte."""
+
+    def test_mixed_campaign_matches_all_scalar(self):
+        scalar = run_campaign(_mix_experiment, _MIX_SEEDS)
+        mixed = run_campaign(_mix_experiment, _MIX_SEEDS,
+                             engine="vectorized", batch=_mix_batch)
+        blob = json.dumps(encode_result(_values(scalar)), sort_keys=True)
+        assert json.dumps(encode_result(_values(mixed)),
+                          sort_keys=True) == blob
+        assert mixed.vectorized_seeds == [30, 32]
+        assert mixed.fallback_seeds == [31, 33]
+        assert mixed.statuses == {30: "vectorized", 31: "fallback",
+                                  32: "vectorized", 33: "fallback"}
+        assert mixed.seeds == scalar.seeds == _MIX_SEEDS
+
+
+# --------------------------------------------------------------------- #
+# Whole-experiment equivalence: fig9 and table2 across engines
+# --------------------------------------------------------------------- #
+
+def _blob(result) -> str:
+    return json.dumps(encode_result(result), sort_keys=True, allow_nan=True)
+
+
+class TestFig9EngineEquivalence:
+    """Small-scale fig9: vectorized ≡ serial ≡ parallel ≡ cache-warm."""
+
+    PARAMS = dict(trials=2, duration=5.0, steady_after=2.5)
+
+    def test_all_execution_modes_byte_identical(self, tmp_path):
+        from repro.experiments.fig9 import run_fig9
+
+        serial = _blob(run_fig9(**self.PARAMS))
+        parallel = _blob(run_fig9(**self.PARAMS, workers=2))
+        vectorized = _blob(run_fig9(**self.PARAMS, engine="vectorized"))
+        assert vectorized == parallel == serial
+
+        # A scalar-populated cache serves the vectorized engine: same
+        # fingerprints, so the warm run computes nothing new.
+        cache = ResultCache(tmp_path / "cache")
+        cold = _blob(run_fig9(**self.PARAMS, cache=cache))
+        stores = cache.stats.stores
+        warm = _blob(run_fig9(**self.PARAMS, cache=cache,
+                              engine="vectorized"))
+        assert warm == cold == serial
+        assert cache.stats.stores == stores  # nothing recomputed
+
+
+class TestTable2EngineRequest:
+    """table2 has no vectorized path: requesting one warns, runs scalar,
+    and produces a byte-identical result."""
+
+    def test_vectorized_request_warns_and_matches_scalar(
+        self, tmp_path, caplog
+    ):
+        import logging
+
+        from repro.experiments.runner import run_experiment
+        from repro.firmware.mission import line_mission
+
+        # Mission objects carry flight progress, so each run gets its own.
+        def missions():
+            return [line_mission(length=30.0, altitude=6.0, legs=1)]
+
+        scalar = run_experiment(
+            "table2", cache=ResultCache(tmp_path / "a"), missions=missions(),
+        )
+        with caplog.at_level(logging.WARNING):
+            vectorized = run_experiment(
+                "table2", cache=ResultCache(tmp_path / "b"),
+                engine="vectorized", missions=missions(),
+            )
+        assert "no vectorized path" in caplog.text
+        assert _blob(vectorized) == _blob(scalar)
