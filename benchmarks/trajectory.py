@@ -2,16 +2,23 @@
 
 ``write`` runs the vectorized-engine hot-loop suites (the same workload
 functions ``benchmarks/bench_vectorized.py`` benches) and snapshots their
-wall-clock timings, the obs counter deltas observed while they ran, and
-the derived N=16 speedup into ``BENCH_<date>.json``; ``compare`` checks
-the newest snapshot against its predecessor within a relative tolerance
-band and exits nonzero on a regression. Both are robust to the bootstrap
-case — an empty trajectory writes a first baseline and compares clean.
+wall-clock timings, the obs counter deltas observed while they ran, the
+speedup at every swept fleet width (``--sweep``, default ``4,16,64`` —
+the N-sweep shows how the batched fraction amortizes the per-step serial
+overhead), and a per-stage hot-loop breakdown for the scalar and the
+primary-``--n`` fleet suite (a separate profiled pass, so the profiler's
+bookkeeping never perturbs the timed numbers) into ``BENCH_<date>.json``;
+``compare`` checks the newest snapshot against its predecessor within a
+relative tolerance band — global via ``--tolerance``, per suite via
+repeatable ``--suite-tolerance NAME=BAND`` — and exits nonzero on a
+regression. Both are robust to the bootstrap case — an empty trajectory
+writes a first baseline and compares clean.
 
 Run from the repo root with the usual ``PYTHONPATH=src``::
 
     PYTHONPATH=src python benchmarks/trajectory.py write --label "my change"
-    PYTHONPATH=src python benchmarks/trajectory.py compare --tolerance 0.25
+    PYTHONPATH=src python benchmarks/trajectory.py compare --tolerance 0.25 \
+        --suite-tolerance vectorized_hot_loop_n4=0.5
 """
 
 from __future__ import annotations
@@ -33,49 +40,110 @@ def _load_bench_vectorized():
     return module
 
 
+def _sweep_widths(text: str, primary: int) -> list[int]:
+    """The fleet widths to bench: the ``--sweep`` list plus ``--n``."""
+    widths = set()
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        width = int(token)
+        if width < 1:
+            raise ValueError(f"sweep width must be >= 1 (got {width})")
+        widths.add(width)
+    widths.add(primary)
+    return sorted(widths)
+
+
+def _stage_breakdowns(bench, n: int, duration: float) -> dict[str, dict]:
+    """One profiled pass per engine; stage trees for the snapshot.
+
+    Separate from the timed runs on purpose: the profiler's perf_counter
+    bookkeeping costs a few percent, and the timed minima must stay
+    comparable across snapshots with and without stage capture.
+    """
+    from repro.obs import hot_loop_profile
+
+    with hot_loop_profile() as scalar_profile:
+        bench.time_scalar(duration)
+    with hot_loop_profile() as fleet_profile:
+        bench.time_fleet(n, duration)
+    return {
+        "scalar_hot_loop": scalar_profile.stages(),
+        f"vectorized_hot_loop_n{n}": fleet_profile.stages(),
+    }
+
+
 def _cmd_write(args: argparse.Namespace) -> int:
     from repro.obs.metrics import get_registry
     from repro.obs.trajectory import write_snapshot
 
     bench = _load_bench_vectorized()
+    widths = _sweep_widths(args.sweep, args.n)
     before = get_registry().snapshot()
     scalar_s = min(
         bench.time_scalar(args.duration) for _ in range(args.repeats)
     )
-    fleet_s = min(
-        bench.time_fleet(args.n, args.duration) for _ in range(args.repeats)
-    )
+    fleet_times = {
+        n: min(bench.time_fleet(n, args.duration)
+               for _ in range(args.repeats))
+        for n in widths
+    }
     after = get_registry().snapshot()
     counters = {}
     for key, value in after.get("counters", {}).items():
         delta = value - before.get("counters", {}).get(key, 0.0)
         if delta:
             counters[key] = delta
-    speedup = args.n * scalar_s / fleet_s
+    suites = {"scalar_hot_loop": {"wall_s": scalar_s}}
+    extras = {}
+    for n, fleet_s in fleet_times.items():
+        suites[f"vectorized_hot_loop_n{n}"] = {"wall_s": fleet_s}
+        extras[f"speedup_n{n}"] = round(n * scalar_s / fleet_s, 2)
+    if not args.no_stages:
+        for name, stages in _stage_breakdowns(
+            bench, args.n, args.duration
+        ).items():
+            suites[name]["stages"] = stages
     path = write_snapshot(
         args.dir,
-        suites={
-            "scalar_hot_loop": {"wall_s": scalar_s},
-            f"vectorized_hot_loop_n{args.n}": {"wall_s": fleet_s},
-        },
+        suites=suites,
         counters=counters,
-        extras={f"speedup_n{args.n}": round(speedup, 2)},
+        extras=extras,
         label=args.label,
         date=args.date,
     )
-    print(
-        f"wrote {path}: scalar {scalar_s:.3f}s, "
-        f"fleet(n={args.n}) {fleet_s:.3f}s, speedup {speedup:.2f}x"
+    sweep = ", ".join(
+        f"n={n} {fleet_times[n]:.3f}s ({extras[f'speedup_n{n}']:.2f}x)"
+        for n in widths
     )
+    print(f"wrote {path}: scalar {scalar_s:.3f}s; {sweep}")
     return 0
+
+
+def _suite_tolerance(text: str) -> tuple[str, float]:
+    """Parse one ``NAME=BAND`` per-suite tolerance override."""
+    name, sep, band = text.partition("=")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=BAND (e.g. scalar_hot_loop=0.5), got '{text}'"
+        )
+    try:
+        return name, float(band)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"band for suite '{name}' is not a number: '{band}'"
+        ) from None
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.obs.trajectory import compare_snapshots, latest_snapshots
 
     current, previous = latest_snapshots(args.dir)
-    comparison = compare_snapshots(current, previous,
-                                   tolerance=args.tolerance)
+    comparison = compare_snapshots(
+        current, previous, tolerance=args.tolerance,
+        suite_tolerances=dict(args.suite_tolerance or []),
+    )
     print(comparison.render())
     return 0 if comparison.ok else 1
 
@@ -92,11 +160,17 @@ def main(argv: list[str] | None = None) -> int:
     write.add_argument("--label", default="", help="free-form snapshot label")
     write.add_argument("--date", default=None,
                        help="override the snapshot date (YYYY-MM-DD)")
-    write.add_argument("--n", type=int, default=16, help="fleet width")
+    write.add_argument("--n", type=int, default=16,
+                       help="primary fleet width (gets the stage breakdown)")
+    write.add_argument("--sweep", default="4,16,64",
+                       help="comma-separated extra fleet widths to time "
+                            "(--n is always included)")
     write.add_argument("--duration", type=float, default=5.0,
                        help="simulated seconds per hot loop")
     write.add_argument("--repeats", type=int, default=2,
                        help="timing repeats (minimum is kept)")
+    write.add_argument("--no-stages", action="store_true",
+                       help="skip the profiled per-stage pass")
     write.set_defaults(func=_cmd_write)
 
     compare = sub.add_parser(
@@ -106,6 +180,9 @@ def main(argv: list[str] | None = None) -> int:
                          help="snapshot directory (default: repo root)")
     compare.add_argument("--tolerance", type=float, default=0.25,
                          help="allowed relative slowdown (0.25 = 25%%)")
+    compare.add_argument("--suite-tolerance", type=_suite_tolerance,
+                         action="append", metavar="NAME=BAND",
+                         help="per-suite tolerance override (repeatable)")
     compare.set_defaults(func=_cmd_compare)
 
     args = parser.parse_args(argv)

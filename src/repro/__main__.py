@@ -20,7 +20,9 @@ obs
 ``table``/``fig`` run through the campaign runner: ``--workers N`` fans
 campaign-style experiments over a process pool, ``--engine vectorized``
 batches same-parameter seeds through the vectorized fleet engine
-(bit-identical results, per-seed scalar fallback), and results are stored
+(bit-identical results, per-seed scalar fallback) — combined they shard
+whole ``--batch-size`` chunks (an int, or ``auto``) across the pool —
+and results are stored
 in the content-addressed cache (``--cache-dir``, default
 ``.repro_cache/``; ``--no-cache`` disables) so a re-run only computes
 what is missing. Resilience flags (campaign-style experiments only):
@@ -160,6 +162,23 @@ def _fault_policy(args: argparse.Namespace):
     )
 
 
+def _batch_size_arg(text: str) -> int | str:
+    """``--batch-size`` values: a positive int, or the string 'auto'."""
+    if text == "auto":
+        return "auto"
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"batch size must be >= 1, got {value}"
+        )
+    return value
+
+
 def _robustness_kwargs(args: argparse.Namespace) -> dict | int:
     """Extra run_robustness kwargs from the robustness-only CLI flags.
 
@@ -225,6 +244,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
             manifest=args.manifest,
             resume=args.resume,
             engine=args.engine,
+            batch_size=args.batch_size,
         )
     finally:
         finish()
@@ -250,6 +270,7 @@ def _cmd_fig(args: argparse.Namespace) -> int:
             manifest=args.manifest,
             resume=args.resume,
             engine=args.engine,
+            batch_size=args.batch_size,
         )
     finally:
         finish()
@@ -290,6 +311,15 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
              "'vectorized' batches same-parameter seeds through the "
              "VectorizedFleet (bit-identical results, falls back to "
              "scalar per seed for unsupported features)",
+    )
+    parser.add_argument(
+        "--batch-size", type=_batch_size_arg, default=16,
+        metavar="N|auto",
+        help="seeds per vectorized chunk (default 16), or 'auto' to "
+             "derive the width from the seed and worker counts; with "
+             "--workers > 1 whole chunks shard across the process pool "
+             "(never part of cache fingerprints — any width gives the "
+             "same bits)",
     )
     parser.add_argument(
         "--no-cache", action="store_true",

@@ -218,6 +218,43 @@ class CacheEntry:
 
 _SAFE_NAME = re.compile(r"[^A-Za-z0-9._-]+")
 
+#: Marker embedded in in-flight temp-file names (swept when stale).
+_TMP_MARKER = ".tmp."
+
+#: A temp file this much older than now belongs to a crashed writer —
+#: generous enough that no live writer is still flushing it.
+_STALE_TMP_MAX_AGE_S = 3600.0
+
+
+def _tmp_path_for(path: Path) -> Path:
+    """A collision-proof in-flight name next to ``path``.
+
+    The pid alone is not enough: two threads of one process, or a pid
+    recycled after a crash, would collide and torn-write each other. Six
+    random bytes per call make every writer's temp file its own.
+    """
+    token = f"{os.getpid():x}-{os.urandom(6).hex()}"
+    return path.with_name(f"{path.name}{_TMP_MARKER}{token}")
+
+
+def _sweep_stale_tmp(directory: Path,
+                     max_age_s: float = _STALE_TMP_MAX_AGE_S) -> int:
+    """Remove temp files abandoned by crashed writers; returns the count.
+
+    Live writers are safe: anything younger than ``max_age_s`` is left
+    alone, and a concurrent sweep losing the unlink race is ignored.
+    """
+    removed = 0
+    now = time.time()
+    for tmp in directory.glob(f"*{_TMP_MARKER}*"):
+        try:
+            if now - tmp.stat().st_mtime >= max_age_s:
+                tmp.unlink()
+                removed += 1
+        except OSError:
+            continue
+    return removed
+
 
 class ResultCache:
     """Content-addressed JSON store under ``cache_dir`` (default
@@ -300,7 +337,15 @@ class ResultCache:
 
     def put(self, experiment: str, fingerprint: str, result: Any,
             elapsed_s: float = 0.0) -> Path | None:
-        """Store one result atomically; returns the file path (or ``None``)."""
+        """Store one result atomically; returns the file path (or ``None``).
+
+        Safe under concurrent writers (a sharded campaign's worker pool
+        all landing the same experiment directory): each writer flushes
+        to its own randomly-named temp file and publishes it with an
+        atomic ``os.replace`` — readers only ever see a complete record,
+        last writer wins. A writer that dies mid-flush leaves a temp
+        file behind; those are swept here once they are stale.
+        """
         if not self.enabled:
             return None
         path = self.path_for(experiment, fingerprint)
@@ -313,9 +358,14 @@ class ResultCache:
             "created_at": time.time(),
             "result": encode_result(result),
         }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(record, allow_nan=True))
-        os.replace(tmp, path)
+        tmp = _tmp_path_for(path)
+        try:
+            tmp.write_text(json.dumps(record, allow_nan=True))
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        _sweep_stale_tmp(path.parent)
         self.stats.stores += 1
         get_registry().counter("cache.stores", experiment=experiment).inc()
         return path
@@ -349,7 +399,8 @@ def cached_call(
     cache: ResultCache | None = None,
     extra_key: Any = None,
     exclude: tuple[str, ...] = (
-        "workers", "cache", "policy", "manifest", "resume", "engine"
+        "workers", "cache", "policy", "manifest", "resume", "engine",
+        "batch", "batch_size",
     ),
     **kwargs: Any,
 ):
@@ -361,7 +412,8 @@ def cached_call(
     arguments named in ``exclude`` are forwarded to ``fn`` but left out of
     the fingerprint — by default the execution/resilience knobs
     (``workers``, ``cache``, ``policy``, ``manifest``, ``resume``,
-    ``engine``) that change how a result is computed, never what it is.
+    ``engine``, ``batch``, ``batch_size``) that change how a result is
+    computed, never what it is.
     """
     from repro import __version__
 

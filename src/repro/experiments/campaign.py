@@ -18,6 +18,15 @@ values and seed ordering):
   experiments that provide one), with per-seed scalar fallback for
   anything the batch declines; statuses record which engine ran each
   seed (``"vectorized"`` / ``"fallback"``);
+* **vectorized × parallel** — ``engine="vectorized"`` *and*
+  ``workers=M`` shards whole same-parameter chunks across the process
+  pool: each worker runs one :class:`VectorizedFleet`-sized batch, a
+  crashed worker requeues its entire chunk (bounded by the retry
+  policy, then scalar fallback), and results merge in seed order — so
+  sharded, serial-vectorized and scalar runs are byte-identical.
+  ``batch_size="auto"`` picks the chunk width from the seed count and
+  worker count (recorded in the manifest, never in cache
+  fingerprints);
 * **cached** — with a :class:`~repro.experiments.cache.ResultCache`,
   per-seed metric dicts are looked up by experiment name + seed + params
   fingerprint first, and only the missing seeds are computed (then
@@ -59,6 +68,7 @@ from repro.experiments.cache import (
     fingerprint_params,
 )
 from repro.experiments.faults import (
+    STATUS_BATCH_SIZE,
     STATUS_CACHED,
     STATUS_FAILED,
     STATUS_FALLBACK,
@@ -85,6 +95,12 @@ _log = get_logger(__name__)
 #: Supervisor poll interval: how often deadlines are checked and backed-off
 #: retries become eligible for resubmission.
 _SUPERVISOR_TICK_S = 0.05
+
+#: ``batch_size="auto"`` bounds: a fleet narrower than this wastes the
+#: batched kernels on numpy dispatch overhead; one wider than this stops
+#: amortizing further while hurting shard balance and retry granularity.
+_AUTO_MIN_BATCH = 4
+_AUTO_MAX_BATCH = 64
 
 
 @dataclass
@@ -136,6 +152,10 @@ class CampaignResult:
     attempts: dict[int, int] = field(default_factory=dict)
     #: Wall-clock duration of the whole ``run_campaign`` call.
     total_seconds: float = 0.0
+    #: Chunk width the vectorized engine actually used this run
+    #: (``None`` unless the vectorized engine ran; resolves
+    #: ``batch_size="auto"`` to the concrete width).
+    batch_size_used: int | None = None
 
     @property
     def compute_seconds(self) -> float:
@@ -313,7 +333,7 @@ def run_campaign(
     resume: bool = False,
     engine: str = "scalar",
     batch: Callable[[list[int]], Mapping[int, Mapping[str, float]]] | None = None,
-    batch_size: int = 16,
+    batch_size: int | str = 16,
 ) -> CampaignResult:
     """Run ``experiment(seed) -> {metric: value}`` across ``seeds``.
 
@@ -364,7 +384,17 @@ def run_campaign(
         wrapper). It may return a subset: seeds missing from the mapping
         — and every seed of a chunk whose ``batch`` call raises — fall
         back to the scalar path and finish with status ``"fallback"``;
-        batch-computed seeds report status ``"vectorized"``.
+        batch-computed seeds report status ``"vectorized"``. With
+        ``workers > 1`` whole chunks ship to pool workers (``batch``
+        must then be picklable); a crashed worker requeues its entire
+        chunk under the retry policy before falling back to scalar.
+    batch_size:
+        Seeds per vectorized chunk (default 16), or ``"auto"`` to derive
+        the width from the missing-seed count and worker count. The
+        resolved width is recorded in the manifest (a ``"batch_size"``
+        meta record) and in :attr:`CampaignResult.batch_size_used`, and
+        is *never* part of a cache fingerprint — any width produces the
+        same bits.
     """
     seeds = [int(s) for s in seeds]
     if not seeds:
@@ -374,7 +404,13 @@ def run_campaign(
             f"unknown campaign engine '{engine}' "
             "(choose 'scalar' or 'vectorized')"
         )
-    if batch_size < 1:
+    if isinstance(batch_size, str):
+        if batch_size != "auto":
+            raise AnalysisError(
+                f"batch_size must be a positive int or 'auto' "
+                f"(got {batch_size!r})"
+            )
+    elif batch_size < 1:
         raise AnalysisError(f"batch_size must be >= 1 (got {batch_size})")
     name = experiment_name or callable_name(experiment)
     policy = policy if policy is not None else FaultPolicy(max_retries=0)
@@ -483,10 +519,30 @@ def _run_campaign_traced(
             budget.record()
 
     if engine == "vectorized" and batch is not None and missing:
-        missing = _run_vectorized(
-            batch, missing, batch_size, tracer, on_done,
-            vectorized_outcomes, fallback_seeds, name,
-        )
+        width = _resolve_batch_size(batch_size, len(missing), workers)
+        result.batch_size_used = width
+        if manifest is not None:
+            # Execution metadata, not science: the meta record documents
+            # the width an auto-tuned run picked. Its pseudo-seed (-1)
+            # is outside every campaign seed range and its status is not
+            # a finished one, so resume never adopts it.
+            manifest.append(ManifestRecord(
+                experiment=name, seed=-1, status=STATUS_BATCH_SIZE,
+                attempts=1, elapsed_s=0.0,
+                metrics={"batch_size": float(width)},
+                created_at=time.time(),
+            ))
+        if workers and int(workers) > 1 and len(missing) > width:
+            missing = _run_vectorized_sharded(
+                batch, missing, width, int(workers), policy, injector,
+                tracer, registry, on_done, vectorized_outcomes,
+                fallback_seeds, name,
+            )
+        else:
+            missing = _run_vectorized(
+                batch, missing, width, tracer, on_done,
+                vectorized_outcomes, fallback_seeds, name,
+            )
 
     use_pool = bool(
         (workers and workers > 1 and len(missing) > 1)
@@ -621,6 +677,24 @@ def _run_serial(experiment, seeds, policy, injector, tracer, on_done, budget,
     return executed
 
 
+def _resolve_batch_size(batch_size, n_missing: int, workers) -> int:
+    """Concrete chunk width for this run (resolves ``"auto"``).
+
+    The auto heuristic aims for one chunk per worker — the fewest
+    batched fleets that still keep every worker busy — clamped to
+    [``_AUTO_MIN_BATCH``, ``_AUTO_MAX_BATCH``]: narrower fleets pay more
+    numpy dispatch overhead per seed, wider ones stop amortizing while
+    coarsening the crash-requeue granularity. Pure function of
+    ``(n_missing, workers)``, so a resumed run re-derives the same
+    width.
+    """
+    if batch_size != "auto":
+        return int(batch_size)
+    shards = max(int(workers), 1)
+    width = -(-n_missing // shards)  # ceil: one chunk per worker
+    return max(_AUTO_MIN_BATCH, min(width, _AUTO_MAX_BATCH))
+
+
 def _run_vectorized(batch, missing, batch_size, tracer, on_done,
                     vectorized_outcomes, fallback_seeds, name) -> list[int]:
     """Offer missing seeds to the vectorized ``batch`` in chunks.
@@ -664,6 +738,196 @@ def _run_vectorized(batch, missing, batch_size, tracer, on_done,
             vectorized_outcomes.append(outcome)
             on_done(outcome)
     return leftovers
+
+
+def _execute_batch_in_worker(
+    batch: Callable[[list[int]], Mapping[int, Mapping[str, float]]],
+    chunk: list[int],
+    collect_spans: bool,
+    injector: FaultInjector | None = None,
+    attempt: int = 1,
+) -> tuple[list[int], bool, Any, float, dict[str, Any]]:
+    """Pool-side wrapper: run one vectorized chunk under fresh telemetry.
+
+    The sharded twin of :func:`_execute_seed_in_worker` — one fleet-wide
+    batch per call instead of one seed. The ``worker_start`` chaos point
+    fires for every seed of the chunk, so an injected crash takes the
+    whole chunk down exactly like a real segfault mid-fleet would.
+    """
+    registry = MetricsRegistry()
+    tracer = Tracer(enabled=collect_spans)
+    start = time.perf_counter()
+    with use_telemetry(registry, tracer):
+        with tracer.span("campaign.vectorized_batch", seeds=len(chunk),
+                         attempt=attempt):
+            try:
+                if injector is not None:
+                    for seed in chunk:
+                        injector.fire("worker_start", seed, hard=True)
+                produced = batch(list(chunk))
+                payload: Any = {
+                    int(s): {str(k): float(v) for k, v in metrics.items()}
+                    for s, metrics in produced.items()
+                }
+                ok = True
+            except Exception as exc:  # noqa: BLE001 - campaign isolation
+                ok, payload = False, exc
+    elapsed = time.perf_counter() - start
+    telemetry = {"metrics": registry.snapshot(), "spans": tracer.to_dicts()}
+    return chunk, ok, payload, elapsed, telemetry
+
+
+@dataclass
+class _ChunkFlight:
+    """One in-flight vectorized chunk: its seeds, attempt and deadline."""
+
+    index: int
+    chunk: list[int]
+    attempt: int
+    deadline: float | None
+
+
+def _run_vectorized_sharded(batch, missing, batch_size, workers, policy,
+                            injector, tracer, registry, on_done,
+                            vectorized_outcomes, fallback_seeds, name
+                            ) -> list[int]:
+    """Shard vectorized chunks over a :class:`ProcessPoolExecutor`.
+
+    Composition of the vectorized and parallel engines: whole
+    ``batch_size``-seed chunks ship to pool workers, so M workers each
+    integrate one fleet concurrently. Failure handling is per *chunk* —
+    a worker process dying (or a chunk blowing its deadline,
+    ``seed_timeout × len(chunk)``) is transient and requeues the entire
+    chunk with deterministic backoff, bounded by ``policy.max_retries``;
+    an exhausted chunk, an in-batch exception and any seed the batch
+    declines all fall back to the scalar path (status ``"fallback"``),
+    exactly like the serial vectorized engine. Worker telemetry merges
+    in (chunk, attempt) order after the loop, so completion order can
+    never perturb merged counter totals.
+
+    Returns the seeds still missing afterwards, in campaign seed order.
+    """
+    chunks = [missing[i:i + batch_size]
+              for i in range(0, len(missing), batch_size)]
+    pending: list[tuple[int, int]] = [(ci, 1) for ci in range(len(chunks))]
+    not_before: dict[tuple[int, int], float] = {}
+    fallback: set[int] = set()
+    telemetry_parts: dict[tuple[int, int], dict[str, Any]] = {}
+    in_flight: dict[Future, _ChunkFlight] = {}
+    pool = ProcessPoolExecutor(max_workers=workers)
+    broken = False
+    chunk_timeout = (policy.seed_timeout * batch_size
+                     if policy.seed_timeout is not None else None)
+
+    def fall_back(chunk: list[int]) -> None:
+        fallback.update(chunk)
+
+    def settle(flight: _ChunkFlight, exc: BaseException) -> None:
+        """Requeue a transient chunk casualty with backoff, or fall back."""
+        if policy.is_transient(exc) and flight.attempt <= policy.max_retries:
+            not_before[(flight.index, flight.attempt + 1)] = (
+                time.monotonic()
+                + policy.backoff_seconds(flight.chunk[0], flight.attempt)
+            )
+            pending.append((flight.index, flight.attempt + 1))
+            return
+        _log.warning(
+            "vectorized chunk of %s exhausted its retries (%s: %s); "
+            "%d seeds fall back to the scalar engine",
+            name, type(exc).__name__, exc, len(flight.chunk),
+        )
+        fall_back(flight.chunk)
+
+    try:
+        while pending or in_flight:
+            now = time.monotonic()
+            if broken and not in_flight:
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = ProcessPoolExecutor(max_workers=workers)
+                broken = False
+            if not broken:
+                ready = [item for item in pending
+                         if not_before.get(item, 0.0) <= now]
+                for item in ready:
+                    if len(in_flight) >= workers:
+                        break
+                    pending.remove(item)
+                    index, attempt = item
+                    try:
+                        future = pool.submit(
+                            _execute_batch_in_worker, batch, chunks[index],
+                            tracer.enabled, injector, attempt,
+                        )
+                    except BrokenExecutor:
+                        broken = True
+                        pending.append(item)
+                        break
+                    deadline = (now + chunk_timeout
+                                if chunk_timeout is not None else None)
+                    in_flight[future] = _ChunkFlight(
+                        index, chunks[index], attempt, deadline
+                    )
+            if not in_flight:
+                time.sleep(_SUPERVISOR_TICK_S)
+                continue
+            done, _ = wait(set(in_flight), timeout=_SUPERVISOR_TICK_S,
+                           return_when=FIRST_COMPLETED)
+            now = time.monotonic()
+            for future in done:
+                flight = in_flight.pop(future)
+                try:
+                    chunk, ok, payload, elapsed, telemetry = future.result()
+                except (BrokenExecutor, CancelledError, OSError) as exc:
+                    # The worker died mid-fleet: pool-wide breakage, the
+                    # whole chunk is one transient casualty.
+                    broken = True
+                    settle(flight, exc)
+                    continue
+                telemetry_parts[(flight.index, flight.attempt)] = telemetry
+                if not ok:
+                    # The batch itself raised: deterministic, like the
+                    # serial engine — the chunk falls back, no retry.
+                    _log.warning(
+                        "vectorized batch failed for %s (%s: %s); "
+                        "%d seeds fall back to the scalar engine",
+                        name, type(payload).__name__, payload, len(chunk),
+                    )
+                    fall_back(chunk)
+                    continue
+                handled = [seed for seed in chunk if seed in payload]
+                per_seed = elapsed / max(len(handled), 1)
+                for seed in chunk:
+                    if seed not in payload:
+                        fallback.add(seed)
+                        continue
+                    outcome = _SeedOutcome(
+                        seed, True, payload[seed], per_seed,
+                        flight.attempt, STATUS_VECTORIZED,
+                    )
+                    vectorized_outcomes.append(outcome)
+                    on_done(outcome)
+            hung = [f for f, flight in in_flight.items()
+                    if flight.deadline is not None and now > flight.deadline]
+            if hung:
+                _kill_pool(pool)
+                broken = True
+                for future in hung:
+                    flight = in_flight.pop(future)
+                    settle(flight, SeedTimeout(
+                        f"vectorized chunk {flight.chunk} exceeded its "
+                        f"{chunk_timeout}s wall-clock deadline "
+                        f"(attempt {flight.attempt})"
+                    ))
+    finally:
+        if broken:
+            _kill_pool(pool)
+        else:
+            pool.shutdown(wait=True, cancel_futures=True)
+        for key in sorted(telemetry_parts):
+            registry.merge(telemetry_parts[key]["metrics"])
+            tracer.adopt(telemetry_parts[key]["spans"])
+    fallback_seeds.update(fallback)
+    return [seed for seed in missing if seed in fallback]
 
 
 @dataclass

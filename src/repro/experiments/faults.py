@@ -57,6 +57,7 @@ __all__ = [
     "STATUS_TIMEOUT",
     "STATUS_VECTORIZED",
     "STATUS_FALLBACK",
+    "STATUS_BATCH_SIZE",
     "CampaignManifest",
     "CorruptResult",
     "FaultInjector",
@@ -84,6 +85,10 @@ STATUS_VECTORIZED = "vectorized"
 #: The vectorized engine could not handle this seed (unsupported feature
 #: or a batch error); it was computed by the scalar path instead.
 STATUS_FALLBACK = "fallback"
+#: Manifest-only meta record (pseudo-seed -1) documenting the chunk
+#: width the vectorized engine used — the audit trail for
+#: ``batch_size="auto"``. Never a finished status, so resume skips it.
+STATUS_BATCH_SIZE = "batch_size"
 
 #: Statuses that mean "this seed's metrics are final" — a resume run
 #: adopts these from the manifest instead of recomputing.

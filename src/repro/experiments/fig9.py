@@ -189,6 +189,7 @@ def run_fig9(
     manifest=None,
     resume: bool = False,
     engine: str = "scalar",
+    batch_size: int | str = 16,
 ) -> Fig9Result:
     """Run the three conditions over ``trials`` seeds and sweep thresholds.
 
@@ -199,7 +200,10 @@ def run_fig9(
     ``engine="vectorized"`` computes missing seeds in batched
     :class:`~repro.sim.vectorized.VectorizedFleet` runs — bit-identical
     values and unchanged cache fingerprints, just fewer wall-clock
-    seconds per seed.
+    seconds per seed. Combined with ``workers > 1`` whole
+    ``batch_size``-seed chunks shard across the process pool
+    (``batch_size="auto"`` derives the width from the seed and worker
+    counts).
     """
     params = {
         "duration": duration, "steady_after": steady_after,
@@ -218,6 +222,7 @@ def run_fig9(
         resume=resume,
         engine=engine,
         batch=partial(_fig9_batch, **params) if engine == "vectorized" else None,
+        batch_size=batch_size,
     )
     result = Fig9Result(
         benign=list(campaign.metric("benign").values),

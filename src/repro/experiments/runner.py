@@ -86,6 +86,7 @@ def run_experiment(
     manifest: Any = None,
     resume: bool = False,
     engine: str = "scalar",
+    batch_size: int | str = 16,
     **kwargs: Any,
 ):
     """Run one named experiment through the cache/worker layer.
@@ -104,6 +105,11 @@ def run_experiment(
     identical result, because the engine only changes how values are
     computed. Like ``workers``, the engine is excluded from cache
     fingerprints.
+
+    ``batch_size`` (an int, or ``"auto"`` to derive the width from the
+    seed and worker counts) sets the vectorized chunk width; combined
+    with ``workers > 1`` whole chunks shard across the process pool.
+    Like ``workers`` and ``engine`` it never enters a cache fingerprint.
     """
     entry = experiment_entry(name)
     if cache is None:
@@ -117,6 +123,13 @@ def run_experiment(
     elif engine != "scalar":
         _log.warning(
             "experiment '%s' has no vectorized path; running scalar "
+            "(results are identical either way)", name,
+        )
+    if "batch_size" in signature.parameters:
+        call_kwargs["batch_size"] = batch_size
+    elif batch_size != 16:
+        _log.warning(
+            "experiment '%s' takes no --batch-size; ignoring it "
             "(results are identical either way)", name,
         )
     for knob, value in (("policy", policy), ("manifest", manifest),

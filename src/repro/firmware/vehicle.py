@@ -43,6 +43,7 @@ from repro.memory.attacker import CompromisedRegionView
 from repro.memory.layout import AccessMode, MemoryLayout, MemoryRegion
 from repro.memory.mpu import Mpu
 from repro.obs.metrics import get_registry
+from repro.obs.profile import SCALAR, active_profile
 from repro.obs.tracing import span as obs_span
 from repro.sensors.suite import SensorSuite
 from repro.sim.config import SimConfig
@@ -416,10 +417,15 @@ class Vehicle:
     # ------------------------------------------------------------------ #
     # Estimation
     # ------------------------------------------------------------------ #
-    def _run_estimation(self, dt: float) -> None:
+    def _run_estimation(self, dt: float, profile=None) -> None:
         time_s = self.sim.time
+        if profile is not None:
+            t0 = _time.perf_counter()
         readings = self.sensors.sample(self.sim.vehicle, time_s, dt)
         self.last_readings = readings
+        if profile is not None:
+            t1 = _time.perf_counter()
+            profile.add("sensors", t1 - t0, SCALAR)
         imu = readings.imu
 
         # Non-finite measurements (e.g. a GPS dropout fault reporting NaN)
@@ -451,6 +457,8 @@ class Vehicle:
             if math.isfinite(readings.baro.altitude):
                 self.sins.correct_baro(readings.baro.altitude)
             timers["baro"] = time_s
+        if profile is not None:
+            profile.add("estimation", _time.perf_counter() - t1, SCALAR)
 
     def estimated_state(self) -> tuple[np.ndarray, np.ndarray, tuple[float, float, float], np.ndarray]:
         """(position, velocity, euler, gyro) used by the control laws."""
@@ -558,7 +566,18 @@ class Vehicle:
                 self.set_mode(FlightMode.RTL)
 
     def step(self) -> None:
-        """One full control cycle (sensors → estimate → control → physics)."""
+        """One full control cycle (sensors → estimate → control → physics).
+
+        With a :func:`repro.obs.profile.hot_loop_profile` installed the
+        profiled twin runs instead — identical operations plus stage
+        timers, reporting the same five stages as the vectorized fleet
+        (all attributed ``scalar`` here) — so the default path pays only
+        this ``None`` check.
+        """
+        profile = active_profile()
+        if profile is not None:
+            self._step_profiled(profile)
+            return
         dt = self.sim.dt
         self._metric_cycles.inc()
         self.link.service()
@@ -597,6 +616,68 @@ class Vehicle:
         self._write_logs()
         for hook in self.post_step_hooks:
             hook(self)
+
+    def _step_profiled(self, profile) -> None:
+        """:meth:`step` with per-stage wall-clock attribution.
+
+        The identical operation sequence; only ``perf_counter`` reads are
+        added, so a profiled run is bit-identical to an unprofiled one.
+        Stage boundaries mirror the vectorized fleet's so the two
+        breakdowns are directly comparable in ``BENCH_*.json``.
+        """
+        dt = self.sim.dt
+        self._metric_cycles.inc()
+        t0 = _time.perf_counter()
+        self.link.service()
+        t1 = _time.perf_counter()
+        if self.estimation_enabled:
+            self._run_estimation(dt, profile)  # adds sensors + estimation
+        t2 = _time.perf_counter()
+        self._check_failsafes()
+
+        for hook in self.pre_control_hooks:
+            hook(self)
+
+        position, velocity, euler, gyro = self.estimated_state()
+        t3 = _time.perf_counter()
+        profile.add("mission", (t1 - t0) + (t3 - t2), SCALAR)
+        if not self.armed:
+            self.last_motors = np.zeros(4)
+            t4 = _time.perf_counter()
+            profile.add("control", t4 - t3, SCALAR)
+            self.sim.step(self.last_motors)
+            t5 = _time.perf_counter()
+            profile.add("physics", t5 - t4, SCALAR)
+            self._write_logs()
+            for hook in self.post_step_hooks:
+                hook(self)
+            profile.add("mission", _time.perf_counter() - t5, SCALAR)
+            return
+
+        targets = self._navigation_targets(position)
+        if targets is None:
+            targets = self.manual_targets
+        for hook in self.target_hooks:
+            targets = hook(self, targets)
+        self.last_targets = targets
+
+        torque = self.attitude_ctrl.update(targets, euler, gyro, dt)
+        for hook in self.torque_hooks:
+            torque = hook(self, torque)
+        self.last_torque = torque
+
+        motors = self.mixer.mix(targets.throttle, torque)
+        self.last_motors = motors
+        t4 = _time.perf_counter()
+        profile.add("control", t4 - t3, SCALAR)
+        self.sim.step(motors)
+        t5 = _time.perf_counter()
+        profile.add("physics", t5 - t4, SCALAR)
+
+        self._write_logs()
+        for hook in self.post_step_hooks:
+            hook(self)
+        profile.add("mission", _time.perf_counter() - t5, SCALAR)
 
     def run(self, duration: float, stop_when=None) -> None:
         """Run the loop for ``duration`` seconds (early-out on crash).

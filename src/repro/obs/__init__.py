@@ -12,6 +12,10 @@ arXiv:2105.12882). Three strictly passive facilities:
   trace-event JSON (chrome://tracing / Perfetto).
 * :mod:`repro.obs.log` — stdlib logging with a JSON formatter carrying
   run-id/experiment/seed context.
+* :mod:`repro.obs.profile` — opt-in per-stage hot-loop profiler
+  (sensors/estimation/mission/control/physics wall-clock with
+  batched-vs-scalar attribution) feeding the ``BENCH_*.json``
+  trajectory.
 
 "Strictly passive" is a hard contract: with no sinks configured the
 per-event cost is an attribute check (tracing) or one float add
@@ -35,6 +39,11 @@ from repro.obs.metrics import (
     get_registry,
     set_registry,
 )
+from repro.obs.profile import (
+    HotLoopProfile,
+    active_profile,
+    hot_loop_profile,
+)
 from repro.obs.tracing import (
     Span,
     Tracer,
@@ -48,15 +57,18 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HotLoopProfile",
     "JsonFormatter",
     "MetricsRegistry",
     "Span",
     "Tracer",
+    "active_profile",
     "configure_logging",
     "current_context",
     "get_logger",
     "get_registry",
     "get_tracer",
+    "hot_loop_profile",
     "log_context",
     "set_registry",
     "set_tracer",

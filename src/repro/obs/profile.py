@@ -1,0 +1,103 @@
+"""Opt-in per-stage hot-loop profiler.
+
+The obs layer is strictly passive: with no profiler installed the
+engines pay one module-attribute check per control cycle and results are
+bit-identical. Installing a profiler (``with hot_loop_profile() as p:``)
+only accumulates wall-clock (``time.perf_counter``) per named stage — it
+never touches simulation state, RNG streams or results, so a profiled
+run still matches the differential oracle bit for bit.
+
+Stages and attribution
+----------------------
+Both engines report the same five stages so their breakdowns are
+directly comparable:
+
+``sensors``
+    Sensor sampling. On the vectorized engine the RNG draws stay per
+    lane while the post-draw arithmetic is batched (kind ``mixed``).
+``estimation``
+    EKF predict/update, SINS and AHRS (``batched`` on the fleet).
+``mission``
+    Per-lane firmware logic: failsafes, mode/mission bookkeeping and
+    hooks (always ``scalar``).
+``control``
+    Navigation plus the position/attitude/mixer cascade (``mixed`` on
+    the fleet: navigation is per lane, the cascade is batched).
+``physics``
+    Plant integration (``batched`` on the fleet).
+
+The ``kind`` tag records batched-vs-scalar attribution so the
+``BENCH_*.json`` trajectory tracks *where* the remaining serial
+fraction lives, not just the headline multiplier.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+__all__ = [
+    "BATCHED",
+    "SCALAR",
+    "MIXED",
+    "HotLoopProfile",
+    "active_profile",
+    "hot_loop_profile",
+]
+
+#: Stage attribution tags.
+BATCHED = "batched"
+SCALAR = "scalar"
+MIXED = "mixed"
+
+_ACTIVE: "HotLoopProfile | None" = None
+
+
+class HotLoopProfile:
+    """Accumulated wall-clock per hot-loop stage."""
+
+    __slots__ = ("seconds", "calls", "kinds")
+
+    def __init__(self):
+        self.seconds: dict[str, float] = {}
+        self.calls: dict[str, int] = {}
+        self.kinds: dict[str, str] = {}
+
+    def add(self, stage: str, seconds: float, kind: str = SCALAR) -> None:
+        """Accumulate ``seconds`` of wall-clock under ``stage``."""
+        self.seconds[stage] = self.seconds.get(stage, 0.0) + seconds
+        self.calls[stage] = self.calls.get(stage, 0) + 1
+        self.kinds[stage] = kind
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock across every stage."""
+        return sum(self.seconds.values())
+
+    def stages(self) -> dict[str, dict]:
+        """Per-stage breakdown in the ``BENCH_*.json`` ``stages`` shape."""
+        return {
+            name: {
+                "wall_s": self.seconds[name],
+                "calls": self.calls[name],
+                "kind": self.kinds[name],
+            }
+            for name in sorted(self.seconds)
+        }
+
+
+def active_profile() -> HotLoopProfile | None:
+    """The installed profiler, or ``None`` (the default, zero-cost path)."""
+    return _ACTIVE
+
+
+@contextmanager
+def hot_loop_profile():
+    """Install a fresh :class:`HotLoopProfile` for the duration of the block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    profile = HotLoopProfile()
+    _ACTIVE = profile
+    try:
+        yield profile
+    finally:
+        _ACTIVE = previous

@@ -43,7 +43,12 @@ __all__ = [
 SNAPSHOT_PREFIX = "BENCH_"
 
 #: Bump when the snapshot layout changes (checked by the schema).
-SNAPSHOT_SCHEMA_VERSION = 1
+#: v2 added the optional per-suite ``stages`` breakdown; v1 snapshots
+#: remain loadable and comparable (the schema accepts both versions).
+SNAPSHOT_SCHEMA_VERSION = 2
+
+#: Stage attribution tags the schema accepts (mirrors repro.obs.profile).
+_STAGE_KINDS = ("batched", "scalar", "mixed")
 
 
 def snapshot_path(directory: str | Path, date: str | None = None) -> Path:
@@ -65,7 +70,11 @@ def write_snapshot(
     ``suites`` maps suite name -> ``{"wall_s": seconds, ...}`` (extra
     numeric fields are allowed and preserved); ``counters`` holds the obs
     counter deltas observed while the suites ran; ``extras`` holds
-    derived scalars such as ``speedup_n16``.
+    derived scalars such as ``speedup_n16``. A suite may carry a nested
+    ``"stages"`` breakdown — the
+    :meth:`repro.obs.profile.HotLoopProfile.stages` shape, mapping stage
+    name to ``{"wall_s": s, "calls": c, "kind": tag}`` — which is
+    preserved verbatim (kinds validated against the profiler's tags).
     """
     for name, timing in suites.items():
         if "wall_s" not in timing:
@@ -80,7 +89,7 @@ def write_snapshot(
         "python": platform.python_version(),
         "numpy": _numpy_version(),
         "suites": {
-            name: {key: float(value) for key, value in timing.items()}
+            name: _coerce_suite(name, timing)
             for name, timing in sorted(suites.items())
         },
         "counters": {
@@ -94,6 +103,40 @@ def write_snapshot(
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
     return path
+
+
+def _coerce_suite(name: str, timing: dict) -> dict:
+    """One suite's JSON form: floats, plus an optional ``stages`` tree."""
+    out: dict = {}
+    for key, value in timing.items():
+        if key == "stages":
+            out["stages"] = {
+                stage: _coerce_stage(name, stage, info)
+                for stage, info in sorted(value.items())
+            }
+        else:
+            out[key] = float(value)
+    return out
+
+
+def _coerce_stage(suite: str, stage: str, info: dict) -> dict:
+    where = f"suite '{suite}' stage '{stage}'"
+    for required in ("wall_s", "calls", "kind"):
+        if required not in info:
+            raise AnalysisError(f"{where} is missing '{required}'")
+    if float(info["wall_s"]) < 0.0:
+        raise AnalysisError(f"{where} has negative wall_s")
+    kind = str(info["kind"])
+    if kind not in _STAGE_KINDS:
+        raise AnalysisError(
+            f"{where} has unknown kind '{kind}' "
+            f"(expected one of {', '.join(_STAGE_KINDS)})"
+        )
+    return {
+        "wall_s": float(info["wall_s"]),
+        "calls": float(info["calls"]),
+        "kind": kind,
+    }
 
 
 def _numpy_version() -> str:
@@ -140,6 +183,9 @@ class SuiteComparison:
     name: str
     current_s: float
     previous_s: float | None
+    #: The tolerance band applied to this suite (the global band unless a
+    #: per-suite override was given).
+    tolerance: float = 0.25
 
     @property
     def slowdown(self) -> float | None:
@@ -148,6 +194,10 @@ class SuiteComparison:
         if self.previous_s is None or self.previous_s <= 0.0:
             return None
         return self.current_s / self.previous_s - 1.0
+
+    @property
+    def regressed(self) -> bool:
+        return self.slowdown is not None and self.slowdown > self.tolerance
 
 
 @dataclass
@@ -161,11 +211,8 @@ class TrajectoryComparison:
 
     @property
     def regressions(self) -> list[SuiteComparison]:
-        """Suites slower than the tolerance band allows."""
-        return [
-            suite for suite in self.suites
-            if suite.slowdown is not None and suite.slowdown > self.tolerance
-        ]
+        """Suites slower than their tolerance band allows."""
+        return [suite for suite in self.suites if suite.regressed]
 
     @property
     def ok(self) -> bool:
@@ -185,10 +232,15 @@ class TrajectoryComparison:
             if suite.slowdown is None:
                 lines.append(f"  {suite.name:32s} {suite.current_s:8.3f}s  (new suite)")
                 continue
-            verdict = "REGRESSION" if suite.slowdown > self.tolerance else "ok"
+            verdict = "REGRESSION" if suite.regressed else "ok"
+            band = (
+                f"  [band {suite.tolerance:+.0%}]"
+                if suite.tolerance != self.tolerance else ""
+            )
             lines.append(
                 f"  {suite.name:32s} {suite.current_s:8.3f}s  "
-                f"prev {suite.previous_s:8.3f}s  {suite.slowdown:+7.1%}  {verdict}"
+                f"prev {suite.previous_s:8.3f}s  {suite.slowdown:+7.1%}  "
+                f"{verdict}{band}"
             )
         return "\n".join(lines)
 
@@ -197,6 +249,7 @@ def compare_snapshots(
     current: dict | None,
     previous: dict | None,
     tolerance: float = 0.25,
+    suite_tolerances: dict[str, float] | None = None,
 ) -> TrajectoryComparison:
     """Compare two snapshots within a relative ``tolerance`` band.
 
@@ -204,15 +257,34 @@ def compare_snapshots(
     the bootstrap case and passes; a suite present only in ``current``
     is new and cannot regress; a suite that vanished is ignored — only
     suites measured in both snapshots can fail the band.
+
+    ``suite_tolerances`` overrides the band per suite name — a noisy
+    suite (a tiny fleet width dominated by fixed overhead, say) can run
+    with a looser band while the headline suites keep the tight default.
+    An override naming a suite absent from both snapshots is an error:
+    it would silently gate nothing.
     """
     if tolerance < 0.0:
         raise AnalysisError(f"tolerance must be >= 0 (got {tolerance})")
+    overrides = dict(suite_tolerances or {})
+    for name, band in overrides.items():
+        if band < 0.0:
+            raise AnalysisError(
+                f"tolerance for suite '{name}' must be >= 0 (got {band})"
+            )
     comparison = TrajectoryComparison(tolerance=tolerance)
     if current is None or previous is None:
         comparison.bootstrap = True
         return comparison
     previous_suites = previous.get("suites", {})
-    for name, timing in sorted(current.get("suites", {}).items()):
+    current_suites = current.get("suites", {})
+    unknown = set(overrides) - set(current_suites) - set(previous_suites)
+    if unknown:
+        raise AnalysisError(
+            "per-suite tolerance for unknown suite(s): "
+            + ", ".join(sorted(unknown))
+        )
+    for name, timing in sorted(current_suites.items()):
         before = previous_suites.get(name)
         comparison.suites.append(SuiteComparison(
             name=name,
@@ -220,5 +292,6 @@ def compare_snapshots(
             previous_s=(
                 float(before["wall_s"]) if before is not None else None
             ),
+            tolerance=overrides.get(name, tolerance),
         ))
     return comparison

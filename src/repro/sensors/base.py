@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.exceptions import SensorError
@@ -56,13 +58,34 @@ class NoiseModel:
         )
         self._initial_bias = self._bias.copy()
 
+    def draw(self, dt: float) -> np.ndarray:
+        """Advance the bias walk and return this step's white-noise draw.
+
+        This is the RNG-consuming half of :meth:`apply`, split out so a
+        batched engine can keep the per-lane draws (stream fidelity) while
+        batching the post-draw arithmetic. The RNG call order — bias-walk
+        normal first, then the white-noise normal — is exactly
+        :meth:`apply`'s, so ``truth + self.bias + draw(dt)`` reproduces it
+        bit for bit.
+        """
+        if self.bias_instability > 0.0:
+            # One fused standard_normal draw: ``normal(0, s, d)`` is
+            # bitwise ``standard_normal(d) * s`` and consumes the stream
+            # per element, so splitting one 2d-draw reproduces the two
+            # 3-draws exactly (verified across seeds and magnitudes).
+            # math.sqrt == np.sqrt bitwise on scalars.
+            d = self.dims
+            z = self._rng.standard_normal(2 * d)
+            self._bias = self._bias + z[:d] * (
+                self.bias_instability * math.sqrt(dt)
+            )
+            return z[d:] * self.std
+        return self._rng.normal(0.0, self.std, size=self.dims)
+
     def apply(self, truth: np.ndarray, dt: float) -> np.ndarray:
         """Corrupt a truth vector with bias walk + white noise."""
-        if self.bias_instability > 0.0:
-            self._bias = self._bias + self._rng.normal(
-                0.0, self.bias_instability * np.sqrt(dt), size=self.dims
-            )
-        return truth + self._bias + self._rng.normal(0.0, self.std, size=self.dims)
+        noise = self.draw(dt)
+        return truth + self._bias + noise
 
 
 class RateLimitedSensor:
@@ -91,8 +114,24 @@ class RateLimitedSensor:
         self._last_sample_time = -np.inf
         self._held_value = None
 
+    def due(self, time_s: float) -> bool:
+        """Whether :meth:`sample` at ``time_s`` would take a fresh measurement."""
+        return time_s - self._last_sample_time >= self._period - 1e-12
+
+    def hold(self, value, time_s: float) -> None:
+        """Install an externally computed measurement as the held sample.
+
+        The batched engine measures due lanes itself (per-lane RNG draws,
+        batched arithmetic) and parks the result here, so the sensor's
+        refresh clock and held value stay exactly as if :meth:`sample`
+        had produced it.
+        """
+        self._held_value = value
+        self._last_sample_time = time_s
+
     def sample(self, time_s: float, *args, **kwargs):
         """Return the measurement for ``time_s`` (held or refreshed)."""
+        # Inline of due(): this runs every physics step on the scalar path.
         if time_s - self._last_sample_time >= self._period - 1e-12:
             self._held_value = self._measure(time_s, *args, **kwargs)
             self._last_sample_time = time_s

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import replace
+from time import perf_counter
 
 import numpy as np
 
@@ -61,7 +62,12 @@ from repro.firmware.vehicle import (
     TAKEOFF_SUCCESS_TOLERANCE,
     TAKEOFF_VEL_TOLERANCE,
 )
-from repro.sensors.suite import SensorSuite
+from repro.obs.profile import BATCHED, MIXED, SCALAR, active_profile
+from repro.sensors.barometer import _P0, _SCALE_HEIGHT, BaroSample
+from repro.sensors.gps import GpsSample
+from repro.sensors.imu import ImuSample
+from repro.sensors.magnetometer import MagSample
+from repro.sensors.suite import SensorReadings, SensorSuite
 from repro.sim.battery import Battery
 from repro.sim.config import SimConfig
 from repro.sim.motor import MOTOR_LAYOUT, MOTOR_SPIN
@@ -71,6 +77,21 @@ from repro.utils.rng import make_rng
 from repro.utils.filters import alpha_from_cutoff
 
 __all__ = ["VectorizedFleet"]
+
+
+# Fixed EKF measurement matrices (AttitudePositionEKF builds the same
+# selection matrices per call; they never vary between lanes or steps).
+_EKF_NSTATES = 12
+_H_ACCEL = np.zeros((2, _EKF_NSTATES))
+_H_ACCEL[0, 0] = 1.0  # phi
+_H_ACCEL[1, 1] = 1.0  # theta
+_H_MAG = np.zeros((1, _EKF_NSTATES))
+_H_MAG[0, 2] = 1.0  # psi
+_H_GPS = np.zeros((5, _EKF_NSTATES))
+_H_GPS[0, 3] = _H_GPS[1, 4] = _H_GPS[2, 5] = 1.0  # vn, ve, vd
+_H_GPS[3, 6] = _H_GPS[4, 7] = 1.0  # pn, pe
+_H_BARO = np.zeros((1, _EKF_NSTATES))
+_H_BARO[0, 8] = 1.0  # pd
 
 
 # --------------------------------------------------------------------- #
@@ -106,6 +127,18 @@ def _quat_inverse_rotate_cols(q: np.ndarray, v: np.ndarray) -> np.ndarray:
 def _matvec(m: np.ndarray, v: np.ndarray) -> np.ndarray:
     """Batched matrix·vector, same kernel as the per-slice ``m @ v``."""
     return (m @ v[:, :, None])[:, :, 0]
+
+
+def _row_norm(v: np.ndarray) -> np.ndarray:
+    """Row-wise ``math.sqrt(row.dot(row))``, bit-equal per row.
+
+    Stacked matmul ``(n,1,k) @ (n,k,1)`` dispatches to the same BLAS dot
+    kernel per slice as ``row.dot(row)`` (verified bitwise across
+    magnitudes 1e-300..1e300); elementwise sums like ``(v*v).sum(1)`` or
+    einsum do NOT match — the dot kernel uses FMA/multi-accumulator
+    summation that plain ufunc chains cannot reproduce.
+    """
+    return np.sqrt((v[:, None, :] @ v[:, :, None])[:, 0, 0])
 
 
 def _quat_integrate_fast(q: np.ndarray, omega: np.ndarray, dt: float) -> np.ndarray:
@@ -145,17 +178,14 @@ def _quat_integrate_fast(q: np.ndarray, omega: np.ndarray, dt: float) -> np.ndar
 def _quat_integrate_cols(q: np.ndarray, omega: np.ndarray, dt: float) -> np.ndarray:
     """Row-wise :func:`_quat_integrate_fast`, bit-equal per row.
 
-    The per-row norms stay as ``math.sqrt(row.dot(row))`` scalar calls
-    (the dot kernel does not batch bit-exactly); everything else —
+    The per-row norms batch via :func:`_row_norm` (stacked-matmul dot,
+    bit-equal to ``math.sqrt(row.dot(row))``); everything else —
     sin/cos, the axis scaling, the Hamilton product and the final
     normalising divide — is elementwise, where the batched ufunc applies
     the identical operation per element as the scalar path.
     """
     n = q.shape[0]
-    nrm = np.empty(n)
-    for k in range(n):
-        row = omega[k]
-        nrm[k] = math.sqrt(row.dot(row))
+    nrm = _row_norm(omega)
     angle = nrm * dt
     half = angle / 2.0
     sh = np.sin(half)
@@ -173,13 +203,25 @@ def _quat_integrate_cols(q: np.ndarray, omega: np.ndarray, dt: float) -> np.ndar
     out[:, 1] = w1 * dx + x1 * dw + y1 * dz - z1 * dy
     out[:, 2] = w1 * dy - x1 * dz + y1 * dw + z1 * dx
     out[:, 3] = w1 * dz + x1 * dy - y1 * dx + z1 * dw
-    norms = np.empty(n)
-    for k in range(n):
-        row = out[k]
-        norms[k] = math.sqrt(row.dot(row))
+    norms = _row_norm(out)
     if np.any(norms < 1e-12):
         raise ValueError("cannot normalise near-zero quaternion")
     return out / norms[:, None]
+
+
+def _quat_from_euler_cols(
+    roll: np.ndarray, pitch: np.ndarray, yaw: np.ndarray
+) -> np.ndarray:
+    """Row-wise ``math3d.quat_from_euler``, bit-equal per row."""
+    cr, sr = np.cos(roll / 2.0), np.sin(roll / 2.0)
+    cp, sp = np.cos(pitch / 2.0), np.sin(pitch / 2.0)
+    cy, sy = np.cos(yaw / 2.0), np.sin(yaw / 2.0)
+    out = np.empty((roll.shape[0], 4))
+    out[:, 0] = cy * cp * cr + sy * sp * sr
+    out[:, 1] = cy * cp * sr - sy * sp * cr
+    out[:, 2] = cy * sp * cr + sy * cp * sr
+    out[:, 3] = sy * cp * cr - cy * sp * sr
+    return out
 
 
 def _dcm_from_euler_cols(
@@ -236,15 +278,43 @@ class _PidBank:
     def update(
         self, idx: np.ndarray, target: np.ndarray, measurement: np.ndarray, dt: float
     ) -> np.ndarray:
-        """One PID cycle for the lanes in ``idx``; mirrors PIDController."""
+        """One PID cycle for the lanes in ``idx``; mirrors PIDController.
+
+        When ``idx`` covers every lane (``flatnonzero`` order, so a full
+        ``idx`` is exactly ``arange(n)``) the fancy-index gathers are
+        skipped for direct views and the scatters become slice copies —
+        the same elements in the same order, minus the index churn.
+        """
+        if idx.size == self.kp.shape[0]:
+            error = target - measurement
+            self.input_error[:] = error
+            self.last_dt[:] = dt
+            p_term = self.kp * error
+            integ = (self.integrator + self.ki * error * dt).clip(
+                -self.imax, self.imax
+            )
+            self.integrator[:] = integ
+            raw_derivative = np.where(
+                self._has_last, (error - self._last_error) / dt, 0.0
+            )
+            self._last_error[:] = error
+            self._has_last[:] = True
+            alpha = alpha_from_cutoff(self.filt_hz, dt)
+            deriv = self.derivative + alpha * (raw_derivative - self.derivative)
+            self.derivative[:] = deriv
+            d_term = self.kd * deriv
+            ff_term = self.kff * target
+            total = (p_term + integ + d_term + ff_term) * self.scaler
+            return total.clip(-self.output_limit, self.output_limit)
+
         error = target - measurement
         self.input_error[idx] = error
         self.last_dt[idx] = dt
 
         p_term = self.kp[idx] * error
 
-        integ = np.clip(
-            self.integrator[idx] + self.ki[idx] * error * dt, -self.imax, self.imax
+        integ = (self.integrator[idx] + self.ki[idx] * error * dt).clip(
+            -self.imax, self.imax
         )
         self.integrator[idx] = integ
 
@@ -262,7 +332,7 @@ class _PidBank:
         ff_term = self.kff[idx] * target
 
         total = (p_term + integ + d_term + ff_term) * self.scaler[idx]
-        return np.clip(total, -self.output_limit, self.output_limit)
+        return total.clip(-self.output_limit, self.output_limit)
 
     _ARRAYS = {
         "KP": "kp", "KI": "ki", "KD": "kd", "FF": "kff", "DT": "last_dt",
@@ -299,7 +369,10 @@ class _SqrtBank:
         self, idx: np.ndarray, target: np.ndarray, measurement: np.ndarray
     ) -> np.ndarray:
         error = target - measurement
-        self.error[idx] = error
+        if idx.size == self.error.shape[0]:
+            self.error[:] = error
+        else:
+            self.error[idx] = error
         linear = self.linear_region
         abs_error = np.abs(error)
         with np.errstate(invalid="ignore"):
@@ -307,8 +380,11 @@ class _SqrtBank:
                 np.sqrt(2.0 * self.accel_max * (abs_error - linear / 2.0)), error
             )
         out = np.where(abs_error <= linear, self.p * error, sqrt_out)
-        out = np.clip(out, -self.output_max, self.output_max)
-        self.output[idx] = out
+        out = out.clip(-self.output_max, self.output_max)
+        if idx.size == self.output.shape[0]:
+            self.output[:] = out
+        else:
+            self.output[idx] = out
         return out
 
 
@@ -401,6 +477,37 @@ class _LanePlant:
     @property
     def battery(self) -> Battery:
         return self._f._batteries[self._i]
+
+
+class _LaneBattery(Battery):
+    """Battery whose mutable state lives in the fleet's arrays.
+
+    The hot loop steps all packs with batched array maths; the view
+    keeps the full :class:`Battery` interface (voltage, depleted,
+    reset, …) for detectors and per-lane adapters by backing the two
+    mutable attributes with the fleet arrays via properties.
+    """
+
+    def __init__(self, fleet: "VectorizedFleet", i: int):
+        self._f = fleet
+        self._i = i
+        super().__init__()
+
+    @property
+    def _consumed_mah(self) -> float:
+        return float(self._f._batt_consumed[self._i])
+
+    @_consumed_mah.setter
+    def _consumed_mah(self, value: float) -> None:
+        self._f._batt_consumed[self._i] = value
+
+    @property
+    def _current_a(self) -> float:
+        return float(self._f._batt_current[self._i])
+
+    @_current_a.setter
+    def _current_a(self, value: float) -> None:
+        self._f._batt_current[self._i] = value
 
 
 class _LaneSim:
@@ -601,7 +708,20 @@ class VectorizedFleet:
         self._time = [0.0] * n  # per-lane clock, accumulated like Simulator
         self._step_count = np.zeros(n, dtype=np.int64)
         self._env_rngs = [make_rng(s) for s in self.seeds]
-        self._batteries = [Battery() for _ in range(n)]
+        # Battery state as fleet arrays (stepped batched in
+        # _battery_step_lanes); constants mirror the default pack.
+        proto_batt = Battery()
+        self._batt_capacity = proto_batt.capacity_mah
+        self._batt_base_a = proto_batt.base_current_a
+        self._batt_span_a = proto_batt.max_current_a - proto_batt.base_current_a
+        self._batt_cells = proto_batt.cells
+        self._batt_empty_v = proto_batt.empty_cell_voltage
+        self._batt_vspan = (
+            proto_batt.full_cell_voltage - proto_batt.empty_cell_voltage
+        )
+        self._batt_consumed = np.zeros(n)
+        self._batt_current = np.full(n, proto_batt.base_current_a)
+        self._batteries = [_LaneBattery(self, i) for i in range(n)]
 
         # Plant constants, computed exactly as the scalar stack does.
         body = RigidBody6DoF(airframe.mass, airframe.inertia)
@@ -644,6 +764,12 @@ class VectorizedFleet:
             [self._ekf_q_att] * 3 + [self._ekf_q_vel] * 3
             + [0.0] * 3 + [self._ekf_q_bias] * 3
         )
+        # Read-only tiled-constant caches, keyed by batch width (hot-loop
+        # allocation churn shows up at N>=16): (id(H), m) -> (Hb, Hbt),
+        # m -> stacked identity, m -> predict-Jacobian template.
+        self._ekf_tile_cache: dict = {}
+        self._eye_tile_cache: dict = {}
+        self._ekf_f_template_cache: dict = {}
 
         # --- control ----------------------------------------------------
         atc = AttitudeController()
@@ -796,11 +922,19 @@ class VectorizedFleet:
 
     def step_lanes(self, idx: np.ndarray) -> None:
         """One full control cycle (sensors → estimate → control → physics)
-        for the lanes in ``idx``, mirroring ``Vehicle.step``."""
+        for the lanes in ``idx``, mirroring ``Vehicle.step``.
+
+        With a :func:`repro.obs.profile.hot_loop_profile` installed the
+        profiled twin runs instead — identical operations, plus stage
+        timers — so the default path pays only this ``None`` check.
+        """
+        profile = active_profile()
+        if profile is not None:
+            self._step_lanes_profiled(idx, profile)
+            return
         dt = self.dt
         self._estimation(idx)
-        for i in idx:
-            self._check_failsafes(int(i))
+        self._check_failsafes_lanes(idx)
         for i in idx:
             lane = self.lanes[i]
             for hook in lane.pre_control_hooks:
@@ -823,21 +957,61 @@ class VectorizedFleet:
             for hook in lane.post_step_hooks:
                 hook(lane)
 
+    def _step_lanes_profiled(self, idx: np.ndarray, profile) -> None:
+        """:meth:`step_lanes` with per-stage wall-clock attribution.
+
+        Runs the identical operation sequence; only ``perf_counter``
+        reads are added, so profiled results stay bit-identical.
+        """
+        dt = self.dt
+        t0 = perf_counter()
+        self._estimation(idx, profile)
+        t1 = perf_counter()
+        self._check_failsafes_lanes(idx)
+        for i in idx:
+            lane = self.lanes[i]
+            for hook in lane.pre_control_hooks:
+                hook(lane)
+        t2 = perf_counter()
+        profile.add("mission", t2 - t1, SCALAR)
+
+        armed_idx = idx[self._armed[idx]]
+        disarmed_idx = idx[~self._armed[idx]]
+        if disarmed_idx.size:
+            self._motor_cmd[disarmed_idx] = 0.0
+        if armed_idx.size:
+            self._control(armed_idx, dt)
+        t3 = perf_counter()
+        profile.add("control", t3 - t2, MIXED)
+
+        self._plant_step(idx)
+        t4 = perf_counter()
+        profile.add("physics", t4 - t3, BATCHED)
+
+        for i in idx:
+            self._time[i] += dt
+        self._step_count[idx] += 1
+        for i in idx:
+            lane = self.lanes[i]
+            for hook in lane.post_step_hooks:
+                hook(lane)
+        profile.add("mission", perf_counter() - t4, SCALAR)
+
     # ------------------------------------------------------------------ #
     # Estimation
     # ------------------------------------------------------------------ #
-    def _estimation(self, idx: np.ndarray) -> None:
+    def _estimation(self, idx: np.ndarray, profile=None) -> None:
         dt = self.dt
-        readings_rows = []
-        for i in idx:
-            readings = self._sensors[i].sample(
-                self.lanes[i].sim.vehicle, self._time[i], dt
-            )
-            self._last_readings[i] = readings
-            readings_rows.append(readings)
+        times = [self._time[int(i)] for i in idx]
+        if profile is not None:
+            t0 = perf_counter()
+        readings_rows, gyro, accel = self._sample_sensors(idx, times)
+        for k, i in enumerate(idx):
+            self._last_readings[int(i)] = readings_rows[k]
+        if profile is not None:
+            t1 = perf_counter()
+            profile.add("sensors", t1 - t0, MIXED)
 
-        gyro = np.array([r.imu.gyro for r in readings_rows])
-        accel = np.array([r.imu.accel for r in readings_rows])
         finite = np.isfinite(gyro).all(axis=1) & np.isfinite(accel).all(axis=1)
         self._ekf_predict(idx[finite], gyro[finite], accel[finite])
         for k in np.flatnonzero(~finite):
@@ -848,67 +1022,457 @@ class VectorizedFleet:
         self._sins_predict(idx[finite], gyro[finite], accel[finite])
 
         fin_rows = np.flatnonzero(finite)
-        ahrs_row = {}
         if fin_rows.size:
+            ahrs_list = [self._ahrs[int(idx[k])] for k in fin_rows]
             ahrs_q = _quat_integrate_cols(
-                np.array([self._ahrs[int(idx[k])]._quat for k in fin_rows]),
+                np.array([ahrs._quat for ahrs in ahrs_list]),
                 gyro[finite],
                 dt,
             )
-            ahrs_row = {int(k): j for j, k in enumerate(fin_rows)}
+            # gyro/accel rows are bitwise the ImuSample values (the
+            # samples are built from these very arrays in
+            # _sample_sensors), so reuse them instead of re-gathering.
+            self._ahrs_update_cols(ahrs_list, ahrs_q, gyro[finite], accel[finite])
 
+        # EKF measurement updates, grouped per type across lanes. Lanes
+        # are independent, so running all due accel updates, then mag,
+        # then gps, then baro preserves each lane's scalar update order
+        # (accel → mag → gps → baro) while batching the linear algebra.
+        periods = EKF_UPDATE_PERIODS
+        p_accel = periods["accel"]
+        p_mag = periods["mag"]
+        p_gps = periods["gps"]
+        p_baro = periods["baro"]
+        accel_due: list[int] = []
+        mag_due: list[int] = []
+        gps_due: list[int] = []
+        baro_due: list[int] = []
         for k, i in enumerate(idx):
-            i = int(i)
-            readings = readings_rows[k]
-            imu = readings.imu
-            imu_ok = bool(finite[k])
-            if imu_ok:
-                self._ahrs_update(
-                    self._ahrs[i], ahrs_q[ahrs_row[k]], imu.gyro, imu.accel
+            timers = self._ekf_timers[int(i)]
+            t = times[k]
+            if t - timers["accel"] >= p_accel:
+                accel_due.append(k)
+                timers["accel"] = t
+            if t - timers["mag"] >= p_mag:
+                mag_due.append(k)
+                timers["mag"] = t
+            if t - timers["gps"] >= p_gps:
+                gps_due.append(k)
+                timers["gps"] = t
+            if t - timers["baro"] >= p_baro:
+                baro_due.append(k)
+                timers["baro"] = t
+        if accel_due:
+            self._ekf_update_accel(idx, readings_rows, accel_due)
+        if mag_due:
+            self._ekf_update_mag(idx, readings_rows, mag_due)
+        if gps_due:
+            self._ekf_update_gps(idx, readings_rows, gps_due)
+        if baro_due:
+            self._ekf_update_baro(idx, readings_rows, baro_due)
+        if profile is not None:
+            profile.add("estimation", perf_counter() - t1, BATCHED)
+
+    # ------------------------------------------------------------------ #
+    # Batched sensor sampling
+    # ------------------------------------------------------------------ #
+    def _sample_sensors(self, idx: np.ndarray, times: list):
+        """Sample every lane's suite; returns (readings, gyro, accel).
+
+        Pristine suites take the batched path: the RNG draws stay per
+        lane (stream fidelity — each lane's ``Generator`` consumes draws
+        in exactly the scalar order and count), while the post-draw
+        arithmetic is batched elementwise, which is bit-equal per row.
+        Lanes with a fault injector attached keep the scalar
+        ``SensorSuite.sample`` verbatim.
+        """
+        dt = self.dt
+        m = idx.size
+        readings_out: list = [None] * m
+        gyro_out = np.empty((m, 3))
+        accel_out = np.empty((m, 3))
+        batch_rows: list[int] = []
+        for k in range(m):
+            i = int(idx[k])
+            suite = self._sensors[i]
+            if suite.fault_injector is not None:
+                readings = suite.sample(self.lanes[i].sim.vehicle, times[k], dt)
+                readings_out[k] = readings
+                gyro_out[k] = readings.imu.gyro
+                accel_out[k] = readings.imu.accel
+            else:
+                batch_rows.append(k)
+        if not batch_rows:
+            return readings_out, gyro_out, accel_out
+        rows = np.asarray(batch_rows, dtype=np.intp)
+        bidx = idx[rows]
+        suites = [self._sensors[int(i)] for i in bidx]
+        nb = rows.size
+
+        # GPS truth pipeline: one gathered copy of the fleet state; the
+        # per-lane history rows are views into it (the gather is fresh
+        # per step and never mutated, so a view is exactly the per-lane
+        # copy Gps.record_truth would have made).
+        hist_pos = self._pos[bidx]
+        hist_vel = self._vel[bidx]
+        for j in range(nb):
+            suites[j].gps._history.append(
+                (times[batch_rows[j]], hist_pos[j], hist_vel[j])
+            )
+
+        # --- IMU: per-lane draws, batched (truth + bias) + noise -------
+        gyro_noise = np.empty((nb, 3))
+        gyro_bias = np.empty((nb, 3))
+        accel_noise = np.empty((nb, 3))
+        accel_bias = np.empty((nb, 3))
+        for j, suite in enumerate(suites):
+            imu = suite.imu
+            gyro_noise[j] = imu.gyro_noise.draw(dt)
+            gyro_bias[j] = imu.gyro_noise.bias
+            accel_noise[j] = imu.accel_noise.draw(dt)
+            accel_bias[j] = imu.accel_noise.bias
+        gyro = (self._omega[bidx] + gyro_bias) + gyro_noise
+        accel = (self._sfb[bidx] + accel_bias) + accel_noise
+        th = self._thrusts[bidx]
+        total = th[:, 0] + th[:, 1] + th[:, 2] + th[:, 3]
+        fraction = total / (4.0 * self._max_thrust)
+        for j, suite in enumerate(suites):
+            imu = suite.imu
+            vibration_std = float(imu.vibration_gain * fraction[j])
+            # The guard stays per lane: the vibration draw is conditional,
+            # and skipping it must match the scalar RNG stream exactly.
+            if vibration_std > 0.0:
+                accel[j] = accel[j] + imu._vibration_rng.normal(
+                    0.0, vibration_std, size=3
                 )
-            time_s = self._time[i]
-            timers = self._ekf_timers[i]
+
+        # --- GPS: per-lane latency walk + draws, batched noise math ----
+        gps_due = [j for j, s in enumerate(suites) if s.gps.due(times[batch_rows[j]])]
+        if gps_due:
+            nd = len(gps_due)
+            g_pos = np.zeros((nd, 3))
+            g_vel = np.zeros((nd, 3))
+            g_pos_noise = np.empty((nd, 3))
+            g_pos_bias = np.empty((nd, 3))
+            g_vel_noise = np.empty((nd, 3))
+            g_vel_bias = np.empty((nd, 3))
+            axis_std = np.empty((nd, 3))
+            for a, j in enumerate(gps_due):
+                gps = suites[j].gps
+                target_time = times[batch_rows[j]] - gps.latency_s
+                for t_hist, pos, vel in reversed(gps._history):
+                    if t_hist <= target_time:
+                        g_pos[a] = pos
+                        g_vel[a] = vel
+                        break
+                g_pos_noise[a] = gps._pos_noise.draw(1.0)
+                g_pos_bias[a] = gps._pos_noise.bias
+                g_vel_noise[a] = gps._vel_noise.draw(1.0)
+                g_vel_bias[a] = gps._vel_noise.bias
+                axis_std[a] = gps._axis_std
+            pos_term = (np.zeros(3) + g_pos_bias) + g_pos_noise
+            noisy_pos = g_pos + pos_term * axis_std
+            noisy_vel = (g_vel + g_vel_bias) + g_vel_noise
+            for a, j in enumerate(gps_due):
+                gps = suites[j].gps
+                t = times[batch_rows[j]]
+                gps.hold(
+                    GpsSample(
+                        position=noisy_pos[a],
+                        velocity=noisy_vel[a],
+                        num_sats=gps.num_sats,
+                        hdop=gps.hdop,
+                        time_s=t,
+                    ),
+                    t,
+                )
+
+        # --- Barometer: per-lane drift draw, batched exp pressure ------
+        baro_due = [
+            j for j, s in enumerate(suites) if s.baro.due(times[batch_rows[j]])
+        ]
+        if baro_due:
+            nd = len(baro_due)
+            b_truth = np.empty((nd, 1))
+            b_noise = np.empty((nd, 1))
+            b_bias = np.empty((nd, 1))
+            for a, j in enumerate(baro_due):
+                baro = suites[j].baro
+                b_noise[a] = baro._noise.draw(1.0 / baro.rate_hz)
+                b_bias[a] = baro._noise.bias
+                b_truth[a, 0] = -float(self._pos[int(bidx[j]), 2])
+            noisy_alt = (b_truth + b_bias) + b_noise
+            pressure = _P0 * np.exp(-np.maximum(noisy_alt, -100.0) / _SCALE_HEIGHT)
+            for a, j in enumerate(baro_due):
+                baro = suites[j].baro
+                t = times[batch_rows[j]]
+                baro.hold(
+                    BaroSample(
+                        altitude=float(noisy_alt[a, 0]),
+                        pressure=float(pressure[a, 0]),
+                        temperature=baro.temperature_c,
+                        time_s=t,
+                    ),
+                    t,
+                )
+
+        # --- Magnetometer: batched world→body rotate, per-lane draws ---
+        mag_due = [j for j, s in enumerate(suites) if s.mag.due(times[batch_rows[j]])]
+        if mag_due:
+            nd = len(mag_due)
+            field_world = np.empty((nd, 3))
+            hard_iron = np.empty((nd, 3))
+            m_noise = np.empty((nd, 3))
+            m_bias = np.empty((nd, 3))
+            for a, j in enumerate(mag_due):
+                mag = suites[j].mag
+                m_noise[a] = mag._noise.draw(1.0 / mag.rate_hz)
+                m_bias[a] = mag._noise.bias
+                field_world[a] = mag.field_world
+                hard_iron[a] = mag.hard_iron
+            quats = self._quat[bidx[np.asarray(mag_due, dtype=np.intp)]]
+            field_body = _quat_inverse_rotate_cols(quats, field_world)
+            noisy_field = ((field_body + hard_iron) + m_bias) + m_noise
+            for a, j in enumerate(mag_due):
+                mag = suites[j].mag
+                t = times[batch_rows[j]]
+                mag.hold(MagSample(field=noisy_field[a], time_s=t), t)
+
+        # Samples hold views into the step-local gyro/accel arrays —
+        # nothing mutates them after this point, so views equal copies.
+        if nb == m:
+            gyro_out = gyro
+            accel_out = accel
+        for j in range(nb):
+            k = batch_rows[j]
+            t = times[k]
+            suite = suites[j]
+            if nb != m:
+                gyro_out[k] = gyro[j]
+                accel_out[k] = accel[j]
+            readings_out[k] = SensorReadings(
+                imu=ImuSample(gyro=gyro[j], accel=accel[j], time_s=t),
+                gps=suite.gps._held_value,
+                baro=suite.baro._held_value,
+                mag=suite.mag._held_value,
+                time_s=t,
+            )
+        return readings_out, gyro_out, accel_out
+
+    # ------------------------------------------------------------------ #
+    # Batched EKF measurement updates
+    # ------------------------------------------------------------------ #
+    def _ekf_update_cols(
+        self,
+        lanes: list,
+        z: np.ndarray,
+        h: np.ndarray,
+        H: np.ndarray,
+        R: np.ndarray,
+    ) -> None:
+        """Batched ``AttitudePositionEKF._update`` across ``lanes``.
+
+        Stacked ``(m, k, k)`` matmul and ``np.linalg.inv`` run the same
+        LAPACK/dgemm kernel per slice as the scalar update, preserving
+        the scalar's exact evaluation order:
+        ``S = (H @ P) @ Hᵀ + R``, ``K = (P @ Hᵀ) @ S⁻¹``,
+        ``x += K @ innovation``, ``P = (I - K @ H) @ P``.
+        """
+        mm = len(lanes)
+        x = np.array([self._ekfs[i].x for i in lanes])
+        P = np.array([self._ekfs[i].P for i in lanes])
+        # Tiled constants are read-only; cache them per (matrix, width).
+        key = (id(H), mm)
+        cached = self._ekf_tile_cache.get(key)
+        if cached is None:
+            cached = (
+                np.tile(H, (mm, 1, 1)),
+                np.tile(np.ascontiguousarray(H.T), (mm, 1, 1)),
+            )
+            self._ekf_tile_cache[key] = cached
+        Hb, Hbt = cached
+        innovation = z - h
+        S = Hb @ P @ Hbt + R
+        K = P @ Hbt @ np.linalg.inv(S)
+        x = x + _matvec(K, innovation)
+        identity = self._eye_tile_cache.get(mm)
+        if identity is None:
+            identity = np.tile(np.eye(_EKF_NSTATES), (mm, 1, 1))
+            self._eye_tile_cache[mm] = identity
+        P_new = (identity - K @ Hb) @ P
+        for j, i in enumerate(lanes):
             ekf = self._ekfs[i]
-            if time_s - timers["accel"] >= EKF_UPDATE_PERIODS["accel"]:
-                ekf.update_accel_attitude(imu.accel)
-                timers["accel"] = time_s
-            if time_s - timers["mag"] >= EKF_UPDATE_PERIODS["mag"]:
-                ekf.update_mag_yaw(readings.mag.field)
-                timers["mag"] = time_s
-            if time_s - timers["gps"] >= EKF_UPDATE_PERIODS["gps"]:
-                ekf.update_gps(readings.gps.position, readings.gps.velocity)
-                if bool(
-                    np.isfinite(readings.gps.position).all()
-                    and np.isfinite(readings.gps.velocity).all()
-                ):
-                    self._sins[i].correct_gps(
-                        readings.gps.position, readings.gps.velocity
-                    )
-                timers["gps"] = time_s
-            if time_s - timers["baro"] >= EKF_UPDATE_PERIODS["baro"]:
-                ekf.update_baro(readings.baro.altitude)
-                if math.isfinite(readings.baro.altitude):
-                    self._sins[i].correct_baro(readings.baro.altitude)
-                timers["baro"] = time_s
+            ekf.x = x[j]
+            ekf.P = P_new[j]
+
+    def _ekf_update_accel(self, idx, readings_rows, due) -> None:
+        """Grouped ``update_accel_attitude`` (per-lane gating, batched maths)."""
+        nd = len(due)
+        lanes: list[int] = []
+        z = np.empty((nd, 2))
+        h = np.empty((nd, 2))
+        r_diag = np.empty(nd)
+        count = 0
+        for k in due:
+            i = int(idx[k])
+            ekf = self._ekfs[i]
+            a = readings_rows[k].imu.accel
+            if ekf._reject_nonfinite(a):
+                continue
+            # == np.linalg.norm(a) bitwise (norm is sqrt(dot) internally).
+            norm = math.sqrt(a.dot(a))
+            gravity = ekf.config.gravity
+            if not 0.7 * gravity < norm < 1.3 * gravity:
+                continue
+            phi = ekf.x[0]
+            theta = ekf.x[1]
+            accel_roll = math.atan2(-a[1], -a[2])
+            accel_pitch = math.atan2(a[0], math.hypot(a[1], a[2]))
+            z[count, 0] = phi + wrap_pi(accel_roll - phi)
+            z[count, 1] = theta + wrap_pi(accel_pitch - theta)
+            h[count, 0] = phi
+            h[count, 1] = theta
+            r_diag[count] = ekf.config.accel_att_noise**2
+            lanes.append(i)
+            count += 1
+        if not count:
+            return
+        R = np.zeros((count, 2, 2))
+        R[:, 0, 0] = r_diag[:count]
+        R[:, 1, 1] = r_diag[:count]
+        self._ekf_update_cols(lanes, z[:count], h[:count], _H_ACCEL, R)
+
+    def _ekf_update_mag(self, idx, readings_rows, due) -> None:
+        """Grouped ``update_mag_yaw`` (per-lane trig, batched maths)."""
+        nd = len(due)
+        lanes: list[int] = []
+        z = np.empty((nd, 1))
+        h = np.empty((nd, 1))
+        r_diag = np.empty(nd)
+        count = 0
+        for k in due:
+            i = int(idx[k])
+            ekf = self._ekfs[i]
+            field = readings_rows[k].mag.field
+            if ekf._reject_nonfinite(field):
+                continue
+            phi = ekf.x[0]
+            theta = ekf.x[1]
+            sphi, cphi = math.sin(phi), math.cos(phi)
+            stheta, ctheta = math.sin(theta), math.cos(theta)
+            mx, my, mz = field
+            bx = mx * ctheta + my * sphi * stheta + mz * cphi * stheta
+            by = my * cphi - mz * sphi
+            mag_yaw = math.atan2(-by, bx)
+            psi = ekf.x[2]
+            z[count, 0] = psi + wrap_pi(mag_yaw - psi)
+            h[count, 0] = psi
+            r_diag[count] = ekf.config.mag_yaw_noise**2
+            lanes.append(i)
+            count += 1
+        if not count:
+            return
+        R = r_diag[:count].reshape(count, 1, 1)
+        self._ekf_update_cols(lanes, z[:count], h[:count], _H_MAG, R)
+
+    def _ekf_update_gps(self, idx, readings_rows, due) -> None:
+        """Grouped ``update_gps`` plus per-lane SINS GPS corrections."""
+        nd = len(due)
+        lanes: list[int] = []
+        z = np.empty((nd, 5))
+        h = np.empty((nd, 5))
+        r_vel = np.empty(nd)
+        r_pos = np.empty(nd)
+        count = 0
+        for k in due:
+            i = int(idx[k])
+            ekf = self._ekfs[i]
+            gps = readings_rows[k].gps
+            position = gps.position
+            velocity = gps.velocity
+            if not ekf._reject_nonfinite(position, velocity):
+                z[count, 0] = velocity[0]
+                z[count, 1] = velocity[1]
+                z[count, 2] = velocity[2]
+                z[count, 3] = position[0]
+                z[count, 4] = position[1]
+                h[count] = _H_GPS @ ekf.x
+                r_vel[count] = ekf.config.gps_vel_noise**2
+                r_pos[count] = ekf.config.gps_pos_noise**2
+                lanes.append(i)
+                count += 1
+            if bool(
+                np.isfinite(position).all() and np.isfinite(velocity).all()
+            ):
+                self._sins[i].correct_gps(position, velocity)
+        if not count:
+            return
+        R = np.zeros((count, 5, 5))
+        for d in range(3):
+            R[:, d, d] = r_vel[:count]
+        R[:, 3, 3] = r_pos[:count]
+        R[:, 4, 4] = r_pos[:count]
+        self._ekf_update_cols(lanes, z[:count], h[:count], _H_GPS, R)
+
+    def _ekf_update_baro(self, idx, readings_rows, due) -> None:
+        """Grouped ``update_baro`` plus per-lane SINS baro corrections."""
+        nd = len(due)
+        lanes: list[int] = []
+        z = np.empty((nd, 1))
+        h = np.empty((nd, 1))
+        r_diag = np.empty(nd)
+        count = 0
+        for k in due:
+            i = int(idx[k])
+            ekf = self._ekfs[i]
+            altitude = readings_rows[k].baro.altitude
+            if not ekf._reject_nonfinite(np.asarray([altitude])):
+                z[count, 0] = -altitude
+                h[count] = _H_BARO @ ekf.x
+                r_diag[count] = ekf.config.baro_noise**2
+                lanes.append(i)
+                count += 1
+            if math.isfinite(altitude):
+                self._sins[i].correct_baro(altitude)
+        if not count:
+            return
+        R = r_diag[:count].reshape(count, 1, 1)
+        self._ekf_update_cols(lanes, z[:count], h[:count], _H_BARO, R)
 
     @staticmethod
-    def _ahrs_update(ahrs, q: np.ndarray, gyro: np.ndarray, accel: np.ndarray) -> None:
-        """ComplementaryFilter.update (no mag), on the lane's filter state.
+    def _ahrs_update_cols(
+        ahrs_list: list, q: np.ndarray, gyro: np.ndarray, accel: np.ndarray
+    ) -> None:
+        """Row-wise ComplementaryFilter.update (no mag) across lanes.
 
-        ``q`` is the gyro-integrated quaternion (batched upstream via
-        ``_quat_integrate_cols``); the accel correction and norms mirror
-        the scalar filter, with ``math.sqrt(x.dot(x))`` bit-equal to
-        ``np.linalg.norm``.
+        ``q`` holds the gyro-integrated quaternions (batched upstream via
+        ``_quat_integrate_cols``); the accel/gyro norms batch through
+        :func:`_row_norm` and the final ``quat_from_euler`` through
+        :func:`_quat_from_euler_cols`, both bit-equal per row. The
+        atan2-based Euler extraction and accel correction stay per lane
+        (``math.atan2``/``math.asin`` have no proven batched twin).
         """
-        roll, pitch, yaw = quat_to_euler(q)
-        accel_norm = float(math.sqrt(accel.dot(accel)))
-        gyro_norm = float(math.sqrt(gyro.dot(gyro)))
-        if 0.5 * 9.80665 < accel_norm < 1.5 * 9.80665 and gyro_norm < 1.0:
-            accel_roll = math.atan2(-accel[1], -accel[2])
-            accel_pitch = math.atan2(accel[0], math.hypot(accel[1], accel[2]))
-            roll += ahrs.accel_gain * wrap_pi(accel_roll - roll)
-            pitch += ahrs.accel_gain * wrap_pi(accel_pitch - pitch)
-        ahrs._quat = quat_from_euler(roll, pitch, yaw)
+        m = q.shape[0]
+        accel_norm = _row_norm(accel)
+        gyro_norm = _row_norm(gyro)
+        roll = np.empty(m)
+        pitch = np.empty(m)
+        yaw = np.empty(m)
+        for k in range(m):
+            r, p, y = quat_to_euler(q[k])
+            if 0.5 * 9.80665 < accel_norm[k] < 1.5 * 9.80665 and gyro_norm[k] < 1.0:
+                a = accel[k]
+                accel_roll = math.atan2(-a[1], -a[2])
+                accel_pitch = math.atan2(a[0], math.hypot(a[1], a[2]))
+                gain = ahrs_list[k].accel_gain
+                r += gain * wrap_pi(accel_roll - r)
+                p += gain * wrap_pi(accel_pitch - p)
+            roll[k] = r
+            pitch[k] = p
+            yaw[k] = y
+        quats = _quat_from_euler_cols(roll, pitch, yaw)
+        for k, ahrs in enumerate(ahrs_list):
+            ahrs._quat = quats[k]
 
     def _sins_predict(
         self, idx: np.ndarray, gyro: np.ndarray, accel: np.ndarray
@@ -934,19 +1498,27 @@ class VectorizedFleet:
         vel = np.array([sins._velocity for sins in sinses]) + dv
         dp = vel * dt
         pos = np.array([sins._position for sins in sinses]) + dp
+        # One C-level conversion per array beats 9 scalar float() calls
+        # per lane (same values — tolist yields the identical doubles).
+        acc_rows = accel_world.tolist()
+        dv_rows = dv.tolist()
+        dp_rows = dp.tolist()
         for k, sins in enumerate(sinses):
             sins._velocity = vel[k]
             sins._position = pos[k]
             inter = sins.intermediates
-            inter["ACC_N"] = float(accel_world[k, 0])
-            inter["ACC_E"] = float(accel_world[k, 1])
-            inter["ACC_D"] = float(accel_world[k, 2])
-            inter["DV_N"] = float(dv[k, 0])
-            inter["DV_E"] = float(dv[k, 1])
-            inter["DV_D"] = float(dv[k, 2])
-            inter["DP_N"] = float(dp[k, 0])
-            inter["DP_E"] = float(dp[k, 1])
-            inter["DP_D"] = float(dp[k, 2])
+            acc = acc_rows[k]
+            inter["ACC_N"] = acc[0]
+            inter["ACC_E"] = acc[1]
+            inter["ACC_D"] = acc[2]
+            dvk = dv_rows[k]
+            inter["DV_N"] = dvk[0]
+            inter["DV_E"] = dvk[1]
+            inter["DV_D"] = dvk[2]
+            dpk = dp_rows[k]
+            inter["DP_N"] = dpk[0]
+            inter["DP_E"] = dpk[1]
+            inter["DP_D"] = dpk[2]
 
     def _ekf_predict(
         self, idx: np.ndarray, gyro: np.ndarray, accel: np.ndarray
@@ -993,13 +1565,20 @@ class VectorizedFleet:
         x[:, 3:6] = x[:, 3:6] + accel_ned * dt
         x[:, 6:9] = x[:, 6:9] + x[:, 3:6] * dt
 
-        f = np.tile(np.eye(12), (m, 1, 1))
-        f[:, 6, 3] = dt
-        f[:, 7, 4] = dt
-        f[:, 8, 5] = dt
-        f[:, 0, 9] = -dt
-        f[:, 1, 10] = -dt
-        f[:, 2, 11] = -dt
+        # The Jacobian template (identity + constant dt entries) only
+        # depends on (m, dt); dt is fixed per fleet, so cache per m and
+        # memcpy — only the six f_ned-dependent entries change per step.
+        template = self._ekf_f_template_cache.get(m)
+        if template is None:
+            template = np.tile(np.eye(12), (m, 1, 1))
+            template[:, 6, 3] = dt
+            template[:, 7, 4] = dt
+            template[:, 8, 5] = dt
+            template[:, 0, 9] = -dt
+            template[:, 1, 10] = -dt
+            template[:, 2, 11] = -dt
+            self._ekf_f_template_cache[m] = template
+        f = template.copy()
         f[:, 3, 1] = f_ned[:, 2] * dt
         f[:, 3, 2] = -f_ned[:, 1] * dt
         f[:, 4, 0] = -f_ned[:, 2] * dt
@@ -1020,46 +1599,68 @@ class VectorizedFleet:
     # Failsafes (mirrors Vehicle._check_failsafes)
     # ------------------------------------------------------------------ #
     def _check_failsafes(self, i: int) -> None:
-        if not self._armed[i] or self._modes[i].mode is FlightMode.LAND:
-            return
-        battery = self._batteries[i]
+        self._check_failsafes_lanes(np.asarray([i]))
+
+    def _check_failsafes_lanes(self, idx: np.ndarray) -> None:
+        """Per-lane failsafe sweep with the shared param reads hoisted.
+
+        The fleet's lanes share one :class:`ParameterStore`, nothing in
+        the sweep mutates it, and ``params.get`` is a pure read — so
+        reading each threshold once per sweep is behaviourally identical
+        to the scalar per-lane reads, minus the dictionary churn.
+        """
         params = self.params
-        if battery.voltage <= params.get("BATT_CRT_VOLT") or battery.depleted:
-            self._lane_set_mode(i, FlightMode.LAND)
-            return
-        if battery.voltage <= params.get("BATT_LOW_VOLT"):
-            if (
-                params.get("BATT_FS_LOW_ACT") >= 2.0
-                and self._modes[i].mode is not FlightMode.RTL
-            ):
-                self._lane_set_mode(i, FlightMode.RTL)
-                return
-        if (
-            params.get("FENCE_ENABLE") >= 1.0
-            and self._modes[i].mode is not FlightMode.RTL
-        ):
-            position = self._pos[i]
-            horizontal = float(np.hypot(
-                position[0] - self._home[i][0], position[1] - self._home[i][1]
-            ))
-            breach = (
-                horizontal > params.get("FENCE_RADIUS")
-                or -float(position[2]) > params.get("FENCE_ALT_MAX")
-            )
-            if breach and params.get("FENCE_ACTION") >= 1.0:
-                self._lane_set_mode(i, FlightMode.RTL)
+        batt_crt = params.get("BATT_CRT_VOLT")
+        batt_low = params.get("BATT_LOW_VOLT")
+        batt_low_act = params.get("BATT_FS_LOW_ACT")
+        fence_enable = params.get("FENCE_ENABLE")
+        if fence_enable >= 1.0:
+            fence_radius = params.get("FENCE_RADIUS")
+            fence_alt_max = params.get("FENCE_ALT_MAX")
+            fence_action = params.get("FENCE_ACTION")
+        # Batched Battery.voltage / .depleted (same expression order as
+        # the scalar properties, so bit-equal per lane).
+        rem = (
+            1.0 - self._batt_consumed[idx] / self._batt_capacity
+        ).clip(0.0, 1.0)
+        volts = (self._batt_empty_v + rem * self._batt_vspan) * self._batt_cells
+        depleted = rem <= 0.0
+        for k, i in enumerate(idx):
+            i = int(i)
+            if not self._armed[i] or self._modes[i].mode is FlightMode.LAND:
+                continue
+            if volts[k] <= batt_crt or depleted[k]:
+                self._lane_set_mode(i, FlightMode.LAND)
+                continue
+            if volts[k] <= batt_low:
+                if batt_low_act >= 2.0 and self._modes[i].mode is not FlightMode.RTL:
+                    self._lane_set_mode(i, FlightMode.RTL)
+                    continue
+            if fence_enable >= 1.0 and self._modes[i].mode is not FlightMode.RTL:
+                position = self._pos[i]
+                horizontal = float(np.hypot(
+                    position[0] - self._home[i][0], position[1] - self._home[i][1]
+                ))
+                breach = (
+                    horizontal > fence_radius
+                    or -float(position[2]) > fence_alt_max
+                )
+                if breach and fence_action >= 1.0:
+                    self._lane_set_mode(i, FlightMode.RTL)
 
     # ------------------------------------------------------------------ #
     # Control (navigation → position → attitude → mixer)
     # ------------------------------------------------------------------ #
     def _control(self, idx: np.ndarray, dt: float) -> None:
         m = idx.size
-        # Estimated state, exactly as Vehicle.step reads it.
-        pos_est = np.array([self._ekfs[i].x[6:9] for i in idx])
-        vel_est = np.array([self._ekfs[i].x[3:6] for i in idx])
-        roll_est = np.array([self._ekfs[i].x[0] for i in idx])
-        pitch_est = np.array([self._ekfs[i].x[1] for i in idx])
-        yaw_est = np.array([self._ekfs[i].x[2] for i in idx])
+        # Estimated state, exactly as Vehicle.step reads it (one gather
+        # of x per lane; the slices below are views into the copy).
+        x_est = np.array([self._ekfs[i].x for i in idx])
+        pos_est = x_est[:, 6:9]
+        vel_est = x_est[:, 3:6]
+        roll_est = x_est[:, 0]
+        pitch_est = x_est[:, 1]
+        yaw_est = x_est[:, 2]
         gyro_rows = []
         for i in idx:
             readings = self._last_readings[i]
@@ -1152,7 +1753,7 @@ class VectorizedFleet:
             tilt = np.maximum(tilt, 0.5)
             climb_accel = -accel_d
             throttle = self._hover_throttle * (1.0 + climb_accel / grav) / tilt
-            throttle = np.clip(throttle, 0.0, 1.0)
+            throttle = throttle.clip(0.0, 1.0)
             t_roll[rows] = roll_t
             t_pitch[rows] = pitch_t
             t_yaw[rows] = sp_yaw[rows]
@@ -1178,12 +1779,12 @@ class VectorizedFleet:
         err_r = _wrap_cols(t_roll - roll_est)
         err_p = _wrap_cols(t_pitch - pitch_est)
         err_y = _wrap_cols(t_yaw - yaw_est)
-        rt_r = np.clip(self._angle_p * err_r, -self._rate_max, self._rate_max)
-        rt_p = np.clip(self._angle_p * err_p, -self._rate_max, self._rate_max)
-        rt_y = np.clip(self._angle_p * err_y, -self._rate_max, self._rate_max)
-        tq_r = np.clip(self._pid_roll.update(idx, rt_r, gyro[:, 0], dt), -1.0, 1.0)
-        tq_p = np.clip(self._pid_pitch.update(idx, rt_p, gyro[:, 1], dt), -1.0, 1.0)
-        tq_y = np.clip(self._pid_yaw.update(idx, rt_y, gyro[:, 2], dt), -1.0, 1.0)
+        rt_r = (self._angle_p * err_r).clip(-self._rate_max, self._rate_max)
+        rt_p = (self._angle_p * err_p).clip(-self._rate_max, self._rate_max)
+        rt_y = (self._angle_p * err_y).clip(-self._rate_max, self._rate_max)
+        tq_r = self._pid_roll.update(idx, rt_r, gyro[:, 0], dt).clip(-1.0, 1.0)
+        tq_p = self._pid_pitch.update(idx, rt_p, gyro[:, 1], dt).clip(-1.0, 1.0)
+        tq_y = self._pid_yaw.update(idx, rt_y, gyro[:, 2], dt).clip(-1.0, 1.0)
         self._torque[idx, 0] = tq_r
         self._torque[idx, 1] = tq_p
         self._torque[idx, 2] = tq_y
@@ -1205,7 +1806,7 @@ class VectorizedFleet:
         roll_f = mixer.ROLL_FACTORS
         pitch_f = mixer.PITCH_FACTORS
         yaw_f = mixer.YAW_FACTORS
-        thr = np.clip(thr, 0.0, 1.0)
+        thr = thr.clip(0.0, 1.0)
         headroom = np.minimum(thr - min_t, max_t - thr)
         mix = (
             roll_f * tq_r[:, None]
@@ -1231,7 +1832,7 @@ class VectorizedFleet:
                     yaw_mix,
                 )
             mix[sat] = np.where(rp_over[:, None], rp_scaled, rp_mix + yaw_mix)
-        return np.clip(thr[:, None] + mix, min_t, max_t)
+        return (thr[:, None] + mix).clip(min_t, max_t)
 
     def _axis_update(
         self, sqrt_bank, vel_bank, accel_max, idx, pos_target, pos, vel, dt
@@ -1239,14 +1840,14 @@ class VectorizedFleet:
         """AxisCascade.update, batched."""
         vel_target = sqrt_bank.update(idx, pos_target, pos)
         raw_accel = vel_bank.update(idx, vel_target, vel, dt)
-        return np.clip(raw_accel, -accel_max, accel_max)
+        return raw_accel.clip(-accel_max, accel_max)
 
     # ------------------------------------------------------------------ #
     # Plant (mirrors QuadrotorModel.step + Simulator.step)
     # ------------------------------------------------------------------ #
     def _plant_step(self, idx: np.ndarray) -> None:
         dt = self.dt
-        cmds = np.clip(self._motor_cmd[idx], 0.0, 1.0)
+        cmds = self._motor_cmd[idx].clip(0.0, 1.0)
         self._motor_cmd[idx] = cmds
 
         if self._gust_std > 0.0:
@@ -1300,8 +1901,7 @@ class VectorizedFleet:
                 self._quat[rest_lanes],
                 np.tile(self._neg_gravity_world, (rest_lanes.size, 1)),
             )
-            for k, i in enumerate(rest_lanes):
-                self._battery_step(int(i), dt)
+            self._battery_step_lanes(rest_lanes, dt)
 
         dyn = ~rest
         dyn_lanes = idx[dyn]
@@ -1346,15 +1946,28 @@ class VectorizedFleet:
             self._omega[i] = 0.0
             self._landed[i] = True
 
-        for i in dyn_lanes:
-            i = int(i)
-            self._battery_step(i, dt)
-            if self._batteries[i].depleted and not self._landed[i]:
-                self._motor_cmd[i] = 0.0
+        self._battery_step_lanes(dyn_lanes, dt)
+        rem = (
+            1.0 - self._batt_consumed[dyn_lanes] / self._batt_capacity
+        ).clip(0.0, 1.0)
+        dead = dyn_lanes[(rem <= 0.0) & ~self._landed[dyn_lanes]]
+        if dead.size:
+            self._motor_cmd[dead] = 0.0
 
-    def _battery_step(self, i: int, dt: float) -> None:
-        cmd = self._motor_cmd[i]
-        throttle_mean = (
-            float(cmd[0]) + float(cmd[1]) + float(cmd[2]) + float(cmd[3])
-        ) / 4.0
-        self._batteries[i].step(throttle_mean, dt)
+    def _battery_step_lanes(self, lanes: np.ndarray, dt: float) -> None:
+        """Batched ``Battery.step`` over ``lanes``.
+
+        The throttle mean, clamp and coulomb integration batch
+        elementwise (bit-equal per row); the ``**2`` stays per lane —
+        libm ``pow(x, 2)`` is occasionally 1 ulp off ``x * x``, so no
+        ufunc reproduces the scalar squaring.
+        """
+        cmds = self._motor_cmd[lanes]
+        thr = (
+            (cmds[:, 0] + cmds[:, 1] + cmds[:, 2] + cmds[:, 3]) / 4.0
+        ).clip(0.0, 1.0)
+        base = self._batt_base_a
+        span = self._batt_span_a
+        cur = np.array([base + span * t**2 for t in thr.tolist()])
+        self._batt_current[lanes] = cur
+        self._batt_consumed[lanes] = self._batt_consumed[lanes] + cur * dt / 3.6

@@ -37,6 +37,16 @@ def _suites(scalar=1.0, fleet=3.5):
     }
 
 
+def _stages():
+    return {
+        "sensors": {"wall_s": 0.4, "calls": 2000, "kind": "mixed"},
+        "estimation": {"wall_s": 0.3, "calls": 2000, "kind": "batched"},
+        "mission": {"wall_s": 0.1, "calls": 2000, "kind": "scalar"},
+        "control": {"wall_s": 0.2, "calls": 2000, "kind": "mixed"},
+        "physics": {"wall_s": 0.5, "calls": 2000, "kind": "batched"},
+    }
+
+
 class TestWriteSnapshot:
     def test_writes_schema_valid_json(self, tmp_path):
         path = write_snapshot(
@@ -61,6 +71,35 @@ class TestWriteSnapshot:
             write_snapshot(tmp_path, {"bad": {"seconds": 1.0}})
         with pytest.raises(AnalysisError, match="negative"):
             write_snapshot(tmp_path, {"bad": {"wall_s": -1.0}})
+
+    def test_stage_breakdown_round_trips(self, tmp_path):
+        suites = _suites()
+        suites["vectorized_hot_loop_n16"]["stages"] = _stages()
+        path = write_snapshot(tmp_path, suites, date="2026-08-09")
+        assert validate_file(path, SCHEMA) == []
+        document = json.loads(path.read_text())
+        assert document["schema"] == 2
+        stages = document["suites"]["vectorized_hot_loop_n16"]["stages"]
+        assert set(stages) == {
+            "sensors", "estimation", "mission", "control", "physics",
+        }
+        assert stages["estimation"]["kind"] == "batched"
+        assert stages["mission"]["calls"] == 2000.0
+
+    def test_rejects_malformed_stages(self, tmp_path):
+        for broken, match in (
+            ({"physics": {"wall_s": 0.5, "calls": 1}}, "missing 'kind'"),
+            ({"physics": {"calls": 1, "kind": "batched"}},
+             "missing 'wall_s'"),
+            ({"physics": {"wall_s": -0.5, "calls": 1, "kind": "batched"}},
+             "negative"),
+            ({"physics": {"wall_s": 0.5, "calls": 1, "kind": "quantum"}},
+             "unknown kind"),
+        ):
+            suites = _suites()
+            suites["scalar_hot_loop"]["stages"] = broken
+            with pytest.raises(AnalysisError, match=match):
+                write_snapshot(tmp_path, suites)
 
     def test_schema_rejects_corrupt_snapshot(self, tmp_path):
         path = write_snapshot(tmp_path, _suites(), date="2026-08-09")
@@ -95,6 +134,46 @@ class TestTrajectory:
         (tmp_path / "BENCH_2026-08-01.json").write_text("{nope")
         with pytest.raises(AnalysisError, match="corrupt"):
             load_trajectory(tmp_path)
+
+
+def _v1_document(date="2026-08-01", scalar=1.0, fleet=3.5):
+    """A literal schema-v1 snapshot, as written before the stage era."""
+    return {
+        "schema": 1,
+        "date": date,
+        "label": "v1 era",
+        "python": "3.11.7",
+        "numpy": "2.4.6",
+        "suites": {
+            "scalar_hot_loop": {"wall_s": scalar},
+            "vectorized_hot_loop_n16": {"wall_s": fleet},
+        },
+        "counters": {"sim.steps": 12800.0},
+        "extras": {"speedup_n16": 4.5},
+    }
+
+
+class TestV1Compat:
+    """Schema-v1 snapshots stay loadable, valid and comparable."""
+
+    def test_v1_document_still_validates(self, tmp_path):
+        path = tmp_path / "BENCH_2026-08-01.json"
+        path.write_text(json.dumps(_v1_document()))
+        assert validate_file(path, SCHEMA) == []
+
+    def test_v2_current_compares_against_v1_previous(self, tmp_path):
+        (tmp_path / "BENCH_2026-08-01.json").write_text(
+            json.dumps(_v1_document(scalar=1.0))
+        )
+        suites = _suites(scalar=1.1)
+        suites["scalar_hot_loop"]["stages"] = _stages()
+        write_snapshot(tmp_path, suites, date="2026-08-08")
+        current, previous = latest_snapshots(tmp_path)
+        assert previous["schema"] == 1 and current["schema"] == 2
+        comparison = compare_snapshots(current, previous, tolerance=0.25)
+        assert comparison.ok
+        names = [suite.name for suite in comparison.suites]
+        assert "scalar_hot_loop" in names
 
 
 class TestCompare:
@@ -149,6 +228,39 @@ class TestCompare:
         with pytest.raises(AnalysisError, match="tolerance"):
             compare_snapshots(None, None, tolerance=-0.1)
 
+    def test_per_suite_band_loosens_one_suite(self, tmp_path):
+        # 50% slower: fails the 25% global band, passes a 60% override.
+        current, previous = self._docs(tmp_path, 1.0, 1.5)
+        assert not compare_snapshots(current, previous, tolerance=0.25).ok
+        comparison = compare_snapshots(
+            current, previous, tolerance=0.25,
+            suite_tolerances={"scalar_hot_loop": 0.6},
+        )
+        assert comparison.ok
+        assert "[band +60%]" in comparison.render()
+
+    def test_per_suite_band_tightens_one_suite(self, tmp_path):
+        # 20% slower: inside the 25% global band, outside a 10% override.
+        current, previous = self._docs(tmp_path, 1.0, 1.2)
+        assert compare_snapshots(current, previous, tolerance=0.25).ok
+        comparison = compare_snapshots(
+            current, previous, tolerance=0.25,
+            suite_tolerances={"scalar_hot_loop": 0.1},
+        )
+        assert not comparison.ok
+        assert [s.name for s in comparison.regressions] == ["scalar_hot_loop"]
+
+    def test_per_suite_band_for_unknown_suite_rejected(self, tmp_path):
+        current, previous = self._docs(tmp_path, 1.0, 1.0)
+        with pytest.raises(AnalysisError, match="unknown suite"):
+            compare_snapshots(current, previous,
+                              suite_tolerances={"typo_suite": 0.5})
+
+    def test_negative_per_suite_band_rejected(self):
+        with pytest.raises(AnalysisError, match="scalar_hot_loop"):
+            compare_snapshots(None, None,
+                              suite_tolerances={"scalar_hot_loop": -0.5})
+
 
 class TestTrajectoryCli:
     """The benchmarks/trajectory.py compare command (the CI gate)."""
@@ -181,15 +293,77 @@ class TestTrajectoryCli:
         assert cli.main(["compare", "--dir", str(tmp_path),
                          "--tolerance", "0.6"]) == 0
 
+    def test_compare_per_suite_tolerance_flag(self, tmp_path, capsys):
+        cli = self._load_cli()
+        write_snapshot(tmp_path, _suites(scalar=1.0), date="2026-08-01")
+        write_snapshot(tmp_path, _suites(scalar=1.5), date="2026-08-08")
+        # The offending suite gets its own looser band; the global band
+        # still gates everything else.
+        assert cli.main([
+            "compare", "--dir", str(tmp_path),
+            "--suite-tolerance", "scalar_hot_loop=0.6",
+        ]) == 0
+        assert "[band +60%]" in capsys.readouterr().out
+        with pytest.raises(SystemExit):
+            cli.main(["compare", "--dir", str(tmp_path),
+                      "--suite-tolerance", "not-a-pair"])
+
+    def test_write_sweep_with_stage_breakdown(self, tmp_path, capsys):
+        """A miniature end-to-end write: real sims, tiny duration."""
+        cli = self._load_cli()
+        assert cli.main([
+            "write", "--dir", str(tmp_path), "--date", "2026-08-08",
+            "--n", "2", "--sweep", "4", "--duration", "0.2",
+            "--repeats", "1", "--label", "unit sweep",
+        ]) == 0
+        path = tmp_path / "BENCH_2026-08-08.json"
+        assert validate_file(path, SCHEMA) == []
+        document = json.loads(path.read_text())
+        assert set(document["extras"]) == {"speedup_n2", "speedup_n4"}
+        suites = document["suites"]
+        assert set(suites) == {
+            "scalar_hot_loop", "vectorized_hot_loop_n2",
+            "vectorized_hot_loop_n4",
+        }
+        scalar_stages = suites["scalar_hot_loop"]["stages"]
+        fleet_stages = suites["vectorized_hot_loop_n2"]["stages"]
+        assert set(scalar_stages) == set(fleet_stages) == {
+            "sensors", "estimation", "mission", "control", "physics",
+        }
+        assert all(s["kind"] == "scalar" for s in scalar_stages.values())
+        assert fleet_stages["physics"]["kind"] == "batched"
+        # The non-primary sweep width is timed but not profiled.
+        assert "stages" not in suites["vectorized_hot_loop_n4"]
+
 
 class TestCheckedInSnapshot:
     """The committed BENCH_*.json series is valid and records the
     acceptance speedup."""
 
-    def test_first_snapshot_checked_in_and_valid(self):
+    def test_snapshots_checked_in_and_valid(self):
         trajectory = load_trajectory(REPO_ROOT)
         assert trajectory, "no BENCH_*.json checked in at the repo root"
         for path, _ in trajectory:
             assert validate_file(path, SCHEMA) == [], path
         latest = trajectory[-1][1]
         assert latest["extras"]["speedup_n16"] >= 4.0
+
+    def test_latest_snapshot_has_sweep_and_stage_breakdown(self):
+        latest = load_trajectory(REPO_ROOT)[-1][1]
+        assert latest["schema"] == 2
+        for extra in ("speedup_n4", "speedup_n16", "speedup_n64"):
+            assert extra in latest["extras"], extra
+        # The batched fraction amortizes: wider fleets, better speedup.
+        assert (latest["extras"]["speedup_n64"]
+                > latest["extras"]["speedup_n4"])
+        stage_names = {"sensors", "estimation", "mission", "control",
+                       "physics"}
+        for suite in ("scalar_hot_loop", "vectorized_hot_loop_n16"):
+            stages = latest["suites"][suite]["stages"]
+            assert set(stages) == stage_names, suite
+        scalar = latest["suites"]["scalar_hot_loop"]["stages"]
+        fleet = latest["suites"]["vectorized_hot_loop_n16"]["stages"]
+        assert all(s["kind"] == "scalar" for s in scalar.values())
+        assert fleet["estimation"]["kind"] == "batched"
+        assert fleet["physics"]["kind"] == "batched"
+        assert fleet["mission"]["kind"] == "scalar"

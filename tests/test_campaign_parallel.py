@@ -249,6 +249,79 @@ class TestCachedCall:
         assert cache.clear() == 1
 
 
+def _hammer_writer(cache_dir: str, worker: int, rounds: int) -> int:
+    """One hammer process: repeated puts, all colliding on shared slots."""
+    cache = ResultCache(cache_dir)
+    for i in range(rounds):
+        fingerprint = f"slot{i % 4:064d}"
+        cache.put("hammer", fingerprint,
+                  {"worker": float(worker), "round": float(i)},
+                  elapsed_s=0.001)
+    return worker
+
+
+class TestCacheAtomicWrite:
+    """put() under concurrent writers: no torn records, no temp litter."""
+
+    def test_tmp_names_are_collision_proof(self, tmp_path):
+        from repro.experiments.cache import _tmp_path_for
+
+        target = tmp_path / "deadbeef.json"
+        names = {_tmp_path_for(target).name for _ in range(64)}
+        assert len(names) == 64  # same pid, still unique per call
+
+    def test_concurrent_writer_hammer(self, tmp_path):
+        from concurrent.futures import ProcessPoolExecutor
+
+        cache_dir = tmp_path / "cache"
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            futures = [
+                pool.submit(_hammer_writer, str(cache_dir), worker, 25)
+                for worker in range(4)
+            ]
+            assert sorted(f.result() for f in futures) == [0, 1, 2, 3]
+        # Every surviving record decodes cleanly (last writer won, no
+        # interleaved/torn content) and no in-flight temp files remain.
+        cache = ResultCache(cache_dir)
+        records = sorted((cache_dir / "hammer").glob("*.json"))
+        assert len(records) == 4
+        for path in records:
+            entry = cache.get("hammer", path.stem)
+            assert entry is not None, path
+            assert set(entry.result) == {"worker", "round"}
+        assert cache.stats.evictions == 0
+        litter = [p for p in (cache_dir / "hammer").iterdir()
+                  if ".tmp." in p.name]
+        assert litter == []
+
+    def test_stale_tmp_files_are_swept_on_put(self, tmp_path):
+        import os as _os
+
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("sweep", "a" * 64, {"x": 1.0})
+        directory = tmp_path / "cache" / "sweep"
+        stale = directory / ("b" * 64 + ".json.tmp.dead-crashed")
+        stale.write_text("{torn")
+        _os.utime(stale, (1.0, 1.0))  # ancient mtime: a crashed writer
+        fresh = directory / ("c" * 64 + ".json.tmp.1234-live")
+        fresh.write_text("{in-flight")
+        cache.put("sweep", "d" * 64, {"y": 2.0})
+        assert not stale.exists()
+        assert fresh.exists()  # young temp files belong to live writers
+
+    def test_failed_write_leaves_no_tmp_behind(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+
+        def explode(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.experiments.cache.os.replace", explode)
+        with pytest.raises(OSError, match="disk full"):
+            cache.put("boom", "e" * 64, {"x": 1.0})
+        directory = tmp_path / "cache" / "boom"
+        assert [p.name for p in directory.iterdir()] == []
+
+
 class TestBenchWiring:
     """A cache-warm bench invocation must execute zero experiment
     callables — proven with a counting stub through the actual bench
@@ -474,6 +547,177 @@ class TestVectorizedEngine:
             assert statuses[seed] == expected
 
 
+class TestShardedVectorized:
+    """engine="vectorized" × workers>1: whole chunks ship to pool workers.
+
+    The composed mode must stay bit-identical to every other mode, keep
+    the per-seed statuses/fallbacks of the serial vectorized engine, and
+    requeue an entire chunk when its worker dies mid-fleet.
+    """
+
+    SEEDS = list(range(10, 18))
+
+    def test_sharded_identical_to_all_other_modes(self):
+        serial = run_campaign(_metric_experiment, self.SEEDS)
+        vec_serial = run_campaign(_metric_experiment, self.SEEDS,
+                                  engine="vectorized", batch=_batch_all,
+                                  batch_size=3)
+        sharded = run_campaign(_metric_experiment, self.SEEDS,
+                               engine="vectorized", batch=_batch_all,
+                               batch_size=3, workers=4)
+        assert _values(sharded) == _values(vec_serial) == _values(serial)
+        assert sharded.seeds == self.SEEDS
+        assert sharded.vectorized_seeds == self.SEEDS
+        assert not sharded.fallback_seeds
+        assert sharded.batch_size_used == 3
+
+    def test_sharded_chunks_respect_batch_size(self):
+        _BATCH_CALLS.clear()
+        run_campaign(_metric_experiment, self.SEEDS, engine="vectorized",
+                     batch=_batch_counting, batch_size=3, workers=2)
+        # Pool workers append to their own copy of the list; the parent
+        # list stays empty — which is itself the proof the batches ran
+        # out-of-process.
+        assert _BATCH_CALLS == []
+
+    def test_sharded_partial_batch_falls_back_per_seed(self):
+        serial = run_campaign(_metric_experiment, self.SEEDS)
+        mixed = run_campaign(_metric_experiment, self.SEEDS,
+                             engine="vectorized", batch=_batch_even_only,
+                             batch_size=3, workers=2)
+        assert _values(mixed) == _values(serial)
+        assert mixed.vectorized_seeds == [s for s in self.SEEDS if s % 2 == 0]
+        assert mixed.fallback_seeds == [s for s in self.SEEDS if s % 2 == 1]
+
+    def test_sharded_raising_batch_falls_back_whole_chunks(self):
+        serial = run_campaign(_metric_experiment, self.SEEDS)
+        fallen = run_campaign(_metric_experiment, self.SEEDS,
+                              engine="vectorized", batch=_batch_exploding,
+                              batch_size=3, workers=2)
+        assert _values(fallen) == _values(serial)
+        assert fallen.fallback_seeds == self.SEEDS
+        assert not fallen.vectorized_seeds
+
+    def test_worker_crash_requeues_whole_chunk(self, tmp_path):
+        """An injected worker crash (os._exit mid-fleet) takes its whole
+        chunk down; the supervisor requeues the chunk and the retry —
+        pure function of the seeds — is bit-identical to a clean run."""
+        from repro.experiments.faults import (
+            FaultInjector, FaultPolicy, FaultSpec,
+        )
+
+        serial = run_campaign(_metric_experiment, self.SEEDS)
+        injector = FaultInjector(
+            {"worker_start": (FaultSpec(action="crash", seeds=frozenset({12}),
+                                        times=1),)},
+            state_dir=tmp_path / "faults",
+        )
+        sharded = run_campaign(
+            _metric_experiment, self.SEEDS, engine="vectorized",
+            batch=_batch_all, batch_size=3, workers=2,
+            policy=FaultPolicy(max_retries=2), injector=injector,
+        )
+        assert _values(sharded) == _values(serial)
+        assert sharded.vectorized_seeds == self.SEEDS
+        # Chunks are seed-ordered, so seed 12's crash cost its whole
+        # chunk [10, 11, 12] a second attempt; the others sailed through.
+        for seed in (10, 11, 12):
+            assert sharded.attempts[seed] == 2, seed
+        for seed in (13, 14, 15, 16, 17):
+            assert sharded.attempts[seed] == 1, seed
+
+    def test_crash_retries_exhausted_falls_back_scalar(self, tmp_path):
+        """A chunk whose worker dies on every attempt (times > retries)
+        falls back to the scalar engine instead of failing the seeds."""
+        from repro.experiments.faults import (
+            FaultInjector, FaultPolicy, FaultSpec,
+        )
+
+        serial = run_campaign(_metric_experiment, self.SEEDS)
+        # times=2 covers the chunk's first attempt and its single retry,
+        # so the scalar fallback (which fires the same chaos point) runs
+        # with the fault budget already spent.
+        injector = FaultInjector(
+            {"worker_start": (FaultSpec(action="crash", seeds=frozenset({12}),
+                                        times=2),)},
+            state_dir=tmp_path / "faults",
+        )
+        sharded = run_campaign(
+            _metric_experiment, self.SEEDS, engine="vectorized",
+            batch=_batch_all, batch_size=3, workers=2,
+            policy=FaultPolicy(max_retries=1), injector=injector,
+        )
+        assert _values(sharded) == _values(serial)
+        assert set(sharded.fallback_seeds) == {10, 11, 12}
+        assert sharded.vectorized_seeds == [13, 14, 15, 16, 17]
+
+    def test_resume_mid_shard_recomputes_only_missing(self, tmp_path):
+        """Resuming a partially sharded campaign adopts finished seeds
+        from the manifest and offers only the remainder to the batch."""
+        manifest = tmp_path / "manifest.jsonl"
+        first = run_campaign(_metric_experiment, self.SEEDS[:5],
+                             engine="vectorized", batch=_batch_all,
+                             batch_size=2, workers=2, manifest=manifest)
+        assert first.vectorized_seeds == self.SEEDS[:5]
+        resumed = run_campaign(_metric_experiment, self.SEEDS,
+                               engine="vectorized", batch=_batch_all,
+                               batch_size=2, workers=2, manifest=manifest,
+                               resume=True)
+        assert resumed.resumed_seeds == self.SEEDS[:5]
+        assert resumed.vectorized_seeds == self.SEEDS[5:]
+        serial = run_campaign(_metric_experiment, self.SEEDS)
+        assert _values(resumed) == _values(serial)
+
+
+class TestAutoBatchSize:
+    SEEDS = list(range(10, 18))
+
+    def test_auto_resolves_to_one_chunk_per_worker(self, tmp_path):
+        manifest = tmp_path / "manifest.jsonl"
+        result = run_campaign(_metric_experiment, self.SEEDS,
+                              engine="vectorized", batch=_batch_all,
+                              batch_size="auto", workers=2,
+                              manifest=manifest)
+        assert result.batch_size_used == 4  # ceil(8 seeds / 2 workers)
+        assert result.vectorized_seeds == self.SEEDS
+        meta = [json.loads(line)
+                for line in manifest.read_text().splitlines()]
+        widths = [r for r in meta if r["status"] == "batch_size"]
+        assert len(widths) == 1
+        assert widths[0]["seed"] == -1
+        assert widths[0]["metrics"] == {"batch_size": 4.0}
+
+    def test_auto_manifest_stays_schema_valid_and_resumable(self, tmp_path):
+        from repro.obs.schema import validate_file
+
+        manifest = tmp_path / "manifest.jsonl"
+        run_campaign(_metric_experiment, self.SEEDS, engine="vectorized",
+                     batch=_batch_all, batch_size="auto", workers=2,
+                     manifest=manifest)
+        schema = (Path(__file__).resolve().parent.parent
+                  / "schemas" / "manifest.schema.json")
+        assert validate_file(manifest, schema) == []
+        resumed = run_campaign(_metric_experiment, self.SEEDS,
+                               engine="vectorized", batch=_batch_all,
+                               batch_size="auto", workers=2,
+                               manifest=manifest, resume=True)
+        # The meta record must never be adopted as a seed result.
+        assert resumed.resumed_seeds == self.SEEDS
+        assert -1 not in resumed.statuses
+
+    def test_auto_serial_uses_bounded_width(self):
+        result = run_campaign(_metric_experiment, self.SEEDS,
+                              engine="vectorized", batch=_batch_all,
+                              batch_size="auto")
+        assert result.batch_size_used == 8  # whole set, one fleet
+        assert result.vectorized_seeds == self.SEEDS
+
+    def test_bad_batch_size_rejected(self):
+        with pytest.raises(AnalysisError, match="batch_size"):
+            run_campaign(_metric_experiment, [1], engine="vectorized",
+                         batch=_batch_all, batch_size="wide")
+
+
 # --------------------------------------------------------------------- #
 # Real-simulation fallback: fault-scheduled seeds are not batchable
 # --------------------------------------------------------------------- #
@@ -566,7 +810,11 @@ class TestFig9EngineEquivalence:
         serial = _blob(run_fig9(**self.PARAMS))
         parallel = _blob(run_fig9(**self.PARAMS, workers=2))
         vectorized = _blob(run_fig9(**self.PARAMS, engine="vectorized"))
-        assert vectorized == parallel == serial
+        # batch_size=1 forces the sharded path even at two trials: two
+        # single-seed fleets stepping on two pool workers.
+        sharded = _blob(run_fig9(**self.PARAMS, engine="vectorized",
+                                 workers=2, batch_size=1))
+        assert sharded == vectorized == parallel == serial
 
         # A scalar-populated cache serves the vectorized engine: same
         # fingerprints, so the warm run computes nothing new.

@@ -14,6 +14,7 @@ profile.
 from __future__ import annotations
 
 import dataclasses
+import math
 
 import numpy as np
 from hypothesis import HealthCheck, given, settings
@@ -21,11 +22,21 @@ from hypothesis import strategies as st
 
 from repro.attacks.gradual import GradualRollAttack
 from repro.defenses.control_invariants import ControlInvariantsDetector
+from repro.faults.schedule import FaultSchedule
+from repro.faults.sensors import SensorFaultInjector
 from repro.firmware.mission import line_mission, square_mission
 from repro.firmware.modes import FlightMode
 from repro.firmware.vehicle import Vehicle
+from repro.obs import hot_loop_profile
+from repro.sensors.base import NoiseModel
 from repro.sim.config import SimConfig
-from repro.sim.vectorized import VectorizedFleet
+from repro.sim.vectorized import (
+    VectorizedFleet,
+    _quat_from_euler_cols,
+    _quat_integrate_cols,
+    _row_norm,
+)
+from repro.utils.math3d import quat_from_euler, quat_integrate
 
 #: Gusty air everywhere: bit-equality with active per-lane noise streams
 #: is a much stronger statement than in still air.
@@ -116,7 +127,12 @@ def _assert_lane_equal(fleet: VectorizedFleet, i: int,
     assert np.array_equal(fleet._sins[i]._position, vehicle.sins._position)
     assert np.array_equal(fleet._sins[i]._velocity, vehicle.sins._velocity)
     assert np.array_equal(fleet._sins[i]._quat, vehicle.sins._quat)
+    assert fleet._sins[i].intermediates == vehicle.sins.intermediates
     assert np.array_equal(fleet._ahrs[i]._quat, vehicle.ahrs._quat)
+    battery = vehicle.sim.vehicle.battery
+    assert fleet._batteries[i]._consumed_mah == battery._consumed_mah
+    assert fleet._batteries[i]._current_a == battery._current_a
+    assert fleet._batteries[i].voltage == battery.voltage
     _assert_pid_banks_equal(fleet, i, vehicle)
 
 
@@ -252,6 +268,147 @@ class TestMultiLaneOracle:
             vehicle.run(6.0)
             assert crashed[i] == vehicle.sim.vehicle.crashed
             _assert_lane_equal(fleet, i, vehicle)
+
+
+class TestBatchedKernels:
+    """Unit pins for the batched helpers: bit-equal to their scalar twins
+    across magnitudes, not just inside the closed-loop envelope."""
+
+    def _rows(self, dims: int = 3, n: int = 256) -> np.ndarray:
+        rng = np.random.default_rng(123)
+        rows = rng.standard_normal((n, dims))
+        # Spread rows across ~300 decades; the last few rows pin the
+        # denormal/huge extremes explicitly.
+        rows *= 10.0 ** rng.integers(-150, 151, size=(n, 1)).astype(float)
+        rows[-1] *= 1e140
+        rows[-2] *= 1e-140
+        rows[-3] = 0.0
+        return rows
+
+    def test_row_norm_matches_sqrt_dot(self):
+        # The huge-magnitude pin overflows norm**2 to inf on both paths
+        # (identically — that IS the assertion), so mute the warning.
+        with np.errstate(over="ignore"):
+            for dims in (3, 4):
+                rows = self._rows(dims)
+                batched = _row_norm(rows)
+                for k, row in enumerate(rows):
+                    assert batched[k] == math.sqrt(row.dot(row)), f"row {k}"
+
+    def test_quat_from_euler_cols_matches_scalar(self):
+        rng = np.random.default_rng(7)
+        roll = rng.uniform(-np.pi, np.pi, 128)
+        pitch = rng.uniform(-np.pi / 2, np.pi / 2, 128)
+        yaw = rng.uniform(-np.pi, np.pi, 128)
+        batched = _quat_from_euler_cols(roll, pitch, yaw)
+        for k in range(roll.size):
+            scalar = quat_from_euler(float(roll[k]), float(pitch[k]),
+                                     float(yaw[k]))
+            assert np.array_equal(batched[k], scalar), f"row {k}"
+
+    def test_quat_integrate_cols_matches_scalar(self):
+        rng = np.random.default_rng(11)
+        q = rng.standard_normal((64, 4))
+        q /= np.linalg.norm(q, axis=1, keepdims=True)
+        omega = rng.standard_normal((64, 3)) * 10.0 ** rng.integers(
+            -12, 2, size=(64, 1)
+        ).astype(float)
+        omega[-1] = 0.0  # the small-angle branch must match too
+        batched = _quat_integrate_cols(q.copy(), omega, dt=0.0025)
+        for k in range(q.shape[0]):
+            scalar = quat_integrate(q[k].copy(), omega[k], 0.0025)
+            assert np.array_equal(batched[k], scalar), f"row {k}"
+
+    def test_noise_draw_reproduces_apply_stream(self):
+        """``truth + bias + draw(dt)`` (the batched engine's split, with
+        its fused two-half standard_normal draw) replays ``apply`` bit for
+        bit, bias walk included."""
+        kwargs = dict(std=0.3, bias_std=0.01, bias_instability=0.05, seed=42)
+        reference = NoiseModel(**kwargs)
+        split = NoiseModel(**kwargs)
+        truth = np.array([0.1, -9.8, 0.02])
+        for _ in range(500):
+            via_apply = reference.apply(truth, dt=0.0025)
+            noise = split.draw(0.0025)
+            via_split = truth + split.bias + noise
+            assert np.array_equal(via_apply, via_split)
+        assert np.array_equal(reference.bias, split.bias)
+
+    def test_noise_draw_without_instability(self):
+        """The bias-walk-free path (one ``normal`` call) also matches."""
+        reference = NoiseModel(std=0.5, seed=9)
+        split = NoiseModel(std=0.5, seed=9)
+        truth = np.zeros(3)
+        for _ in range(100):
+            assert np.array_equal(
+                reference.apply(truth, dt=0.01),
+                truth + split.bias + split.draw(0.01),
+            )
+
+
+class TestProfiledRunOracle:
+    """The hot-loop profiler is strictly passive: a profiled fleet run is
+    bit-identical to an unprofiled one and reports all five stages."""
+
+    def test_profiled_run_bit_identical_with_stage_breakdown(self):
+        plain = _fly_fleet([5, 8], duration=2.0)
+        with hot_loop_profile() as profile:
+            profiled = _fly_fleet([5, 8], duration=2.0)
+
+        assert np.array_equal(profiled._pos, plain._pos)
+        assert np.array_equal(profiled._quat, plain._quat)
+        assert np.array_equal(profiled._time, plain._time)
+        for i in range(2):
+            assert np.array_equal(profiled._ekfs[i].x, plain._ekfs[i].x)
+            assert np.array_equal(profiled._ekfs[i].P, plain._ekfs[i].P)
+
+        stages = profile.stages()
+        expected_kinds = {
+            "sensors": "mixed",
+            "estimation": "batched",
+            "mission": "scalar",
+            "control": "mixed",
+            "physics": "batched",
+        }
+        assert set(stages) == set(expected_kinds)
+        for name, kind in expected_kinds.items():
+            assert stages[name]["kind"] == kind, name
+            assert stages[name]["wall_s"] > 0.0, name
+            assert stages[name]["calls"] > 0, name
+        assert profile.total_seconds == sum(
+            entry["wall_s"] for entry in stages.values()
+        )
+
+
+class TestFaultLaneFallback:
+    """A lane with a sensor-fault injector drops to the scalar sampling
+    path; it must match a scalar faulted run bit for bit, and pristine
+    lanes in the same batch must stay on the batched path untouched."""
+
+    def test_faulted_lane_and_clean_neighbors_match(self):
+        schedule = FaultSchedule.single(
+            "gps_dropout", intensity=1.0, start=1.0, duration=1.5
+        )
+        seeds = [6, 13]
+        fleet = _fleet(seeds)
+        fleet._sensors[0].fault_injector = SensorFaultInjector(
+            schedule, seed=seeds[0]
+        )
+        fleet.takeoff(10.0)
+        fleet.run(4.0)
+
+        faulted = Vehicle(
+            SimConfig(seed=seeds[0], wind_gust_std=GUST_STD),
+            fault_schedule=schedule,
+        )
+        faulted.takeoff(10.0)
+        faulted.run(4.0)
+        assert faulted.sensors.fault_injector is not None
+        assert faulted.sensors.fault_injector.applied.get("gps_dropout", 0) > 0
+        _assert_lane_equal(fleet, 0, faulted)
+
+        clean = _fly_scalar(seeds[1], duration=4.0)
+        _assert_lane_equal(fleet, 1, clean)
 
 
 _PROFILES = {
