@@ -15,7 +15,11 @@ fig N
 obs
     Telemetry tooling: ``obs summary PATH...`` renders phase-time and
     metric breakdown tables; ``obs validate FILE SCHEMA`` checks an
-    emitted artifact against a checked-in JSON schema.
+    emitted artifact against a checked-in JSON schema; ``obs tail FILE``
+    pretty-prints a campaign event log (``--follow`` streams a running
+    campaign until it finishes); ``obs blackbox PATH`` summarizes a
+    crash flight-recorder artifact (``--last N`` trims, ``--export``
+    writes the trimmed copy).
 
 ``table``/``fig`` run through the campaign runner: ``--workers N`` fans
 campaign-style experiments over a process pool, ``--engine vectorized``
@@ -35,9 +39,16 @@ flushed).
 Telemetry flags (``assess``/``table``/``fig``): ``--trace PATH`` writes a
 Chrome-trace-event file (``.jsonl`` → span JSONL) loadable in
 chrome://tracing / Perfetto; ``--metrics-out PATH`` writes the metrics
-registry snapshot; ``--log-level``/``--log-json`` configure structured
-logging. All of it is passive — enabling telemetry never changes a
-result or a cache fingerprint.
+registry snapshot (``.prom`` → Prometheus text exposition format);
+``--log-level``/``--log-json`` configure structured logging. Live
+campaign streaming (``table``/``fig``): ``--progress`` renders a live
+seeds-done/ETA line on stderr, ``--events PATH`` appends structured
+progress events to a JSONL log (``schemas/events.schema.json``, follow
+with ``obs tail --follow``), and ``--blackbox-dir DIR`` arms the
+flight recorder — every seed that ends in crash/timeout/failure leaves
+a content-addressed blackbox artifact of its final control cycles. All
+of it is passive — enabling telemetry never changes a result or a
+cache fingerprint.
 """
 
 from __future__ import annotations
@@ -136,13 +147,23 @@ def _setup_telemetry(args: argparse.Namespace):
             print(f"trace: {len(tracer.spans)} spans -> {path}",
                   file=sys.stderr)
         if getattr(args, "metrics_out", None):
-            import json
+            registry = obs.get_registry()
+            if str(args.metrics_out).endswith(".prom"):
+                # Prometheus text exposition format 0.0.4: drop the file
+                # where a node_exporter textfile collector (or a test)
+                # can scrape it.
+                with open(args.metrics_out, "w") as handle:
+                    handle.write(registry.expose_text())
+                print(f"metrics: Prometheus text -> {args.metrics_out}",
+                      file=sys.stderr)
+            else:
+                import json
 
-            snapshot = obs.get_registry().snapshot()
-            with open(args.metrics_out, "w") as handle:
-                json.dump(snapshot, handle, sort_keys=True, indent=1)
-            print(f"metrics: {len(snapshot['counters'])} counters -> "
-                  f"{args.metrics_out}", file=sys.stderr)
+                snapshot = registry.snapshot()
+                with open(args.metrics_out, "w") as handle:
+                    json.dump(snapshot, handle, sort_keys=True, indent=1)
+                print(f"metrics: {len(snapshot['counters'])} counters -> "
+                      f"{args.metrics_out}", file=sys.stderr)
 
     return finish
 
@@ -245,6 +266,9 @@ def _cmd_table(args: argparse.Namespace) -> int:
             resume=args.resume,
             engine=args.engine,
             batch_size=args.batch_size,
+            events=args.events,
+            progress=args.progress,
+            blackbox_dir=args.blackbox_dir,
         )
     finally:
         finish()
@@ -271,6 +295,9 @@ def _cmd_fig(args: argparse.Namespace) -> int:
             resume=args.resume,
             engine=args.engine,
             batch_size=args.batch_size,
+            events=args.events,
+            progress=args.progress,
+            blackbox_dir=args.blackbox_dir,
         )
     finally:
         finish()
@@ -283,6 +310,24 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         from repro.obs.summary import render_summary
 
         print(render_summary(args.paths))
+        return 0
+    if args.obs_command == "tail":
+        from repro.obs.events import tail_events
+
+        kinds = (
+            tuple(k for k in args.kinds.split(",") if k)
+            if args.kinds else None
+        )
+        printed = tail_events(args.path, follow=args.follow, kinds=kinds,
+                              timeout_s=args.timeout)
+        return 0 if printed or args.follow else 1
+    if args.obs_command == "blackbox":
+        from repro.obs.blackbox import export_blackbox, summarize_blackbox
+
+        print(summarize_blackbox(args.path, last=args.last))
+        if args.export:
+            out = export_blackbox(args.path, args.export, last=args.last)
+            print(f"exported -> {out}", file=sys.stderr)
         return 0
     # validate
     from repro.obs.schema import validate_file
@@ -354,6 +399,25 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
         "--resume", action="store_true",
         help="adopt finished seeds from --manifest instead of "
              "recomputing them",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="render a live seeds-done/ETA progress line on stderr "
+             "(campaign-style experiments; passive — results and cache "
+             "entries are byte-identical either way)",
+    )
+    parser.add_argument(
+        "--events", default=None, metavar="PATH",
+        help="append structured campaign progress events to a JSONL log "
+             "(see schemas/events.schema.json; follow a running "
+             "campaign with 'obs tail --follow PATH')",
+    )
+    parser.add_argument(
+        "--blackbox-dir", default=None, metavar="DIR",
+        help="arm the blackbox flight recorder: every seed ending in "
+             "crash/timeout/failure leaves a content-addressed "
+             "bb_<hash>.json artifact of its final control cycles in "
+             "DIR (inspect with 'obs blackbox')",
     )
 
 
@@ -461,6 +525,39 @@ def build_parser() -> argparse.ArgumentParser:
     obs_validate.add_argument("artifact", help="trace or metrics file")
     obs_validate.add_argument("schema", help="schema file (see schemas/)")
     obs_validate.set_defaults(func=_cmd_obs)
+    obs_tail = obs_sub.add_parser(
+        "tail", help="pretty-print a campaign event log (--events PATH)"
+    )
+    obs_tail.add_argument("path", help="event log written by --events")
+    obs_tail.add_argument(
+        "--follow", action="store_true",
+        help="poll for new events until the campaign finishes",
+    )
+    obs_tail.add_argument(
+        "--kinds", default=None, metavar="K1,K2,...",
+        help="only print these event kinds (e.g. seed_failed,heartbeat)",
+    )
+    obs_tail.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="give up following after S seconds",
+    )
+    obs_tail.set_defaults(func=_cmd_obs)
+    obs_blackbox = obs_sub.add_parser(
+        "blackbox",
+        help="summarize a crash flight-recorder artifact (--blackbox-dir)",
+    )
+    obs_blackbox.add_argument(
+        "path", help="bb_<hash>.json artifact written by --blackbox-dir"
+    )
+    obs_blackbox.add_argument(
+        "--last", type=int, default=None, metavar="N",
+        help="only consider the last N buffered frames per vehicle",
+    )
+    obs_blackbox.add_argument(
+        "--export", default=None, metavar="FILE",
+        help="write the (trimmed) artifact as indented JSON to FILE",
+    )
+    obs_blackbox.set_defaults(func=_cmd_obs)
     return parser
 
 

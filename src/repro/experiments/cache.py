@@ -400,7 +400,7 @@ def cached_call(
     extra_key: Any = None,
     exclude: tuple[str, ...] = (
         "workers", "cache", "policy", "manifest", "resume", "engine",
-        "batch", "batch_size",
+        "batch", "batch_size", "events", "progress", "blackbox_dir",
     ),
     **kwargs: Any,
 ):
@@ -413,7 +413,8 @@ def cached_call(
     the fingerprint — by default the execution/resilience knobs
     (``workers``, ``cache``, ``policy``, ``manifest``, ``resume``,
     ``engine``, ``batch``, ``batch_size``) that change how a result is
-    computed, never what it is.
+    computed, never what it is, plus the strictly passive observability
+    knobs (``events``, ``progress``, ``blackbox_dir``).
     """
     from repro import __version__
 

@@ -45,6 +45,7 @@ seed, a retried seed is bit-identical to a clean run; the chaos suite in
 
 from __future__ import annotations
 
+import multiprocessing
 import time
 from collections.abc import Callable, Mapping
 from concurrent.futures import (
@@ -84,6 +85,13 @@ from repro.experiments.faults import (
     ManifestRecord,
     SeedTimeout,
 )
+from repro.obs.blackbox import (
+    blackbox_session,
+    promote_spools,
+    spool_dir_for,
+    write_stub_artifact,
+)
+from repro.obs.events import EventBus, queue_event
 from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.tracing import Tracer, get_tracer, use_telemetry
@@ -266,6 +274,7 @@ def _payload_error(payload: Any) -> CorruptResult | None:
 def _execute_seed(
     experiment: Callable[[int], Mapping[str, float]], seed: int,
     injector: FaultInjector | None = None, hard: bool = False,
+    blackbox: dict[str, Any] | None = None, attempt: int = 1,
 ) -> tuple[int, bool, Any, float]:
     """Run one seed; returns (seed, ok, metrics-or-error, elapsed_s).
 
@@ -273,13 +282,23 @@ def _execute_seed(
     are captured as objects so one bad seed cannot kill the pool. The
     chaos injection points ``worker_start``/``mid_seed``/``serialize``
     fire here (``hard`` selects process-killing crashes, used inside pool
-    workers).
+    workers). With a ``blackbox`` spec the experiment call itself runs
+    inside a :func:`blackbox_session`, so every vehicle it constructs
+    records flight state into a crash-surviving spool — the ``mid_seed``
+    chaos point fires *after* the session exits, so even a hard
+    ``os._exit`` crash leaves the final spool on disk.
     """
     start = time.perf_counter()
     try:
         if injector is not None:
             injector.fire("worker_start", seed, hard=hard)
-        raw = experiment(seed)
+        if blackbox is not None:
+            with blackbox_session(blackbox["dir"],
+                                  experiment=blackbox["experiment"],
+                                  seed=seed, attempt=attempt):
+                raw = experiment(seed)
+        else:
+            raw = experiment(seed)
         if injector is not None:
             injector.fire("mid_seed", seed, hard=hard)
         metrics: dict[str, Any] = {
@@ -301,6 +320,9 @@ def _execute_seed_in_worker(
     collect_spans: bool,
     injector: FaultInjector | None = None,
     attempt: int = 1,
+    blackbox: dict[str, Any] | None = None,
+    event_queue=None,
+    experiment_name: str = "",
 ) -> tuple[int, bool, Any, float, dict[str, Any]]:
     """Pool-side wrapper: run one seed under fresh, isolated telemetry.
 
@@ -309,12 +331,17 @@ def _execute_seed_in_worker(
     reused pool worker executes. The telemetry rides back with the result
     tuple and the parent merges it in seed order — never into the result
     values themselves, so execution mode cannot perturb the science.
+    Progress events go out best-effort on ``event_queue`` and are drained
+    by the parent's bus each supervisor tick.
     """
+    queue_event(event_queue, "seed_started", experiment_name,
+                seed=seed, attempt=attempt)
     registry = MetricsRegistry()
     tracer = Tracer(enabled=collect_spans)
     with use_telemetry(registry, tracer):
         with tracer.span("campaign.seed", seed=seed, attempt=attempt):
-            outcome = _execute_seed(experiment, seed, injector, hard=True)
+            outcome = _execute_seed(experiment, seed, injector, hard=True,
+                                    blackbox=blackbox, attempt=attempt)
     telemetry = {"metrics": registry.snapshot(), "spans": tracer.to_dicts()}
     return (*outcome, telemetry)
 
@@ -334,6 +361,9 @@ def run_campaign(
     engine: str = "scalar",
     batch: Callable[[list[int]], Mapping[int, Mapping[str, float]]] | None = None,
     batch_size: int | str = 16,
+    events: EventBus | str | Path | None = None,
+    progress: bool = False,
+    blackbox_dir: str | Path | None = None,
 ) -> CampaignResult:
     """Run ``experiment(seed) -> {metric: value}`` across ``seeds``.
 
@@ -395,6 +425,25 @@ def run_campaign(
         meta record) and in :attr:`CampaignResult.batch_size_used`, and
         is *never* part of a cache fingerprint — any width produces the
         same bits.
+    events:
+        Streaming sink for structured progress events: a JSONL log path
+        (see ``schemas/events.schema.json``), or an
+        :class:`~repro.obs.events.EventBus` the caller manages. Strictly
+        observational — results, statuses and cache entries are
+        byte-identical with streaming on or off.
+    progress:
+        Render an in-place live progress line (with an ETA from the
+        per-seed duration histogram) on stderr. Implies an event bus
+        even without an ``events`` log path. Passive, like ``events``.
+    blackbox_dir:
+        Enable the blackbox flight recorder
+        (:mod:`repro.obs.blackbox`): every vehicle a seed constructs
+        records its recent state into a crash-surviving spool under
+        ``blackbox_dir/spool/``, and the spool of any seed attempt that
+        ends in crash/timeout/failed/corrupt is promoted into a
+        content-addressed ``bb_<hash>.json`` artifact in
+        ``blackbox_dir``. Recording is passive: on vs. off is
+        byte-identical.
     """
     seeds = [int(s) for s in seeds]
     if not seeds:
@@ -425,6 +474,17 @@ def run_campaign(
             "(run without resume first, or pass the manifest path of the "
             "interrupted run)"
         )
+    bus: EventBus | None = None
+    own_bus = False
+    if isinstance(events, EventBus):
+        bus = events
+    elif events is not None or progress:
+        bus = EventBus(
+            name, len(seeds), log_path=events, progress=progress,
+            workers=int(workers),
+        )
+        own_bus = True
+    blackbox_root = Path(blackbox_dir) if blackbox_dir is not None else None
     with get_tracer().span(
         "campaign", experiment=name, seeds=len(seeds), workers=int(workers)
     ) as campaign_span:
@@ -432,24 +492,42 @@ def run_campaign(
             return _run_campaign_traced(
                 experiment, seeds, raise_on_failure, workers, cache, name,
                 params, policy, injector, manifest, resume, campaign_span,
-                engine, batch, batch_size,
+                engine, batch, batch_size, bus, blackbox_root,
             )
         finally:
             # Flush/close the checkpoint no matter how we exit —
             # including KeyboardInterrupt and a blown failure budget.
             if manifest is not None:
                 manifest.close()
+            if bus is not None:
+                # Terminate any `obs tail --follow` even on an aborted
+                # campaign; close only a bus this call created.
+                bus.finish()
+                if own_bus:
+                    bus.close()
 
 
 def _run_campaign_traced(
     experiment, seeds, raise_on_failure, workers, cache, name, params,
     policy, injector, manifest, resume, campaign_span,
-    engine="scalar", batch=None, batch_size=16,
+    engine="scalar", batch=None, batch_size=16, bus=None,
+    blackbox_root=None,
 ) -> CampaignResult:
     wall_start = time.perf_counter()
     tracer = get_tracer()
     registry = get_registry()
     result = CampaignResult(seeds=seeds)
+    if bus is not None:
+        bus.emit(
+            "campaign_started",
+            seeds=len(seeds), workers=int(workers), engine=engine,
+        )
+    # Picklable worker-side spool spec; the parent keeps the root for
+    # promotion. None keeps the recorder entirely out of the hot path.
+    blackbox = (
+        {"dir": str(spool_dir_for(blackbox_root)), "experiment": name}
+        if blackbox_root is not None else None
+    )
 
     outcomes: dict[int, tuple[bool, Any]] = {}
     fingerprints: dict[int, str] = {}
@@ -466,6 +544,9 @@ def _run_campaign_traced(
             result.resumed_seeds.append(seed)
             result.statuses[seed] = STATUS_RESUMED
             result.attempts[seed] = record.attempts
+            if bus is not None:
+                bus.emit("seed_resumed", seed=seed, attempt=record.attempts,
+                         status=STATUS_RESUMED, elapsed_s=record.elapsed_s)
             continue
         if cache is not None:
             fingerprints[seed] = fingerprint_params(
@@ -480,6 +561,9 @@ def _run_campaign_traced(
                 result.timings[seed] = entry.elapsed_s
                 result.cached_seeds.append(seed)
                 result.statuses[seed] = STATUS_CACHED
+                if bus is not None:
+                    bus.emit("seed_cached", seed=seed, attempt=1,
+                             status=STATUS_CACHED, elapsed_s=entry.elapsed_s)
                 continue
         missing.append(seed)
     _log.debug(
@@ -517,6 +601,16 @@ def _run_campaign_traced(
             ))
         if not outcome.ok:
             budget.record()
+        if blackbox_root is not None:
+            _settle_seed_blackbox(blackbox_root, name, outcome, bus)
+        if bus is not None:
+            kind = (
+                "seed_timeout" if outcome.status == STATUS_TIMEOUT
+                else "seed_failed" if not outcome.ok
+                else "seed_finished"
+            )
+            bus.emit(kind, seed=outcome.seed, attempt=outcome.attempts,
+                     status=outcome.status, elapsed_s=outcome.elapsed)
 
     if engine == "vectorized" and batch is not None and missing:
         width = _resolve_batch_size(batch_size, len(missing), workers)
@@ -536,12 +630,14 @@ def _run_campaign_traced(
             missing = _run_vectorized_sharded(
                 batch, missing, width, int(workers), policy, injector,
                 tracer, registry, on_done, vectorized_outcomes,
-                fallback_seeds, name,
+                fallback_seeds, name, bus=bus, blackbox=blackbox,
+                blackbox_root=blackbox_root,
             )
         else:
             missing = _run_vectorized(
                 batch, missing, width, tracer, on_done,
-                vectorized_outcomes, fallback_seeds, name,
+                vectorized_outcomes, fallback_seeds, name, bus=bus,
+                blackbox=blackbox, blackbox_root=blackbox_root,
             )
 
     use_pool = bool(
@@ -551,12 +647,13 @@ def _run_campaign_traced(
     if use_pool:
         executed = _supervise_pool(
             experiment, missing, max(int(workers), 1), policy, injector,
-            tracer, registry, on_done, budget,
+            tracer, registry, on_done, budget, bus=bus, blackbox=blackbox,
+            name=name,
         )
     else:
         executed = _run_serial(
             experiment, missing, policy, injector, tracer, on_done, budget,
-            raise_on_failure,
+            raise_on_failure, bus=bus, blackbox=blackbox,
         )
     executed = vectorized_outcomes + executed
 
@@ -638,8 +735,53 @@ def _terminal_outcome(seed: int, exc: BaseException, elapsed: float,
     return _SeedOutcome(seed, False, exc, elapsed, attempts, status, timeouts)
 
 
+def _blackbox_reason(outcome: _SeedOutcome) -> str | None:
+    """Map a terminal seed outcome onto a blackbox artifact reason."""
+    if outcome.ok:
+        return None
+    if outcome.status == STATUS_TIMEOUT:
+        return "timeout"
+    error = outcome.payload
+    if isinstance(error, CorruptResult):
+        return "corrupt"
+    if isinstance(error, (BrokenExecutor, CancelledError, OSError)):
+        return "crash"
+    return "failed"
+
+
+def _settle_seed_blackbox(root, name, outcome: _SeedOutcome, bus) -> None:
+    """Promote (or delete) a finished seed's blackbox spools.
+
+    Runs in ``on_done``, strictly after the result/cache/manifest writes,
+    so a recorder failure can never un-record a seed. A terminal non-ok
+    seed with no surviving spool (a worker killed before the vehicle ever
+    stepped) still yields a stub artifact — "every crashed seed has a
+    blackbox" is part of the contract.
+    """
+    reason = _blackbox_reason(outcome)
+    try:
+        promoted = promote_spools(
+            root, f"seed{outcome.seed}", reason,
+            final_attempt=outcome.attempts,
+        )
+        if reason is not None and not promoted:
+            promoted = [write_stub_artifact(
+                root, name, outcome.seed, outcome.attempts, reason,
+            )]
+    except OSError as exc:
+        _log.warning("blackbox promotion failed for seed %d: %s",
+                     outcome.seed, exc)
+        return
+    if bus is not None:
+        for path in promoted:
+            bus.emit("blackbox_dumped", seed=outcome.seed,
+                     attempt=outcome.attempts, status=outcome.status,
+                     path=str(path))
+
+
 def _run_serial(experiment, seeds, policy, injector, tracer, on_done, budget,
-                raise_on_failure) -> list[_SeedOutcome]:
+                raise_on_failure, bus=None, blackbox=None
+                ) -> list[_SeedOutcome]:
     """In-process execution with retry/backoff (no timeout enforcement —
     the parent cannot kill itself; a policy timeout routes to the pool)."""
     executed: list[_SeedOutcome] = []
@@ -650,9 +792,13 @@ def _run_serial(experiment, seeds, policy, injector, tracer, on_done, budget,
         timeouts = 0
         while True:
             attempt += 1
+            if bus is not None:
+                bus.emit("seed_started", seed=seed, attempt=attempt)
+                bus.heartbeat(in_flight=1)
             with tracer.span("campaign.seed", seed=seed, attempt=attempt):
                 _, ok, payload, elapsed = _execute_seed(
-                    experiment, seed, injector
+                    experiment, seed, injector, blackbox=blackbox,
+                    attempt=attempt,
                 )
             if ok:
                 error = _payload_error(payload)
@@ -665,6 +811,10 @@ def _run_serial(experiment, seeds, policy, injector, tracer, on_done, budget,
                     break
                 payload = error
             if policy.is_transient(payload) and attempt <= policy.max_retries:
+                if bus is not None:
+                    bus.emit("seed_retried", seed=seed, attempt=attempt,
+                             elapsed_s=elapsed,
+                             error=type(payload).__name__)
                 time.sleep(policy.backoff_seconds(seed, attempt))
                 continue
             outcome = _terminal_outcome(seed, payload, elapsed, attempt,
@@ -696,32 +846,64 @@ def _resolve_batch_size(batch_size, n_missing: int, workers) -> int:
 
 
 def _run_vectorized(batch, missing, batch_size, tracer, on_done,
-                    vectorized_outcomes, fallback_seeds, name) -> list[int]:
+                    vectorized_outcomes, fallback_seeds, name, bus=None,
+                    blackbox=None, blackbox_root=None) -> list[int]:
     """Offer missing seeds to the vectorized ``batch`` in chunks.
 
     Returns the seeds still missing afterwards (declined by the batch or
     part of a chunk whose ``batch`` call raised); those are recorded in
     ``fallback_seeds`` and computed by the scalar path, which reports
-    them with status ``"fallback"``.
+    them with status ``"fallback"``. With a blackbox spec each chunk runs
+    inside one session labelled ``chunk<first-seed>`` covering every
+    fleet lane; a failed chunk's spool is promoted with reason
+    ``"failed"``, a clean one is discarded (the per-seed scalar fallback
+    re-records anything that still matters).
     """
     leftovers: list[int] = []
     for start in range(0, len(missing), batch_size):
         chunk = missing[start:start + batch_size]
+        label = f"chunk{chunk[0]}"
+        if bus is not None:
+            bus.emit("chunk_dispatched", seed=chunk[0], attempt=1,
+                     seeds=len(chunk))
         begin = time.perf_counter()
         try:
             with tracer.span("campaign.vectorized_batch", experiment=name,
                              seeds=len(chunk)):
-                produced = batch(list(chunk))
+                if blackbox is not None:
+                    with blackbox_session(blackbox["dir"],
+                                          experiment=blackbox["experiment"],
+                                          seed=chunk[0], attempt=1,
+                                          label=label):
+                        produced = batch(list(chunk))
+                else:
+                    produced = batch(list(chunk))
         except Exception as exc:  # noqa: BLE001 - fall back, never abort
             _log.warning(
                 "vectorized batch failed for %s (%s: %s); "
                 "%d seeds fall back to the scalar engine",
                 name, type(exc).__name__, exc, len(chunk),
             )
+            if blackbox_root is not None:
+                for path in promote_spools(blackbox_root, label, "failed"):
+                    if bus is not None:
+                        bus.emit("blackbox_dumped", seed=chunk[0],
+                                 path=str(path))
+            if bus is not None:
+                bus.emit("chunk_finished", seed=chunk[0], attempt=1,
+                         status=STATUS_FAILED, seeds=len(chunk),
+                         error=type(exc).__name__)
             fallback_seeds.update(chunk)
             leftovers.extend(chunk)
             continue
         elapsed = time.perf_counter() - begin
+        if blackbox_root is not None:
+            promote_spools(blackbox_root, label, None, final_attempt=1)
+        if bus is not None:
+            bus.emit("chunk_finished", seed=chunk[0], attempt=1,
+                     status=STATUS_VECTORIZED, elapsed_s=elapsed,
+                     seeds=len(chunk))
+            bus.heartbeat(in_flight=0)
         handled = [seed for seed in chunk if seed in produced]
         per_seed = elapsed / max(len(handled), 1)
         for seed in chunk:
@@ -746,14 +928,21 @@ def _execute_batch_in_worker(
     collect_spans: bool,
     injector: FaultInjector | None = None,
     attempt: int = 1,
+    blackbox: dict[str, Any] | None = None,
+    event_queue=None,
+    experiment_name: str = "",
 ) -> tuple[list[int], bool, Any, float, dict[str, Any]]:
     """Pool-side wrapper: run one vectorized chunk under fresh telemetry.
 
     The sharded twin of :func:`_execute_seed_in_worker` — one fleet-wide
     batch per call instead of one seed. The ``worker_start`` chaos point
     fires for every seed of the chunk, so an injected crash takes the
-    whole chunk down exactly like a real segfault mid-fleet would.
+    whole chunk down exactly like a real segfault mid-fleet would. With a
+    blackbox spec the whole fleet records into one ``chunk<first-seed>``
+    session — every lane becomes a vehicle entry in the same spool.
     """
+    queue_event(event_queue, "seed_started", experiment_name,
+                seed=chunk[0], attempt=attempt, seeds=len(chunk))
     registry = MetricsRegistry()
     tracer = Tracer(enabled=collect_spans)
     start = time.perf_counter()
@@ -764,7 +953,14 @@ def _execute_batch_in_worker(
                 if injector is not None:
                     for seed in chunk:
                         injector.fire("worker_start", seed, hard=True)
-                produced = batch(list(chunk))
+                if blackbox is not None:
+                    with blackbox_session(blackbox["dir"],
+                                          experiment=blackbox["experiment"],
+                                          seed=chunk[0], attempt=attempt,
+                                          label=f"chunk{chunk[0]}"):
+                        produced = batch(list(chunk))
+                else:
+                    produced = batch(list(chunk))
                 payload: Any = {
                     int(s): {str(k): float(v) for k, v in metrics.items()}
                     for s, metrics in produced.items()
@@ -789,7 +985,8 @@ class _ChunkFlight:
 
 def _run_vectorized_sharded(batch, missing, batch_size, workers, policy,
                             injector, tracer, registry, on_done,
-                            vectorized_outcomes, fallback_seeds, name
+                            vectorized_outcomes, fallback_seeds, name,
+                            bus=None, blackbox=None, blackbox_root=None
                             ) -> list[int]:
     """Shard vectorized chunks over a :class:`ProcessPoolExecutor`.
 
@@ -818,6 +1015,23 @@ def _run_vectorized_sharded(batch, missing, batch_size, workers, policy,
     broken = False
     chunk_timeout = (policy.seed_timeout * batch_size
                      if policy.seed_timeout is not None else None)
+    # Raw mp.Queue objects cannot pickle into pool workers; a Manager
+    # proxy can. Created lazily — no bus, no extra manager process.
+    manager = multiprocessing.Manager() if bus is not None else None
+    event_queue = manager.Queue() if manager is not None else None
+
+    def dump_chunk_blackbox(flight: _ChunkFlight, reason) -> None:
+        """Promote (or discard) one chunk attempt's spool."""
+        if blackbox_root is None:
+            return
+        promoted = promote_spools(
+            blackbox_root, f"chunk{flight.chunk[0]}", reason,
+            final_attempt=flight.attempt,
+        )
+        if bus is not None:
+            for path in promoted:
+                bus.emit("blackbox_dumped", seed=flight.chunk[0],
+                         attempt=flight.attempt, path=str(path))
 
     def fall_back(chunk: list[int]) -> None:
         fallback.update(chunk)
@@ -825,6 +1039,10 @@ def _run_vectorized_sharded(batch, missing, batch_size, workers, policy,
     def settle(flight: _ChunkFlight, exc: BaseException) -> None:
         """Requeue a transient chunk casualty with backoff, or fall back."""
         if policy.is_transient(exc) and flight.attempt <= policy.max_retries:
+            if bus is not None:
+                bus.emit("seed_retried", seed=flight.chunk[0],
+                         attempt=flight.attempt, seeds=len(flight.chunk),
+                         error=type(exc).__name__)
             not_before[(flight.index, flight.attempt + 1)] = (
                 time.monotonic()
                 + policy.backoff_seconds(flight.chunk[0], flight.attempt)
@@ -836,6 +1054,15 @@ def _run_vectorized_sharded(batch, missing, batch_size, workers, policy,
             "%d seeds fall back to the scalar engine",
             name, type(exc).__name__, exc, len(flight.chunk),
         )
+        dump_chunk_blackbox(
+            flight, "timeout" if isinstance(exc, SeedTimeout) else "crash"
+        )
+        if bus is not None:
+            bus.emit("chunk_finished", seed=flight.chunk[0],
+                     attempt=flight.attempt,
+                     status=STATUS_TIMEOUT if isinstance(exc, SeedTimeout)
+                     else STATUS_FAILED,
+                     seeds=len(flight.chunk), error=type(exc).__name__)
         fall_back(flight.chunk)
 
     try:
@@ -857,16 +1084,23 @@ def _run_vectorized_sharded(batch, missing, batch_size, workers, policy,
                         future = pool.submit(
                             _execute_batch_in_worker, batch, chunks[index],
                             tracer.enabled, injector, attempt,
+                            blackbox, event_queue, name,
                         )
                     except BrokenExecutor:
                         broken = True
                         pending.append(item)
                         break
+                    if bus is not None:
+                        bus.emit("chunk_dispatched", seed=chunks[index][0],
+                                 attempt=attempt, seeds=len(chunks[index]))
                     deadline = (now + chunk_timeout
                                 if chunk_timeout is not None else None)
                     in_flight[future] = _ChunkFlight(
                         index, chunks[index], attempt, deadline
                     )
+            if bus is not None:
+                bus.drain(event_queue)
+                bus.heartbeat(in_flight=len(in_flight))
             if not in_flight:
                 time.sleep(_SUPERVISOR_TICK_S)
                 continue
@@ -892,8 +1126,21 @@ def _run_vectorized_sharded(batch, missing, batch_size, workers, policy,
                         "%d seeds fall back to the scalar engine",
                         name, type(payload).__name__, payload, len(chunk),
                     )
+                    dump_chunk_blackbox(flight, "failed")
+                    if bus is not None:
+                        bus.emit("chunk_finished", seed=chunk[0],
+                                 attempt=flight.attempt,
+                                 status=STATUS_FAILED, elapsed_s=elapsed,
+                                 seeds=len(chunk),
+                                 error=type(payload).__name__)
                     fall_back(chunk)
                     continue
+                dump_chunk_blackbox(flight, None)
+                if bus is not None:
+                    bus.emit("chunk_finished", seed=chunk[0],
+                             attempt=flight.attempt,
+                             status=STATUS_VECTORIZED, elapsed_s=elapsed,
+                             seeds=len(chunk))
                 handled = [seed for seed in chunk if seed in payload]
                 per_seed = elapsed / max(len(handled), 1)
                 for seed in chunk:
@@ -923,6 +1170,10 @@ def _run_vectorized_sharded(batch, missing, batch_size, workers, policy,
             _kill_pool(pool)
         else:
             pool.shutdown(wait=True, cancel_futures=True)
+        if bus is not None:
+            bus.drain(event_queue)
+        if manager is not None:
+            manager.shutdown()
         for key in sorted(telemetry_parts):
             registry.merge(telemetry_parts[key]["metrics"])
             tracer.adopt(telemetry_parts[key]["spans"])
@@ -948,7 +1199,8 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
 
 
 def _supervise_pool(experiment, seeds, workers, policy, injector, tracer,
-                    registry, on_done, budget) -> list[_SeedOutcome]:
+                    registry, on_done, budget, bus=None, blackbox=None,
+                    name="") -> list[_SeedOutcome]:
     """Fan seeds over a :class:`ProcessPoolExecutor` under the policy.
 
     The parent owns all failure handling: a worker process dying breaks
@@ -970,11 +1222,19 @@ def _supervise_pool(experiment, seeds, workers, policy, injector, tracer,
     in_flight: dict[Future, _Flight] = {}
     pool = ProcessPoolExecutor(max_workers=workers)
     broken = False
+    # Raw mp.Queue objects cannot pickle into pool workers; a Manager
+    # proxy can. Created lazily — no bus, no extra manager process.
+    manager = multiprocessing.Manager() if bus is not None else None
+    event_queue = manager.Queue() if manager is not None else None
 
     def settle(flight: _Flight, exc: BaseException, elapsed: float) -> None:
         """Requeue a transient failure with backoff, or finish the seed."""
         timeouts = flight.timeouts + int(isinstance(exc, SeedTimeout))
         if policy.is_transient(exc) and flight.attempt <= policy.max_retries:
+            if bus is not None:
+                bus.emit("seed_retried", seed=flight.seed,
+                         attempt=flight.attempt, elapsed_s=elapsed,
+                         error=type(exc).__name__)
             not_before[(flight.seed, flight.attempt + 1)] = (
                 time.monotonic()
                 + policy.backoff_seconds(flight.seed, flight.attempt)
@@ -1007,6 +1267,7 @@ def _supervise_pool(experiment, seeds, workers, policy, injector, tracer,
                         future = pool.submit(
                             _execute_seed_in_worker, experiment, seed,
                             tracer.enabled, injector, attempt,
+                            blackbox, event_queue, name,
                         )
                     except BrokenExecutor:
                         broken = True
@@ -1016,6 +1277,9 @@ def _supervise_pool(experiment, seeds, workers, policy, injector, tracer,
                                 if policy.seed_timeout is not None else None)
                     in_flight[future] = _Flight(seed, attempt, deadline,
                                                 timeouts)
+            if bus is not None:
+                bus.drain(event_queue)
+                bus.heartbeat(in_flight=len(in_flight))
             if not in_flight:
                 # Everything is backing off or the pool just broke.
                 time.sleep(_SUPERVISOR_TICK_S)
@@ -1069,6 +1333,10 @@ def _supervise_pool(experiment, seeds, workers, policy, injector, tracer,
             _kill_pool(pool)
         else:
             pool.shutdown(wait=True, cancel_futures=True)
+        if bus is not None:
+            bus.drain(event_queue)
+        if manager is not None:
+            manager.shutdown()
         # Merge worker telemetry in (seed, attempt) order — deterministic
         # totals — then discard it: telemetry never enters result values.
         for key in sorted(telemetry_parts):

@@ -190,6 +190,9 @@ def run_fig9(
     resume: bool = False,
     engine: str = "scalar",
     batch_size: int | str = 16,
+    events=None,
+    progress: bool = False,
+    blackbox_dir=None,
 ) -> Fig9Result:
     """Run the three conditions over ``trials`` seeds and sweep thresholds.
 
@@ -223,6 +226,9 @@ def run_fig9(
         engine=engine,
         batch=partial(_fig9_batch, **params) if engine == "vectorized" else None,
         batch_size=batch_size,
+        events=events,
+        progress=progress,
+        blackbox_dir=blackbox_dir,
     )
     result = Fig9Result(
         benign=list(campaign.metric("benign").values),

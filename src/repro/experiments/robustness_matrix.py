@@ -267,6 +267,9 @@ def run_robustness(
     policy=None,
     manifest=None,
     resume: bool = False,
+    events=None,
+    progress: bool = False,
+    blackbox_dir=None,
 ) -> RobustnessResult:
     """Sweep the fault matrix over ``trials`` seeds per cell.
 
@@ -310,6 +313,9 @@ def run_robustness(
         policy=policy,
         manifest=manifest,
         resume=resume,
+        events=events,
+        progress=progress,
+        blackbox_dir=blackbox_dir,
     )
     result = RobustnessResult(
         trials=trials,

@@ -87,6 +87,9 @@ def run_experiment(
     resume: bool = False,
     engine: str = "scalar",
     batch_size: int | str = 16,
+    events: Any = None,
+    progress: bool = False,
+    blackbox_dir: Any = None,
     **kwargs: Any,
 ):
     """Run one named experiment through the cache/worker layer.
@@ -133,7 +136,9 @@ def run_experiment(
             "(results are identical either way)", name,
         )
     for knob, value in (("policy", policy), ("manifest", manifest),
-                        ("resume", resume)):
+                        ("resume", resume), ("events", events),
+                        ("progress", progress),
+                        ("blackbox_dir", blackbox_dir)):
         if knob in signature.parameters:
             call_kwargs[knob] = value
         elif value:

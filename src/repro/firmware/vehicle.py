@@ -42,6 +42,7 @@ from repro.gcs.proxy import MavProxy
 from repro.memory.attacker import CompromisedRegionView
 from repro.memory.layout import AccessMode, MemoryLayout, MemoryRegion
 from repro.memory.mpu import Mpu
+from repro.obs.blackbox import active_blackbox
 from repro.obs.metrics import get_registry
 from repro.obs.profile import SCALAR, active_profile
 from repro.obs.tracing import span as obs_span
@@ -170,6 +171,12 @@ class Vehicle:
         self.last_motors = np.zeros(4)
         self._ekf_timers = {"gps": -np.inf, "baro": -np.inf, "mag": -np.inf,
                            "accel": -np.inf}
+
+        # Blackbox flight recorder: the session check happens once, at
+        # construction, so a disabled recorder costs zero per step.
+        blackbox = active_blackbox()
+        if blackbox is not None:
+            blackbox.attach(self)
 
     # ------------------------------------------------------------------ #
     # Fault layer

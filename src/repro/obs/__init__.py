@@ -16,6 +16,14 @@ arXiv:2105.12882). Three strictly passive facilities:
   (sensors/estimation/mission/control/physics wall-clock with
   batched-vs-scalar attribution) feeding the ``BENCH_*.json``
   trajectory.
+* :mod:`repro.obs.events` — live campaign event bus: structured
+  progress events (seed lifecycle, chunk dispatch, heartbeats) into a
+  schema-validated JSONL log, an opt-in progress line with ETA, and
+  ``obs tail`` to follow a running campaign.
+* :mod:`repro.obs.blackbox` — crash-surviving flight recorder: a ring
+  of recent per-vehicle state spooled to disk and promoted into
+  content-addressed artifacts for every seed that ends in
+  crash/timeout/failed/corrupt (``obs blackbox`` to inspect).
 
 "Strictly passive" is a hard contract: with no sinks configured the
 per-event cost is an attribute check (tracing) or one float add
@@ -24,6 +32,21 @@ analysis or RL code path reads telemetry state — so enabling telemetry
 cannot change any cached or golden result.
 """
 
+from repro.obs.blackbox import (
+    BlackboxRecorder,
+    BlackboxSession,
+    active_blackbox,
+    blackbox_session,
+    export_blackbox,
+    load_blackbox,
+    summarize_blackbox,
+)
+from repro.obs.events import (
+    EventBus,
+    format_event,
+    queue_event,
+    tail_events,
+)
 from repro.obs.log import (
     JsonFormatter,
     configure_logging,
@@ -54,7 +77,10 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "BlackboxRecorder",
+    "BlackboxSession",
     "Counter",
+    "EventBus",
     "Gauge",
     "Histogram",
     "HotLoopProfile",
@@ -62,16 +88,24 @@ __all__ = [
     "MetricsRegistry",
     "Span",
     "Tracer",
+    "active_blackbox",
     "active_profile",
+    "blackbox_session",
     "configure_logging",
     "current_context",
+    "export_blackbox",
+    "format_event",
     "get_logger",
     "get_registry",
     "get_tracer",
     "hot_loop_profile",
+    "load_blackbox",
     "log_context",
+    "queue_event",
     "set_registry",
     "set_tracer",
     "span",
+    "summarize_blackbox",
+    "tail_events",
     "use_telemetry",
 ]

@@ -1,0 +1,416 @@
+"""Blackbox flight recorder: a crash-surviving ring of recent state.
+
+The campaign seeds worth triaging are exactly the ones that leave no
+result behind — a worker killed mid-flight, a hung seed shot by the
+supervisor, an experiment exception. This module records the last N
+control cycles of every vehicle a seed constructs (position, velocity,
+quaternion, body rates, PID/mixer outputs, sensor readings, battery,
+mode, the active fault schedule and the detector alarm counters) into a
+fixed-size ring buffer, and *spools* that ring to disk periodically so
+the data survives a hard worker death (``os._exit``, SIGTERM).
+
+Mechanics mirror :mod:`repro.obs.profile`: a module-global session
+installed with :func:`blackbox_session` is checked **once, at vehicle
+construction** (``Vehicle.__init__`` / ``VectorizedFleet`` lanes), so
+the default path pays nothing per step. With a session active, each
+attached vehicle appends one frame per control cycle via its
+``post_step_hooks`` — inside the ``mission`` stage of the hot-loop
+profiler, so recorder cost is attributed alongside the other per-lane
+firmware hooks. Frames only *read* state; no RNG is consumed and
+nothing is mutated, so recording on vs. off is bit-identical (pinned by
+``tests/test_events_blackbox.py``).
+
+The campaign parent promotes the spool of any seed that ends in
+crash/timeout/failed/corrupt into a content-addressed artifact
+(``bb_<sha256[:16]>.json``, ``schemas/blackbox.schema.json``) and
+deletes the spools of clean seeds. ``python -m repro obs blackbox PATH``
+summarizes an artifact and can export the last-N-steps trace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import time
+from collections import deque
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import AnalysisError
+
+__all__ = [
+    "BLACKBOX_SCHEMA_VERSION",
+    "BlackboxRecorder",
+    "BlackboxSession",
+    "active_blackbox",
+    "blackbox_session",
+    "export_blackbox",
+    "load_blackbox",
+    "promote_spools",
+    "spool_dir_for",
+    "summarize_blackbox",
+    "write_stub_artifact",
+]
+
+#: Bump when the artifact layout changes (checked by the schema).
+BLACKBOX_SCHEMA_VERSION = 1
+
+#: Ring depth: frames of recent state kept per vehicle. At the default
+#: 400 Hz control rate 512 frames ≈ the last 1.28 s of flight.
+DEFAULT_CAPACITY = 512
+
+#: Spool cadence in recorded frames per vehicle. Step-count based (never
+#: wall clock), so spool timing is deterministic for a given seed.
+DEFAULT_SPOOL_EVERY = 2000
+
+_ACTIVE: "BlackboxSession | None" = None
+
+
+def active_blackbox() -> "BlackboxSession | None":
+    """The installed session, or ``None`` (the default, zero-cost path)."""
+    return _ACTIVE
+
+
+def _vec(value, n: int) -> list[float]:
+    """A plain float list of length ``n`` (JSON-able frame field)."""
+    out = [float(v) for v in value]
+    return out[:n] if len(out) >= n else out + [0.0] * (n - len(out))
+
+
+class BlackboxRecorder:
+    """Fixed-size ring of per-step state frames for one vehicle/lane."""
+
+    __slots__ = ("label", "capacity", "frames", "steps_seen", "_vehicle")
+
+    def __init__(self, vehicle, label: str,
+                 capacity: int = DEFAULT_CAPACITY):
+        self.label = label
+        self.capacity = int(capacity)
+        self.frames: deque[dict[str, Any]] = deque(maxlen=self.capacity)
+        self.steps_seen = 0
+        self._vehicle = vehicle
+
+    def record(self, vehicle=None) -> None:
+        """Append one frame (runs as a ``post_step_hooks`` entry).
+
+        Pure reads of the vehicle surface — works unchanged against a
+        scalar :class:`~repro.firmware.vehicle.Vehicle` and a
+        ``VectorizedFleet`` lane adapter (missing attributes become
+        ``None`` fields rather than errors).
+        """
+        v = vehicle if vehicle is not None else self._vehicle
+        state = v.sim.vehicle.state
+        frame: dict[str, Any] = {
+            "t": float(v.sim.time),
+            "step": int(v.sim.step_count),
+            "pos": _vec(state.position, 3),
+            "vel": _vec(state.velocity, 3),
+            "quat": _vec(state.quaternion, 4),
+            "omega": _vec(state.omega_body, 3),
+            "motors": _vec(v.last_motors, 4),
+            "armed": bool(v.armed),
+            "crashed": bool(v.sim.vehicle.crashed),
+        }
+        targets = getattr(v, "last_targets", None)
+        frame["targets"] = None if targets is None else [
+            float(targets.roll), float(targets.pitch),
+            float(targets.yaw), float(targets.throttle),
+        ]
+        torque = getattr(v, "last_torque", None)
+        frame["torque"] = None if torque is None else _vec(torque, 3)
+        readings = getattr(v, "last_readings", None)
+        if readings is not None:
+            frame["gyro"] = _vec(readings.imu.gyro, 3)
+            frame["accel"] = _vec(readings.imu.accel, 3)
+            frame["baro"] = float(readings.baro.altitude)
+        else:
+            frame["gyro"] = frame["accel"] = frame["baro"] = None
+        battery = getattr(v.sim.vehicle, "battery", None)
+        frame["battery_v"] = (
+            None if battery is None else float(battery.voltage)
+        )
+        modes = getattr(v, "modes", None)
+        frame["mode"] = None if modes is None else str(modes.mode.name)
+        self.frames.append(frame)
+        self.steps_seen += 1
+        session = _ACTIVE
+        if session is not None and \
+                self.steps_seen % session.spool_every == 0:
+            session.spool()
+
+    def describe(self) -> dict[str, Any]:
+        """This recorder's JSON form (one ``vehicles[]`` entry)."""
+        v = self._vehicle
+        schedule = getattr(v, "fault_schedule", None)
+        config = getattr(v, "config", None)
+        return {
+            "label": self.label,
+            "seed": int(getattr(config, "seed", -1)) if config else -1,
+            "capacity": self.capacity,
+            "steps_seen": self.steps_seen,
+            "faults": None if schedule is None else str(schedule),
+            "frames": [dict(frame) for frame in self.frames],
+        }
+
+
+class BlackboxSession:
+    """All recorders of one seed attempt, plus the spool-to-disk plumbing.
+
+    Installed as the module-global by :func:`blackbox_session`; vehicles
+    constructed while it is active attach themselves. The spool file is
+    rewritten atomically (tmp + rename), so a worker dying mid-write
+    leaves the previous complete spool, never a torn one.
+    """
+
+    def __init__(self, spool_dir: str | Path, experiment: str = "",
+                 seed: int = 0, attempt: int = 1, label: str | None = None,
+                 capacity: int = DEFAULT_CAPACITY,
+                 spool_every: int = DEFAULT_SPOOL_EVERY):
+        self.spool_dir = Path(spool_dir)
+        self.experiment = experiment
+        self.seed = int(seed)
+        self.attempt = int(attempt)
+        self.capacity = int(capacity)
+        self.spool_every = max(int(spool_every), 1)
+        self.recorders: list[BlackboxRecorder] = []
+        name = label if label is not None else f"seed{self.seed}"
+        self.spool_path = self.spool_dir / f"{name}.attempt{self.attempt}.json"
+
+    def attach(self, vehicle) -> BlackboxRecorder:
+        """Register one vehicle (or fleet lane); called at construction."""
+        recorder = BlackboxRecorder(
+            vehicle, label=f"vehicle{len(self.recorders)}",
+            capacity=self.capacity,
+        )
+        self.recorders.append(recorder)
+        vehicle.post_step_hooks.append(recorder.record)
+        return recorder
+
+    def document(self, reason: str) -> dict[str, Any]:
+        """The full artifact document for the current ring contents."""
+        alarms: dict[str, float] = {}
+        try:
+            from repro.obs.metrics import get_registry
+
+            snapshot = get_registry().snapshot()
+            alarms = {
+                key: float(value)
+                for key, value in snapshot.get("counters", {}).items()
+                if key.startswith("defense.")
+            }
+        except Exception:  # noqa: BLE001 - recording must never fail a seed
+            pass
+        return {
+            "schema": BLACKBOX_SCHEMA_VERSION,
+            "experiment": self.experiment,
+            "seed": self.seed,
+            "attempt": self.attempt,
+            "reason": reason,
+            "created_at": time.time(),
+            "alarms": alarms,
+            "vehicles": [rec.describe() for rec in self.recorders],
+        }
+
+    def spool(self, reason: str = "spool") -> Path | None:
+        """Atomically (re)write the spool file with the current rings."""
+        if not self.recorders:
+            return None
+        try:
+            self.spool_dir.mkdir(parents=True, exist_ok=True)
+            tmp = self.spool_path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(
+                self.document(reason), separators=(",", ":"), sort_keys=True,
+            ))
+            tmp.replace(self.spool_path)
+        except OSError:
+            return None
+        return self.spool_path
+
+
+@contextmanager
+def blackbox_session(spool_dir: str | Path, experiment: str = "",
+                     seed: int = 0, attempt: int = 1,
+                     label: str | None = None,
+                     capacity: int = DEFAULT_CAPACITY,
+                     spool_every: int = DEFAULT_SPOOL_EVERY):
+    """Install a fresh :class:`BlackboxSession` for the duration of a seed.
+
+    On *every* exit — clean return or exception — the final ring
+    contents are spooled, so the parent can promote the flight data of a
+    seed whose process dies immediately afterwards (the ``mid_seed``
+    chaos point fires right after the experiment body). Exceptions
+    propagate unchanged; the exit spool records their type as the
+    provisional reason.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    session = BlackboxSession(spool_dir, experiment, seed, attempt,
+                              label=label, capacity=capacity,
+                              spool_every=spool_every)
+    _ACTIVE = session
+    try:
+        yield session
+    except BaseException as exc:
+        session.spool(reason=f"exception:{type(exc).__name__}")
+        raise
+    else:
+        session.spool(reason="end")
+    finally:
+        _ACTIVE = previous
+
+
+# --------------------------------------------------------------------- #
+# Parent-side promotion
+# --------------------------------------------------------------------- #
+def spool_dir_for(blackbox_dir: str | Path) -> Path:
+    """Where in-flight spools live (promoted or deleted by the parent)."""
+    return Path(blackbox_dir) / "spool"
+
+
+def _write_artifact(blackbox_dir: Path, document: dict[str, Any]) -> Path:
+    """Content-address ``document`` into ``blackbox_dir``; returns the path."""
+    blackbox_dir.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps(document, separators=(",", ":"), sort_keys=True)
+    digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
+    path = blackbox_dir / f"bb_{digest}.json"
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(payload)
+    tmp.replace(path)
+    return path
+
+
+def promote_spools(blackbox_dir: str | Path, label: str,
+                   terminal_reason: str | None,
+                   final_attempt: int | None = None) -> list[Path]:
+    """Settle every spool of one seed/chunk label after its terminal event.
+
+    ``terminal_reason`` set (crash/timeout/failed/corrupt): every spool
+    is promoted — earlier attempts with reason ``"crash"`` (their worker
+    died before reporting), the final one with ``terminal_reason``.
+    ``terminal_reason`` ``None`` (the seed finished ok): the spool of
+    ``final_attempt`` is deleted and earlier-attempt spools — each one a
+    crashed attempt that was then retried — are still promoted, so the
+    flight data of every casualty survives even when the retry succeeds.
+    """
+    blackbox_dir = Path(blackbox_dir)
+    spools = sorted(spool_dir_for(blackbox_dir).glob(
+        f"{label}.attempt*.json"
+    ))
+    promoted: list[Path] = []
+    for spool in spools:
+        try:
+            document = json.loads(spool.read_text())
+            attempt = int(document.get("attempt", 1))
+        except (OSError, json.JSONDecodeError, ValueError):
+            spool.unlink(missing_ok=True)
+            continue
+        is_final = final_attempt is not None and attempt >= final_attempt
+        if terminal_reason is None and is_final:
+            spool.unlink(missing_ok=True)  # the clean, surviving attempt
+            continue
+        document["reason"] = (
+            terminal_reason if terminal_reason is not None and is_final
+            else "crash"
+        )
+        if terminal_reason is not None and final_attempt is None:
+            document["reason"] = terminal_reason
+        promoted.append(_write_artifact(blackbox_dir, document))
+        spool.unlink(missing_ok=True)
+    return promoted
+
+
+def write_stub_artifact(blackbox_dir: str | Path, experiment: str,
+                        seed: int, attempt: int, reason: str) -> Path:
+    """An artifact for a seed that died before producing flight data.
+
+    A terminal seed must always be inspectable — a worker crashed at
+    start-up leaves no spool, so the parent records an empty-vehicles
+    artifact documenting that the casualty predates any flight.
+    """
+    return _write_artifact(Path(blackbox_dir), {
+        "schema": BLACKBOX_SCHEMA_VERSION,
+        "experiment": experiment,
+        "seed": int(seed),
+        "attempt": int(attempt),
+        "reason": reason,
+        "created_at": time.time(),
+        "alarms": {},
+        "vehicles": [],
+    })
+
+
+# --------------------------------------------------------------------- #
+# obs blackbox (summarize / export)
+# --------------------------------------------------------------------- #
+def load_blackbox(path: str | Path) -> dict[str, Any]:
+    """Parse one artifact (or spool) file, with a schema sanity check."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text())
+    except OSError as exc:
+        raise AnalysisError(f"cannot read blackbox artifact: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(
+            f"'{path}' is not a blackbox artifact: {exc}"
+        ) from exc
+    if not isinstance(document, dict) or \
+            document.get("schema") != BLACKBOX_SCHEMA_VERSION or \
+            "vehicles" not in document:
+        raise AnalysisError(f"'{path}' is not a blackbox artifact")
+    return document
+
+
+def summarize_blackbox(path: str | Path, last: int | None = None) -> str:
+    """Human-readable per-vehicle summary of one artifact."""
+    document = load_blackbox(path)
+    lines = [
+        f"Blackbox {path} — experiment '{document.get('experiment', '')}' "
+        f"seed {document.get('seed')} attempt {document.get('attempt')} "
+        f"reason {document.get('reason')}",
+    ]
+    alarms = document.get("alarms") or {}
+    for key in sorted(alarms):
+        lines.append(f"  alarm {key} = {alarms[key]:g}")
+    vehicles = document.get("vehicles", [])
+    if not vehicles:
+        lines.append("  (no flight data: the seed died before any "
+                     "vehicle stepped)")
+        return "\n".join(lines)
+    for vehicle in vehicles:
+        frames = vehicle.get("frames", [])
+        if last is not None:
+            frames = frames[-last:]
+        head = (
+            f"  {vehicle.get('label', '?')} (seed {vehicle.get('seed')}): "
+            f"{len(frames)} of {vehicle.get('steps_seen', 0)} steps buffered"
+        )
+        if vehicle.get("faults"):
+            head += f", faults: {vehicle['faults']}"
+        lines.append(head)
+        if not frames:
+            continue
+        first, final = frames[0], frames[-1]
+        alt = -float(final["pos"][2])
+        speed = math.sqrt(sum(float(v) ** 2 for v in final["vel"]))
+        lines.append(
+            f"    t {first['t']:.2f}s → {final['t']:.2f}s, final alt "
+            f"{alt:.1f} m, speed {speed:.1f} m/s, mode "
+            f"{final.get('mode')}, armed={final.get('armed')}, "
+            f"crashed={final.get('crashed')}"
+        )
+    return "\n".join(lines)
+
+
+def export_blackbox(path: str | Path, out: str | Path,
+                    last: int | None = None) -> Path:
+    """Write a copy of the artifact trimmed to the last ``last`` frames."""
+    document = load_blackbox(path)
+    if last is not None:
+        for vehicle in document.get("vehicles", []):
+            vehicle["frames"] = vehicle.get("frames", [])[-last:]
+    out = Path(out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+    return out

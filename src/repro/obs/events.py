@@ -1,0 +1,359 @@
+"""Live campaign event bus: structured progress events over a queue.
+
+The campaign runner (:mod:`repro.experiments.campaign`) is supervised by
+the parent process, but until now it reported nothing until the whole
+campaign returned. This module adds the real-time layer: every execution
+path (serial, process-pool, vectorized, sharded-vectorized) emits
+structured events — seed started / cached / retried / timeout / failed /
+finished, chunk dispatch, throttled heartbeats — into an
+:class:`EventBus` that appends them to a JSONL event log
+(``schemas/events.schema.json``) and, opt-in, renders a live progress
+line with an ETA derived from the per-seed duration histogram.
+
+Pool workers cannot call the parent's bus directly; they put pre-built
+event records on a ``multiprocessing.Manager`` queue
+(:func:`queue_event`) and the parent drains it every supervisor tick
+(:meth:`EventBus.drain`). Event delivery is strictly observational: the
+(seed, attempt)-ordered telemetry merge and the seed-ordered result
+aggregation never look at the queue, so delivery order cannot perturb a
+result — streaming on vs. off is byte-identical (pinned by
+``tests/test_events_blackbox.py``).
+
+``python -m repro obs tail FILE`` pretty-prints an event log and can
+follow a running campaign until its ``campaign_finished`` event.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.exceptions import AnalysisError
+from repro.obs.metrics import Histogram
+
+__all__ = [
+    "EVENT_KINDS",
+    "EVENTS_SCHEMA_VERSION",
+    "EventBus",
+    "format_event",
+    "queue_event",
+    "tail_events",
+]
+
+#: Bump when the event record layout changes (checked by the schema).
+EVENTS_SCHEMA_VERSION = 1
+
+#: Every event kind the bus emits (mirrored by the ``kind`` enum in
+#: ``schemas/events.schema.json``).
+EVENT_KINDS = (
+    "campaign_started",
+    "seed_started",
+    "seed_cached",
+    "seed_resumed",
+    "seed_retried",
+    "seed_finished",
+    "seed_failed",
+    "seed_timeout",
+    "chunk_dispatched",
+    "chunk_finished",
+    "heartbeat",
+    "blackbox_dumped",
+    "campaign_finished",
+)
+
+#: Minimum seconds between heartbeats / progress-line repaints, so a
+#: 0.05 s supervisor tick cannot flood the log or the terminal.
+_HEARTBEAT_INTERVAL_S = 0.5
+_PROGRESS_INTERVAL_S = 0.1
+
+#: Per-seed duration buckets for the ETA histogram: finer than the
+#: metrics default at the sub-second end where smoke campaigns live.
+_DURATION_BUCKETS = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    25.0, 50.0, 100.0, 250.0, 500.0,
+)
+
+#: Event kinds that mean "one more seed reached a terminal state".
+_TERMINAL_KINDS = frozenset({
+    "seed_cached", "seed_resumed", "seed_finished", "seed_failed",
+    "seed_timeout",
+})
+
+
+def _record(kind: str, experiment: str, seed: int | None = None,
+            attempt: int | None = None, status: str | None = None,
+            elapsed_s: float | None = None,
+            data: dict[str, Any] | None = None) -> dict[str, Any]:
+    """One schema-shaped event record."""
+    if kind not in EVENT_KINDS:
+        raise AnalysisError(f"unknown event kind '{kind}'")
+    return {
+        "schema": EVENTS_SCHEMA_VERSION,
+        "ts": time.time(),
+        "kind": kind,
+        "experiment": experiment,
+        "pid": os.getpid(),
+        "seed": None if seed is None else int(seed),
+        "attempt": None if attempt is None else int(attempt),
+        "status": status,
+        "elapsed_s": None if elapsed_s is None else float(elapsed_s),
+        "data": dict(data or {}),
+    }
+
+
+def queue_event(queue, kind: str, experiment: str,
+                seed: int | None = None, attempt: int | None = None,
+                **data: Any) -> None:
+    """Worker-side emit: put one record on the parent's event queue.
+
+    Best-effort by contract — a broken or full queue proxy must never
+    fail a seed, so every queue error is swallowed. The parent drains
+    the queue each supervisor tick and routes records through its bus.
+    """
+    if queue is None:
+        return
+    try:
+        queue.put_nowait(_record(kind, experiment, seed, attempt,
+                                 data=data or None))
+    except Exception:  # noqa: BLE001 - observability must never fail a seed
+        pass
+
+
+class EventBus:
+    """Parent-side event fan-out: JSONL log plus optional progress line.
+
+    Strictly passive: the bus only appends to its sinks and updates its
+    own counters; nothing in the campaign reads bus state back, so an
+    enabled bus cannot change a result, a status or a cache entry.
+    """
+
+    def __init__(self, experiment: str, total_seeds: int,
+                 log_path: str | Path | None = None,
+                 progress: bool = False, workers: int = 0,
+                 stream: TextIO | None = None):
+        self.experiment = experiment
+        self.total_seeds = int(total_seeds)
+        self.workers = max(int(workers), 1)
+        self._log_handle = None
+        if log_path is not None:
+            path = Path(log_path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._log_handle = path.open("a")
+        self._progress = bool(progress)
+        self._stream = stream if stream is not None else sys.stderr
+        self._started = time.monotonic()
+        self._last_heartbeat = 0.0
+        self._last_paint = 0.0
+        self._painted = False
+        self.done = 0
+        self.failed = 0
+        self.cached = 0
+        self.retries = 0
+        self._finished = False
+        #: Per-seed compute durations, feeding the progress-line ETA.
+        self.durations = Histogram(_DURATION_BUCKETS)
+
+    # -- emission ------------------------------------------------------ #
+    def emit(self, kind: str, seed: int | None = None,
+             attempt: int | None = None, status: str | None = None,
+             elapsed_s: float | None = None, **data: Any) -> None:
+        """Build one event record and route it to every sink."""
+        self.ingest(_record(kind, self.experiment, seed, attempt, status,
+                            elapsed_s, data or None))
+
+    def ingest(self, record: dict[str, Any]) -> None:
+        """Route a pre-built record (local or drained from a worker)."""
+        kind = record.get("kind")
+        if kind in _TERMINAL_KINDS:
+            self.done += 1
+            if kind in ("seed_failed", "seed_timeout"):
+                self.failed += 1
+            elif kind == "seed_cached":
+                self.cached += 1
+            elapsed = record.get("elapsed_s")
+            if kind == "seed_finished" and elapsed is not None:
+                self.durations.observe(float(elapsed))
+        elif kind == "seed_retried":
+            self.retries += 1
+        if self._log_handle is not None:
+            self._log_handle.write(
+                json.dumps(record, sort_keys=True, default=str) + "\n"
+            )
+            self._log_handle.flush()
+        self._paint()
+
+    def drain(self, queue) -> None:
+        """Ingest every record currently waiting on a worker queue."""
+        if queue is None:
+            return
+        while True:
+            try:
+                record = queue.get_nowait()
+            except Exception:  # noqa: BLE001 - Empty, or a broken proxy
+                return
+            if isinstance(record, dict):
+                self.ingest(record)
+
+    def heartbeat(self, in_flight: int = 0, **data: Any) -> None:
+        """Emit a throttled heartbeat with progress and step-rate."""
+        now = time.monotonic()
+        if now - self._last_heartbeat < _HEARTBEAT_INTERVAL_S:
+            return
+        self._last_heartbeat = now
+        wall = max(now - self._started, 1e-9)
+        self.emit(
+            "heartbeat",
+            done=self.done, total=self.total_seeds,
+            in_flight=int(in_flight), failed=self.failed,
+            seeds_per_s=round(self.done / wall, 3),
+            eta_s=round(self.eta_seconds(), 3),
+            **data,
+        )
+
+    def finish(self, **data: Any) -> None:
+        """Emit the terminal ``campaign_finished`` event (at most once).
+
+        Called on the normal exit path with the campaign totals, and
+        again from the runner's ``finally`` so an aborted campaign (a
+        blown failure budget, ``KeyboardInterrupt``) still terminates
+        any ``obs tail --follow`` watching the log.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        wall = max(time.monotonic() - self._started, 1e-9)
+        self.emit(
+            "campaign_finished",
+            done=self.done, total=self.total_seeds, failed=self.failed,
+            cached=self.cached, retries=self.retries,
+            wall_s=round(wall, 3),
+            **data,
+        )
+
+    # -- progress line ------------------------------------------------- #
+    def eta_seconds(self) -> float:
+        """Remaining-work estimate from the per-seed duration histogram."""
+        remaining = max(self.total_seeds - self.done, 0)
+        if not remaining or not self.durations.count:
+            return 0.0
+        per_seed = self.durations.quantile(0.5)
+        return remaining * per_seed / self.workers
+
+    def _render_progress(self) -> str:
+        parts = [f"{self.experiment}: {self.done}/{self.total_seeds} seeds"]
+        extras = []
+        if self.cached:
+            extras.append(f"{self.cached} cached")
+        if self.failed:
+            extras.append(f"{self.failed} failed")
+        if self.retries:
+            extras.append(f"{self.retries} retried")
+        if extras:
+            parts.append(f"({', '.join(extras)})")
+        wall = max(time.monotonic() - self._started, 1e-9)
+        parts.append(f"{self.done / wall:.1f} seeds/s")
+        eta = self.eta_seconds()
+        if self.done < self.total_seeds and eta > 0.0:
+            parts.append(f"ETA {eta:.1f}s")
+        return " ".join(parts)
+
+    def _paint(self, force: bool = False) -> None:
+        if not self._progress:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_paint < _PROGRESS_INTERVAL_S:
+            return
+        self._last_paint = now
+        self._stream.write("\r\x1b[2K" + self._render_progress())
+        self._stream.flush()
+        self._painted = True
+
+    def close(self) -> None:
+        """Flush the progress line and close the event log."""
+        if self._progress and self._painted:
+            self._paint(force=True)
+            self._stream.write("\n")
+            self._stream.flush()
+        if self._log_handle is not None:
+            self._log_handle.close()
+            self._log_handle = None
+
+
+# --------------------------------------------------------------------- #
+# obs tail
+# --------------------------------------------------------------------- #
+def format_event(record: dict[str, Any]) -> str:
+    """One human-readable line per event record."""
+    ts = record.get("ts")
+    clock = time.strftime("%H:%M:%S", time.gmtime(ts)) if ts else "--:--:--"
+    parts = [clock, f"{record.get('kind', '?'):18s}"]
+    for key in ("seed", "attempt", "status"):
+        value = record.get(key)
+        if value is not None:
+            parts.append(f"{key}={value}")
+    elapsed = record.get("elapsed_s")
+    if elapsed is not None:
+        parts.append(f"{elapsed:.3f}s")
+    data = record.get("data") or {}
+    for key in sorted(data):
+        parts.append(f"{key}={data[key]}")
+    return " ".join(parts)
+
+
+def tail_events(path: str | Path, follow: bool = False,
+                kinds: tuple[str, ...] | None = None,
+                stream: TextIO | None = None,
+                poll_s: float = 0.2, timeout_s: float | None = None) -> int:
+    """Pretty-print an event log; optionally follow a running campaign.
+
+    With ``follow`` the file is polled until a ``campaign_finished``
+    event arrives (or ``timeout_s`` elapses). Returns the number of
+    events printed. Unknown lines are skipped, so tailing a file that a
+    campaign is actively appending to never crashes on a torn write.
+    """
+    path = Path(path)
+    if not follow and not path.exists():
+        raise AnalysisError(f"no event log at '{path}'")
+    out = stream if stream is not None else sys.stdout
+    printed = 0
+    offset = 0
+    deadline = (time.monotonic() + timeout_s) if timeout_s is not None else None
+    while True:
+        if path.exists():
+            with path.open("rb") as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+            # Only consume up to the last complete line — a torn write
+            # mid-append is reread whole on the next poll. A one-shot
+            # tail takes the final unterminated line as-is.
+            cut = (chunk.rfind(b"\n") + 1) if follow else len(chunk)
+            offset += cut
+            for line in chunk[:cut].decode("utf-8", "replace").splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(record, dict):
+                    continue
+                if kinds and record.get("kind") not in kinds:
+                    continue
+                try:
+                    out.write(format_event(record) + "\n")
+                except BrokenPipeError:
+                    # Downstream pager/head closed the pipe: not an error.
+                    return printed
+                printed += 1
+                if record.get("kind") == "campaign_finished":
+                    follow = False
+        if not follow:
+            return printed
+        if deadline is not None and time.monotonic() > deadline:
+            return printed
+        time.sleep(poll_s)

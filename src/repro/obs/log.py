@@ -46,13 +46,27 @@ def current_context() -> dict[str, Any]:
 
 @contextmanager
 def log_context(**fields: Any):
-    """Bind extra fields onto every record emitted inside the block."""
-    merged = {**_log_context.get(), **fields}
+    """Bind extra fields onto every record emitted inside the block.
+
+    The contextvar is restored via ``try``/``finally``, so fields never
+    bleed into later records when the wrapped block raises. When
+    ``__enter__`` and ``__exit__`` run in different
+    :mod:`contextvars` contexts (the CLI holds a context object open
+    across a whole command), ``reset`` raises ``ValueError`` — the
+    fallback restores the saved mapping explicitly instead of leaking
+    the bound fields.
+    """
+    previous = _log_context.get()
+    merged = {**previous, **fields}
     token = _log_context.set(merged)
     try:
         yield merged
     finally:
-        _log_context.reset(token)
+        try:
+            _log_context.reset(token)
+        except ValueError:
+            # Token minted in another Context: restore by value.
+            _log_context.set(previous)
 
 
 class JsonFormatter(logging.Formatter):

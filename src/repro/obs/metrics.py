@@ -24,6 +24,7 @@ serial and process-pool campaign runs agree on totals.
 
 from __future__ import annotations
 
+import re
 from bisect import bisect_left
 from typing import Any
 
@@ -236,6 +237,62 @@ class MetricsRegistry:
             hist.min = min(hist.min, float(data["min"]))
             hist.max = max(hist.max, float(data["max"]))
 
+    def expose_text(self) -> str:
+        """The registry in Prometheus text exposition format (0.0.4).
+
+        Metric names are sanitized (dots → underscores) and prefixed
+        ``repro_``; counters gain the conventional ``_total`` suffix and
+        histograms expand into cumulative ``_bucket{le=...}`` series
+        plus ``_sum``/``_count``, so the output drops straight into a
+        node-exporter textfile collector or any other scrape pipeline.
+        Families are emitted in sorted-name order — byte-stable across
+        runs for identical contents.
+        """
+        lines: list[str] = []
+        counters = sorted(self._counters.items())
+        by_family: dict[str, list[tuple[dict[str, str], float]]] = {}
+        for key, counter in counters:
+            name, labels = _parse_key(key)
+            by_family.setdefault(name, []).append((labels, counter.value))
+        for name in sorted(by_family):
+            metric = f"{_prom_name(name)}_total"
+            lines.append(f"# TYPE {metric} counter")
+            for labels, value in by_family[name]:
+                lines.append(f"{metric}{_prom_labels(labels)} {value:g}")
+        by_family = {}
+        for key, gauge in sorted(self._gauges.items()):
+            name, labels = _parse_key(key)
+            by_family.setdefault(name, []).append((labels, gauge.value))
+        for name in sorted(by_family):
+            metric = _prom_name(name)
+            lines.append(f"# TYPE {metric} gauge")
+            for labels, value in by_family[name]:
+                lines.append(f"{metric}{_prom_labels(labels)} {value:g}")
+        hist_family: dict[str, list[tuple[dict[str, str], Histogram]]] = {}
+        for key, hist in sorted(self._histograms.items()):
+            name, labels = _parse_key(key)
+            hist_family.setdefault(name, []).append((labels, hist))
+        for name in sorted(hist_family):
+            metric = _prom_name(name)
+            lines.append(f"# TYPE {metric} histogram")
+            for labels, hist in hist_family[name]:
+                cumulative = 0
+                for bound, count in zip(hist.bounds, hist.counts):
+                    cumulative += count
+                    bucket = dict(labels, le=f"{bound:g}")
+                    lines.append(
+                        f"{metric}_bucket{_prom_labels(bucket)} {cumulative}"
+                    )
+                bucket = dict(labels, le="+Inf")
+                lines.append(
+                    f"{metric}_bucket{_prom_labels(bucket)} {hist.count}"
+                )
+                lines.append(f"{metric}_sum{_prom_labels(labels)} "
+                             f"{hist.sum:g}")
+                lines.append(f"{metric}_count{_prom_labels(labels)} "
+                             f"{hist.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
     @staticmethod
     def _split_lookup(factory, key: str):
         """Re-resolve a rendered ``name{k=v}`` snapshot key to an instrument."""
@@ -246,6 +303,37 @@ class MetricsRegistry:
             )
             return factory(name, **labels)
         return factory(key)
+
+
+def _parse_key(key: str) -> tuple[str, dict[str, str]]:
+    """Split a rendered ``name{k=v,...}`` snapshot key back apart."""
+    if "{" in key and key.endswith("}"):
+        name, _, raw = key.partition("{")
+        labels = dict(
+            pair.split("=", 1) for pair in raw[:-1].split(",") if "=" in pair
+        )
+        return name, labels
+    return key, {}
+
+
+def _prom_name(name: str) -> str:
+    """A Prometheus-legal metric name: ``repro_`` + sanitized ``name``."""
+    return "repro_" + re.sub(r"[^a-zA-Z0-9_]", "_", name)
+
+
+def _prom_labels(labels: dict[str, str]) -> str:
+    """Rendered label set (``{k="v",...}``), empty string when none."""
+    if not labels:
+        return ""
+
+    def escape(value: str) -> str:
+        return value.replace("\\", "\\\\").replace('"', '\\"')
+
+    inner = ",".join(
+        f'{re.sub(r"[^a-zA-Z0-9_]", "_", k)}="{escape(str(v))}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
 
 
 #: The process-global default registry the instrumented layers use.

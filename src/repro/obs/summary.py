@@ -26,7 +26,9 @@ def classify_artifact(path: str | Path) -> str:
     except OSError as exc:
         raise AnalysisError(f"cannot read telemetry artifact: {exc}") from exc
     if not first:
-        return "unknown"
+        # An empty .jsonl is a legal zero-span trace (a campaign that
+        # recorded nothing); an empty .json is unclassifiable.
+        return "trace" if path.suffix == ".jsonl" else "unknown"
     try:
         if path.suffix == ".jsonl":
             record = json.loads(first.splitlines()[0])
@@ -83,8 +85,10 @@ def _render_trace(path: Path, spans: list[dict[str, Any]]) -> list[str]:
         f"  {'span':28s} {'count':>6s} {'total_s':>9s} {'mean_s':>9s} "
         f"{'%wall':>6s}",
     ]
+    # Sort by total descending with the name as tie-break, so equal-cost
+    # phases render in a stable order run over run.
     ordered = sorted(
-        by_name.items(), key=lambda item: sum(item[1]), reverse=True
+        by_name.items(), key=lambda item: (-sum(item[1]), item[0])
     )
     for name, durations in ordered:
         total = sum(durations)
@@ -98,25 +102,30 @@ def _render_trace(path: Path, spans: list[dict[str, Any]]) -> list[str]:
 
 def _render_metrics(path: Path, snapshot: dict[str, Any]) -> list[str]:
     lines = [f"Metrics {path}"]
+    # Iterate every table in sorted-key order: registry snapshots are
+    # written sorted, but hand-edited or merged files may not be, and
+    # the rendered table must be deterministic either way.
     counters = snapshot.get("counters", {})
     if counters:
         lines.append(f"  {'counter':40s} {'value':>12s}")
-        for key, value in counters.items():
+        for key in sorted(counters):
+            value = counters[key]
             rendered = f"{int(value)}" if float(value).is_integer() \
                 else f"{value:.4g}"
             lines.append(f"  {key:40s} {rendered:>12s}")
     gauges = snapshot.get("gauges", {})
     if gauges:
         lines.append(f"  {'gauge':40s} {'value':>12s}")
-        for key, value in gauges.items():
-            lines.append(f"  {key:40s} {value:12.4g}")
+        for key in sorted(gauges):
+            lines.append(f"  {key:40s} {gauges[key]:12.4g}")
     histograms = snapshot.get("histograms", {})
     if histograms:
         lines.append(
             f"  {'histogram':28s} {'count':>7s} {'mean':>9s} {'p50':>9s} "
-            f"{'p95':>9s} {'max':>9s}"
+            f"{'p95':>9s} {'p99':>9s} {'max':>9s}"
         )
-        for key, data in histograms.items():
+        for key in sorted(histograms):
+            data = histograms[key]
             hist = Histogram(tuple(data.get("bounds", (1.0,))))
             hist.counts = [int(c) for c in data.get("counts", hist.counts)]
             hist.count = int(data.get("count", 0))
@@ -126,7 +135,7 @@ def _render_metrics(path: Path, snapshot: dict[str, Any]) -> list[str]:
             lines.append(
                 f"  {key:28s} {hist.count:7d} {hist.mean:9.4g} "
                 f"{hist.quantile(0.5):9.4g} {hist.quantile(0.95):9.4g} "
-                f"{hist.max:9.4g}"
+                f"{hist.quantile(0.99):9.4g} {hist.max:9.4g}"
             )
     if len(lines) == 1:
         lines.append("  (empty snapshot)")

@@ -62,6 +62,7 @@ from repro.firmware.vehicle import (
     TAKEOFF_SUCCESS_TOLERANCE,
     TAKEOFF_VEL_TOLERANCE,
 )
+from repro.obs.blackbox import active_blackbox
 from repro.obs.profile import BATCHED, MIXED, SCALAR, active_profile
 from repro.sensors.barometer import _P0, _SCALE_HEIGHT, BaroSample
 from repro.sensors.gps import GpsSample
@@ -812,6 +813,13 @@ class VectorizedFleet:
         self._last_targets = [AttitudeTargets() for _ in range(n)]
         self._manual_targets = [AttitudeTargets() for _ in range(n)]
         self.lanes = [_LaneVehicle(self, i) for i in range(n)]
+
+        # Blackbox flight recorder: each lane records as its own vehicle;
+        # checked once at construction so a disabled recorder is free.
+        blackbox = active_blackbox()
+        if blackbox is not None:
+            for lane in self.lanes:
+                blackbox.attach(lane)
 
         # Gust constants (python-float path identical to Environment.step).
         if self._gust_std > 0.0:

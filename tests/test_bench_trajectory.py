@@ -262,6 +262,81 @@ class TestCompare:
                               suite_tolerances={"scalar_hot_loop": -0.5})
 
 
+class TestCompareEdgeCases:
+    """Degenerate snapshots the gate must survive without a false verdict."""
+
+    @staticmethod
+    def _doc(**suites):
+        return {"schema": 2, "date": "2026-08-08",
+                "suites": {name: {"wall_s": wall}
+                           for name, wall in suites.items()}}
+
+    def test_suite_missing_from_baseline_cannot_regress(self):
+        comparison = compare_snapshots(
+            self._doc(kept=1.0, fresh=99.0), self._doc(kept=1.0),
+        )
+        fresh = next(s for s in comparison.suites if s.name == "fresh")
+        assert fresh.previous_s is None
+        assert fresh.slowdown is None and not fresh.regressed
+        assert comparison.ok
+
+    def test_vanished_suite_is_ignored(self):
+        comparison = compare_snapshots(
+            self._doc(kept=1.0), self._doc(kept=1.0, gone=0.001),
+        )
+        assert [s.name for s in comparison.suites] == ["kept"]
+        assert comparison.ok
+
+    def test_zero_baseline_timing_yields_no_slowdown(self):
+        # current/0 would be a division blow-up and an infinite-percent
+        # "regression"; a zero-span baseline must read as incomparable.
+        comparison = compare_snapshots(
+            self._doc(suite=1.0), self._doc(suite=0.0),
+        )
+        assert comparison.suites[0].slowdown is None
+        assert not comparison.suites[0].regressed
+        assert comparison.ok
+        assert "new suite" in comparison.render()
+
+    def test_nan_timings_never_flag(self):
+        nan = float("nan")
+        for current, previous in ((nan, 1.0), (1.0, nan), (nan, nan)):
+            comparison = compare_snapshots(
+                self._doc(suite=current), self._doc(suite=previous),
+            )
+            assert not comparison.suites[0].regressed
+            assert comparison.ok
+            comparison.render()  # must not raise on NaN formatting
+
+    def test_v1_vs_v2_with_per_suite_bands(self, tmp_path):
+        """A v1-era baseline gates a stage-era snapshot, with one noisy
+        suite loosened and the headline suite kept on the tight band."""
+        (tmp_path / "BENCH_2026-08-01.json").write_text(
+            json.dumps(_v1_document(scalar=1.0, fleet=2.0))
+        )
+        suites = _suites(scalar=1.1, fleet=3.0)  # fleet 50% slower
+        suites["vectorized_hot_loop_n16"]["stages"] = _stages()
+        write_snapshot(tmp_path, suites, date="2026-08-08")
+        current, previous = latest_snapshots(tmp_path)
+        assert previous["schema"] == 1 and current["schema"] == 2
+        assert not compare_snapshots(current, previous, tolerance=0.25).ok
+        comparison = compare_snapshots(
+            current, previous, tolerance=0.25,
+            suite_tolerances={"vectorized_hot_loop_n16": 0.6},
+        )
+        assert comparison.ok
+        assert "[band +60%]" in comparison.render()
+
+    def test_override_for_vanished_suite_still_resolves(self):
+        # The suite exists in the baseline only — the override names a
+        # real (if unmeasurable) suite, not a typo, so it is accepted.
+        comparison = compare_snapshots(
+            self._doc(kept=1.0), self._doc(kept=1.0, gone=1.0),
+            suite_tolerances={"gone": 0.5},
+        )
+        assert comparison.ok
+
+
 class TestTrajectoryCli:
     """The benchmarks/trajectory.py compare command (the CI gate)."""
 

@@ -1,0 +1,645 @@
+"""Live campaign event bus + crash blackbox flight recorder.
+
+Two hard contracts pinned here:
+
+* **Passivity** — streaming/recording on vs. off produces bit-identical
+  campaign results, statuses and cache entries, serial and ``workers=4``:
+  the bus and the recorder only observe, never steer.
+* **Every casualty leaves a blackbox** — any seed that ends in
+  crash/timeout/failed/corrupt yields a schema-valid content-addressed
+  artifact, even when the worker died before a single vehicle stepped
+  (the stub-artifact path).
+"""
+
+from __future__ import annotations
+
+import json
+import queue as queue_module
+from io import StringIO
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.experiments.cache import ResultCache
+from repro.experiments.campaign import run_campaign
+from repro.experiments.faults import FaultInjector, FaultPolicy, FaultSpec
+from repro.firmware.vehicle import Vehicle
+from repro.obs.blackbox import (
+    BlackboxSession,
+    active_blackbox,
+    blackbox_session,
+    export_blackbox,
+    load_blackbox,
+    promote_spools,
+    summarize_blackbox,
+    write_stub_artifact,
+)
+from repro.obs.events import (
+    EVENT_KINDS,
+    EventBus,
+    format_event,
+    queue_event,
+    tail_events,
+)
+from repro.obs.schema import validate_file
+from repro.sim.config import SimConfig
+from repro.sim.vectorized import VectorizedFleet
+
+SCHEMAS = Path(__file__).resolve().parent.parent / "schemas"
+EVENTS_SCHEMA = SCHEMAS / "events.schema.json"
+BLACKBOX_SCHEMA = SCHEMAS / "blackbox.schema.json"
+
+FAST = dict(backoff_base_s=0.001, backoff_max_s=0.01)
+
+
+# Module-level so ProcessPoolExecutor can pickle them.
+def _cheap_experiment(seed: int) -> dict[str, float]:
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    return {"deviation": float(rng.normal(size=8).sum())}
+
+
+_FAIL_SEED = 12
+
+
+def _failing_experiment(seed: int) -> dict[str, float]:
+    if seed == _FAIL_SEED:
+        raise ValueError("deterministic science bug")
+    return _cheap_experiment(seed)
+
+
+def _flight_experiment(seed: int) -> dict[str, float]:
+    vehicle = Vehicle(SimConfig(seed=seed))
+    vehicle.arm()
+    for _ in range(40):
+        vehicle.step()
+    if seed == _FAIL_SEED:
+        raise RuntimeError("mid-flight failure")
+    return {"alt": -float(vehicle.sim.vehicle.state.position[2])}
+
+
+def _cheap_batch(seeds: list[int]) -> dict[int, dict[str, float]]:
+    return {seed: _cheap_experiment(seed) for seed in seeds}
+
+
+def _values(result) -> dict[str, list[float]]:
+    return {name: list(m.values) for name, m in result.metrics.items()}
+
+
+def _event_records(path: Path) -> list[dict]:
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+def _cache_payloads(cache_dir: Path) -> dict[str, str]:
+    """Relative record path -> canonical result payload (wall-clock
+    fields like elapsed_s/created_at excluded — they vary run to run)."""
+    payloads = {}
+    for record_path in sorted(cache_dir.rglob("*.json")):
+        record = json.loads(record_path.read_text())
+        payloads[str(record_path.relative_to(cache_dir))] = json.dumps(
+            record["result"], sort_keys=True
+        )
+    return payloads
+
+
+# --------------------------------------------------------------------- #
+# Event records and the bus
+# --------------------------------------------------------------------- #
+class TestEventBus:
+    def test_unknown_kind_rejected(self):
+        bus = EventBus("exp", 3)
+        with pytest.raises(AnalysisError, match="unknown event kind"):
+            bus.emit("seed_exploded", seed=1)
+
+    def test_queue_event_swallows_broken_queues(self):
+        class Broken:
+            def put_nowait(self, record):
+                raise RuntimeError("proxy is gone")
+
+        queue_event(None, "seed_started", "exp", seed=1)  # no queue: no-op
+        queue_event(Broken(), "seed_started", "exp", seed=1)  # must not raise
+
+    def test_drain_routes_worker_records(self):
+        bus = EventBus("exp", 2)
+        q = queue_module.Queue()
+        queue_event(q, "seed_started", "exp", seed=7, attempt=1)
+        queue_event(q, "seed_started", "exp", seed=8, attempt=1)
+        q.put("not a record")  # ignored, not fatal
+        bus.drain(q)
+        bus.drain(None)  # no queue: no-op
+        assert bus.done == 0  # seed_started is not terminal
+
+    def test_counters_and_duration_histogram(self):
+        bus = EventBus("exp", 4)
+        bus.emit("seed_finished", seed=1, attempt=1, status="ok",
+                 elapsed_s=0.2)
+        bus.emit("seed_cached", seed=2, attempt=1, status="cached")
+        bus.emit("seed_failed", seed=3, attempt=2, status="failed")
+        bus.emit("seed_retried", seed=4, attempt=1)
+        assert (bus.done, bus.failed, bus.cached, bus.retries) == (3, 1, 1, 1)
+        assert bus.durations.count == 1  # only real computes feed the ETA
+
+    def test_eta_scales_with_workers(self):
+        serial = EventBus("exp", 10, workers=0)
+        pooled = EventBus("exp", 10, workers=4)
+        for bus in (serial, pooled):
+            bus.emit("seed_finished", seed=0, attempt=1, status="ok",
+                     elapsed_s=2.0)
+        assert serial.eta_seconds() == pytest.approx(
+            pooled.eta_seconds() * 4
+        )
+        done = EventBus("exp", 0)
+        assert done.eta_seconds() == 0.0
+
+    def test_log_lines_are_schema_valid(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        bus = EventBus("exp", 2, log_path=log)
+        bus.emit("campaign_started", seeds=2, workers=0, engine="scalar")
+        bus.emit("seed_finished", seed=0, attempt=1, status="ok",
+                 elapsed_s=0.01)
+        bus.finish()
+        bus.close()
+        assert validate_file(log, EVENTS_SCHEMA) == []
+        kinds = [r["kind"] for r in _event_records(log)]
+        assert kinds == ["campaign_started", "seed_finished",
+                         "campaign_finished"]
+
+    def test_finish_is_idempotent(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        bus = EventBus("exp", 1, log_path=log)
+        bus.finish()
+        bus.finish()  # the runner's finally calls it again on abort paths
+        bus.close()
+        assert [r["kind"] for r in _event_records(log)] == [
+            "campaign_finished"
+        ]
+
+    def test_progress_line_renders_to_stream(self):
+        stream = StringIO()
+        bus = EventBus("exp", 3, progress=True, stream=stream)
+        bus.emit("seed_finished", seed=0, attempt=1, status="ok",
+                 elapsed_s=0.5)
+        bus.emit("seed_failed", seed=1, attempt=1, status="failed")
+        bus._paint(force=True)
+        bus.close()
+        text = stream.getvalue()
+        assert "2/3 seeds" in text
+        assert "1 failed" in text
+        assert text.endswith("\n")  # closed with the cursor off the line
+
+    def test_heartbeat_throttled(self):
+        bus = EventBus("exp", 4)
+        bus.heartbeat(in_flight=2)
+        first = bus._last_heartbeat
+        bus.heartbeat(in_flight=2)  # within the interval: dropped
+        assert bus._last_heartbeat == first
+
+
+class TestTailEvents:
+    def _write_log(self, path: Path) -> None:
+        bus = EventBus("exp", 2, log_path=path)
+        bus.emit("campaign_started", seeds=2, workers=0, engine="scalar")
+        bus.emit("seed_finished", seed=4, attempt=1, status="ok",
+                 elapsed_s=0.25)
+        bus.finish()
+        bus.close()
+
+    def test_prints_formatted_lines(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        self._write_log(log)
+        out = StringIO()
+        printed = tail_events(log, stream=out)
+        assert printed == 3
+        text = out.getvalue()
+        assert "seed_finished" in text and "seed=4" in text
+        assert "status=ok" in text and "0.250s" in text
+
+    def test_kind_filter(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        self._write_log(log)
+        out = StringIO()
+        assert tail_events(log, kinds=("seed_finished",), stream=out) == 1
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(AnalysisError, match="no event log"):
+            tail_events(tmp_path / "absent.jsonl")
+
+    def test_skips_torn_and_garbage_lines(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        self._write_log(log)
+        with log.open("a") as handle:
+            handle.write("{not json}\n")
+            handle.write('{"kind": "heartbeat"')  # torn mid-append
+        out = StringIO()
+        assert tail_events(log, stream=out) == 3
+
+    def test_follow_stops_at_campaign_finished(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        self._write_log(log)
+        out = StringIO()
+        # campaign_finished is already in the log, so follow terminates
+        # without waiting for the timeout.
+        printed = tail_events(log, follow=True, stream=out, poll_s=0.01,
+                              timeout_s=5.0)
+        assert printed == 3
+
+    def test_format_event_tolerates_sparse_records(self):
+        line = format_event({"kind": "heartbeat"})
+        assert "heartbeat" in line and "--:--:--" in line
+
+
+# --------------------------------------------------------------------- #
+# Campaign integration: events on every execution path
+# --------------------------------------------------------------------- #
+class TestCampaignEvents:
+    SEEDS = list(range(10, 16))
+
+    def test_serial_event_stream_schema_valid(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        run_campaign(_failing_experiment, self.SEEDS, events=log)
+        assert validate_file(log, EVENTS_SCHEMA) == []
+        records = _event_records(log)
+        kinds = [r["kind"] for r in records]
+        assert kinds[0] == "campaign_started"
+        assert kinds[-1] == "campaign_finished"
+        assert kinds.count("seed_started") == len(self.SEEDS)
+        assert kinds.count("seed_finished") == len(self.SEEDS) - 1
+        assert kinds.count("seed_failed") == 1
+        failed = next(r for r in records if r["kind"] == "seed_failed")
+        assert failed["seed"] == _FAIL_SEED
+        assert failed["status"] == "failed"
+        finished = records[-1]
+        assert finished["data"]["done"] == len(self.SEEDS)
+        assert finished["data"]["failed"] == 1
+        assert all(r["kind"] in EVENT_KINDS for r in records)
+
+    def test_cached_seeds_emit_seed_cached(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_campaign(_cheap_experiment, self.SEEDS, cache=cache,
+                     experiment_name="evt")
+        log = tmp_path / "events.jsonl"
+        run_campaign(_cheap_experiment, self.SEEDS, cache=cache,
+                     experiment_name="evt", events=log)
+        records = _event_records(log)
+        cached = [r for r in records if r["kind"] == "seed_cached"]
+        assert sorted(r["seed"] for r in cached) == self.SEEDS
+        assert all(r["status"] == "cached" for r in cached)
+
+    def test_pool_workers_stream_seed_started(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        run_campaign(_cheap_experiment, self.SEEDS, workers=4, events=log)
+        assert validate_file(log, EVENTS_SCHEMA) == []
+        records = _event_records(log)
+        started = [r for r in records if r["kind"] == "seed_started"]
+        # Worker-side events carry the worker's pid, not the parent's.
+        parent_pid = records[0]["pid"]
+        assert sorted(r["seed"] for r in started) == self.SEEDS
+        assert all(r["pid"] != parent_pid for r in started)
+        finished = [r for r in records if r["kind"] == "seed_finished"]
+        assert sorted(r["seed"] for r in finished) == self.SEEDS
+
+    def test_vectorized_chunk_events(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        run_campaign(_cheap_experiment, self.SEEDS, engine="vectorized",
+                     batch=_cheap_batch, batch_size=3, events=log)
+        assert validate_file(log, EVENTS_SCHEMA) == []
+        kinds = [r["kind"] for r in _event_records(log)]
+        assert kinds.count("chunk_dispatched") == 2
+        assert kinds.count("chunk_finished") == 2
+        assert kinds.count("seed_finished") == len(self.SEEDS)
+
+    def test_sharded_vectorized_chunk_events(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        run_campaign(_cheap_experiment, self.SEEDS, workers=2,
+                     engine="vectorized", batch=_cheap_batch, batch_size=3,
+                     events=log)
+        assert validate_file(log, EVENTS_SCHEMA) == []
+        kinds = [r["kind"] for r in _event_records(log)]
+        assert kinds.count("chunk_dispatched") == 2
+        assert kinds.count("chunk_finished") == 2
+        assert kinds.count("seed_finished") == len(self.SEEDS)
+
+    def test_retry_emits_seed_retried(self, tmp_path):
+        inj = FaultInjector(
+            {"mid_seed": [FaultSpec("crash", frozenset({self.SEEDS[0]}))]},
+            tmp_path / "fault-state",
+        )
+        log = tmp_path / "events.jsonl"
+        result = run_campaign(
+            _cheap_experiment, self.SEEDS, workers=2,
+            policy=FaultPolicy(max_retries=2, **FAST), injector=inj,
+            events=log,
+        )
+        assert result.statuses[self.SEEDS[0]] == "retried"
+        records = _event_records(log)
+        retried = [r for r in records if r["kind"] == "seed_retried"]
+        assert self.SEEDS[0] in {r["seed"] for r in retried}
+
+
+# --------------------------------------------------------------------- #
+# Passivity: the ISSUE's hard contract
+# --------------------------------------------------------------------- #
+class TestPassivity:
+    SEEDS = list(range(30, 36))
+
+    def _run(self, tmp_path, tag, workers, observed):
+        cache = ResultCache(tmp_path / f"cache-{tag}")
+        kwargs = {}
+        if observed:
+            kwargs = dict(events=tmp_path / f"ev-{tag}.jsonl",
+                          blackbox_dir=tmp_path / f"bb-{tag}")
+        result = run_campaign(
+            _cheap_experiment, self.SEEDS, workers=workers, cache=cache,
+            experiment_name="passivity", **kwargs,
+        )
+        return result, _cache_payloads(tmp_path / f"cache-{tag}")
+
+    @pytest.mark.parametrize("workers", [0, 4])
+    def test_results_and_cache_identical_on_vs_off(self, tmp_path, workers):
+        on, cache_on = self._run(tmp_path, f"on{workers}", workers, True)
+        off, cache_off = self._run(tmp_path, f"off{workers}", workers, False)
+        assert _values(on) == _values(off)
+        assert on.statuses == off.statuses
+        assert on.attempts == off.attempts
+        # Same fingerprints, same stored result payloads, byte for byte.
+        assert cache_on == cache_off
+
+    def test_flight_recorder_does_not_perturb_flight(self, tmp_path):
+        """Recording reads state only: a recorded flight's trajectory is
+        bit-identical to an unrecorded one."""
+        off = _flight_experiment(30)
+        with blackbox_session(tmp_path / "spool", experiment="x", seed=30):
+            on = _flight_experiment(30)
+        assert on == off
+
+
+# --------------------------------------------------------------------- #
+# Blackbox recorder
+# --------------------------------------------------------------------- #
+class TestBlackboxRecorder:
+    def test_attaches_at_construction_only_when_active(self, tmp_path):
+        vehicle = Vehicle(SimConfig(seed=0))
+        assert vehicle.post_step_hooks == []  # off: zero per-step cost
+        with blackbox_session(tmp_path / "spool", experiment="x",
+                              seed=0) as session:
+            recorded = Vehicle(SimConfig(seed=0))
+            assert len(session.recorders) == 1
+            assert len(recorded.post_step_hooks) == 1
+        assert active_blackbox() is None  # restored on exit
+
+    def test_ring_caps_at_capacity(self, tmp_path):
+        with blackbox_session(tmp_path / "spool", experiment="x", seed=1,
+                              capacity=16) as session:
+            vehicle = Vehicle(SimConfig(seed=1))
+            vehicle.arm()
+            for _ in range(50):
+                vehicle.step()
+        recorder = session.recorders[0]
+        assert recorder.steps_seen == 50
+        assert len(recorder.frames) == 16
+        assert recorder.frames[-1]["step"] == 50
+
+    def test_frames_capture_flight_state(self, tmp_path):
+        with blackbox_session(tmp_path / "spool", experiment="x",
+                              seed=2) as session:
+            vehicle = Vehicle(SimConfig(seed=2))
+            vehicle.arm()
+            for _ in range(5):
+                vehicle.step()
+        frame = session.recorders[0].frames[-1]
+        assert len(frame["pos"]) == 3 and len(frame["quat"]) == 4
+        assert len(frame["motors"]) == 4 and len(frame["targets"]) == 4
+        assert frame["armed"] is True and frame["crashed"] is False
+        assert frame["mode"] == "STABILIZE"
+        assert frame["battery_v"] > 0
+
+    def test_fleet_lanes_attach_one_recorder_each(self, tmp_path):
+        with blackbox_session(tmp_path / "spool", experiment="x", seed=3,
+                              label="chunk3") as session:
+            fleet = VectorizedFleet(SimConfig(seed=3), seeds=[3, 4, 5])
+            fleet.arm()
+            for _ in range(5):
+                fleet.step()
+        assert len(session.recorders) == 3
+        seeds = [rec.describe()["seed"] for rec in session.recorders]
+        assert seeds == [3, 4, 5]
+        assert all(rec.steps_seen == 5 for rec in session.recorders)
+
+    def test_exception_exit_spools_with_reason(self, tmp_path):
+        spool_dir = tmp_path / "spool"
+        with pytest.raises(RuntimeError):
+            with blackbox_session(spool_dir, experiment="x", seed=9):
+                vehicle = Vehicle(SimConfig(seed=9))
+                vehicle.arm()
+                vehicle.step()
+                raise RuntimeError("boom")
+        spool = spool_dir / "seed9.attempt1.json"
+        document = json.loads(spool.read_text())
+        assert document["reason"] == "exception:RuntimeError"
+        assert document["vehicles"][0]["frames"]
+
+    def test_periodic_spool_is_step_deterministic(self, tmp_path):
+        spool_dir = tmp_path / "spool"
+        with blackbox_session(spool_dir, experiment="x", seed=5,
+                              spool_every=10):
+            vehicle = Vehicle(SimConfig(seed=5))
+            vehicle.arm()
+            for step in range(10):
+                vehicle.step()
+                if step < 9:
+                    assert not (spool_dir / "seed5.attempt1.json").exists()
+            assert (spool_dir / "seed5.attempt1.json").exists()
+
+
+class TestPromotion:
+    def _spool(self, tmp_path, seed, attempt, label=None):
+        session = BlackboxSession(tmp_path / "spool", experiment="x",
+                                  seed=seed, attempt=attempt, label=label)
+        session.attach(Vehicle(SimConfig(seed=seed)))
+        return session.spool()
+
+    def test_terminal_failure_promotes_with_reason(self, tmp_path):
+        self._spool(tmp_path, 7, 1)
+        promoted = promote_spools(tmp_path, "seed7", "timeout",
+                                  final_attempt=1)
+        assert len(promoted) == 1
+        assert promoted[0].name.startswith("bb_")
+        assert load_blackbox(promoted[0])["reason"] == "timeout"
+        assert not list((tmp_path / "spool").glob("*.json"))
+
+    def test_clean_final_attempt_deleted_earlier_kept_as_crash(
+        self, tmp_path
+    ):
+        self._spool(tmp_path, 7, 1)  # the crashed first attempt
+        self._spool(tmp_path, 7, 2)  # the clean retry
+        promoted = promote_spools(tmp_path, "seed7", None, final_attempt=2)
+        assert len(promoted) == 1
+        assert load_blackbox(promoted[0])["attempt"] == 1
+        assert load_blackbox(promoted[0])["reason"] == "crash"
+        assert not list((tmp_path / "spool").glob("*.json"))
+
+    def test_unparseable_spool_discarded(self, tmp_path):
+        spool_dir = tmp_path / "spool"
+        spool_dir.mkdir(parents=True)
+        (spool_dir / "seed8.attempt1.json").write_text("{torn")
+        assert promote_spools(tmp_path, "seed8", "crash",
+                              final_attempt=1) == []
+        assert not list(spool_dir.glob("*.json"))
+
+    def test_stub_artifact_is_schema_valid(self, tmp_path):
+        path = write_stub_artifact(tmp_path, "exp", 3, 2, "timeout")
+        assert validate_file(path, BLACKBOX_SCHEMA) == []
+        document = load_blackbox(path)
+        assert document["vehicles"] == []
+        assert document["reason"] == "timeout"
+        assert "died before any vehicle stepped" in summarize_blackbox(path)
+
+
+# --------------------------------------------------------------------- #
+# Campaign integration: every casualty leaves a blackbox
+# --------------------------------------------------------------------- #
+class TestCampaignBlackbox:
+    SEEDS = list(range(10, 14))  # includes _FAIL_SEED
+
+    def test_failed_flight_seed_leaves_schema_valid_artifact(
+        self, tmp_path
+    ):
+        bb = tmp_path / "bb"
+        result = run_campaign(_flight_experiment, self.SEEDS,
+                              blackbox_dir=bb,
+                              events=tmp_path / "events.jsonl")
+        assert _FAIL_SEED in result.failures
+        artifacts = sorted(bb.glob("bb_*.json"))
+        assert len(artifacts) == 1
+        assert validate_file(artifacts[0], BLACKBOX_SCHEMA) == []
+        document = load_blackbox(artifacts[0])
+        assert document["seed"] == _FAIL_SEED
+        assert document["reason"] == "failed"
+        assert document["vehicles"][0]["frames"]  # real flight data
+        # Clean seeds leave neither artifacts nor spools behind.
+        assert not list((bb / "spool").glob("*.json"))
+        dumped = [r for r in _event_records(tmp_path / "events.jsonl")
+                  if r["kind"] == "blackbox_dumped"]
+        assert [r["seed"] for r in dumped] == [_FAIL_SEED]
+        assert dumped[0]["data"]["path"] == str(artifacts[0])
+
+    def test_worker_crash_after_flight_leaves_flight_data(self, tmp_path):
+        """A mid_seed hard crash kills the worker *after* the session
+        wrote its final spool: the retried seed succeeds, and the crashed
+        attempt's flight data survives as a reason="crash" artifact."""
+        crash_seed = self.SEEDS[1]
+        inj = FaultInjector(
+            {"mid_seed": [FaultSpec("crash", frozenset({crash_seed}))]},
+            tmp_path / "fault-state",
+        )
+        bb = tmp_path / "bb"
+        result = run_campaign(
+            _flight_experiment, [s for s in self.SEEDS if s != _FAIL_SEED],
+            workers=2, policy=FaultPolicy(max_retries=2, **FAST),
+            injector=inj, blackbox_dir=bb,
+        )
+        assert result.statuses[crash_seed] == "retried"
+        artifacts = sorted(bb.glob("bb_*.json"))
+        assert len(artifacts) == 1
+        document = load_blackbox(artifacts[0])
+        assert validate_file(artifacts[0], BLACKBOX_SCHEMA) == []
+        assert document["seed"] == crash_seed
+        assert document["reason"] == "crash"
+        assert document["attempt"] == 1
+        assert document["vehicles"][0]["frames"]
+
+    def test_timeout_without_flight_data_leaves_stub(self, tmp_path):
+        """A seed hung at worker_start never builds a vehicle; when its
+        retries exhaust, the terminal timeout still yields an artifact —
+        the stub documents that the casualty predates any flight."""
+        hang_seed = self.SEEDS[0]
+        inj = FaultInjector(
+            {"worker_start": [FaultSpec("hang", frozenset({hang_seed}),
+                                        hang_s=30.0, times=5)]},
+            tmp_path / "fault-state",
+        )
+        bb = tmp_path / "bb"
+        result = run_campaign(
+            _cheap_experiment, self.SEEDS, workers=2,
+            policy=FaultPolicy(seed_timeout=0.5, max_retries=1, **FAST),
+            injector=inj, blackbox_dir=bb,
+        )
+        assert result.statuses[hang_seed] == "timeout"
+        artifacts = sorted(bb.glob("bb_*.json"))
+        assert len(artifacts) == 1
+        document = load_blackbox(artifacts[0])
+        assert document["seed"] == hang_seed
+        assert document["reason"] == "timeout"
+        assert document["vehicles"] == []
+        assert validate_file(artifacts[0], BLACKBOX_SCHEMA) == []
+
+
+# --------------------------------------------------------------------- #
+# CLI: obs tail / obs blackbox and the runner flags
+# --------------------------------------------------------------------- #
+class TestCli:
+    def test_obs_tail(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        log = tmp_path / "events.jsonl"
+        run_campaign(_cheap_experiment, [1, 2], events=log)
+        assert main(["obs", "tail", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign_started" in out and "campaign_finished" in out
+
+    def test_obs_tail_kind_filter_and_missing(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        log = tmp_path / "events.jsonl"
+        run_campaign(_cheap_experiment, [1, 2], events=log)
+        assert main(["obs", "tail", str(log),
+                     "--kinds", "seed_finished"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("seed_finished") == 2
+        assert "campaign_started" not in out
+        assert main(["obs", "tail", str(tmp_path / "absent.jsonl")]) == 2
+
+    def test_obs_blackbox_summary_and_export(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        bb = tmp_path / "bb"
+        run_campaign(_flight_experiment, [11, _FAIL_SEED],
+                     blackbox_dir=bb)
+        artifact = next(iter(bb.glob("bb_*.json")))
+        out_file = tmp_path / "export.json"
+        assert main(["obs", "blackbox", str(artifact),
+                     "--last", "5", "--export", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "reason failed" in out
+        assert "5 of" in out  # --last trimmed the rendered window
+        exported = json.loads(out_file.read_text())
+        assert len(exported["vehicles"][0]["frames"]) == 5
+
+    def test_obs_blackbox_rejects_garbage(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["obs", "blackbox", str(bad)]) == 2
+        assert "not a blackbox artifact" in capsys.readouterr().err
+
+    def test_runner_rejects_streaming_flags_for_non_campaigns(self):
+        from repro.experiments.runner import run_experiment
+
+        with pytest.raises(AnalysisError, match="--progress"):
+            run_experiment("fig3", progress=True)
+        with pytest.raises(AnalysisError, match="--events"):
+            run_experiment("fig3", events="x.jsonl")
+
+    def test_parser_accepts_streaming_flags(self):
+        from repro.__main__ import build_parser
+
+        args = build_parser().parse_args(
+            ["fig", "9", "--progress", "--events", "ev.jsonl",
+             "--blackbox-dir", "bb"]
+        )
+        assert args.progress is True
+        assert args.events == "ev.jsonl"
+        assert args.blackbox_dir == "bb"

@@ -448,3 +448,131 @@ class TestTelemetryDeterminism:
             == len(self.SEEDS)
         assert counters["cache.hits{experiment=obs-det}"] == len(self.SEEDS)
         assert counters["cache.misses{experiment=obs-det}"] == len(self.SEEDS)
+
+
+# --------------------------------------------------------------------- #
+# Prometheus text exposition
+# --------------------------------------------------------------------- #
+class TestPrometheusExposition:
+    def test_empty_registry_exposes_nothing(self):
+        assert MetricsRegistry().expose_text() == ""
+
+    def test_counter_family(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.hits").inc(3)
+        registry.counter("cache.hits", experiment="fig9").inc()
+        text = registry.expose_text()
+        assert "# TYPE repro_cache_hits_total counter" in text
+        assert "repro_cache_hits_total 3" in text
+        assert 'repro_cache_hits_total{experiment="fig9"} 1' in text
+        assert text.endswith("\n")
+
+    def test_gauge_family(self):
+        registry = MetricsRegistry()
+        registry.gauge("vehicle.step_rate_hz").set(400.0)
+        text = registry.expose_text()
+        assert "# TYPE repro_vehicle_step_rate_hz gauge" in text
+        assert "repro_vehicle_step_rate_hz 400" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("step.seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.05, 0.5, 5.0):
+            hist.observe(value)
+        text = registry.expose_text()
+        assert "# TYPE repro_step_seconds histogram" in text
+        assert 'repro_step_seconds_bucket{le="0.1"} 2' in text
+        assert 'repro_step_seconds_bucket{le="1"} 3' in text
+        assert 'repro_step_seconds_bucket{le="10"} 4' in text
+        assert 'repro_step_seconds_bucket{le="+Inf"} 4' in text
+        assert "repro_step_seconds_sum 5.6" in text
+        assert "repro_step_seconds_count 4" in text
+
+    def test_label_values_escaped_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("odd.name-x", zeta="1", alpha='say "hi"\\').inc()
+        text = registry.expose_text()
+        # Name sanitized, labels sorted alphabetically, value escaped.
+        assert ('repro_odd_name_x_total{alpha="say \\"hi\\"\\\\",'
+                'zeta="1"} 1') in text
+
+    def test_family_order_is_byte_stable(self):
+        def build(order):
+            registry = MetricsRegistry()
+            for name in order:
+                registry.counter(name).inc()
+            return registry.expose_text()
+
+        assert build(["b.two", "a.one"]) == build(["a.one", "b.two"])
+
+
+# --------------------------------------------------------------------- #
+# Summary fixes: empty traces, stable ordering, tail percentiles
+# --------------------------------------------------------------------- #
+class TestSummaryEdgeCases:
+    def test_empty_jsonl_is_a_zero_span_trace(self, tmp_path):
+        empty = tmp_path / "trace.jsonl"
+        empty.write_text("")
+        assert classify_artifact(empty) == "trace"
+        assert "no spans recorded" in render_summary([empty])
+
+    def test_empty_json_is_unclassifiable(self, tmp_path):
+        empty = tmp_path / "trace.json"
+        empty.write_text("")
+        assert classify_artifact(empty) == "unknown"
+        with pytest.raises(AnalysisError):
+            render_summary([empty])
+
+    def test_equal_cost_spans_render_in_name_order(self, tmp_path):
+        trace = tmp_path / "spans.jsonl"
+        spans = [
+            {"name": name, "start_unix": 100.0, "duration_s": 1.0,
+             "pid": 1, "tid": 1, "attrs": {}}
+            for name in ("zeta", "alpha", "mid")
+        ]
+        trace.write_text("\n".join(json.dumps(s) for s in spans) + "\n")
+        text = render_summary([trace])
+        assert text.index("alpha") < text.index("mid") < text.index("zeta")
+
+    def test_metrics_table_has_tail_percentiles(self, tmp_path):
+        registry = MetricsRegistry()
+        hist = registry.histogram("seed.seconds")
+        for value in (0.01, 0.02, 5.0):
+            hist.observe(value)
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(registry.snapshot()))
+        text = render_summary([path])
+        assert "p95" in text and "p99" in text
+
+    def test_zero_wall_trace_reports_zero_share(self, tmp_path):
+        trace = tmp_path / "spans.jsonl"
+        trace.write_text(json.dumps({
+            "name": "instant", "start_unix": 10.0, "duration_s": 0.0,
+            "pid": 1, "tid": 1, "attrs": {},
+        }) + "\n")
+        text = render_summary([trace])
+        assert "instant" in text and "0.0%" in text
+
+
+class TestLogContextHardening:
+    def test_context_restored_when_block_raises(self):
+        from repro.obs.log import current_context
+
+        with pytest.raises(RuntimeError):
+            with log_context(seed=9):
+                raise RuntimeError("boom")
+        assert current_context() == {}
+
+    def test_cross_context_exit_restores_by_value(self):
+        """__enter__ in one contextvars Context, __exit__ in another:
+        reset() raises ValueError and the fallback must restore the
+        previous mapping instead of leaking the bound fields."""
+        import contextvars
+
+        from repro.obs.log import current_context
+
+        manager = log_context(run_id="r1")
+        contextvars.copy_context().run(manager.__enter__)
+        assert current_context() == {}  # the set() happened elsewhere
+        manager.__exit__(None, None, None)  # must not raise
+        assert current_context() == {}
