@@ -6,10 +6,14 @@ fly
     Fly a benign mission and print a flight summary.
 assess
     Run the full ARES campaign (profile → identify → exploit → report).
-table1 / table2 / table robustness
-    Regenerate the paper's tables, or sweep the fault-injection
+table1 / table2 / table robustness / table scenarios
+    Regenerate the paper's tables, sweep the fault-injection
     robustness matrix (``--fault-schedule``/``--kinds``/``--intensities``
-    and the other robustness flags scale the sweep).
+    and the other robustness flags scale the sweep), or run the
+    scenario × attack × defense cube over named/sampled scenarios
+    (``--scenarios FILE`` or ``--sample N`` with ``--sample-seed``/
+    ``--space``; ``--coverage-out PATH`` writes the coverage report
+    validated by ``schemas/scenario_coverage.schema.json``).
 fig N
     Regenerate one of the paper's figures (3, 5, 6, 7, 8, 9, 10 or 11).
 obs
@@ -201,30 +205,87 @@ def _batch_size_arg(text: str) -> int | str:
 
 
 def _robustness_kwargs(args: argparse.Namespace) -> dict | int:
-    """Extra run_robustness kwargs from the robustness-only CLI flags.
+    """Extra sweep kwargs from the robustness/scenario CLI flags.
 
-    Returns an exit code instead when a robustness flag is used with a
-    plain paper table.
+    Returns an exit code instead when a sweep-only flag is used with the
+    wrong ``table`` target. ``--trials``/``--detector-duration`` are
+    shared by the robustness matrix and the scenario cube; the other
+    robustness flags are robustness-only, and the scenario source/
+    coverage flags are scenarios-only.
     """
-    flags = {
+    robustness_only = {
         "--fault-schedule": args.fault_schedule,
-        "--trials": args.trials,
         "--kinds": args.kinds,
         "--intensities": args.intensities,
         "--physics-hz": args.physics_hz,
         "--profile-length": args.profile_length,
+    }
+    shared = {
+        "--trials": args.trials,
         "--detector-duration": args.detector_duration,
     }
-    if args.which != "robustness":
-        used = [flag for flag, value in flags.items() if value is not None]
+    scenarios_only = {
+        "--scenarios": args.scenarios,
+        "--sample": args.sample,
+        "--sample-seed": args.sample_seed,
+        "--space": args.space,
+        "--coverage-out": args.coverage_out,
+        "--profile-timeout": args.profile_timeout,
+    }
+    if args.which not in ("robustness", "scenarios"):
+        used = [
+            flag for flag, value in {**robustness_only, **shared}.items()
+            if value is not None
+        ]
+        if used:
+            print(
+                f"{', '.join(used)}: only valid with 'table robustness' "
+                "or 'table scenarios'",
+                file=sys.stderr,
+            )
+            return 2
+    if args.which != "scenarios":
+        used = [
+            flag for flag, value in scenarios_only.items()
+            if value is not None
+        ]
+        if used:
+            print(
+                f"{', '.join(used)}: only valid with 'table scenarios'",
+                file=sys.stderr,
+            )
+            return 2
+    if args.which == "scenarios":
+        used = [
+            flag for flag, value in robustness_only.items()
+            if value is not None
+        ]
         if used:
             print(
                 f"{', '.join(used)}: only valid with 'table robustness'",
                 file=sys.stderr,
             )
             return 2
+        kwargs = {}
+        if args.scenarios is not None:
+            with open(args.scenarios, encoding="utf-8") as fh:
+                kwargs["scenarios_json"] = fh.read()
+        if args.sample is not None:
+            kwargs["sample"] = args.sample
+        if args.sample_seed is not None:
+            kwargs["sample_seed"] = args.sample_seed
+        if args.space is not None:
+            kwargs["space"] = args.space
+        if args.profile_timeout is not None:
+            kwargs["profile_timeout"] = args.profile_timeout
+        if args.trials is not None:
+            kwargs["trials"] = args.trials
+        if args.detector_duration is not None:
+            kwargs["detector_duration"] = args.detector_duration
+        return kwargs
+    if args.which != "robustness":
         return {}
-    kwargs: dict = {}
+    kwargs = {}
     if args.fault_schedule is not None:
         with open(args.fault_schedule, encoding="utf-8") as fh:
             kwargs["schedule_json"] = fh.read()
@@ -245,15 +306,16 @@ def _robustness_kwargs(args: argparse.Namespace) -> dict | int:
     return kwargs
 
 
+_TABLE_NAMES = {"robustness": "robustness", "scenarios": "scenarios"}
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_experiment
 
     kwargs = _robustness_kwargs(args)
     if isinstance(kwargs, int):
         return kwargs
-    name = (
-        "robustness" if args.which == "robustness" else f"table{args.which}"
-    )
+    name = _TABLE_NAMES.get(args.which, f"table{args.which}")
     finish = _setup_telemetry(args)
     try:
         result = run_experiment(
@@ -272,6 +334,12 @@ def _cmd_table(args: argparse.Namespace) -> int:
         )
     finally:
         finish()
+    if args.which == "scenarios" and args.coverage_out is not None:
+        import json as _json
+
+        with open(args.coverage_out, "w", encoding="utf-8") as fh:
+            _json.dump(result.coverage_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
     print(result.render())
     return 0
 
@@ -474,7 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
     table = sub.add_parser(
         "table", help="regenerate a paper table or the robustness matrix"
     )
-    table.add_argument("which", choices=("1", "2", "robustness"))
+    table.add_argument("which", choices=("1", "2", "robustness", "scenarios"))
     robust = table.add_argument_group(
         "robustness options", "only valid with 'table robustness'"
     )
@@ -484,7 +552,8 @@ def build_parser() -> argparse.ArgumentParser:
              "of single-kind faults",
     )
     robust.add_argument("--trials", type=int, default=None, metavar="N",
-                        help="seeds per matrix cell (default 3)")
+                        help="seeds per matrix cell (default 3; also valid "
+                        "with 'table scenarios', default 1)")
     robust.add_argument(
         "--kinds", default=None, metavar="K1,K2,...",
         help="comma-separated fault kinds (default: one per family)",
@@ -498,7 +567,39 @@ def build_parser() -> argparse.ArgumentParser:
     robust.add_argument("--profile-length", type=float, default=None,
                         metavar="M", help="profiling mission leg length (m)")
     robust.add_argument("--detector-duration", type=float, default=None,
-                        metavar="S", help="monitored flight duration (s)")
+                        metavar="S", help="monitored flight duration (s); "
+                        "also valid with 'table scenarios'")
+    scen = table.add_argument_group(
+        "scenario options", "only valid with 'table scenarios'"
+    )
+    scen.add_argument(
+        "--scenarios", default=None, metavar="PATH",
+        help="scenario document (schemas/scenario.schema.json) naming the "
+             "cube's cells",
+    )
+    scen.add_argument(
+        "--sample", type=int, default=None, metavar="N",
+        help="draw N scenarios from the sample space instead of naming them",
+    )
+    scen.add_argument(
+        "--sample-seed", type=int, default=None, metavar="S",
+        help="ScenarioSampler seed (default 0)",
+    )
+    scen.add_argument(
+        "--space", default=None, metavar="NAME",
+        help="named sample space for --sample (default/tiny; default "
+             "'default')",
+    )
+    scen.add_argument(
+        "--profile-timeout", type=float, default=None, metavar="S",
+        help="sim-time budget of each Algorithm 1 profiling flight "
+             "(default 150)",
+    )
+    scen.add_argument(
+        "--coverage-out", default=None, metavar="PATH",
+        help="write the coverage report JSON "
+             "(schemas/scenario_coverage.schema.json)",
+    )
     _add_runner_options(table)
     _add_obs_options(table)
     table.set_defaults(func=_cmd_table)

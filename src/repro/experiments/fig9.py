@@ -12,18 +12,16 @@ distribution at every setting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import partial
 
 import numpy as np
 
-from repro.attacks.gradual import GradualRollAttack
 from repro.experiments.campaign import run_campaign
 from repro.defenses.control_invariants import ControlInvariantsDetector
-from repro.firmware.mission import line_mission
 from repro.firmware.modes import FlightMode
-from repro.firmware.vehicle import Vehicle
-from repro.sim.config import SimConfig
+from repro.scenario.library import get_scenario
+from repro.scenario.spec import AttackSpec, Scenario
 
 __all__ = ["Fig9Result", "run_fig9"]
 
@@ -75,14 +73,36 @@ class Fig9Result:
         )
 
 
-def _steady_max(attack, seed: int, duration: float, steady_after: float) -> float:
-    vehicle = Vehicle(SimConfig(seed=seed, wind_gust_std=0.4))
+def _fig9_scenario(rate_deg_s: float | None) -> Scenario:
+    """The named scenario of one fig9 condition.
+
+    ``fig9-cruise`` is the benign cell; an attack rate swaps in the roll
+    creep (``fig9-attack1``/``fig9-attack2`` are the library's pinned
+    rates, but the experiment sweeps the rate as a parameter). fig9
+    builds its own threshold-∞ detector instead of the scenario's stock
+    defense: the alarm threshold is the swept variable of Fig. 9b, not
+    scenario data.
+    """
+    base = get_scenario("fig9-cruise")
+    if rate_deg_s is None:
+        return base
+    return replace(base, attack=AttackSpec(
+        kind="gradual_roll", rate_deg_s=rate_deg_s, start_time=5.0,
+    ))
+
+
+def _steady_max(
+    rate_deg_s: float | None, seed: int, duration: float, steady_after: float
+) -> float:
+    scenario = _fig9_scenario(rate_deg_s)
+    vehicle = scenario.build_vehicle(seed)
     detector = ControlInvariantsDetector(
         vehicle.config.airframe, threshold=float("inf")
     )
     detector.attach(vehicle)
-    vehicle.mission = line_mission(length=500.0, altitude=10.0, legs=1)
-    vehicle.takeoff(10.0)
+    vehicle.mission = scenario.make_mission()
+    vehicle.takeoff(scenario.mission.altitude)
+    attack = scenario.attack.build()
     if attack is not None:
         attack.attach(vehicle)
     vehicle.set_mode(FlightMode.AUTO)
@@ -105,14 +125,8 @@ def _fig9_trial(
     """One campaign trial: all three conditions on one seed."""
     return {
         "benign": _steady_max(None, seed, duration, steady_after),
-        "attack1": _steady_max(
-            GradualRollAttack(rate_deg_s=attack1_rate, start_time=5.0),
-            seed, duration, steady_after,
-        ),
-        "attack2": _steady_max(
-            GradualRollAttack(rate_deg_s=attack2_rate, start_time=5.0),
-            seed, duration, steady_after,
-        ),
+        "attack1": _steady_max(attack1_rate, seed, duration, steady_after),
+        "attack2": _steady_max(attack2_rate, seed, duration, steady_after),
     }
 
 
@@ -128,9 +142,8 @@ def _steady_max_fleet(
     before the mission/takeoff, attack after — so lane i is bit-identical
     to a scalar run with seed i (pinned by the oracle tests).
     """
-    from repro.sim.vectorized import VectorizedFleet
-
-    fleet = VectorizedFleet(SimConfig(wind_gust_std=0.4), seeds=seeds)
+    scenario = _fig9_scenario(rate_deg_s)
+    fleet = scenario.build_fleet(list(seeds))
     detectors = []
     for lane in fleet.lanes:
         detector = ControlInvariantsDetector(
@@ -138,11 +151,11 @@ def _steady_max_fleet(
         )
         detector.attach(lane)
         detectors.append(detector)
-    fleet.set_mission(lambda: line_mission(length=500.0, altitude=10.0, legs=1))
-    fleet.takeoff(10.0)
+    fleet.set_mission(scenario.make_mission)
+    fleet.takeoff(scenario.mission.altitude)
     if rate_deg_s is not None:
         for lane in fleet.lanes:
-            GradualRollAttack(rate_deg_s=rate_deg_s, start_time=5.0).attach(lane)
+            scenario.attack.build().attach(lane)
     fleet.set_mode(FlightMode.AUTO)
     fleet.run(duration)
     maxima = []

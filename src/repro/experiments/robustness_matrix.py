@@ -22,22 +22,19 @@ does this with ``examples/fault_schedule.json``).
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import partial
 
 import numpy as np
 
 from repro.analysis.tsvl import TsvlResult, generate_tsvl
-from repro.attacks.gradual import GradualRollAttack
-from repro.defenses.control_invariants import ControlInvariantsDetector
 from repro.experiments.campaign import run_campaign
 from repro.faults import FaultSchedule, FaultSpec
 from repro.faults.schedule import FaultConfigError
-from repro.firmware.mission import line_mission
 from repro.firmware.modes import FlightMode
-from repro.firmware.vehicle import Vehicle
 from repro.profiling.collector import ProfileCollector
-from repro.sim.config import SimConfig
+from repro.scenario.library import get_scenario
+from repro.scenario.spec import AttackSpec, Scenario
 
 __all__ = ["RobustnessCell", "RobustnessResult", "run_robustness"]
 
@@ -97,6 +94,38 @@ def _cell_schedule(
     return FaultSchedule.single(kind, intensity=intensity, start=4.0)
 
 
+def _profile_scenario(
+    schedule: FaultSchedule | None, profile_length: float, physics_hz: float
+) -> Scenario:
+    """The ``robustness-profile`` scenario at this cell's parameters."""
+    base = get_scenario("robustness-profile")
+    return replace(
+        base,
+        mission=replace(base.mission, length=profile_length),
+        physics=replace(base.physics, physics_hz=physics_hz),
+        faults=FaultSchedule() if schedule is None else schedule,
+    )
+
+
+def _monitor_scenario(
+    schedule: FaultSchedule | None, attack_rate: float | None,
+    physics_hz: float,
+) -> Scenario:
+    """The ``robustness-monitor`` scenario at this cell's parameters."""
+    base = get_scenario("robustness-monitor")
+    return replace(
+        base,
+        physics=replace(base.physics, physics_hz=physics_hz),
+        faults=FaultSchedule() if schedule is None else schedule,
+        attack=(
+            AttackSpec(kind="none") if attack_rate is None
+            else AttackSpec(
+                kind="gradual_roll", rate_deg_s=attack_rate, start_time=5.0,
+            )
+        ),
+    )
+
+
 def _profile_tsvl(
     seed: int,
     schedule: FaultSchedule | None,
@@ -104,19 +133,14 @@ def _profile_tsvl(
     physics_hz: float,
 ) -> TsvlResult:
     """Fly one profiling mission (possibly faulted) and run Algorithm 1."""
-    def factory(mission_seed: int) -> Vehicle:
-        return Vehicle(
-            SimConfig(
-                seed=seed * 1000 + mission_seed,
-                wind_gust_std=0.4,
-                physics_hz=physics_hz,
-            ),
-            fault_schedule=schedule,
-        )
+    scenario = _profile_scenario(schedule, profile_length, physics_hz)
+
+    def factory(mission_seed: int):
+        return scenario.build_vehicle(seed * 1000 + mission_seed)
 
     collector = ProfileCollector("PID", vehicle_factory=factory)
     dataset = collector.collect(
-        missions=[line_mission(length=profile_length, altitude=8.0, legs=2)],
+        missions=[scenario.make_mission()],
         timeout_per_mission=150.0,
         require_complete=False,
     )
@@ -131,21 +155,21 @@ def _detector_flight(
     physics_hz: float,
 ) -> tuple[float, float]:
     """One monitored flight; returns (alarm flag, degraded-cycle count)."""
-    vehicle = Vehicle(
-        SimConfig(seed=seed, wind_gust_std=0.4, physics_hz=physics_hz),
-        fault_schedule=schedule,
-    )
-    detector = ControlInvariantsDetector(vehicle.config.airframe)
-    detector.attach(vehicle)
-    vehicle.mission = line_mission(length=500.0, altitude=10.0, legs=1)
-    vehicle.takeoff(10.0)
-    if attack_rate is not None:
-        GradualRollAttack(rate_deg_s=attack_rate, start_time=5.0).attach(vehicle)
+    scenario = _monitor_scenario(schedule, attack_rate, physics_hz)
+    vehicle = scenario.build_vehicle(seed)
+    detectors = scenario.build_defenses(vehicle.config.airframe)
+    for detector in detectors:
+        detector.attach(vehicle)
+    vehicle.mission = scenario.make_mission()
+    vehicle.takeoff(scenario.mission.altitude)
+    attack = scenario.attack.build()
+    if attack is not None:
+        attack.attach(vehicle)
     vehicle.set_mode(FlightMode.AUTO)
     vehicle.run(duration)
     return (
-        1.0 if detector.alarmed else 0.0,
-        float(detector.degraded_samples),
+        1.0 if any(d.alarmed for d in detectors) else 0.0,
+        float(sum(d.degraded_samples for d in detectors)),
     )
 
 

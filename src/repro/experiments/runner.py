@@ -42,6 +42,7 @@ def _registry() -> dict[str, Callable]:
     from repro.experiments.fig10 import run_fig10
     from repro.experiments.fig11 import run_fig11
     from repro.experiments.robustness_matrix import run_robustness
+    from repro.experiments.scenarios import run_scenarios
     from repro.experiments.table1 import run_table1
     from repro.experiments.table2 import run_table2
 
@@ -49,6 +50,7 @@ def _registry() -> dict[str, Callable]:
         "table1": run_table1,
         "table2": run_table2,
         "robustness": run_robustness,
+        "scenarios": run_scenarios,
         "fig3": run_fig3,
         "fig5": run_fig5,
         "fig6": run_fig6,

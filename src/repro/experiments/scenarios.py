@@ -1,0 +1,505 @@
+"""``table scenarios``: the scenario × attack × defense cube campaign.
+
+Extends the robustness matrix from fault × intensity to whole
+:class:`~repro.scenario.Scenario` cells: each cell flies the scenario's
+profiling mission through Algorithm 1 (TSVL stability vs the fault-free
+twin) and, when the scenario carries defenses, one benign plus one
+attacked monitored flight (fault-conditional FPR/TPR and degraded-cycle
+counts). Cells come from the named library, a checked-in scenario
+document, or the seed-deterministic :class:`ScenarioSampler`.
+
+Campaign seeds enumerate ``scenario index × trial``; one seed computes
+exactly one cell-trial, so the full engine stack applies — worker
+fan-out, content-addressed caching, manifest/resume, and
+``engine="vectorized"`` batches whose fleet-eligible scenarios run as
+:class:`~repro.sim.vectorized.VectorizedFleet` lanes while
+fault/terrain/battery cells decline into per-seed scalar fallback
+(visible in ``CampaignResult.statuses`` and the
+``campaign.seeds_vectorized``/``_fallback`` counters).
+
+The :meth:`ScenariosResult.coverage_dict` report — validated against
+``schemas/scenario_coverage.schema.json`` — records which cells ran,
+which fell back (and why), which crashed, and the per-cell scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import partial
+
+import numpy as np
+
+from repro.experiments.campaign import run_campaign
+from repro.faults import FaultSchedule
+from repro.firmware.modes import FlightMode
+from repro.scenario.library import get_scenario
+from repro.scenario.sampler import ScenarioSampler, get_space
+from repro.scenario.spec import Scenario, ScenarioError, parse_scenarios
+
+__all__ = ["ScenarioCell", "ScenariosResult", "run_scenarios"]
+
+#: Responses for the Algorithm 1 run — same axes as the robustness matrix.
+_RESPONSES = ("ATT.R", "ATT.P", "ATT.Y")
+
+
+def _jaccard(a: list[str], b: list[str]) -> float:
+    """Jaccard index of two variable lists; two empty sets agree fully."""
+    sa, sb = set(a), set(b)
+    union = sa | sb
+    if not union:
+        return 1.0
+    return len(sa & sb) / len(union)
+
+
+def _profile_tsvl(scenario: Scenario, seed: int, profile_timeout: float):
+    """Fly the scenario's mission and run Algorithm 1 over the profile."""
+    from repro.analysis.tsvl import generate_tsvl
+    from repro.profiling.collector import ProfileCollector
+
+    def factory(mission_seed: int):
+        return scenario.build_vehicle(seed * 1000 + mission_seed)
+
+    collector = ProfileCollector("PID", vehicle_factory=factory)
+    dataset = collector.collect(
+        missions=[scenario.make_mission()],
+        timeout_per_mission=profile_timeout,
+        require_complete=False,
+    )
+    return generate_tsvl(dataset.table, list(_RESPONSES))
+
+
+def _detector_flight(
+    scenario: Scenario, seed: int, attacked: bool, duration: float
+) -> tuple[float, float]:
+    """One monitored flight; returns (alarm flag, degraded-cycle count)."""
+    vehicle = scenario.build_vehicle(seed)
+    detectors = scenario.build_defenses(vehicle.config.airframe)
+    for detector in detectors:
+        detector.attach(vehicle)
+    vehicle.mission = scenario.make_mission()
+    vehicle.takeoff(scenario.mission.altitude)
+    if attacked:
+        scenario.attack.build().attach(vehicle)
+    vehicle.set_mode(FlightMode.AUTO)
+    vehicle.run(duration)
+    return (
+        1.0 if any(d.alarmed for d in detectors) else 0.0,
+        float(sum(d.degraded_samples for d in detectors)),
+    )
+
+
+def _cell_metrics(
+    scenario: Scenario,
+    idx: int,
+    seed: int,
+    detector_duration: float,
+    profile_timeout: float,
+) -> dict[str, float]:
+    """All metrics of one cell-trial (no exception handling)."""
+    pristine = (
+        scenario if scenario.faults.empty
+        else replace(scenario, faults=FaultSchedule())
+    )
+    baseline = _profile_tsvl(pristine, seed, profile_timeout)
+    metrics = {f"s{idx}.tsvl_size": float(len(baseline.tsvl))}
+    if not scenario.faults.empty:
+        faulted = _profile_tsvl(scenario, seed, profile_timeout)
+        metrics[f"s{idx}.jaccard"] = _jaccard(baseline.tsvl, faulted.tsvl)
+    if scenario.defenses:
+        fpr, degraded_b = _detector_flight(
+            scenario, seed, False, detector_duration
+        )
+        metrics[f"s{idx}.fpr"] = fpr
+        degraded = degraded_b
+        if not scenario.attack.is_none:
+            tpr, degraded_a = _detector_flight(
+                scenario, seed, True, detector_duration
+            )
+            metrics[f"s{idx}.tpr"] = tpr
+            degraded += degraded_a
+        metrics[f"s{idx}.degraded"] = degraded
+    metrics[f"s{idx}.crashed"] = 0.0
+    return metrics
+
+
+def _scenario_trial(
+    seed: int,
+    scenario_dicts: tuple[dict, ...],
+    base_seed: int,
+    trials: int,
+    detector_duration: float,
+    profile_timeout: float,
+) -> dict[str, float]:
+    """One campaign trial: the cell ``(seed - base_seed) // trials``."""
+    idx = (seed - base_seed) // trials
+    scenario = Scenario.from_dict(scenario_dicts[idx])
+    try:
+        return _cell_metrics(
+            scenario, idx, seed, detector_duration, profile_timeout
+        )
+    except Exception:  # noqa: BLE001 — a crashed cell is a result
+        return {f"s{idx}.crashed": 1.0}
+
+
+def _detector_fleet(
+    scenario: Scenario,
+    seeds: list[int],
+    attacked: bool,
+    duration: float,
+) -> list[tuple[float, float]]:
+    """:func:`_detector_flight` for a whole seed batch, one fleet run.
+
+    Same construction order as the scalar flight — detectors attached
+    before the mission/takeoff, attack after — so lane i is bit-identical
+    to a scalar run with seed i.
+    """
+    fleet = scenario.build_fleet(seeds)
+    ensembles = []
+    for lane in fleet.lanes:
+        detectors = scenario.build_defenses(lane.config.airframe)
+        for detector in detectors:
+            detector.attach(lane)
+        ensembles.append(detectors)
+    fleet.set_mission(scenario.make_mission)
+    fleet.takeoff(scenario.mission.altitude)
+    if attacked:
+        for lane in fleet.lanes:
+            scenario.attack.build().attach(lane)
+    fleet.set_mode(FlightMode.AUTO)
+    fleet.run(duration)
+    return [
+        (
+            1.0 if any(d.alarmed for d in detectors) else 0.0,
+            float(sum(d.degraded_samples for d in detectors)),
+        )
+        for detectors in ensembles
+    ]
+
+
+def _scenarios_batch(
+    seeds: list[int],
+    scenario_dicts: tuple[dict, ...],
+    base_seed: int,
+    trials: int,
+    detector_duration: float,
+    profile_timeout: float,
+) -> dict[int, dict[str, float]]:
+    """Batch engine: fleet-run eligible scenarios, decline the rest.
+
+    Seeds are grouped per scenario (trials of one scenario share a
+    config); groups whose scenario cannot vectorize — fault schedules,
+    terrain, custom battery, non-CI defenses — are left out of the
+    returned mapping, which routes them to per-seed scalar fallback.
+    The Algorithm 1 profiling half stays scalar inside the batch (it is
+    the identical code path, so the bits match the scalar engine).
+    """
+    groups: dict[int, list[int]] = {}
+    for seed in seeds:
+        groups.setdefault((seed - base_seed) // trials, []).append(seed)
+    out: dict[int, dict[str, float]] = {}
+    for idx, group in sorted(groups.items()):
+        scenario = Scenario.from_dict(scenario_dicts[idx])
+        if not scenario.vectorizable:
+            continue
+        try:
+            cell: dict[int, dict[str, float]] = {}
+            for seed in sorted(group):
+                pristine = scenario  # vectorizable ⇒ no fault schedule
+                baseline = _profile_tsvl(pristine, seed, profile_timeout)
+                cell[seed] = {f"s{idx}.tsvl_size": float(len(baseline.tsvl))}
+            if scenario.defenses:
+                benign = _detector_fleet(
+                    scenario, sorted(group), False, detector_duration
+                )
+                attacked = (
+                    None if scenario.attack.is_none
+                    else _detector_fleet(
+                        scenario, sorted(group), True, detector_duration
+                    )
+                )
+                for lane, seed in enumerate(sorted(group)):
+                    fpr, degraded = benign[lane]
+                    cell[seed][f"s{idx}.fpr"] = fpr
+                    if attacked is not None:
+                        tpr, degraded_a = attacked[lane]
+                        cell[seed][f"s{idx}.tpr"] = tpr
+                        degraded += degraded_a
+                    cell[seed][f"s{idx}.degraded"] = degraded
+            for seed in sorted(group):
+                cell[seed][f"s{idx}.crashed"] = 0.0
+            out.update(cell)
+        except Exception:  # noqa: BLE001 — decline; scalar path decides
+            continue
+    return out
+
+
+@dataclass
+class ScenarioCell:
+    """Coverage and aggregated scores of one scenario cell."""
+
+    scenario: Scenario
+    index: int
+    seeds: list[int] = field(default_factory=list)
+    #: status → count over this cell's seeds (ok/cached/vectorized/...)
+    statuses: dict[str, int] = field(default_factory=dict)
+    fallback_reasons: list[str] = field(default_factory=list)
+    crashed: float = 0.0
+    tsvl_size: float | None = None
+    jaccard: float | None = None
+    fpr: float | None = None
+    tpr: float | None = None
+    degraded: float | None = None
+
+    def to_dict(self) -> dict:
+        """One ``cells`` entry of the coverage report."""
+        return {
+            "scenario": self.scenario.name,
+            "index": self.index,
+            "seeds": list(self.seeds),
+            "statuses": dict(self.statuses),
+            "fallback_reasons": list(self.fallback_reasons),
+            "attack": self.scenario.attack.kind,
+            "defenses": [d.kind for d in self.scenario.defenses],
+            "crashed": self.crashed,
+            "tsvl_size": self.tsvl_size,
+            "jaccard": self.jaccard,
+            "fpr": self.fpr,
+            "tpr": self.tpr,
+            "degraded": self.degraded,
+        }
+
+
+@dataclass
+class ScenariosResult:
+    """The cube plus campaign metadata and the coverage report."""
+
+    cells: list[ScenarioCell] = field(default_factory=list)
+    trials: int = 0
+    base_seed: int = 0
+    engine: str = "scalar"
+
+    def cell(self, name: str) -> ScenarioCell:
+        """The cell of the scenario called ``name``."""
+        for c in self.cells:
+            if c.scenario.name == name:
+                return c
+        raise KeyError(name)
+
+    def coverage_dict(self) -> dict:
+        """Coverage report (``schemas/scenario_coverage.schema.json``).
+
+        Engine-dependent fields (statuses, vectorized/fallback totals)
+        describe the campaign that actually computed each seed — a
+        cache-warm rerun reports ``cached`` statuses, not the engine of
+        the original run.
+        """
+        vectorized = sum(
+            c.statuses.get("vectorized", 0) for c in self.cells
+        )
+        fallback = sum(c.statuses.get("fallback", 0) for c in self.cells)
+        crashed = sum(1 for c in self.cells if c.crashed > 0.0)
+        ran = sum(1 for c in self.cells if c.statuses)
+        return {
+            "version": 1,
+            "experiment": "scenarios",
+            "engine": self.engine,
+            "trials": self.trials,
+            "base_seed": self.base_seed,
+            "totals": {
+                "cells": len(self.cells),
+                "ran": ran,
+                "crashed": crashed,
+                "vectorized": vectorized,
+                "fallback": fallback,
+            },
+            "cells": [c.to_dict() for c in self.cells],
+        }
+
+    def render(self) -> str:
+        """Cube table: one row per scenario cell."""
+        lines = [
+            "Scenario × attack × defense cube",
+            f"  ({self.trials} trials/cell, engine {self.engine}; Jaccard "
+            "vs fault-free TSVL; FPR/TPR = defense-ensemble alarm rates)",
+            "  scenario             attack        defs  status       "
+            "crash  tsvl  jaccard    FPR    TPR",
+        ]
+        for c in self.cells:
+            status = ",".join(
+                f"{name}:{count}" for name, count in sorted(c.statuses.items())
+            ) or "-"
+            lines.append(
+                f"  {c.scenario.name:20.20s} {c.scenario.attack.kind:12s} "
+                f"{len(c.scenario.defenses):5d}  {status:12.12s} "
+                f"{c.crashed * 100:4.0f}%  {self._fmt(c.tsvl_size, '4.0f')}  "
+                f"{self._fmt(c.jaccard, '7.2f')}  "
+                f"{self._pct(c.fpr)}  {self._pct(c.tpr)}"
+            )
+        return "\n".join(lines)
+
+    @staticmethod
+    def _fmt(value: float | None, spec: str) -> str:
+        width = int(spec.split(".")[0])
+        if value is None:
+            return "-".rjust(width)
+        return format(value, spec)
+
+    @staticmethod
+    def _pct(value: float | None) -> str:
+        if value is None:
+            return "    -"
+        return f"{value * 100:4.0f}%"
+
+
+def _mean(campaign, name: str) -> float | None:
+    summary = campaign.metrics.get(name)
+    if summary is None or not summary.values:
+        return None
+    return float(np.mean(summary.values))
+
+
+def _resolve_scenarios(
+    scenarios, scenarios_json: str | None, sample: int | None,
+    sample_seed: int, space: str,
+) -> list[Scenario]:
+    """The cell list from exactly one of the three scenario sources."""
+    sources = sum(
+        x is not None for x in (scenarios, scenarios_json, sample)
+    )
+    if sources != 1:
+        raise ScenarioError(
+            "provide exactly one scenario source: scenarios=, "
+            "scenarios_json= or sample="
+        )
+    if sample is not None:
+        return ScenarioSampler(get_space(space), seed=sample_seed).sample(sample)
+    if scenarios_json is not None:
+        return parse_scenarios(scenarios_json)
+    resolved = [
+        get_scenario(s) if isinstance(s, str) else s for s in scenarios
+    ]
+    if not resolved:
+        raise ScenarioError("scenarios= must name at least one scenario")
+    names = [s.name for s in resolved]
+    if len(names) != len(set(names)):
+        raise ScenarioError("scenarios= lists duplicate scenario names")
+    return resolved
+
+
+def run_scenarios(
+    scenarios=None,
+    scenarios_json: str | None = None,
+    sample: int | None = None,
+    sample_seed: int = 0,
+    space: str = "default",
+    trials: int = 1,
+    detector_duration: float = 25.0,
+    profile_timeout: float = 150.0,
+    base_seed: int = 500,
+    workers: int = 0,
+    cache=None,
+    policy=None,
+    manifest=None,
+    resume: bool = False,
+    engine: str = "scalar",
+    batch_size: int | str = 16,
+    events=None,
+    progress: bool = False,
+    blackbox_dir=None,
+) -> ScenariosResult:
+    """Sweep the scenario cube over ``trials`` seeds per cell.
+
+    Parameters
+    ----------
+    scenarios:
+        Library names and/or :class:`Scenario` objects forming the cube.
+    scenarios_json:
+        JSON text of a scenario document (``schemas/scenario.schema.json``);
+        the CLI reads ``--scenarios FILE`` into this.
+    sample:
+        Draw this many scenarios from the ``space`` sample space with
+        :class:`ScenarioSampler` seeded by ``sample_seed`` instead of
+        naming them. Exactly one of the three sources must be given.
+    profile_timeout:
+        Sim-time budget of each Algorithm 1 profiling flight (the CI
+        smoke job combines the ``tiny`` space with a small budget).
+    """
+    cells = _resolve_scenarios(
+        scenarios, scenarios_json, sample, sample_seed, space
+    )
+    scenario_dicts = tuple(s.to_dict() for s in cells)
+    if trials < 1:
+        raise ScenarioError(f"trials must be >= 1, got {trials}")
+    params = {
+        "scenarios": list(scenario_dicts),
+        "base_seed": base_seed,
+        "trials": trials,
+        "detector_duration": detector_duration,
+        "profile_timeout": profile_timeout,
+    }
+    trial_kwargs = dict(
+        scenario_dicts=scenario_dicts,
+        base_seed=base_seed,
+        trials=trials,
+        detector_duration=detector_duration,
+        profile_timeout=profile_timeout,
+    )
+    campaign = run_campaign(
+        partial(_scenario_trial, **trial_kwargs),
+        seeds=range(base_seed, base_seed + len(cells) * trials),
+        raise_on_failure=True,
+        workers=workers,
+        cache=cache,
+        experiment_name="scenarios.trial",
+        params=params,
+        policy=policy,
+        manifest=manifest,
+        resume=resume,
+        engine=engine,
+        batch=(
+            partial(_scenarios_batch, **trial_kwargs)
+            if engine == "vectorized" else None
+        ),
+        batch_size=batch_size,
+        events=events,
+        progress=progress,
+        blackbox_dir=blackbox_dir,
+    )
+    result = ScenariosResult(
+        trials=trials, base_seed=base_seed, engine=engine
+    )
+    for idx, scenario in enumerate(cells):
+        seeds = [base_seed + idx * trials + t for t in range(trials)]
+        statuses: dict[str, int] = {}
+        for seed in seeds:
+            status = campaign.statuses.get(seed)
+            if status is not None:
+                statuses[status] = statuses.get(status, 0) + 1
+        crashed = _mean(campaign, f"s{idx}.crashed")
+        result.cells.append(ScenarioCell(
+            scenario=scenario,
+            index=idx,
+            seeds=seeds,
+            statuses=statuses,
+            fallback_reasons=scenario.fallback_reasons(),
+            crashed=0.0 if crashed is None else crashed,
+            tsvl_size=_mean(campaign, f"s{idx}.tsvl_size"),
+            jaccard=_mean(campaign, f"s{idx}.jaccard"),
+            fpr=_mean(campaign, f"s{idx}.fpr"),
+            tpr=_mean(campaign, f"s{idx}.tpr"),
+            degraded=_mean(campaign, f"s{idx}.degraded"),
+        ))
+    from repro.obs import get_registry
+
+    registry = get_registry()
+    registry.counter("scenario.cells_total").inc(len(result.cells))
+    registry.counter("scenario.cells_crashed").inc(
+        sum(1 for c in result.cells if c.crashed > 0.0)
+    )
+    registry.counter("scenario.cells_vectorized").inc(
+        sum(1 for c in result.cells if c.statuses.get("vectorized"))
+    )
+    registry.counter("scenario.cells_fallback").inc(
+        sum(1 for c in result.cells if c.statuses.get("fallback"))
+    )
+    return result

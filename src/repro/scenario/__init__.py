@@ -1,0 +1,62 @@
+"""Declarative scenario DSL: specs, named library and the fuzzer.
+
+``repro.scenario`` turns "which mission, which airframe, which wind,
+which faults, which attack, which defenses" into one schema-validated
+value that every experiment can consume — see
+``schemas/scenario.schema.json`` for the on-disk form,
+:mod:`repro.scenario.library` for the named scenarios the paper's
+experiments run on, and :mod:`repro.scenario.sampler` for the
+seed-deterministic fuzzer behind ``table scenarios --sample N``.
+"""
+
+from repro.scenario.library import SCENARIOS, get_scenario, scenario_names
+from repro.scenario.sampler import (
+    DIMENSIONS,
+    SAMPLE_SPACES,
+    SampleSpace,
+    ScenarioSampler,
+    get_space,
+)
+from repro.scenario.spec import (
+    AIRFRAMES,
+    ATTACK_KINDS,
+    DEFENSE_KINDS,
+    MISSION_SHAPES,
+    AttackSpec,
+    BatterySpec,
+    DefenseSpec,
+    MissionSpec,
+    ObstacleSpec,
+    PhysicsSpec,
+    Scenario,
+    ScenarioError,
+    TerrainSpec,
+    load_scenarios,
+    parse_scenarios,
+)
+
+__all__ = [
+    "AIRFRAMES",
+    "ATTACK_KINDS",
+    "DEFENSE_KINDS",
+    "DIMENSIONS",
+    "MISSION_SHAPES",
+    "SAMPLE_SPACES",
+    "SCENARIOS",
+    "AttackSpec",
+    "BatterySpec",
+    "DefenseSpec",
+    "MissionSpec",
+    "ObstacleSpec",
+    "PhysicsSpec",
+    "SampleSpace",
+    "Scenario",
+    "ScenarioError",
+    "ScenarioSampler",
+    "TerrainSpec",
+    "get_scenario",
+    "get_space",
+    "load_scenarios",
+    "parse_scenarios",
+    "scenario_names",
+]

@@ -1,0 +1,259 @@
+"""Seed-deterministic scenario fuzzing over a bounded sample space.
+
+:class:`ScenarioSampler` draws :class:`~repro.scenario.Scenario` values
+from a :class:`SampleSpace` of per-dimension bounds. Every dimension of
+every sample has its own RNG stream keyed ``(seed, dimension index,
+sample index, salt)`` — the same discipline as
+:meth:`~repro.faults.FaultSchedule.rng_for` — which buys three
+guarantees the property suite pins:
+
+* resampling with the same seed is bit-identical;
+* sample ``i`` never depends on how many samples were requested
+  (``sample(8)[:4] == sample(4)``);
+* widening one dimension's bounds never shifts another dimension's
+  draws (each stream is consumed by exactly one dimension).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.faults import FaultSchedule, FaultSpec
+from repro.faults.schedule import FAULT_KINDS
+from repro.scenario.spec import (
+    AttackSpec,
+    BatterySpec,
+    DefenseSpec,
+    MissionSpec,
+    ObstacleSpec,
+    PhysicsSpec,
+    Scenario,
+    ScenarioError,
+    TerrainSpec,
+)
+
+__all__ = [
+    "DIMENSIONS",
+    "SAMPLE_SPACES",
+    "SampleSpace",
+    "ScenarioSampler",
+    "get_space",
+]
+
+#: Stream salt — distinct from the fault-schedule salt (0x5FA) so a
+#: sampled schedule never aliases an injector stream.
+_SALT = 0x5CE
+
+#: Dimension index → name; the index keys the RNG stream, so the order
+#: here is part of the determinism contract (append, never reorder).
+DIMENSIONS = (
+    "mission",    # 0
+    "physics",    # 1
+    "wind",       # 2
+    "terrain",    # 3
+    "battery",    # 4
+    "faults",     # 5
+    "attack",     # 6
+    "defenses",   # 7
+)
+
+
+@dataclass(frozen=True)
+class SampleSpace:
+    """Per-dimension bounds of the scenario fuzzer.
+
+    ``*_prob`` knobs gate optional axes (obstacles, custom battery,
+    attack); ``(lo, hi)`` tuples bound uniform draws. Setting a prob to
+    0 or collapsing a range to one value narrows the space without
+    disturbing any other dimension's stream.
+    """
+
+    mission_shapes: tuple[str, ...] = ("line", "square")
+    mission_length: tuple[float, float] = (40.0, 500.0)
+    mission_altitude: tuple[float, float] = (5.0, 15.0)
+    mission_max_legs: int = 2
+    airframes: tuple[str, ...] = ("iris_plus", "pixhawk4")
+    physics_hz: tuple[float, ...] = (400.0,)
+    wind_mean_max: float = 2.0
+    wind_gust_std: tuple[float, float] = (0.0, 1.2)
+    obstacle_prob: float = 0.25
+    max_obstacles: int = 2
+    battery_prob: float = 0.25
+    battery_capacity: tuple[float, float] = (1500.0, 5100.0)
+    fault_kinds: tuple[str, ...] = FAULT_KINDS
+    max_faults: int = 2
+    fault_intensity: tuple[float, float] = (0.1, 1.0)
+    attack_prob: float = 0.5
+    attack_rate: tuple[float, float] = (0.25, 5.0)
+    defense_kinds: tuple[str, ...] = ("control_invariants", "ekf_residual")
+    defense_prob: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in ("mission_length", "mission_altitude", "wind_gust_std",
+                     "battery_capacity", "fault_intensity", "attack_rate"):
+            lo, hi = getattr(self, name)
+            if not 0.0 <= lo <= hi:
+                raise ScenarioError(
+                    f"sample space {name} must satisfy 0 <= lo <= hi, "
+                    f"got ({lo}, {hi})"
+                )
+        for name in ("obstacle_prob", "battery_prob", "attack_prob",
+                     "defense_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ScenarioError(
+                    f"sample space {name} must be a probability, got {p}"
+                )
+        if not self.mission_shapes or not self.airframes or not self.physics_hz:
+            raise ScenarioError(
+                "sample space choice axes must be non-empty"
+            )
+
+
+#: Named spaces the CLI exposes via ``--space``. ``tiny`` keeps flights
+#: to seconds of sim time at 100 Hz — the CI smoke space.
+SAMPLE_SPACES: dict[str, SampleSpace] = {
+    "default": SampleSpace(),
+    "tiny": SampleSpace(
+        mission_shapes=("line",),
+        mission_length=(6.0, 12.0),
+        mission_altitude=(4.0, 8.0),
+        mission_max_legs=1,
+        airframes=("iris_plus",),
+        physics_hz=(100.0,),
+        wind_mean_max=0.5,
+        wind_gust_std=(0.0, 0.5),
+        obstacle_prob=0.0,
+        battery_prob=0.0,
+        fault_kinds=("gps_glitch", "imu_noise_burst"),
+        max_faults=1,
+        attack_prob=0.5,
+        attack_rate=(1.0, 5.0),
+        defense_kinds=("control_invariants",),
+        defense_prob=1.0,
+    ),
+}
+
+
+def get_space(name: str) -> SampleSpace:
+    """The named sample space."""
+    try:
+        return SAMPLE_SPACES[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown sample space '{name}' "
+            f"(choose from {', '.join(SAMPLE_SPACES)})"
+        ) from None
+
+
+def _uniform(rng: np.random.Generator, bounds: tuple[float, float],
+             digits: int = 3) -> float:
+    lo, hi = bounds
+    return round(float(rng.uniform(lo, hi)), digits)
+
+
+def _choice(rng: np.random.Generator, options: tuple) -> object:
+    return options[int(rng.integers(0, len(options)))]
+
+
+@dataclass(frozen=True)
+class ScenarioSampler:
+    """Draws schema-valid scenarios from ``space``, keyed by ``seed``."""
+
+    space: SampleSpace = field(default_factory=SampleSpace)
+    seed: int = 0
+
+    def _rng(self, dimension: int, index: int) -> np.random.Generator:
+        """The stream of one (dimension, sample) pair."""
+        return np.random.default_rng([self.seed, dimension, index, _SALT])
+
+    def sample(self, n: int) -> list[Scenario]:
+        """The first ``n`` scenarios of this sampler's stream."""
+        if n < 1:
+            raise ScenarioError(f"sample count must be >= 1, got {n}")
+        return [self.sample_one(i) for i in range(n)]
+
+    def sample_one(self, index: int) -> Scenario:
+        """Sample ``index`` of the stream (independent of any other)."""
+        space = self.space
+        rng = self._rng(0, index)
+        mission = MissionSpec(
+            shape=str(_choice(rng, space.mission_shapes)),
+            length=_uniform(rng, space.mission_length),
+            altitude=_uniform(rng, space.mission_altitude),
+            legs=int(rng.integers(1, space.mission_max_legs + 1)),
+        )
+        rng = self._rng(1, index)
+        airframe = str(_choice(rng, space.airframes))
+        physics_hz = float(_choice(rng, space.physics_hz))
+        rng = self._rng(2, index)
+        wind_mean = tuple(
+            round(float(v), 3)
+            for v in rng.uniform(-space.wind_mean_max, space.wind_mean_max,
+                                 size=2)
+        ) + (0.0,)
+        physics = PhysicsSpec(
+            airframe=airframe,
+            physics_hz=physics_hz,
+            wind_mean=wind_mean,
+            wind_gust_std=_uniform(rng, space.wind_gust_std),
+        )
+        rng = self._rng(3, index)
+        obstacles = []
+        if rng.random() < space.obstacle_prob and space.max_obstacles:
+            for k in range(int(rng.integers(1, space.max_obstacles + 1))):
+                # Keep the launch point clear: boxes start >= 20 m north.
+                north = _uniform(rng, (20.0, 80.0))
+                east = _uniform(rng, (-10.0, 10.0))
+                size = _uniform(rng, (4.0, 12.0))
+                obstacles.append(ObstacleSpec(
+                    name=f"box-{k}",
+                    min_corner=(north, east, -40.0),
+                    max_corner=(round(north + size, 3), round(east + size, 3),
+                                0.0),
+                ))
+        terrain = TerrainSpec(obstacles=tuple(obstacles))
+        rng = self._rng(4, index)
+        battery = BatterySpec()
+        if rng.random() < space.battery_prob:
+            battery = BatterySpec(
+                capacity_mah=_uniform(rng, space.battery_capacity),
+                cells=int(_choice(rng, (3, 4))),
+            )
+        rng = self._rng(5, index)
+        specs = []
+        for _ in range(int(rng.integers(0, space.max_faults + 1))):
+            specs.append(FaultSpec(
+                kind=str(_choice(rng, space.fault_kinds)),
+                start=_uniform(rng, (2.0, 8.0), digits=2),
+                duration=_uniform(rng, (4.0, 12.0), digits=2),
+                intensity=_uniform(rng, space.fault_intensity),
+            ))
+        faults = FaultSchedule(tuple(specs))
+        rng = self._rng(6, index)
+        attack = AttackSpec(kind="none")
+        if rng.random() < space.attack_prob:
+            attack = AttackSpec(
+                kind="gradual_roll",
+                rate_deg_s=_uniform(rng, space.attack_rate),
+                start_time=_uniform(rng, (2.0, 8.0), digits=2),
+            )
+        rng = self._rng(7, index)
+        defenses = tuple(
+            DefenseSpec(kind=kind)
+            for kind in space.defense_kinds
+            if rng.random() < space.defense_prob
+        )
+        return Scenario(
+            name=f"sampled-{self.seed}-{index}",
+            description=f"fuzzer draw {index} of seed {self.seed}",
+            mission=mission,
+            physics=physics,
+            battery=battery,
+            terrain=terrain,
+            faults=faults,
+            attack=attack,
+            defenses=defenses,
+        )

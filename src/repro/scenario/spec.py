@@ -1,0 +1,680 @@
+"""Declarative scenario specs: everything one flight campaign needs.
+
+A :class:`Scenario` bundles the whole cyber-physical test setup —
+mission plan × airframe/physics × wind × terrain × battery ×
+:class:`~repro.faults.FaultSchedule` × attack × defense ensemble — into
+one frozen, JSON-serialisable value (``schemas/scenario.schema.json``
+describes the on-disk form, modelled on the PR-4 fault-schedule schema).
+Experiments *consume* scenarios through the builder methods
+(:meth:`Scenario.build_vehicle`, :meth:`Scenario.build_fleet`,
+:meth:`Scenario.make_mission`, …) instead of hardcoding their setups,
+so the same named scenario drives fig9, the robustness matrix and the
+``table scenarios`` fuzz campaign identically.
+
+Byte-identity contract: for a scenario whose fields equal the implicit
+defaults of the pre-DSL experiments, the builders construct *exactly*
+the objects those experiments built inline — ``world=None`` (not an
+empty :class:`World`), ``fault_schedule=None`` (not an empty schedule),
+the default battery untouched — so refactored experiments stay
+bit-identical to their hardcoded ancestors (pinned by the differential
+golden tests).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.exceptions import ReproError
+from repro.faults import FaultSchedule
+from repro.sim.config import SimConfig, iris_plus_airframe, pixhawk4_airframe
+
+__all__ = [
+    "AIRFRAMES",
+    "ATTACK_KINDS",
+    "DEFENSE_KINDS",
+    "MISSION_SHAPES",
+    "AttackSpec",
+    "BatterySpec",
+    "DefenseSpec",
+    "MissionSpec",
+    "ObstacleSpec",
+    "PhysicsSpec",
+    "Scenario",
+    "ScenarioError",
+    "TerrainSpec",
+    "load_scenarios",
+    "parse_scenarios",
+]
+
+MISSION_SHAPES = ("line", "square")
+AIRFRAMES = ("iris_plus", "pixhawk4")
+ATTACK_KINDS = ("none", "gradual_roll")
+DEFENSE_KINDS = ("control_invariants", "ekf_residual")
+
+_AIRFRAME_FACTORIES = {
+    "iris_plus": iris_plus_airframe,
+    "pixhawk4": pixhawk4_airframe,
+}
+
+#: Default battery pack of :class:`~repro.sim.battery.Battery` — a
+#: scenario battery differing from this swaps the pack after
+#: construction and disqualifies the scenario from fleet vectorization
+#: (the fleet's battery constants mirror the default pack).
+_DEFAULT_CAPACITY_MAH = 5100.0
+_DEFAULT_CELLS = 3
+
+
+class ScenarioError(ReproError):
+    """A scenario document was malformed (unknown shape, bad bounds...)."""
+
+
+def _require_keys(data: dict, allowed: set[str], what: str) -> None:
+    if not isinstance(data, dict):
+        raise ScenarioError(f"{what} must be an object, got {data!r}")
+    unknown = set(data) - allowed
+    if unknown:
+        raise ScenarioError(f"unknown {what} keys: {sorted(unknown)}")
+
+
+def _triple(value, what: str) -> tuple[float, float, float]:
+    try:
+        x, y, z = (float(v) for v in value)
+    except (TypeError, ValueError):
+        raise ScenarioError(
+            f"{what} must be a 3-vector of numbers, got {value!r}"
+        ) from None
+    return (x, y, z)
+
+
+@dataclass(frozen=True)
+class MissionSpec:
+    """The flight plan: a line (back-and-forth) or square circuit.
+
+    ``length`` is the leg length for ``line`` and the side for
+    ``square``; ``legs`` only applies to ``line``.
+    """
+
+    shape: str = "line"
+    length: float = 500.0
+    altitude: float = 10.0
+    legs: int = 1
+    acceptance_radius: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.shape not in MISSION_SHAPES:
+            raise ScenarioError(
+                f"unknown mission shape '{self.shape}' "
+                f"(choose from {', '.join(MISSION_SHAPES)})"
+            )
+        if self.length <= 0.0:
+            raise ScenarioError(f"mission length must be > 0, got {self.length}")
+        if self.altitude <= 0.0:
+            raise ScenarioError(
+                f"mission altitude must be > 0, got {self.altitude}"
+            )
+        if self.legs < 1:
+            raise ScenarioError(f"mission legs must be >= 1, got {self.legs}")
+        if self.acceptance_radius <= 0.0:
+            raise ScenarioError(
+                "mission acceptance_radius must be > 0, "
+                f"got {self.acceptance_radius}"
+            )
+
+    def build(self):
+        """The concrete :class:`~repro.firmware.mission.Mission`."""
+        from repro.firmware.mission import line_mission, square_mission
+
+        if self.shape == "square":
+            return square_mission(
+                side=self.length, altitude=self.altitude,
+                acceptance_radius=self.acceptance_radius,
+            )
+        return line_mission(
+            length=self.length, altitude=self.altitude, legs=self.legs,
+            acceptance_radius=self.acceptance_radius,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "shape": self.shape, "length": self.length,
+            "altitude": self.altitude, "legs": self.legs,
+            "acceptance_radius": self.acceptance_radius,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MissionSpec":
+        _require_keys(
+            data,
+            {"shape", "length", "altitude", "legs", "acceptance_radius"},
+            "mission",
+        )
+        return cls(
+            shape=str(data.get("shape", "line")),
+            length=float(data.get("length", 500.0)),
+            altitude=float(data.get("altitude", 10.0)),
+            legs=int(data.get("legs", 1)),
+            acceptance_radius=float(data.get("acceptance_radius", 1.0)),
+        )
+
+
+@dataclass(frozen=True)
+class PhysicsSpec:
+    """Airframe selection plus the environment half of :class:`SimConfig`."""
+
+    airframe: str = "iris_plus"
+    physics_hz: float = 400.0
+    wind_mean: tuple[float, float, float] = (0.0, 0.0, 0.0)
+    wind_gust_std: float = 0.4
+    wind_gust_tau: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.airframe not in AIRFRAMES:
+            raise ScenarioError(
+                f"unknown airframe '{self.airframe}' "
+                f"(choose from {', '.join(AIRFRAMES)})"
+            )
+        if self.physics_hz <= 0.0:
+            raise ScenarioError(
+                f"physics_hz must be > 0, got {self.physics_hz}"
+            )
+        object.__setattr__(self, "wind_mean", _triple(self.wind_mean, "wind_mean"))
+        if self.wind_gust_std < 0.0:
+            raise ScenarioError(
+                f"wind_gust_std must be >= 0, got {self.wind_gust_std}"
+            )
+        if self.wind_gust_tau <= 0.0:
+            raise ScenarioError(
+                f"wind_gust_tau must be > 0, got {self.wind_gust_tau}"
+            )
+
+    def build_airframe(self):
+        """A fresh :class:`~repro.sim.config.AirframeConfig`."""
+        return _AIRFRAME_FACTORIES[self.airframe]()
+
+    def to_dict(self) -> dict:
+        return {
+            "airframe": self.airframe, "physics_hz": self.physics_hz,
+            "wind_mean": list(self.wind_mean),
+            "wind_gust_std": self.wind_gust_std,
+            "wind_gust_tau": self.wind_gust_tau,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PhysicsSpec":
+        _require_keys(
+            data,
+            {"airframe", "physics_hz", "wind_mean", "wind_gust_std",
+             "wind_gust_tau"},
+            "physics",
+        )
+        return cls(
+            airframe=str(data.get("airframe", "iris_plus")),
+            physics_hz=float(data.get("physics_hz", 400.0)),
+            wind_mean=_triple(data.get("wind_mean", (0.0, 0.0, 0.0)),
+                              "wind_mean"),
+            wind_gust_std=float(data.get("wind_gust_std", 0.4)),
+            wind_gust_tau=float(data.get("wind_gust_tau", 2.0)),
+        )
+
+
+@dataclass(frozen=True)
+class BatterySpec:
+    """The LiPo pack; the default matches the stock 3S 5100 mAh pack."""
+
+    capacity_mah: float = _DEFAULT_CAPACITY_MAH
+    cells: int = _DEFAULT_CELLS
+
+    def __post_init__(self) -> None:
+        if self.capacity_mah <= 0.0:
+            raise ScenarioError(
+                f"battery capacity_mah must be > 0, got {self.capacity_mah}"
+            )
+        if self.cells < 1:
+            raise ScenarioError(f"battery cells must be >= 1, got {self.cells}")
+
+    @property
+    def is_default(self) -> bool:
+        """True when this is the stock pack (leave the vehicle untouched)."""
+        return (
+            self.capacity_mah == _DEFAULT_CAPACITY_MAH
+            and self.cells == _DEFAULT_CELLS
+        )
+
+    def build(self):
+        """A fresh :class:`~repro.sim.battery.Battery` of this pack."""
+        from repro.sim.battery import Battery
+
+        return Battery(capacity_mah=self.capacity_mah, cells=self.cells)
+
+    def to_dict(self) -> dict:
+        return {"capacity_mah": self.capacity_mah, "cells": self.cells}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BatterySpec":
+        _require_keys(data, {"capacity_mah", "cells"}, "battery")
+        return cls(
+            capacity_mah=float(data.get("capacity_mah", _DEFAULT_CAPACITY_MAH)),
+            cells=int(data.get("cells", _DEFAULT_CELLS)),
+        )
+
+
+@dataclass(frozen=True)
+class ObstacleSpec:
+    """One axis-aligned box obstacle in NED coordinates."""
+
+    name: str
+    min_corner: tuple[float, float, float]
+    max_corner: tuple[float, float, float]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioError("obstacle name must be non-empty")
+        object.__setattr__(
+            self, "min_corner", _triple(self.min_corner, "obstacle min_corner")
+        )
+        object.__setattr__(
+            self, "max_corner", _triple(self.max_corner, "obstacle max_corner")
+        )
+        if not all(lo < hi for lo, hi in zip(self.min_corner, self.max_corner)):
+            raise ScenarioError(
+                f"obstacle '{self.name}' needs min_corner < max_corner "
+                "on every axis"
+            )
+
+    def build(self):
+        """A concrete :class:`~repro.sim.world.BoxObstacle`."""
+        from repro.sim.world import BoxObstacle
+
+        return BoxObstacle(
+            name=self.name,
+            min_corner=list(self.min_corner),
+            max_corner=list(self.max_corner),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "min_corner": list(self.min_corner),
+            "max_corner": list(self.max_corner),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ObstacleSpec":
+        _require_keys(data, {"name", "min_corner", "max_corner"}, "obstacle")
+        for key in ("name", "min_corner", "max_corner"):
+            if key not in data:
+                raise ScenarioError(f"obstacle missing required key '{key}'")
+        return cls(
+            name=str(data["name"]),
+            min_corner=_triple(data["min_corner"], "obstacle min_corner"),
+            max_corner=_triple(data["max_corner"], "obstacle max_corner"),
+        )
+
+
+@dataclass(frozen=True)
+class TerrainSpec:
+    """Static scene: ground plane offset plus box obstacles."""
+
+    ground_altitude: float = 0.0
+    obstacles: tuple[ObstacleSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "obstacles", tuple(self.obstacles))
+
+    @property
+    def is_default(self) -> bool:
+        """True when no explicit :class:`World` is needed at all."""
+        return self.ground_altitude == 0.0 and not self.obstacles
+
+    def build_world(self):
+        """A :class:`~repro.sim.world.World`, or ``None`` for the default.
+
+        Returning ``None`` (not an empty world) when nothing differs from
+        the defaults keeps scenario-built vehicles bit-identical to
+        vehicles built without a world argument.
+        """
+        if self.is_default:
+            return None
+        from repro.sim.world import World
+
+        return World(
+            ground_altitude=self.ground_altitude,
+            obstacles=[o.build() for o in self.obstacles] or None,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "ground_altitude": self.ground_altitude,
+            "obstacles": [o.to_dict() for o in self.obstacles],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TerrainSpec":
+        _require_keys(data, {"ground_altitude", "obstacles"}, "terrain")
+        obstacles = data.get("obstacles", [])
+        if not isinstance(obstacles, list):
+            raise ScenarioError("terrain obstacles must be an array")
+        return cls(
+            ground_altitude=float(data.get("ground_altitude", 0.0)),
+            obstacles=tuple(ObstacleSpec.from_dict(o) for o in obstacles),
+        )
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """The adversary: ``none`` or the paper's gradual roll-creep attack."""
+
+    kind: str = "none"
+    rate_deg_s: float = 5.0
+    start_time: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ATTACK_KINDS:
+            raise ScenarioError(
+                f"unknown attack kind '{self.kind}' "
+                f"(choose from {', '.join(ATTACK_KINDS)})"
+            )
+        if self.rate_deg_s < 0.0:
+            raise ScenarioError(
+                f"attack rate_deg_s must be >= 0, got {self.rate_deg_s}"
+            )
+        if self.start_time < 0.0:
+            raise ScenarioError(
+                f"attack start_time must be >= 0, got {self.start_time}"
+            )
+
+    @property
+    def is_none(self) -> bool:
+        return self.kind == "none"
+
+    def build(self):
+        """A fresh attack instance, or ``None`` for a benign scenario."""
+        if self.is_none:
+            return None
+        from repro.attacks.gradual import GradualRollAttack
+
+        return GradualRollAttack(
+            rate_deg_s=self.rate_deg_s, start_time=self.start_time
+        )
+
+    def to_dict(self) -> dict:
+        if self.is_none:
+            return {"kind": "none"}
+        return {
+            "kind": self.kind, "rate_deg_s": self.rate_deg_s,
+            "start_time": self.start_time,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AttackSpec":
+        _require_keys(data, {"kind", "rate_deg_s", "start_time"}, "attack")
+        return cls(
+            kind=str(data.get("kind", "none")),
+            rate_deg_s=float(data.get("rate_deg_s", 5.0)),
+            start_time=float(data.get("start_time", 5.0)),
+        )
+
+
+@dataclass(frozen=True)
+class DefenseSpec:
+    """One monitor of the defense ensemble.
+
+    ``threshold=None`` keeps the detector's own default alarm threshold.
+    """
+
+    kind: str = "control_invariants"
+    threshold: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in DEFENSE_KINDS:
+            raise ScenarioError(
+                f"unknown defense kind '{self.kind}' "
+                f"(choose from {', '.join(DEFENSE_KINDS)})"
+            )
+        if self.threshold is not None and self.threshold <= 0.0:
+            raise ScenarioError(
+                f"defense threshold must be > 0 (or null), got {self.threshold}"
+            )
+
+    def build(self, airframe):
+        """A fresh detector for ``airframe`` (not yet attached)."""
+        from repro.defenses import ControlInvariantsDetector, EKFResidualDetector
+
+        if self.kind == "ekf_residual":
+            if self.threshold is None:
+                return EKFResidualDetector(airframe)
+            return EKFResidualDetector(airframe, threshold=self.threshold)
+        if self.threshold is None:
+            return ControlInvariantsDetector(airframe)
+        return ControlInvariantsDetector(airframe, threshold=self.threshold)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "threshold": self.threshold}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DefenseSpec":
+        _require_keys(data, {"kind", "threshold"}, "defense")
+        threshold = data.get("threshold")
+        return cls(
+            kind=str(data.get("kind", "control_invariants")),
+            threshold=None if threshold is None else float(threshold),
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-specified cyber-physical test configuration."""
+
+    name: str
+    description: str = ""
+    mission: MissionSpec = field(default_factory=MissionSpec)
+    physics: PhysicsSpec = field(default_factory=PhysicsSpec)
+    battery: BatterySpec = field(default_factory=BatterySpec)
+    terrain: TerrainSpec = field(default_factory=TerrainSpec)
+    faults: FaultSchedule = field(default_factory=FaultSchedule)
+    attack: AttackSpec = field(default_factory=AttackSpec)
+    defenses: tuple[DefenseSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioError("scenario name must be non-empty")
+        object.__setattr__(self, "defenses", tuple(self.defenses))
+        kinds = [d.kind for d in self.defenses]
+        if len(kinds) != len(set(kinds)):
+            raise ScenarioError(
+                f"scenario '{self.name}' lists duplicate defense kinds"
+            )
+
+    # ---------------------------------------------------------------- build
+    def sim_config(self, seed: int) -> SimConfig:
+        """The :class:`SimConfig` of one scalar run at ``seed``."""
+        return SimConfig(
+            physics_hz=self.physics.physics_hz,
+            ground_altitude=self.terrain.ground_altitude,
+            seed=seed,
+            wind_mean=self.physics.wind_mean,
+            wind_gust_std=self.physics.wind_gust_std,
+            wind_gust_tau=self.physics.wind_gust_tau,
+            airframe=self.physics.build_airframe(),
+        )
+
+    def fleet_config(self) -> SimConfig:
+        """The shared :class:`SimConfig` of a fleet (per-lane seeds win)."""
+        return SimConfig(
+            physics_hz=self.physics.physics_hz,
+            ground_altitude=self.terrain.ground_altitude,
+            wind_mean=self.physics.wind_mean,
+            wind_gust_std=self.physics.wind_gust_std,
+            wind_gust_tau=self.physics.wind_gust_tau,
+            airframe=self.physics.build_airframe(),
+        )
+
+    def make_mission(self):
+        """A fresh mission object (missions are stateful — one per run)."""
+        return self.mission.build()
+
+    def build_vehicle(self, seed: int):
+        """A ready-to-fly :class:`~repro.firmware.vehicle.Vehicle`.
+
+        Passes ``world=None`` / ``fault_schedule=None`` (not empty
+        stand-ins) when the scenario carries no terrain/faults, so the
+        construction is bit-identical to the pre-DSL inline setups.
+        """
+        from repro.firmware.vehicle import Vehicle
+
+        vehicle = Vehicle(
+            self.sim_config(seed),
+            world=self.terrain.build_world(),
+            fault_schedule=None if self.faults.empty else self.faults,
+        )
+        if not self.battery.is_default:
+            vehicle.sim.vehicle.battery = self.battery.build()
+        return vehicle
+
+    def build_fleet(self, seeds):
+        """A :class:`~repro.sim.vectorized.VectorizedFleet` over ``seeds``."""
+        reasons = self.fallback_reasons()
+        if reasons:
+            raise ScenarioError(
+                f"scenario '{self.name}' cannot vectorize: "
+                + "; ".join(reasons)
+            )
+        from repro.sim.vectorized import VectorizedFleet
+
+        return VectorizedFleet(self.fleet_config(), seeds=list(seeds))
+
+    def build_defenses(self, airframe):
+        """Fresh detector instances of the ensemble (not yet attached)."""
+        return [d.build(airframe) for d in self.defenses]
+
+    # ---------------------------------------------------------- vectorization
+    def fallback_reasons(self) -> list[str]:
+        """Why this scenario must run on the scalar engine (empty = none).
+
+        Mirrors the :class:`VectorizedFleet` docstring: fault schedules,
+        worlds with obstacles/terrain and non-default battery packs are
+        scalar-only, and only the control-invariants detector is proven
+        bit-identical on fleet lanes.
+        """
+        reasons = []
+        if not self.faults.empty:
+            reasons.append("fault schedule requires the scalar engine")
+        if not self.terrain.is_default:
+            reasons.append("terrain/obstacles require the scalar engine")
+        if not self.battery.is_default:
+            reasons.append("custom battery requires the scalar engine")
+        for defense in self.defenses:
+            if defense.kind != "control_invariants":
+                reasons.append(
+                    f"defense '{defense.kind}' requires the scalar engine"
+                )
+        return reasons
+
+    @property
+    def vectorizable(self) -> bool:
+        """True when :meth:`build_fleet` is allowed for this scenario."""
+        return not self.fallback_reasons()
+
+    # ------------------------------------------------------------- serialise
+    def to_dict(self) -> dict:
+        """JSON-ready form matching ``schemas/scenario.schema.json``."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "mission": self.mission.to_dict(),
+            "physics": self.physics.to_dict(),
+            "battery": self.battery.to_dict(),
+            "terrain": self.terrain.to_dict(),
+            "faults": [s.to_dict() for s in self.faults],
+            "attack": self.attack.to_dict(),
+            "defenses": [d.to_dict() for d in self.defenses],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        """Parse one scenario object, rejecting unknown keys."""
+        _require_keys(
+            data,
+            {"name", "description", "mission", "physics", "battery",
+             "terrain", "faults", "attack", "defenses"},
+            "scenario",
+        )
+        if "name" not in data:
+            raise ScenarioError("scenario missing required key 'name'")
+        faults = data.get("faults", [])
+        if not isinstance(faults, list):
+            raise ScenarioError("scenario faults must be an array")
+        defenses = data.get("defenses", [])
+        if not isinstance(defenses, list):
+            raise ScenarioError("scenario defenses must be an array")
+        return cls(
+            name=str(data["name"]),
+            description=str(data.get("description", "")),
+            mission=MissionSpec.from_dict(data.get("mission", {})),
+            physics=PhysicsSpec.from_dict(data.get("physics", {})),
+            battery=BatterySpec.from_dict(data.get("battery", {})),
+            terrain=TerrainSpec.from_dict(data.get("terrain", {})),
+            faults=FaultSchedule.from_dict({"version": 1, "faults": faults}),
+            attack=AttackSpec.from_dict(data.get("attack", {})),
+            defenses=tuple(DefenseSpec.from_dict(d) for d in defenses),
+        )
+
+    def with_(self, **changes) -> "Scenario":
+        """A copy with top-level fields replaced (experiment knobs)."""
+        return replace(self, **changes)
+
+
+def _parse_document(data: dict, source: str) -> list[Scenario]:
+    if not isinstance(data, dict):
+        raise ScenarioError(f"{source}: scenario document must be a JSON object")
+    if data.get("version", 1) != 1:
+        raise ScenarioError(
+            f"{source}: unsupported scenario document version "
+            f"{data.get('version')!r}"
+        )
+    unknown = set(data) - {"version", "scenario", "scenarios"}
+    if unknown:
+        raise ScenarioError(
+            f"{source}: unknown scenario document keys: {sorted(unknown)}"
+        )
+    has_one = "scenario" in data
+    has_many = "scenarios" in data
+    if has_one == has_many:
+        raise ScenarioError(
+            f"{source}: document needs exactly one of 'scenario'/'scenarios'"
+        )
+    if has_one:
+        return [Scenario.from_dict(data["scenario"])]
+    entries = data["scenarios"]
+    if not isinstance(entries, list) or not entries:
+        raise ScenarioError(f"{source}: 'scenarios' must be a non-empty array")
+    scenarios = [Scenario.from_dict(entry) for entry in entries]
+    names = [s.name for s in scenarios]
+    if len(names) != len(set(names)):
+        raise ScenarioError(f"{source}: duplicate scenario names")
+    return scenarios
+
+
+def parse_scenarios(text: str) -> list[Scenario]:
+    """Parse scenario-document JSON *text* (not a file path)."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ScenarioError(f"scenario JSON is invalid: {exc}") from None
+    return _parse_document(data, "<scenarios>")
+
+
+def load_scenarios(path: str | Path) -> list[Scenario]:
+    """Load a scenario document (single ``scenario`` or a ``scenarios`` sweep)."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise ScenarioError(f"scenario file not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ScenarioError(
+            f"scenario file '{path}' is not valid JSON: {exc}"
+        ) from None
+    return _parse_document(data, str(path))

@@ -1,0 +1,338 @@
+"""``table scenarios``: determinism, engine routing, coverage, CLI.
+
+The cube must be a pure function of (scenario list, seed): serial,
+process-parallel and vectorized runs agree bit-for-bit; fleet-eligible
+cells route to the vectorized engine while fault/terrain/battery cells
+decline into scalar fallback (visible in per-cell statuses and the
+campaign counters); and the coverage report validates against its
+schema.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.experiments.cache import ResultCache
+from repro.experiments.faults import (
+    STATUS_CACHED,
+    STATUS_FALLBACK,
+    STATUS_OK,
+    STATUS_VECTORIZED,
+)
+from repro.experiments.scenarios import run_scenarios
+from repro.faults import FaultSchedule, FaultSpec
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.schema import validate
+from repro.obs.tracing import Tracer, use_telemetry
+from repro.scenario import (
+    AttackSpec,
+    DefenseSpec,
+    MissionSpec,
+    PhysicsSpec,
+    Scenario,
+    ScenarioError,
+)
+
+COVERAGE_SCHEMA = json.loads(
+    Path("schemas/scenario_coverage.schema.json").read_text()
+)
+
+_MISSION = MissionSpec(shape="line", length=8.0, altitude=5.0, legs=1)
+_PHYSICS = PhysicsSpec(physics_hz=100.0, wind_gust_std=0.3)
+
+#: Fleet-eligible cell: attack + CI defense, no faults/terrain/battery.
+PLAIN = Scenario(
+    name="tiny-plain",
+    mission=_MISSION,
+    physics=_PHYSICS,
+    attack=AttackSpec(kind="gradual_roll", rate_deg_s=5.0, start_time=2.0),
+    defenses=(DefenseSpec(kind="control_invariants"),),
+)
+
+#: Scalar-only cell: a fault schedule forces per-seed fallback.
+FAULTED = Scenario(
+    name="tiny-faulted",
+    mission=_MISSION,
+    physics=_PHYSICS,
+    faults=FaultSchedule((
+        FaultSpec(kind="gps_glitch", start=2.0, duration=3.0, intensity=0.5),
+    )),
+)
+
+TINY = dict(
+    scenarios=[PLAIN, FAULTED],
+    trials=2,
+    detector_duration=4.0,
+    profile_timeout=8.0,
+    base_seed=700,
+)
+
+
+def _cells(result):
+    """Hashable view of everything the cube computed."""
+    return tuple(
+        (
+            c.scenario.name, c.index, tuple(c.seeds), c.crashed,
+            c.tsvl_size, c.jaccard, c.fpr, c.tpr, c.degraded,
+        )
+        for c in result.cells
+    )
+
+
+class TestDeterminism:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_scenarios(**TINY)
+
+    def test_rerun_is_identical(self, serial):
+        assert _cells(run_scenarios(**TINY)) == _cells(serial)
+
+    def test_workers_match_serial(self, serial):
+        parallel = run_scenarios(**TINY, workers=2)
+        assert _cells(parallel) == _cells(serial)
+
+    def test_vectorized_matches_serial(self, serial):
+        vectorized = run_scenarios(**TINY, engine="vectorized")
+        assert _cells(vectorized) == _cells(serial)
+
+    def test_cube_shape_and_sanity(self, serial):
+        assert [c.scenario.name for c in serial.cells] == [
+            "tiny-plain", "tiny-faulted",
+        ]
+        plain = serial.cell("tiny-plain")
+        assert plain.seeds == [700, 701]
+        assert plain.statuses == {STATUS_OK: 2}
+        assert plain.tsvl_size is not None and plain.tsvl_size > 0
+        assert plain.jaccard is None  # no faults → no faulted twin
+        assert plain.fpr is not None and 0.0 <= plain.fpr <= 1.0
+        assert plain.tpr is not None and 0.0 <= plain.tpr <= 1.0
+        assert plain.degraded is not None
+        assert plain.crashed == 0.0
+        assert plain.fallback_reasons == []
+        faulted = serial.cell("tiny-faulted")
+        assert faulted.seeds == [702, 703]
+        assert faulted.jaccard is not None and 0.0 <= faulted.jaccard <= 1.0
+        assert faulted.fpr is None and faulted.tpr is None  # no defenses
+        assert faulted.fallback_reasons != []
+        with pytest.raises(KeyError):
+            serial.cell("nonexistent")
+
+    def test_coverage_report_is_schema_valid(self, serial):
+        coverage = serial.coverage_dict()
+        assert validate(coverage, COVERAGE_SCHEMA) == []
+        assert coverage["totals"] == {
+            "cells": 2, "ran": 2, "crashed": 0,
+            "vectorized": 0, "fallback": 0,
+        }
+
+    def test_render_mentions_every_cell(self, serial):
+        text = serial.render()
+        assert "tiny-plain" in text
+        assert "tiny-faulted" in text
+        assert "Jaccard" in text
+
+
+class TestEngineRouting:
+    @pytest.fixture(scope="class")
+    def vectorized(self):
+        registry = MetricsRegistry()
+        with use_telemetry(registry, Tracer()):
+            result = run_scenarios(**TINY, engine="vectorized")
+        return result, registry.snapshot()["counters"]
+
+    def test_plain_cell_routes_to_fleet(self, vectorized):
+        result, _ = vectorized
+        assert result.cell("tiny-plain").statuses == {STATUS_VECTORIZED: 2}
+
+    def test_faulted_cell_falls_back_to_scalar(self, vectorized):
+        result, _ = vectorized
+        assert result.cell("tiny-faulted").statuses == {STATUS_FALLBACK: 2}
+
+    def test_campaign_counters_record_the_split(self, vectorized):
+        _, counters = vectorized
+        exp = "{experiment=scenarios.trial}"
+        assert counters[f"campaign.seeds_vectorized{exp}"] == 2.0
+        assert counters[f"campaign.seeds_fallback{exp}"] == 2.0
+
+    def test_scenario_counters_record_the_cube(self, vectorized):
+        _, counters = vectorized
+        assert counters["scenario.cells_total"] == 2.0
+        assert counters["scenario.cells_vectorized"] == 1.0
+        assert counters["scenario.cells_fallback"] == 1.0
+        assert counters.get("scenario.cells_crashed", 0.0) == 0.0
+
+    def test_coverage_totals_reflect_routing(self, vectorized):
+        result, _ = vectorized
+        totals = result.coverage_dict()["totals"]
+        assert totals["vectorized"] == 2
+        assert totals["fallback"] == 2
+
+
+class TestCacheAndCrash:
+    def test_cache_warm_rerun_is_all_cached(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_scenarios(**TINY, cache=cache)
+        warm = run_scenarios(**TINY, cache=cache)
+        assert _cells(warm) == _cells(cold)
+        for cell in warm.cells:
+            assert cell.statuses == {STATUS_CACHED: 2}
+
+    def test_cache_key_covers_seed_to_cell_mapping(self, tmp_path):
+        # base_seed/trials are in the campaign params: moving the grid
+        # must miss the cache, not replay the wrong cell's seeds.
+        cache = ResultCache(tmp_path / "cache")
+        run_scenarios(**TINY, cache=cache)
+        shifted = run_scenarios(
+            **{**TINY, "base_seed": 900}, cache=cache
+        )
+        for cell in shifted.cells:
+            assert cell.statuses == {STATUS_OK: 2}
+
+    def test_crashed_cell_is_a_result_not_a_failure(self, monkeypatch):
+        import repro.experiments.scenarios as mod
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(mod, "_profile_tsvl", boom)
+        result = mod.run_scenarios(
+            scenarios=[PLAIN], trials=1, detector_duration=4.0,
+            profile_timeout=8.0, base_seed=700,
+        )
+        cell = result.cell("tiny-plain")
+        assert cell.crashed == 1.0
+        assert cell.tsvl_size is None
+        totals = result.coverage_dict()["totals"]
+        assert totals["crashed"] == 1
+        assert validate(result.coverage_dict(), COVERAGE_SCHEMA) == []
+
+
+class TestSources:
+    def test_exactly_one_source_required(self):
+        with pytest.raises(ScenarioError, match="exactly one"):
+            run_scenarios()
+        with pytest.raises(ScenarioError, match="exactly one"):
+            run_scenarios(scenarios=[PLAIN], sample=2)
+
+    def test_names_and_objects_mix(self):
+        result = run_scenarios(
+            scenarios=["fig9-cruise", PLAIN], trials=1,
+            detector_duration=3.0, profile_timeout=4.0, base_seed=700,
+        )
+        assert [c.scenario.name for c in result.cells] == [
+            "fig9-cruise", "tiny-plain",
+        ]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ScenarioError, match="duplicate"):
+            run_scenarios(scenarios=[PLAIN, PLAIN])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ScenarioError, match="at least one"):
+            run_scenarios(scenarios=[])
+
+    def test_bad_trials_rejected(self):
+        with pytest.raises(ScenarioError, match="trials"):
+            run_scenarios(scenarios=[PLAIN], trials=0)
+
+    def test_scenario_error_is_a_repro_error(self):
+        assert issubclass(ScenarioError, ReproError)
+
+    def test_sampled_source(self):
+        result = run_scenarios(
+            sample=2, sample_seed=3, space="tiny", trials=1,
+            detector_duration=3.0, profile_timeout=4.0, base_seed=700,
+        )
+        assert [c.scenario.name for c in result.cells] == [
+            "sampled-3-0", "sampled-3-1",
+        ]
+        rerun = run_scenarios(
+            sample=2, sample_seed=3, space="tiny", trials=1,
+            detector_duration=3.0, profile_timeout=4.0, base_seed=700,
+        )
+        assert _cells(rerun) == _cells(result)
+
+
+class TestCLI:
+    def _args(self, argv):
+        from repro.__main__ import build_parser
+
+        return build_parser().parse_args(argv)
+
+    def test_scenario_flags_rejected_for_other_tables(self, capsys):
+        from repro.__main__ import _cmd_table
+
+        for which in ("1", "2", "robustness"):
+            args = self._args(["table", which, "--sample", "4"])
+            assert _cmd_table(args) == 2
+            assert (
+                "--sample: only valid with 'table scenarios'"
+                in capsys.readouterr().err
+            )
+
+    def test_robustness_flags_rejected_for_scenarios(self, capsys):
+        from repro.__main__ import _cmd_table
+
+        args = self._args(
+            ["table", "scenarios", "--sample", "2", "--kinds", "gps_glitch"]
+        )
+        assert _cmd_table(args) == 2
+        assert (
+            "--kinds: only valid with 'table robustness'"
+            in capsys.readouterr().err
+        )
+
+    def test_shared_flags_rejected_for_paper_tables(self, capsys):
+        from repro.__main__ import _cmd_table
+
+        args = self._args(["table", "1", "--trials", "3"])
+        assert _cmd_table(args) == 2
+        assert "only valid with 'table robustness'" in capsys.readouterr().err
+
+    def test_scenario_kwargs_built_from_flags(self, tmp_path):
+        from repro.__main__ import _robustness_kwargs
+
+        doc = tmp_path / "doc.json"
+        doc.write_text(json.dumps(
+            {"version": 1, "scenario": {"name": "a"}}
+        ))
+        args = self._args([
+            "table", "scenarios", "--scenarios", str(doc),
+            "--trials", "3", "--detector-duration", "2.5",
+            "--profile-timeout", "9",
+        ])
+        kwargs = _robustness_kwargs(args)
+        assert kwargs == {
+            "scenarios_json": doc.read_text(),
+            "trials": 3,
+            "detector_duration": 2.5,
+            "profile_timeout": 9.0,
+        }
+        sampled = self._args([
+            "table", "scenarios", "--sample", "4", "--sample-seed", "9",
+            "--space", "tiny",
+        ])
+        assert _robustness_kwargs(sampled) == {
+            "sample": 4, "sample_seed": 9, "space": "tiny",
+        }
+
+    def test_cli_end_to_end_writes_coverage(self, tmp_path, monkeypatch):
+        from repro.__main__ import main
+
+        coverage_path = tmp_path / "coverage.json"
+        monkeypatch.chdir(tmp_path)
+        code = main([
+            "table", "scenarios", "--sample", "1", "--sample-seed", "5",
+            "--space", "tiny", "--trials", "1", "--profile-timeout", "6",
+            "--detector-duration", "3", "--no-cache",
+            "--coverage-out", str(coverage_path),
+        ])
+        assert code == 0
+        coverage = json.loads(coverage_path.read_text())
+        assert validate(coverage, COVERAGE_SCHEMA) == []
+        assert coverage["totals"]["cells"] == 1
+        assert coverage["cells"][0]["scenario"] == "sampled-5-0"

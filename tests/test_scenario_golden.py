@@ -1,0 +1,247 @@
+"""Differential harness: the scenario refactor changed zero bits.
+
+fig9 and the robustness matrix now build their vehicles through the
+scenario DSL. The replicas below are the pre-DSL construction code
+copied verbatim (inline Vehicle/SimConfig/line_mission wiring); every
+test compares the refactored helpers against them bit-for-bit, across
+the scalar, process-parallel and vectorized engines. The golden file
+``tests/golden/scenario_fig9.json`` additionally pins fig9's numbers
+across future sessions (regenerate with ``REPRO_REGEN_GOLDEN=1``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.tsvl import generate_tsvl
+from repro.attacks.gradual import GradualRollAttack
+from repro.defenses.control_invariants import ControlInvariantsDetector
+from repro.experiments.fig9 import (
+    _fig9_batch,
+    _fig9_trial,
+    _steady_max,
+    run_fig9,
+)
+from repro.experiments.robustness_matrix import (
+    _detector_flight,
+    _profile_tsvl,
+)
+from repro.faults import FaultSchedule, FaultSpec
+from repro.firmware.mission import line_mission
+from repro.firmware.modes import FlightMode
+from repro.firmware.vehicle import Vehicle
+from repro.profiling.collector import ProfileCollector
+from repro.sim.config import SimConfig
+
+GOLDEN = Path(__file__).parent / "golden" / "scenario_fig9.json"
+
+#: Same shrunk parameters as the vectorized-oracle tests: long enough
+#: for takeoff + steady cruise, short enough for CI.
+DURATION = 6.0
+STEADY_AFTER = 3.0
+
+FIG9 = dict(
+    trials=2,
+    duration=DURATION,
+    steady_after=STEADY_AFTER,
+    base_seed=20,
+    thresholds=[500_000.0, 5_000.0],
+)
+
+_RESPONSES = ("ATT.R", "ATT.P", "ATT.Y")
+
+
+# --- pre-DSL replicas (copied verbatim from the pre-refactor modules) ---
+
+
+def _old_steady_max(attack, seed, duration, steady_after):
+    vehicle = Vehicle(SimConfig(seed=seed, wind_gust_std=0.4))
+    detector = ControlInvariantsDetector(
+        vehicle.config.airframe, threshold=float("inf")
+    )
+    detector.attach(vehicle)
+    vehicle.mission = line_mission(length=500.0, altitude=10.0, legs=1)
+    vehicle.takeoff(10.0)
+    if attack is not None:
+        attack.attach(vehicle)
+    vehicle.set_mode(FlightMode.AUTO)
+    vehicle.run(duration)
+    times = detector.record.times_array()
+    scores = detector.record.scores_array()
+    if not len(times):
+        return 0.0
+    steady = scores[times > times[0] + steady_after]
+    return float(steady.max()) if len(steady) else 0.0
+
+
+def _old_profile_tsvl(seed, schedule, profile_length, physics_hz):
+    def factory(mission_seed):
+        return Vehicle(
+            SimConfig(
+                seed=seed * 1000 + mission_seed,
+                wind_gust_std=0.4,
+                physics_hz=physics_hz,
+            ),
+            fault_schedule=schedule,
+        )
+
+    collector = ProfileCollector("PID", vehicle_factory=factory)
+    dataset = collector.collect(
+        missions=[line_mission(length=profile_length, altitude=8.0, legs=2)],
+        timeout_per_mission=150.0,
+        require_complete=False,
+    )
+    return generate_tsvl(dataset.table, list(_RESPONSES))
+
+
+def _old_detector_flight(seed, schedule, attack_rate, duration, physics_hz):
+    vehicle = Vehicle(
+        SimConfig(seed=seed, wind_gust_std=0.4, physics_hz=physics_hz),
+        fault_schedule=schedule,
+    )
+    detector = ControlInvariantsDetector(vehicle.config.airframe)
+    detector.attach(vehicle)
+    vehicle.mission = line_mission(length=500.0, altitude=10.0, legs=1)
+    vehicle.takeoff(10.0)
+    if attack_rate is not None:
+        GradualRollAttack(rate_deg_s=attack_rate, start_time=5.0).attach(vehicle)
+    vehicle.set_mode(FlightMode.AUTO)
+    vehicle.run(duration)
+    return (
+        1.0 if detector.alarmed else 0.0,
+        float(detector.degraded_samples),
+    )
+
+
+# --- fig9 differential ---
+
+
+class TestFig9Differential:
+    @pytest.mark.parametrize("seed", [20, 21])
+    @pytest.mark.parametrize("rate", [None, 5.0, 0.25])
+    def test_steady_max_bit_identical_to_pre_dsl(self, seed, rate):
+        attack = (
+            None if rate is None
+            else GradualRollAttack(rate_deg_s=rate, start_time=5.0)
+        )
+        old = _old_steady_max(attack, seed, DURATION, STEADY_AFTER)
+        new = _steady_max(rate, seed, DURATION, STEADY_AFTER)
+        assert new == old
+
+    def test_vectorized_batch_bit_identical_to_pre_dsl(self):
+        batch = _fig9_batch(
+            [20, 21], DURATION, STEADY_AFTER,
+            attack1_rate=5.0, attack2_rate=0.25,
+        )
+        for seed in (20, 21):
+            assert batch[seed] == {
+                "benign": _old_steady_max(
+                    None, seed, DURATION, STEADY_AFTER
+                ),
+                "attack1": _old_steady_max(
+                    GradualRollAttack(rate_deg_s=5.0, start_time=5.0),
+                    seed, DURATION, STEADY_AFTER,
+                ),
+                "attack2": _old_steady_max(
+                    GradualRollAttack(rate_deg_s=0.25, start_time=5.0),
+                    seed, DURATION, STEADY_AFTER,
+                ),
+            }
+
+    def test_scalar_trial_matches_batch(self):
+        trial = _fig9_trial(
+            20, DURATION, STEADY_AFTER, attack1_rate=5.0, attack2_rate=0.25
+        )
+        batch = _fig9_batch(
+            [20], DURATION, STEADY_AFTER, attack1_rate=5.0, attack2_rate=0.25
+        )
+        assert batch[20] == trial
+
+
+# --- robustness differential ---
+
+
+class TestRobustnessDifferential:
+    SCHEDULE = FaultSchedule((
+        FaultSpec(kind="gps_glitch", start=2.0, duration=3.0, intensity=0.4),
+    ))
+
+    @pytest.mark.parametrize("schedule", [None, SCHEDULE])
+    def test_profile_tsvl_bit_identical_to_pre_dsl(self, schedule):
+        old = _old_profile_tsvl(
+            900, schedule, profile_length=6.0, physics_hz=100.0
+        )
+        new = _profile_tsvl(
+            900, schedule, profile_length=6.0, physics_hz=100.0
+        )
+        assert new.tsvl == old.tsvl
+
+    @pytest.mark.parametrize("attack_rate", [None, 5.0])
+    def test_detector_flight_bit_identical_to_pre_dsl(self, attack_rate):
+        old = _old_detector_flight(
+            901, self.SCHEDULE, attack_rate, duration=4.0, physics_hz=100.0
+        )
+        new = _detector_flight(
+            901, self.SCHEDULE, attack_rate, duration=4.0, physics_hz=100.0
+        )
+        assert new == old
+
+
+# --- engine equivalence and the golden pin ---
+
+
+def _snapshot(result):
+    return {
+        "benign": list(result.benign),
+        "attack1": list(result.attack1),
+        "attack2": list(result.attack2),
+        "thresholds": list(result.thresholds),
+        "rates": {
+            repr(t): list(result.rates[t]) for t in result.thresholds
+        },
+    }
+
+
+class TestFig9Engines:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return _snapshot(run_fig9(**FIG9))
+
+    def test_workers_bit_identical(self, serial):
+        assert _snapshot(run_fig9(**FIG9, workers=4)) == serial
+
+    def test_vectorized_bit_identical(self, serial):
+        assert _snapshot(run_fig9(**FIG9, engine="vectorized")) == serial
+
+    def test_matches_golden_file(self, serial):
+        if os.environ.get("REPRO_REGEN_GOLDEN"):
+            GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+            GOLDEN.write_text(
+                json.dumps(serial, indent=1, sort_keys=True) + "\n"
+            )
+            pytest.skip(f"regenerated {GOLDEN}")
+        golden = json.loads(GOLDEN.read_text())
+        assert serial == golden
+
+
+class TestGoldenFileSanity:
+    def test_checked_in_golden_is_well_formed(self):
+        golden = json.loads(GOLDEN.read_text())
+        assert set(golden) == {
+            "benign", "attack1", "attack2", "thresholds", "rates",
+        }
+        assert len(golden["benign"]) == FIG9["trials"]
+        assert sorted(float(k) for k in golden["rates"]) == sorted(
+            golden["thresholds"]
+        )
+        # Attack 1 (fast roll creep) must separate from benign at the
+        # tight threshold — the paper's Fig. 9b story.
+        for values in golden["rates"].values():
+            fpr, tp1, tp2 = values
+            assert 0.0 <= fpr <= 1.0
+            assert 0.0 <= tp1 <= 1.0
+            assert 0.0 <= tp2 <= 1.0
